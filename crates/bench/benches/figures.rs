@@ -1,0 +1,39 @@
+//! `cargo bench` entry point that regenerates every table and figure of
+//! the paper (DESIGN.md §4 per-experiment index). Not a Criterion harness:
+//! the output *is* the deliverable.
+fn main() {
+    // Respect `cargo bench -- --help`-style filter args minimally: any
+    // argument is treated as a substring filter on figure names.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let filter = |name: &str| {
+        args.is_empty()
+            || args
+                .iter()
+                .any(|a| !a.starts_with('-') && name.contains(a.as_str()))
+            || args.iter().all(|a| a.starts_with('-'))
+    };
+    use nadfs_bench::figures as fig;
+    let jobs: Vec<(&str, fn() -> String)> = vec![
+        ("fig04", fig::fig04),
+        ("fig06", fig::fig06),
+        ("fig07", fig::fig07),
+        ("fig09_k2", || fig::fig09_latency(2)),
+        ("fig09_k4", || fig::fig09_latency(4)),
+        ("fig09_goodput", fig::fig09_goodput),
+        ("fig10", fig::fig10),
+        ("fig11_table1", fig::fig11_table1),
+        ("fig15", fig::fig15),
+        ("fig16_table2", fig::fig16_table2),
+        ("table3", fig::table3),
+        ("ablation_interleave", fig::ablation_interleave),
+        ("ablation_chunk_size", fig::ablation_chunk_size),
+        ("ablation_queues", fig::ablation_queues),
+    ];
+    for (name, run) in jobs {
+        if filter(name) {
+            println!("--- {name} ---");
+            print!("{}", run());
+            println!();
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Criterion microbenchmarks of the computational kernels underneath the
+//! simulation: GF(2^8) slice arithmetic, Reed-Solomon encode, SipHash
+//! capability MACs, and raw discrete-event engine throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn gf_mul_acc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf256_mul_acc_slice");
+    for size in [2048usize, 64 << 10, 1 << 20] {
+        let src = vec![0xABu8; size];
+        let mut dst = vec![0x5Au8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                nadfs_gfec::gf256::mul_acc_slice(0x1D, black_box(&src), black_box(&mut dst))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn rs_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rs_encode");
+    for (k, m) in [(3usize, 2usize), (6, 3)] {
+        let rs = nadfs_gfec::ReedSolomon::new(k, m).expect("params");
+        let chunks: Vec<Vec<u8>> = (0..k).map(|j| vec![j as u8; 64 << 10]).collect();
+        let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+        g.throughput(Throughput::Bytes((k * (64 << 10)) as u64));
+        g.bench_function(format!("rs({k},{m})_64KiB_chunks"), |b| {
+            b.iter(|| rs.encode(black_box(&refs)).expect("encode"));
+        });
+    }
+    g.finish();
+}
+
+fn rs_reconstruct(c: &mut Criterion) {
+    let rs = nadfs_gfec::ReedSolomon::new(6, 3).expect("params");
+    let chunks: Vec<Vec<u8>> = (0..6).map(|j| vec![j as u8 + 1; 64 << 10]).collect();
+    let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+    let parities = rs.encode(&refs).expect("encode");
+    c.bench_function("rs(6,3)_reconstruct_3_erasures_64KiB", |b| {
+        b.iter(|| {
+            let mut shards: Vec<Option<Vec<u8>>> = chunks
+                .iter()
+                .cloned()
+                .map(Some)
+                .chain(parities.iter().cloned().map(Some))
+                .collect();
+            shards[0] = None;
+            shards[3] = None;
+            shards[7] = None;
+            rs.reconstruct(black_box(&mut shards)).expect("reconstruct");
+        });
+    });
+}
+
+fn siphash_capability(c: &mut Criterion) {
+    let key = nadfs_wire::MacKey::from_seed(7);
+    c.bench_function("capability_issue_and_verify", |b| {
+        b.iter(|| {
+            let cap = nadfs_wire::Capability::issue(
+                black_box(&key),
+                1,
+                2,
+                nadfs_wire::Rights::RW,
+                1_000_000,
+                3,
+            );
+            cap.verify(&key, 0, nadfs_wire::Rights::WRITE).expect("ok")
+        });
+    });
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    use nadfs_simnet::{Component, Ctx, Dur, Engine};
+    use std::any::Any;
+    struct Bouncer {
+        left: u64,
+    }
+    struct Tick;
+    impl Component for Bouncer {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, _ev: Box<dyn Any>) {
+            if self.left > 0 {
+                self.left -= 1;
+                ctx.schedule_self(Dur::from_ns(10), Box::new(Tick));
+            }
+        }
+    }
+    c.bench_function("des_engine_100k_events", |b| {
+        b.iter(|| {
+            let mut e = Engine::new();
+            let id = e.add_component(Box::new(Bouncer { left: 100_000 }));
+            e.schedule(Dur::ZERO, id, Box::new(Tick));
+            e.run_to_completion();
+            black_box(e.events_dispatched())
+        });
+    });
+}
+
+fn e2e_write_sim(c: &mut Criterion) {
+    use nadfs_core::{ClusterSpec, FilePolicy, Job, SimCluster, StorageMode, WriteProtocol};
+    c.bench_function("simulate_one_64KiB_spin_write", |b| {
+        b.iter(|| {
+            let spec = ClusterSpec::new(1, 1, StorageMode::Spin);
+            let mut cl = SimCluster::build(spec);
+            let f = cl.control.borrow_mut().create_file(0, FilePolicy::Plain);
+            cl.submit(
+                0,
+                Job::Write {
+                    file: f.id,
+                    size: 64 << 10,
+                    protocol: WriteProtocol::Spin,
+                    seed: 0,
+                },
+            );
+            cl.start();
+            cl.run_until_writes(1, 1_000)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = gf_mul_acc, rs_encode, rs_reconstruct, siphash_capability,
+              engine_throughput, e2e_write_sim
+}
+criterion_main!(benches);

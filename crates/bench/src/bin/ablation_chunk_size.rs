@@ -1,0 +1,4 @@
+//! Regenerates the paper's ablation_chunk_size (see nadfs_bench::figures).
+fn main() {
+    print!("{}", nadfs_bench::figures::ablation_chunk_size());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's ablation_interleave (see nadfs_bench::figures).
+fn main() {
+    print!("{}", nadfs_bench::figures::ablation_interleave());
+}

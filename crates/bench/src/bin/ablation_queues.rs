@@ -1,0 +1,4 @@
+//! Regenerates the queue-depth ablation (see nadfs_bench::figures).
+fn main() {
+    print!("{}", nadfs_bench::figures::ablation_queues());
+}

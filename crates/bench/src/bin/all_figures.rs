@@ -1,0 +1,4 @@
+//! Regenerates every table and figure of the paper in one run.
+fn main() {
+    print!("{}", nadfs_bench::figures::run_all());
+}

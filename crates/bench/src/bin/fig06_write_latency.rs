@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig06 (see nadfs_bench::figures).
+fn main() {
+    print!("{}", nadfs_bench::figures::fig06());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig09_goodput (see nadfs_bench::figures).
+fn main() {
+    print!("{}", nadfs_bench::figures::fig09_goodput());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig 9: replication latency (k=2, k=4) and goodput.
+fn main() {
+    print!("{}", nadfs_bench::figures::fig09_latency(2));
+    println!();
+    print!("{}", nadfs_bench::figures::fig09_latency(4));
+    println!();
+    print!("{}", nadfs_bench::figures::fig09_goodput());
+}

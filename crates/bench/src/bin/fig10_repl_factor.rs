@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig10 (see nadfs_bench::figures).
+fn main() {
+    print!("{}", nadfs_bench::figures::fig10());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11_table1 (see nadfs_bench::figures).
+fn main() {
+    print!("{}", nadfs_bench::figures::fig11_table1());
+}

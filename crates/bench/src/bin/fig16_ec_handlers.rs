@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig16_table2 (see nadfs_bench::figures).
+fn main() {
+    print!("{}", nadfs_bench::figures::fig16_table2());
+}

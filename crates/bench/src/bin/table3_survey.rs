@@ -1,0 +1,4 @@
+//! Regenerates the paper's table3 (see nadfs_bench::figures).
+fn main() {
+    print!("{}", nadfs_bench::figures::table3());
+}

@@ -1,0 +1,13 @@
+//! # nadfs-bench
+//!
+//! Harnesses that regenerate every table and figure of the paper's
+//! evaluation. Each `figures::figXX` function runs the corresponding
+//! experiment on the simulator and returns the formatted rows, annotated
+//! with the paper's reference values so paper-vs-measured is visible at a
+//! glance. `cargo bench` runs all of them (through the `figures` bench
+//! target) plus Criterion microbenchmarks of the computational kernels.
+
+pub mod figures;
+pub mod report;
+
+pub use report::Table;

@@ -1,0 +1,719 @@
+//! The DFS client driver: issues writes under every protocol the paper
+//! evaluates and records completion latencies.
+//!
+//! One `ClientApp` runs above each client node's NIC. Jobs are taken from a
+//! shared plan queue (filled by tests/benchmark harnesses before the run);
+//! a configurable window of requests is kept in flight. Completion
+//! semantics per protocol follow §IV-§VI (see [`WriteProtocol`]).
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use bytes::Bytes;
+use nadfs_rdma::{NicApp, NicCore};
+use nadfs_simnet::{Ctx, Dur, NodeId, Time};
+use nadfs_wire::{
+    AckPkt, Capability, DfsHeader, DfsOp, EcInfo, EcRole, Frame, HlConfigPkt, MsgId, Resiliency,
+    Rights, RpcBody, Status, WriteReqHeader,
+};
+
+use crate::control::{FilePolicy, SharedControl, WritePlacement};
+
+/// Timer tag: start pulling jobs from the plan.
+pub const KICK: u64 = 0;
+const RETRY_BASE: u64 = 0x5254_0000_0000_0000;
+const ISSUE_BASE: u64 = 0x4953_0000_0000_0000;
+
+/// Write protocols (the paper's comparison axes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteProtocol {
+    /// Speed-of-light: single RDMA write, no policy enforcement (§IV).
+    Raw,
+    /// Single RDMA write through sPIN handlers (validation on the NIC).
+    Spin,
+    /// SEND carrying the data; storage CPU validates, copies, stores (§IV).
+    Rpc,
+    /// SEND request; storage CPU validates then RDMA-reads the data (§IV).
+    RpcRdma,
+    /// Client writes each replica itself (k writes, full trust) (§V).
+    RdmaFlat,
+    /// Pre-posted triggered-WQE ring with remote WQE configuration (§V).
+    HyperLoop { chunk: u32 },
+    /// Storage CPUs forward along the file's broadcast schedule, chunked
+    /// and pipelined (CPU-Ring / CPU-PBT depending on the file policy).
+    CpuBcast { chunk: u32 },
+    /// One write; sPIN handlers forward per packet (sPIN-Ring / sPIN-PBT
+    /// depending on the file policy) (§V).
+    SpinReplicated,
+    /// Per-packet streaming TriEC on PsPIN (§VI-B). `interleave` controls
+    /// the client-side packet interleaving of §VI-B-1 (the ablation).
+    SpinTriec { interleave: bool },
+    /// Per-chunk firmware TriEC on conventional RDMA NICs (§VI-A).
+    InecTriec,
+}
+
+/// One unit of client work.
+#[derive(Clone, Debug)]
+pub enum Job {
+    Write {
+        file: u64,
+        size: u32,
+        protocol: WriteProtocol,
+        seed: u64,
+    },
+    /// One-sided read of a raw region (verification / read-path latency).
+    RawRead {
+        node: NodeId,
+        addr: u64,
+        len: u32,
+        token: u64,
+    },
+}
+
+/// Completion record.
+#[derive(Clone, Debug)]
+pub struct WriteResult {
+    pub greq: u64,
+    pub client: NodeId,
+    pub protocol: WriteProtocol,
+    pub size: u32,
+    pub start: Time,
+    pub end: Time,
+    pub status: Status,
+    pub retries: u32,
+    /// Placement used (lets tests verify stored bytes).
+    pub placement: WritePlacement,
+}
+
+#[derive(Clone, Debug)]
+pub struct ReadResult {
+    pub token: u64,
+    pub end: Time,
+}
+
+/// Shared sink for completions.
+#[derive(Default)]
+pub struct ResultSink {
+    pub writes: Vec<WriteResult>,
+    pub reads: Vec<ReadResult>,
+}
+
+pub type SharedResults = Rc<RefCell<ResultSink>>;
+pub type SharedPlan = Rc<RefCell<VecDeque<Job>>>;
+
+enum Phase {
+    /// Waiting for HyperLoop config acks; then the data write goes out.
+    HlConfiguring { acks_left: u32 },
+    /// Data in flight; counting completion acks.
+    Data,
+}
+
+struct Pending {
+    job: Job,
+    placement: WritePlacement,
+    start: Time,
+    acks_needed: u32,
+    acks_got: u32,
+    phase: Phase,
+    retries: u32,
+    status: Status,
+    /// Message ids belonging to this request (for greq-less acks).
+    msgs: Vec<MsgId>,
+}
+
+/// The client node software.
+pub struct ClientApp {
+    control: SharedControl,
+    results: SharedResults,
+    plan: SharedPlan,
+    window: usize,
+    in_flight: HashMap<u64, Pending>,
+    msg_to_greq: HashMap<MsgId, u64>,
+    caps: HashMap<u64, Capability>,
+    /// Deliberately corrupt capabilities (security tests).
+    pub forge_capabilities: bool,
+    /// Abandon writes after the first packet (cleanup-handler tests):
+    /// every Nth job is abandoned when set.
+    pub abandon_every: Option<u64>,
+    jobs_started: u64,
+    read_tokens: HashMap<u64, u64>,
+    retry_stash: Vec<(u64, Job, WritePlacement, u32)>,
+    issue_stash: Vec<(u64, Job, WritePlacement, Time)>,
+}
+
+impl ClientApp {
+    pub fn new(
+        control: SharedControl,
+        results: SharedResults,
+        plan: SharedPlan,
+        window: usize,
+    ) -> ClientApp {
+        ClientApp {
+            control,
+            results,
+            plan,
+            window,
+            in_flight: HashMap::new(),
+            msg_to_greq: HashMap::new(),
+            caps: HashMap::new(),
+            forge_capabilities: false,
+            abandon_every: None,
+            jobs_started: 0,
+            read_tokens: HashMap::new(),
+            retry_stash: Vec::new(),
+            issue_stash: Vec::new(),
+        }
+    }
+
+    fn capability(&mut self, nic: &NicCore, file: u64) -> Capability {
+        let client = nic.node() as u32;
+        let control = &self.control;
+        let cap = *self
+            .caps
+            .entry(file)
+            .or_insert_with(|| {
+                control
+                    .borrow_mut()
+                    .issue_capability(client, file, Rights::RW, u64::MAX / 2)
+            });
+        if self.forge_capabilities {
+            // Tamper: claim more rights without re-signing.
+            let mut evil = cap;
+            evil.expires_at_ns = u64::MAX;
+            evil
+        } else {
+            cap
+        }
+    }
+
+    fn dfs_header(&mut self, nic: &NicCore, file: u64, greq: u64) -> DfsHeader {
+        DfsHeader {
+            greq_id: greq,
+            op: DfsOp::Write,
+            client: nic.node() as u32,
+            capability: self.capability(nic, file),
+        }
+    }
+
+    fn payload(seed: u64, len: u32) -> Bytes {
+        // Deterministic, seed-dependent content (splitmix-ish stream).
+        let mut x = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut v = Vec::with_capacity(len as usize);
+        while v.len() < len as usize {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            v.extend_from_slice(&z.to_le_bytes());
+        }
+        v.truncate(len as usize);
+        Bytes::from(v)
+    }
+
+    fn fill(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>) {
+        while self.in_flight.len() + self.issue_stash.len() < self.window {
+            let Some(job) = self.plan.borrow_mut().pop_front() else {
+                return;
+            };
+            self.start_job(nic, ctx, job);
+        }
+    }
+
+    fn start_job(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, job: Job) {
+        self.jobs_started += 1;
+        match job {
+            Job::Write { file, size, .. } => {
+                // The measured latency starts when the driver decides to
+                // write; the verbs post (doorbell, WQE build) delays actual
+                // injection — a real cost every protocol pays.
+                let placement = self.control.borrow_mut().place_write(file, size);
+                let start = ctx.now();
+                let t_post = nic.cpu.exec(start, nic.cpu.costs.post_send);
+                let tag = ISSUE_BASE | placement.greq;
+                self.issue_stash
+                    .push((tag, job_clone(&job), placement, start));
+                nic.set_timer(ctx, t_post.since(start), tag);
+            }
+            Job::RawRead {
+                node,
+                addr,
+                len,
+                token,
+            } => {
+                let rrh = nadfs_wire::ReadReqHeader { addr, len };
+                let local = nic.memory().borrow_mut().alloc(len as u64);
+                self.read_tokens.insert(token, token);
+                nic.send_read(ctx, node, rrh, None, local, token);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn issue_write(
+        &mut self,
+        nic: &mut NicCore,
+        ctx: &mut Ctx<'_>,
+        job: Job,
+        file: u64,
+        size: u32,
+        protocol: WriteProtocol,
+        seed: u64,
+        placement: WritePlacement,
+        retries: u32,
+        start: Time,
+    ) {
+        let greq = placement.greq;
+        let data = Self::payload(seed, size);
+        let abandon = self
+            .abandon_every
+            .map(|n| self.jobs_started % n == 0)
+            .unwrap_or(false);
+        let mut pending = Pending {
+            job,
+            placement: placement.clone(),
+            start,
+            acks_needed: 1,
+            acks_got: 0,
+            phase: Phase::Data,
+            retries,
+            status: Status::Ok,
+            msgs: Vec::new(),
+        };
+        let policy = self
+            .control
+            .borrow()
+            .lookup(file)
+            .expect("file exists")
+            .policy
+            .clone();
+
+        match protocol {
+            WriteProtocol::Raw => {
+                let wrh = WriteReqHeader {
+                    target_addr: placement.primary.addr,
+                    len: size,
+                    resiliency: Resiliency::None,
+                };
+                let msg =
+                    nic.send_write(ctx, placement.primary.node as NodeId, None, wrh, data);
+                pending.msgs.push(msg);
+            }
+            WriteProtocol::Spin => {
+                let dfs = self.dfs_header(nic, file, greq);
+                let wrh = WriteReqHeader {
+                    target_addr: placement.primary.addr,
+                    len: size,
+                    resiliency: Resiliency::None,
+                };
+                if abandon {
+                    let (msg, mut frames) = nic.build_write_frames(Some(dfs), wrh, data);
+                    frames.truncate(1);
+                    nic.send_frames(ctx, placement.primary.node as NodeId, frames);
+                    pending.msgs.push(msg);
+                    pending.acks_needed = u32::MAX; // never completes
+                } else {
+                    let msg = nic.send_write(
+                        ctx,
+                        placement.primary.node as NodeId,
+                        Some(dfs),
+                        wrh,
+                        data,
+                    );
+                    pending.msgs.push(msg);
+                }
+            }
+            WriteProtocol::Rpc | WriteProtocol::RpcRdma => {
+                let inline = protocol == WriteProtocol::Rpc;
+                let dfs = self.dfs_header(nic, file, greq);
+                let wrh = WriteReqHeader {
+                    target_addr: placement.primary.addr,
+                    len: size,
+                    resiliency: Resiliency::None,
+                };
+                let src_addr = if inline {
+                    0
+                } else {
+                    // Stage the data in client memory for the storage-side
+                    // RDMA read.
+                    let a = nic.memory().borrow_mut().alloc(size as u64);
+                    nic.memory().borrow_mut().write(a, &data);
+                    a
+                };
+                let body = RpcBody::WriteReq {
+                    dfs,
+                    wrh,
+                    inline_data: inline,
+                    src_addr,
+                    chunk_off: 0,
+                    full_len: size,
+                };
+                let msg = nic.send_rpc(
+                    ctx,
+                    placement.primary.node as NodeId,
+                    body,
+                    if inline { data } else { Bytes::new() },
+                );
+                pending.msgs.push(msg);
+            }
+            WriteProtocol::RdmaFlat => {
+                // One independent write per replica; full client trust.
+                pending.acks_needed = placement.replicas.len() as u32;
+                for coord in &placement.replicas {
+                    let wrh = WriteReqHeader {
+                        target_addr: coord.addr,
+                        len: size,
+                        resiliency: Resiliency::None,
+                    };
+                    let msg =
+                        nic.send_write(ctx, coord.node as NodeId, None, wrh, data.clone());
+                    pending.msgs.push(msg);
+                }
+            }
+            WriteProtocol::HyperLoop { chunk } => {
+                // Phase 1: configure the ring (k parallel WQE writes).
+                let k = placement.replicas.len();
+                pending.phase = Phase::HlConfiguring {
+                    acks_left: k as u32,
+                };
+                pending.acks_needed = 1; // the tail data ack
+                for (i, coord) in placement.replicas.iter().enumerate() {
+                    let cfg = HlConfigPkt {
+                        msg: MsgId::new(0, 0),
+                        greq_id: greq,
+                        local_addr: coord.addr,
+                        total_len: size,
+                        chunk,
+                        next: placement.replicas.get(i + 1).copied(),
+                        ack_client: i == k - 1,
+                        frag: 0,
+                        total_frags: 1,
+                    };
+                    let msg = nic.send_hl_config(ctx, coord.node as NodeId, cfg);
+                    pending.msgs.push(msg);
+                }
+            }
+            WriteProtocol::CpuBcast { chunk } => {
+                let FilePolicy::Replicated { strategy, .. } = policy else {
+                    panic!("CpuBcast requires a replicated file");
+                };
+                let dfs = self.dfs_header(nic, file, greq);
+                let k = placement.replicas.len() as u32;
+                pending.acks_needed = k;
+                let chunk = chunk.max(1).min(size.max(1));
+                let mut off = 0u32;
+                while off < size || (size == 0 && off == 0) {
+                    let len = chunk.min(size - off);
+                    let wrh = WriteReqHeader {
+                        target_addr: placement.primary.addr + off as u64,
+                        len,
+                        resiliency: Resiliency::Replicate {
+                            strategy,
+                            vrank: 0,
+                            coords: placement.replicas.clone(),
+                        },
+                    };
+                    let body = RpcBody::WriteReq {
+                        dfs,
+                        wrh,
+                        inline_data: true,
+                        src_addr: 0,
+                        chunk_off: off,
+                        full_len: size,
+                    };
+                    let msg = nic.send_rpc(
+                        ctx,
+                        placement.primary.node as NodeId,
+                        body,
+                        data.slice(off as usize..(off + len) as usize),
+                    );
+                    pending.msgs.push(msg);
+                    off += len;
+                    if size == 0 {
+                        break;
+                    }
+                }
+            }
+            WriteProtocol::SpinReplicated => {
+                let FilePolicy::Replicated { strategy, .. } = policy else {
+                    panic!("SpinReplicated requires a replicated file");
+                };
+                let dfs = self.dfs_header(nic, file, greq);
+                pending.acks_needed = placement.replicas.len() as u32;
+                let wrh = WriteReqHeader {
+                    target_addr: placement.primary.addr,
+                    len: size,
+                    resiliency: Resiliency::Replicate {
+                        strategy,
+                        vrank: 0,
+                        coords: placement.replicas.clone(),
+                    },
+                };
+                let msg =
+                    nic.send_write(ctx, placement.primary.node as NodeId, Some(dfs), wrh, data);
+                pending.msgs.push(msg);
+            }
+            WriteProtocol::SpinTriec { .. } | WriteProtocol::InecTriec => {
+                let FilePolicy::ErasureCoded { scheme } = policy else {
+                    panic!("TriEC requires an erasure-coded file");
+                };
+                let interleave = match protocol {
+                    WriteProtocol::SpinTriec { interleave } => interleave,
+                    _ => false,
+                };
+                let dfs = self.dfs_header(nic, file, greq);
+                let k = scheme.k as usize;
+                let m = scheme.m as usize;
+                pending.acks_needed = (k + m) as u32;
+                let chunk_len = placement.chunk_len;
+                // Split the block into k chunks (zero-pad the tail).
+                let mut per_chunk_frames: Vec<(NodeId, Vec<Frame>)> = Vec::with_capacity(k);
+                for (j, coord) in placement.data_chunks.iter().enumerate() {
+                    let startb = (j as u32 * chunk_len).min(size) as usize;
+                    let endb = ((j as u32 + 1) * chunk_len).min(size) as usize;
+                    let mut chunk_data = data.slice(startb..endb).to_vec();
+                    chunk_data.resize(chunk_len as usize, 0);
+                    let wrh = WriteReqHeader {
+                        target_addr: coord.addr,
+                        len: chunk_len,
+                        resiliency: Resiliency::ErasureCode(EcInfo {
+                            scheme,
+                            role: EcRole::Data { chunk_idx: j as u8 },
+                            stripe: greq,
+                            parity_coords: placement.parities.clone(),
+                        }),
+                    };
+                    let (msg, frames) =
+                        nic.build_write_frames(Some(dfs), wrh, Bytes::from(chunk_data));
+                    pending.msgs.push(msg);
+                    per_chunk_frames.push((coord.node as NodeId, frames));
+                }
+                if interleave {
+                    // §VI-B-1: interleave packets across chunks so the
+                    // parity node can aggregate as streams progress.
+                    let mut mixed = Vec::new();
+                    let max_len = per_chunk_frames
+                        .iter()
+                        .map(|(_, f)| f.len())
+                        .max()
+                        .unwrap_or(0);
+                    for i in 0..max_len {
+                        for (dst, frames) in &per_chunk_frames {
+                            if let Some(f) = frames.get(i) {
+                                mixed.push((*dst, f.clone()));
+                            }
+                        }
+                    }
+                    nic.send_mixed(ctx, mixed);
+                } else {
+                    for (dst, frames) in per_chunk_frames {
+                        nic.send_frames(ctx, dst, frames);
+                    }
+                }
+            }
+        }
+        for m in &pending.msgs {
+            self.msg_to_greq.insert(*m, greq);
+        }
+        self.in_flight.insert(greq, pending);
+    }
+
+    fn finish(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, greq: u64) {
+        let p = self.in_flight.remove(&greq).expect("pending");
+        for m in &p.msgs {
+            self.msg_to_greq.remove(m);
+        }
+        let Job::Write {
+            size, protocol, ..
+        } = p.job
+        else {
+            return;
+        };
+        // The application observes completion one poll interval after the
+        // ack reaches the NIC (CQ polling cost, charged to every protocol).
+        let end = ctx.now() + nic.cpu.costs.poll_notify;
+        self.results.borrow_mut().writes.push(WriteResult {
+            greq,
+            client: nic.node(),
+            protocol,
+            size,
+            start: p.start,
+            end,
+            status: p.status,
+            retries: p.retries,
+            placement: p.placement,
+        });
+        self.fill(nic, ctx);
+    }
+}
+
+fn job_clone(j: &Job) -> Job {
+    j.clone()
+}
+
+impl NicApp for ClientApp {
+    fn on_ack(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, _src: NodeId, ack: AckPkt) {
+        let greq = ack
+            .greq_id
+            .filter(|g| self.in_flight.contains_key(g))
+            .or_else(|| self.msg_to_greq.get(&ack.msg).copied());
+        let Some(greq) = greq else {
+            return; // stale (e.g. ack after cleanup-driven completion)
+        };
+        let Some(p) = self.in_flight.get_mut(&greq) else {
+            return;
+        };
+        match ack.status {
+            Status::Busy => {
+                // Descriptor exhaustion: retry the whole request later
+                // (§III-B: "the request is denied, and the client will
+                // retry later").
+                let p = self.in_flight.remove(&greq).expect("pending");
+                for m in &p.msgs {
+                    self.msg_to_greq.remove(m);
+                }
+                let retries = p.retries + 1;
+                let Job::Write {
+                    file,
+                    size,
+                    protocol,
+                    seed,
+                } = p.job
+                else {
+                    return;
+                };
+                let job = Job::Write {
+                    file,
+                    size,
+                    protocol,
+                    seed,
+                };
+                // Re-place and retry after a backoff.
+                let placement = self.control.borrow_mut().place_write(file, size);
+                let tag = RETRY_BASE | placement.greq;
+                self.retry_stash.push((tag, job, placement, retries));
+                nic.set_timer(ctx, Dur::from_us(5 * retries as u64), tag);
+            }
+            Status::AuthFailed | Status::Rejected => {
+                p.status = ack.status;
+                p.acks_got += 1;
+                // A rejection terminates the request immediately.
+                let needed = p.acks_got.max(1);
+                p.acks_needed = needed;
+                if p.acks_got >= needed {
+                    self.finish(nic, ctx, greq);
+                }
+            }
+            Status::Ok => match &mut p.phase {
+                Phase::HlConfiguring { acks_left } => {
+                    *acks_left -= 1;
+                    if *acks_left == 0 {
+                        // Ring armed: push the data to the head node.
+                        p.phase = Phase::Data;
+                        let Job::Write { size, seed, .. } = p.job else {
+                            return;
+                        };
+                        let head = p.placement.replicas[0];
+                        let wrh = WriteReqHeader {
+                            target_addr: head.addr,
+                            len: size,
+                            resiliency: Resiliency::None,
+                        };
+                        let data = Self::payload(seed, size);
+                        let msg =
+                            nic.send_write(ctx, head.node as NodeId, None, wrh, data);
+                        p.msgs.push(msg);
+                        let greq2 = greq;
+                        self.msg_to_greq.insert(msg, greq2);
+                    }
+                }
+                Phase::Data => {
+                    p.acks_got += 1;
+                    if p.acks_got >= p.acks_needed {
+                        self.finish(nic, ctx, greq);
+                    }
+                }
+            },
+        }
+    }
+
+    fn on_read_done(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, token: u64) {
+        self.read_tokens.remove(&token);
+        self.results.borrow_mut().reads.push(ReadResult {
+            token,
+            end: ctx.now(),
+        });
+        self.fill(nic, ctx);
+    }
+
+    fn on_timer(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, tag: u64) {
+        if tag == KICK {
+            self.fill(nic, ctx);
+            return;
+        }
+        if tag & RETRY_BASE == RETRY_BASE {
+            if let Some(idx) = self.retry_stash.iter().position(|(t, ..)| *t == tag) {
+                let (_, job, placement, retries) = self.retry_stash.remove(idx);
+                let Job::Write {
+                    file,
+                    size,
+                    protocol,
+                    seed,
+                } = job
+                else {
+                    return;
+                };
+                self.issue_write(
+                    nic,
+                    ctx,
+                    Job::Write {
+                        file,
+                        size,
+                        protocol,
+                        seed,
+                    },
+                    file,
+                    size,
+                    protocol,
+                    seed,
+                    placement,
+                    retries,
+                    ctx.now(),
+                );
+            }
+            return;
+        }
+        if tag & ISSUE_BASE == ISSUE_BASE {
+            if let Some(idx) = self.issue_stash.iter().position(|(t, ..)| *t == tag) {
+                let (_, job, placement, start) = self.issue_stash.remove(idx);
+                let Job::Write {
+                    file,
+                    size,
+                    protocol,
+                    seed,
+                } = job
+                else {
+                    return;
+                };
+                self.issue_write(
+                    nic,
+                    ctx,
+                    Job::Write {
+                        file,
+                        size,
+                        protocol,
+                        seed,
+                    },
+                    file,
+                    size,
+                    protocol,
+                    seed,
+                    placement,
+                    0,
+                    start,
+                );
+            }
+        }
+    }
+}

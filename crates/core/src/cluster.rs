@@ -1,0 +1,243 @@
+//! Cluster assembly: wire clients, storage nodes, the fabric, and the
+//! control plane into a runnable simulation.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use nadfs_host::SharedMemory;
+use nadfs_pspin::{ExecutionContext, Telemetry};
+use nadfs_rdma::{AppTimer, EcEngine, Nic, NicApp};
+use nadfs_simnet::{ComponentId, Dur, Engine, Fabric, FabricStats, NodeId, Time};
+use nadfs_wire::Frame;
+
+use crate::client::{ClientApp, Job, ResultSink, SharedPlan, SharedResults, KICK};
+use crate::config::CostModel;
+use crate::control::{ControlPlane, SharedControl};
+use crate::handlers::{DfsHandlers, DfsNicState};
+use crate::storage::{SharedStorageStats, StorageApp};
+
+/// How storage-node NICs are provisioned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageMode {
+    /// Conventional RDMA NIC; policies (if any) run on the CPU.
+    Plain,
+    /// PsPIN installed with the DFS execution context (sPIN protocols).
+    Spin,
+    /// Conventional NIC with the INEC-style firmware EC engine.
+    FirmwareEc,
+}
+
+/// Cluster blueprint.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    pub n_clients: usize,
+    pub n_storage: usize,
+    pub mode: StorageMode,
+    pub cost: CostModel,
+    /// Outstanding requests each client keeps in flight.
+    pub client_window: usize,
+    /// NIC accumulator pool entries for EC aggregation (§VI-B-3).
+    pub accumulator_pool: usize,
+}
+
+impl ClusterSpec {
+    pub fn new(n_clients: usize, n_storage: usize, mode: StorageMode) -> ClusterSpec {
+        ClusterSpec {
+            n_clients,
+            n_storage,
+            mode,
+            cost: CostModel::paper(),
+            client_window: 1,
+            accumulator_pool: 512,
+        }
+    }
+
+    pub fn with_cost(mut self, cost: CostModel) -> ClusterSpec {
+        self.cost = cost;
+        self
+    }
+
+    pub fn with_window(mut self, w: usize) -> ClusterSpec {
+        self.client_window = w;
+        self
+    }
+
+    pub fn with_accumulator_pool(mut self, n: usize) -> ClusterSpec {
+        self.accumulator_pool = n;
+        self
+    }
+}
+
+/// A built, runnable cluster.
+pub struct SimCluster {
+    pub engine: Engine,
+    pub control: SharedControl,
+    pub results: SharedResults,
+    pub spec: ClusterSpec,
+    /// Fabric node ids: clients are `0..n_clients`, storage follows.
+    pub client_nodes: Vec<NodeId>,
+    pub storage_nodes: Vec<NodeId>,
+    client_components: Vec<ComponentId>,
+    pub plans: Vec<SharedPlan>,
+    pub storage_mems: Vec<SharedMemory>,
+    pub storage_stats: Vec<SharedStorageStats>,
+    pub pspin_telemetry: Vec<Option<Rc<RefCell<Telemetry>>>>,
+    pub fabric_stats: Rc<RefCell<FabricStats>>,
+}
+
+impl SimCluster {
+    /// Build a cluster per `spec`. Client i's node id equals i, which is
+    /// also the DFS client id carried in capabilities.
+    pub fn build(spec: ClusterSpec) -> SimCluster {
+        Self::build_with(spec, |_| {})
+    }
+
+    /// Build, with a hook to customize each client app before installation
+    /// (e.g. forged capabilities or abandoned writes for failure tests).
+    pub fn build_with<F: FnMut(&mut ClientApp)>(spec: ClusterSpec, mut tweak: F) -> SimCluster {
+        let mut engine = Engine::new();
+        let fid = engine.reserve_id();
+        let client_components: Vec<_> =
+            (0..spec.n_clients).map(|_| engine.reserve_id()).collect();
+        let storage_components: Vec<_> =
+            (0..spec.n_storage).map(|_| engine.reserve_id()).collect();
+
+        let mut fab: Fabric<Frame> = Fabric::new(spec.cost.fabric.clone(), fid);
+        let client_ports: Vec<_> = client_components
+            .iter()
+            .map(|&c| fab.register_node(c, None))
+            .collect();
+        let storage_ports: Vec<_> = storage_components
+            .iter()
+            .map(|&c| {
+                let ingress = match spec.mode {
+                    StorageMode::Spin => Some(spec.cost.pspin.pktbuf_slots),
+                    _ => None,
+                };
+                fab.register_node(c, ingress)
+            })
+            .collect();
+        let fabric_stats = fab.stats();
+        engine.install(fid, Box::new(fab));
+
+        let client_nodes: Vec<NodeId> = client_ports.iter().map(|p| p.node).collect();
+        let storage_nodes: Vec<NodeId> = storage_ports.iter().map(|p| p.node).collect();
+        let control = ControlPlane::new(0xD15C, storage_nodes.clone());
+        let key = control.borrow().service_key();
+
+        let results: SharedResults = Rc::new(RefCell::new(ResultSink::default()));
+        let mut plans = Vec::new();
+        for (&comp, port) in client_components.iter().zip(client_ports) {
+            let plan: SharedPlan = Rc::new(RefCell::new(VecDeque::new()));
+            plans.push(plan.clone());
+            let mut app = ClientApp::new(
+                control.clone(),
+                results.clone(),
+                plan,
+                spec.client_window,
+            );
+            tweak(&mut app);
+            let nic = Nic::new(spec.cost.nic.clone(), port, comp, Box::new(app));
+            engine.install(comp, Box::new(nic));
+        }
+
+        let mut storage_mems = Vec::new();
+        let mut storage_stats = Vec::new();
+        let mut pspin_telemetry = Vec::new();
+        for (&comp, port) in storage_components.iter().zip(storage_ports) {
+            let app = StorageApp::new(key, spec.cost.fabric.link_bw);
+            storage_stats.push(app.stats.clone());
+            let mut nic = Nic::new(spec.cost.nic.clone(), port, comp, Box::new(app) as Box<dyn NicApp>);
+            match spec.mode {
+                StorageMode::Plain => {}
+                StorageMode::Spin => {
+                    let state = DfsNicState::new(
+                        key,
+                        spec.cost.handlers.clone(),
+                        spec.accumulator_pool,
+                    );
+                    nic.core.install_pspin(
+                        spec.cost.pspin.clone(),
+                        ExecutionContext {
+                            handlers: Box::new(DfsHandlers),
+                            state: Box::new(state),
+                            state_bytes: spec.cost.pspin_state_bytes,
+                            descriptor_bytes: spec.cost.descriptor_bytes,
+                        },
+                    );
+                }
+                StorageMode::FirmwareEc => {
+                    nic.core
+                        .enable_firmware_ec(EcEngine::new(spec.cost.ec_engine.clone()));
+                }
+            }
+            storage_mems.push(nic.core.memory());
+            pspin_telemetry.push(nic.core.pspin().map(|d| d.telemetry()));
+            engine.install(comp, Box::new(nic));
+        }
+
+        SimCluster {
+            engine,
+            control,
+            results,
+            spec,
+            client_nodes,
+            storage_nodes,
+            client_components,
+            plans,
+            storage_mems,
+            storage_stats,
+            pspin_telemetry,
+            fabric_stats,
+        }
+    }
+
+    /// Queue a job on client `i`'s plan.
+    pub fn submit(&self, client: usize, job: Job) {
+        self.plans[client].borrow_mut().push_back(job);
+    }
+
+    /// Kick every client's driver at `t = now`.
+    pub fn start(&mut self) {
+        for &comp in &self.client_components {
+            self.engine
+                .schedule(Dur::ZERO, comp, Box::new(AppTimer { tag: KICK }));
+        }
+    }
+
+    /// Run until `n` write results exist or `deadline_ms` passes.
+    /// Returns the number of results collected.
+    pub fn run_until_writes(&mut self, n: usize, deadline_ms: u64) -> usize {
+        let deadline = Time(Dur::from_ms(deadline_ms).ps());
+        loop {
+            if self.results.borrow().writes.len() >= n {
+                break;
+            }
+            if self.engine.now() >= deadline {
+                break;
+            }
+            // Step in bounded slices so the predicate is re-checked.
+            let target = (self.engine.now() + Dur::from_us(50)).min(deadline);
+            if self.engine.run_until(target) {
+                break; // queue drained
+            }
+        }
+        let n_done = self.results.borrow().writes.len();
+        n_done
+    }
+
+    /// Run for a fixed amount of simulated time.
+    pub fn run_ms(&mut self, ms: u64) {
+        let t = self.engine.now() + Dur::from_ms(ms);
+        self.engine.run_until(t);
+    }
+
+    /// Index of a storage node in `storage_*` vectors from its node id.
+    pub fn storage_index(&self, node: NodeId) -> usize {
+        self.storage_nodes
+            .iter()
+            .position(|&n| n == node)
+            .expect("storage node id")
+    }
+}

@@ -1,0 +1,157 @@
+//! The calibrated cost model for the reproduction.
+//!
+//! Every constant the simulation charges lives here, with its provenance.
+//! `CostModel::paper()` reproduces the paper's configuration (§III-D:
+//! 400 Gbit/s network, 2048 B MTU, 20 ns links; Fig 7 pipeline stages;
+//! Tables I/II instruction counts and IPCs). The EC comparison (Fig 15)
+//! uses [`CostModel::with_network_gbit`] at 100 Gbit/s, matching the INEC
+//! paper's testbed as the authors did.
+
+use nadfs_host::{CpuCosts, DmaConfig};
+use nadfs_pspin::PsPinConfig;
+use nadfs_rdma::{EcEngineConfig, NicConfig};
+use nadfs_simnet::{Bandwidth, FabricConfig};
+
+/// Instruction/IPC model for the DFS sPIN handlers (Tables I & II).
+#[derive(Clone, Debug)]
+pub struct HandlerCosts {
+    /// Header handler: request validation + descriptor setup.
+    /// Paper: 120 instructions, IPC 0.57 ⇒ 211 ns (Table I), matching the
+    /// "DFS handler that validates client requests takes 200 cycles" of
+    /// Fig 7 plus bookkeeping.
+    pub hh_instrs: u64,
+    pub hh_ipc: f64,
+    /// Payload handler, plain write (k = 1): 55 instructions @ 0.60.
+    pub ph_instrs: u64,
+    pub ph_ipc: f64,
+    /// Payload handler, ring forward: 105 instructions @ 0.54 (Table I).
+    pub ph_ring_instrs: u64,
+    pub ph_ring_ipc: f64,
+    /// Payload handler, PBT forward: 130 instructions (Table I). The
+    /// *duration* (2106 ns) is not charged: it emerges from egress stalls.
+    pub ph_pbt_instrs: u64,
+    pub ph_pbt_ipc: f64,
+    /// Completion handler: 66 instructions @ 0.62 ⇒ 107 ns (Table I); the
+    /// flush wait lengthens it naturally.
+    pub ch_instrs: u64,
+    pub ch_ipc: f64,
+    /// Cleanup handler (not measured in the paper; small bookkeeping).
+    pub cleanup_instrs: u64,
+    /// EC payload handler: base + per-byte encode loop. Paper §VI-C: "5
+    /// instructions per byte for RS(3,2) and 7 for RS(6,3)"; Table II's
+    /// totals fit instrs = base + 2(m+1)·payload at IPC 0.7.
+    pub ec_ph_base_instrs: u64,
+    pub ec_ph_ipc: f64,
+    /// XOR-aggregation payload handler at the parity node (per byte).
+    /// Word-wise XOR accumulate; not separately reported by the paper.
+    pub ec_agg_instrs_per_byte: f64,
+}
+
+impl Default for HandlerCosts {
+    fn default() -> Self {
+        HandlerCosts {
+            hh_instrs: 120,
+            hh_ipc: 0.57,
+            ph_instrs: 55,
+            ph_ipc: 0.60,
+            ph_ring_instrs: 105,
+            ph_ring_ipc: 0.54,
+            ph_pbt_instrs: 130,
+            ph_pbt_ipc: 0.60,
+            ch_instrs: 66,
+            ch_ipc: 0.62,
+            cleanup_instrs: 80,
+            ec_ph_base_instrs: 120,
+            ec_ph_ipc: 0.7,
+            ec_agg_instrs_per_byte: 1.0,
+        }
+    }
+}
+
+impl HandlerCosts {
+    /// Instructions of the EC encode payload handler for a payload of
+    /// `bytes` under RS(k, m): 2(m+1) instructions per byte (§VI-C).
+    pub fn ec_ph_instrs(&self, m: u8, bytes: usize) -> u64 {
+        self.ec_ph_base_instrs + 2 * (m as u64 + 1) * bytes as u64
+    }
+}
+
+/// Full simulation cost model.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    pub fabric: FabricConfig,
+    pub nic: NicConfig,
+    pub pspin: PsPinConfig,
+    pub handlers: HandlerCosts,
+    pub ec_engine: EcEngineConfig,
+    /// Per-request DFS-wide NIC state reserved at context install
+    /// (§III-B: 2 MiB, leaving 6 MiB of descriptor memory).
+    pub pspin_state_bytes: u64,
+    /// Write descriptor size (§III-B: 77 B).
+    pub descriptor_bytes: u32,
+}
+
+impl CostModel {
+    /// The paper's configuration.
+    pub fn paper() -> CostModel {
+        CostModel {
+            fabric: FabricConfig::default(),
+            nic: NicConfig {
+                dma: DmaConfig::default(),
+                cpu: CpuCosts::default(),
+                enforce_mr: false,
+            },
+            pspin: PsPinConfig::default(),
+            handlers: HandlerCosts::default(),
+            ec_engine: EcEngineConfig::default(),
+            pspin_state_bytes: 2 << 20,
+            descriptor_bytes: nadfs_wire::sizes::WRITE_DESCRIPTOR,
+        }
+    }
+
+    /// Same model on a different line rate (Fig 15 runs at 100 Gbit/s to
+    /// compare against INEC's published numbers).
+    pub fn with_network_gbit(mut self, gbit: u64) -> CostModel {
+        self.fabric.link_bw = Bandwidth::from_gbit_per_sec(gbit);
+        self
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_model_matches_published_handler_times() {
+        let h = HandlerCosts::default();
+        // Table I checkpoints (duration = instrs / IPC at 1 GHz).
+        assert_eq!((h.hh_instrs as f64 / h.hh_ipc).round() as u64, 211);
+        assert_eq!((h.ph_instrs as f64 / h.ph_ipc).round() as u64, 92);
+        assert_eq!((h.ph_ring_instrs as f64 / h.ph_ring_ipc).round() as u64, 194);
+        assert_eq!((h.ch_instrs as f64 / h.ch_ipc).round() as u64, 106);
+    }
+
+    #[test]
+    fn ec_instruction_model_matches_table_ii() {
+        let h = HandlerCosts::default();
+        // Full payload packet: 1978 B. RS(3,2): 2*(2+1) = 6 instrs/byte.
+        let rs32 = h.ec_ph_instrs(2, 1978);
+        assert_eq!(rs32, 120 + 6 * 1978); // 11_988 ≈ Table II's 11_672
+        assert!((rs32 as f64 - 11_672.0).abs() / 11_672.0 < 0.05);
+        let rs63 = h.ec_ph_instrs(3, 1978);
+        assert_eq!(rs63, 120 + 8 * 1978); // 15_944 ≈ Table II's 16_028
+        assert!((rs63 as f64 - 16_028.0).abs() / 16_028.0 < 0.05);
+    }
+
+    #[test]
+    fn network_override() {
+        let m = CostModel::paper().with_network_gbit(100);
+        assert_eq!(m.fabric.link_bw.gbit_per_sec(), 100.0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Control plane: management and metadata services.
+//!
+//! Per the paper's operational model (Fig 1a), clients authenticate with
+//! the management service, query the metadata service for file layouts, and
+//! then talk to storage nodes directly. Control-plane interactions are
+//! excluded from the measured write latency ("the write latency is the time
+//! spanning from issuing the write request to receiving the respective
+//! write response", §IV) — so the services here are shared state consulted
+//! synchronously by the drivers, with an optional RPC front used by the
+//! full-system examples.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use nadfs_simnet::NodeId;
+use nadfs_wire::{
+    BcastStrategy, Capability, MacKey, ReplicaCoord, Rights, RsScheme,
+};
+
+/// Resiliency policy attached to a file by the metadata service.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FilePolicy {
+    /// Plain single-copy writes (authentication only).
+    Plain,
+    /// k-way replication with the given broadcast schedule.
+    Replicated { k: u8, strategy: BcastStrategy },
+    /// Reed-Solomon erasure coding.
+    ErasureCoded { scheme: RsScheme },
+}
+
+/// A file's metadata.
+#[derive(Clone, Debug)]
+pub struct FileMeta {
+    pub id: u64,
+    pub size: u64,
+    pub policy: FilePolicy,
+    /// First storage node of the file's placement group.
+    pub home: usize,
+}
+
+/// Placement of one write: where every byte (and parity) goes.
+#[derive(Clone, Debug)]
+pub struct WritePlacement {
+    pub greq: u64,
+    /// Primary target (node, address).
+    pub primary: ReplicaCoord,
+    /// All replica coordinates including the primary, in virtual-rank
+    /// order (replication only).
+    pub replicas: Vec<ReplicaCoord>,
+    /// Data-chunk coordinates (EC only), one per data node.
+    pub data_chunks: Vec<ReplicaCoord>,
+    /// Parity coordinates (EC only).
+    pub parities: Vec<ReplicaCoord>,
+    /// EC chunk length (bytes per data chunk).
+    pub chunk_len: u32,
+}
+
+/// The control plane: management (authentication) + metadata (namespace,
+/// layout, placement) services.
+pub struct ControlPlane {
+    key: MacKey,
+    files: HashMap<u64, FileMeta>,
+    next_file: u64,
+    next_greq: u64,
+    next_nonce: u64,
+    /// Storage nodes, by fabric node id.
+    storage_nodes: Vec<NodeId>,
+    /// Bump allocator per storage node for write placement.
+    next_addr: HashMap<NodeId, u64>,
+}
+
+pub type SharedControl = Rc<RefCell<ControlPlane>>;
+
+impl ControlPlane {
+    pub fn new(key_seed: u64, storage_nodes: Vec<NodeId>) -> SharedControl {
+        let next_addr = storage_nodes.iter().map(|&n| (n, 0x10_0000u64)).collect();
+        Rc::new(RefCell::new(ControlPlane {
+            key: MacKey::from_seed(key_seed),
+            files: HashMap::new(),
+            next_file: 1,
+            next_greq: 1,
+            next_nonce: 1,
+            storage_nodes,
+            next_addr,
+        }))
+    }
+
+    /// The service-shared MAC key (installed into storage-node NIC memory).
+    pub fn service_key(&self) -> MacKey {
+        self.key
+    }
+
+    pub fn storage_nodes(&self) -> &[NodeId] {
+        &self.storage_nodes
+    }
+
+    /// Create a file with the given policy; placement groups are assigned
+    /// round-robin over storage nodes.
+    pub fn create_file(&mut self, size: u64, policy: FilePolicy) -> FileMeta {
+        let id = self.next_file;
+        self.next_file += 1;
+        let meta = FileMeta {
+            id,
+            size,
+            policy,
+            home: (id as usize - 1) % self.storage_nodes.len(),
+        };
+        self.files.insert(id, meta.clone());
+        meta
+    }
+
+    pub fn lookup(&self, file: u64) -> Option<&FileMeta> {
+        self.files.get(&file)
+    }
+
+    /// Management service: authenticate a client and issue a capability
+    /// for `file` (§IV — signed with the service-shared key).
+    pub fn issue_capability(
+        &mut self,
+        client: u32,
+        file: u64,
+        rights: Rights,
+        expires_at_ns: u64,
+    ) -> Capability {
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        Capability::issue(&self.key, client, file, rights, expires_at_ns, nonce)
+    }
+
+    fn alloc_on(&mut self, node: NodeId, len: u64) -> u64 {
+        let a = self.next_addr.get_mut(&node).expect("storage node");
+        let addr = *a;
+        // Page-align so concurrent placements never overlap.
+        *a += len.div_ceil(4096).max(1) * 4096;
+        addr
+    }
+
+    /// Allocate a fresh request id.
+    pub fn alloc_greq(&mut self) -> u64 {
+        let g = self.next_greq;
+        self.next_greq += 1;
+        g
+    }
+
+    /// Metadata service: place one write of `len` bytes for `file`.
+    pub fn place_write(&mut self, file: u64, len: u32) -> WritePlacement {
+        let meta = self.files.get(&file).expect("file exists").clone();
+        let greq = self.alloc_greq();
+        let n = self.storage_nodes.len();
+        let home = meta.home;
+        match meta.policy {
+            FilePolicy::Plain => {
+                let node = self.storage_nodes[home];
+                let addr = self.alloc_on(node, len as u64);
+                let primary = ReplicaCoord {
+                    node: node as u32,
+                    addr,
+                };
+                WritePlacement {
+                    greq,
+                    primary,
+                    replicas: vec![primary],
+                    data_chunks: vec![],
+                    parities: vec![],
+                    chunk_len: 0,
+                }
+            }
+            FilePolicy::Replicated { k, .. } => {
+                assert!(k as usize <= n, "replication factor exceeds cluster");
+                let mut replicas = Vec::with_capacity(k as usize);
+                for r in 0..k as usize {
+                    let node = self.storage_nodes[(home + r) % n];
+                    let addr = self.alloc_on(node, len as u64);
+                    replicas.push(ReplicaCoord {
+                        node: node as u32,
+                        addr,
+                    });
+                }
+                WritePlacement {
+                    greq,
+                    primary: replicas[0],
+                    replicas,
+                    data_chunks: vec![],
+                    parities: vec![],
+                    chunk_len: 0,
+                }
+            }
+            FilePolicy::ErasureCoded { scheme } => {
+                let (k, m) = (scheme.k as usize, scheme.m as usize);
+                assert!(k + m <= n, "RS(k,m) needs k+m storage nodes");
+                let chunk_len = (len as u64).div_ceil(k as u64).max(1) as u32;
+                let mut data_chunks = Vec::with_capacity(k);
+                for j in 0..k {
+                    let node = self.storage_nodes[(home + j) % n];
+                    let addr = self.alloc_on(node, chunk_len as u64);
+                    data_chunks.push(ReplicaCoord {
+                        node: node as u32,
+                        addr,
+                    });
+                }
+                let mut parities = Vec::with_capacity(m);
+                for p in 0..m {
+                    let node = self.storage_nodes[(home + k + p) % n];
+                    // Parity region: final parity plus k staging slots
+                    // (used by the INEC firmware path).
+                    let addr = self.alloc_on(node, chunk_len as u64 * (1 + k as u64));
+                    parities.push(ReplicaCoord {
+                        node: node as u32,
+                        addr,
+                    });
+                }
+                WritePlacement {
+                    greq,
+                    primary: data_chunks[0],
+                    replicas: vec![],
+                    data_chunks,
+                    parities,
+                    chunk_len,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane() -> SharedControl {
+        ControlPlane::new(7, vec![4, 5, 6, 7, 8])
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let cp = plane();
+        let f = cp.borrow_mut().create_file(1 << 20, FilePolicy::Plain);
+        assert_eq!(cp.borrow().lookup(f.id).expect("found").size, 1 << 20);
+        assert!(cp.borrow().lookup(999).is_none());
+    }
+
+    #[test]
+    fn capability_verifies_under_service_key() {
+        let cp = plane();
+        let cap = cp.borrow_mut().issue_capability(3, 1, Rights::RW, 1_000);
+        let key = cp.borrow().service_key();
+        assert!(cap.verify(&key, 0, Rights::WRITE).is_ok());
+    }
+
+    #[test]
+    fn replicated_placement_uses_distinct_nodes() {
+        let cp = plane();
+        let f = cp.borrow_mut().create_file(
+            0,
+            FilePolicy::Replicated {
+                k: 4,
+                strategy: BcastStrategy::Ring,
+            },
+        );
+        let p = cp.borrow_mut().place_write(f.id, 8192);
+        assert_eq!(p.replicas.len(), 4);
+        let mut nodes: Vec<u32> = p.replicas.iter().map(|r| r.node).collect();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 4, "replicas on distinct nodes");
+    }
+
+    #[test]
+    fn ec_placement_separates_data_and_parity() {
+        let cp = plane();
+        let f = cp.borrow_mut().create_file(
+            0,
+            FilePolicy::ErasureCoded {
+                scheme: RsScheme::new(3, 2),
+            },
+        );
+        let p = cp.borrow_mut().place_write(f.id, 3 * 1000);
+        assert_eq!(p.data_chunks.len(), 3);
+        assert_eq!(p.parities.len(), 2);
+        assert_eq!(p.chunk_len, 1000);
+        let mut all: Vec<u32> = p
+            .data_chunks
+            .iter()
+            .chain(&p.parities)
+            .map(|c| c.node)
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 5, "k+m distinct failure domains");
+    }
+
+    #[test]
+    fn placements_do_not_overlap() {
+        let cp = plane();
+        let f = cp.borrow_mut().create_file(0, FilePolicy::Plain);
+        let a = cp.borrow_mut().place_write(f.id, 10_000);
+        let b = cp.borrow_mut().place_write(f.id, 10_000);
+        assert_eq!(a.primary.node, b.primary.node);
+        assert!(b.primary.addr >= a.primary.addr + 10_000);
+        assert!(b.greq > a.greq);
+    }
+}

@@ -1,0 +1,339 @@
+//! Experiment runners: the measurement procedures behind every figure.
+//!
+//! Each function builds a fresh deterministic cluster, drives the workload
+//! the paper describes, and extracts the series the figures plot.
+
+use nadfs_pspin::HandlerKind;
+use nadfs_simnet::Time;
+use nadfs_wire::{BcastStrategy, RsScheme, Status};
+
+use crate::client::{Job, WriteProtocol};
+use crate::cluster::{ClusterSpec, SimCluster, StorageMode};
+use crate::config::CostModel;
+use crate::control::FilePolicy;
+
+/// Storage mode a protocol requires.
+pub fn mode_for(protocol: WriteProtocol) -> StorageMode {
+    match protocol {
+        WriteProtocol::Spin
+        | WriteProtocol::SpinReplicated
+        | WriteProtocol::SpinTriec { .. } => StorageMode::Spin,
+        WriteProtocol::InecTriec => StorageMode::FirmwareEc,
+        _ => StorageMode::Plain,
+    }
+}
+
+/// Storage nodes a policy requires.
+pub fn nodes_for(policy: &FilePolicy) -> usize {
+    match policy {
+        FilePolicy::Plain => 1,
+        FilePolicy::Replicated { k, .. } => *k as usize,
+        FilePolicy::ErasureCoded { scheme } => (scheme.k + scheme.m) as usize,
+    }
+}
+
+/// Measure the latency of a single write (median of `reps` back-to-back
+/// writes, window 1 — §IV: "time spanning from issuing the write request
+/// to receiving the respective write response").
+pub fn write_latency_us(
+    protocol: WriteProtocol,
+    policy: FilePolicy,
+    size: u32,
+    cost: &CostModel,
+    reps: usize,
+) -> f64 {
+    let spec = ClusterSpec::new(1, nodes_for(&policy), mode_for(protocol))
+        .with_cost(cost.clone());
+    let mut c = SimCluster::build(spec);
+    let file = c.control.borrow_mut().create_file(0, policy);
+    for i in 0..reps {
+        c.submit(
+            0,
+            Job::Write {
+                file: file.id,
+                size,
+                protocol,
+                seed: i as u64,
+            },
+        );
+    }
+    c.start();
+    let done = c.run_until_writes(reps, 30_000);
+    assert_eq!(done, reps, "{protocol:?} @{size}B: writes incomplete");
+    let mut lat: Vec<f64> = c
+        .results
+        .borrow()
+        .writes
+        .iter()
+        .map(|r| {
+            assert_eq!(r.status, Status::Ok, "{protocol:?}");
+            (r.end - r.start).as_us()
+        })
+        .collect();
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    lat[lat.len() / 2]
+}
+
+/// Chunk sizes tried when the paper says "optimal chunk size" (§V-B).
+pub const CHUNK_CANDIDATES: [u32; 6] =
+    [8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10];
+
+/// Latency with the best chunk size for chunked protocols; pass-through
+/// otherwise. Returns (latency_us, chunk_used).
+pub fn write_latency_best_chunk(
+    protocol: WriteProtocol,
+    policy: FilePolicy,
+    size: u32,
+    cost: &CostModel,
+) -> (f64, u32) {
+    let chunked = |chunk: u32| match protocol {
+        WriteProtocol::HyperLoop { .. } => WriteProtocol::HyperLoop { chunk },
+        WriteProtocol::CpuBcast { .. } => WriteProtocol::CpuBcast { chunk },
+        p => p,
+    };
+    match protocol {
+        WriteProtocol::HyperLoop { .. } | WriteProtocol::CpuBcast { .. } => {
+            let mut best = (f64::INFINITY, 0u32);
+            for &chunk in CHUNK_CANDIDATES.iter().filter(|&&ch| ch <= size.max(8 << 10)) {
+                let l = write_latency_us(chunked(chunk), policy.clone(), size, cost, 3);
+                if l < best.0 {
+                    best = (l, chunk);
+                }
+            }
+            best
+        }
+        p => (write_latency_us(p, policy, size, cost, 3), 0),
+    }
+}
+
+/// Sustained goodput of the primary storage node (Fig 9 right): one client
+/// keeps `window` writes outstanding; goodput is payload delivered over the
+/// span between the first start and the last completion.
+pub fn storage_goodput_gbit(
+    protocol: WriteProtocol,
+    policy: FilePolicy,
+    size: u32,
+    cost: &CostModel,
+    n_writes: usize,
+    window: usize,
+) -> f64 {
+    let spec = ClusterSpec::new(1, nodes_for(&policy), mode_for(protocol))
+        .with_cost(cost.clone())
+        .with_window(window);
+    let mut c = SimCluster::build(spec);
+    let file = c.control.borrow_mut().create_file(0, policy);
+    for i in 0..n_writes {
+        c.submit(
+            0,
+            Job::Write {
+                file: file.id,
+                size,
+                protocol,
+                seed: i as u64,
+            },
+        );
+    }
+    c.start();
+    let done = c.run_until_writes(n_writes, 60_000);
+    assert_eq!(done, n_writes, "{protocol:?} goodput run incomplete");
+    let results = c.results.borrow();
+    let start = results
+        .writes
+        .iter()
+        .map(|r| r.start)
+        .min()
+        .expect("nonempty");
+    let end = results.writes.iter().map(|r| r.end).max().expect("nonempty");
+    let bytes: u64 = results.writes.iter().map(|r| r.size as u64).sum();
+    nadfs_simnet::achieved_gbit_per_sec(bytes, end - start)
+}
+
+/// Replication-policy point for Figs 9/10: latency for a given strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplStrategy {
+    CpuRing,
+    CpuPbt,
+    RdmaFlat,
+    HyperLoop,
+    SpinRing,
+    SpinPbt,
+}
+
+impl ReplStrategy {
+    pub const ALL: [ReplStrategy; 6] = [
+        ReplStrategy::HyperLoop,
+        ReplStrategy::CpuRing,
+        ReplStrategy::CpuPbt,
+        ReplStrategy::RdmaFlat,
+        ReplStrategy::SpinRing,
+        ReplStrategy::SpinPbt,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplStrategy::CpuRing => "CPU-Ring",
+            ReplStrategy::CpuPbt => "CPU-PBT",
+            ReplStrategy::RdmaFlat => "RDMA-Flat",
+            ReplStrategy::HyperLoop => "RDMA-HyperLoop",
+            ReplStrategy::SpinRing => "sPIN-Ring",
+            ReplStrategy::SpinPbt => "sPIN-PBT",
+        }
+    }
+
+    pub fn policy(self, k: u8) -> FilePolicy {
+        let strategy = match self {
+            ReplStrategy::CpuPbt | ReplStrategy::SpinPbt => BcastStrategy::Pbt,
+            _ => BcastStrategy::Ring,
+        };
+        FilePolicy::Replicated { k, strategy }
+    }
+
+    pub fn protocol(self) -> WriteProtocol {
+        match self {
+            ReplStrategy::CpuRing | ReplStrategy::CpuPbt => {
+                WriteProtocol::CpuBcast { chunk: 64 << 10 }
+            }
+            ReplStrategy::RdmaFlat => WriteProtocol::RdmaFlat,
+            ReplStrategy::HyperLoop => WriteProtocol::HyperLoop { chunk: 64 << 10 },
+            ReplStrategy::SpinRing | ReplStrategy::SpinPbt => WriteProtocol::SpinReplicated,
+        }
+    }
+}
+
+/// Replication latency with per-point chunk optimization (Figs 9/10).
+pub fn replication_latency_us(
+    strategy: ReplStrategy,
+    k: u8,
+    size: u32,
+    cost: &CostModel,
+) -> f64 {
+    write_latency_best_chunk(strategy.protocol(), strategy.policy(k), size, cost).0
+}
+
+/// Mean handler statistics gathered from the primary storage node while
+/// serving writes (Table I/II, Fig 11/16): (duration ns, instructions, IPC)
+/// per handler kind.
+pub struct HandlerReport {
+    pub hh: Option<(f64, f64, f64)>,
+    pub ph: Option<(f64, f64, f64)>,
+    pub ch: Option<(f64, f64, f64)>,
+}
+
+pub fn handler_report(
+    protocol: WriteProtocol,
+    policy: FilePolicy,
+    size: u32,
+    cost: &CostModel,
+    n_writes: usize,
+    window: usize,
+) -> HandlerReport {
+    let spec = ClusterSpec::new(1, nodes_for(&policy), mode_for(protocol))
+        .with_cost(cost.clone())
+        .with_window(window);
+    let mut c = SimCluster::build(spec);
+    let file = c.control.borrow_mut().create_file(0, policy);
+    for i in 0..n_writes {
+        c.submit(
+            0,
+            Job::Write {
+                file: file.id,
+                size,
+                protocol,
+                seed: i as u64,
+            },
+        );
+    }
+    c.start();
+    c.run_until_writes(n_writes, 60_000);
+    let clock = cost.pspin.clock_ghz;
+    // Primary storage node telemetry.
+    let tel = c.pspin_telemetry[0]
+        .as_ref()
+        .expect("spin mode required for handler reports")
+        .borrow();
+    HandlerReport {
+        hh: tel.summary(HandlerKind::Header, clock),
+        ph: tel.summary(HandlerKind::Payload, clock),
+        ch: tel.summary(HandlerKind::Completion, clock),
+    }
+}
+
+/// Fig 7: per-stage pipeline latencies observed for one 2 KiB-packet write.
+pub fn pipeline_breakdown_ns(cost: &CostModel) -> [(String, f64); 5] {
+    let spec = ClusterSpec::new(1, 1, StorageMode::Spin).with_cost(cost.clone());
+    let mut c = SimCluster::build(spec);
+    let file = c.control.borrow_mut().create_file(0, FilePolicy::Plain);
+    c.submit(
+        0,
+        Job::Write {
+            file: file.id,
+            // One full-MTU packet's worth of payload.
+            size: nadfs_wire::sizes::MTU
+                - nadfs_wire::sizes::RDMA_HEADER
+                - nadfs_wire::sizes::DFS_HEADER
+                - nadfs_wire::sizes::WRH_FIXED,
+            protocol: WriteProtocol::Spin,
+            seed: 0,
+        },
+    );
+    c.start();
+    c.run_until_writes(1, 1_000);
+    let tel = c.pspin_telemetry[0].as_ref().expect("pspin").borrow();
+    let p = &tel.pipeline;
+    [
+        ("copy to packet buffer".into(), p.pktbuf_copy_ns.mean()),
+        ("inter-cluster scheduling".into(), p.inter_sched_ns.mean()),
+        ("copy to fast memory (L1)".into(), p.l1_copy_ns.mean()),
+        ("intra-cluster scheduling".into(), p.intra_sched_ns.mean()),
+        (
+            "handler execution (HH)".into(),
+            tel.summary(HandlerKind::Header, cost.pspin.clock_ghz)
+                .map(|(d, ..)| d)
+                .unwrap_or(f64::NAN),
+        ),
+    ]
+}
+
+/// EC encoding latency (Fig 15 left): client write latency of one
+/// erasure-coded block with chunk size `chunk` under RS(k, m).
+pub fn ec_encode_latency_us(
+    spin: bool,
+    scheme: RsScheme,
+    chunk: u32,
+    cost: &CostModel,
+) -> f64 {
+    let protocol = if spin {
+        WriteProtocol::SpinTriec { interleave: true }
+    } else {
+        WriteProtocol::InecTriec
+    };
+    let policy = FilePolicy::ErasureCoded { scheme };
+    let size = chunk * scheme.k as u32;
+    write_latency_us(protocol, policy, size, cost, 3)
+}
+
+/// EC encoding throughput (Fig 15 right): window-based, INEC methodology —
+/// bandwidth = generated data / elapsed time.
+pub fn ec_encode_throughput_gbit(
+    spin: bool,
+    scheme: RsScheme,
+    chunk: u32,
+    cost: &CostModel,
+    n_writes: usize,
+    window: usize,
+) -> f64 {
+    let protocol = if spin {
+        WriteProtocol::SpinTriec { interleave: true }
+    } else {
+        WriteProtocol::InecTriec
+    };
+    let policy = FilePolicy::ErasureCoded { scheme };
+    let size = chunk * scheme.k as u32;
+    storage_goodput_gbit(protocol, policy, size, cost, n_writes, window)
+}
+
+/// The latency from write start to the completion time as observed by the
+/// cluster clock (diagnostic helper for tests).
+pub fn span_us(start: Time, end: Time) -> f64 {
+    (end - start).as_us()
+}

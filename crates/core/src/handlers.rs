@@ -1,0 +1,586 @@
+//! The DFS sPIN handlers — the paper's primary contribution.
+//!
+//! This is Listing 1 made concrete: a header handler that authenticates the
+//! request (§IV) and materializes per-request state in NIC memory; payload
+//! handlers that commit data to the storage target and enforce the data
+//! movement / processing policies (replication forwarding §V, streaming
+//! erasure coding §VI); a completion handler that flushes and acknowledges;
+//! and the cleanup handler (§VII) reclaiming state after client failure.
+//!
+//! Handlers do the *functional* work (bytes really move, parities are real
+//! GF(2^8) algebra) and charge the calibrated instruction/IPC model from
+//! [`crate::config::HandlerCosts`].
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use nadfs_gfec::ReedSolomon;
+use nadfs_pspin::{HandlerArgs, HandlerSet, Ops};
+use nadfs_simnet::NodeId;
+use nadfs_wire::{
+    bcast_children, AckPkt, DfsHeader, EcInfo, EcRole, Frame, MsgId, Resiliency, Rights,
+    RsScheme, Status, WritePkt, WriteReqHeader, MacKey,
+};
+
+use crate::config::HandlerCosts;
+
+/// Host-event tag base for CPU-fallback EC aggregation; the stripe id is
+/// OR-ed into the low bits.
+pub const EVT_EC_FALLBACK: u64 = 0x4543_0000_0000_0000;
+/// Host-event tag for cleanup notifications.
+pub const EVT_CLEANUP: u64 = 0xC1EA_0000_0000_0000;
+
+/// One forwarded stream (replication child or EC parity stream).
+#[derive(Clone, Debug)]
+struct FwdStream {
+    msg: MsgId,
+    dst: NodeId,
+    /// WRH of the forwarded message's first packet.
+    wrh: WriteReqHeader,
+}
+
+/// Per-request NIC state — the paper's 77-byte write descriptor.
+#[derive(Clone, Debug)]
+struct ReqEntry {
+    greq: u64,
+    accept: bool,
+    client: NodeId,
+    /// Kept whole for forwarded-stream headers (re-validation downstream).
+    #[allow(dead_code)]
+    dfs: DfsHeader,
+    wrh: WriteReqHeader,
+    fwd: Vec<FwdStream>,
+    /// Packets of this message that carry data (client-origin messages
+    /// carry data in every packet; forwarded streams start with an empty
+    /// header packet).
+    data_pkts: u32,
+    /// Data packets forwarded so far (slot counter for outgoing streams).
+    fwd_sent: u32,
+}
+
+/// Aggregation state for one stripe at a parity node.
+#[derive(Debug)]
+struct StripeState {
+    k: u8,
+    chunk_len: u32,
+    greq: u64,
+    client: NodeId,
+    /// Where the final parity chunk lives on this node.
+    final_addr: u64,
+    /// Completed intermediate streams.
+    ch_done: u8,
+    /// Aggregating on the host CPU because the accumulator pool could not
+    /// cover the stripe (§VI-B-3: "If the pool is empty ... we fall back
+    /// to a CPU-based aggregation"). Decided per stripe at header time so
+    /// no aggregation sequence ever splits between NIC and host.
+    fallback: bool,
+    /// Accumulators reserved from the pool for this stripe.
+    reserved: usize,
+}
+
+/// An in-flight accumulator (one aggregation sequence, Fig 14).
+struct AccEntry {
+    buf: Vec<u8>,
+    got: u8,
+}
+
+/// Counters exposed to tests and the host software.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DfsCounters {
+    pub requests_seen: u64,
+    pub auth_failures: u64,
+    pub packets_committed: u64,
+    pub packets_forwarded: u64,
+    pub parity_packets_sent: u64,
+    pub accumulator_fallbacks: u64,
+    pub cleanups: u64,
+}
+
+/// Execution-context state living in NIC memory (`task->mem`).
+pub struct DfsNicState {
+    pub key: MacKey,
+    pub costs: HandlerCosts,
+    req_table: HashMap<MsgId, ReqEntry>,
+    next_fwd_seq: u64,
+    rs_cache: HashMap<(u8, u8), ReedSolomon>,
+    stripes: HashMap<u64, StripeState>,
+    accs: HashMap<(u64, u32), AccEntry>,
+    /// Free accumulators remaining in the pool.
+    acc_free: usize,
+    pub counters: DfsCounters,
+}
+
+impl DfsNicState {
+    pub fn new(key: MacKey, costs: HandlerCosts, accumulator_pool: usize) -> DfsNicState {
+        DfsNicState {
+            key,
+            costs,
+            req_table: HashMap::new(),
+            next_fwd_seq: 0,
+            rs_cache: HashMap::new(),
+            stripes: HashMap::new(),
+            accs: HashMap::new(),
+            acc_free: accumulator_pool,
+            counters: DfsCounters::default(),
+        }
+    }
+
+    pub fn open_requests(&self) -> usize {
+        self.req_table.len()
+    }
+
+    /// Stripe info needed by the host for CPU-fallback aggregation.
+    pub fn fallback_stripe_info(&self, stripe: u64) -> Option<(u8, u32, u64, u64, NodeId)> {
+        self.stripes
+            .get(&stripe)
+            .filter(|s| s.fallback)
+            .map(|s| (s.k, s.chunk_len, s.final_addr, s.greq, s.client))
+    }
+
+    /// Host finished fallback aggregation; drop the stripe state.
+    pub fn complete_fallback(&mut self, stripe: u64) {
+        self.stripes.remove(&stripe);
+    }
+
+    fn rs(&mut self, scheme: RsScheme) -> &ReedSolomon {
+        self.rs_cache
+            .entry((scheme.k, scheme.m))
+            .or_insert_with(|| {
+                ReedSolomon::new(scheme.k as usize, scheme.m as usize).expect("valid RS")
+            })
+    }
+
+    fn alloc_fwd_msg(&mut self, node: NodeId) -> MsgId {
+        // High bit namespaces NIC-originated messages away from host ones.
+        let m = MsgId::new(node as u32, 0x8000_0000_0000_0000 | self.next_fwd_seq);
+        self.next_fwd_seq += 1;
+        m
+    }
+}
+
+/// The handler set installed on storage-node NICs.
+pub struct DfsHandlers;
+
+fn state_of<'a>(any: &'a mut dyn Any) -> &'a mut DfsNicState {
+    any.downcast_mut::<DfsNicState>()
+        .expect("execution context state is DfsNicState")
+}
+
+fn write_pkt(frame: &Frame) -> Option<&WritePkt> {
+    match frame {
+        Frame::Write(w) => Some(w),
+        _ => None,
+    }
+}
+
+impl HandlerSet for DfsHandlers {
+    /// `DFS_request_init` (Listing 1): authenticate and set up state.
+    fn header(&mut self, a: HandlerArgs<'_>) {
+        let st = state_of(a.state);
+        let costs = st.costs.clone();
+        a.ops.charge_instrs(costs.hh_instrs, costs.hh_ipc);
+        let Some(w) = write_pkt(a.frame) else {
+            return;
+        };
+        let (Some(dfs), Some(wrh)) = (w.dfs, w.wrh.clone()) else {
+            return; // malformed: no headers; drop silently
+        };
+        st.counters.requests_seen += 1;
+        let data_pkts = if w.data.is_empty() {
+            w.total_pkts.saturating_sub(1)
+        } else {
+            w.total_pkts
+        };
+
+        // Authenticate: signature, expiry, rights (§IV threat model:
+        // untrusted clients, trusted network).
+        let ok = dfs
+            .capability
+            .verify(&st.key, a.now.as_ns() as u64, Rights::WRITE)
+            .is_ok();
+        if !ok {
+            st.counters.auth_failures += 1;
+            st.req_table.insert(
+                w.msg,
+                ReqEntry {
+                    greq: dfs.greq_id,
+                    accept: false,
+                    client: dfs.client as NodeId,
+                    dfs,
+                    wrh,
+                    fwd: Vec::new(),
+                    data_pkts,
+                    fwd_sent: 0,
+                },
+            );
+            // DFS_request_init sends NACK if request auth fails.
+            a.ops.send(
+                dfs.client as NodeId,
+                Frame::Ack(AckPkt {
+                    msg: w.msg,
+                    greq_id: Some(dfs.greq_id),
+                    status: Status::AuthFailed,
+                }),
+            );
+            return;
+        }
+
+        let mut fwd = Vec::new();
+        match &wrh.resiliency {
+            Resiliency::None => {}
+            Resiliency::Replicate {
+                strategy,
+                vrank,
+                coords,
+            } => {
+                // Client-driven broadcast (§V-A): the WRH carries the full
+                // coordinate list; pick our children from it. The header
+                // handler emits each forward stream's (empty) header packet
+                // itself: payload handlers run concurrently on independent
+                // HPUs, so only the HH can guarantee the header leaves
+                // first.
+                for child in bcast_children(*strategy, *vrank, coords.len()) {
+                    let dst = coords[child as usize].node as NodeId;
+                    let msg = st.alloc_fwd_msg(a.local);
+                    let stream = FwdStream {
+                        msg,
+                        dst,
+                        wrh: WriteReqHeader {
+                            target_addr: coords[child as usize].addr,
+                            len: wrh.len,
+                            resiliency: Resiliency::Replicate {
+                                strategy: *strategy,
+                                vrank: child,
+                                coords: coords.clone(),
+                            },
+                        },
+                    };
+                    a.ops.send(
+                        stream.dst,
+                        Frame::Write(WritePkt {
+                            msg: stream.msg,
+                            pkt_idx: 0,
+                            total_pkts: data_pkts + 1,
+                            dfs: Some(dfs),
+                            wrh: Some(stream.wrh.clone()),
+                            offset: 0,
+                            data: Bytes::new(),
+                        }),
+                    );
+                    fwd.push(stream);
+                }
+            }
+            Resiliency::ErasureCode(info) => match info.role {
+                EcRole::Data { chunk_idx } => {
+                    // One intermediate-parity stream per parity node. The
+                    // header handler emits an explicit (empty) header packet
+                    // for each stream: payload-handler durations depend on
+                    // payload size, so without this a short tail packet's
+                    // parity could overtake the stream header on the wire —
+                    // sPIN requires headers to arrive first.
+                    for (p, coord) in info.parity_coords.iter().enumerate() {
+                        let msg = st.alloc_fwd_msg(a.local);
+                        let stream = FwdStream {
+                            msg,
+                            dst: coord.node as NodeId,
+                            wrh: WriteReqHeader {
+                                target_addr: coord.addr,
+                                len: wrh.len,
+                                resiliency: Resiliency::ErasureCode(EcInfo {
+                                    scheme: info.scheme,
+                                    role: EcRole::Parity {
+                                        parity_idx: p as u8,
+                                        src_chunk: chunk_idx,
+                                    },
+                                    stripe: info.stripe,
+                                    parity_coords: vec![*coord],
+                                }),
+                            },
+                        };
+                        a.ops.send(
+                            stream.dst,
+                            Frame::Write(WritePkt {
+                                msg: stream.msg,
+                                pkt_idx: 0,
+                                total_pkts: data_pkts + 1,
+                                dfs: Some(dfs),
+                                wrh: Some(stream.wrh.clone()),
+                                offset: 0,
+                                data: Bytes::new(),
+                            }),
+                        );
+                        fwd.push(stream);
+                    }
+                }
+                EcRole::Parity { .. } => {
+                    // Parity node: make sure the stripe state exists and
+                    // decide NIC vs host aggregation for this stripe.
+                    let stripe = info.stripe;
+                    if !st.stripes.contains_key(&stripe) {
+                        let needed = wrh
+                            .len
+                            .div_ceil(nadfs_wire::sizes::max_payload_plain())
+                            .max(1) as usize;
+                        let fallback = st.acc_free < needed;
+                        let reserved = if fallback {
+                            st.counters.accumulator_fallbacks += 1;
+                            0
+                        } else {
+                            st.acc_free -= needed;
+                            needed
+                        };
+                        st.stripes.insert(
+                            stripe,
+                            StripeState {
+                                k: info.scheme.k,
+                                chunk_len: wrh.len,
+                                greq: dfs.greq_id,
+                                client: dfs.client as NodeId,
+                                final_addr: wrh.target_addr,
+                                ch_done: 0,
+                                fallback,
+                                reserved,
+                            },
+                        );
+                    }
+                }
+            },
+        }
+
+        st.req_table.insert(
+            w.msg,
+            ReqEntry {
+                greq: dfs.greq_id,
+                accept: true,
+                client: dfs.client as NodeId,
+                dfs,
+                wrh,
+                fwd,
+                data_pkts,
+                fwd_sent: 0,
+            },
+        );
+    }
+
+    /// `DFS_request_process_pkt` (Listing 1): commit and enforce policies.
+    fn payload(&mut self, a: HandlerArgs<'_>) {
+        let st = state_of(a.state);
+        let costs = st.costs.clone();
+        let Some(w) = write_pkt(a.frame) else {
+            return;
+        };
+        let Some(entry) = st.req_table.get(&a.msg).cloned() else {
+            a.ops.charge_instrs(5, 1.0);
+            return; // unknown message (e.g. cleaned up): drop
+        };
+        if !entry.accept {
+            a.ops.charge_instrs(5, 1.0); // drop branch of Listing 1
+            return;
+        }
+
+        match &entry.wrh.resiliency {
+            Resiliency::None => {
+                a.ops.charge_instrs(costs.ph_instrs, costs.ph_ipc);
+                a.ops
+                    .dma_write(entry.wrh.target_addr + w.offset as u64, w.data.clone());
+                st.counters.packets_committed += 1;
+            }
+            Resiliency::Replicate { strategy, .. } => {
+                let (instrs, ipc) = match strategy {
+                    nadfs_wire::BcastStrategy::Ring => {
+                        (costs.ph_ring_instrs, costs.ph_ring_ipc)
+                    }
+                    nadfs_wire::BcastStrategy::Pbt => (costs.ph_pbt_instrs, costs.ph_pbt_ipc),
+                };
+                a.ops.charge_instrs(instrs, ipc);
+                a.ops
+                    .dma_write(entry.wrh.target_addr + w.offset as u64, w.data.clone());
+                st.counters.packets_committed += 1;
+                if w.data.is_empty() {
+                    return; // forwarded stream-header packet: no data
+                }
+                // Outgoing stream slot: 0 is the HH's header packet; data
+                // packets take the next free slot (arrival order — offsets
+                // carry the placement, so slot order is bookkeeping only).
+                let slot = {
+                    let e = st.req_table.get_mut(&a.msg).expect("live request");
+                    e.fwd_sent += 1;
+                    e.fwd_sent
+                };
+                for f in &entry.fwd {
+                    a.ops.send(
+                        f.dst,
+                        Frame::Write(WritePkt {
+                            msg: f.msg,
+                            pkt_idx: slot,
+                            total_pkts: entry.data_pkts + 1,
+                            dfs: None,
+                            wrh: None,
+                            offset: w.offset,
+                            data: w.data.clone(),
+                        }),
+                    );
+                    st.counters.packets_forwarded += 1;
+                }
+            }
+            Resiliency::ErasureCode(info) => match info.role {
+                EcRole::Data { chunk_idx } => {
+                    let m = info.scheme.m;
+                    a.ops
+                        .charge_instrs(costs.ec_ph_instrs(m, w.data.len()), costs.ec_ph_ipc);
+                    a.ops
+                        .dma_write(entry.wrh.target_addr + w.offset as u64, w.data.clone());
+                    st.counters.packets_committed += 1;
+                    if w.data.is_empty() {
+                        return; // stream-header packet: nothing to encode
+                    }
+                    // Per-packet streaming encode (§VI-B): multiply by the
+                    // parity coefficient, forward the product into the next
+                    // stream slot (slot 0 is the HH's header packet).
+                    let slot = {
+                        let e = st.req_table.get_mut(&a.msg).expect("live request");
+                        e.fwd_sent += 1;
+                        e.fwd_sent
+                    };
+                    let scheme = info.scheme;
+                    for (p, f) in entry.fwd.iter().enumerate() {
+                        let coef = st.rs(scheme).parity_coef(p, chunk_idx as usize);
+                        let ipar = nadfs_gfec::intermediate_parity(coef, &w.data);
+                        a.ops.send(
+                            f.dst,
+                            Frame::Write(WritePkt {
+                                msg: f.msg,
+                                pkt_idx: slot,
+                                total_pkts: entry.data_pkts + 1,
+                                dfs: None,
+                                wrh: None,
+                                offset: w.offset,
+                                data: Bytes::from(ipar),
+                            }),
+                        );
+                        st.counters.parity_packets_sent += 1;
+                    }
+                }
+                EcRole::Parity { src_chunk, .. } => {
+                    let bytes = w.data.len();
+                    let instrs = (bytes as f64 * costs.ec_agg_instrs_per_byte) as u64 + 20;
+                    a.ops.charge_instrs(instrs, costs.ec_ph_ipc);
+                    if bytes == 0 {
+                        return; // stream-header packet: nothing to XOR
+                    }
+                    let stripe = info.stripe;
+                    let Some(sst) = st.stripes.get(&stripe) else {
+                        return;
+                    };
+                    let k = sst.k;
+                    let chunk_len = sst.chunk_len;
+                    let final_addr = sst.final_addr;
+                    let staging = final_addr
+                        + (1 + src_chunk as u64) * chunk_len as u64
+                        + w.offset as u64;
+                    if sst.fallback {
+                        // Host aggregates: stage the intermediate parity.
+                        a.ops.dma_write(staging, w.data.clone());
+                        return;
+                    }
+                    // NIC aggregation: XOR into the accumulator for this
+                    // aggregation sequence (keyed by stripe and offset).
+                    // The budget was reserved at header time.
+                    let key = (stripe, w.offset);
+                    let acc = st.accs.entry(key).or_insert_with(|| AccEntry {
+                        buf: vec![0u8; bytes],
+                        got: 0,
+                    });
+                    if acc.buf.len() < bytes {
+                        acc.buf.resize(bytes, 0);
+                    }
+                    for (b, d) in acc.buf.iter_mut().zip(w.data.iter()) {
+                        *b ^= d;
+                    }
+                    acc.got += 1;
+                    if acc.got == k {
+                        let acc = st.accs.remove(&key).expect("present");
+                        st.acc_free += 1;
+                        a.ops
+                            .dma_write(final_addr + w.offset as u64, Bytes::from(acc.buf));
+                    }
+                }
+            },
+        }
+    }
+
+    /// `DFS_request_fini` (Listing 1): flush, acknowledge, release state.
+    fn completion(&mut self, a: HandlerArgs<'_>) {
+        let st = state_of(a.state);
+        let costs = st.costs.clone();
+        let Some(entry) = st.req_table.remove(&a.msg) else {
+            a.ops.charge_instrs(5, 1.0);
+            return;
+        };
+        a.ops.charge_instrs(costs.ch_instrs, costs.ch_ipc);
+        if !entry.accept {
+            return; // NACK already sent by the header handler
+        }
+        let is_parity_stream = matches!(
+            entry.wrh.resiliency,
+            Resiliency::ErasureCode(EcInfo {
+                role: EcRole::Parity { .. },
+                ..
+            })
+        );
+        if !is_parity_stream {
+            // Explicit flush before acknowledging (§III-B-1).
+            a.ops.wait_flush();
+            a.ops.send(
+                entry.client,
+                Frame::Ack(AckPkt {
+                    msg: a.msg,
+                    greq_id: Some(entry.greq),
+                    status: Status::Ok,
+                }),
+            );
+            return;
+        }
+        // Parity node: ack the client only when all k streams completed.
+        let Resiliency::ErasureCode(info) = &entry.wrh.resiliency else {
+            unreachable!();
+        };
+        let stripe = info.stripe;
+        let Some(sst) = st.stripes.get_mut(&stripe) else {
+            return;
+        };
+        sst.ch_done += 1;
+        if sst.ch_done == sst.k {
+            if sst.fallback {
+                // Host finishes the aggregation; it will ack the client.
+                a.ops.host_event(EVT_EC_FALLBACK | (stripe & 0xFFFF_FFFF));
+            } else {
+                let client = sst.client;
+                let greq = sst.greq;
+                let reserved = sst.reserved;
+                st.stripes.remove(&stripe);
+                st.acc_free += reserved;
+                a.ops.wait_flush();
+                a.ops.send(
+                    client,
+                    Frame::Ack(AckPkt {
+                        msg: a.msg,
+                        greq_id: Some(greq),
+                        status: Status::Ok,
+                    }),
+                );
+            }
+        }
+    }
+
+    /// Cleanup handler (§VII): reclaim dangling state, tell the host.
+    fn cleanup(&mut self, state: &mut dyn Any, msg: MsgId, ops: &mut Ops) {
+        let st = state_of(state);
+        let costs = st.costs.clone();
+        ops.charge_instrs(costs.cleanup_instrs, 1.0);
+        st.req_table.remove(&msg);
+        st.counters.cleanups += 1;
+        ops.host_event(EVT_CLEANUP | (msg.seq & 0xFFFF_FFFF));
+    }
+}

@@ -1,0 +1,456 @@
+//! Storage-node software: the CPU-side enforcement paths the paper
+//! compares the NIC offload against.
+//!
+//! * RPC writes (§IV "RPC"): the CPU validates the request, copies the
+//!   buffered payload into the storage target, and acknowledges.
+//! * RPC+RDMA writes (§IV "RPC+RDMA"): the CPU validates, then the NIC
+//!   RDMA-reads the payload from the client and the CPU acknowledges.
+//! * CPU-Ring / CPU-PBT replication (§V): chunks are copied out of the
+//!   receive buffer and re-posted to the node's children in the broadcast
+//!   schedule — two CPU copies per forwarded byte, which is exactly why
+//!   the paper's CPU baselines flatten out.
+//! * EC accumulator fallback (§VI-B-3): when the NIC accumulator pool was
+//!   exhausted, intermediate parities were staged to host memory and the
+//!   CPU finishes the XOR aggregation.
+//! * Cleanup events (§VII): surfaced by the NIC after client failures.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use nadfs_pspin::HostNotify;
+use nadfs_rdma::{NicApp, NicCore};
+use nadfs_simnet::{Ctx, NodeId, Time};
+use nadfs_wire::{
+    bcast_children, AckPkt, DfsHeader, MsgId, ReadReqHeader, Resiliency, Rights, RpcBody,
+    Status, MacKey, WriteReqHeader,
+};
+
+use crate::handlers::{DfsNicState, EVT_CLEANUP, EVT_EC_FALLBACK};
+
+/// Observable storage-node statistics (shared with tests/harnesses).
+#[derive(Debug, Default)]
+pub struct StorageStats {
+    pub rpc_writes: u64,
+    pub rpc_rdma_writes: u64,
+    pub chunks_forwarded: u64,
+    pub auth_failures: u64,
+    pub fallback_aggregations: u64,
+    pub cleanup_events: u64,
+    pub meta_lookups: u64,
+}
+
+pub type SharedStorageStats = Rc<RefCell<StorageStats>>;
+
+/// Deferred CPU completion: what to do once the CPU finishes a task.
+enum AfterCpu {
+    AckClient {
+        dst: NodeId,
+        ack: AckPkt,
+    },
+    ForwardChunk {
+        dst: NodeId,
+        body: RpcBody,
+        data: Bytes,
+    },
+    FetchData {
+        client: NodeId,
+        src_addr: u64,
+        len: u32,
+        local_addr: u64,
+        token: u64,
+    },
+    FinishFallback,
+}
+
+/// One in-progress RPC+RDMA write awaiting its data fetch.
+struct PendingFetch {
+    client: NodeId,
+    msg: MsgId,
+    greq: u64,
+}
+
+/// The storage node software.
+pub struct StorageApp {
+    key: MacKey,
+    pub stats: SharedStorageStats,
+    /// Network line rate, used to model the receive-copy overlap: while a
+    /// long SEND is still arriving, the CPU copies the already-received
+    /// prefix, so only the residual is serial after the last packet.
+    wire_bw: nadfs_simnet::Bandwidth,
+    deferred: Vec<(u64, AfterCpu)>,
+    next_tag: u64,
+    fetches: Vec<(u64, PendingFetch)>,
+    /// Per-(greq) progress of chunked replicated writes at this node.
+    progress: Vec<(u64, u32)>,
+}
+
+const TAG_BASE: u64 = 0x5347_0000_0000_0000;
+
+impl StorageApp {
+    pub fn new(key: MacKey, wire_bw: nadfs_simnet::Bandwidth) -> StorageApp {
+        StorageApp {
+            key,
+            stats: Rc::new(RefCell::new(StorageStats::default())),
+            wire_bw,
+            deferred: Vec::new(),
+            next_tag: 0,
+            fetches: Vec::new(),
+            progress: Vec::new(),
+        }
+    }
+
+    /// Serial copy time left after the last packet of an inline write:
+    /// the copy overlapped reception, so only the slowdown residual (plus
+    /// one pipelining granule) remains.
+    fn residual_copy(&self, nic: &NicCore, len: u64) -> nadfs_simnet::Dur {
+        let full = nic.cpu.memcpy_cost(len);
+        let wire = self.wire_bw.tx_time(len);
+        let granule = nic.cpu.memcpy_cost(len.min(16 << 10));
+        if full.ps() > wire.ps() {
+            (full - wire) + granule
+        } else {
+            granule
+        }
+    }
+
+    fn defer(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, at: Time, what: AfterCpu) {
+        let tag = TAG_BASE | self.next_tag;
+        self.next_tag += 1;
+        self.deferred.push((tag, what));
+        nic.set_timer(ctx, at.since(ctx.now()), tag);
+    }
+
+    fn progress_add(&mut self, greq: u64, bytes: u32) -> u32 {
+        if let Some(e) = self.progress.iter_mut().find(|(g, _)| *g == greq) {
+            e.1 += bytes;
+            return e.1;
+        }
+        self.progress.push((greq, bytes));
+        bytes
+    }
+
+    fn handle_write_req(
+        &mut self,
+        nic: &mut NicCore,
+        ctx: &mut Ctx<'_>,
+        src: NodeId,
+        msg: MsgId,
+        dfs: DfsHeader,
+        wrh: WriteReqHeader,
+        inline_data: bool,
+        src_addr: u64,
+        chunk_off: u32,
+        full_len: u32,
+        data: Bytes,
+    ) {
+        let now = ctx.now();
+        // CPU wakes up, dispatches, validates the capability.
+        let costs = nic.cpu.costs.clone();
+        let t_val = nic
+            .cpu
+            .exec(now + costs.poll_notify, costs.rpc_dispatch + costs.validate);
+        let valid = dfs
+            .capability
+            .verify(&self.key, now.as_ns() as u64, Rights::WRITE)
+            .is_ok();
+        if !valid {
+            self.stats.borrow_mut().auth_failures += 1;
+            let ack = AckPkt {
+                msg,
+                greq_id: Some(dfs.greq_id),
+                status: Status::AuthFailed,
+            };
+            self.defer(nic, ctx, t_val, AfterCpu::AckClient { dst: src, ack });
+            return;
+        }
+
+        if !inline_data {
+            // RPC+RDMA: fetch the payload from the client with a one-sided
+            // read; completion continues in `on_read_done`.
+            self.stats.borrow_mut().rpc_rdma_writes += 1;
+            let token = TAG_BASE | self.next_tag;
+            self.next_tag += 1;
+            self.fetches.push((
+                token,
+                PendingFetch {
+                    client: src,
+                    msg,
+                    greq: dfs.greq_id,
+                },
+            ));
+            self.defer(
+                nic,
+                ctx,
+                t_val,
+                AfterCpu::FetchData {
+                    client: src,
+                    src_addr,
+                    len: wrh.len,
+                    local_addr: wrh.target_addr,
+                    token,
+                },
+            );
+            return;
+        }
+
+        // Inline RPC write: copy from the receive buffer to the target.
+        self.stats.borrow_mut().rpc_writes += 1;
+        let copy = match &wrh.resiliency {
+            // Plain buffered write: the copy pipelines with reception.
+            Resiliency::None => self.residual_copy(nic, data.len() as u64),
+            // Chunked replication: chunks overlap each other instead; the
+            // full store + forward copies stay serial per chunk.
+            _ => nic.cpu.memcpy_cost(data.len() as u64),
+        };
+        let t_store = nic.cpu.exec(t_val, copy);
+        nic.memory().borrow_mut().write(wrh.target_addr, &data);
+
+        match &wrh.resiliency {
+            Resiliency::None => {
+                let ack = AckPkt {
+                    msg,
+                    greq_id: Some(dfs.greq_id),
+                    status: Status::Ok,
+                };
+                let t_ack = nic.cpu.exec(t_store, nic.cpu.costs.post_send);
+                self.defer(nic, ctx, t_ack, AfterCpu::AckClient { dst: src, ack });
+            }
+            Resiliency::Replicate {
+                strategy,
+                vrank,
+                coords,
+            } => {
+                // Ack the client once every chunk of the write landed here.
+                let done = self.progress_add(dfs.greq_id, data.len() as u32);
+                if done >= full_len {
+                    self.progress.retain(|(g, _)| *g != dfs.greq_id);
+                    let ack = AckPkt {
+                        msg,
+                        greq_id: Some(dfs.greq_id),
+                        status: Status::Ok,
+                    };
+                    let t_ack = nic.cpu.exec(t_store, nic.cpu.costs.post_send);
+                    self.defer(
+                        nic,
+                        ctx,
+                        t_ack,
+                        AfterCpu::AckClient {
+                            dst: dfs.client as NodeId,
+                            ack,
+                        },
+                    );
+                }
+                // Forward the chunk to our children: a second CPU copy into
+                // the send staging buffer plus a post per child.
+                let children = bcast_children(*strategy, *vrank, coords.len());
+                for child in children {
+                    self.stats.borrow_mut().chunks_forwarded += 1;
+                    let copy2 = nic.cpu.memcpy_cost(data.len() as u64);
+                    let t_fwd =
+                        nic.cpu.exec(t_store, copy2 + nic.cpu.costs.post_send);
+                    let child_wrh = WriteReqHeader {
+                        target_addr: coords[child as usize].addr + chunk_off as u64,
+                        len: data.len() as u32,
+                        resiliency: Resiliency::Replicate {
+                            strategy: *strategy,
+                            vrank: child,
+                            coords: coords.clone(),
+                        },
+                    };
+                    let body = RpcBody::WriteReq {
+                        dfs,
+                        wrh: child_wrh,
+                        inline_data: true,
+                        src_addr: 0,
+                        chunk_off,
+                        full_len,
+                    };
+                    self.defer(
+                        nic,
+                        ctx,
+                        t_fwd,
+                        AfterCpu::ForwardChunk {
+                            dst: coords[child as usize].node as NodeId,
+                            body,
+                            data: data.clone(),
+                        },
+                    );
+                }
+            }
+            Resiliency::ErasureCode(_) => {
+                // CPU-side EC is not one of the paper's baselines; treat as
+                // a plain store.
+                let ack = AckPkt {
+                    msg,
+                    greq_id: Some(dfs.greq_id),
+                    status: Status::Ok,
+                };
+                let t_ack = nic.cpu.exec(t_store, nic.cpu.costs.post_send);
+                self.defer(nic, ctx, t_ack, AfterCpu::AckClient { dst: src, ack });
+            }
+        }
+    }
+}
+
+impl NicApp for StorageApp {
+    fn on_rpc(
+        &mut self,
+        nic: &mut NicCore,
+        ctx: &mut Ctx<'_>,
+        src: NodeId,
+        msg: MsgId,
+        body: RpcBody,
+        data: Bytes,
+    ) {
+        match body {
+            RpcBody::WriteReq {
+                dfs,
+                wrh,
+                inline_data,
+                src_addr,
+                chunk_off,
+                full_len,
+            } => self.handle_write_req(
+                nic, ctx, src, msg, dfs, wrh, inline_data, src_addr, chunk_off, full_len, data,
+            ),
+            RpcBody::ReadReq { dfs, rrh } => {
+                // CPU-validated read: validate, then stream back via the
+                // one-sided read responder path (zero-copy from target).
+                let now = ctx.now();
+                let costs = nic.cpu.costs.clone();
+                let t_val = nic
+                    .cpu
+                    .exec(now + costs.poll_notify, costs.rpc_dispatch + costs.validate);
+                let valid = dfs
+                    .capability
+                    .verify(&self.key, now.as_ns() as u64, Rights::READ)
+                    .is_ok();
+                let status = if valid { Status::Ok } else { Status::AuthFailed };
+                let _ = rrh;
+                let ack = AckPkt {
+                    msg,
+                    greq_id: Some(dfs.greq_id),
+                    status,
+                };
+                self.defer(nic, ctx, t_val, AfterCpu::AckClient { dst: src, ack });
+            }
+            RpcBody::MetaLookupReq { file } => {
+                self.stats.borrow_mut().meta_lookups += 1;
+                let now = ctx.now();
+                let costs = nic.cpu.costs.clone();
+                let t = nic.cpu.exec(now + costs.poll_notify, costs.rpc_dispatch);
+                let _ = t;
+                nic.send_rpc(
+                    ctx,
+                    src,
+                    RpcBody::MetaLookupResp { file, ok: true },
+                    Bytes::new(),
+                );
+            }
+            RpcBody::MetaLookupResp { .. } => {}
+        }
+    }
+
+    fn on_read_done(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, token: u64) {
+        // RPC+RDMA data fetch completed: acknowledge the client.
+        let Some(idx) = self.fetches.iter().position(|(t, _)| *t == token) else {
+            return;
+        };
+        let (_, f) = self.fetches.remove(idx);
+        let now = ctx.now();
+        let t_ack = nic.cpu.exec(now, nic.cpu.costs.post_send);
+        let ack = AckPkt {
+            msg: f.msg,
+            greq_id: Some(f.greq),
+            status: Status::Ok,
+        };
+        self.defer(nic, ctx, t_ack, AfterCpu::AckClient { dst: f.client, ack });
+    }
+
+    fn on_host_notify(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, note: HostNotify) {
+        if note.tag & EVT_CLEANUP == EVT_CLEANUP {
+            self.stats.borrow_mut().cleanup_events += 1;
+            return;
+        }
+        if note.tag & EVT_EC_FALLBACK == EVT_EC_FALLBACK {
+            // The NIC staged intermediate parities; finish on the CPU.
+            let stripe = note.tag & 0xFFFF_FFFF;
+            let info = nic
+                .pspin_mut()
+                .and_then(|d| d.context_state_mut())
+                .and_then(|s| s.downcast_mut::<DfsNicState>())
+                .and_then(|s| s.fallback_stripe_info(stripe));
+            let Some((k, chunk_len, final_addr, greq, client)) = info else {
+                return;
+            };
+            self.stats.borrow_mut().fallback_aggregations += 1;
+            // XOR k staged buffers into the final parity chunk.
+            let mem = nic.memory();
+            {
+                let mut m = mem.borrow_mut();
+                let mut acc = vec![0u8; chunk_len as usize];
+                for j in 0..k {
+                    let staged =
+                        m.read(final_addr + (1 + j as u64) * chunk_len as u64, chunk_len as usize);
+                    for (a, b) in acc.iter_mut().zip(staged) {
+                        *a ^= b;
+                    }
+                }
+                m.write(final_addr, &acc);
+            }
+            if let Some(st) = nic
+                .pspin_mut()
+                .and_then(|d| d.context_state_mut())
+                .and_then(|s| s.downcast_mut::<DfsNicState>())
+            {
+                st.complete_fallback(stripe);
+            }
+            let now = ctx.now();
+            let costs = nic.cpu.costs.clone();
+            let xor_cost = nic.cpu.memcpy_cost(k as u64 * chunk_len as u64);
+            let t = nic
+                .cpu
+                .exec(now + costs.poll_notify, xor_cost + costs.post_send);
+            self.defer(nic, ctx, t, AfterCpu::FinishFallback);
+            // Stash ack info alongside.
+            let ack = AckPkt {
+                msg: MsgId::new(nic.node() as u32, greq),
+                greq_id: Some(greq),
+                status: Status::Ok,
+            };
+            self.defer(nic, ctx, t, AfterCpu::AckClient { dst: client, ack });
+        }
+    }
+
+    fn on_timer(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, tag: u64) {
+        let Some(idx) = self.deferred.iter().position(|(t, _)| *t == tag) else {
+            return;
+        };
+        let (_, what) = self.deferred.remove(idx);
+        match what {
+            AfterCpu::AckClient { dst, ack } => {
+                nic.send_ack(ctx, dst, ack);
+            }
+            AfterCpu::ForwardChunk { dst, body, data } => {
+                nic.send_rpc(ctx, dst, body, data);
+            }
+            AfterCpu::FetchData {
+                client,
+                src_addr,
+                len,
+                local_addr,
+                token,
+            } => {
+                let rrh = ReadReqHeader {
+                    addr: src_addr,
+                    len,
+                };
+                nic.send_read(ctx, client, rrh, None, local_addr, token);
+            }
+            AfterCpu::FinishFallback => {
+                // Bookkeeping only; the paired AckClient does the talking.
+            }
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Synthetic workload generation for experiments and examples.
+//!
+//! The paper's evaluation uses fixed-size write streams; downstream users
+//! of a DFS care about mixed, skewed traffic. This module provides
+//! deterministic (seeded) generators for both, built on `rand`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::client::{Job, WriteProtocol};
+
+/// Write-size distribution.
+#[derive(Clone, Debug)]
+pub enum SizeDist {
+    /// Every write has the same size.
+    Fixed(u32),
+    /// Uniform over [min, max].
+    Uniform { min: u32, max: u32 },
+    /// Log-uniform over [min, max]: sizes spread evenly across octaves,
+    /// matching the log-scaled x-axes of the paper's figures.
+    LogUniform { min: u32, max: u32 },
+    /// Bimodal small/large mix: `small_frac` in \[0,1\] of writes take
+    /// `small`, the rest take `large` (metadata-vs-bulk pattern).
+    Bimodal {
+        small: u32,
+        large: u32,
+        small_frac: f64,
+    },
+}
+
+impl SizeDist {
+    fn sample(&self, rng: &mut StdRng) -> u32 {
+        match *self {
+            SizeDist::Fixed(s) => s,
+            SizeDist::Uniform { min, max } => rng.gen_range(min..=max),
+            SizeDist::LogUniform { min, max } => {
+                assert!(min > 0 && min <= max);
+                let lo = (min as f64).ln();
+                let hi = (max as f64).ln();
+                let v = rng.gen_range(lo..=hi);
+                (v.exp().round() as u32).clamp(min, max)
+            }
+            SizeDist::Bimodal {
+                small,
+                large,
+                small_frac,
+            } => {
+                if rng.gen_bool(small_frac.clamp(0.0, 1.0)) {
+                    small
+                } else {
+                    large
+                }
+            }
+        }
+    }
+}
+
+/// A deterministic workload: `n` writes per client with a size
+/// distribution and one protocol.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    pub file: u64,
+    pub protocol: WriteProtocol,
+    pub sizes: SizeDist,
+    pub writes_per_client: usize,
+    pub seed: u64,
+}
+
+impl Workload {
+    pub fn new(file: u64, protocol: WriteProtocol, sizes: SizeDist) -> Workload {
+        Workload {
+            file,
+            protocol,
+            sizes,
+            writes_per_client: 16,
+            seed: 0xBEEF,
+        }
+    }
+
+    pub fn with_writes(mut self, n: usize) -> Workload {
+        self.writes_per_client = n;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Workload {
+        self.seed = seed;
+        self
+    }
+
+    /// Generate client `idx`'s job list (deterministic per (seed, idx)).
+    pub fn jobs_for_client(&self, idx: usize) -> Vec<Job> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (idx as u64).wrapping_mul(0x9E37));
+        (0..self.writes_per_client)
+            .map(|i| Job::Write {
+                file: self.file,
+                size: self.sizes.sample(&mut rng).max(1),
+                protocol: self.protocol,
+                seed: self.seed ^ ((idx as u64) << 32) ^ i as u64,
+            })
+            .collect()
+    }
+
+    /// Total bytes this workload writes across `n_clients`.
+    pub fn total_bytes(&self, n_clients: usize) -> u64 {
+        (0..n_clients)
+            .flat_map(|c| self.jobs_for_client(c))
+            .map(|j| match j {
+                Job::Write { size, .. } => size as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_sizes_are_fixed() {
+        let w = Workload::new(1, WriteProtocol::Raw, SizeDist::Fixed(4096)).with_writes(5);
+        for j in w.jobs_for_client(0) {
+            let Job::Write { size, .. } = j else {
+                panic!("write job")
+            };
+            assert_eq!(size, 4096);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_client() {
+        let w = Workload::new(
+            1,
+            WriteProtocol::Raw,
+            SizeDist::LogUniform {
+                min: 1 << 10,
+                max: 1 << 20,
+            },
+        )
+        .with_writes(20)
+        .with_seed(7);
+        let a: Vec<u32> = w
+            .jobs_for_client(3)
+            .iter()
+            .map(|j| match j {
+                Job::Write { size, .. } => *size,
+                _ => 0,
+            })
+            .collect();
+        let b: Vec<u32> = w
+            .jobs_for_client(3)
+            .iter()
+            .map(|j| match j {
+                Job::Write { size, .. } => *size,
+                _ => 0,
+            })
+            .collect();
+        assert_eq!(a, b, "same client, same jobs");
+        let c: Vec<u32> = w
+            .jobs_for_client(4)
+            .iter()
+            .map(|j| match j {
+                Job::Write { size, .. } => *size,
+                _ => 0,
+            })
+            .collect();
+        assert_ne!(a, c, "different clients diverge");
+    }
+
+    #[test]
+    fn log_uniform_stays_in_range_and_spreads() {
+        let w = Workload::new(
+            1,
+            WriteProtocol::Raw,
+            SizeDist::LogUniform {
+                min: 1 << 10,
+                max: 1 << 20,
+            },
+        )
+        .with_writes(200);
+        let sizes: Vec<u32> = w
+            .jobs_for_client(0)
+            .iter()
+            .map(|j| match j {
+                Job::Write { size, .. } => *size,
+                _ => 0,
+            })
+            .collect();
+        assert!(sizes.iter().all(|&s| (1 << 10..=1 << 20).contains(&s)));
+        let small = sizes.iter().filter(|&&s| s < 32 << 10).count();
+        let large = sizes.iter().filter(|&&s| s >= 32 << 10).count();
+        // Log-uniform: both halves of the log range well represented.
+        assert!(small > 40 && large > 40, "small={small} large={large}");
+    }
+
+    #[test]
+    fn bimodal_respects_fraction_roughly() {
+        let w = Workload::new(
+            1,
+            WriteProtocol::Raw,
+            SizeDist::Bimodal {
+                small: 1024,
+                large: 1 << 20,
+                small_frac: 0.8,
+            },
+        )
+        .with_writes(500);
+        let small = w
+            .jobs_for_client(1)
+            .iter()
+            .filter(|j| matches!(j, Job::Write { size: 1024, .. }))
+            .count();
+        assert!((320..=480).contains(&small), "small={small}");
+    }
+
+    #[test]
+    fn total_bytes_accounts_all_clients() {
+        let w = Workload::new(1, WriteProtocol::Raw, SizeDist::Fixed(1000)).with_writes(10);
+        assert_eq!(w.total_bytes(3), 30_000);
+    }
+}

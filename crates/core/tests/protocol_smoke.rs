@@ -1,0 +1,318 @@
+//! Smoke tests: every write protocol completes and stores correct bytes.
+
+use nadfs_core::{
+    ClusterSpec, FilePolicy, Job, SimCluster, StorageMode, WriteProtocol,
+};
+use nadfs_gfec::ReedSolomon;
+use nadfs_wire::{BcastStrategy, RsScheme, Status};
+
+fn one_write(
+    mode: StorageMode,
+    policy: FilePolicy,
+    protocol: WriteProtocol,
+    size: u32,
+    n_storage: usize,
+) -> (SimCluster, nadfs_core::WriteResult) {
+    let spec = ClusterSpec::new(1, n_storage, mode);
+    let mut c = SimCluster::build(spec);
+    let file = c.control.borrow_mut().create_file(0, policy);
+    c.submit(
+        0,
+        Job::Write {
+            file: file.id,
+            size,
+            protocol,
+            seed: 42,
+        },
+    );
+    c.start();
+    let done = c.run_until_writes(1, 100);
+    assert_eq!(done, 1, "{protocol:?} write did not complete");
+    let r = c.results.borrow().writes[0].clone();
+    assert_eq!(r.status, Status::Ok, "{protocol:?}");
+    (c, r)
+}
+
+fn expected_payload(seed: u64, len: u32) -> Vec<u8> {
+    // Mirrors ClientApp::payload.
+    let mut x = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut v = Vec::with_capacity(len as usize);
+    while v.len() < len as usize {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        v.extend_from_slice(&z.to_le_bytes());
+    }
+    v.truncate(len as usize);
+    v
+}
+
+#[test]
+fn raw_write_stores_bytes() {
+    let (c, r) = one_write(
+        StorageMode::Plain,
+        FilePolicy::Plain,
+        WriteProtocol::Raw,
+        100_000,
+        1,
+    );
+    let idx = c.storage_index(r.placement.primary.node as usize);
+    assert_eq!(
+        c.storage_mems[idx]
+            .borrow()
+            .read(r.placement.primary.addr, 100_000),
+        expected_payload(42, 100_000)
+    );
+}
+
+#[test]
+fn spin_write_stores_bytes_with_nic_validation() {
+    let (c, r) = one_write(
+        StorageMode::Spin,
+        FilePolicy::Plain,
+        WriteProtocol::Spin,
+        100_000,
+        1,
+    );
+    let idx = c.storage_index(r.placement.primary.node as usize);
+    assert_eq!(
+        c.storage_mems[idx]
+            .borrow()
+            .read(r.placement.primary.addr, 100_000),
+        expected_payload(42, 100_000)
+    );
+    let tel = c.pspin_telemetry[idx].as_ref().expect("pspin");
+    assert_eq!(tel.borrow().msgs_completed, 1);
+}
+
+#[test]
+fn rpc_write_stores_bytes() {
+    let (c, r) = one_write(
+        StorageMode::Plain,
+        FilePolicy::Plain,
+        WriteProtocol::Rpc,
+        64_000,
+        1,
+    );
+    let idx = c.storage_index(r.placement.primary.node as usize);
+    assert_eq!(
+        c.storage_mems[idx]
+            .borrow()
+            .read(r.placement.primary.addr, 64_000),
+        expected_payload(42, 64_000)
+    );
+}
+
+#[test]
+fn rpc_rdma_write_stores_bytes() {
+    let (c, r) = one_write(
+        StorageMode::Plain,
+        FilePolicy::Plain,
+        WriteProtocol::RpcRdma,
+        64_000,
+        1,
+    );
+    let idx = c.storage_index(r.placement.primary.node as usize);
+    assert_eq!(
+        c.storage_mems[idx]
+            .borrow()
+            .read(r.placement.primary.addr, 64_000),
+        expected_payload(42, 64_000)
+    );
+}
+
+fn check_replicas(c: &SimCluster, r: &nadfs_core::WriteResult, size: u32) {
+    let expect = expected_payload(42, size);
+    for coord in &r.placement.replicas {
+        let idx = c.storage_index(coord.node as usize);
+        assert_eq!(
+            c.storage_mems[idx].borrow().read(coord.addr, size as usize),
+            expect,
+            "replica on node {}",
+            coord.node
+        );
+    }
+}
+
+#[test]
+fn rdma_flat_replicates() {
+    let policy = FilePolicy::Replicated {
+        k: 3,
+        strategy: BcastStrategy::Ring,
+    };
+    let (c, r) = one_write(
+        StorageMode::Plain,
+        policy,
+        WriteProtocol::RdmaFlat,
+        50_000,
+        3,
+    );
+    assert_eq!(r.placement.replicas.len(), 3);
+    check_replicas(&c, &r, 50_000);
+}
+
+#[test]
+fn hyperloop_replicates() {
+    let policy = FilePolicy::Replicated {
+        k: 3,
+        strategy: BcastStrategy::Ring,
+    };
+    let (c, r) = one_write(
+        StorageMode::Plain,
+        policy,
+        WriteProtocol::HyperLoop { chunk: 16 * 1024 },
+        50_000,
+        3,
+    );
+    check_replicas(&c, &r, 50_000);
+}
+
+#[test]
+fn cpu_ring_replicates() {
+    let policy = FilePolicy::Replicated {
+        k: 3,
+        strategy: BcastStrategy::Ring,
+    };
+    let (c, r) = one_write(
+        StorageMode::Plain,
+        policy,
+        WriteProtocol::CpuBcast { chunk: 16 * 1024 },
+        50_000,
+        3,
+    );
+    check_replicas(&c, &r, 50_000);
+}
+
+#[test]
+fn cpu_pbt_replicates() {
+    let policy = FilePolicy::Replicated {
+        k: 4,
+        strategy: BcastStrategy::Pbt,
+    };
+    let (c, r) = one_write(
+        StorageMode::Plain,
+        policy,
+        WriteProtocol::CpuBcast { chunk: 16 * 1024 },
+        50_000,
+        4,
+    );
+    check_replicas(&c, &r, 50_000);
+}
+
+#[test]
+fn spin_ring_replicates() {
+    let policy = FilePolicy::Replicated {
+        k: 3,
+        strategy: BcastStrategy::Ring,
+    };
+    let (c, r) = one_write(
+        StorageMode::Spin,
+        policy,
+        WriteProtocol::SpinReplicated,
+        50_000,
+        3,
+    );
+    check_replicas(&c, &r, 50_000);
+}
+
+#[test]
+fn spin_pbt_replicates() {
+    let policy = FilePolicy::Replicated {
+        k: 4,
+        strategy: BcastStrategy::Pbt,
+    };
+    let (c, r) = one_write(
+        StorageMode::Spin,
+        policy,
+        WriteProtocol::SpinReplicated,
+        50_000,
+        4,
+    );
+    check_replicas(&c, &r, 50_000);
+}
+
+fn check_ec(c: &SimCluster, r: &nadfs_core::WriteResult, size: u32, k: usize, m: usize) {
+    let expect = expected_payload(42, size);
+    let chunk_len = r.placement.chunk_len as usize;
+    let mut chunks = Vec::new();
+    for (j, coord) in r.placement.data_chunks.iter().enumerate() {
+        let idx = c.storage_index(coord.node as usize);
+        let stored = c.storage_mems[idx].borrow().read(coord.addr, chunk_len);
+        // Data chunks are the original bytes (systematic code).
+        let start = (j * chunk_len).min(expect.len());
+        let end = ((j + 1) * chunk_len).min(expect.len());
+        let mut want = expect[start..end].to_vec();
+        want.resize(chunk_len, 0);
+        assert_eq!(stored, want, "data chunk {j}");
+        chunks.push(stored);
+    }
+    let rs = ReedSolomon::new(k, m).expect("params");
+    let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+    let parities = rs.encode(&refs).expect("encode");
+    for (p, coord) in r.placement.parities.iter().enumerate() {
+        let idx = c.storage_index(coord.node as usize);
+        let stored = c.storage_mems[idx].borrow().read(coord.addr, chunk_len);
+        assert_eq!(stored, parities[p], "parity {p}");
+    }
+}
+
+#[test]
+fn spin_triec_builds_correct_parities() {
+    let policy = FilePolicy::ErasureCoded {
+        scheme: RsScheme::new(3, 2),
+    };
+    let (c, r) = one_write(
+        StorageMode::Spin,
+        policy,
+        WriteProtocol::SpinTriec { interleave: true },
+        90_000,
+        5,
+    );
+    check_ec(&c, &r, 90_000, 3, 2);
+}
+
+#[test]
+fn inec_triec_builds_correct_parities() {
+    let policy = FilePolicy::ErasureCoded {
+        scheme: RsScheme::new(3, 2),
+    };
+    let (c, r) = one_write(
+        StorageMode::FirmwareEc,
+        policy,
+        WriteProtocol::InecTriec,
+        90_000,
+        5,
+    );
+    check_ec(&c, &r, 90_000, 3, 2);
+}
+
+#[test]
+fn forged_capability_is_rejected_by_nic() {
+    let spec = ClusterSpec::new(1, 1, StorageMode::Spin);
+    let mut c = SimCluster::build_with(spec, |app| {
+        app.forge_capabilities = true;
+    });
+    let file = c.control.borrow_mut().create_file(0, FilePolicy::Plain);
+    c.submit(
+        0,
+        Job::Write {
+            file: file.id,
+            size: 10_000,
+            protocol: WriteProtocol::Spin,
+            seed: 1,
+        },
+    );
+    c.start();
+    let done = c.run_until_writes(1, 100);
+    assert_eq!(done, 1);
+    let r = c.results.borrow().writes[0].clone();
+    assert_eq!(r.status, Status::AuthFailed);
+    // Nothing may have been committed.
+    let idx = c.storage_index(r.placement.primary.node as usize);
+    assert_eq!(
+        c.storage_mems[idx].borrow().read(r.placement.primary.addr, 16),
+        vec![0u8; 16]
+    );
+}

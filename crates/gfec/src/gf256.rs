@@ -1,0 +1,258 @@
+//! GF(2^8) arithmetic over the AES-adjacent polynomial x^8+x^4+x^3+x^2+1
+//! (0x11D), the field Reed-Solomon storage codes conventionally use.
+//!
+//! Two multiplication paths are provided:
+//! * log/exp tables — compact, used by host-side encode/decode;
+//! * a full 256×256 product table — what the paper's sPIN handlers use
+//!   ("it allows us to use 256×256-byte lookup table to implement fast
+//!   Galois field multiplication", §VI-B-2). The NIC cost model charges
+//!   per-byte work assuming this table lives in NIC memory (64 KiB of the
+//!   DFS-wide state).
+
+use std::sync::OnceLock;
+
+/// Reducing polynomial (without the x^8 term): x^4+x^3+x^2+1.
+const POLY: u16 = 0x11D;
+
+pub struct Tables {
+    pub exp: [u8; 512],
+    pub log: [u8; 256],
+    /// Full product table: `mul_table[a][b] = a*b` in GF(2^8). 64 KiB.
+    pub mul: Box<[[u8; 256]; 256]>,
+}
+
+fn build_tables() -> Tables {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    for i in 0..255 {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+    }
+    for i in 255..512 {
+        exp[i] = exp[i - 255];
+    }
+    let mut mul = Box::new([[0u8; 256]; 256]);
+    for a in 1..256usize {
+        for b in 1..256usize {
+            mul[a][b] = exp[log[a] as usize + log[b] as usize];
+        }
+    }
+    Tables { exp, log, mul }
+}
+
+/// Access the (lazily built, process-wide) tables.
+pub fn tables() -> &'static Tables {
+    static T: OnceLock<Tables> = OnceLock::new();
+    T.get_or_init(build_tables)
+}
+
+/// Addition = subtraction = XOR.
+#[inline(always)]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiply in GF(2^8).
+#[inline(always)]
+pub fn mul(a: u8, b: u8) -> u8 {
+    tables().mul[a as usize][b as usize]
+}
+
+/// Multiplicative inverse; panics on zero.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no inverse");
+    let t = tables();
+    t.exp[255 - t.log[a as usize] as usize]
+}
+
+/// Division a/b; panics when b = 0.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero");
+    if a == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[(t.log[a as usize] as usize + 255 - t.log[b as usize] as usize) % 255]
+}
+
+/// a^n by log-domain multiplication.
+pub fn pow(a: u8, n: u32) -> u8 {
+    if n == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    let t = tables();
+    let e = (t.log[a as usize] as u64 * n as u64) % 255;
+    t.exp[e as usize]
+}
+
+/// The field generator α = 2.
+pub const GENERATOR: u8 = 2;
+
+/// `dst[i] ^= c * src[i]` — the inner loop of every encode path.
+pub fn mul_acc_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len());
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let row = &tables().mul[c as usize];
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= row[*s as usize];
+    }
+}
+
+/// `out[i] = c * src[i]`.
+pub fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len());
+    if c == 0 {
+        dst.fill(0);
+        return;
+    }
+    if c == 1 {
+        dst.copy_from_slice(src);
+        return;
+    }
+    let row = &tables().mul[c as usize];
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = row[*s as usize];
+    }
+}
+
+/// `dst[i] ^= src[i]`.
+pub fn xor_slice(src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_products() {
+        // Classic GF(2^8)/0x11D facts.
+        assert_eq!(mul(0, 5), 0);
+        assert_eq!(mul(1, 5), 5);
+        assert_eq!(mul(2, 0x80), 0x1D); // overflow wraps through POLY
+        assert_eq!(mul(0xFF, 0xFF), 0xE2);
+    }
+
+    #[test]
+    fn exp_log_consistency() {
+        let t = tables();
+        for a in 1..=255u8 {
+            assert_eq!(t.exp[t.log[a as usize] as usize], a);
+        }
+    }
+
+    #[test]
+    fn field_axioms_exhaustive_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn distributivity_spot_checks() {
+        for a in [1u8, 2, 7, 19, 133, 255] {
+            for b in [0u8, 1, 3, 97, 254] {
+                for c in [5u8, 88, 201] {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn associativity_and_commutativity_samples() {
+        for a in [3u8, 50, 200] {
+            for b in [7u8, 99, 251] {
+                assert_eq!(mul(a, b), mul(b, a));
+                for c in [11u8, 123] {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn div_is_mul_inverse() {
+        for a in [0u8, 1, 9, 77, 255] {
+            for b in [1u8, 2, 13, 254] {
+                assert_eq!(mul(div(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        for a in [2u8, 3, 29] {
+            let mut acc = 1u8;
+            for n in 0..20u32 {
+                assert_eq!(pow(a, n), acc, "a={a} n={n}");
+                acc = mul(acc, a);
+            }
+        }
+        assert_eq!(pow(0, 0), 1);
+        assert_eq!(pow(0, 5), 0);
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let mut seen = [false; 256];
+        let mut x = 1u8;
+        for _ in 0..255 {
+            assert!(!seen[x as usize], "generator order < 255");
+            seen[x as usize] = true;
+            x = mul(x, GENERATOR);
+        }
+        assert_eq!(x, 1, "α^255 = 1");
+    }
+
+    #[test]
+    fn slice_ops_match_scalar() {
+        let src: Vec<u8> = (0..=255).collect();
+        let mut dst = vec![0xA5u8; 256];
+        let mut expect = dst.clone();
+        mul_acc_slice(0x1D, &src, &mut dst);
+        for (e, s) in expect.iter_mut().zip(&src) {
+            *e ^= mul(0x1D, *s);
+        }
+        assert_eq!(dst, expect);
+
+        let mut out = vec![0u8; 256];
+        mul_slice(7, &src, &mut out);
+        let scalar: Vec<u8> = src.iter().map(|&s| mul(7, s)).collect();
+        assert_eq!(out, scalar);
+    }
+
+    #[test]
+    fn slice_ops_special_coefficients() {
+        let src = vec![1u8, 2, 3];
+        let mut dst = vec![9u8, 9, 9];
+        mul_acc_slice(0, &src, &mut dst);
+        assert_eq!(dst, vec![9, 9, 9]);
+        mul_acc_slice(1, &src, &mut dst);
+        assert_eq!(dst, vec![8, 11, 10]);
+        let mut out = vec![7u8; 3];
+        mul_slice(0, &src, &mut out);
+        assert_eq!(out, vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,17 @@
+//! # nadfs-gfec
+//!
+//! Erasure-coding substrate: GF(2^8) arithmetic with both log/exp and full
+//! 256×256 product tables ([`gf256`]), dense matrices with Gauss-Jordan
+//! inversion ([`matrix`]), systematic Vandermonde Reed-Solomon codes
+//! ([`rs`]), and the per-packet streaming encode/aggregate path used by
+//! sPIN-TriEC ([`stream`]).
+
+pub mod cauchy;
+pub mod gf256;
+pub mod matrix;
+pub mod rs;
+pub mod stream;
+
+pub use matrix::Matrix;
+pub use rs::{ReedSolomon, RsError};
+pub use stream::{block_parities, intermediate_parity, Accumulator};

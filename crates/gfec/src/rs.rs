@@ -1,0 +1,422 @@
+//! Systematic Reed-Solomon codes RS(k, m): k data chunks, m parity chunks,
+//! any m erasures recoverable (maximum distance separable, §VI of the
+//! paper).
+//!
+//! The encoding matrix is Vandermonde-derived and systematic: a (k+m)×k
+//! Vandermonde matrix is normalized by the inverse of its top k×k square so
+//! the first k rows become the identity (data chunks are stored verbatim,
+//! "k of k+m encoded chunks are identical to the original k data chunks").
+
+use crate::gf256;
+use crate::matrix::Matrix;
+
+/// A Reed-Solomon code instance.
+#[derive(Clone, Debug)]
+pub struct ReedSolomon {
+    k: usize,
+    m: usize,
+    /// Full systematic encoding matrix, (k+m)×k.
+    enc: Matrix,
+}
+
+/// Errors from encode/reconstruct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RsError {
+    WrongChunkCount { expected: usize, got: usize },
+    ChunkSizeMismatch,
+    TooFewShards { present: usize, need: usize },
+    InvalidParams,
+}
+
+impl std::fmt::Display for RsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsError::WrongChunkCount { expected, got } => {
+                write!(f, "expected {expected} chunks, got {got}")
+            }
+            RsError::ChunkSizeMismatch => write!(f, "all chunks must have equal length"),
+            RsError::TooFewShards { present, need } => {
+                write!(f, "only {present} shards present, need {need}")
+            }
+            RsError::InvalidParams => write!(f, "invalid RS parameters"),
+        }
+    }
+}
+
+impl std::error::Error for RsError {}
+
+impl ReedSolomon {
+    /// Create an RS(k, m) code. Requires 1 ≤ k, 1 ≤ m, k+m ≤ 255.
+    pub fn new(k: usize, m: usize) -> Result<ReedSolomon, RsError> {
+        if k == 0 || m == 0 || k + m > 255 {
+            return Err(RsError::InvalidParams);
+        }
+        let v = Matrix::vandermonde(k + m, k);
+        let top_inv = v
+            .select_rows(&(0..k).collect::<Vec<_>>())
+            .invert()
+            .expect("vandermonde top square is invertible");
+        let enc = v.mul(&top_inv);
+        debug_assert_eq!(
+            enc.select_rows(&(0..k).collect::<Vec<_>>()),
+            Matrix::identity(k),
+            "systematic code: top must be identity"
+        );
+        Ok(ReedSolomon { k, m, enc })
+    }
+
+    pub fn k(&self) -> usize {
+        self.k
+    }
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Coefficient multiplying data chunk `j` in parity `p`
+    /// (the per-packet streaming path uses these directly).
+    pub fn parity_coef(&self, p: usize, j: usize) -> u8 {
+        self.enc[(self.k + p, j)]
+    }
+
+    /// Row of coefficients for parity `p`.
+    pub fn parity_row(&self, p: usize) -> &[u8] {
+        self.enc.row(self.k + p)
+    }
+
+    /// Encode: compute the m parity chunks for `data` (k equal-size chunks).
+    pub fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, RsError> {
+        if data.len() != self.k {
+            return Err(RsError::WrongChunkCount {
+                expected: self.k,
+                got: data.len(),
+            });
+        }
+        let n = data[0].len();
+        if data.iter().any(|c| c.len() != n) {
+            return Err(RsError::ChunkSizeMismatch);
+        }
+        let mut parities = vec![vec![0u8; n]; self.m];
+        for (p, parity) in parities.iter_mut().enumerate() {
+            for (j, chunk) in data.iter().enumerate() {
+                gf256::mul_acc_slice(self.parity_coef(p, j), chunk, parity);
+            }
+        }
+        Ok(parities)
+    }
+
+    /// Verify that `shards` (k data followed by m parity) are consistent.
+    pub fn verify(&self, shards: &[&[u8]]) -> Result<bool, RsError> {
+        if shards.len() != self.k + self.m {
+            return Err(RsError::WrongChunkCount {
+                expected: self.k + self.m,
+                got: shards.len(),
+            });
+        }
+        let parities = self.encode(&shards[..self.k])?;
+        Ok(parities
+            .iter()
+            .zip(&shards[self.k..])
+            .all(|(computed, stored)| computed.as_slice() == *stored))
+    }
+
+    /// Reconstruct all missing shards in place. `shards` has k+m entries
+    /// (data then parity); `None` marks an erasure. Needs ≥ k survivors.
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), RsError> {
+        if shards.len() != self.k + self.m {
+            return Err(RsError::WrongChunkCount {
+                expected: self.k + self.m,
+                got: shards.len(),
+            });
+        }
+        let present: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_some()).collect();
+        if present.len() < self.k {
+            return Err(RsError::TooFewShards {
+                present: present.len(),
+                need: self.k,
+            });
+        }
+        let n = shards[present[0]].as_ref().expect("present").len();
+        if present
+            .iter()
+            .any(|&i| shards[i].as_ref().expect("present").len() != n)
+        {
+            return Err(RsError::ChunkSizeMismatch);
+        }
+        if present.iter().take(self.k).eq((0..self.k).collect::<Vec<_>>().iter())
+            && shards.iter().all(|s| s.is_some())
+        {
+            return Ok(()); // nothing missing
+        }
+
+        // Decode matrix: rows of `enc` for the first k survivors.
+        let use_rows: Vec<usize> = present.iter().copied().take(self.k).collect();
+        let sub = self.enc.select_rows(&use_rows);
+        let dec = sub.invert().expect("any k rows of an MDS matrix invert");
+
+        // Recover data chunks: data = dec × survivors.
+        let mut data: Vec<Vec<u8>> = vec![vec![0u8; n]; self.k];
+        for (out_row, d) in data.iter_mut().enumerate() {
+            for (in_row, &shard_idx) in use_rows.iter().enumerate() {
+                let c = dec[(out_row, in_row)];
+                let src = shards[shard_idx].as_ref().expect("present");
+                gf256::mul_acc_slice(c, src, d);
+            }
+        }
+
+        // Fill in missing data shards.
+        for (j, d) in data.iter().enumerate() {
+            if shards[j].is_none() {
+                shards[j] = Some(d.clone());
+            }
+        }
+        // Recompute missing parity shards.
+        if shards[self.k..].iter().any(|s| s.is_none()) {
+            let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+            let parities = self.encode(&refs)?;
+            for (p, parity) in parities.into_iter().enumerate() {
+                if shards[self.k + p].is_none() {
+                    shards[self.k + p] = Some(parity);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Incrementally update parities after data chunk `j` changes from
+    /// `old` to `new`: `P_p += coef[p][j] · (old ⊕ new)`. This is the
+    /// small-write optimization DFSs use to avoid re-reading the stripe.
+    pub fn update_parities(
+        &self,
+        j: usize,
+        old: &[u8],
+        new: &[u8],
+        parities: &mut [Vec<u8>],
+    ) -> Result<(), RsError> {
+        if j >= self.k || parities.len() != self.m {
+            return Err(RsError::InvalidParams);
+        }
+        if old.len() != new.len() || parities.iter().any(|p| p.len() != old.len()) {
+            return Err(RsError::ChunkSizeMismatch);
+        }
+        let delta: Vec<u8> = old.iter().zip(new).map(|(a, b)| a ^ b).collect();
+        for (p, parity) in parities.iter_mut().enumerate() {
+            gf256::mul_acc_slice(self.parity_coef(p, j), &delta, parity);
+        }
+        Ok(())
+    }
+
+    /// Split a byte buffer into k equal chunks, zero-padding the tail.
+    /// Returns (chunks, chunk_len).
+    pub fn split(&self, data: &[u8]) -> (Vec<Vec<u8>>, usize) {
+        let chunk_len = data.len().div_ceil(self.k).max(1);
+        let mut out = Vec::with_capacity(self.k);
+        for j in 0..self.k {
+            let start = (j * chunk_len).min(data.len());
+            let end = ((j + 1) * chunk_len).min(data.len());
+            let mut c = data[start..end].to_vec();
+            c.resize(chunk_len, 0);
+            out.push(c);
+        }
+        (out, chunk_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data(k: usize, n: usize, seed: u8) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|j| {
+                (0..n)
+                    .map(|i| (i as u8).wrapping_mul(31).wrapping_add(j as u8 ^ seed))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encode_produces_m_parities() {
+        let rs = ReedSolomon::new(3, 2).expect("params");
+        let data = sample_data(3, 128, 1);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let p = rs.encode(&refs).expect("encode");
+        assert_eq!(p.len(), 2);
+        assert!(p.iter().all(|x| x.len() == 128));
+        let mut shards: Vec<&[u8]> = refs.clone();
+        shards.push(&p[0]);
+        shards.push(&p[1]);
+        assert!(rs.verify(&shards).expect("verify"));
+    }
+
+    #[test]
+    fn corruption_fails_verification() {
+        let rs = ReedSolomon::new(3, 2).expect("params");
+        let data = sample_data(3, 64, 2);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let mut p = rs.encode(&refs).expect("encode");
+        p[1][10] ^= 0xFF;
+        let mut shards: Vec<&[u8]> = refs.clone();
+        shards.push(&p[0]);
+        shards.push(&p[1]);
+        assert!(!rs.verify(&shards).expect("verify"));
+    }
+
+    #[test]
+    fn recovers_any_m_erasures_exhaustively_rs_3_2() {
+        let rs = ReedSolomon::new(3, 2).expect("params");
+        let data = sample_data(3, 90, 3);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parities = rs.encode(&refs).expect("encode");
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parities.clone()).collect();
+
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+                shards[a] = None;
+                shards[b] = None;
+                rs.reconstruct(&mut shards).expect("reconstruct");
+                for (i, s) in shards.iter().enumerate() {
+                    assert_eq!(s.as_ref().expect("filled"), &full[i], "erased ({a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_erasures_rejected() {
+        let rs = ReedSolomon::new(2, 1).expect("params");
+        let mut shards: Vec<Option<Vec<u8>>> = vec![Some(vec![1, 2]), None, None];
+        assert_eq!(
+            rs.reconstruct(&mut shards),
+            Err(RsError::TooFewShards {
+                present: 1,
+                need: 2
+            })
+        );
+    }
+
+    #[test]
+    fn rs_6_3_random_erasures() {
+        let rs = ReedSolomon::new(6, 3).expect("params");
+        let data = sample_data(6, 257, 4);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parities = rs.encode(&refs).expect("encode");
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parities).collect();
+        // A few deterministic erasure patterns of size m = 3.
+        for pattern in [[0, 1, 2], [3, 6, 8], [0, 4, 7], [5, 6, 7], [2, 3, 8]] {
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            for &i in &pattern {
+                shards[i] = None;
+            }
+            rs.reconstruct(&mut shards).expect("reconstruct");
+            for (i, s) in shards.iter().enumerate() {
+                assert_eq!(s.as_ref().expect("filled"), &full[i], "{pattern:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert_eq!(ReedSolomon::new(0, 2).unwrap_err(), RsError::InvalidParams);
+        assert_eq!(ReedSolomon::new(2, 0).unwrap_err(), RsError::InvalidParams);
+        assert_eq!(
+            ReedSolomon::new(200, 56).unwrap_err(),
+            RsError::InvalidParams
+        );
+        assert!(ReedSolomon::new(200, 55).is_ok());
+    }
+
+    #[test]
+    fn mismatched_chunk_sizes_rejected() {
+        let rs = ReedSolomon::new(2, 1).expect("params");
+        let a = vec![1u8; 10];
+        let b = vec![2u8; 11];
+        assert_eq!(
+            rs.encode(&[&a, &b]).unwrap_err(),
+            RsError::ChunkSizeMismatch
+        );
+    }
+
+    #[test]
+    fn split_pads_and_covers() {
+        let rs = ReedSolomon::new(3, 2).expect("params");
+        let data: Vec<u8> = (0..10).collect();
+        let (chunks, len) = rs.split(&data);
+        assert_eq!(len, 4);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0], vec![0, 1, 2, 3]);
+        assert_eq!(chunks[1], vec![4, 5, 6, 7]);
+        assert_eq!(chunks[2], vec![8, 9, 0, 0]);
+    }
+
+    #[test]
+    fn incremental_update_matches_full_reencode() {
+        let rs = ReedSolomon::new(4, 2).expect("params");
+        let mut data = sample_data(4, 333, 8);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let mut parities = rs.encode(&refs).expect("encode");
+        // Mutate chunk 2 and update incrementally.
+        let old = data[2].clone();
+        for (i, b) in data[2].iter_mut().enumerate() {
+            *b = b.wrapping_add(i as u8 ^ 0x5A);
+        }
+        rs.update_parities(2, &old, &data[2], &mut parities)
+            .expect("update");
+        let refs2: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let full = rs.encode(&refs2).expect("encode");
+        assert_eq!(parities, full, "incremental must equal re-encode");
+    }
+
+    #[test]
+    fn incremental_update_rejects_bad_args() {
+        let rs = ReedSolomon::new(2, 1).expect("params");
+        let mut p = vec![vec![0u8; 4]];
+        assert_eq!(
+            rs.update_parities(5, &[0; 4], &[0; 4], &mut p),
+            Err(RsError::InvalidParams)
+        );
+        assert_eq!(
+            rs.update_parities(0, &[0; 3], &[0; 4], &mut p),
+            Err(RsError::ChunkSizeMismatch)
+        );
+    }
+
+    #[test]
+    fn vandermonde_and_cauchy_codes_both_recover() {
+        // Same data, two constructions: both recover from m erasures.
+        let data = sample_data(3, 100, 5);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let rs = ReedSolomon::new(3, 2).expect("params");
+        let vp = rs.encode(&refs).expect("vandermonde encode");
+        let cp = crate::cauchy::cauchy_encode(3, 2, &refs);
+        // The matrices differ, so parities differ; both must verify & decode.
+        assert_ne!(vp, cp, "distinct constructions");
+        let mut shards: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().map(Some).chain(vp.into_iter().map(Some)).collect();
+        shards[0] = None;
+        shards[4] = None;
+        rs.reconstruct(&mut shards).expect("recover");
+        assert_eq!(shards[0].as_ref().expect("chunk"), &data[0]);
+    }
+
+    #[test]
+    fn fig12_shape_rs_3_2() {
+        // Fig 12: encoding matrix (5×3) times data (3×1) yields the 3 data
+        // chunks verbatim plus 2 parities.
+        let rs = ReedSolomon::new(3, 2).expect("params");
+        let data = sample_data(3, 16, 9);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parities = rs.encode(&refs).expect("encode");
+        // Systematic: identity rows return data unchanged — implied by the
+        // encode API storing data verbatim; check coefficient structure.
+        for j in 0..3 {
+            for jj in 0..3 {
+                // enc rows 0..k are the identity.
+                let c = if j == jj { 1 } else { 0 };
+                assert_eq!(rs.enc[(j, jj)], c);
+            }
+        }
+        assert_eq!(parities.len(), 2);
+    }
+}

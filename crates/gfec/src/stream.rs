@@ -1,0 +1,182 @@
+//! Streaming (per-packet) erasure coding — the sPIN-TriEC data path (§VI).
+//!
+//! A data node holding chunk `j` processes each incoming packet by
+//! multiplying its payload with the parity coefficient and forwarding the
+//! product ("intermediate parity") to each parity node. A parity node XORs
+//! the k intermediate streams, packet index by packet index, into
+//! accumulators ("aggregation sequences", Fig 14). Because the code is
+//! linear, the aggregated result equals the block encode of the whole
+//! chunks — asserted by the tests here and relied on by the simulator.
+
+use crate::gf256;
+use crate::rs::ReedSolomon;
+
+/// Compute one intermediate-parity packet: `coef * payload`.
+///
+/// `coef` is `rs.parity_coef(p, j)` for parity `p` and data chunk `j`.
+pub fn intermediate_parity(coef: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = vec![0u8; payload.len()];
+    gf256::mul_slice(coef, payload, &mut out);
+    out
+}
+
+/// Per-packet-index aggregation state at a parity node: XOR of the
+/// intermediate parities received so far for one aggregation sequence.
+#[derive(Clone, Debug)]
+pub struct Accumulator {
+    buf: Vec<u8>,
+    received: u32,
+    expected: u32,
+}
+
+impl Accumulator {
+    /// New accumulator for an aggregation sequence expecting `k`
+    /// contributions of at most `cap` bytes.
+    pub fn new(cap: usize, k: u32) -> Accumulator {
+        Accumulator {
+            buf: vec![0u8; cap],
+            received: 0,
+            expected: k,
+        }
+    }
+
+    /// XOR one contribution in; returns true when the sequence is complete.
+    /// Contributions may have different lengths (the final packets of a
+    /// chunk can be short); the accumulator tracks the longest.
+    pub fn absorb(&mut self, data: &[u8]) -> bool {
+        assert!(data.len() <= self.buf.len(), "contribution exceeds capacity");
+        assert!(self.received < self.expected, "sequence over-complete");
+        gf256::xor_slice(data, &mut self.buf[..data.len()]);
+        self.received += 1;
+        self.received == self.expected
+    }
+
+    pub fn is_complete(&self) -> bool {
+        self.received == self.expected
+    }
+
+    pub fn received(&self) -> u32 {
+        self.received
+    }
+
+    /// Final bytes (valid once complete); `len` trims to the real packet
+    /// length.
+    pub fn finish(&self, len: usize) -> &[u8] {
+        debug_assert!(self.is_complete());
+        &self.buf[..len]
+    }
+}
+
+/// Block-encode reference path used to cross-check streaming encodes.
+pub fn block_parities(rs: &ReedSolomon, chunks: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+    rs.encode(&refs).expect("block encode")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Split a chunk into packets of `mtu` payload bytes.
+    fn packets(chunk: &[u8], mtu: usize) -> Vec<&[u8]> {
+        chunk.chunks(mtu).collect()
+    }
+
+    fn data_chunks(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|j| {
+                (0..len)
+                    .map(|i| ((i * 7 + j * 13) % 256) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_equals_block_encode_rs_3_2() {
+        streaming_matches_block(3, 2, 5000, 1978);
+    }
+
+    #[test]
+    fn streaming_equals_block_encode_rs_6_3() {
+        streaming_matches_block(6, 3, 12_345, 1978);
+    }
+
+    #[test]
+    fn streaming_single_packet_chunks() {
+        streaming_matches_block(2, 1, 100, 1978);
+    }
+
+    fn streaming_matches_block(k: usize, m: usize, chunk_len: usize, mtu: usize) {
+        let rs = ReedSolomon::new(k, m).expect("params");
+        let chunks = data_chunks(k, chunk_len);
+        let expect = block_parities(&rs, &chunks);
+
+        let n_pkts = chunk_len.div_ceil(mtu);
+        for p in 0..m {
+            // One accumulator per aggregation sequence (packet index).
+            let mut accs: Vec<Accumulator> =
+                (0..n_pkts).map(|_| Accumulator::new(mtu, k as u32)).collect();
+            // Interleaved arrival order (client interleaves packets, §VI-B-1):
+            // packet i of every chunk, then packet i+1 ...
+            for i in 0..n_pkts {
+                for (j, chunk) in chunks.iter().enumerate() {
+                    let pkt = packets(chunk, mtu)[i];
+                    let ipar = intermediate_parity(rs.parity_coef(p, j), pkt);
+                    accs[i].absorb(&ipar);
+                }
+            }
+            // Reassemble the parity chunk from completed accumulators.
+            let mut parity = Vec::with_capacity(chunk_len);
+            for (i, acc) in accs.iter().enumerate() {
+                assert!(acc.is_complete());
+                let len = packets(&chunks[0], mtu)[i].len();
+                parity.extend_from_slice(acc.finish(len));
+            }
+            assert_eq!(parity, expect[p], "parity {p}");
+        }
+    }
+
+    #[test]
+    fn arrival_order_does_not_matter() {
+        // XOR is commutative: reversed chunk order gives identical parity.
+        let rs = ReedSolomon::new(3, 2).expect("params");
+        let chunks = data_chunks(3, 2000);
+        let expect = block_parities(&rs, &chunks);
+        let mtu = 512;
+        let n_pkts = 2000usize.div_ceil(mtu);
+        let mut accs: Vec<Accumulator> =
+            (0..n_pkts).map(|_| Accumulator::new(mtu, 3)).collect();
+        for i in (0..n_pkts).rev() {
+            for j in (0..3).rev() {
+                let pkt = packets(&chunks[j], mtu)[i];
+                let ipar = intermediate_parity(rs.parity_coef(0, j), pkt);
+                accs[i].absorb(&ipar);
+            }
+        }
+        let mut parity = Vec::new();
+        for (i, acc) in accs.iter().enumerate() {
+            parity.extend_from_slice(acc.finish(packets(&chunks[0], mtu)[i].len()));
+        }
+        assert_eq!(parity, expect[0]);
+    }
+
+    #[test]
+    fn accumulator_completion_counting() {
+        let mut a = Accumulator::new(10, 3);
+        assert!(!a.absorb(&[1u8; 10]));
+        assert!(!a.absorb(&[2u8; 10]));
+        assert!(!a.is_complete());
+        assert!(a.absorb(&[3u8; 10]));
+        assert!(a.is_complete());
+        assert_eq!(a.finish(10), &[1 ^ 2 ^ 3u8; 10][..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-complete")]
+    fn over_absorbing_panics() {
+        let mut a = Accumulator::new(4, 1);
+        a.absorb(&[0u8; 4]);
+        a.absorb(&[0u8; 4]);
+    }
+}

@@ -1,0 +1,198 @@
+//! PCIe/DMA engine model.
+//!
+//! Moves data between a NIC and host memory over the system interconnect.
+//! Characteristics the paper's comparisons rest on (§III, §V):
+//! * a PCIe round trip costs hundreds of nanoseconds ("a PCIe round-trip can
+//!   take up to 400 ns", citing Kalia et al.);
+//! * DMA *writes* (NIC→host) are cheap and pipelined, DMA *reads*
+//!   (host→NIC, needed to forward data from host memory) are slower — this
+//!   asymmetry is what penalizes CPU- and HyperLoop-style forwarding.
+//!
+//! Each direction is an independently serializing channel with its own
+//! bandwidth; an operation's completion time is returned to the caller,
+//! which sequences its own events accordingly. Memory contents are mutated
+//! eagerly; simulated time ordering is enforced by the callers acting only
+//! at/after the returned completion times.
+
+use bytes::Bytes;
+use nadfs_simnet::{Bandwidth, Dur, Time};
+
+use crate::memory::SharedMemory;
+
+/// DMA engine cost parameters.
+#[derive(Clone, Debug)]
+pub struct DmaConfig {
+    /// NIC → host (ingress writes). Provisioned at/above line rate per the
+    /// paper's "storage ingests at network bandwidth" assumption.
+    pub write_bw: Bandwidth,
+    /// Host → NIC (egress reads / fetch for forwarding).
+    pub read_bw: Bandwidth,
+    /// One-way PCIe latency per operation.
+    pub latency: Dur,
+    /// Engine occupancy per descriptor (issue overhead).
+    pub per_op: Dur,
+}
+
+impl Default for DmaConfig {
+    fn default() -> Self {
+        DmaConfig {
+            // 64 GB/s write direction: does not bottleneck a 400 Gbit/s NIC.
+            write_bw: Bandwidth::from_gbyte_per_sec(64),
+            // ~26 GB/s effective read direction (typical RNIC host-fetch;
+            // calibrated to the paper's RPC-family asymptotes, DESIGN.md).
+            read_bw: Bandwidth::from_gbyte_per_sec(26),
+            latency: Dur::from_ns(200),
+            per_op: Dur::from_ns(10),
+        }
+    }
+}
+
+/// The engine: two serializing channels over shared host memory.
+pub struct DmaEngine {
+    cfg: DmaConfig,
+    mem: SharedMemory,
+    write_busy_until: Time,
+    read_busy_until: Time,
+    /// Completion time of the latest write issued (flush horizon).
+    last_write_done: Time,
+    pub writes_issued: u64,
+    pub reads_issued: u64,
+    pub bytes_written: u64,
+    pub bytes_read: u64,
+}
+
+impl DmaEngine {
+    pub fn new(cfg: DmaConfig, mem: SharedMemory) -> DmaEngine {
+        DmaEngine {
+            cfg,
+            mem,
+            write_busy_until: Time::ZERO,
+            read_busy_until: Time::ZERO,
+            last_write_done: Time::ZERO,
+            writes_issued: 0,
+            reads_issued: 0,
+            bytes_written: 0,
+            bytes_read: 0,
+        }
+    }
+
+    pub fn config(&self) -> &DmaConfig {
+        &self.cfg
+    }
+
+    pub fn memory(&self) -> SharedMemory {
+        self.mem.clone()
+    }
+
+    /// Issue a DMA write of `data` to host `addr` at time `now`.
+    /// Returns the time at which the data is durably in host memory.
+    pub fn write(&mut self, now: Time, addr: u64, data: &[u8]) -> Time {
+        let start = now.max(self.write_busy_until) + self.cfg.per_op;
+        let done = start + self.cfg.write_bw.tx_time(data.len() as u64) + self.cfg.latency;
+        // The channel is occupied for the transfer (not the flight latency).
+        self.write_busy_until = start + self.cfg.write_bw.tx_time(data.len() as u64);
+        self.last_write_done = self.last_write_done.max(done);
+        self.writes_issued += 1;
+        self.bytes_written += data.len() as u64;
+        self.mem.borrow_mut().write(addr, data);
+        done
+    }
+
+    /// Issue a DMA read of `len` bytes from host `addr` at time `now`.
+    /// Returns the fetched bytes and the time they are available at the NIC.
+    pub fn read(&mut self, now: Time, addr: u64, len: usize) -> (Bytes, Time) {
+        let start = now.max(self.read_busy_until) + self.cfg.per_op + self.cfg.latency;
+        let done = start + self.cfg.read_bw.tx_time(len as u64);
+        self.read_busy_until = done;
+        self.reads_issued += 1;
+        self.bytes_read += len as u64;
+        let data = Bytes::from(self.mem.borrow().read(addr, len));
+        (data, done)
+    }
+
+    /// Time at which every write issued so far is durable (the "RDMA flush"
+    /// point the paper discusses under data persistence, §III-B-1).
+    pub fn flush_horizon(&self) -> Time {
+        self.last_write_done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::HostMemory;
+
+    fn engine() -> DmaEngine {
+        DmaEngine::new(DmaConfig::default(), HostMemory::new())
+    }
+
+    #[test]
+    fn write_completion_includes_latency_and_serialization() {
+        let mut e = engine();
+        let cfg = e.config().clone();
+        let done = e.write(Time::ZERO, 0x1000, &[7u8; 4096]);
+        let expect = cfg.per_op + cfg.write_bw.tx_time(4096) + cfg.latency;
+        assert_eq!(done, Time::ZERO + expect);
+        assert_eq!(e.memory().borrow().read(0x1000, 4096), vec![7u8; 4096]);
+    }
+
+    #[test]
+    fn writes_serialize_on_the_channel() {
+        let mut e = engine();
+        let d1 = e.write(Time::ZERO, 0, &[0u8; 1 << 20]);
+        let d2 = e.write(Time::ZERO, 1 << 20, &[0u8; 1 << 20]);
+        assert!(d2 > d1);
+        // Second transfer must start after the first's serialization.
+        let cfg = e.config().clone();
+        let ser = cfg.write_bw.tx_time(1 << 20);
+        assert!(d2 >= Time::ZERO + ser + ser);
+    }
+
+    #[test]
+    fn read_returns_written_bytes_with_read_cost() {
+        let mut e = engine();
+        e.write(Time::ZERO, 64, b"abcdef");
+        let (data, done) = e.read(Time(1_000_000), 64, 6);
+        assert_eq!(&data[..], b"abcdef");
+        let cfg = e.config().clone();
+        assert_eq!(
+            done,
+            Time(1_000_000) + cfg.per_op + cfg.latency + cfg.read_bw.tx_time(6)
+        );
+    }
+
+    #[test]
+    fn read_channel_is_slower_than_write_channel() {
+        let mut e = engine();
+        let w = e.write(Time::ZERO, 0, &[0u8; 1 << 20]);
+        let mut e2 = engine();
+        let (_, r) = e2.read(Time::ZERO, 0, 1 << 20);
+        assert!(
+            r.since(Time::ZERO).ps() > w.since(Time::ZERO).ps(),
+            "DMA read must cost more than DMA write for equal size"
+        );
+    }
+
+    #[test]
+    fn flush_horizon_tracks_latest_write() {
+        let mut e = engine();
+        assert_eq!(e.flush_horizon(), Time::ZERO);
+        let d1 = e.write(Time::ZERO, 0, &[1u8; 100]);
+        assert_eq!(e.flush_horizon(), d1);
+        let d2 = e.write(d1, 200, &[2u8; 100]);
+        assert_eq!(e.flush_horizon(), d2);
+        assert!(d2 > d1);
+    }
+
+    #[test]
+    fn counters_account_operations() {
+        let mut e = engine();
+        e.write(Time::ZERO, 0, &[0u8; 10]);
+        e.write(Time::ZERO, 0, &[0u8; 20]);
+        e.read(Time::ZERO, 0, 5);
+        assert_eq!(e.writes_issued, 2);
+        assert_eq!(e.bytes_written, 30);
+        assert_eq!(e.reads_issued, 1);
+        assert_eq!(e.bytes_read, 5);
+    }
+}

@@ -1,0 +1,13 @@
+//! # nadfs-host
+//!
+//! Host-side models for storage nodes: byte-accurate host memory (the
+//! storage target), the PCIe/DMA engine connecting NIC and memory, and a
+//! serially-occupied CPU cost model used by the CPU-based baselines.
+
+pub mod cpu;
+pub mod dma;
+pub mod memory;
+
+pub use cpu::{Cpu, CpuCosts};
+pub use dma::{DmaConfig, DmaEngine};
+pub use memory::{HostMemory, SharedMemory};

@@ -1,0 +1,1006 @@
+//! The PsPIN device: packet pipeline, hardware scheduler, HPU pool, and
+//! the op-replay executor.
+//!
+//! A packet entering the device traverses (Fig 7): packet-buffer copy →
+//! inter-cluster scheduling → L1 copy → intra-cluster scheduling → handler
+//! execution on an idle HPU. The scheduler enforces sPIN message semantics:
+//! the header handler completes before any payload handler of the same
+//! message runs, and the completion handler runs only after every payload
+//! handler finished. Handlers block on NIC egress credits and on DMA
+//! flushes, so their measured duration includes real stalls.
+//!
+//! The device is not itself a [`nadfs_simnet::Component`]; it is owned by a
+//! NIC component which forwards it matching packets ([`PsPinDevice::ingest`])
+//! and its wrapped self-events ([`PsPinDevice::on_event`]).
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use nadfs_host::DmaEngine;
+use nadfs_simnet::{ComponentId, Ctx, Dur, NetPacket, NodeId, NodePort, Time};
+use nadfs_wire::{AckPkt, Frame, MsgId, Status};
+
+use crate::config::PsPinConfig;
+use crate::handler::{ExecutionContext, HandlerArgs, HandlerKind, Op, Ops};
+use crate::telemetry::Telemetry;
+
+/// Wrapper for device self-events; the owning component downcasts to this
+/// and calls [`PsPinDevice::on_event`].
+pub struct PsPinEvent(pub(crate) Inner);
+
+/// Host notification emitted by a handler's `host_event` op; the owning NIC
+/// component receives it and surfaces it to the DFS software (§III-C event
+/// queues).
+#[derive(Debug, Clone, Copy)]
+pub struct HostNotify {
+    pub node: NodeId,
+    pub tag: u64,
+}
+
+pub(crate) enum Inner {
+    BufCopied { token: u64 },
+    AtCluster { token: u64 },
+    L1Copied { token: u64 },
+    HpuReady { token: u64 },
+    RunDone { run: u64 },
+    CleanupCheck { msg: MsgId },
+}
+
+struct PendingPkt {
+    pkt: NetPacket<Frame>,
+    cluster: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MsgPhase {
+    /// Header handler not yet completed.
+    Opening,
+    /// Header done; payload handlers flowing.
+    Streaming,
+    /// Message denied at admission (descriptor exhaustion): drop packets.
+    Denied,
+}
+
+struct MsgState {
+    phase: MsgPhase,
+    total_pkts: u32,
+    pkts_seen: u32,
+    ph_done: u32,
+    /// Tasks parked until the header handler completes.
+    parked: Vec<Task>,
+    /// The completion packet's frame, kept for the completion handler.
+    completion_frame: Option<(Frame, NodeId)>,
+    completion_dispatched: bool,
+    dma_horizon: Time,
+    last_activity: Time,
+    src: NodeId,
+}
+
+/// A unit of HPU work: which handlers to run on which frame.
+struct Task {
+    msg: MsgId,
+    src: NodeId,
+    frame: Frame,
+    kinds: &'static [HandlerKind],
+    /// Cluster whose L1 holds this packet (assigned round-robin per packet
+    /// by the inter-cluster scheduler, so one message's stream spreads over
+    /// all HPUs — the premise of the paper's 1310 ns budget math, §VI-C).
+    cluster: usize,
+    /// Time the packet became ready for an HPU (for queue-wait telemetry).
+    ready_at: Time,
+}
+
+const HH_ONLY: &[HandlerKind] = &[HandlerKind::Header];
+const PH_ONLY: &[HandlerKind] = &[HandlerKind::Payload];
+const CH_ONLY: &[HandlerKind] = &[HandlerKind::Completion];
+const CL_ONLY: &[HandlerKind] = &[HandlerKind::Cleanup];
+
+/// A recorded handler execution being replayed over simulated time.
+struct HpuRun {
+    cluster: usize,
+    msg: MsgId,
+    /// Per-kind recorded segments: (kind, ops, instrs).
+    segments: Vec<(HandlerKind, Vec<Op>, u64)>,
+    seg: usize,
+    op: usize,
+    t: Time,
+    seg_start: Time,
+}
+
+struct Cluster {
+    free_hpus: usize,
+    runq: VecDeque<Task>,
+}
+
+/// The device.
+pub struct PsPinDevice {
+    cfg: PsPinConfig,
+    port: NodePort,
+    dma: Rc<RefCell<DmaEngine>>,
+    /// Component id of the owning NIC (receives wrapped self-events).
+    owner: ComponentId,
+    ctx_installed: Option<ExecutionContext>,
+    clusters: Vec<Cluster>,
+    msgs: HashMap<MsgId, MsgState>,
+    pending: HashMap<u64, PendingPkt>,
+    runs: HashMap<u64, HpuRun>,
+    next_token: u64,
+    next_run: u64,
+    pkt_rr: usize,
+    pktbuf_engine_free: Time,
+    l1_engine_free: Vec<Time>,
+    /// Runs parked on egress credits, FIFO.
+    egress_waiters: VecDeque<u64>,
+    /// Memory accounting: descriptor bytes in use vs budget.
+    desc_bytes_used: u64,
+    desc_bytes_budget: u64,
+    telemetry: Rc<RefCell<Telemetry>>,
+}
+
+impl PsPinDevice {
+    pub fn new(
+        cfg: PsPinConfig,
+        port: NodePort,
+        dma: Rc<RefCell<DmaEngine>>,
+        owner: ComponentId,
+    ) -> PsPinDevice {
+        let clusters = (0..cfg.n_clusters)
+            .map(|_| Cluster {
+                free_hpus: cfg.hpus_per_cluster,
+                runq: VecDeque::new(),
+            })
+            .collect();
+        let l1_engine_free = vec![Time::ZERO; cfg.n_clusters];
+        PsPinDevice {
+            desc_bytes_budget: cfg.total_mem_bytes(),
+            cfg,
+            port,
+            dma,
+            owner,
+            ctx_installed: None,
+            clusters,
+            msgs: HashMap::new(),
+            pending: HashMap::new(),
+            runs: HashMap::new(),
+            next_token: 0,
+            next_run: 0,
+            pkt_rr: 0,
+            pktbuf_engine_free: Time::ZERO,
+            l1_engine_free,
+            egress_waiters: VecDeque::new(),
+            desc_bytes_used: 0,
+            telemetry: Rc::new(RefCell::new(Telemetry::default())),
+        }
+    }
+
+    /// Shared handle to the device telemetry (Tables I/II, Figs 7/11/16).
+    pub fn telemetry(&self) -> Rc<RefCell<Telemetry>> {
+        self.telemetry.clone()
+    }
+
+    /// Install the execution context. Its `state_bytes` are reserved from
+    /// device memory; the rest is the descriptor budget (§III-B: 2 MiB of
+    /// DFS-wide state leaves 6 MiB ⇒ ~82 K concurrent writes).
+    pub fn install_context(&mut self, ec: ExecutionContext) {
+        assert!(
+            ec.state_bytes < self.cfg.total_mem_bytes(),
+            "context state exceeds NIC memory"
+        );
+        self.desc_bytes_budget = self.cfg.total_mem_bytes() - ec.state_bytes;
+        self.ctx_installed = Some(ec);
+    }
+
+    pub fn has_context(&self) -> bool {
+        self.ctx_installed.is_some()
+    }
+
+    /// Maximum concurrent open requests the descriptor budget allows.
+    pub fn max_concurrent_requests(&self) -> u64 {
+        match &self.ctx_installed {
+            Some(ec) => self.desc_bytes_budget / ec.descriptor_bytes as u64,
+            None => 0,
+        }
+    }
+
+    /// Mutable access to the installed context state (host-side DFS software
+    /// writing NIC memory, §III-C — e.g. rotating MAC keys).
+    pub fn context_state_mut(&mut self) -> Option<&mut dyn Any> {
+        self.ctx_installed.as_mut().map(|ec| &mut *ec.state)
+    }
+
+    pub fn open_messages(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Ingest a packet that matched the execution context. The caller (NIC)
+    /// has already consumed an ingress credit, which the device releases
+    /// once the packet leaves the packet buffer (after L1 copy).
+    ///
+    /// Message bookkeeping (descriptor admission, §III-B denial) happens
+    /// here, at arrival order: the per-cluster copy engines further down
+    /// the pipeline can legally reorder a small packet ahead of a large
+    /// predecessor, so arrival is the only safe place to spot headers.
+    pub fn ingest(&mut self, ctx: &mut Ctx<'_>, pkt: NetPacket<Frame>) {
+        debug_assert!(self.has_context(), "ingest without installed context");
+        let now = ctx.now();
+        let bytes = pkt.wire_bytes() as u64;
+        self.open_message(ctx, &pkt, now);
+        let token = self.next_token;
+        self.next_token += 1;
+        let cluster = self.pkt_rr % self.cfg.n_clusters;
+        self.pkt_rr += 1;
+        self.pending.insert(token, PendingPkt { pkt, cluster });
+        // Packet-buffer copy engine: serializing.
+        let start = now.max(self.pktbuf_engine_free);
+        let dur = self.cfg.pktbuf_copy_time(bytes);
+        self.pktbuf_engine_free = start + dur;
+        self.telemetry.borrow_mut().pipeline.pktbuf_copy_ns.record_dur_ns(dur);
+        let delay = (start + dur).since(now);
+        self.emit(ctx, delay, Inner::BufCopied { token });
+    }
+
+    /// Track the message this packet belongs to; on its first packet,
+    /// allocate the write descriptor or deny the request.
+    fn open_message(&mut self, ctx: &mut Ctx<'_>, pkt: &NetPacket<Frame>, now: Time) {
+        let (msg, is_first, total) = match &pkt.payload {
+            Frame::Write(w) => (w.msg, w.is_first(), w.total_pkts),
+            other => (other.msg(), true, 1),
+        };
+        let src = pkt.src;
+        if let Some(st) = self.msgs.get_mut(&msg) {
+            st.pkts_seen += 1;
+            st.last_activity = now;
+            return;
+        }
+        debug_assert!(is_first, "first packet of {msg:?} must arrive first");
+        self.telemetry.borrow_mut().msgs_opened += 1;
+
+        // Admission: allocate a write descriptor or deny (§III-B).
+        let desc = self
+            .ctx_installed
+            .as_ref()
+            .expect("installed context")
+            .descriptor_bytes as u64;
+        let denied = self.desc_bytes_used + desc > self.desc_bytes_budget;
+        if denied {
+            self.telemetry.borrow_mut().msgs_denied += 1;
+            // NACK the client so it retries later.
+            let nack = Frame::Ack(AckPkt {
+                msg,
+                greq_id: None,
+                status: Status::Busy,
+            });
+            self.try_send_now(ctx, src, nack);
+        } else {
+            self.desc_bytes_used += desc;
+            let mut t = self.telemetry.borrow_mut();
+            t.descriptor_peak_bytes = t.descriptor_peak_bytes.max(self.desc_bytes_used);
+        }
+        self.msgs.insert(
+            msg,
+            MsgState {
+                phase: if denied {
+                    MsgPhase::Denied
+                } else {
+                    MsgPhase::Opening
+                },
+                total_pkts: total,
+                pkts_seen: 1,
+                ph_done: 0,
+                parked: Vec::new(),
+                completion_frame: None,
+                completion_dispatched: false,
+                dma_horizon: Time::ZERO,
+                last_activity: now,
+                src,
+            },
+        );
+        self.schedule_cleanup(ctx, msg, now);
+    }
+
+    fn emit(&self, ctx: &mut Ctx<'_>, delay: Dur, ev: Inner) {
+        ctx.schedule(delay, self.owner, Box::new(PsPinEvent(ev)));
+    }
+
+    /// Entry point for wrapped self-events from the owning component.
+    pub fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: PsPinEvent) {
+        match ev.0 {
+            Inner::BufCopied { token } => self.on_buf_copied(ctx, token),
+            Inner::AtCluster { token } => self.on_at_cluster(ctx, token),
+            Inner::L1Copied { token } => self.on_l1_copied(ctx, token),
+            Inner::HpuReady { token } => self.on_hpu_ready(ctx, token),
+            Inner::RunDone { run } => self.on_run_done(ctx, run),
+            Inner::CleanupCheck { msg } => self.on_cleanup_check(ctx, msg),
+        }
+    }
+
+    /// The owner must call this whenever the egress gate wakes it.
+    pub fn on_gate_wake(&mut self, ctx: &mut Ctx<'_>) {
+        self.retry_egress(ctx);
+    }
+
+    fn on_buf_copied(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let d = self.cfg.cycles(self.cfg.inter_sched_cycles);
+        self.telemetry.borrow_mut().pipeline.inter_sched_ns.record_dur_ns(d);
+        self.emit(ctx, d, Inner::AtCluster { token });
+    }
+
+    fn on_at_cluster(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let now = ctx.now();
+        let (bytes, cluster) = {
+            let p = self.pending.get(&token).expect("pending packet");
+            (p.pkt.wire_bytes() as u64, p.cluster)
+        };
+        let start = now.max(self.l1_engine_free[cluster]);
+        let dur = self.cfg.l1_copy_time(bytes);
+        self.l1_engine_free[cluster] = start + dur;
+        self.telemetry.borrow_mut().pipeline.l1_copy_ns.record_dur_ns(dur);
+        let delay = (start + dur).since(now);
+        self.emit(ctx, delay, Inner::L1Copied { token });
+    }
+
+    fn on_l1_copied(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        // Packet left the packet buffer: return the ingress credit so the
+        // fabric can deliver the next packet.
+        self.port.ingress_gate.borrow_mut().release(ctx);
+        let d = self.cfg.cycles(self.cfg.intra_sched_cycles);
+        self.telemetry.borrow_mut().pipeline.intra_sched_ns.record_dur_ns(d);
+        self.emit(ctx, d, Inner::HpuReady { token });
+    }
+
+    fn on_hpu_ready(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let now = ctx.now();
+        let p = self.pending.remove(&token).expect("pending packet");
+        self.telemetry.borrow_mut().pkts_processed += 1;
+        let src = p.pkt.src;
+        let cluster = p.cluster;
+        let frame = p.pkt.payload;
+        let (msg, is_first, is_last) = match &frame {
+            Frame::Write(w) => (w.msg, w.is_first(), w.is_last()),
+            other => (other.msg(), true, true),
+        };
+        let Some(st) = self.msgs.get_mut(&msg) else {
+            return; // message already closed (e.g. cleaned up)
+        };
+        st.last_activity = now;
+        if st.phase == MsgPhase::Denied {
+            return; // drop silently; the client was NACKed at arrival
+        }
+        if is_last {
+            // Keep a clone of the completion frame for the CH.
+            st.completion_frame = Some((frame.clone(), src));
+        }
+        let ph = Task {
+            msg,
+            src,
+            frame: frame.clone(),
+            kinds: PH_ONLY,
+            cluster,
+            ready_at: now,
+        };
+        if is_first {
+            // The header handler alone is the ordering barrier; the header
+            // packet's own payload handler is parked like any other PH.
+            st.parked.push(ph);
+            self.enqueue(
+                ctx,
+                cluster,
+                Task {
+                    msg,
+                    src,
+                    frame,
+                    kinds: HH_ONLY,
+                    cluster,
+                    ready_at: now,
+                },
+            );
+        } else if st.phase == MsgPhase::Opening {
+            st.parked.push(ph);
+        } else {
+            self.enqueue(ctx, cluster, ph);
+        }
+    }
+
+    /// Best-effort immediate send used for device-level NACKs: if the
+    /// egress gate is full the NACK is sent via the parked-run machinery of
+    /// a zero-cost synthetic run.
+    fn try_send_now(&mut self, ctx: &mut Ctx<'_>, dst: NodeId, frame: Frame) {
+        let run_id = self.next_run;
+        self.next_run += 1;
+        let mut ops = Ops::new();
+        ops.send(dst, frame);
+        let run = HpuRun {
+            cluster: usize::MAX, // not occupying an HPU
+            msg: MsgId::new(u32::MAX, run_id),
+            segments: vec![(HandlerKind::Cleanup, ops.items, 0)],
+            seg: 0,
+            op: 0,
+            t: ctx.now(),
+            seg_start: ctx.now(),
+        };
+        self.runs.insert(run_id, run);
+        self.advance_run(ctx, run_id);
+    }
+
+    fn enqueue(&mut self, ctx: &mut Ctx<'_>, cluster: usize, task: Task) {
+        self.clusters[cluster].runq.push_back(task);
+        self.dispatch(ctx, cluster);
+    }
+
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, cluster: usize) {
+        while self.clusters[cluster].free_hpus > 0 {
+            let Some(task) = self.clusters[cluster].runq.pop_front() else {
+                return;
+            };
+            self.clusters[cluster].free_hpus -= 1;
+            self.start_task(ctx, cluster, task);
+        }
+    }
+
+    fn start_task(&mut self, ctx: &mut Ctx<'_>, cluster: usize, task: Task) {
+        let now = ctx.now();
+        self.telemetry
+            .borrow_mut()
+            .pipeline
+            .hpu_wait_ns
+            .record_dur_ns(now.since(task.ready_at));
+        let ec = self.ctx_installed.as_mut().expect("installed context");
+        let mut segments = Vec::with_capacity(task.kinds.len());
+        for &kind in task.kinds {
+            let mut ops = Ops::new();
+            {
+                let args = HandlerArgs {
+                    state: &mut *ec.state,
+                    frame: &task.frame,
+                    msg: task.msg,
+                    src: task.src,
+                    local: self.port.node,
+                    now,
+                    ops: &mut ops,
+                };
+                match kind {
+                    HandlerKind::Header => ec.handlers.header(args),
+                    HandlerKind::Payload => ec.handlers.payload(args),
+                    HandlerKind::Completion => ec.handlers.completion(args),
+                    HandlerKind::Cleanup => {
+                        drop(args);
+                        ec.handlers.cleanup(&mut *ec.state, task.msg, &mut ops);
+                    }
+                }
+            }
+            segments.push((kind, ops.items, ops.instrs));
+        }
+        let run_id = self.next_run;
+        self.next_run += 1;
+        self.runs.insert(
+            run_id,
+            HpuRun {
+                cluster,
+                msg: task.msg,
+                segments,
+                seg: 0,
+                op: 0,
+                t: now,
+                seg_start: now,
+            },
+        );
+        self.advance_run(ctx, run_id);
+    }
+
+    /// Replay ops until done or parked on an egress credit.
+    fn advance_run(&mut self, ctx: &mut Ctx<'_>, run_id: u64) {
+        let now = ctx.now();
+        let mut run = self.runs.remove(&run_id).expect("live run");
+        run.t = run.t.max(now);
+        loop {
+            if run.seg == run.segments.len() {
+                // All segments executed; completion bookkeeping at t.
+                let delay = run.t.since(now);
+                self.runs.insert(run_id, run);
+                self.emit(ctx, delay, Inner::RunDone { run: run_id });
+                return;
+            }
+            if run.op == run.segments[run.seg].1.len() {
+                // Segment boundary: record telemetry.
+                let (kind, _, instrs) = &run.segments[run.seg];
+                self.telemetry
+                    .borrow_mut()
+                    .record_handler(*kind, run.t.since(run.seg_start), *instrs);
+                run.seg += 1;
+                run.op = 0;
+                run.seg_start = run.t;
+                continue;
+            }
+            let op = &run.segments[run.seg].1[run.op];
+            match op {
+                Op::Charge { cycles } => {
+                    run.t = run.t + self.cfg.cycles(*cycles);
+                    run.op += 1;
+                }
+                Op::Send { dst, frame } => {
+                    let granted = self.port.egress_gate.borrow_mut().try_take();
+                    if granted {
+                        let pkt = NetPacket::new(self.port.node, *dst, frame.clone());
+                        let delay = run.t.since(now);
+                        let fabric = self.port.fabric;
+                        ctx.schedule(delay, fabric, Box::new(nadfs_simnet::Submit { pkt }));
+                        run.op += 1;
+                    } else {
+                        // Park: HPU blocks holding the run.
+                        self.port
+                            .egress_gate
+                            .borrow_mut()
+                            .register_waiter(self.owner, u64::MAX);
+                        self.egress_waiters.push_back(run_id);
+                        self.runs.insert(run_id, run);
+                        return;
+                    }
+                }
+                Op::DmaWrite { addr, data } => {
+                    let done = self.dma.borrow_mut().write(run.t, *addr, data);
+                    if let Some(st) = self.msgs.get_mut(&run.msg) {
+                        st.dma_horizon = st.dma_horizon.max(done);
+                    }
+                    run.op += 1;
+                }
+                Op::WaitFlush => {
+                    if let Some(st) = self.msgs.get(&run.msg) {
+                        run.t = run.t.max(st.dma_horizon);
+                    }
+                    run.op += 1;
+                }
+                Op::HostEvent { tag } => {
+                    let delay = run.t.since(now);
+                    let note = HostNotify {
+                        node: self.port.node,
+                        tag: *tag,
+                    };
+                    ctx.schedule(delay, self.owner, Box::new(note));
+                    run.op += 1;
+                }
+            }
+        }
+    }
+
+    fn retry_egress(&mut self, ctx: &mut Ctx<'_>) {
+        // FIFO re-attempt; each may re-park (bounded by the starting count).
+        let n = self.egress_waiters.len();
+        for _ in 0..n {
+            if self.port.egress_gate.borrow().available() == 0 {
+                break;
+            }
+            let Some(run_id) = self.egress_waiters.pop_front() else {
+                break;
+            };
+            self.advance_run(ctx, run_id);
+        }
+        // A gate wake drains the waiter list; if runs remain parked we must
+        // re-register or later credit releases will never wake us.
+        if !self.egress_waiters.is_empty() {
+            self.port
+                .egress_gate
+                .borrow_mut()
+                .register_waiter(self.owner, u64::MAX);
+        }
+    }
+
+    fn on_run_done(&mut self, ctx: &mut Ctx<'_>, run_id: u64) {
+        let run = self.runs.remove(&run_id).expect("live run");
+        if run.cluster != usize::MAX {
+            self.clusters[run.cluster].free_hpus += 1;
+        }
+        let kinds: Vec<HandlerKind> = run.segments.iter().map(|s| s.0).collect();
+        let msg = run.msg;
+        let mut close = false;
+        let mut enqueue_ch: Option<Task> = None;
+        if let Some(st) = self.msgs.get_mut(&msg) {
+            st.last_activity = ctx.now();
+            for k in &kinds {
+                match k {
+                    HandlerKind::Header => {
+                        st.phase = MsgPhase::Streaming;
+                    }
+                    HandlerKind::Payload => {
+                        st.ph_done += 1;
+                    }
+                    HandlerKind::Completion | HandlerKind::Cleanup => {
+                        close = true;
+                    }
+                }
+            }
+            if kinds.contains(&HandlerKind::Header) && !st.parked.is_empty() {
+                let parked = std::mem::take(&mut st.parked);
+                let mut touched = Vec::new();
+                for t in parked {
+                    if !touched.contains(&t.cluster) {
+                        touched.push(t.cluster);
+                    }
+                    self.clusters[t.cluster].runq.push_back(t);
+                }
+                for c in touched {
+                    self.dispatch(ctx, c);
+                }
+            }
+        }
+        // Completion-handler release check.
+        if !close {
+            if let Some(st) = self.msgs.get_mut(&msg) {
+                if !st.completion_dispatched
+                    && st.ph_done == st.total_pkts
+                    && st.completion_frame.is_some()
+                {
+                    st.completion_dispatched = true;
+                    let (frame, src) = st.completion_frame.clone().expect("completion frame");
+                    let cluster = self.pkt_rr % self.cfg.n_clusters;
+                    self.pkt_rr += 1;
+                    enqueue_ch = Some(Task {
+                        msg,
+                        src,
+                        frame,
+                        kinds: CH_ONLY,
+                        cluster,
+                        ready_at: ctx.now(),
+                    });
+                }
+            }
+            if let Some(t) = enqueue_ch {
+                let cluster = t.cluster;
+                self.enqueue(ctx, cluster, t);
+            }
+        }
+        if close {
+            self.close_msg(msg, kinds.contains(&HandlerKind::Cleanup));
+        }
+        if run.cluster != usize::MAX {
+            self.dispatch(ctx, run.cluster);
+        }
+    }
+
+    fn close_msg(&mut self, msg: MsgId, cleaned: bool) {
+        if let Some(st) = self.msgs.remove(&msg) {
+            if st.phase != MsgPhase::Denied {
+                let desc = self
+                    .ctx_installed
+                    .as_ref()
+                    .expect("installed context")
+                    .descriptor_bytes as u64;
+                self.desc_bytes_used = self.desc_bytes_used.saturating_sub(desc);
+                if cleaned {
+                    self.telemetry.borrow_mut().msgs_cleaned += 1;
+                } else {
+                    self.telemetry.borrow_mut().msgs_completed += 1;
+                }
+            }
+        }
+    }
+
+    fn schedule_cleanup(&mut self, ctx: &mut Ctx<'_>, msg: MsgId, _now: Time) {
+        self.emit(ctx, self.cfg.cleanup_timeout, Inner::CleanupCheck { msg });
+    }
+
+    fn on_cleanup_check(&mut self, ctx: &mut Ctx<'_>, msg: MsgId) {
+        let now = ctx.now();
+        let Some(st) = self.msgs.get(&msg) else {
+            return; // completed normally
+        };
+        let idle = now.since(st.last_activity);
+        if idle < self.cfg.cleanup_timeout {
+            let remaining = self.cfg.cleanup_timeout - idle;
+            ctx.schedule(
+                remaining,
+                self.owner,
+                Box::new(PsPinEvent(Inner::CleanupCheck { msg })),
+            );
+            return;
+        }
+        if st.phase == MsgPhase::Denied {
+            // Denied messages hold no descriptor; just forget them.
+            self.msgs.remove(&msg);
+            return;
+        }
+        // Run the cleanup handler on the next round-robin cluster.
+        let cluster = self.pkt_rr % self.cfg.n_clusters;
+        self.pkt_rr += 1;
+        let src = st.src;
+        let frame = Frame::Ack(AckPkt {
+            msg,
+            greq_id: None,
+            status: Status::Rejected,
+        }); // placeholder frame; cleanup handlers only see the msg id
+        self.enqueue(
+            ctx,
+            cluster,
+            Task {
+                msg,
+                src,
+                frame,
+                kinds: CL_ONLY,
+                cluster,
+                ready_at: now,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::HandlerSet;
+    use bytes::Bytes;
+    use nadfs_host::{DmaConfig, HostMemory};
+    use nadfs_simnet::{Arrive, Component, Engine, Fabric, FabricConfig, GateWake};
+    use nadfs_wire::{split_payload, WritePkt};
+
+    /// Minimal handler set: validate-ish HH, PH DMAs payload (and forwards
+    /// a copy when `fanout > 0`), CH flushes and acks the client.
+    struct TestHandlers {
+        fanout: usize,
+        fwd_to: NodeId,
+    }
+    #[derive(Default)]
+    struct TestState {
+        headers_seen: u32,
+        payloads_seen: u32,
+        completions_seen: u32,
+        cleanups_seen: u32,
+    }
+
+    impl HandlerSet for TestHandlers {
+        fn header(&mut self, a: HandlerArgs<'_>) {
+            let st = a.state.downcast_mut::<TestState>().expect("state");
+            st.headers_seen += 1;
+            a.ops.charge_instrs(120, 0.57);
+        }
+        fn payload(&mut self, a: HandlerArgs<'_>) {
+            let st = a.state.downcast_mut::<TestState>().expect("state");
+            st.payloads_seen += 1;
+            a.ops.charge_instrs(55, 0.60);
+            if let Frame::Write(w) = a.frame {
+                a.ops.dma_write(0x10_000 + w.offset as u64, w.data.clone());
+                for _ in 0..self.fanout {
+                    let mut fwd = w.clone();
+                    fwd.msg = MsgId::new(a.local as u32, 1_000_000 + w.pkt_idx as u64);
+                    a.ops.send(self.fwd_to, Frame::Write(fwd));
+                }
+            }
+        }
+        fn completion(&mut self, a: HandlerArgs<'_>) {
+            let st = a.state.downcast_mut::<TestState>().expect("state");
+            st.completions_seen += 1;
+            a.ops.charge_instrs(66, 0.62);
+            a.ops.wait_flush();
+            a.ops.send(
+                a.src,
+                Frame::Ack(AckPkt {
+                    msg: a.msg,
+                    greq_id: Some(1),
+                    status: Status::Ok,
+                }),
+            );
+        }
+        fn cleanup(&mut self, state: &mut dyn Any, _msg: MsgId, ops: &mut Ops) {
+            let st = state.downcast_mut::<TestState>().expect("state");
+            st.cleanups_seen += 1;
+            ops.charge_cycles(50);
+            ops.host_event(0xC1EA);
+        }
+    }
+
+    /// NIC owner for the device under test.
+    struct TestNic {
+        dev: Option<PsPinDevice>,
+    }
+    impl Component for TestNic {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Box<dyn Any>) {
+            let dev = self.dev.as_mut().expect("device");
+            let ev = match ev.downcast::<Arrive<Frame>>() {
+                Ok(a) => {
+                    dev.ingest(ctx, a.pkt);
+                    return;
+                }
+                Err(e) => e,
+            };
+            let ev = match ev.downcast::<PsPinEvent>() {
+                Ok(p) => {
+                    dev.on_event(ctx, *p);
+                    return;
+                }
+                Err(e) => e,
+            };
+            let ev = match ev.downcast::<GateWake>() {
+                Ok(_) => {
+                    dev.on_gate_wake(ctx);
+                    return;
+                }
+                Err(e) => e,
+            };
+            if ev.downcast::<HostNotify>().is_ok() {
+                return; // logged implicitly via cleanup counter
+            }
+            panic!("unexpected event at TestNic");
+        }
+    }
+
+    /// Client component: sends one write message (respecting egress
+    /// credits), records ack times.
+    struct TestClient {
+        port: Option<NodePort>,
+        dst: NodeId,
+        size: u32,
+        queued: Option<VecDeque<Frame>>,
+        acks: Rc<RefCell<Vec<(Time, Status)>>>,
+        abandon_after_header: bool,
+    }
+    struct Go;
+    impl TestClient {
+        fn build_packets(&self) -> VecDeque<Frame> {
+            let parts = split_payload(self.size, 1800, 1978);
+            let total = parts.len() as u32;
+            parts
+                .into_iter()
+                .enumerate()
+                .take(if self.abandon_after_header {
+                    1
+                } else {
+                    usize::MAX
+                })
+                .map(|(i, (off, len))| {
+                    Frame::Write(WritePkt {
+                        msg: MsgId::new(
+                            self.port.as_ref().expect("port").node as u32,
+                            7,
+                        ),
+                        pkt_idx: i as u32,
+                        total_pkts: total,
+                        dfs: None,
+                        wrh: None,
+                        offset: off,
+                        data: Bytes::from(vec![0xAB; len as usize]),
+                    })
+                })
+                .collect()
+        }
+        fn pump(&mut self, ctx: &mut Ctx<'_>) {
+            let port = self.port.clone().expect("port");
+            let q = self.queued.get_or_insert_with(VecDeque::new);
+            while let Some(frame) = q.front() {
+                let pkt = NetPacket::new(port.node, self.dst, frame.clone());
+                if port.try_submit(ctx, pkt) {
+                    q.pop_front();
+                } else {
+                    let id = ctx.self_id;
+                    port.egress_gate.borrow_mut().register_waiter(id, 0);
+                    break;
+                }
+            }
+        }
+    }
+    impl Component for TestClient {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Box<dyn Any>) {
+            let ev = match ev.downcast::<Arrive<Frame>>() {
+                Ok(a) => {
+                    if let Frame::Ack(ack) = a.pkt.payload {
+                        self.acks.borrow_mut().push((ctx.now(), ack.status));
+                        let port = self.port.as_ref().expect("port");
+                        port.ingress_gate.borrow_mut().release(ctx);
+                    }
+                    return;
+                }
+                Err(e) => e,
+            };
+            if ev.downcast::<Go>().is_ok() && self.queued.is_none() {
+                self.queued = Some(self.build_packets());
+            }
+            self.pump(ctx); // Go and GateWake both pump
+        }
+    }
+
+    struct Rig {
+        engine: Engine,
+        acks: Rc<RefCell<Vec<(Time, Status)>>>,
+        mem: nadfs_host::SharedMemory,
+    }
+
+    fn build_rig(size: u32, fanout: usize, abandon: bool, cleanup_ms: u64) -> Rig {
+        let mut e = Engine::new();
+        let fid = e.reserve_id();
+        let client_id = e.reserve_id();
+        let nic_id = e.reserve_id();
+        let sink_id = e.reserve_id(); // fanout target that consumes silently
+        let mut fab: Fabric<Frame> = Fabric::new(FabricConfig::default(), fid);
+        let cport = fab.register_node(client_id, None);
+        let mut cfg = PsPinConfig::default();
+        cfg.cleanup_timeout = Dur::from_ms(cleanup_ms);
+        let nport = fab.register_node(nic_id, Some(cfg.pktbuf_slots));
+        let sport = fab.register_node(sink_id, None);
+        e.install(fid, Box::new(fab));
+
+        let mem = HostMemory::new();
+        let dma = Rc::new(RefCell::new(DmaEngine::new(DmaConfig::default(), mem.clone())));
+        let mut dev = PsPinDevice::new(cfg, nport, dma, nic_id);
+        dev.install_context(ExecutionContext {
+            handlers: Box::new(TestHandlers {
+                fanout,
+                fwd_to: sport.node,
+            }),
+            state: Box::new(TestState::default()),
+            state_bytes: 2 << 20,
+            descriptor_bytes: 77,
+        });
+        e.install(nic_id, Box::new(TestNic { dev: Some(dev) }));
+
+        let acks = Rc::new(RefCell::new(vec![]));
+        e.install(
+            client_id,
+            Box::new(TestClient {
+                dst: 1,
+                port: Some(cport),
+                size,
+                queued: None,
+                abandon_after_header: abandon,
+                acks: acks.clone(),
+            }),
+        );
+        // Silent sink for forwarded packets.
+        struct Silent {
+            port: Option<NodePort>,
+        }
+        impl Component for Silent {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Box<dyn Any>) {
+                if ev.downcast::<Arrive<Frame>>().is_ok() {
+                    let port = self.port.as_ref().expect("port");
+                    port.ingress_gate.borrow_mut().release(ctx);
+                }
+            }
+        }
+        e.install(sink_id, Box::new(Silent { port: Some(sport) }));
+        e.schedule(Dur::ZERO, client_id, Box::new(Go));
+        Rig {
+            engine: e,
+            acks,
+            mem,
+        }
+    }
+
+    #[test]
+    fn single_packet_write_runs_all_three_handlers_and_acks() {
+        let mut rig = build_rig(1024, 0, false, 1000);
+        rig.engine.run_until(Time(Dur::from_ms(2).ps()));
+        let acks = rig.acks.borrow();
+        assert_eq!(acks.len(), 1, "client must receive the completion ack");
+        assert_eq!(acks[0].1, Status::Ok);
+        // Latency must include pipeline + HH+PH+CH + DMA flush + ack return.
+        assert!(acks[0].0 > Time(Dur::from_ns(500).ps()));
+        // Data must be durably in host memory.
+        assert_eq!(rig.mem.borrow().read(0x10_000, 1024), vec![0xAB; 1024]);
+    }
+
+    #[test]
+    fn multi_packet_write_dmas_all_payload() {
+        let size = 100_000u32;
+        let mut rig = build_rig(size, 0, false, 1000);
+        rig.engine.run_until(Time(Dur::from_ms(5).ps()));
+        assert_eq!(rig.acks.borrow().len(), 1);
+        assert_eq!(
+            rig.mem.borrow().read(0x10_000, size as usize),
+            vec![0xAB; size as usize]
+        );
+    }
+
+    #[test]
+    fn fanout_forwards_every_packet() {
+        let size = 50_000u32;
+        let mut rig = build_rig(size, 2, false, 1000);
+        rig.engine.run_until(Time(Dur::from_ms(5).ps()));
+        assert_eq!(rig.acks.borrow().len(), 1, "ack still arrives with fanout");
+    }
+
+    #[test]
+    fn abandoned_write_triggers_cleanup() {
+        let mut rig = build_rig(50_000, 0, true, 1);
+        rig.engine.run_until(Time(Dur::from_ms(10).ps()));
+        assert!(rig.acks.borrow().is_empty(), "no ack for abandoned write");
+    }
+}

@@ -1,0 +1,184 @@
+//! The sPIN handler programming interface (paper Listing 1).
+//!
+//! Applications define header / payload / completion handlers (plus the
+//! cleanup handler this work adds, §VII). Handlers are real Rust functions
+//! that perform the *functional* work on the execution context's NIC-memory
+//! state and record an operation list ([`Ops`]) describing what the HPU
+//! does over simulated time: cycles burned, packets sent, DMA issued.
+//! The device replays the list, blocking on egress credits and DMA flushes,
+//! so handler *duration* includes real stalls (this is how the paper's
+//! PBT IPC collapse emerges rather than being scripted).
+
+use std::any::Any;
+
+use bytes::Bytes;
+use nadfs_simnet::{NodeId, Time};
+use nadfs_wire::{Frame, MsgId};
+
+/// Which handler of the triple (plus cleanup) a record refers to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum HandlerKind {
+    Header,
+    Payload,
+    Completion,
+    Cleanup,
+}
+
+impl HandlerKind {
+    pub fn short(&self) -> &'static str {
+        match self {
+            HandlerKind::Header => "HH",
+            HandlerKind::Payload => "PH",
+            HandlerKind::Completion => "CH",
+            HandlerKind::Cleanup => "CL",
+        }
+    }
+}
+
+/// One operation in a handler's recorded execution.
+#[derive(Debug)]
+pub enum Op {
+    /// Burn `cycles` of HPU time.
+    Charge { cycles: u64 },
+    /// Emit a packet (blocks the HPU while the NIC egress queue is full).
+    Send { dst: NodeId, frame: Frame },
+    /// Post a DMA write toward host memory (asynchronous).
+    DmaWrite { addr: u64, data: Bytes },
+    /// Block until every DMA write of this *message* is durable — the
+    /// explicit flush the paper highlights under data persistence
+    /// (§III-B-1).
+    WaitFlush,
+    /// Notify the host DFS software through the event queue (§III-C);
+    /// delivered to the NIC owner's component with this tag.
+    HostEvent { tag: u64 },
+}
+
+/// Recorder handed to handler code.
+#[derive(Debug, Default)]
+pub struct Ops {
+    pub(crate) items: Vec<Op>,
+    pub(crate) instrs: u64,
+}
+
+impl Ops {
+    pub fn new() -> Ops {
+        Ops::default()
+    }
+
+    /// Burn raw cycles (no instruction accounting).
+    pub fn charge_cycles(&mut self, cycles: u64) {
+        if cycles > 0 {
+            self.items.push(Op::Charge { cycles });
+        }
+    }
+
+    /// Account `instrs` instructions executing at `ipc` instructions/cycle.
+    /// This is the paper's cost model: duration = instructions ÷ IPC.
+    pub fn charge_instrs(&mut self, instrs: u64, ipc: f64) {
+        assert!(ipc > 0.0, "ipc must be positive");
+        self.instrs += instrs;
+        let cycles = (instrs as f64 / ipc).round() as u64;
+        self.charge_cycles(cycles);
+    }
+
+    pub fn send(&mut self, dst: NodeId, frame: Frame) {
+        self.items.push(Op::Send { dst, frame });
+    }
+
+    pub fn dma_write(&mut self, addr: u64, data: Bytes) {
+        self.items.push(Op::DmaWrite { addr, data });
+    }
+
+    pub fn wait_flush(&mut self) {
+        self.items.push(Op::WaitFlush);
+    }
+
+    pub fn host_event(&mut self, tag: u64) {
+        self.items.push(Op::HostEvent { tag });
+    }
+
+    pub fn instr_count(&self) -> u64 {
+        self.instrs
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Arguments a handler receives: the execution context state (NIC memory),
+/// the triggering frame, and identifiers.
+pub struct HandlerArgs<'a> {
+    /// Execution-context state living in NIC memory (`task->mem` in the
+    /// paper's Listing 1). Downcast to the DFS state type.
+    pub state: &'a mut dyn Any,
+    pub frame: &'a Frame,
+    pub msg: MsgId,
+    /// Source node of the packet.
+    pub src: NodeId,
+    /// This storage node's address.
+    pub local: NodeId,
+    pub now: Time,
+    pub ops: &'a mut Ops,
+}
+
+/// A set of sPIN handlers for one execution context (paper Listing 1:
+/// `header_handler`, `payload_handler`, `tail_handler`; §VII adds the
+/// cleanup handler).
+pub trait HandlerSet {
+    /// Runs on the first packet of a message, before any payload handler.
+    fn header(&mut self, a: HandlerArgs<'_>);
+    /// Runs on every packet (header and completion included).
+    fn payload(&mut self, a: HandlerArgs<'_>);
+    /// Runs on the last packet, after all payload handlers completed.
+    fn completion(&mut self, a: HandlerArgs<'_>);
+    /// Runs when an open message has been inactive past the timeout.
+    fn cleanup(&mut self, state: &mut dyn Any, msg: MsgId, ops: &mut Ops);
+}
+
+/// An installed execution context: handlers plus their NIC-memory state.
+pub struct ExecutionContext {
+    pub handlers: Box<dyn HandlerSet>,
+    pub state: Box<dyn Any>,
+    /// NIC memory reserved for DFS-wide state (e.g. the 64 KiB GF table,
+    /// accumulator pool). Charged against device memory at install.
+    pub state_bytes: u64,
+    /// Per-open-request descriptor size; the paper's write descriptor is
+    /// 77 B (§III-B).
+    pub descriptor_bytes: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_instrs_converts_with_ipc() {
+        let mut o = Ops::new();
+        o.charge_instrs(120, 0.57);
+        assert_eq!(o.instr_count(), 120);
+        match &o.items[0] {
+            Op::Charge { cycles } => assert_eq!(*cycles, 211), // 120/0.57
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_charge_is_elided() {
+        let mut o = Ops::new();
+        o.charge_cycles(0);
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn ops_record_in_order() {
+        let mut o = Ops::new();
+        o.charge_cycles(5);
+        o.wait_flush();
+        o.host_event(9);
+        assert_eq!(o.items.len(), 3);
+        assert!(matches!(o.items[0], Op::Charge { cycles: 5 }));
+        assert!(matches!(o.items[1], Op::WaitFlush));
+        assert!(matches!(o.items[2], Op::HostEvent { tag: 9 }));
+    }
+}

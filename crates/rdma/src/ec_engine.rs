@@ -1,0 +1,302 @@
+//! INEC/TriEC-style firmware erasure-coding engine (Shi & Lu, SC'19/SC'20;
+//! paper §VI-A, "INEC-TriEC").
+//!
+//! Per-*chunk*, store-and-forward EC offload on a conventional RDMA NIC:
+//!
+//! * **Data node**: a data chunk lands in host memory like a normal RDMA
+//!   write. The NIC EC engine is then triggered, DMA-reads the chunk back
+//!   from host memory, multiplies it by the parity coefficients, and sends
+//!   m intermediate parity chunks to the parity nodes.
+//! * **Parity node**: intermediate parities land in host staging buffers;
+//!   once all k arrived, the engine reads them back, XORs them, and writes
+//!   the final parity chunk — then acknowledges the client.
+//!
+//! The contrast with sPIN-TriEC (per-packet streaming, no host round trips)
+//! is the entire point of Fig 15.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use nadfs_gfec::ReedSolomon;
+use nadfs_simnet::{Bandwidth, Ctx, Dur, NodeId, Time};
+use nadfs_wire::{
+    AckPkt, DfsHeader, EcInfo, EcRole, MsgId, ReplicaCoord, Resiliency, Status, WriteReqHeader,
+};
+
+use crate::nic::NicCore;
+
+/// Firmware EC engine parameters.
+#[derive(Clone, Debug)]
+pub struct EcEngineConfig {
+    /// Coefficient-multiply throughput of the engine (per output byte).
+    pub encode_bw: Bandwidth,
+    /// XOR aggregation throughput (per input byte).
+    pub xor_bw: Bandwidth,
+    /// Trigger/launch overhead per engine operation (WQE chain wakeup).
+    pub trigger: Dur,
+}
+
+impl Default for EcEngineConfig {
+    fn default() -> Self {
+        EcEngineConfig {
+            // TriEC/INEC-class firmware engines on ConnectX NICs encode in
+            // the ~tens of Gbit/s range (Shi & Lu report single-digit GB/s
+            // per NIC); triggered-WQE chains cost microseconds to fire.
+            encode_bw: Bandwidth::from_gbyte_per_sec(10),
+            xor_bw: Bandwidth::from_gbyte_per_sec(20),
+            trigger: Dur::from_ns(5_000),
+        }
+    }
+}
+
+struct AggState {
+    k: u8,
+    chunk_len: u32,
+    staged: Vec<bool>,
+    staged_count: u8,
+    final_addr: u64,
+    greq: u64,
+    client: NodeId,
+    flush: Time,
+}
+
+/// Deferred engine work.
+#[derive(Debug)]
+pub enum EcEngineEvent {
+    /// Encode the data chunk that landed at `addr` and forward intermediate
+    /// parities.
+    Encode {
+        addr: u64,
+        len: u32,
+        info: EcInfo,
+        dfs: Option<DfsHeader>,
+        client: NodeId,
+    },
+    /// Aggregate the staged intermediate parities for (stripe, parity_idx).
+    Aggregate { stripe: u64, parity_idx: u8 },
+}
+
+/// The engine state on one NIC.
+pub struct EcEngine {
+    cfg: EcEngineConfig,
+    rs_cache: HashMap<(u8, u8), ReedSolomon>,
+    agg: HashMap<(u64, u8), AggState>,
+    busy_until: Time,
+    pub chunks_encoded: u64,
+    pub parities_written: u64,
+}
+
+impl EcEngine {
+    pub fn new(cfg: EcEngineConfig) -> EcEngine {
+        EcEngine {
+            cfg,
+            rs_cache: HashMap::new(),
+            agg: HashMap::new(),
+            busy_until: Time::ZERO,
+            chunks_encoded: 0,
+            parities_written: 0,
+        }
+    }
+
+    fn rs(&mut self, k: u8, m: u8) -> &ReedSolomon {
+        self.rs_cache
+            .entry((k, m))
+            .or_insert_with(|| ReedSolomon::new(k as usize, m as usize).expect("valid RS params"))
+    }
+
+    /// Does this write carry an EC role the engine should consume?
+    pub fn wants(&self, wrh: &WriteReqHeader) -> bool {
+        matches!(wrh.resiliency, Resiliency::ErasureCode(_))
+    }
+}
+
+/// A fully-landed EC write on a firmware-EC NIC. Returns the deferred work
+/// to schedule, if any, plus whether the client should get a data-chunk ack.
+pub(crate) fn on_ec_write_landed(
+    core: &mut NicCore,
+    ctx: &mut Ctx<'_>,
+    src: NodeId,
+    dfs: Option<DfsHeader>,
+    wrh: &WriteReqHeader,
+    flush: Time,
+) {
+    let Resiliency::ErasureCode(info) = &wrh.resiliency else {
+        return;
+    };
+    let info = info.clone();
+    match info.role {
+        EcRole::Data { .. } => {
+            // Ack the client for the durable data chunk, then trigger the
+            // encode pass (store-and-forward: data must be in host memory
+            // first — that is the INEC model).
+            let greq = dfs.map(|d| d.greq_id);
+            let ack = AckPkt {
+                msg: MsgId::new(core.node() as u32, greq.unwrap_or(0)),
+                greq_id: greq,
+                status: Status::Ok,
+            };
+            let client = src;
+            // Ack at flush time.
+            let delay = flush.since(ctx.now());
+            ctx.schedule_self(
+                delay,
+                Box::new(crate::nic::DeferredAck { dst: client, ack }),
+            );
+            let engine = core.ec.as_mut().expect("engine enabled");
+            let start = flush.max(engine.busy_until) + engine.cfg.trigger;
+            engine.busy_until = start;
+            let ev = EcEngineEvent::Encode {
+                addr: wrh.target_addr,
+                len: wrh.len,
+                info,
+                dfs,
+                client,
+            };
+            ctx.schedule_self(start.since(ctx.now()), Box::new(ev));
+        }
+        EcRole::Parity {
+            parity_idx,
+            src_chunk,
+        } => {
+            let final_coord = info
+                .parity_coords
+                .first()
+                .copied()
+                .unwrap_or(ReplicaCoord { node: 0, addr: 0 });
+            let engine = core.ec.as_mut().expect("engine enabled");
+            let key = (info.stripe, parity_idx);
+            let st = engine.agg.entry(key).or_insert_with(|| AggState {
+                k: info.scheme.k,
+                chunk_len: wrh.len,
+                staged: vec![false; info.scheme.k as usize],
+                staged_count: 0,
+                final_addr: final_coord.addr,
+                greq: dfs.map(|d| d.greq_id).unwrap_or(0),
+                client: dfs.map(|d| d.client as NodeId).unwrap_or(0),
+                flush: Time::ZERO,
+            });
+            st.flush = st.flush.max(flush);
+            if !st.staged[src_chunk as usize] {
+                st.staged[src_chunk as usize] = true;
+                st.staged_count += 1;
+            }
+            if st.staged_count == st.k {
+                let start = st.flush.max(engine.busy_until) + engine.cfg.trigger;
+                engine.busy_until = start;
+                let ev = EcEngineEvent::Aggregate {
+                    stripe: info.stripe,
+                    parity_idx,
+                };
+                ctx.schedule_self(start.since(ctx.now()), Box::new(ev));
+            }
+        }
+    }
+}
+
+impl EcEngine {
+    /// Dispatch deferred engine work on `core`.
+    pub fn step(core: &mut NicCore, ctx: &mut Ctx<'_>, ev: EcEngineEvent) {
+        let now = ctx.now();
+        match ev {
+            EcEngineEvent::Encode {
+                addr,
+                len,
+                info,
+                dfs,
+                client: _,
+            } => {
+                let EcRole::Data { chunk_idx } = info.role else {
+                    return;
+                };
+                // DMA-read the chunk back from host memory.
+                let (data, ready) = core.dma.borrow_mut().read(now, addr, len as usize);
+                let engine = core.ec.as_mut().expect("engine enabled");
+                let m = info.scheme.m;
+                let k = info.scheme.k;
+                // Engine compute: m coefficient-multiplied outputs.
+                let compute = engine.cfg.encode_bw.tx_time(len as u64 * m as u64);
+                let send_at = ready + compute;
+                engine.busy_until = engine.busy_until.max(send_at);
+                engine.chunks_encoded += 1;
+                let coefs: Vec<u8> = (0..m)
+                    .map(|p| {
+                        engine
+                            .rs(k, m)
+                            .parity_coef(p as usize, chunk_idx as usize)
+                    })
+                    .collect();
+                // Build and (deferred to send_at) emit the intermediate
+                // parity writes to each parity node.
+                let mut sends = Vec::new();
+                for (p, coef) in coefs.into_iter().enumerate() {
+                    let ipar = nadfs_gfec::intermediate_parity(coef, &data);
+                    let coord = info.parity_coords[p];
+                    // Staging layout at the parity node: final parity chunk
+                    // at `coord.addr`, then k staging slots of chunk_len.
+                    let staging = coord.addr + (1 + chunk_idx as u64) * len as u64;
+                    let wrh = WriteReqHeader {
+                        target_addr: staging,
+                        len,
+                        resiliency: Resiliency::ErasureCode(EcInfo {
+                            scheme: info.scheme,
+                            role: EcRole::Parity {
+                                parity_idx: p as u8,
+                                src_chunk: chunk_idx,
+                            },
+                            stripe: info.stripe,
+                            parity_coords: vec![coord],
+                        }),
+                    };
+                    sends.push((coord.node as NodeId, wrh, Bytes::from(ipar)));
+                }
+                ctx.schedule_self(
+                    send_at.since(now),
+                    Box::new(crate::nic::DeferredWrites { sends, dfs }),
+                );
+            }
+            EcEngineEvent::Aggregate { stripe, parity_idx } => {
+                let engine = core.ec.as_mut().expect("engine enabled");
+                let Some(st) = engine.agg.remove(&(stripe, parity_idx)) else {
+                    return;
+                };
+                let xor_cost = engine
+                    .cfg
+                    .xor_bw
+                    .tx_time(st.chunk_len as u64 * st.k as u64);
+                engine.parities_written += 1;
+                // Read back the k staged chunks (DMA read channel), XOR,
+                // write the final parity.
+                let mut acc = vec![0u8; st.chunk_len as usize];
+                let mut ready = now;
+                for j in 0..st.k {
+                    let staging = st.final_addr + (1 + j as u64) * st.chunk_len as u64;
+                    let (data, r) = core
+                        .dma
+                        .borrow_mut()
+                        .read(ready, staging, st.chunk_len as usize);
+                    ready = r;
+                    for (a, d) in acc.iter_mut().zip(data.iter()) {
+                        *a ^= d;
+                    }
+                }
+                let write_done = core
+                    .dma
+                    .borrow_mut()
+                    .write(ready + xor_cost, st.final_addr, &acc);
+                // Ack the client once the final parity is durable.
+                let ack = AckPkt {
+                    msg: MsgId::new(core.node() as u32, st.greq),
+                    greq_id: Some(st.greq),
+                    status: Status::Ok,
+                };
+                ctx.schedule_self(
+                    write_done.since(now),
+                    Box::new(crate::nic::DeferredAck {
+                        dst: st.client,
+                        ack,
+                    }),
+                );
+            }
+        }
+    }
+}

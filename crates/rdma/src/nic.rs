@@ -1,0 +1,785 @@
+//! The RDMA NIC component: packetization and egress flow control, one-sided
+//! WRITE/READ handling, SEND/RPC reassembly, MR protection, and routing into
+//! the optional PsPIN accelerator, HyperLoop chains, and the firmware EC
+//! engine.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use bytes::Bytes;
+use nadfs_host::{Cpu, CpuCosts, DmaConfig, DmaEngine, HostMemory, SharedMemory};
+use nadfs_pspin::{HostNotify, PsPinConfig, PsPinDevice, PsPinEvent};
+use nadfs_simnet::{
+    Arrive, Component, ComponentId, Ctx, Dur, GateWake, NetPacket, NodeId, NodePort, Time,
+};
+use nadfs_wire::{
+    split_payload, write_payload_caps, AckPkt, DfsHeader, Frame, HlConfigPkt, MsgId, ReadReqHeader,
+    ReadReqPkt, ReadRespPkt, RpcBody, SendPkt, Status, WritePkt, WriteReqHeader,
+};
+
+use crate::app::NicApp;
+use crate::chains::{self, ChainEvent, Chains};
+use crate::ec_engine::{self, EcEngine, EcEngineEvent};
+
+/// Per-NIC configuration.
+#[derive(Clone, Debug, Default)]
+pub struct NicConfig {
+    pub dma: DmaConfig,
+    pub cpu: CpuCosts,
+    /// Enforce memory-region protection on one-sided ops.
+    pub enforce_mr: bool,
+}
+
+// --- internal events ----------------------------------------------------
+
+/// Self-event: a raw write message has fully flushed; emit its ack.
+struct RawAck {
+    msg: MsgId,
+    dst: NodeId,
+    greq_id: Option<u64>,
+}
+/// Self-event: a locally-issued read completed.
+struct ReadDone {
+    token: u64,
+}
+/// Self-event: stream the next chunk of a read response.
+struct ReadStream {
+    msg: MsgId,
+}
+/// Self-event: app timer. Also usable from outside the component (e.g.
+/// test or experiment drivers) to bootstrap the app:
+/// `engine.schedule(delay, nic_id, Box::new(AppTimer { tag }))`.
+pub struct AppTimer {
+    pub tag: u64,
+}
+/// Self-event: send an ack at a deferred (flush) time.
+pub(crate) struct DeferredAck {
+    pub dst: NodeId,
+    pub ack: AckPkt,
+}
+/// Self-event: issue writes at a deferred (engine-ready) time.
+pub(crate) struct DeferredWrites {
+    pub sends: Vec<(NodeId, WriteReqHeader, Bytes)>,
+    pub dfs: Option<DfsHeader>,
+}
+/// Self-event: enqueue frames at a deferred time (read-response pacing).
+struct DeferredSend {
+    dst: NodeId,
+    frames: Vec<Frame>,
+}
+
+// --- reassembly states --------------------------------------------------
+
+struct RawWriteState {
+    src: NodeId,
+    dfs: Option<DfsHeader>,
+    wrh: WriteReqHeader,
+    pkts_seen: u32,
+    total: u32,
+    bytes: u32,
+    flush: Time,
+    chain_write: bool,
+}
+
+struct SendState {
+    src: NodeId,
+    body: RpcBody,
+    data: Vec<u8>,
+    pkts_seen: u32,
+    total: u32,
+}
+
+/// Pending read this node issued (initiator side).
+struct PendingRead {
+    local_addr: u64,
+    token: u64,
+    pkts_seen: u32,
+    flush: Time,
+}
+
+/// Read response being streamed (responder side).
+struct ReadResponder {
+    dst: NodeId,
+    msg: MsgId,
+    addr: u64,
+    len: u32,
+    next_off: u32,
+    total_pkts: u32,
+    next_idx: u32,
+}
+
+/// The hardware/firmware half of a node, exposed to the app.
+pub struct NicCore {
+    pub cfg: NicConfig,
+    port: NodePort,
+    pub(crate) mem: SharedMemory,
+    pub(crate) dma: Rc<RefCell<DmaEngine>>,
+    pub cpu: Cpu,
+    self_id: ComponentId,
+    pspin: Option<PsPinDevice>,
+    pub(crate) chains: Chains,
+    pub(crate) ec: Option<EcEngine>,
+    out_q: VecDeque<(NodeId, Frame)>,
+    next_seq: u64,
+    raw_writes: HashMap<MsgId, RawWriteState>,
+    sends: HashMap<MsgId, SendState>,
+    pending_reads: HashMap<MsgId, PendingRead>,
+    responders: HashMap<MsgId, ReadResponder>,
+    mrs: Vec<(u64, u64)>,
+    /// Diagnostics.
+    pub writes_acked: u64,
+    pub frames_sent: u64,
+}
+
+impl NicCore {
+    pub fn node(&self) -> NodeId {
+        self.port.node
+    }
+
+    pub fn memory(&self) -> SharedMemory {
+        self.mem.clone()
+    }
+
+    pub fn dma(&self) -> Rc<RefCell<DmaEngine>> {
+        self.dma.clone()
+    }
+
+    pub fn port(&self) -> &NodePort {
+        &self.port
+    }
+
+    /// Register a memory region for one-sided access.
+    pub fn register_mr(&mut self, addr: u64, len: u64) {
+        self.mrs.push((addr, len));
+    }
+
+    fn mr_ok(&self, addr: u64, len: u64) -> bool {
+        if !self.cfg.enforce_mr {
+            return true;
+        }
+        self.mrs
+            .iter()
+            .any(|&(a, l)| addr >= a && addr + len <= a + l)
+    }
+
+    /// Install PsPIN with an execution context on this NIC.
+    pub fn install_pspin(&mut self, cfg: PsPinConfig, ec: nadfs_pspin::ExecutionContext) {
+        let mut dev = PsPinDevice::new(cfg, self.port.clone(), self.dma.clone(), self.self_id);
+        dev.install_context(ec);
+        self.pspin = Some(dev);
+    }
+
+    pub fn pspin(&self) -> Option<&PsPinDevice> {
+        self.pspin.as_ref()
+    }
+
+    pub fn pspin_mut(&mut self) -> Option<&mut PsPinDevice> {
+        self.pspin.as_mut()
+    }
+
+    /// Enable the INEC-style firmware EC engine on this NIC.
+    pub fn enable_firmware_ec(&mut self, engine: EcEngine) {
+        self.ec = Some(engine);
+    }
+
+    pub fn firmware_ec(&self) -> Option<&EcEngine> {
+        self.ec.as_ref()
+    }
+
+    pub fn hyperloop_chains(&self) -> &Chains {
+        &self.chains
+    }
+
+    fn alloc_msg(&mut self) -> MsgId {
+        let m = MsgId::new(self.port.node as u32, self.next_seq);
+        self.next_seq += 1;
+        m
+    }
+
+    /// Queue frames for transmission (egress flow control applies).
+    pub fn send_frames(&mut self, ctx: &mut Ctx<'_>, dst: NodeId, frames: Vec<Frame>) {
+        for f in frames {
+            self.out_q.push_back((dst, f));
+        }
+        self.pump(ctx);
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        while let Some((dst, _)) = self.out_q.front() {
+            let dst = *dst;
+            let granted = self.port.egress_gate.borrow_mut().try_take();
+            if !granted {
+                let id = self.self_id;
+                self.port.egress_gate.borrow_mut().register_waiter(id, 0);
+                return;
+            }
+            let (_, frame) = self.out_q.pop_front().expect("nonempty");
+            self.frames_sent += 1;
+            let pkt = NetPacket::new(self.port.node, dst, frame);
+            ctx.schedule(
+                Dur::ZERO,
+                self.port.fabric,
+                Box::new(nadfs_simnet::Submit { pkt }),
+            );
+        }
+    }
+
+    /// Packets queued but not yet injected (diagnostic).
+    pub fn egress_backlog(&self) -> usize {
+        self.out_q.len()
+    }
+
+    /// Queue frames with per-frame destinations (used by the TriEC client
+    /// to interleave the packets of k chunk writes, §VI-B-1).
+    pub fn send_mixed(&mut self, ctx: &mut Ctx<'_>, frames: Vec<(NodeId, Frame)>) {
+        for (dst, f) in frames {
+            self.out_q.push_back((dst, f));
+        }
+        self.pump(ctx);
+    }
+
+    /// Build the packets of an RDMA write message without sending them.
+    pub fn build_write_frames(
+        &mut self,
+        dfs: Option<DfsHeader>,
+        wrh: WriteReqHeader,
+        data: Bytes,
+    ) -> (MsgId, Vec<Frame>) {
+        let msg = self.alloc_msg();
+        let (mut first_cap, rest_cap) = write_payload_caps(&wrh);
+        if dfs.is_none() {
+            first_cap += DfsHeader::wire_size();
+        }
+        let parts = split_payload(data.len() as u32, first_cap, rest_cap);
+        let total = parts.len() as u32;
+        let frames = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, (off, len))| {
+                Frame::Write(WritePkt {
+                    msg,
+                    pkt_idx: i as u32,
+                    total_pkts: total,
+                    dfs: if i == 0 { dfs } else { None },
+                    wrh: if i == 0 { Some(wrh.clone()) } else { None },
+                    offset: off,
+                    data: data.slice(off as usize..(off + len) as usize),
+                })
+            })
+            .collect();
+        (msg, frames)
+    }
+
+    /// One-sided RDMA write of `data` to `dst`.
+    pub fn send_write(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dst: NodeId,
+        dfs: Option<DfsHeader>,
+        wrh: WriteReqHeader,
+        data: Bytes,
+    ) -> MsgId {
+        let (msg, frames) = self.build_write_frames(dfs, wrh, data);
+        self.send_frames(ctx, dst, frames);
+        msg
+    }
+
+    /// Two-sided SEND carrying an RPC body plus optional inline data.
+    pub fn send_rpc(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dst: NodeId,
+        body: RpcBody,
+        data: Bytes,
+    ) -> MsgId {
+        let msg = self.alloc_msg();
+        let hdr = body.wire_size();
+        let first_cap = nadfs_wire::sizes::MTU
+            - nadfs_wire::sizes::RDMA_HEADER
+            - nadfs_wire::sizes::RPC_HEADER
+            - hdr;
+        let rest_cap =
+            nadfs_wire::sizes::MTU - nadfs_wire::sizes::RDMA_HEADER - nadfs_wire::sizes::RPC_HEADER;
+        let parts = split_payload(data.len() as u32, first_cap, rest_cap);
+        let total = parts.len() as u32;
+        let frames = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, (off, len))| {
+                Frame::Send(SendPkt {
+                    msg,
+                    pkt_idx: i as u32,
+                    total_pkts: total,
+                    rpc: if i == 0 { Some(body.clone()) } else { None },
+                    offset: off,
+                    data: data.slice(off as usize..(off + len) as usize),
+                })
+            })
+            .collect();
+        self.send_frames(ctx, dst, frames);
+        msg
+    }
+
+    /// One-sided RDMA read: fetch `rrh.len` bytes at `rrh.addr` on `dst`
+    /// into local memory at `local_addr`; `on_read_done(token)` follows.
+    pub fn send_read(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dst: NodeId,
+        rrh: ReadReqHeader,
+        dfs: Option<DfsHeader>,
+        local_addr: u64,
+        token: u64,
+    ) -> MsgId {
+        let msg = self.alloc_msg();
+        self.pending_reads.insert(
+            msg,
+            PendingRead {
+                local_addr,
+                token,
+                pkts_seen: 0,
+                flush: Time::ZERO,
+            },
+        );
+        self.send_frames(ctx, dst, vec![Frame::ReadReq(ReadReqPkt { msg, dfs, rrh })]);
+        msg
+    }
+
+    pub fn send_ack(&mut self, ctx: &mut Ctx<'_>, dst: NodeId, ack: AckPkt) {
+        self.send_frames(ctx, dst, vec![Frame::Ack(ack)]);
+    }
+
+    /// Configure a HyperLoop forwarding chain on a remote NIC. Large
+    /// configurations (many WQE updates) span several MTU-sized writes;
+    /// the chain arms — and the config ack returns — on the last fragment.
+    pub fn send_hl_config(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dst: NodeId,
+        mut cfg: HlConfigPkt,
+    ) -> MsgId {
+        let msg = self.alloc_msg();
+        cfg.msg = msg;
+        cfg.total_frags = cfg.frags_needed();
+        let frames = (0..cfg.total_frags)
+            .map(|frag| {
+                let mut f = cfg.clone();
+                f.frag = frag;
+                Frame::HlConfig(f)
+            })
+            .collect();
+        self.send_frames(ctx, dst, frames);
+        msg
+    }
+
+    /// Schedule an app timer.
+    pub fn set_timer(&mut self, ctx: &mut Ctx<'_>, delay: Dur, tag: u64) {
+        ctx.schedule(delay, self.self_id, Box::new(AppTimer { tag }));
+    }
+
+    // --- ingress handling -------------------------------------------------
+
+    fn release_ingress(&mut self, ctx: &mut Ctx<'_>) {
+        self.port.ingress_gate.borrow_mut().release(ctx);
+    }
+
+    fn on_write_pkt(&mut self, ctx: &mut Ctx<'_>, src: NodeId, w: WritePkt) {
+        let now = ctx.now();
+        if w.is_first() {
+            let wrh = w.wrh.clone().expect("first packet carries WRH");
+            if !self.mr_ok(wrh.target_addr, wrh.len as u64) {
+                let nack = AckPkt {
+                    msg: w.msg,
+                    greq_id: w.dfs.map(|d| d.greq_id),
+                    status: Status::Rejected,
+                };
+                self.send_ack(ctx, src, nack);
+                return;
+            }
+            let chain_write = self.chains.matches(&wrh);
+            self.raw_writes.insert(
+                w.msg,
+                RawWriteState {
+                    src,
+                    dfs: w.dfs,
+                    wrh,
+                    pkts_seen: 0,
+                    total: w.total_pkts,
+                    bytes: 0,
+                    flush: Time::ZERO,
+                    chain_write,
+                },
+            );
+        }
+        let Some(st) = self.raw_writes.get_mut(&w.msg) else {
+            return; // message was rejected at its first packet
+        };
+        let addr = st.wrh.target_addr + w.offset as u64;
+        let done = self.dma.borrow_mut().write(now, addr, &w.data);
+        st.flush = st.flush.max(done);
+        st.pkts_seen += 1;
+        st.bytes += w.data.len() as u32;
+        let complete = st.pkts_seen == st.total;
+        let chain_write = st.chain_write;
+        if chain_write {
+            // Chains forward chunk-by-chunk as data lands (pipelining).
+            let wrh = st.wrh.clone();
+            let bytes = st.bytes;
+            let flush = st.flush;
+            if complete {
+                self.raw_writes.remove(&w.msg);
+            }
+            chains::on_progress(self, ctx, &wrh, bytes, flush);
+            return;
+        }
+        if complete {
+            let st = self.raw_writes.remove(&w.msg).expect("just updated");
+            let is_ec = self.ec.as_ref().is_some_and(|e| e.wants(&st.wrh));
+            if is_ec {
+                ec_engine::on_ec_write_landed(self, ctx, src, st.dfs, &st.wrh, st.flush);
+                return;
+            }
+            // Plain raw write: ack the initiator once durable.
+            ctx.schedule_at(
+                st.flush,
+                self.self_id,
+                Box::new(RawAck {
+                    msg: w.msg,
+                    dst: st.src,
+                    greq_id: st.dfs.map(|d| d.greq_id),
+                }),
+            );
+        }
+    }
+
+    fn on_read_req(&mut self, ctx: &mut Ctx<'_>, src: NodeId, r: ReadReqPkt) {
+        if !self.mr_ok(r.rrh.addr, r.rrh.len as u64) {
+            let nack = AckPkt {
+                msg: r.msg,
+                greq_id: r.dfs.map(|d| d.greq_id),
+                status: Status::Rejected,
+            };
+            self.send_ack(ctx, src, nack);
+            return;
+        }
+        let payload_cap = nadfs_wire::sizes::max_payload_plain();
+        let total_pkts = r.rrh.len.div_ceil(payload_cap).max(1);
+        self.responders.insert(
+            r.msg,
+            ReadResponder {
+                dst: src,
+                msg: r.msg,
+                addr: r.rrh.addr,
+                len: r.rrh.len,
+                next_off: 0,
+                total_pkts,
+                next_idx: 0,
+            },
+        );
+        self.stream_read(ctx, r.msg);
+    }
+
+    /// Stream the next response batch: DMA-read up to 32 packets' worth
+    /// from host memory, emit the packets at DMA-ready time, reschedule.
+    /// The batch amortizes the per-op PCIe latency so streaming reads run
+    /// at the DMA-read channel bandwidth.
+    fn stream_read(&mut self, ctx: &mut Ctx<'_>, msg: MsgId) {
+        const BATCH_PKTS: u32 = 32;
+        let now = ctx.now();
+        let Some(r) = self.responders.get_mut(&msg) else {
+            return;
+        };
+        let payload_cap = nadfs_wire::sizes::max_payload_plain();
+        let remaining = r.len - r.next_off.min(r.len);
+        let chunk = (payload_cap * BATCH_PKTS).min(remaining);
+        let mut frames = Vec::new();
+        let dst = r.dst;
+        let ready;
+        if r.len == 0 {
+            frames.push(Frame::ReadResp(ReadRespPkt {
+                msg: r.msg,
+                pkt_idx: 0,
+                total_pkts: 1,
+                offset: 0,
+                data: Bytes::new(),
+            }));
+            ready = now;
+            self.responders.remove(&msg);
+        } else {
+            let (data, dma_ready) =
+                self.dma
+                    .borrow_mut()
+                    .read(now, r.addr + r.next_off as u64, chunk as usize);
+            ready = dma_ready;
+            let base_off = r.next_off;
+            let mut off = 0u32;
+            while off < chunk {
+                let len = payload_cap.min(chunk - off);
+                frames.push(Frame::ReadResp(ReadRespPkt {
+                    msg: r.msg,
+                    pkt_idx: r.next_idx,
+                    total_pkts: r.total_pkts,
+                    offset: base_off + off,
+                    data: data.slice(off as usize..(off + len) as usize),
+                }));
+                r.next_idx += 1;
+                off += len;
+            }
+            r.next_off += chunk;
+            let more = r.next_off < r.len;
+            if more {
+                ctx.schedule_self(ready.since(now), Box::new(ReadStream { msg }));
+            } else {
+                self.responders.remove(&msg);
+            }
+        }
+        ctx.schedule_self(ready.since(now), Box::new(DeferredSend { dst, frames }));
+    }
+
+    fn on_read_resp(&mut self, ctx: &mut Ctx<'_>, r: ReadRespPkt) {
+        let now = ctx.now();
+        let Some(p) = self.pending_reads.get_mut(&r.msg) else {
+            return;
+        };
+        let addr = p.local_addr + r.offset as u64;
+        let done = self.dma.borrow_mut().write(now, addr, &r.data);
+        p.flush = p.flush.max(done);
+        p.pkts_seen += 1;
+        if p.pkts_seen == r.total_pkts {
+            let p = self.pending_reads.remove(&r.msg).expect("present");
+            ctx.schedule_at(p.flush, self.self_id, Box::new(ReadDone { token: p.token }));
+        }
+    }
+}
+
+/// The per-node component: hardware core plus node software.
+pub struct Nic {
+    pub core: NicCore,
+    pub app: Box<dyn NicApp>,
+}
+
+impl Nic {
+    /// Create a NIC bound to `port`; `self_id` is the component id this NIC
+    /// will be installed under (reserve it first).
+    pub fn new(cfg: NicConfig, port: NodePort, self_id: ComponentId, app: Box<dyn NicApp>) -> Nic {
+        let mem = HostMemory::new();
+        let dma = Rc::new(RefCell::new(DmaEngine::new(cfg.dma.clone(), mem.clone())));
+        let cpu = Cpu::new(cfg.cpu.clone());
+        Nic {
+            core: NicCore {
+                cfg,
+                port,
+                mem,
+                dma,
+                cpu,
+                self_id,
+                pspin: None,
+                chains: Chains::default(),
+                ec: None,
+                out_q: VecDeque::new(),
+                next_seq: 0,
+                raw_writes: HashMap::new(),
+                sends: HashMap::new(),
+                pending_reads: HashMap::new(),
+                responders: HashMap::new(),
+                mrs: Vec::new(),
+                writes_acked: 0,
+                frames_sent: 0,
+            },
+            app,
+        }
+    }
+}
+
+impl Component for Nic {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Box<dyn Any>) {
+        let core = &mut self.core;
+        let app = &mut *self.app;
+
+        let ev = match ev.downcast::<Arrive<Frame>>() {
+            Ok(a) => {
+                let src = a.pkt.src;
+                match a.pkt.payload {
+                    Frame::Write(w) => {
+                        if core.pspin.is_some() {
+                            // PsPIN matches all incoming RDMA write traffic;
+                            // it owns the ingress credit until L1 copy.
+                            let pkt = NetPacket::new(src, core.port.node, Frame::Write(w));
+                            let dev = core.pspin.as_mut().expect("pspin");
+                            dev.ingest(ctx, pkt);
+                            return;
+                        }
+                        core.on_write_pkt(ctx, src, w);
+                        core.release_ingress(ctx);
+                    }
+                    Frame::ReadReq(r) => {
+                        core.on_read_req(ctx, src, r);
+                        core.release_ingress(ctx);
+                    }
+                    Frame::ReadResp(r) => {
+                        core.on_read_resp(ctx, r);
+                        core.release_ingress(ctx);
+                    }
+                    Frame::Send(s) => {
+                        let complete = {
+                            if s.is_first() {
+                                core.sends.insert(
+                                    s.msg,
+                                    SendState {
+                                        src,
+                                        body: s.rpc.clone().expect("first packet carries body"),
+                                        data: Vec::with_capacity(s.data.len()),
+                                        pkts_seen: 0,
+                                        total: s.total_pkts,
+                                    },
+                                );
+                            }
+                            let st = core.sends.get_mut(&s.msg).expect("send state");
+                            // Landing in the receive buffer costs a DMA write.
+                            let now = ctx.now();
+                            core.dma
+                                .borrow_mut()
+                                .write(now, 0xFEED_0000 + s.offset as u64, &s.data);
+                            st.data.extend_from_slice(&s.data);
+                            st.pkts_seen += 1;
+                            st.pkts_seen == st.total
+                        };
+                        core.release_ingress(ctx);
+                        if complete {
+                            let st = core.sends.remove(&s.msg).expect("send state");
+                            app.on_rpc(core, ctx, st.src, s.msg, st.body, Bytes::from(st.data));
+                        }
+                    }
+                    Frame::Ack(ackp) => {
+                        core.release_ingress(ctx);
+                        app.on_ack(core, ctx, src, ackp);
+                    }
+                    Frame::HlConfig(cfgp) => {
+                        let msg = cfgp.msg;
+                        let last = cfgp.is_last_frag();
+                        if last {
+                            core.chains.install(cfgp, src);
+                        }
+                        core.release_ingress(ctx);
+                        if last {
+                            // Config acknowledgement: the client must know
+                            // the ring is armed before pushing data.
+                            core.send_ack(
+                                ctx,
+                                src,
+                                AckPkt {
+                                    msg,
+                                    greq_id: None,
+                                    status: Status::Ok,
+                                },
+                            );
+                        }
+                    }
+                }
+                return;
+            }
+            Err(e) => e,
+        };
+        let ev = match ev.downcast::<PsPinEvent>() {
+            Ok(p) => {
+                let dev = core.pspin.as_mut().expect("pspin installed");
+                dev.on_event(ctx, *p);
+                return;
+            }
+            Err(e) => e,
+        };
+        let ev = match ev.downcast::<GateWake>() {
+            Ok(_) => {
+                core.pump(ctx);
+                if let Some(dev) = core.pspin.as_mut() {
+                    dev.on_gate_wake(ctx);
+                }
+                return;
+            }
+            Err(e) => e,
+        };
+        let ev = match ev.downcast::<RawAck>() {
+            Ok(a) => {
+                core.writes_acked += 1;
+                let ack = AckPkt {
+                    msg: a.msg,
+                    greq_id: a.greq_id,
+                    status: Status::Ok,
+                };
+                core.send_ack(ctx, a.dst, ack);
+                return;
+            }
+            Err(e) => e,
+        };
+        let ev = match ev.downcast::<DeferredSend>() {
+            Ok(d) => {
+                core.send_frames(ctx, d.dst, d.frames);
+                return;
+            }
+            Err(e) => e,
+        };
+        let ev = match ev.downcast::<DeferredAck>() {
+            Ok(d) => {
+                core.send_ack(ctx, d.dst, d.ack);
+                return;
+            }
+            Err(e) => e,
+        };
+        let ev = match ev.downcast::<DeferredWrites>() {
+            Ok(d) => {
+                for (dst, wrh, data) in d.sends {
+                    core.send_write(ctx, dst, d.dfs, wrh, data);
+                }
+                return;
+            }
+            Err(e) => e,
+        };
+        let ev = match ev.downcast::<ReadStream>() {
+            Ok(r) => {
+                core.stream_read(ctx, r.msg);
+                return;
+            }
+            Err(e) => e,
+        };
+        let ev = match ev.downcast::<ReadDone>() {
+            Ok(r) => {
+                app.on_read_done(core, ctx, r.token);
+                return;
+            }
+            Err(e) => e,
+        };
+        let ev = match ev.downcast::<HostNotify>() {
+            Ok(n) => {
+                app.on_host_notify(core, ctx, *n);
+                return;
+            }
+            Err(e) => e,
+        };
+        let ev = match ev.downcast::<AppTimer>() {
+            Ok(t) => {
+                app.on_timer(core, ctx, t.tag);
+                return;
+            }
+            Err(e) => e,
+        };
+        let ev = match ev.downcast::<ChainEvent>() {
+            Ok(c) => {
+                Chains::step(core, ctx, *c);
+                return;
+            }
+            Err(e) => e,
+        };
+        match ev.downcast::<EcEngineEvent>() {
+            Ok(e) => {
+                EcEngine::step(core, ctx, *e);
+            }
+            Err(_) => panic!("nic {}: unknown event", core.port.node),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("nic-{}", self.core.port.node)
+    }
+}

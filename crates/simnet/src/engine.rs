@@ -1,0 +1,359 @@
+//! The discrete-event engine: a time-ordered event queue dispatching boxed
+//! events to registered [`Component`]s.
+//!
+//! Determinism: events are ordered by `(time, sequence)` where the sequence
+//! number is assigned at scheduling time, so same-timestamp events run in
+//! FIFO order and every run with the same inputs is bit-identical.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::{Dur, Time};
+
+/// Index of a component registered with the [`Engine`].
+pub type ComponentId = usize;
+
+/// A simulated hardware or software entity that reacts to events.
+pub trait Component {
+    /// Handle one event addressed to this component.
+    fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Box<dyn Any>);
+    /// Human-readable name used in traces and panics.
+    fn name(&self) -> String {
+        "component".to_owned()
+    }
+}
+
+struct Scheduled {
+    at: Time,
+    seq: u64,
+    target: ComponentId,
+    ev: Box<dyn Any>,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The part of the engine visible to components while they handle an event.
+pub struct Ctx<'a> {
+    sched: &'a mut Sched,
+    /// The component currently executing.
+    pub self_id: ComponentId,
+}
+
+impl Ctx<'_> {
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.sched.now
+    }
+
+    /// Schedule `ev` for `target` after `delay`.
+    pub fn schedule(&mut self, delay: Dur, target: ComponentId, ev: Box<dyn Any>) {
+        self.sched.push(self.sched.now + delay, target, ev);
+    }
+
+    /// Schedule `ev` for `target` at absolute time `at` (clamped to now).
+    pub fn schedule_at(&mut self, at: Time, target: ComponentId, ev: Box<dyn Any>) {
+        let at = at.max(self.sched.now);
+        self.sched.push(at, target, ev);
+    }
+
+    /// Schedule an event to this component itself.
+    pub fn schedule_self(&mut self, delay: Dur, ev: Box<dyn Any>) {
+        self.schedule(delay, self.self_id, ev);
+    }
+
+    /// Number of events dispatched so far (diagnostic).
+    pub fn events_dispatched(&self) -> u64 {
+        self.sched.dispatched
+    }
+}
+
+struct Sched {
+    now: Time,
+    seq: u64,
+    dispatched: u64,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+}
+
+impl Sched {
+    fn push(&mut self, at: Time, target: ComponentId, ev: Box<dyn Any>) {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            target,
+            ev,
+        }));
+    }
+}
+
+/// The simulation engine: owns all components and the event queue.
+pub struct Engine {
+    sched: Sched,
+    components: Vec<Option<Box<dyn Component>>>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    pub fn new() -> Engine {
+        Engine {
+            sched: Sched {
+                now: Time::ZERO,
+                seq: 0,
+                dispatched: 0,
+                queue: BinaryHeap::new(),
+            },
+            components: Vec::new(),
+        }
+    }
+
+    /// Register a component; its id is stable for the life of the engine.
+    pub fn add_component(&mut self, c: Box<dyn Component>) -> ComponentId {
+        self.components.push(Some(c));
+        self.components.len() - 1
+    }
+
+    /// Reserve an id before the component exists (for wiring cycles).
+    /// Must be filled with [`Engine::install`] before any event reaches it.
+    pub fn reserve_id(&mut self) -> ComponentId {
+        self.components.push(None);
+        self.components.len() - 1
+    }
+
+    /// Install a component into a reserved slot.
+    pub fn install(&mut self, id: ComponentId, c: Box<dyn Component>) {
+        assert!(self.components[id].is_none(), "slot {id} already installed");
+        self.components[id] = Some(c);
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.sched.now
+    }
+
+    /// Total events dispatched.
+    pub fn events_dispatched(&self) -> u64 {
+        self.sched.dispatched
+    }
+
+    /// Schedule an event from outside any component (e.g. test or driver).
+    pub fn schedule(&mut self, delay: Dur, target: ComponentId, ev: Box<dyn Any>) {
+        self.sched.push(self.sched.now + delay, target, ev);
+    }
+
+    /// Dispatch a single event; returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(s)) = self.sched.queue.pop() else {
+            return false;
+        };
+        debug_assert!(s.at >= self.sched.now, "time went backwards");
+        self.sched.now = s.at;
+        self.sched.dispatched += 1;
+        let mut comp = self.components[s.target]
+            .take()
+            .unwrap_or_else(|| panic!("event for missing component {}", s.target));
+        {
+            let mut ctx = Ctx {
+                sched: &mut self.sched,
+                self_id: s.target,
+            };
+            comp.handle(&mut ctx, s.ev);
+        }
+        self.components[s.target] = Some(comp);
+        true
+    }
+
+    /// Run until the event queue drains.
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the queue drains or simulated time exceeds `deadline`.
+    /// Returns true if the queue drained.
+    pub fn run_until(&mut self, deadline: Time) -> bool {
+        loop {
+            let Some(Reverse(head)) = self.sched.queue.peek() else {
+                return true;
+            };
+            if head.at > deadline {
+                self.sched.now = deadline;
+                return false;
+            }
+            self.step();
+        }
+    }
+
+    /// Run while `pred` (evaluated between events) returns false.
+    /// Returns true if the predicate became true, false if the queue drained.
+    pub fn run_while<F: FnMut() -> bool>(&mut self, mut done: F) -> bool {
+        loop {
+            if done() {
+                return true;
+            }
+            if !self.step() {
+                return false;
+            }
+        }
+    }
+
+    /// Immutable access to a component (for test inspection).
+    pub fn component(&self, id: ComponentId) -> &dyn Component {
+        self.components[id]
+            .as_deref()
+            .expect("component missing (mid-dispatch?)")
+    }
+
+    /// Mutable access to a component between events.
+    pub fn component_mut(&mut self, id: ComponentId) -> &mut dyn Component {
+        self.components[id]
+            .as_deref_mut()
+            .expect("component missing (mid-dispatch?)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Tick(u32);
+    struct Probe {
+        log: Rc<RefCell<Vec<(u64, u32)>>>,
+        echo_to: Option<ComponentId>,
+    }
+    impl Component for Probe {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Box<dyn Any>) {
+            let t = ev.downcast::<Tick>().expect("unexpected event type");
+            self.log.borrow_mut().push((ctx.now().ps(), t.0));
+            if let Some(peer) = self.echo_to {
+                if t.0 < 3 {
+                    ctx.schedule(Dur::from_ns(10), peer, Box::new(Tick(t.0 + 1)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut e = Engine::new();
+        let log = Rc::new(RefCell::new(vec![]));
+        let a = e.add_component(Box::new(Probe {
+            log: log.clone(),
+            echo_to: None,
+        }));
+        e.schedule(Dur::from_ns(30), a, Box::new(Tick(3)));
+        e.schedule(Dur::from_ns(10), a, Box::new(Tick(1)));
+        e.schedule(Dur::from_ns(20), a, Box::new(Tick(2)));
+        e.run_to_completion();
+        assert_eq!(
+            *log.borrow(),
+            vec![(10_000, 1), (20_000, 2), (30_000, 3)]
+        );
+    }
+
+    #[test]
+    fn same_time_events_are_fifo() {
+        let mut e = Engine::new();
+        let log = Rc::new(RefCell::new(vec![]));
+        let a = e.add_component(Box::new(Probe {
+            log: log.clone(),
+            echo_to: None,
+        }));
+        for i in 0..100 {
+            e.schedule(Dur::from_ns(5), a, Box::new(Tick(i)));
+        }
+        e.run_to_completion();
+        let order: Vec<u32> = log.borrow().iter().map(|&(_, v)| v).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ping_pong_between_components() {
+        let mut e = Engine::new();
+        let log = Rc::new(RefCell::new(vec![]));
+        let a = e.reserve_id();
+        let b = e.add_component(Box::new(Probe {
+            log: log.clone(),
+            echo_to: Some(a),
+        }));
+        e.install(
+            a,
+            Box::new(Probe {
+                log: log.clone(),
+                echo_to: Some(b),
+            }),
+        );
+        e.schedule(Dur::ZERO, a, Box::new(Tick(0)));
+        e.run_to_completion();
+        assert_eq!(log.borrow().len(), 4);
+        assert_eq!(e.now().ps(), 30_000);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut e = Engine::new();
+        let log = Rc::new(RefCell::new(vec![]));
+        let a = e.add_component(Box::new(Probe {
+            log: log.clone(),
+            echo_to: None,
+        }));
+        e.schedule(Dur::from_us(1), a, Box::new(Tick(1)));
+        e.schedule(Dur::from_us(3), a, Box::new(Tick(2)));
+        let drained = e.run_until(Time(2_000_000));
+        assert!(!drained);
+        assert_eq!(log.borrow().len(), 1);
+        assert_eq!(e.now(), Time(2_000_000));
+        assert!(e.run_until(Time::MAX));
+        assert_eq!(log.borrow().len(), 2);
+    }
+
+    #[test]
+    fn run_while_predicate() {
+        let mut e = Engine::new();
+        let log = Rc::new(RefCell::new(vec![]));
+        let a = e.add_component(Box::new(Probe {
+            log: log.clone(),
+            echo_to: None,
+        }));
+        for i in 0..10 {
+            e.schedule(Dur::from_ns(i as u64), a, Box::new(Tick(i)));
+        }
+        let l2 = log.clone();
+        let hit = e.run_while(move || l2.borrow().len() >= 5);
+        assert!(hit);
+        assert_eq!(log.borrow().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing component")]
+    fn event_to_reserved_but_uninstalled_slot_panics() {
+        let mut e = Engine::new();
+        let a = e.reserve_id();
+        e.schedule(Dur::ZERO, a, Box::new(Tick(0)));
+        e.run_to_completion();
+    }
+}

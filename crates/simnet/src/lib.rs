@@ -1,0 +1,27 @@
+//! # nadfs-simnet
+//!
+//! Deterministic discrete-event simulation engine and packet-network model.
+//!
+//! This crate replaces the paper's use of the Structural Simulation Toolkit
+//! (SST): it provides a picosecond-resolution event engine
+//! ([`engine::Engine`]), a star-topology lossless network
+//! ([`fabric::Fabric`]) with serializing ports and credit-based flow
+//! control ([`gate::Gate`]), and measurement utilities ([`stats`]).
+//!
+//! Everything is single-threaded and deterministic: identical inputs produce
+//! bit-identical event orders, which the reproduction relies on.
+
+pub mod engine;
+pub mod fabric;
+pub mod gate;
+pub mod packet;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Component, ComponentId, Ctx, Engine};
+pub use fabric::{Fabric, FabricConfig, FabricStats, NodePort, Submit};
+pub use gate::{Gate, GateWake, SharedGate};
+pub use packet::{Arrive, NetPacket, NodeId, Payload};
+pub use time::{achieved_gbit_per_sec, Bandwidth, Dur, Time};
+pub use trace::{SharedTrace, Trace, TraceEntry};

@@ -1,0 +1,60 @@
+//! Generic network packets carried by the [`crate::fabric::Fabric`].
+
+/// Payload carried inside a simulated network packet.
+///
+/// The simulator is generic over the payload so that the wire format lives in
+/// a higher-level crate; the only thing the network needs is the on-wire size.
+pub trait Payload: Clone + std::fmt::Debug + 'static {
+    /// Total bytes this packet occupies on the wire (headers + data).
+    fn wire_bytes(&self) -> u32;
+}
+
+/// Node address on the fabric.
+pub type NodeId = usize;
+
+/// A packet in flight between two nodes.
+#[derive(Clone, Debug)]
+pub struct NetPacket<P: Payload> {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub payload: P,
+}
+
+impl<P: Payload> NetPacket<P> {
+    pub fn new(src: NodeId, dst: NodeId, payload: P) -> Self {
+        NetPacket { src, dst, payload }
+    }
+
+    #[inline]
+    pub fn wire_bytes(&self) -> u32 {
+        self.payload.wire_bytes()
+    }
+}
+
+/// Event delivered to a node's registered component when a packet has fully
+/// arrived at its NIC ingress.
+#[derive(Debug)]
+pub struct Arrive<P: Payload> {
+    pub pkt: NetPacket<P>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct Blob(u32);
+    impl Payload for Blob {
+        fn wire_bytes(&self) -> u32 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn packet_reports_payload_size() {
+        let p = NetPacket::new(0, 1, Blob(2048));
+        assert_eq!(p.wire_bytes(), 2048);
+        assert_eq!(p.src, 0);
+        assert_eq!(p.dst, 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Measurement helpers: samplers with percentiles, counters, and
+//! time-weighted utilization tracking.
+
+use crate::time::{Dur, Time};
+
+/// Collects scalar samples and answers summary queries.
+#[derive(Clone, Debug, Default)]
+pub struct Sampler {
+    samples: Vec<f64>,
+}
+
+impl Sampler {
+    pub fn new() -> Sampler {
+        Sampler::default()
+    }
+
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    pub fn record_dur_ns(&mut self, d: Dur) {
+        self.samples.push(d.as_ns());
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Percentile by nearest-rank on a sorted copy (q in [0, 100]).
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        let mut v = self.samples.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let rank = ((q / 100.0) * (v.len() - 1) as f64).round() as usize;
+        v[rank.min(v.len() - 1)]
+    }
+
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+}
+
+/// Tracks the fraction of time a resource was busy.
+#[derive(Clone, Debug, Default)]
+pub struct Utilization {
+    busy: Dur,
+    busy_since: Option<Time>,
+}
+
+impl Utilization {
+    pub fn set_busy(&mut self, now: Time) {
+        if self.busy_since.is_none() {
+            self.busy_since = Some(now);
+        }
+    }
+
+    pub fn set_idle(&mut self, now: Time) {
+        if let Some(s) = self.busy_since.take() {
+            self.busy += now.since(s);
+        }
+    }
+
+    /// Busy time accumulated so far (closing any open interval at `now`).
+    pub fn busy_time(&self, now: Time) -> Dur {
+        match self.busy_since {
+            Some(s) => self.busy + now.since(s),
+            None => self.busy,
+        }
+    }
+
+    pub fn fraction(&self, now: Time, since: Time) -> f64 {
+        let total = now.since(since);
+        if total == Dur::ZERO {
+            return 0.0;
+        }
+        self.busy_time(now).as_ns() / total.as_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_summary() {
+        let mut s = Sampler::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            s.record(v);
+        }
+        assert_eq!(s.len(), 5);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+        assert_eq!(s.median(), 3.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 5.0);
+    }
+
+    #[test]
+    fn sampler_empty_is_nan() {
+        let s = Sampler::new();
+        assert!(s.mean().is_nan());
+        assert!(s.percentile(50.0).is_nan());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn utilization_accumulates_intervals() {
+        let mut u = Utilization::default();
+        u.set_busy(Time(100));
+        u.set_idle(Time(300));
+        u.set_busy(Time(500));
+        u.set_idle(Time(600));
+        assert_eq!(u.busy_time(Time(600)), Dur(300));
+        assert!((u.fraction(Time(600), Time(100)) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_open_interval_counts() {
+        let mut u = Utilization::default();
+        u.set_busy(Time(0));
+        assert_eq!(u.busy_time(Time(250)), Dur(250));
+        // Double set_busy is idempotent.
+        u.set_busy(Time(100));
+        assert_eq!(u.busy_time(Time(250)), Dur(250));
+    }
+}

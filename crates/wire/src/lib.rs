@@ -1,0 +1,25 @@
+//! # nadfs-wire
+//!
+//! Wire formats for the network-accelerated DFS: transport/DFS headers and
+//! packet layouts following Fig 3 of the paper, capability tickets with a
+//! real keyed MAC (SipHash-2-4, implemented in [`siphash`]), byte codecs
+//! pinning the layouts, and the [`frame::Frame`] type every simulated packet
+//! carries.
+
+pub mod capability;
+pub mod codec;
+pub mod frame;
+pub mod headers;
+pub mod siphash;
+pub mod sizes;
+
+pub use capability::{AuthError, Capability, Rights};
+pub use frame::{
+    split_payload, write_payload_caps, AckPkt, Frame, HlConfigPkt, MsgId, ReadReqPkt, ReadRespPkt,
+    RpcBody, SendPkt, Status, WritePkt,
+};
+pub use headers::{
+    bcast_children, bcast_depth, BcastStrategy, DfsHeader, DfsOp, EcInfo, EcRole, ReadReqHeader,
+    ReplicaCoord, Resiliency, RsScheme, WriteReqHeader,
+};
+pub use siphash::{siphash24, siphash24_words, MacKey};

@@ -1,0 +1,42 @@
+//! Client failure and NIC state cleanup (§VII): a client dies after the
+//! first packet of a write; the PsPIN cleanup handler reclaims the
+//! dangling descriptor after the inactivity timeout and notifies the host.
+//!
+//! Run with: `cargo run --release -p nadfs-examples --bin client_failure_cleanup`
+
+use nadfs_core::{ClusterSpec, CostModel, FilePolicy, Job, SimCluster, StorageMode, WriteProtocol};
+use nadfs_simnet::Dur;
+
+fn main() {
+    let mut cost = CostModel::paper();
+    cost.pspin.cleanup_timeout = Dur::from_us(200);
+    let spec = ClusterSpec::new(1, 1, StorageMode::Spin).with_cost(cost);
+    let mut cluster = SimCluster::build_with(spec, |app| {
+        app.abandon_every = Some(1); // every write is abandoned mid-stream
+    });
+    let file = cluster
+        .control
+        .borrow_mut()
+        .create_file(0, FilePolicy::Plain);
+    cluster.submit(
+        0,
+        Job::Write {
+            file: file.id,
+            size: 128 << 10,
+            protocol: WriteProtocol::Spin,
+            seed: 0,
+        },
+    );
+    cluster.start();
+    cluster.run_ms(5);
+
+    let tel = cluster.pspin_telemetry[0].as_ref().expect("pspin").borrow();
+    let stats = cluster.storage_stats[0].borrow();
+    println!("writes completed normally: {}", tel.msgs_completed);
+    println!("messages reclaimed by the cleanup handler: {}", tel.msgs_cleaned);
+    println!("host notified of interrupted client writes: {}", stats.cleanup_events);
+    assert_eq!(tel.msgs_completed, 0);
+    assert_eq!(tel.msgs_cleaned, 1);
+    assert_eq!(stats.cleanup_events, 1);
+    println!("\nno descriptor leak: the NIC can keep serving ~82K concurrent writes.");
+}

@@ -1,0 +1,71 @@
+//! Erasure-coded archive with failure and recovery: write RS(3,2)-coded
+//! data through streaming NIC handlers, lose two storage nodes, and
+//! recover the original bytes from the survivors — §VI of the paper plus
+//! the offline decode path.
+//!
+//! Run with: `cargo run --release -p nadfs-examples --bin erasure_coded_archive`
+
+use nadfs_core::{ClusterSpec, FilePolicy, Job, SimCluster, StorageMode, WriteProtocol};
+use nadfs_gfec::ReedSolomon;
+use nadfs_wire::RsScheme;
+
+fn main() {
+    let scheme = RsScheme::new(3, 2);
+    let spec = ClusterSpec::new(1, 5, StorageMode::Spin);
+    let mut cluster = SimCluster::build(spec);
+    let file = cluster
+        .control
+        .borrow_mut()
+        .create_file(0, FilePolicy::ErasureCoded { scheme });
+
+    let size = 192u32 << 10; // 3 chunks of 64 KiB
+    cluster.submit(
+        0,
+        Job::Write {
+            file: file.id,
+            size,
+            protocol: WriteProtocol::SpinTriec { interleave: true },
+            seed: 1234,
+        },
+    );
+    cluster.start();
+    assert_eq!(cluster.run_until_writes(1, 5_000), 1);
+    let r = cluster.results.borrow().writes[0].clone();
+    let chunk_len = r.placement.chunk_len as usize;
+    println!(
+        "wrote {} KiB as RS(3,2): 3 data chunks + 2 parities in {:.1} us",
+        size >> 10,
+        (r.end - r.start).as_us()
+    );
+
+    // Collect all five shards from the storage nodes.
+    let read_shard = |coord: &nadfs_wire::ReplicaCoord| {
+        let idx = cluster.storage_index(coord.node as usize);
+        cluster.storage_mems[idx].borrow().read(coord.addr, chunk_len)
+    };
+    let mut shards: Vec<Option<Vec<u8>>> = r
+        .placement
+        .data_chunks
+        .iter()
+        .chain(&r.placement.parities)
+        .map(|c| Some(read_shard(c)))
+        .collect();
+
+    // Disaster: lose data chunk 1 and parity 0 (any two shards).
+    println!("simulating failure of data node 1 and parity node 0 ...");
+    shards[1] = None;
+    shards[3] = None;
+
+    let rs = ReedSolomon::new(3, 2).expect("params");
+    rs.reconstruct(&mut shards).expect("recovery");
+    println!("recovered both shards from the 3 survivors");
+
+    // Verify the recovered data matches what the intact nodes hold.
+    let original = read_shard(&r.placement.data_chunks[1]);
+    assert_eq!(
+        shards[1].as_ref().expect("recovered"),
+        &original,
+        "recovered chunk differs"
+    );
+    println!("recovered data chunk 1 is byte-identical to the original — archive intact");
+}

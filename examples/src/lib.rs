@@ -1,0 +1,1 @@
+//! Example scenarios; see the binaries in this package.

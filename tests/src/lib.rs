@@ -1,0 +1,1 @@
+//! Integration test crate; see tests/ directory.

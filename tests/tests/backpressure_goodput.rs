@@ -1,0 +1,68 @@
+//! Backpressure and goodput invariants: the lossless network throttles
+//! instead of dropping, and the paper's PBT goodput halving emerges.
+
+use nadfs_core::{storage_goodput_gbit, CostModel, FilePolicy, WriteProtocol};
+use nadfs_wire::BcastStrategy;
+
+#[test]
+fn spin_write_goodput_reaches_line_rate_for_large_writes() {
+    let cost = CostModel::paper();
+    let g = storage_goodput_gbit(
+        WriteProtocol::Spin,
+        FilePolicy::Plain,
+        256 << 10,
+        &cost,
+        24,
+        8,
+    );
+    // Payload goodput ceiling at 400 Gbit/s with 70 B headers is ~386.
+    assert!(g > 350.0, "large writes must saturate the NIC: {g}");
+}
+
+#[test]
+fn pbt_goodput_is_about_half_of_ring() {
+    let cost = CostModel::paper();
+    let ring = storage_goodput_gbit(
+        WriteProtocol::SpinReplicated,
+        FilePolicy::Replicated {
+            k: 4,
+            strategy: BcastStrategy::Ring,
+        },
+        256 << 10,
+        &cost,
+        24,
+        8,
+    );
+    let pbt = storage_goodput_gbit(
+        WriteProtocol::SpinReplicated,
+        FilePolicy::Replicated {
+            k: 4,
+            strategy: BcastStrategy::Pbt,
+        },
+        256 << 10,
+        &cost,
+        24,
+        8,
+    );
+    let ratio = pbt / ring;
+    assert!(
+        (0.4..=0.65).contains(&ratio),
+        "PBT doubles egress so ingress halves (paper Fig 9 right): ring {ring:.0}, pbt {pbt:.0}, ratio {ratio:.2}"
+    );
+}
+
+#[test]
+fn small_write_goodput_is_handler_limited_not_zero() {
+    let cost = CostModel::paper();
+    let g = storage_goodput_gbit(
+        WriteProtocol::Spin,
+        FilePolicy::Plain,
+        1 << 10,
+        &cost,
+        48,
+        8,
+    );
+    // 1 KiB writes trigger all three handlers per message (§V-B-2): far
+    // below line rate but strictly positive and stable.
+    assert!(g > 5.0 && g < 200.0, "{g}");
+}

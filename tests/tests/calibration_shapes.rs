@@ -1,0 +1,109 @@
+//! Shape assertions: the qualitative results the paper claims must hold in
+//! the simulation (who wins, where, by roughly what factor). These guard
+//! the calibration against regressions.
+
+use nadfs_core::{
+    replication_latency_us, write_latency_us, CostModel, FilePolicy, ReplStrategy, WriteProtocol,
+};
+
+#[test]
+fn fig6_protocol_ordering_small_writes() {
+    let cost = CostModel::paper();
+    let size = 4 << 10;
+    let raw = write_latency_us(WriteProtocol::Raw, FilePolicy::Plain, size, &cost, 3);
+    let spin = write_latency_us(WriteProtocol::Spin, FilePolicy::Plain, size, &cost, 3);
+    let rpc = write_latency_us(WriteProtocol::Rpc, FilePolicy::Plain, size, &cost, 3);
+    let rr = write_latency_us(WriteProtocol::RpcRdma, FilePolicy::Plain, size, &cost, 3);
+    assert!(raw < spin, "raw is the speed-of-light baseline");
+    assert!(spin < rpc, "NIC validation beats CPU validation");
+    assert!(rpc < rr, "extra round trip hurts RPC+RDMA at small sizes");
+    // sPIN overhead over raw is bounded (paper: up to ~27%; we accept <60%
+    // to keep the guard robust across cost-model tweaks).
+    assert!(spin / raw < 1.6, "spin {spin} vs raw {raw}");
+}
+
+#[test]
+fn fig6_spin_approaches_raw_for_large_writes() {
+    let cost = CostModel::paper();
+    let size = 1 << 20;
+    let raw = write_latency_us(WriteProtocol::Raw, FilePolicy::Plain, size, &cost, 3);
+    let spin = write_latency_us(WriteProtocol::Spin, FilePolicy::Plain, size, &cost, 3);
+    let rpc = write_latency_us(WriteProtocol::Rpc, FilePolicy::Plain, size, &cost, 3);
+    assert!(spin / raw < 1.15, "per-request validation amortizes: {spin} vs {raw}");
+    assert!(
+        rpc / raw > 1.3,
+        "buffered RPC stays well behind raw: {rpc} vs {raw}"
+    );
+}
+
+#[test]
+fn fig9_rdma_flat_wins_small_spin_wins_large() {
+    let cost = CostModel::paper();
+    let k = 2;
+    let flat_small = replication_latency_us(ReplStrategy::RdmaFlat, k, 4 << 10, &cost);
+    let spin_small = replication_latency_us(ReplStrategy::SpinRing, k, 4 << 10, &cost);
+    assert!(
+        flat_small < spin_small,
+        "paper: RDMA-Flat fastest for small writes ({flat_small} vs {spin_small})"
+    );
+    let flat_large = replication_latency_us(ReplStrategy::RdmaFlat, k, 1 << 20, &cost);
+    let spin_large = replication_latency_us(ReplStrategy::SpinRing, k, 1 << 20, &cost);
+    assert!(
+        spin_large < flat_large,
+        "paper: injection cost flips the ordering for large writes"
+    );
+    assert!(
+        flat_large / spin_large > 1.4,
+        "paper: up to 2x for k=2 (measured {:.2}x)",
+        flat_large / spin_large
+    );
+}
+
+#[test]
+fn fig9_k4_spin_beats_everything_for_large_writes() {
+    let cost = CostModel::paper();
+    let k = 4;
+    let size = 1 << 20;
+    let spin = replication_latency_us(ReplStrategy::SpinRing, k, size, &cost);
+    for other in [
+        ReplStrategy::CpuRing,
+        ReplStrategy::CpuPbt,
+        ReplStrategy::RdmaFlat,
+        ReplStrategy::HyperLoop,
+    ] {
+        let l = replication_latency_us(other, k, size, &cost);
+        assert!(
+            spin < l,
+            "sPIN-Ring must beat {other:?} at 1MiB k=4: {spin} vs {l}"
+        );
+    }
+}
+
+#[test]
+fn fig10_pbt_beats_ring_for_small_writes_at_large_k() {
+    let cost = CostModel::paper();
+    let size = 4 << 10;
+    let ring = replication_latency_us(ReplStrategy::SpinRing, 8, size, &cost);
+    let pbt = replication_latency_us(ReplStrategy::SpinPbt, 8, size, &cost);
+    assert!(
+        pbt < ring,
+        "log-depth tree beats the chain at k=8: pbt {pbt} vs ring {ring}"
+    );
+}
+
+#[test]
+fn fig10_flat_scales_linearly_with_k_for_large_writes() {
+    let cost = CostModel::paper();
+    let size = 512 << 10;
+    let k2 = replication_latency_us(ReplStrategy::RdmaFlat, 2, size, &cost);
+    let k8 = replication_latency_us(ReplStrategy::RdmaFlat, 8, size, &cost);
+    let ratio = k8 / k2;
+    assert!(
+        (3.0..=5.0).contains(&ratio),
+        "client injection dominates: expected ~4x from k=2 to k=8, got {ratio:.2}x"
+    );
+    // sPIN is much less sensitive to k (paper §V-B-3).
+    let s2 = replication_latency_us(ReplStrategy::SpinRing, 2, size, &cost);
+    let s8 = replication_latency_us(ReplStrategy::SpinRing, 8, size, &cost);
+    assert!(s8 / s2 < 2.0, "sPIN-Ring k sensitivity: {:.2}x", s8 / s2);
+}

@@ -1,0 +1,150 @@
+//! Property-based tests across crates: wire codec roundtrips, RS recovery
+//! under arbitrary erasure patterns, and streamed-vs-block EC equivalence.
+
+use bytes::BytesMut;
+use nadfs_gfec::{Accumulator, ReedSolomon};
+use nadfs_wire::codec;
+use nadfs_wire::{
+    Capability, DfsHeader, DfsOp, MacKey, ReadReqHeader, ReplicaCoord, Resiliency, Rights,
+    WriteReqHeader,
+};
+use proptest::prelude::*;
+
+fn arb_capability() -> impl Strategy<Value = Capability> {
+    (any::<u32>(), any::<u64>(), 0u8..4, any::<u64>(), any::<u64>()).prop_map(
+        |(client, file, rights, exp, nonce)| {
+            Capability::issue(
+                &MacKey::from_seed(1),
+                client,
+                file,
+                Rights(rights),
+                exp,
+                nonce,
+            )
+        },
+    )
+}
+
+fn arb_coords(max: usize) -> impl Strategy<Value = Vec<ReplicaCoord>> {
+    proptest::collection::vec(
+        (any::<u32>(), any::<u64>()).prop_map(|(node, addr)| ReplicaCoord { node, addr }),
+        0..=max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dfs_header_codec_roundtrip(cap in arb_capability(), greq in any::<u64>(), client in any::<u32>(), is_read in any::<bool>()) {
+        let h = DfsHeader {
+            greq_id: greq,
+            op: if is_read { DfsOp::Read } else { DfsOp::Write },
+            client,
+            capability: cap,
+        };
+        let mut b = BytesMut::new();
+        codec::encode_dfs_header(&h, &mut b);
+        prop_assert_eq!(b.len() as u32, nadfs_wire::sizes::DFS_HEADER);
+        let mut r = b.freeze();
+        prop_assert_eq!(codec::decode_dfs_header(&mut r).unwrap(), h);
+    }
+
+    #[test]
+    fn wrh_codec_roundtrip_replication(addr in any::<u64>(), len in any::<u32>(), vrank in 0u8..8, coords in arb_coords(8), pbt in any::<bool>()) {
+        let h = WriteReqHeader {
+            target_addr: addr,
+            len,
+            resiliency: Resiliency::Replicate {
+                strategy: if pbt { nadfs_wire::BcastStrategy::Pbt } else { nadfs_wire::BcastStrategy::Ring },
+                vrank,
+                coords,
+            },
+        };
+        let mut b = BytesMut::new();
+        codec::encode_wrh(&h, &mut b);
+        prop_assert_eq!(b.len() as u32, h.wire_size());
+        let mut r = b.freeze();
+        prop_assert_eq!(codec::decode_wrh(&mut r).unwrap(), h);
+    }
+
+    #[test]
+    fn rrh_codec_roundtrip(addr in any::<u64>(), len in any::<u32>()) {
+        let h = ReadReqHeader { addr, len };
+        let mut b = BytesMut::new();
+        codec::encode_rrh(&h, &mut b);
+        let mut r = b.freeze();
+        prop_assert_eq!(codec::decode_rrh(&mut r).unwrap(), h);
+    }
+
+    #[test]
+    fn capability_tamper_always_detected(cap in arb_capability(), flip_bit in 0usize..160) {
+        // Flip one bit of the signed fields; verification must fail.
+        let mut evil = cap;
+        match flip_bit / 64 {
+            0 => evil.file ^= 1 << (flip_bit % 64),
+            1 => evil.expires_at_ns ^= 1 << (flip_bit % 64),
+            _ => evil.nonce ^= 1 << (flip_bit % 32),
+        }
+        let r = evil.verify(&MacKey::from_seed(1), 0, Rights(0));
+        prop_assert_eq!(r, Err(nadfs_wire::AuthError::BadSignature));
+    }
+
+    #[test]
+    fn rs_recovers_any_erasure_pattern(
+        k in 2usize..6,
+        m in 1usize..4,
+        len in 1usize..600,
+        seed in any::<u64>(),
+        pattern in any::<u64>(),
+    ) {
+        let rs = ReedSolomon::new(k, m).unwrap();
+        let chunks: Vec<Vec<u8>> = (0..k)
+            .map(|j| (0..len).map(|i| ((i as u64 * 31 + j as u64 * 7 + seed) % 256) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+        let parities = rs.encode(&refs).unwrap();
+        let full: Vec<Vec<u8>> = chunks.into_iter().chain(parities).collect();
+        // Choose up to m erasures from the pattern bits.
+        let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        let mut erased = 0;
+        for i in 0..(k + m) {
+            if erased < m && (pattern >> i) & 1 == 1 {
+                shards[i] = None;
+                erased += 1;
+            }
+        }
+        rs.reconstruct(&mut shards).unwrap();
+        for (i, s) in shards.iter().enumerate() {
+            prop_assert_eq!(s.as_ref().unwrap(), &full[i]);
+        }
+    }
+
+    #[test]
+    fn streamed_aggregation_equals_block_parity(
+        k in 2usize..5,
+        chunk_len in 1usize..4000,
+        mtu in 64usize..2048,
+        seed in any::<u64>(),
+    ) {
+        let rs = ReedSolomon::new(k, 1).unwrap();
+        let chunks: Vec<Vec<u8>> = (0..k)
+            .map(|j| (0..chunk_len).map(|i| ((i as u64).wrapping_mul(131).wrapping_add(j as u64 ^ seed) % 256) as u8).collect())
+            .collect();
+        let expect = nadfs_gfec::block_parities(&rs, &chunks);
+        let n_pkts = chunk_len.div_ceil(mtu);
+        let mut accs: Vec<Accumulator> = (0..n_pkts).map(|_| Accumulator::new(mtu, k as u32)).collect();
+        for (j, chunk) in chunks.iter().enumerate() {
+            for (i, pkt) in chunk.chunks(mtu).enumerate() {
+                let ipar = nadfs_gfec::intermediate_parity(rs.parity_coef(0, j), pkt);
+                accs[i].absorb(&ipar);
+            }
+        }
+        let mut parity = Vec::new();
+        for (i, acc) in accs.iter().enumerate() {
+            let plen = chunks[0].chunks(mtu).nth(i).unwrap().len();
+            parity.extend_from_slice(acc.finish(plen));
+        }
+        prop_assert_eq!(parity, expect[0].clone());
+    }
+}
