@@ -28,6 +28,7 @@ fn main() {
         ("ablation_interleave", fig::ablation_interleave),
         ("ablation_chunk_size", fig::ablation_chunk_size),
         ("ablation_queues", fig::ablation_queues),
+        ("dir_ops", nadfs_bench::dir_ops::dir_ops),
     ];
     for (name, run) in jobs {
         if filter(name) {

@@ -12,9 +12,7 @@ fn gf_mul_acc(c: &mut Criterion) {
         let mut dst = vec![0x5Au8; size];
         g.throughput(Throughput::Bytes(size as u64));
         g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
-            b.iter(|| {
-                nadfs_gfec::gf256::mul_acc_slice(0x1D, black_box(&src), black_box(&mut dst))
-            });
+            b.iter(|| nadfs_gfec::gf256::mul_acc_slice(0x1D, black_box(&src), black_box(&mut dst)));
         });
     }
     g.finish();

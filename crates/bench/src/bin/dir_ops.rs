@@ -1,0 +1,5 @@
+//! Directory-operation latencies through the simulated cluster, with the
+//! client metadata cache off and on (see nadfs_bench::dir_ops).
+fn main() {
+    print!("{}", nadfs_bench::dir_ops::dir_ops());
+}

@@ -33,20 +33,19 @@ pub const SIZES: [u32; 11] = [
 ];
 
 /// Reduced sweep for the heavier multi-node figures.
-pub const SIZES_COARSE: [u32; 6] = [
-    1 << 10,
-    4 << 10,
-    16 << 10,
-    64 << 10,
-    256 << 10,
-    1 << 20,
-];
+pub const SIZES_COARSE: [u32; 6] = [1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20];
 
 /// Fig 4: worst-case NIC memory vs number of writes and write sizes.
 pub fn fig04() -> String {
     let mut t = Table::new(
         "Fig 4 — NIC descriptor memory vs concurrent writes",
-        &["#writes", "4KiB (KiB)", "64KiB (KiB)", "1MiB (KiB)", "descr-only (KiB)"],
+        &[
+            "#writes",
+            "4KiB (KiB)",
+            "64KiB (KiB)",
+            "1MiB (KiB)",
+            "descr-only (KiB)",
+        ],
     );
     for n in [1u64, 10, 50, 100, 250, 500, 750, 1000] {
         t.row(vec![
@@ -165,14 +164,7 @@ pub fn fig09_goodput() -> String {
     );
     for &size in &SIZES_COARSE {
         let n = if size >= (1 << 20) { 24 } else { 48 };
-        let k1 = storage_goodput_gbit(
-            WriteProtocol::Spin,
-            FilePolicy::Plain,
-            size,
-            &cost,
-            n,
-            8,
-        );
+        let k1 = storage_goodput_gbit(WriteProtocol::Spin, FilePolicy::Plain, size, &cost, n, 8);
         let ring = storage_goodput_gbit(
             WriteProtocol::SpinReplicated,
             FilePolicy::Replicated {
@@ -241,8 +233,8 @@ pub fn fig11_table1() -> String {
     let mut t = Table::new(
         "Table I / Fig 11 — handler statistics (256 KiB writes)",
         &[
-            "config", "HH ns", "PH ns", "CH ns", "HH ins", "PH ins", "CH ins", "HH IPC",
-            "PH IPC", "CH IPC",
+            "config", "HH ns", "PH ns", "CH ns", "HH ins", "PH ins", "CH ins", "HH IPC", "PH IPC",
+            "CH IPC",
         ],
     );
     let configs: [(&str, WriteProtocol, FilePolicy); 3] = [
@@ -347,7 +339,10 @@ pub fn fig16_table2() -> String {
         &["scheme", "HH ns", "PH ns", "CH ns", "PH instrs", "PH IPC"],
     );
     let mut ph_durations = Vec::new();
-    for (label, scheme) in [("RS(3,2)", RsScheme::new(3, 2)), ("RS(6,3)", RsScheme::new(6, 3))] {
+    for (label, scheme) in [
+        ("RS(3,2)", RsScheme::new(3, 2)),
+        ("RS(6,3)", RsScheme::new(6, 3)),
+    ] {
         let r = handler_report(
             WriteProtocol::SpinTriec { interleave: true },
             FilePolicy::ErasureCoded { scheme },
@@ -376,7 +371,12 @@ pub fn fig16_table2() -> String {
 
     let mut t = Table::new(
         "Fig 16 right — HPUs needed to sustain line rate (2 KiB packets)",
-        &["handler duration (us)", "100 Gbit/s", "200 Gbit/s", "400 Gbit/s"],
+        &[
+            "handler duration (us)",
+            "100 Gbit/s",
+            "200 Gbit/s",
+            "400 Gbit/s",
+        ],
     );
     for d_us in [1.0f64, 5.0, 10.0, 16.7, 23.0, 25.0] {
         t.row(vec![
@@ -418,7 +418,12 @@ pub fn ablation_interleave() -> String {
     let cost = CostModel::paper().with_network_gbit(100);
     let mut t = Table::new(
         "Ablation — client packet interleaving for sPIN-TriEC RS(3,2) (us)",
-        &["chunk", "interleaved", "sequential", "sequential/interleaved"],
+        &[
+            "chunk",
+            "interleaved",
+            "sequential",
+            "sequential/interleaved",
+        ],
     );
     for &chunk in &[16u32 << 10, 64 << 10, 256 << 10] {
         let scheme = RsScheme::new(3, 2);
@@ -506,12 +511,7 @@ pub fn ablation_queues() -> String {
             16,
             8,
         );
-        t.row(vec![
-            up.to_string(),
-            buf.to_string(),
-            f(lat),
-            f(good),
-        ]);
+        t.row(vec![up.to_string(), buf.to_string(), f(lat), f(good)]);
     }
     t.note("deeper queues absorb the PBT egress doubling a little longer; goodput stays ~half of line rate regardless (the bottleneck is bandwidth, not buffering)");
     t.render()

@@ -7,6 +7,7 @@
 //! glance. `cargo bench` runs all of them (through the `figures` bench
 //! target) plus Criterion microbenchmarks of the computational kernels.
 
+pub mod dir_ops;
 pub mod figures;
 pub mod report;
 

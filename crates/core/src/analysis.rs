@@ -100,20 +100,118 @@ pub struct DfsSurveyRow {
 pub fn dfs_survey() -> Vec<DfsSurveyRow> {
     use Support::{No, Partial, Yes};
     vec![
-        DfsSurveyRow { name: "Lustre", rdma: Partial, auth: Yes, replication: No, erasure_coding: No, notes: "RPC+RDMA" },
-        DfsSurveyRow { name: "IBM Spectrum Scale", rdma: No, auth: Yes, replication: Yes, erasure_coding: Yes, notes: "" },
-        DfsSurveyRow { name: "BeeGFS", rdma: Partial, auth: Yes, replication: Yes, erasure_coding: No, notes: "RDMA compatible" },
-        DfsSurveyRow { name: "Ceph", rdma: No, auth: Yes, replication: Yes, erasure_coding: Yes, notes: "" },
-        DfsSurveyRow { name: "HDFS", rdma: Partial, auth: Yes, replication: Yes, erasure_coding: Yes, notes: "RPC+RDMA" },
-        DfsSurveyRow { name: "Intel DAOS", rdma: Partial, auth: Yes, replication: Yes, erasure_coding: Yes, notes: "RPC+RDMA" },
-        DfsSurveyRow { name: "MadFS", rdma: Yes, auth: Yes, replication: No, erasure_coding: No, notes: "" },
-        DfsSurveyRow { name: "WekaIO Matrix", rdma: Yes, auth: Yes, replication: No, erasure_coding: Yes, notes: "" },
-        DfsSurveyRow { name: "PanFS", rdma: Partial, auth: Yes, replication: No, erasure_coding: Yes, notes: "RPC+RDMA" },
-        DfsSurveyRow { name: "OrangeFS", rdma: Partial, auth: Yes, replication: Yes, erasure_coding: No, notes: "RPC+RDMA" },
-        DfsSurveyRow { name: "Gluster", rdma: Partial, auth: Yes, replication: Yes, erasure_coding: Yes, notes: "" },
-        DfsSurveyRow { name: "Orion", rdma: Yes, auth: No, replication: Yes, erasure_coding: No, notes: "Client-based replication" },
-        DfsSurveyRow { name: "Octopus", rdma: Partial, auth: Yes, replication: No, erasure_coding: No, notes: "RPC+RDMA" },
-        DfsSurveyRow { name: "FileMR", rdma: Yes, auth: Yes, replication: Yes, erasure_coding: No, notes: "" },
+        DfsSurveyRow {
+            name: "Lustre",
+            rdma: Partial,
+            auth: Yes,
+            replication: No,
+            erasure_coding: No,
+            notes: "RPC+RDMA",
+        },
+        DfsSurveyRow {
+            name: "IBM Spectrum Scale",
+            rdma: No,
+            auth: Yes,
+            replication: Yes,
+            erasure_coding: Yes,
+            notes: "",
+        },
+        DfsSurveyRow {
+            name: "BeeGFS",
+            rdma: Partial,
+            auth: Yes,
+            replication: Yes,
+            erasure_coding: No,
+            notes: "RDMA compatible",
+        },
+        DfsSurveyRow {
+            name: "Ceph",
+            rdma: No,
+            auth: Yes,
+            replication: Yes,
+            erasure_coding: Yes,
+            notes: "",
+        },
+        DfsSurveyRow {
+            name: "HDFS",
+            rdma: Partial,
+            auth: Yes,
+            replication: Yes,
+            erasure_coding: Yes,
+            notes: "RPC+RDMA",
+        },
+        DfsSurveyRow {
+            name: "Intel DAOS",
+            rdma: Partial,
+            auth: Yes,
+            replication: Yes,
+            erasure_coding: Yes,
+            notes: "RPC+RDMA",
+        },
+        DfsSurveyRow {
+            name: "MadFS",
+            rdma: Yes,
+            auth: Yes,
+            replication: No,
+            erasure_coding: No,
+            notes: "",
+        },
+        DfsSurveyRow {
+            name: "WekaIO Matrix",
+            rdma: Yes,
+            auth: Yes,
+            replication: No,
+            erasure_coding: Yes,
+            notes: "",
+        },
+        DfsSurveyRow {
+            name: "PanFS",
+            rdma: Partial,
+            auth: Yes,
+            replication: No,
+            erasure_coding: Yes,
+            notes: "RPC+RDMA",
+        },
+        DfsSurveyRow {
+            name: "OrangeFS",
+            rdma: Partial,
+            auth: Yes,
+            replication: Yes,
+            erasure_coding: No,
+            notes: "RPC+RDMA",
+        },
+        DfsSurveyRow {
+            name: "Gluster",
+            rdma: Partial,
+            auth: Yes,
+            replication: Yes,
+            erasure_coding: Yes,
+            notes: "",
+        },
+        DfsSurveyRow {
+            name: "Orion",
+            rdma: Yes,
+            auth: No,
+            replication: Yes,
+            erasure_coding: No,
+            notes: "Client-based replication",
+        },
+        DfsSurveyRow {
+            name: "Octopus",
+            rdma: Partial,
+            auth: Yes,
+            replication: No,
+            erasure_coding: No,
+            notes: "RPC+RDMA",
+        },
+        DfsSurveyRow {
+            name: "FileMR",
+            rdma: Yes,
+            auth: Yes,
+            replication: Yes,
+            erasure_coding: No,
+            notes: "",
+        },
     ]
 }
 

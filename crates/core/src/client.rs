@@ -11,6 +11,7 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use bytes::Bytes;
+use nadfs_meta::{CachedEntry, LayoutSpec, MetaCache, MetaError};
 use nadfs_rdma::{NicApp, NicCore};
 use nadfs_simnet::{Ctx, Dur, NodeId, Time};
 use nadfs_wire::{
@@ -18,12 +19,18 @@ use nadfs_wire::{
     Rights, RpcBody, Status, WriteReqHeader,
 };
 
+use crate::config::MetaCosts;
 use crate::control::{FilePolicy, SharedControl, WritePlacement};
 
 /// Timer tag: start pulling jobs from the plan.
 pub const KICK: u64 = 0;
 const RETRY_BASE: u64 = 0x5254_0000_0000_0000;
 const ISSUE_BASE: u64 = 0x4953_0000_0000_0000;
+const META_BASE: u64 = 0x4D45_0000_0000_0000;
+
+/// Buffered write-back attr updates are flushed to the control plane once
+/// this many files are dirty (one round-trip for the whole batch).
+const WRITEBACK_BATCH: usize = 8;
 
 /// Write protocols (the paper's comparison axes).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,6 +60,41 @@ pub enum WriteProtocol {
     InecTriec,
 }
 
+/// A metadata operation issued by a client (paths are absolute).
+#[derive(Clone, Debug)]
+pub enum MetaOp {
+    Mkdir { path: String },
+    Create { path: String, spec: LayoutSpec },
+    Lookup { path: String },
+    Readdir { path: String },
+    Rename { from: String, to: String },
+    Unlink { path: String },
+}
+
+impl MetaOp {
+    pub fn kind(&self) -> MetaOpKind {
+        match self {
+            MetaOp::Mkdir { .. } => MetaOpKind::Mkdir,
+            MetaOp::Create { .. } => MetaOpKind::Create,
+            MetaOp::Lookup { .. } => MetaOpKind::Lookup,
+            MetaOp::Readdir { .. } => MetaOpKind::Readdir,
+            MetaOp::Rename { .. } => MetaOpKind::Rename,
+            MetaOp::Unlink { .. } => MetaOpKind::Unlink,
+        }
+    }
+}
+
+/// Which metadata operation a [`MetaResult`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MetaOpKind {
+    Mkdir,
+    Create,
+    Lookup,
+    Readdir,
+    Rename,
+    Unlink,
+}
+
 /// One unit of client work.
 #[derive(Clone, Debug)]
 pub enum Job {
@@ -69,6 +111,8 @@ pub enum Job {
         len: u32,
         token: u64,
     },
+    /// A metadata operation (namespace traffic).
+    Meta { op: MetaOp, token: u64 },
 }
 
 /// Completion record.
@@ -92,11 +136,26 @@ pub struct ReadResult {
     pub end: Time,
 }
 
+/// Completion record of one metadata operation.
+#[derive(Clone, Debug)]
+pub struct MetaResult {
+    pub token: u64,
+    pub client: NodeId,
+    pub op: MetaOpKind,
+    pub start: Time,
+    pub end: Time,
+    /// Answered from the client cache (no control round-trip).
+    pub cache_hit: bool,
+    /// Typed outcome: metadata misses surface as failed jobs.
+    pub result: Result<(), MetaError>,
+}
+
 /// Shared sink for completions.
 #[derive(Default)]
 pub struct ResultSink {
     pub writes: Vec<WriteResult>,
     pub reads: Vec<ReadResult>,
+    pub metas: Vec<MetaResult>,
 }
 
 pub type SharedResults = Rc<RefCell<ResultSink>>;
@@ -140,6 +199,26 @@ pub struct ClientApp {
     read_tokens: HashMap<u64, u64>,
     retry_stash: Vec<(u64, Job, WritePlacement, u32)>,
     issue_stash: Vec<(u64, Job, WritePlacement, Time)>,
+    /// Client-side metadata cache (registered with the control plane for
+    /// invalidation callbacks at construction).
+    pub meta_cache: Rc<RefCell<MetaCache>>,
+    /// Disable to measure the uncached baseline (every op round-trips).
+    pub cache_enabled: bool,
+    /// Latency model for metadata traffic.
+    pub meta_costs: MetaCosts,
+    meta_in_flight: usize,
+    meta_stash: Vec<(u64, PendingMeta)>,
+    next_meta_tag: u64,
+}
+
+/// A metadata op whose (already-determined) outcome is waiting out its
+/// simulated latency.
+struct PendingMeta {
+    token: u64,
+    kind: MetaOpKind,
+    start: Time,
+    cache_hit: bool,
+    result: Result<(), MetaError>,
 }
 
 impl ClientApp {
@@ -149,6 +228,8 @@ impl ClientApp {
         plan: SharedPlan,
         window: usize,
     ) -> ClientApp {
+        let meta_cache = Rc::new(RefCell::new(MetaCache::new()));
+        control.borrow_mut().register_cache(meta_cache.clone());
         ClientApp {
             control,
             results,
@@ -163,20 +244,23 @@ impl ClientApp {
             read_tokens: HashMap::new(),
             retry_stash: Vec::new(),
             issue_stash: Vec::new(),
+            meta_cache,
+            cache_enabled: true,
+            meta_costs: MetaCosts::default(),
+            meta_in_flight: 0,
+            meta_stash: Vec::new(),
+            next_meta_tag: 0,
         }
     }
 
     fn capability(&mut self, nic: &NicCore, file: u64) -> Capability {
         let client = nic.node() as u32;
         let control = &self.control;
-        let cap = *self
-            .caps
-            .entry(file)
-            .or_insert_with(|| {
-                control
-                    .borrow_mut()
-                    .issue_capability(client, file, Rights::RW, u64::MAX / 2)
-            });
+        let cap = *self.caps.entry(file).or_insert_with(|| {
+            control
+                .borrow_mut()
+                .issue_capability(client, file, Rights::RW, u64::MAX / 2)
+        });
         if self.forge_capabilities {
             // Tamper: claim more rights without re-signing.
             let mut evil = cap;
@@ -213,7 +297,7 @@ impl ClientApp {
     }
 
     fn fill(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>) {
-        while self.in_flight.len() + self.issue_stash.len() < self.window {
+        while self.in_flight.len() + self.issue_stash.len() + self.meta_in_flight < self.window {
             let Some(job) = self.plan.borrow_mut().pop_front() else {
                 return;
             };
@@ -221,15 +305,55 @@ impl ClientApp {
         }
     }
 
+    /// Record a write that failed in the metadata service before any byte
+    /// moved: the job completes immediately with `Rejected` instead of
+    /// silently vanishing.
+    fn fail_write_job(
+        &mut self,
+        nic: &NicCore,
+        ctx: &Ctx<'_>,
+        size: u32,
+        protocol: WriteProtocol,
+        retries: u32,
+        start: Time,
+    ) {
+        let greq = self.control.borrow_mut().alloc_greq();
+        self.results.borrow_mut().writes.push(WriteResult {
+            greq,
+            client: nic.node(),
+            protocol,
+            size,
+            start,
+            end: ctx.now(),
+            status: Status::Rejected,
+            retries,
+            placement: WritePlacement::rejected(greq),
+        });
+    }
+
     fn start_job(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, job: Job) {
         self.jobs_started += 1;
         match job {
-            Job::Write { file, size, .. } => {
+            Job::Write {
+                file,
+                size,
+                protocol,
+                ..
+            } => {
                 // The measured latency starts when the driver decides to
                 // write; the verbs post (doorbell, WQE build) delays actual
                 // injection — a real cost every protocol pays.
-                let placement = self.control.borrow_mut().place_write(file, size);
+                let placed = self.control.borrow_mut().place_write(file, size);
                 let start = ctx.now();
+                let placement = match placed {
+                    Ok(p) => p,
+                    Err(_) => {
+                        // Typed metadata miss: the job fails, the client
+                        // moves on.
+                        self.fail_write_job(nic, ctx, size, protocol, 0, start);
+                        return;
+                    }
+                };
                 let t_post = nic.cpu.exec(start, nic.cpu.costs.post_send);
                 let tag = ISSUE_BASE | placement.greq;
                 self.issue_stash
@@ -247,7 +371,138 @@ impl ClientApp {
                 self.read_tokens.insert(token, token);
                 nic.send_read(ctx, node, rrh, None, local, token);
             }
+            Job::Meta { op, token } => {
+                self.start_meta(nic, ctx, op, token);
+            }
         }
+    }
+
+    /// Flush buffered write-back attrs (one control round-trip for the
+    /// whole batch). Returns true if a flush happened.
+    fn flush_writeback(&mut self) -> bool {
+        let dirty = self.meta_cache.borrow_mut().take_dirty();
+        if dirty.is_empty() {
+            return false;
+        }
+        let _ = self.control.borrow_mut().flush_attrs(&dirty);
+        true
+    }
+
+    /// Execute a metadata op against cache + control plane. State changes
+    /// apply immediately; the completion is reported after the op's
+    /// simulated latency (cache probe vs. control round-trip).
+    fn start_meta(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, op: MetaOp, token: u64) {
+        let start = ctx.now();
+        let now_ns = start.as_ns() as u64;
+        let costs = self.meta_costs.clone();
+        let mut cost = Dur::ZERO;
+        let mut cache_hit = false;
+        let result: Result<(), MetaError> = match &op {
+            MetaOp::Lookup { path } => {
+                // A lookup must observe our own buffered appends: flush
+                // write-back state first (counts as its own round-trip).
+                if self.cache_enabled && self.meta_cache.borrow().dirty_count() > 0 {
+                    self.flush_writeback();
+                    cost = cost + costs.control_rtt;
+                }
+                let cached = if self.cache_enabled {
+                    self.meta_cache.borrow_mut().get(path)
+                } else {
+                    None
+                };
+                match cached {
+                    Some(_) => {
+                        cache_hit = true;
+                        cost = cost + costs.cache_probe;
+                        Ok(())
+                    }
+                    None => {
+                        cost = cost + costs.control_rtt;
+                        match self.control.borrow_mut().lookup_entry(path) {
+                            Ok((attr, layout)) => {
+                                if self.cache_enabled {
+                                    self.meta_cache.borrow_mut().insert(
+                                        path.clone(),
+                                        CachedEntry::from_attr(&attr, layout),
+                                    );
+                                }
+                                Ok(())
+                            }
+                            Err(e) => Err(e),
+                        }
+                    }
+                }
+            }
+            MetaOp::Mkdir { path } => {
+                cost = cost + costs.control_rtt + costs.mutate_service;
+                self.control.borrow_mut().mkdir(path, now_ns).map(|_| ())
+            }
+            MetaOp::Create { path, spec } => {
+                cost = cost + costs.control_rtt + costs.mutate_service;
+                let created =
+                    self.control
+                        .borrow_mut()
+                        .create_file_at(path, *spec, FilePolicy::Plain);
+                match created {
+                    Ok(_) => {
+                        if self.cache_enabled {
+                            // Write-allocate: the create response already
+                            // carries everything a later lookup needs, so
+                            // fill the cache without another counted
+                            // round-trip.
+                            if let Ok((attr, layout)) = self.control.borrow().peek_entry(path) {
+                                self.meta_cache
+                                    .borrow_mut()
+                                    .insert(path.clone(), CachedEntry::from_attr(&attr, layout));
+                            }
+                        }
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            MetaOp::Readdir { path } => {
+                cost = cost + costs.control_rtt;
+                match self.control.borrow_mut().readdir(path) {
+                    Ok(entries) => {
+                        if self.cache_enabled {
+                            // Version check (defense in depth): a readdir
+                            // response reveals current child versions —
+                            // evict any cached child it proves stale.
+                            let mut cache = self.meta_cache.borrow_mut();
+                            let base = path.trim_end_matches('/');
+                            for (name, attr) in &entries {
+                                cache.note_version(&format!("{base}/{name}"), attr.version);
+                            }
+                        }
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            MetaOp::Rename { from, to } => {
+                cost = cost + costs.control_rtt + costs.mutate_service;
+                self.control.borrow_mut().rename(from, to, now_ns)
+            }
+            MetaOp::Unlink { path } => {
+                cost = cost + costs.control_rtt + costs.mutate_service;
+                self.control.borrow_mut().unlink(path, now_ns).map(|_| ())
+            }
+        };
+        let tag = META_BASE | self.next_meta_tag;
+        self.next_meta_tag += 1;
+        self.meta_in_flight += 1;
+        self.meta_stash.push((
+            tag,
+            PendingMeta {
+                token,
+                kind: op.kind(),
+                start,
+                cache_hit,
+                result,
+            },
+        ));
+        nic.set_timer(ctx, cost, tag);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -281,81 +536,116 @@ impl ClientApp {
             status: Status::Ok,
             msgs: Vec::new(),
         };
-        let policy = self
-            .control
-            .borrow()
-            .lookup(file)
-            .expect("file exists")
-            .policy
-            .clone();
+        let policy = self.control.borrow().lookup(file).map(|m| m.policy.clone());
+        let policy = match policy {
+            Ok(p) => p,
+            Err(_) => {
+                // The file vanished between placement and issue (e.g. an
+                // unlink raced a retry): fail the job, don't panic. The
+                // slot this job held must be refilled — issue_write runs
+                // from a timer, so no caller does it for us.
+                self.fail_write_job(nic, ctx, size, protocol, retries, start);
+                self.fill(nic, ctx);
+                return;
+            }
+        };
 
         match protocol {
             WriteProtocol::Raw => {
-                let wrh = WriteReqHeader {
-                    target_addr: placement.primary.addr,
-                    len: size,
-                    resiliency: Resiliency::None,
-                };
-                let msg =
-                    nic.send_write(ctx, placement.primary.node as NodeId, None, wrh, data);
-                pending.msgs.push(msg);
+                if placement.stripes.len() > 1 {
+                    send_striped(&mut pending, nic, ctx, &placement, &data, None);
+                } else {
+                    let wrh = WriteReqHeader {
+                        target_addr: placement.primary.addr,
+                        len: size,
+                        resiliency: Resiliency::None,
+                    };
+                    let msg =
+                        nic.send_write(ctx, placement.primary.node as NodeId, None, wrh, data);
+                    pending.msgs.push(msg);
+                }
             }
             WriteProtocol::Spin => {
                 let dfs = self.dfs_header(nic, file, greq);
-                let wrh = WriteReqHeader {
-                    target_addr: placement.primary.addr,
-                    len: size,
-                    resiliency: Resiliency::None,
-                };
                 if abandon {
-                    let (msg, mut frames) = nic.build_write_frames(Some(dfs), wrh, data);
+                    // Abandon after the first packet of the first (or
+                    // only) extent; remaining extents never leave the
+                    // client, modeling a mid-stream client failure.
+                    let (target, len) = match placement.stripes.first() {
+                        Some(st) => (st.coord, st.len),
+                        None => (placement.primary, size),
+                    };
+                    let wrh = WriteReqHeader {
+                        target_addr: target.addr,
+                        len,
+                        resiliency: Resiliency::None,
+                    };
+                    let (msg, mut frames) =
+                        nic.build_write_frames(Some(dfs), wrh, data.slice(..len as usize));
                     frames.truncate(1);
-                    nic.send_frames(ctx, placement.primary.node as NodeId, frames);
+                    nic.send_frames(ctx, target.node as NodeId, frames);
                     pending.msgs.push(msg);
                     pending.acks_needed = u32::MAX; // never completes
+                } else if placement.stripes.len() > 1 {
+                    send_striped(&mut pending, nic, ctx, &placement, &data, Some(dfs));
                 } else {
-                    let msg = nic.send_write(
-                        ctx,
-                        placement.primary.node as NodeId,
-                        Some(dfs),
-                        wrh,
-                        data,
-                    );
+                    let wrh = WriteReqHeader {
+                        target_addr: placement.primary.addr,
+                        len: size,
+                        resiliency: Resiliency::None,
+                    };
+                    let msg =
+                        nic.send_write(ctx, placement.primary.node as NodeId, Some(dfs), wrh, data);
                     pending.msgs.push(msg);
                 }
             }
             WriteProtocol::Rpc | WriteProtocol::RpcRdma => {
                 let inline = protocol == WriteProtocol::Rpc;
                 let dfs = self.dfs_header(nic, file, greq);
-                let wrh = WriteReqHeader {
-                    target_addr: placement.primary.addr,
-                    len: size,
-                    resiliency: Resiliency::None,
-                };
-                let src_addr = if inline {
-                    0
+                // One independent RPC per stripe extent (a width-1 layout
+                // is a single extent at `primary`): each extent's bytes
+                // must land at that extent's address, never overrun the
+                // first extent's allocation.
+                let extents: Vec<(nadfs_wire::ReplicaCoord, u32)> = if placement.stripes.len() > 1 {
+                    placement.stripes.iter().map(|s| (s.coord, s.len)).collect()
                 } else {
-                    // Stage the data in client memory for the storage-side
-                    // RDMA read.
-                    let a = nic.memory().borrow_mut().alloc(size as u64);
-                    nic.memory().borrow_mut().write(a, &data);
-                    a
+                    vec![(placement.primary, size)]
                 };
-                let body = RpcBody::WriteReq {
-                    dfs,
-                    wrh,
-                    inline_data: inline,
-                    src_addr,
-                    chunk_off: 0,
-                    full_len: size,
-                };
-                let msg = nic.send_rpc(
-                    ctx,
-                    placement.primary.node as NodeId,
-                    body,
-                    if inline { data } else { Bytes::new() },
-                );
-                pending.msgs.push(msg);
+                pending.acks_needed = extents.len() as u32;
+                let mut off = 0usize;
+                for (coord, len) in extents {
+                    let wrh = WriteReqHeader {
+                        target_addr: coord.addr,
+                        len,
+                        resiliency: Resiliency::None,
+                    };
+                    let slice = data.slice(off..off + len as usize);
+                    let src_addr = if inline {
+                        0
+                    } else {
+                        // Stage the extent in client memory for the
+                        // storage-side RDMA read.
+                        let a = nic.memory().borrow_mut().alloc(len as u64);
+                        nic.memory().borrow_mut().write(a, &slice);
+                        a
+                    };
+                    let body = RpcBody::WriteReq {
+                        dfs,
+                        wrh,
+                        inline_data: inline,
+                        src_addr,
+                        chunk_off: 0,
+                        full_len: len,
+                    };
+                    let msg = nic.send_rpc(
+                        ctx,
+                        coord.node as NodeId,
+                        body,
+                        if inline { slice } else { Bytes::new() },
+                    );
+                    pending.msgs.push(msg);
+                    off += len as usize;
+                }
             }
             WriteProtocol::RdmaFlat => {
                 // One independent write per replica; full client trust.
@@ -366,8 +656,7 @@ impl ClientApp {
                         len: size,
                         resiliency: Resiliency::None,
                     };
-                    let msg =
-                        nic.send_write(ctx, coord.node as NodeId, None, wrh, data.clone());
+                    let msg = nic.send_write(ctx, coord.node as NodeId, None, wrh, data.clone());
                     pending.msgs.push(msg);
                 }
             }
@@ -525,7 +814,10 @@ impl ClientApp {
             self.msg_to_greq.remove(m);
         }
         let Job::Write {
-            size, protocol, ..
+            file,
+            size,
+            protocol,
+            ..
         } = p.job
         else {
             return;
@@ -533,6 +825,29 @@ impl ClientApp {
         // The application observes completion one poll interval after the
         // ack reaches the NIC (CQ polling cost, charged to every protocol).
         let end = ctx.now() + nic.cpu.costs.poll_notify;
+        if p.status == Status::Ok {
+            if self.cache_enabled {
+                // Write-back metadata: absorb the size/mtime update
+                // locally; a batch flush pays one round-trip for many
+                // writes.
+                self.meta_cache
+                    .borrow_mut()
+                    .buffer_append(file, size as u64, end.as_ns() as u64);
+                if self.meta_cache.borrow().dirty_count() >= WRITEBACK_BATCH {
+                    self.flush_writeback();
+                }
+            } else {
+                // Write-through: an uncached client pays one attr-update
+                // round-trip per write (and never goes stale).
+                let _ = self.control.borrow_mut().flush_attrs(&[(
+                    file,
+                    nadfs_meta::DirtyAttr {
+                        appended: size as u64,
+                        mtime_ns: end.as_ns() as u64,
+                    },
+                )]);
+            }
+        }
         self.results.borrow_mut().writes.push(WriteResult {
             greq,
             client: nic.node(),
@@ -550,6 +865,36 @@ impl ClientApp {
 
 fn job_clone(j: &Job) -> Job {
     j.clone()
+}
+
+/// Fan a striped plain write out as one write per stripe extent (with the
+/// DFS header when going through the NIC handlers), acked independently.
+fn send_striped(
+    pending: &mut Pending,
+    nic: &mut NicCore,
+    ctx: &mut Ctx<'_>,
+    placement: &WritePlacement,
+    data: &Bytes,
+    dfs: Option<DfsHeader>,
+) {
+    pending.acks_needed = placement.stripes.len() as u32;
+    let mut off = 0usize;
+    for st in &placement.stripes {
+        let wrh = WriteReqHeader {
+            target_addr: st.coord.addr,
+            len: st.len,
+            resiliency: Resiliency::None,
+        };
+        let msg = nic.send_write(
+            ctx,
+            st.coord.node as NodeId,
+            dfs,
+            wrh,
+            data.slice(off..off + st.len as usize),
+        );
+        pending.msgs.push(msg);
+        off += st.len as usize;
+    }
 }
 
 impl NicApp for ClientApp {
@@ -589,8 +934,22 @@ impl NicApp for ClientApp {
                     protocol,
                     seed,
                 };
-                // Re-place and retry after a backoff.
-                let placement = self.control.borrow_mut().place_write(file, size);
+                // Re-place the same logical extent (fresh addresses, no
+                // cursor advance) and retry after a backoff. If the file
+                // is gone by now (unlinked under us), the job fails.
+                let prev_offset = p.placement.offset;
+                let placed = self
+                    .control
+                    .borrow_mut()
+                    .replace_write(file, size, prev_offset);
+                let placement = match placed {
+                    Ok(p) => p,
+                    Err(_) => {
+                        self.fail_write_job(nic, ctx, size, protocol, retries, ctx.now());
+                        self.fill(nic, ctx);
+                        return;
+                    }
+                };
                 let tag = RETRY_BASE | placement.greq;
                 self.retry_stash.push((tag, job, placement, retries));
                 nic.set_timer(ctx, Dur::from_us(5 * retries as u64), tag);
@@ -621,8 +980,7 @@ impl NicApp for ClientApp {
                             resiliency: Resiliency::None,
                         };
                         let data = Self::payload(seed, size);
-                        let msg =
-                            nic.send_write(ctx, head.node as NodeId, None, wrh, data);
+                        let msg = nic.send_write(ctx, head.node as NodeId, None, wrh, data);
                         p.msgs.push(msg);
                         let greq2 = greq;
                         self.msg_to_greq.insert(msg, greq2);
@@ -650,6 +1008,23 @@ impl NicApp for ClientApp {
     fn on_timer(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, tag: u64) {
         if tag == KICK {
             self.fill(nic, ctx);
+            return;
+        }
+        if tag & META_BASE == META_BASE {
+            if let Some(idx) = self.meta_stash.iter().position(|(t, _)| *t == tag) {
+                let (_, pm) = self.meta_stash.remove(idx);
+                self.meta_in_flight -= 1;
+                self.results.borrow_mut().metas.push(MetaResult {
+                    token: pm.token,
+                    client: nic.node(),
+                    op: pm.kind,
+                    start: pm.start,
+                    end: ctx.now(),
+                    cache_hit: pm.cache_hit,
+                    result: pm.result,
+                });
+                self.fill(nic, ctx);
+            }
             return;
         }
         if tag & RETRY_BASE == RETRY_BASE {

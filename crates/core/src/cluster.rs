@@ -82,6 +82,8 @@ pub struct SimCluster {
     pub plans: Vec<SharedPlan>,
     pub storage_mems: Vec<SharedMemory>,
     pub storage_stats: Vec<SharedStorageStats>,
+    /// Per-client metadata caches (index-aligned with `client_nodes`).
+    pub client_caches: Vec<Rc<RefCell<nadfs_meta::MetaCache>>>,
     pub pspin_telemetry: Vec<Option<Rc<RefCell<Telemetry>>>>,
     pub fabric_stats: Rc<RefCell<FabricStats>>,
 }
@@ -98,10 +100,8 @@ impl SimCluster {
     pub fn build_with<F: FnMut(&mut ClientApp)>(spec: ClusterSpec, mut tweak: F) -> SimCluster {
         let mut engine = Engine::new();
         let fid = engine.reserve_id();
-        let client_components: Vec<_> =
-            (0..spec.n_clients).map(|_| engine.reserve_id()).collect();
-        let storage_components: Vec<_> =
-            (0..spec.n_storage).map(|_| engine.reserve_id()).collect();
+        let client_components: Vec<_> = (0..spec.n_clients).map(|_| engine.reserve_id()).collect();
+        let storage_components: Vec<_> = (0..spec.n_storage).map(|_| engine.reserve_id()).collect();
 
         let mut fab: Fabric<Frame> = Fabric::new(spec.cost.fabric.clone(), fid);
         let client_ports: Vec<_> = client_components
@@ -128,16 +128,15 @@ impl SimCluster {
 
         let results: SharedResults = Rc::new(RefCell::new(ResultSink::default()));
         let mut plans = Vec::new();
+        let mut client_caches = Vec::new();
         for (&comp, port) in client_components.iter().zip(client_ports) {
             let plan: SharedPlan = Rc::new(RefCell::new(VecDeque::new()));
             plans.push(plan.clone());
-            let mut app = ClientApp::new(
-                control.clone(),
-                results.clone(),
-                plan,
-                spec.client_window,
-            );
+            let mut app =
+                ClientApp::new(control.clone(), results.clone(), plan, spec.client_window);
+            app.meta_costs = spec.cost.meta.clone();
             tweak(&mut app);
+            client_caches.push(app.meta_cache.clone());
             let nic = Nic::new(spec.cost.nic.clone(), port, comp, Box::new(app));
             engine.install(comp, Box::new(nic));
         }
@@ -148,15 +147,17 @@ impl SimCluster {
         for (&comp, port) in storage_components.iter().zip(storage_ports) {
             let app = StorageApp::new(key, spec.cost.fabric.link_bw);
             storage_stats.push(app.stats.clone());
-            let mut nic = Nic::new(spec.cost.nic.clone(), port, comp, Box::new(app) as Box<dyn NicApp>);
+            let mut nic = Nic::new(
+                spec.cost.nic.clone(),
+                port,
+                comp,
+                Box::new(app) as Box<dyn NicApp>,
+            );
             match spec.mode {
                 StorageMode::Plain => {}
                 StorageMode::Spin => {
-                    let state = DfsNicState::new(
-                        key,
-                        spec.cost.handlers.clone(),
-                        spec.accumulator_pool,
-                    );
+                    let state =
+                        DfsNicState::new(key, spec.cost.handlers.clone(), spec.accumulator_pool);
                     nic.core.install_pspin(
                         spec.cost.pspin.clone(),
                         ExecutionContext {
@@ -177,6 +178,11 @@ impl SimCluster {
             engine.install(comp, Box::new(nic));
         }
 
+        // Placement decisions are counted on the nodes they land on.
+        control
+            .borrow_mut()
+            .attach_storage_stats(storage_stats.clone());
+
         SimCluster {
             engine,
             control,
@@ -188,6 +194,7 @@ impl SimCluster {
             plans,
             storage_mems,
             storage_stats,
+            client_caches,
             pspin_telemetry,
             fabric_stats,
         }
@@ -206,25 +213,42 @@ impl SimCluster {
         }
     }
 
-    /// Run until `n` write results exist or `deadline_ms` passes.
-    /// Returns the number of results collected.
-    pub fn run_until_writes(&mut self, n: usize, deadline_ms: u64) -> usize {
+    /// Run until `count(results) >= n` or `deadline_ms` passes, stepping
+    /// in bounded slices so the predicate is re-checked. Returns the
+    /// final count.
+    fn run_until_count(
+        &mut self,
+        n: usize,
+        deadline_ms: u64,
+        count: impl Fn(&ResultSink) -> usize,
+    ) -> usize {
         let deadline = Time(Dur::from_ms(deadline_ms).ps());
         loop {
-            if self.results.borrow().writes.len() >= n {
+            if count(&self.results.borrow()) >= n {
                 break;
             }
             if self.engine.now() >= deadline {
                 break;
             }
-            // Step in bounded slices so the predicate is re-checked.
             let target = (self.engine.now() + Dur::from_us(50)).min(deadline);
             if self.engine.run_until(target) {
                 break; // queue drained
             }
         }
-        let n_done = self.results.borrow().writes.len();
+        let n_done = count(&self.results.borrow());
         n_done
+    }
+
+    /// Run until `n` write results exist or `deadline_ms` passes.
+    /// Returns the number of results collected.
+    pub fn run_until_writes(&mut self, n: usize, deadline_ms: u64) -> usize {
+        self.run_until_count(n, deadline_ms, |r| r.writes.len())
+    }
+
+    /// Run until `n` metadata results exist or `deadline_ms` passes.
+    /// Returns the number of results collected.
+    pub fn run_until_metas(&mut self, n: usize, deadline_ms: u64) -> usize {
+        self.run_until_count(n, deadline_ms, |r| r.metas.len())
     }
 
     /// Run for a fixed amount of simulated time.

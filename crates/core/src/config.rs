@@ -10,7 +10,7 @@
 use nadfs_host::{CpuCosts, DmaConfig};
 use nadfs_pspin::PsPinConfig;
 use nadfs_rdma::{EcEngineConfig, NicConfig};
-use nadfs_simnet::{Bandwidth, FabricConfig};
+use nadfs_simnet::{Bandwidth, Dur, FabricConfig};
 
 /// Instruction/IPC model for the DFS sPIN handlers (Tables I & II).
 #[derive(Clone, Debug)]
@@ -76,6 +76,34 @@ impl HandlerCosts {
     }
 }
 
+/// Latency model for metadata traffic (client ↔ control node).
+///
+/// The paper excludes control-plane interactions from the measured write
+/// latency, so these are not calibrated against it; the round-trip is
+/// sized like a small two-sided RPC on the same 400 Gbit/s fabric
+/// (propagation + rpc dispatch + reply), in the same few-µs regime
+/// SwitchFS/AsyncFS report for conventional metadata servers.
+#[derive(Clone, Debug)]
+pub struct MetaCosts {
+    /// Local client-cache probe (hash lookup + version check).
+    pub cache_probe: Dur,
+    /// Client → control node RPC round trip (miss or mutation).
+    pub control_rtt: Dur,
+    /// Extra service time a namespace mutation spends under the tree
+    /// lock (create/rename/unlink vs. a read-only lookup).
+    pub mutate_service: Dur,
+}
+
+impl Default for MetaCosts {
+    fn default() -> MetaCosts {
+        MetaCosts {
+            cache_probe: Dur::from_ns(120),
+            control_rtt: Dur::from_ns(2_400),
+            mutate_service: Dur::from_ns(850),
+        }
+    }
+}
+
 /// Full simulation cost model.
 #[derive(Clone, Debug)]
 pub struct CostModel {
@@ -84,6 +112,8 @@ pub struct CostModel {
     pub pspin: PsPinConfig,
     pub handlers: HandlerCosts,
     pub ec_engine: EcEngineConfig,
+    /// Metadata operation latencies.
+    pub meta: MetaCosts,
     /// Per-request DFS-wide NIC state reserved at context install
     /// (§III-B: 2 MiB, leaving 6 MiB of descriptor memory).
     pub pspin_state_bytes: u64,
@@ -104,6 +134,7 @@ impl CostModel {
             pspin: PsPinConfig::default(),
             handlers: HandlerCosts::default(),
             ec_engine: EcEngineConfig::default(),
+            meta: MetaCosts::default(),
             pspin_state_bytes: 2 << 20,
             descriptor_bytes: nadfs_wire::sizes::WRITE_DESCRIPTOR,
         }
@@ -133,7 +164,10 @@ mod tests {
         // Table I checkpoints (duration = instrs / IPC at 1 GHz).
         assert_eq!((h.hh_instrs as f64 / h.hh_ipc).round() as u64, 211);
         assert_eq!((h.ph_instrs as f64 / h.ph_ipc).round() as u64, 92);
-        assert_eq!((h.ph_ring_instrs as f64 / h.ph_ring_ipc).round() as u64, 194);
+        assert_eq!(
+            (h.ph_ring_instrs as f64 / h.ph_ring_ipc).round() as u64,
+            194
+        );
         assert_eq!((h.ch_instrs as f64 / h.ch_ipc).round() as u64, 106);
     }
 

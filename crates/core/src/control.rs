@@ -8,35 +8,53 @@
 //! write response", §IV) — so the services here are shared state consulted
 //! synchronously by the drivers, with an optional RPC front used by the
 //! full-system examples.
+//!
+//! The metadata service is a real hierarchical namespace
+//! ([`nadfs_meta::MetadataService`]): files live at paths, carry striped
+//! layouts (stripe width × chunk size over storage nodes), and every
+//! mutation bumps versions that drive client-cache invalidation. The
+//! seed's flat `u64 → FileMeta` API survives on top: a file's id *is* its
+//! inode number, and [`ControlPlane::create_file`] parks legacy files
+//! under `/.volatile/`.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use nadfs_simnet::NodeId;
-use nadfs_wire::{
-    BcastStrategy, Capability, MacKey, ReplicaCoord, Rights, RsScheme,
+use nadfs_meta::{
+    InodeAttr, LayoutSpec, MetaCache, MetaError, MetaEvent, MetadataService, StripedLayout,
 };
+use nadfs_simnet::NodeId;
+use nadfs_wire::{Capability, MacKey, ReplicaCoord, Rights};
 
-/// Resiliency policy attached to a file by the metadata service.
-#[derive(Clone, Debug, PartialEq)]
-pub enum FilePolicy {
-    /// Plain single-copy writes (authentication only).
-    Plain,
-    /// k-way replication with the given broadcast schedule.
-    Replicated { k: u8, strategy: BcastStrategy },
-    /// Reed-Solomon erasure coding.
-    ErasureCoded { scheme: RsScheme },
-}
+use crate::storage::SharedStorageStats;
 
-/// A file's metadata.
+// Policies now live with the rest of the file metadata in `nadfs-meta`;
+// re-exported here so existing call sites keep working.
+pub use nadfs_meta::FilePolicy;
+
+/// A file's metadata, as handed to clients.
 #[derive(Clone, Debug)]
 pub struct FileMeta {
+    /// The file id (its inode number in the namespace).
     pub id: u64,
+    /// Bytes placed so far (the placement cursor; the namespace's
+    /// authoritative size trails this until attr write-back flushes).
     pub size: u64,
     pub policy: FilePolicy,
-    /// First storage node of the file's placement group.
+    /// Index (into the storage-node list) of the stripe's first node.
     pub home: usize,
+    /// Where the file's bytes go.
+    pub layout: StripedLayout,
+}
+
+/// One striped piece of a plain write: a concrete (node, addr) target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StripeTarget {
+    pub coord: ReplicaCoord,
+    pub len: u32,
+    /// Logical byte offset within the file.
+    pub file_offset: u64,
 }
 
 /// Placement of one write: where every byte (and parity) goes.
@@ -54,20 +72,51 @@ pub struct WritePlacement {
     pub parities: Vec<ReplicaCoord>,
     /// EC chunk length (bytes per data chunk).
     pub chunk_len: u32,
+    /// Logical file offset this placement writes at (plain appends; 0
+    /// for replication/EC, which do not track an append cursor).
+    pub offset: u64,
+    /// Striped plain-write targets, in file order (width > 1 layouts
+    /// only; empty means "single extent at `primary`").
+    pub stripes: Vec<StripeTarget>,
+}
+
+impl WritePlacement {
+    /// Placement for a request that was rejected before placement (the
+    /// failed-job record still carries a `WritePlacement`).
+    pub fn rejected(greq: u64) -> WritePlacement {
+        WritePlacement {
+            greq,
+            primary: ReplicaCoord { node: 0, addr: 0 },
+            replicas: vec![],
+            data_chunks: vec![],
+            parities: vec![],
+            chunk_len: 0,
+            offset: 0,
+            stripes: vec![],
+        }
+    }
 }
 
 /// The control plane: management (authentication) + metadata (namespace,
 /// layout, placement) services.
 pub struct ControlPlane {
     key: MacKey,
+    /// The hierarchical namespace + layout service.
+    pub meta: MetadataService,
     files: HashMap<u64, FileMeta>,
-    next_file: u64,
+    next_legacy: u64,
     next_greq: u64,
     next_nonce: u64,
     /// Storage nodes, by fabric node id.
     storage_nodes: Vec<NodeId>,
     /// Bump allocator per storage node for write placement.
     next_addr: HashMap<NodeId, u64>,
+    /// Client metadata caches subscribed to invalidation callbacks.
+    caches: Vec<Rc<RefCell<MetaCache>>>,
+    /// Per-storage-node stats sinks (index-aligned with `storage_nodes`),
+    /// attached by the cluster builder so placement decisions are
+    /// observable on the nodes they land on.
+    storage_stats: Vec<SharedStorageStats>,
 }
 
 pub type SharedControl = Rc<RefCell<ControlPlane>>;
@@ -75,14 +124,18 @@ pub type SharedControl = Rc<RefCell<ControlPlane>>;
 impl ControlPlane {
     pub fn new(key_seed: u64, storage_nodes: Vec<NodeId>) -> SharedControl {
         let next_addr = storage_nodes.iter().map(|&n| (n, 0x10_0000u64)).collect();
+        let meta = MetadataService::new(storage_nodes.iter().map(|&n| n as u32).collect());
         Rc::new(RefCell::new(ControlPlane {
             key: MacKey::from_seed(key_seed),
+            meta,
             files: HashMap::new(),
-            next_file: 1,
+            next_legacy: 1,
             next_greq: 1,
             next_nonce: 1,
             storage_nodes,
             next_addr,
+            caches: Vec::new(),
+            storage_stats: Vec::new(),
         }))
     }
 
@@ -95,23 +148,166 @@ impl ControlPlane {
         &self.storage_nodes
     }
 
-    /// Create a file with the given policy; placement groups are assigned
-    /// round-robin over storage nodes.
-    pub fn create_file(&mut self, size: u64, policy: FilePolicy) -> FileMeta {
-        let id = self.next_file;
-        self.next_file += 1;
-        let meta = FileMeta {
-            id,
-            size,
-            policy,
-            home: (id as usize - 1) % self.storage_nodes.len(),
-        };
-        self.files.insert(id, meta.clone());
-        meta
+    /// Subscribe a client cache to invalidation callbacks.
+    pub fn register_cache(&mut self, cache: Rc<RefCell<MetaCache>>) {
+        self.caches.push(cache);
     }
 
-    pub fn lookup(&self, file: u64) -> Option<&FileMeta> {
-        self.files.get(&file)
+    /// Attach per-node stats sinks (index-aligned with `storage_nodes`).
+    pub fn attach_storage_stats(&mut self, stats: Vec<SharedStorageStats>) {
+        assert_eq!(stats.len(), self.storage_nodes.len());
+        self.storage_stats = stats;
+    }
+
+    /// Fan the metadata service's mutation events out to every registered
+    /// client cache (the callback channel).
+    fn publish_invalidations(&mut self) {
+        let events = self.meta.take_events();
+        if events.is_empty() {
+            return;
+        }
+        for cache in &self.caches {
+            let mut c = cache.borrow_mut();
+            for ev in &events {
+                match ev {
+                    MetaEvent::Changed { path } => c.invalidate_path(path),
+                    MetaEvent::SubtreeGone { path } => c.invalidate_subtree(path),
+                }
+            }
+        }
+    }
+
+    fn home_of(&self, layout: &StripedLayout) -> usize {
+        self.storage_nodes
+            .iter()
+            .position(|&n| n as u32 == layout.nodes[0])
+            .expect("layout node")
+    }
+
+    fn install_file(&mut self, attr: &InodeAttr, layout: StripedLayout, policy: FilePolicy) {
+        let meta = FileMeta {
+            id: attr.ino,
+            size: attr.size,
+            policy,
+            home: self.home_of(&layout),
+            layout,
+        };
+        self.files.insert(attr.ino, meta);
+    }
+
+    /// Create a file with the given policy (legacy flat API): parked under
+    /// `/.volatile/`, single-node layout assigned round-robin.
+    pub fn create_file(&mut self, size: u64, policy: FilePolicy) -> FileMeta {
+        let name = format!("/.volatile/f{}", self.next_legacy);
+        self.next_legacy += 1;
+        self.meta.ns.mkdir_p("/.volatile", 0).expect("legacy dir");
+        let meta = self
+            .create_file_at(&name, LayoutSpec::SINGLE, policy)
+            .expect("fresh legacy path");
+        // Legacy callers pre-declare the size; advance the cursor so the
+        // first placement appends after it, matching the seed behavior.
+        let m = self.files.get_mut(&meta.id).expect("just created");
+        m.size = size;
+        m.clone()
+    }
+
+    /// Create a file at `path` with a striped layout. The parent
+    /// directory must exist (`mkdir`/`mkdir_p` first).
+    pub fn create_file_at(
+        &mut self,
+        path: &str,
+        spec: LayoutSpec,
+        policy: FilePolicy,
+    ) -> Result<FileMeta, MetaError> {
+        let (attr, layout) = self.meta.create(path, spec, policy.clone(), 0)?;
+        self.install_file(&attr, layout, policy);
+        self.publish_invalidations();
+        Ok(self.files[&attr.ino].clone())
+    }
+
+    /// Metadata lookup by file id. A miss is a typed error, not a panic
+    /// or a silent `None`.
+    pub fn lookup(&self, file: u64) -> Result<&FileMeta, MetaError> {
+        self.files.get(&file).ok_or(MetaError::UnknownFile(file))
+    }
+
+    /// Path lookup (counts as one metadata round-trip).
+    pub fn lookup_path(&mut self, path: &str) -> Result<InodeAttr, MetaError> {
+        self.meta.lookup(path)
+    }
+
+    /// Path lookup returning what a client cache stores: attrs + layout
+    /// for files.
+    pub fn lookup_entry(
+        &mut self,
+        path: &str,
+    ) -> Result<(InodeAttr, Option<StripedLayout>), MetaError> {
+        self.meta.lookup(path)?; // the counted round-trip
+        self.peek_entry(path)
+    }
+
+    /// Uncounted lookup for cache refills: the caller already paid the
+    /// round-trip (e.g. a create response) and only needs the entry.
+    pub fn peek_entry(&self, path: &str) -> Result<(InodeAttr, Option<StripedLayout>), MetaError> {
+        let attr = self.meta.ns.lookup(path)?;
+        let layout = if attr.kind == nadfs_meta::InodeKind::File {
+            self.meta
+                .ns
+                .inode(attr.ino)?
+                .file()
+                .map(|f| f.layout.clone())
+        } else {
+            None
+        };
+        Ok((attr, layout))
+    }
+
+    pub fn mkdir(&mut self, path: &str, now_ns: u64) -> Result<InodeAttr, MetaError> {
+        let r = self.meta.mkdir(path, now_ns);
+        self.publish_invalidations();
+        r
+    }
+
+    pub fn mkdir_p(&mut self, path: &str, now_ns: u64) -> Result<InodeAttr, MetaError> {
+        let r = self.meta.mkdir_p(path, now_ns);
+        self.publish_invalidations();
+        r
+    }
+
+    pub fn readdir(&mut self, path: &str) -> Result<Vec<(String, InodeAttr)>, MetaError> {
+        self.meta.readdir(path)
+    }
+
+    pub fn rename(&mut self, from: &str, to: &str, now_ns: u64) -> Result<(), MetaError> {
+        let r = self.meta.rename(from, to, now_ns);
+        if let Ok(Some(replaced)) = r {
+            // A POSIX replace deletes the target inode: drop its
+            // placement state too, exactly like an unlink.
+            self.files.remove(&replaced);
+        }
+        self.publish_invalidations();
+        r.map(|_| ())
+    }
+
+    /// Unlink a file or empty directory; a removed file's placement state
+    /// is dropped with it.
+    pub fn unlink(&mut self, path: &str, now_ns: u64) -> Result<InodeAttr, MetaError> {
+        let attr = self.meta.unlink(path, now_ns)?;
+        self.files.remove(&attr.ino);
+        self.publish_invalidations();
+        Ok(attr)
+    }
+
+    /// Apply a client's write-back attribute flush. Applied updates
+    /// publish `Changed` events, so other clients' cached attrs for the
+    /// flushed files are invalidated.
+    pub fn flush_attrs(
+        &mut self,
+        updates: &[(u64, nadfs_meta::DirtyAttr)],
+    ) -> Result<(), MetaError> {
+        let r = self.meta.flush_attrs(updates);
+        self.publish_invalidations();
+        r
     }
 
     /// Management service: authenticate a client and issue a capability
@@ -136,6 +332,15 @@ impl ControlPlane {
         addr
     }
 
+    fn count_stripe_placement(&mut self, node: NodeId) {
+        if self.storage_stats.is_empty() {
+            return;
+        }
+        if let Some(i) = self.storage_nodes.iter().position(|&n| n == node) {
+            self.storage_stats[i].borrow_mut().stripe_chunks_placed += 1;
+        }
+    }
+
     /// Allocate a fresh request id.
     pub fn alloc_greq(&mut self) -> u64 {
         let g = self.next_greq;
@@ -143,20 +348,60 @@ impl ControlPlane {
         g
     }
 
-    /// Metadata service: place one write of `len` bytes for `file`.
-    pub fn place_write(&mut self, file: u64, len: u32) -> WritePlacement {
-        let meta = self.files.get(&file).expect("file exists").clone();
+    /// Metadata service: place one write of `len` bytes for `file`,
+    /// appending at the file's placement cursor. Unknown file ids are a
+    /// typed error the client surfaces as a failed job.
+    pub fn place_write(&mut self, file: u64, len: u32) -> Result<WritePlacement, MetaError> {
+        self.place_write_inner(file, len, None)
+    }
+
+    /// Re-place a retried write at its original logical offset: fresh
+    /// physical addresses (the old descriptors are gone), but the
+    /// placement cursor does NOT advance again — a retry re-writes the
+    /// same logical extent, it does not append new bytes.
+    pub fn replace_write(
+        &mut self,
+        file: u64,
+        len: u32,
+        offset: u64,
+    ) -> Result<WritePlacement, MetaError> {
+        self.place_write_inner(file, len, Some(offset))
+    }
+
+    fn place_write_inner(
+        &mut self,
+        file: u64,
+        len: u32,
+        offset_override: Option<u64>,
+    ) -> Result<WritePlacement, MetaError> {
+        let meta = self.lookup(file)?.clone();
         let greq = self.alloc_greq();
         let n = self.storage_nodes.len();
         let home = meta.home;
-        match meta.policy {
+        let placement = match meta.policy {
             FilePolicy::Plain => {
-                let node = self.storage_nodes[home];
-                let addr = self.alloc_on(node, len as u64);
-                let primary = ReplicaCoord {
-                    node: node as u32,
-                    addr,
-                };
+                // Striped placement: split the append extent over the
+                // file's layout; width-1 layouts degenerate to the seed's
+                // single-node placement.
+                let base = offset_override.unwrap_or(meta.size);
+                let extents = meta.layout.extents(base, len);
+                let mut stripes = Vec::with_capacity(extents.len());
+                for e in &extents {
+                    let node = e.node as NodeId;
+                    let addr = self.alloc_on(node, e.len.max(1) as u64);
+                    self.count_stripe_placement(node);
+                    stripes.push(StripeTarget {
+                        coord: ReplicaCoord { node: e.node, addr },
+                        len: e.len,
+                        file_offset: e.file_offset,
+                    });
+                }
+                if offset_override.is_none() {
+                    if let Some(f) = self.files.get_mut(&file) {
+                        f.size += len as u64;
+                    }
+                }
+                let primary = stripes[0].coord;
                 WritePlacement {
                     greq,
                     primary,
@@ -164,6 +409,8 @@ impl ControlPlane {
                     data_chunks: vec![],
                     parities: vec![],
                     chunk_len: 0,
+                    offset: base,
+                    stripes: if stripes.len() > 1 { stripes } else { vec![] },
                 }
             }
             FilePolicy::Replicated { k, .. } => {
@@ -184,6 +431,8 @@ impl ControlPlane {
                     data_chunks: vec![],
                     parities: vec![],
                     chunk_len: 0,
+                    offset: 0,
+                    stripes: vec![],
                 }
             }
             FilePolicy::ErasureCoded { scheme } => {
@@ -217,15 +466,19 @@ impl ControlPlane {
                     data_chunks,
                     parities,
                     chunk_len,
+                    offset: 0,
+                    stripes: vec![],
                 }
             }
-        }
+        };
+        Ok(placement)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nadfs_wire::{BcastStrategy, RsScheme};
 
     fn plane() -> SharedControl {
         ControlPlane::new(7, vec![4, 5, 6, 7, 8])
@@ -236,7 +489,11 @@ mod tests {
         let cp = plane();
         let f = cp.borrow_mut().create_file(1 << 20, FilePolicy::Plain);
         assert_eq!(cp.borrow().lookup(f.id).expect("found").size, 1 << 20);
-        assert!(cp.borrow().lookup(999).is_none());
+        assert_eq!(
+            cp.borrow().lookup(999).unwrap_err(),
+            MetaError::UnknownFile(999),
+            "misses are typed errors"
+        );
     }
 
     #[test]
@@ -257,7 +514,7 @@ mod tests {
                 strategy: BcastStrategy::Ring,
             },
         );
-        let p = cp.borrow_mut().place_write(f.id, 8192);
+        let p = cp.borrow_mut().place_write(f.id, 8192).expect("place");
         assert_eq!(p.replicas.len(), 4);
         let mut nodes: Vec<u32> = p.replicas.iter().map(|r| r.node).collect();
         nodes.dedup();
@@ -273,7 +530,7 @@ mod tests {
                 scheme: RsScheme::new(3, 2),
             },
         );
-        let p = cp.borrow_mut().place_write(f.id, 3 * 1000);
+        let p = cp.borrow_mut().place_write(f.id, 3 * 1000).expect("place");
         assert_eq!(p.data_chunks.len(), 3);
         assert_eq!(p.parities.len(), 2);
         assert_eq!(p.chunk_len, 1000);
@@ -292,10 +549,144 @@ mod tests {
     fn placements_do_not_overlap() {
         let cp = plane();
         let f = cp.borrow_mut().create_file(0, FilePolicy::Plain);
-        let a = cp.borrow_mut().place_write(f.id, 10_000);
-        let b = cp.borrow_mut().place_write(f.id, 10_000);
+        let a = cp.borrow_mut().place_write(f.id, 10_000).expect("place");
+        let b = cp.borrow_mut().place_write(f.id, 10_000).expect("place");
         assert_eq!(a.primary.node, b.primary.node);
         assert!(b.primary.addr >= a.primary.addr + 10_000);
         assert!(b.greq > a.greq);
+    }
+
+    #[test]
+    fn namespace_files_stripe_over_distinct_nodes() {
+        let cp = plane();
+        cp.borrow_mut().mkdir_p("/data", 0).expect("mkdir");
+        let f = cp
+            .borrow_mut()
+            .create_file_at("/data/big", LayoutSpec::striped(3, 4096), FilePolicy::Plain)
+            .expect("create");
+        assert_eq!(f.layout.stripe_width(), 3);
+        let p = cp.borrow_mut().place_write(f.id, 3 * 4096).expect("place");
+        assert_eq!(p.stripes.len(), 3, "one extent per stripe unit");
+        let mut nodes: Vec<u32> = p.stripes.iter().map(|s| s.coord.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 3, "stripe units on distinct nodes");
+        // The next append continues round-robin from the cursor.
+        let q = cp.borrow_mut().place_write(f.id, 4096).expect("place");
+        assert!(q.stripes.is_empty(), "single-extent write");
+        assert_eq!(q.primary.node, p.stripes[0].coord.node);
+    }
+
+    #[test]
+    fn rename_replace_drops_replaced_placement_state() {
+        let cp = plane();
+        cp.borrow_mut().mkdir_p("/d", 0).expect("mkdir");
+        let loser = cp
+            .borrow_mut()
+            .create_file_at("/d/loser", LayoutSpec::SINGLE, FilePolicy::Plain)
+            .expect("create");
+        let winner = cp
+            .borrow_mut()
+            .create_file_at("/d/winner", LayoutSpec::SINGLE, FilePolicy::Plain)
+            .expect("create");
+        cp.borrow_mut()
+            .rename("/d/winner", "/d/loser", 1)
+            .expect("replace");
+        // The replaced file is gone everywhere: namespace AND placement.
+        assert_eq!(
+            cp.borrow().lookup(loser.id).unwrap_err(),
+            MetaError::UnknownFile(loser.id),
+            "replaced file's placement state is dropped like an unlink"
+        );
+        assert!(cp.borrow_mut().place_write(loser.id, 64).is_err());
+        assert!(cp.borrow().lookup(winner.id).is_ok());
+        assert_eq!(
+            cp.borrow_mut().lookup_path("/d/loser").expect("path").ino,
+            winner.id
+        );
+    }
+
+    #[test]
+    fn attr_flush_skips_vanished_files_and_applies_the_rest() {
+        let cp = plane();
+        cp.borrow_mut().mkdir_p("/d", 0).expect("mkdir");
+        let gone = cp
+            .borrow_mut()
+            .create_file_at("/d/gone", LayoutSpec::SINGLE, FilePolicy::Plain)
+            .expect("create");
+        let kept = cp
+            .borrow_mut()
+            .create_file_at("/d/kept", LayoutSpec::SINGLE, FilePolicy::Plain)
+            .expect("create");
+        cp.borrow_mut().unlink("/d/gone", 1).expect("unlink");
+        let updates = vec![
+            (
+                gone.id,
+                nadfs_meta::DirtyAttr {
+                    appended: 100,
+                    mtime_ns: 2,
+                },
+            ),
+            (
+                kept.id,
+                nadfs_meta::DirtyAttr {
+                    appended: 4096,
+                    mtime_ns: 2,
+                },
+            ),
+        ];
+        cp.borrow_mut()
+            .flush_attrs(&updates)
+            .expect("partial flush ok");
+        assert_eq!(
+            cp.borrow_mut().lookup_path("/d/kept").expect("kept").size,
+            4096,
+            "the surviving file's update is not lost to the vanished one"
+        );
+    }
+
+    #[test]
+    fn retry_replacement_does_not_advance_the_cursor_twice() {
+        let cp = plane();
+        cp.borrow_mut().mkdir_p("/d", 0).expect("mkdir");
+        let f = cp
+            .borrow_mut()
+            .create_file_at("/d/s", LayoutSpec::striped(3, 4096), FilePolicy::Plain)
+            .expect("create");
+        let first = cp.borrow_mut().place_write(f.id, 4096).expect("place");
+        assert_eq!(first.offset, 0);
+        // A Busy retry re-places the SAME logical extent...
+        let retry = cp
+            .borrow_mut()
+            .replace_write(f.id, 4096, first.offset)
+            .expect("re-place");
+        assert_eq!(retry.offset, 0);
+        assert_eq!(retry.primary.node, first.primary.node, "same stripe unit");
+        assert_ne!(retry.primary.addr, first.primary.addr, "fresh address");
+        // ...so the next append continues where the first write ended,
+        // not two extents later.
+        let next = cp.borrow_mut().place_write(f.id, 4096).expect("place");
+        assert_eq!(next.offset, 4096);
+        assert_ne!(
+            next.primary.node, first.primary.node,
+            "stripe advanced once"
+        );
+    }
+
+    #[test]
+    fn unlink_drops_placement_state() {
+        let cp = plane();
+        cp.borrow_mut().mkdir_p("/d", 0).expect("mkdir");
+        let f = cp
+            .borrow_mut()
+            .create_file_at("/d/f", LayoutSpec::SINGLE, FilePolicy::Plain)
+            .expect("create");
+        assert!(cp.borrow().lookup(f.id).is_ok());
+        cp.borrow_mut().unlink("/d/f", 1).expect("unlink");
+        assert_eq!(
+            cp.borrow().lookup(f.id).unwrap_err(),
+            MetaError::UnknownFile(f.id)
+        );
+        assert!(cp.borrow_mut().place_write(f.id, 64).is_err());
     }
 }

@@ -15,9 +15,9 @@ use crate::control::FilePolicy;
 /// Storage mode a protocol requires.
 pub fn mode_for(protocol: WriteProtocol) -> StorageMode {
     match protocol {
-        WriteProtocol::Spin
-        | WriteProtocol::SpinReplicated
-        | WriteProtocol::SpinTriec { .. } => StorageMode::Spin,
+        WriteProtocol::Spin | WriteProtocol::SpinReplicated | WriteProtocol::SpinTriec { .. } => {
+            StorageMode::Spin
+        }
         WriteProtocol::InecTriec => StorageMode::FirmwareEc,
         _ => StorageMode::Plain,
     }
@@ -42,8 +42,7 @@ pub fn write_latency_us(
     cost: &CostModel,
     reps: usize,
 ) -> f64 {
-    let spec = ClusterSpec::new(1, nodes_for(&policy), mode_for(protocol))
-        .with_cost(cost.clone());
+    let spec = ClusterSpec::new(1, nodes_for(&policy), mode_for(protocol)).with_cost(cost.clone());
     let mut c = SimCluster::build(spec);
     let file = c.control.borrow_mut().create_file(0, policy);
     for i in 0..reps {
@@ -94,7 +93,10 @@ pub fn write_latency_best_chunk(
     match protocol {
         WriteProtocol::HyperLoop { .. } | WriteProtocol::CpuBcast { .. } => {
             let mut best = (f64::INFINITY, 0u32);
-            for &chunk in CHUNK_CANDIDATES.iter().filter(|&&ch| ch <= size.max(8 << 10)) {
+            for &chunk in CHUNK_CANDIDATES
+                .iter()
+                .filter(|&&ch| ch <= size.max(8 << 10))
+            {
                 let l = write_latency_us(chunked(chunk), policy.clone(), size, cost, 3);
                 if l < best.0 {
                     best = (l, chunk);
@@ -143,7 +145,12 @@ pub fn storage_goodput_gbit(
         .map(|r| r.start)
         .min()
         .expect("nonempty");
-    let end = results.writes.iter().map(|r| r.end).max().expect("nonempty");
+    let end = results
+        .writes
+        .iter()
+        .map(|r| r.end)
+        .max()
+        .expect("nonempty");
     let bytes: u64 = results.writes.iter().map(|r| r.size as u64).sum();
     nadfs_simnet::achieved_gbit_per_sec(bytes, end - start)
 }
@@ -201,12 +208,7 @@ impl ReplStrategy {
 }
 
 /// Replication latency with per-point chunk optimization (Figs 9/10).
-pub fn replication_latency_us(
-    strategy: ReplStrategy,
-    k: u8,
-    size: u32,
-    cost: &CostModel,
-) -> f64 {
+pub fn replication_latency_us(strategy: ReplStrategy, k: u8, size: u32, cost: &CostModel) -> f64 {
     write_latency_best_chunk(strategy.protocol(), strategy.policy(k), size, cost).0
 }
 
@@ -296,12 +298,7 @@ pub fn pipeline_breakdown_ns(cost: &CostModel) -> [(String, f64); 5] {
 
 /// EC encoding latency (Fig 15 left): client write latency of one
 /// erasure-coded block with chunk size `chunk` under RS(k, m).
-pub fn ec_encode_latency_us(
-    spin: bool,
-    scheme: RsScheme,
-    chunk: u32,
-    cost: &CostModel,
-) -> f64 {
+pub fn ec_encode_latency_us(spin: bool, scheme: RsScheme, chunk: u32, cost: &CostModel) -> f64 {
     let protocol = if spin {
         WriteProtocol::SpinTriec { interleave: true }
     } else {

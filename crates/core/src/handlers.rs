@@ -19,8 +19,8 @@ use nadfs_gfec::ReedSolomon;
 use nadfs_pspin::{HandlerArgs, HandlerSet, Ops};
 use nadfs_simnet::NodeId;
 use nadfs_wire::{
-    bcast_children, AckPkt, DfsHeader, EcInfo, EcRole, Frame, MsgId, Resiliency, Rights,
-    RsScheme, Status, WritePkt, WriteReqHeader, MacKey,
+    bcast_children, AckPkt, DfsHeader, EcInfo, EcRole, Frame, MacKey, MsgId, Resiliency, Rights,
+    RsScheme, Status, WritePkt, WriteReqHeader,
 };
 
 use crate::config::HandlerCosts;
@@ -388,9 +388,7 @@ impl HandlerSet for DfsHandlers {
             }
             Resiliency::Replicate { strategy, .. } => {
                 let (instrs, ipc) = match strategy {
-                    nadfs_wire::BcastStrategy::Ring => {
-                        (costs.ph_ring_instrs, costs.ph_ring_ipc)
-                    }
+                    nadfs_wire::BcastStrategy::Ring => (costs.ph_ring_instrs, costs.ph_ring_ipc),
                     nadfs_wire::BcastStrategy::Pbt => (costs.ph_pbt_instrs, costs.ph_pbt_ipc),
                 };
                 a.ops.charge_instrs(instrs, ipc);
@@ -476,9 +474,8 @@ impl HandlerSet for DfsHandlers {
                     let k = sst.k;
                     let chunk_len = sst.chunk_len;
                     let final_addr = sst.final_addr;
-                    let staging = final_addr
-                        + (1 + src_chunk as u64) * chunk_len as u64
-                        + w.offset as u64;
+                    let staging =
+                        final_addr + (1 + src_chunk as u64) * chunk_len as u64 + w.offset as u64;
                     if sst.fallback {
                         // Host aggregates: stage the intermediate parity.
                         a.ops.dma_write(staging, w.data.clone());

@@ -1,10 +1,12 @@
 //! # nadfs-core
 //!
 //! The network-accelerated distributed file system: control plane
-//! (management + metadata services), client drivers for every write
-//! protocol the paper evaluates, storage-node software for the CPU
-//! baselines, and the sPIN handler set implementing the offloaded policies
-//! (authentication §IV, replication §V, streaming erasure coding §VI).
+//! (management + hierarchical metadata services, backed by `nadfs-meta`),
+//! client drivers for every write protocol the paper evaluates (plus the
+//! metadata operations, answered through a client-side cache), storage-node
+//! software for the CPU baselines, and the sPIN handler set implementing
+//! the offloaded policies (authentication §IV, replication §V, streaming
+//! erasure coding §VI).
 
 pub mod analysis;
 pub mod client;
@@ -16,15 +18,22 @@ pub mod handlers;
 pub mod storage;
 pub mod workloads;
 
-pub use client::{ClientApp, Job, ReadResult, ResultSink, WriteProtocol, WriteResult};
+pub use client::{
+    ClientApp, Job, MetaOp, MetaOpKind, MetaResult, ReadResult, ResultSink, WriteProtocol,
+    WriteResult,
+};
 pub use cluster::{ClusterSpec, SimCluster, StorageMode};
-pub use config::{CostModel, HandlerCosts};
-pub use control::{ControlPlane, FilePolicy, FileMeta, WritePlacement};
-pub use handlers::{DfsCounters, DfsHandlers, DfsNicState};
+pub use config::{CostModel, HandlerCosts, MetaCosts};
+pub use control::{ControlPlane, FileMeta, FilePolicy, StripeTarget, WritePlacement};
 pub use experiments::{
     ec_encode_latency_us, ec_encode_throughput_gbit, handler_report, pipeline_breakdown_ns,
     replication_latency_us, storage_goodput_gbit, write_latency_best_chunk, write_latency_us,
     HandlerReport, ReplStrategy,
 };
+pub use handlers::{DfsCounters, DfsHandlers, DfsNicState};
+// The metadata subsystem's vocabulary, re-exported for callers.
+pub use nadfs_meta::{
+    CacheStats, InodeAttr, InodeKind, LayoutSpec, MetaCache, MetaError, MetaOpStats, StripedLayout,
+};
 pub use storage::{StorageApp, StorageStats};
-pub use workloads::{SizeDist, Workload};
+pub use workloads::{MetaWorkload, SizeDist, Workload};

@@ -22,8 +22,8 @@ use nadfs_pspin::HostNotify;
 use nadfs_rdma::{NicApp, NicCore};
 use nadfs_simnet::{Ctx, NodeId, Time};
 use nadfs_wire::{
-    bcast_children, AckPkt, DfsHeader, MsgId, ReadReqHeader, Resiliency, Rights, RpcBody,
-    Status, MacKey, WriteReqHeader,
+    bcast_children, AckPkt, DfsHeader, MacKey, MsgId, ReadReqHeader, Resiliency, Rights, RpcBody,
+    Status, WriteReqHeader,
 };
 
 use crate::handlers::{DfsNicState, EVT_CLEANUP, EVT_EC_FALLBACK};
@@ -38,6 +38,10 @@ pub struct StorageStats {
     pub fallback_aggregations: u64,
     pub cleanup_events: u64,
     pub meta_lookups: u64,
+    /// Stripe units the metadata service placed on this node (filled in
+    /// by the control plane at placement time; striped plain writes
+    /// only — replication/EC fan-out is counted by their own fields).
+    pub stripe_chunks_placed: u64,
 }
 
 pub type SharedStorageStats = Rc<RefCell<StorageStats>>;
@@ -247,8 +251,7 @@ impl StorageApp {
                 for child in children {
                     self.stats.borrow_mut().chunks_forwarded += 1;
                     let copy2 = nic.cpu.memcpy_cost(data.len() as u64);
-                    let t_fwd =
-                        nic.cpu.exec(t_store, copy2 + nic.cpu.costs.post_send);
+                    let t_fwd = nic.cpu.exec(t_store, copy2 + nic.cpu.costs.post_send);
                     let child_wrh = WriteReqHeader {
                         target_addr: coords[child as usize].addr + chunk_off as u64,
                         len: data.len() as u32,
@@ -312,7 +315,17 @@ impl NicApp for StorageApp {
                 chunk_off,
                 full_len,
             } => self.handle_write_req(
-                nic, ctx, src, msg, dfs, wrh, inline_data, src_addr, chunk_off, full_len, data,
+                nic,
+                ctx,
+                src,
+                msg,
+                dfs,
+                wrh,
+                inline_data,
+                src_addr,
+                chunk_off,
+                full_len,
+                data,
             ),
             RpcBody::ReadReq { dfs, rrh } => {
                 // CPU-validated read: validate, then stream back via the
@@ -326,7 +339,11 @@ impl NicApp for StorageApp {
                     .capability
                     .verify(&self.key, now.as_ns() as u64, Rights::READ)
                     .is_ok();
-                let status = if valid { Status::Ok } else { Status::AuthFailed };
+                let status = if valid {
+                    Status::Ok
+                } else {
+                    Status::AuthFailed
+                };
                 let _ = rrh;
                 let ack = AckPkt {
                     msg,
@@ -391,8 +408,10 @@ impl NicApp for StorageApp {
                 let mut m = mem.borrow_mut();
                 let mut acc = vec![0u8; chunk_len as usize];
                 for j in 0..k {
-                    let staged =
-                        m.read(final_addr + (1 + j as u64) * chunk_len as u64, chunk_len as usize);
+                    let staged = m.read(
+                        final_addr + (1 + j as u64) * chunk_len as u64,
+                        chunk_len as usize,
+                    );
                     for (a, b) in acc.iter_mut().zip(staged) {
                         *a ^= b;
                     }

@@ -7,7 +7,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::client::{Job, WriteProtocol};
+use crate::client::{Job, MetaOp, WriteProtocol};
+use nadfs_meta::LayoutSpec;
 
 /// Write-size distribution.
 #[derive(Clone, Debug)]
@@ -109,6 +110,190 @@ impl Workload {
                 _ => 0,
             })
             .sum()
+    }
+}
+
+/// A metadata-heavy workload: touch/stat/rename/rm storms in the style of
+/// the zippynfs directory-operation benchmarks (and the metadata traffic
+/// SwitchFS/AsyncFS identify as the next bottleneck once the data path is
+/// offloaded).
+///
+/// Each client works in its own subtree `{root}/c{idx}`, so runs are
+/// deterministic and clients never conflict: it makes `dirs` directories,
+/// touches `files_per_dir` files in each, stats paths in a skewed storm
+/// (repeated lookups of popular files — what a client cache absorbs),
+/// renames and then unlinks a fraction, and ends with one readdir per
+/// directory.
+#[derive(Clone, Debug)]
+pub struct MetaWorkload {
+    /// Workload root (must exist before the run; see
+    /// [`MetaWorkload::prepare`]).
+    pub root: String,
+    pub dirs: usize,
+    pub files_per_dir: usize,
+    /// Number of stat (lookup) ops in the storm.
+    pub stat_storm: usize,
+    /// Fraction of files renamed after the storm, in [0, 1].
+    pub rename_frac: f64,
+    /// Fraction of files unlinked at the end, in [0, 1].
+    pub unlink_frac: f64,
+    /// Stripe layout for the touched files.
+    pub layout: LayoutSpec,
+    pub seed: u64,
+}
+
+impl MetaWorkload {
+    pub fn new(root: impl Into<String>) -> MetaWorkload {
+        MetaWorkload {
+            root: root.into(),
+            dirs: 4,
+            files_per_dir: 8,
+            stat_storm: 64,
+            rename_frac: 0.25,
+            unlink_frac: 0.25,
+            layout: LayoutSpec::SINGLE,
+            seed: 0xD1F5,
+        }
+    }
+
+    pub fn with_dirs(mut self, dirs: usize, files_per_dir: usize) -> MetaWorkload {
+        self.dirs = dirs;
+        self.files_per_dir = files_per_dir;
+        self
+    }
+
+    pub fn with_storm(mut self, lookups: usize) -> MetaWorkload {
+        self.stat_storm = lookups;
+        self
+    }
+
+    pub fn with_layout(mut self, layout: LayoutSpec) -> MetaWorkload {
+        self.layout = layout;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> MetaWorkload {
+        self.seed = seed;
+        self
+    }
+
+    /// Create the shared workload root on the control plane (call once
+    /// before submitting jobs).
+    pub fn prepare(&self, control: &crate::control::SharedControl) {
+        control
+            .borrow_mut()
+            .mkdir_p(&self.root, 0)
+            .expect("workload root");
+    }
+
+    fn base(&self, idx: usize) -> String {
+        format!("{}/c{idx}", self.root)
+    }
+
+    fn file_path(&self, idx: usize, dir: usize, file: usize) -> String {
+        format!("{}/d{dir}/f{file}", self.base(idx))
+    }
+
+    /// Renamed and unlinked counts for `files` total files. Renames take
+    /// the head of the list and unlinks the tail of the *original* paths,
+    /// so the unlink count is capped at the un-renamed remainder — both
+    /// fractions may legally be in [0, 1] without generating jobs that
+    /// are guaranteed to fail.
+    fn churn_counts(&self, files: usize) -> (usize, usize) {
+        let renamed = ((files as f64 * self.rename_frac) as usize).min(files);
+        let unlinked = ((files as f64 * self.unlink_frac) as usize).min(files - renamed);
+        (renamed, unlinked)
+    }
+
+    /// Number of jobs [`MetaWorkload::jobs_for_client`] emits per client.
+    pub fn ops_per_client(&self) -> usize {
+        let files = self.dirs * self.files_per_dir;
+        let (renamed, unlinked) = self.churn_counts(files);
+        1 + self.dirs + files + self.stat_storm + renamed + unlinked + self.dirs
+    }
+
+    /// Generate client `idx`'s job list (deterministic per (seed, idx)).
+    pub fn jobs_for_client(&self, idx: usize) -> Vec<Job> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (idx as u64).wrapping_mul(0xA5A5));
+        let mut token = (idx as u64) << 32;
+        let mut tok = || {
+            token += 1;
+            token
+        };
+        let mut jobs = Vec::with_capacity(self.ops_per_client());
+        let base = self.base(idx);
+        jobs.push(Job::Meta {
+            op: MetaOp::Mkdir { path: base.clone() },
+            token: tok(),
+        });
+        for d in 0..self.dirs {
+            jobs.push(Job::Meta {
+                op: MetaOp::Mkdir {
+                    path: format!("{base}/d{d}"),
+                },
+                token: tok(),
+            });
+        }
+        let mut files = Vec::new();
+        for d in 0..self.dirs {
+            for f in 0..self.files_per_dir {
+                let path = self.file_path(idx, d, f);
+                files.push(path.clone());
+                jobs.push(Job::Meta {
+                    op: MetaOp::Create {
+                        path,
+                        spec: self.layout,
+                    },
+                    token: tok(),
+                });
+            }
+        }
+        // Stat storm with popularity skew: squaring a uniform sample
+        // concentrates hits on low-index (popular) files, so a cache sees
+        // a realistic hot set rather than a uniform sweep. With no files
+        // (dirs or files_per_dir of 0), the storm stats the client base
+        // dir instead of panicking on an empty list.
+        for _ in 0..self.stat_storm {
+            let path = if files.is_empty() {
+                base.clone()
+            } else {
+                let u = rng.gen_range(0.0f64..1.0);
+                let i = ((u * u) * files.len() as f64) as usize;
+                files[i.min(files.len() - 1)].clone()
+            };
+            jobs.push(Job::Meta {
+                op: MetaOp::Lookup { path },
+                token: tok(),
+            });
+        }
+        // Rename a fraction (the popular prefix, maximizing invalidation
+        // pressure on the cache), then unlink a fraction from the
+        // un-renamed tail.
+        let (renamed, unlinked) = self.churn_counts(files.len());
+        for (i, path) in files.iter().take(renamed).enumerate() {
+            jobs.push(Job::Meta {
+                op: MetaOp::Rename {
+                    from: path.clone(),
+                    to: format!("{path}.r{i}"),
+                },
+                token: tok(),
+            });
+        }
+        for path in files.iter().rev().take(unlinked) {
+            jobs.push(Job::Meta {
+                op: MetaOp::Unlink { path: path.clone() },
+                token: tok(),
+            });
+        }
+        for d in 0..self.dirs {
+            jobs.push(Job::Meta {
+                op: MetaOp::Readdir {
+                    path: format!("{base}/d{d}"),
+                },
+                token: tok(),
+            });
+        }
+        jobs
     }
 }
 
@@ -217,5 +402,107 @@ mod tests {
     fn total_bytes_accounts_all_clients() {
         let w = Workload::new(1, WriteProtocol::Raw, SizeDist::Fixed(1000)).with_writes(10);
         assert_eq!(w.total_bytes(3), 30_000);
+    }
+
+    #[test]
+    fn meta_workload_is_deterministic_and_sized() {
+        let w = MetaWorkload::new("/bench").with_dirs(2, 4).with_storm(20);
+        let a = w.jobs_for_client(1);
+        let b = w.jobs_for_client(1);
+        assert_eq!(a.len(), w.ops_per_client());
+        let paths = |jobs: &[Job]| -> Vec<String> {
+            jobs.iter()
+                .map(|j| match j {
+                    Job::Meta {
+                        op: MetaOp::Lookup { path },
+                        ..
+                    } => path.clone(),
+                    _ => String::new(),
+                })
+                .collect()
+        };
+        assert_eq!(paths(&a), paths(&b), "same client, same storm");
+        assert_ne!(paths(&a), paths(&w.jobs_for_client(2)), "clients diverge");
+    }
+
+    #[test]
+    fn meta_workload_churn_never_overlaps_even_for_large_fractions() {
+        let mut w = MetaWorkload::new("/x").with_dirs(2, 8);
+        w.rename_frac = 0.75;
+        w.unlink_frac = 0.75;
+        let jobs = w.jobs_for_client(0);
+        assert_eq!(jobs.len(), w.ops_per_client());
+        let renamed: Vec<String> = jobs
+            .iter()
+            .filter_map(|j| match j {
+                Job::Meta {
+                    op: MetaOp::Rename { from, .. },
+                    ..
+                } => Some(from.clone()),
+                _ => None,
+            })
+            .collect();
+        for j in &jobs {
+            if let Job::Meta {
+                op: MetaOp::Unlink { path },
+                ..
+            } = j
+            {
+                assert!(
+                    !renamed.contains(path),
+                    "unlink of an already-renamed path would always fail: {path}"
+                );
+            }
+        }
+        assert_eq!(renamed.len(), 12);
+        // Unlinks capped to the un-renamed remainder (16 - 12 = 4).
+        let unlinks = jobs
+            .iter()
+            .filter(|j| {
+                matches!(
+                    j,
+                    Job::Meta {
+                        op: MetaOp::Unlink { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(unlinks, 4);
+    }
+
+    #[test]
+    fn meta_workload_with_no_files_does_not_panic() {
+        let w = MetaWorkload::new("/x").with_dirs(0, 8).with_storm(10);
+        let jobs = w.jobs_for_client(0);
+        assert_eq!(jobs.len(), w.ops_per_client());
+        // The storm degrades to stats of the client base dir.
+        assert!(jobs.iter().any(|j| matches!(
+            j,
+            Job::Meta {
+                op: MetaOp::Lookup { path },
+                ..
+            } if path == "/x/c0"
+        )));
+    }
+
+    #[test]
+    fn meta_workload_keeps_clients_in_disjoint_subtrees() {
+        let w = MetaWorkload::new("/bench");
+        for job in w.jobs_for_client(3) {
+            let Job::Meta { op, .. } = job else {
+                panic!("meta job")
+            };
+            let touches = |p: &str| p.starts_with("/bench/c3");
+            let ok = match &op {
+                MetaOp::Mkdir { path }
+                | MetaOp::Create { path, .. }
+                | MetaOp::Lookup { path }
+                | MetaOp::Readdir { path }
+                | MetaOp::Unlink { path } => touches(path),
+                MetaOp::Rename { from, to } => touches(from) && touches(to),
+            };
+            assert!(ok, "op escapes the client subtree: {op:?}");
+        }
     }
 }

@@ -1,8 +1,6 @@
 //! Smoke tests: every write protocol completes and stores correct bytes.
 
-use nadfs_core::{
-    ClusterSpec, FilePolicy, Job, SimCluster, StorageMode, WriteProtocol,
-};
+use nadfs_core::{ClusterSpec, FilePolicy, Job, SimCluster, StorageMode, WriteProtocol};
 use nadfs_gfec::ReedSolomon;
 use nadfs_wire::{BcastStrategy, RsScheme, Status};
 
@@ -312,7 +310,9 @@ fn forged_capability_is_rejected_by_nic() {
     // Nothing may have been committed.
     let idx = c.storage_index(r.placement.primary.node as usize);
     assert_eq!(
-        c.storage_mems[idx].borrow().read(r.placement.primary.addr, 16),
+        c.storage_mems[idx]
+            .borrow()
+            .read(r.placement.primary.addr, 16),
         vec![0u8; 16]
     );
 }

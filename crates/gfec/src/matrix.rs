@@ -262,11 +262,7 @@ mod tests {
         assert_eq!(c.row(0), &[5, 6, 7]);
         assert_eq!(
             c.row(1),
-            &[
-                gf256::mul(2, 8),
-                gf256::mul(2, 9),
-                gf256::mul(2, 10)
-            ]
+            &[gf256::mul(2, 8), gf256::mul(2, 9), gf256::mul(2, 10)]
         );
     }
 }

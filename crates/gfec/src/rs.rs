@@ -142,7 +142,10 @@ impl ReedSolomon {
         {
             return Err(RsError::ChunkSizeMismatch);
         }
-        if present.iter().take(self.k).eq((0..self.k).collect::<Vec<_>>().iter())
+        if present
+            .iter()
+            .take(self.k)
+            .eq((0..self.k).collect::<Vec<_>>().iter())
             && shards.iter().all(|s| s.is_some())
         {
             return Ok(()); // nothing missing
@@ -392,8 +395,12 @@ mod tests {
         let cp = crate::cauchy::cauchy_encode(3, 2, &refs);
         // The matrices differ, so parities differ; both must verify & decode.
         assert_ne!(vp, cp, "distinct constructions");
-        let mut shards: Vec<Option<Vec<u8>>> =
-            data.iter().cloned().map(Some).chain(vp.into_iter().map(Some)).collect();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(vp.into_iter().map(Some))
+            .collect();
         shards[0] = None;
         shards[4] = None;
         rs.reconstruct(&mut shards).expect("recover");

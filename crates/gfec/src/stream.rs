@@ -44,7 +44,10 @@ impl Accumulator {
     /// Contributions may have different lengths (the final packets of a
     /// chunk can be short); the accumulator tracks the longest.
     pub fn absorb(&mut self, data: &[u8]) -> bool {
-        assert!(data.len() <= self.buf.len(), "contribution exceeds capacity");
+        assert!(
+            data.len() <= self.buf.len(),
+            "contribution exceeds capacity"
+        );
         assert!(self.received < self.expected, "sequence over-complete");
         gf256::xor_slice(data, &mut self.buf[..data.len()]);
         self.received += 1;
@@ -84,11 +87,7 @@ mod tests {
 
     fn data_chunks(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|j| {
-                (0..len)
-                    .map(|i| ((i * 7 + j * 13) % 256) as u8)
-                    .collect()
-            })
+            .map(|j| (0..len).map(|i| ((i * 7 + j * 13) % 256) as u8).collect())
             .collect()
     }
 
@@ -115,8 +114,9 @@ mod tests {
         let n_pkts = chunk_len.div_ceil(mtu);
         for p in 0..m {
             // One accumulator per aggregation sequence (packet index).
-            let mut accs: Vec<Accumulator> =
-                (0..n_pkts).map(|_| Accumulator::new(mtu, k as u32)).collect();
+            let mut accs: Vec<Accumulator> = (0..n_pkts)
+                .map(|_| Accumulator::new(mtu, k as u32))
+                .collect();
             // Interleaved arrival order (client interleaves packets, §VI-B-1):
             // packet i of every chunk, then packet i+1 ...
             for i in 0..n_pkts {
@@ -145,8 +145,7 @@ mod tests {
         let expect = block_parities(&rs, &chunks);
         let mtu = 512;
         let n_pkts = 2000usize.div_ceil(mtu);
-        let mut accs: Vec<Accumulator> =
-            (0..n_pkts).map(|_| Accumulator::new(mtu, 3)).collect();
+        let mut accs: Vec<Accumulator> = (0..n_pkts).map(|_| Accumulator::new(mtu, 3)).collect();
         for i in (0..n_pkts).rev() {
             for j in (0..3).rev() {
                 let pkt = packets(&chunks[j], mtu)[i];

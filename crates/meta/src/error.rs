@@ -1,0 +1,47 @@
+//! Typed metadata-service errors.
+//!
+//! Every namespace operation returns `Result<_, MetaError>` so misses and
+//! rejected operations are observable to callers (and propagate through
+//! the client as failed jobs rather than silent drops or panics).
+
+use std::fmt;
+
+/// Why a metadata operation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetaError {
+    /// No entry at the path (or no inode with the id).
+    NotFound,
+    /// A non-final path component resolved to a file.
+    NotADirectory,
+    /// The operation needs a file but the path is a directory.
+    IsADirectory,
+    /// Create/mkdir target already exists.
+    AlreadyExists,
+    /// Unlink/rename-replace target is a non-empty directory.
+    NotEmpty,
+    /// Rename would move a directory into its own subtree.
+    RenameIntoDescendant,
+    /// Malformed path (relative, empty component, trailing garbage).
+    InvalidPath,
+    /// A file id was presented that the layout service never issued.
+    UnknownFile(u64),
+}
+
+impl fmt::Display for MetaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetaError::NotFound => write!(f, "no such file or directory"),
+            MetaError::NotADirectory => write!(f, "not a directory"),
+            MetaError::IsADirectory => write!(f, "is a directory"),
+            MetaError::AlreadyExists => write!(f, "file exists"),
+            MetaError::NotEmpty => write!(f, "directory not empty"),
+            MetaError::RenameIntoDescendant => {
+                write!(f, "cannot rename a directory into its own subtree")
+            }
+            MetaError::InvalidPath => write!(f, "invalid path"),
+            MetaError::UnknownFile(id) => write!(f, "unknown file id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for MetaError {}

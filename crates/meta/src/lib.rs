@@ -1,0 +1,28 @@
+//! # nadfs-meta
+//!
+//! The metadata subsystem of the network-accelerated DFS: a hierarchical,
+//! versioned namespace ([`namespace::Namespace`]) with POSIX-flavored
+//! directory operations, striped per-file layouts ([`layout`])
+//! generalizing the seed's single-node placement, a client-side metadata
+//! cache with version-based invalidation ([`cache::MetaCache`]), and the
+//! control-node service tying them together ([`service::MetadataService`]).
+//!
+//! The paper's offload building blocks (capabilities §IV, replication §V,
+//! erasure coding §VI) assume a metadata service that resolves paths to
+//! placements; this crate is that service, and the prerequisite for
+//! sharded-metadata / in-network-coordination work (SwitchFS, AsyncFS —
+//! arXiv:2410.08618) on the roadmap.
+
+pub mod cache;
+pub mod error;
+pub mod inode;
+pub mod layout;
+pub mod namespace;
+pub mod service;
+
+pub use cache::{CacheStats, CachedEntry, DirtyAttr, MetaCache};
+pub use error::MetaError;
+pub use inode::{FilePolicy, Inode, InodeAttr, InodeId, InodeKind, ROOT_INO};
+pub use layout::{LayoutSpec, StripeExtent, StripedLayout};
+pub use namespace::{split_path, Namespace};
+pub use service::{MetaEvent, MetaOpStats, MetadataService};

@@ -236,7 +236,11 @@ impl PsPinDevice {
         let start = now.max(self.pktbuf_engine_free);
         let dur = self.cfg.pktbuf_copy_time(bytes);
         self.pktbuf_engine_free = start + dur;
-        self.telemetry.borrow_mut().pipeline.pktbuf_copy_ns.record_dur_ns(dur);
+        self.telemetry
+            .borrow_mut()
+            .pipeline
+            .pktbuf_copy_ns
+            .record_dur_ns(dur);
         let delay = (start + dur).since(now);
         self.emit(ctx, delay, Inner::BufCopied { token });
     }
@@ -323,7 +327,11 @@ impl PsPinDevice {
 
     fn on_buf_copied(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         let d = self.cfg.cycles(self.cfg.inter_sched_cycles);
-        self.telemetry.borrow_mut().pipeline.inter_sched_ns.record_dur_ns(d);
+        self.telemetry
+            .borrow_mut()
+            .pipeline
+            .inter_sched_ns
+            .record_dur_ns(d);
         self.emit(ctx, d, Inner::AtCluster { token });
     }
 
@@ -336,7 +344,11 @@ impl PsPinDevice {
         let start = now.max(self.l1_engine_free[cluster]);
         let dur = self.cfg.l1_copy_time(bytes);
         self.l1_engine_free[cluster] = start + dur;
-        self.telemetry.borrow_mut().pipeline.l1_copy_ns.record_dur_ns(dur);
+        self.telemetry
+            .borrow_mut()
+            .pipeline
+            .l1_copy_ns
+            .record_dur_ns(dur);
         let delay = (start + dur).since(now);
         self.emit(ctx, delay, Inner::L1Copied { token });
     }
@@ -346,7 +358,11 @@ impl PsPinDevice {
         // fabric can deliver the next packet.
         self.port.ingress_gate.borrow_mut().release(ctx);
         let d = self.cfg.cycles(self.cfg.intra_sched_cycles);
-        self.telemetry.borrow_mut().pipeline.intra_sched_ns.record_dur_ns(d);
+        self.telemetry
+            .borrow_mut()
+            .pipeline
+            .intra_sched_ns
+            .record_dur_ns(d);
         self.emit(ctx, d, Inner::HpuReady { token });
     }
 
@@ -505,9 +521,11 @@ impl PsPinDevice {
             if run.op == run.segments[run.seg].1.len() {
                 // Segment boundary: record telemetry.
                 let (kind, _, instrs) = &run.segments[run.seg];
-                self.telemetry
-                    .borrow_mut()
-                    .record_handler(*kind, run.t.since(run.seg_start), *instrs);
+                self.telemetry.borrow_mut().record_handler(
+                    *kind,
+                    run.t.since(run.seg_start),
+                    *instrs,
+                );
                 run.seg += 1;
                 run.op = 0;
                 run.seg_start = run.t;
@@ -848,10 +866,7 @@ mod tests {
                 })
                 .map(|(i, (off, len))| {
                     Frame::Write(WritePkt {
-                        msg: MsgId::new(
-                            self.port.as_ref().expect("port").node as u32,
-                            7,
-                        ),
+                        msg: MsgId::new(self.port.as_ref().expect("port").node as u32, 7),
                         pkt_idx: i as u32,
                         total_pkts: total,
                         dfs: None,
@@ -918,7 +933,10 @@ mod tests {
         e.install(fid, Box::new(fab));
 
         let mem = HostMemory::new();
-        let dma = Rc::new(RefCell::new(DmaEngine::new(DmaConfig::default(), mem.clone())));
+        let dma = Rc::new(RefCell::new(DmaEngine::new(
+            DmaConfig::default(),
+            mem.clone(),
+        )));
         let mut dev = PsPinDevice::new(cfg, nport, dma, nic_id);
         dev.install_context(ExecutionContext {
             handlers: Box::new(TestHandlers {

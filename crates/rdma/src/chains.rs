@@ -83,8 +83,7 @@ impl Chains {
         self.by_addr
             .iter()
             .find(|(&base, st)| {
-                wrh.target_addr >= base
-                    && wrh.target_addr < base + st.cfg.total_len.max(1) as u64
+                wrh.target_addr >= base && wrh.target_addr < base + st.cfg.total_len.max(1) as u64
             })
             .map(|(&base, _)| base)
     }

@@ -219,11 +219,7 @@ impl EcEngine {
                 engine.busy_until = engine.busy_until.max(send_at);
                 engine.chunks_encoded += 1;
                 let coefs: Vec<u8> = (0..m)
-                    .map(|p| {
-                        engine
-                            .rs(k, m)
-                            .parity_coef(p as usize, chunk_idx as usize)
-                    })
+                    .map(|p| engine.rs(k, m).parity_coef(p as usize, chunk_idx as usize))
                     .collect();
                 // Build and (deferred to send_at) emit the intermediate
                 // parity writes to each parity node.
@@ -259,10 +255,7 @@ impl EcEngine {
                 let Some(st) = engine.agg.remove(&(stripe, parity_idx)) else {
                     return;
                 };
-                let xor_cost = engine
-                    .cfg
-                    .xor_bw
-                    .tx_time(st.chunk_len as u64 * st.k as u64);
+                let xor_cost = engine.cfg.xor_bw.tx_time(st.chunk_len as u64 * st.k as u64);
                 engine.parities_written += 1;
                 // Read back the k staged chunks (DMA read channel), XOR,
                 // write the final parity.
@@ -270,10 +263,10 @@ impl EcEngine {
                 let mut ready = now;
                 for j in 0..st.k {
                     let staging = st.final_addr + (1 + j as u64) * st.chunk_len as u64;
-                    let (data, r) = core
-                        .dma
-                        .borrow_mut()
-                        .read(ready, staging, st.chunk_len as usize);
+                    let (data, r) =
+                        core.dma
+                            .borrow_mut()
+                            .read(ready, staging, st.chunk_len as usize);
                     ready = r;
                     for (a, d) in acc.iter_mut().zip(data.iter()) {
                         *a ^= d;

@@ -639,9 +639,11 @@ impl Component for Nic {
                             let st = core.sends.get_mut(&s.msg).expect("send state");
                             // Landing in the receive buffer costs a DMA write.
                             let now = ctx.now();
-                            core.dma
-                                .borrow_mut()
-                                .write(now, 0xFEED_0000 + s.offset as u64, &s.data);
+                            core.dma.borrow_mut().write(
+                                now,
+                                0xFEED_0000 + s.offset as u64,
+                                &s.data,
+                            );
                             st.data.extend_from_slice(&s.data);
                             st.pkts_seen += 1;
                             st.pkts_seen == st.total

@@ -142,7 +142,13 @@ fn raw_write_lands_and_acks() {
                     len: d2.len() as u32,
                     resiliency: Resiliency::None,
                 };
-                nic.send_write(ctx, 1, Some(dfs_header(42, 0)), wrh, Bytes::from(d2.clone()));
+                nic.send_write(
+                    ctx,
+                    1,
+                    Some(dfs_header(42, 0)),
+                    wrh,
+                    Bytes::from(d2.clone()),
+                );
             }) as Action,
         )]),
         HashMap::new(),
@@ -262,12 +268,24 @@ fn hyperloop_ring_replicates_and_tail_acks() {
                     nic.send_hl_config(
                         ctx,
                         1,
-                        mk_cfg(Some(ReplicaCoord { node: 2, addr: base }), false),
+                        mk_cfg(
+                            Some(ReplicaCoord {
+                                node: 2,
+                                addr: base,
+                            }),
+                            false,
+                        ),
                     );
                     nic.send_hl_config(
                         ctx,
                         2,
-                        mk_cfg(Some(ReplicaCoord { node: 3, addr: base }), false),
+                        mk_cfg(
+                            Some(ReplicaCoord {
+                                node: 3,
+                                addr: base,
+                            }),
+                            false,
+                        ),
                     );
                     nic.send_hl_config(ctx, 3, mk_cfg(None, true));
                 }) as Action,
@@ -288,7 +306,12 @@ fn hyperloop_ring_replicates_and_tail_acks() {
         HashMap::new(),
         HashMap::new(),
     ];
-    let mut c = build(4, actions, vec![None, None, None, None], NicConfig::default());
+    let mut c = build(
+        4,
+        actions,
+        vec![None, None, None, None],
+        NicConfig::default(),
+    );
     kick(&mut c, 0, 1, Dur::ZERO);
     kick(&mut c, 0, 2, Dur::from_us(2)); // configs land first
     run(&mut c, 50);

@@ -269,10 +269,7 @@ mod tests {
         e.schedule(Dur::from_ns(10), a, Box::new(Tick(1)));
         e.schedule(Dur::from_ns(20), a, Box::new(Tick(2)));
         e.run_to_completion();
-        assert_eq!(
-            *log.borrow(),
-            vec![(10_000, 1), (20_000, 2), (30_000, 3)]
-        );
+        assert_eq!(*log.borrow(), vec![(10_000, 1), (20_000, 2), (30_000, 3)]);
     }
 
     #[test]

@@ -432,7 +432,11 @@ mod tests {
         n_pkts: u32,
         size: u32,
         cfg: FabricConfig,
-    ) -> (Engine, Rc<RefCell<Vec<(u64, u32)>>>, Rc<RefCell<FabricStats>>) {
+    ) -> (
+        Engine,
+        Rc<RefCell<Vec<(u64, u32)>>>,
+        Rc<RefCell<FabricStats>>,
+    ) {
         let mut e = Engine::new();
         let log = Rc::new(RefCell::new(vec![]));
         let fid = e.reserve_id();

@@ -85,7 +85,12 @@ impl Trace {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for e in &self.entries {
-            out.push_str(&format!("[{:>14}] {:<12} {}\n", format!("{}", e.at), e.who, e.what));
+            out.push_str(&format!(
+                "[{:>14}] {:<12} {}\n",
+                format!("{}", e.at),
+                e.who,
+                e.what
+            ));
         }
         if self.dropped > 0 {
             out.push_str(&format!("  ({} earlier records dropped)\n", self.dropped));

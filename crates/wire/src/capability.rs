@@ -168,7 +168,10 @@ mod tests {
     #[test]
     fn expiry_enforced() {
         let cap = Capability::issue(&key(), 1, 1, Rights::READ, 10, 0);
-        assert_eq!(cap.verify(&key(), 10, Rights::READ), Err(AuthError::Expired));
+        assert_eq!(
+            cap.verify(&key(), 10, Rights::READ),
+            Err(AuthError::Expired)
+        );
         assert!(cap.verify(&key(), 9, Rights::READ).is_ok());
     }
 

@@ -107,8 +107,13 @@ pub enum RpcBody {
         rrh: ReadReqHeader,
     },
     /// Control-plane metadata lookup (used by full-system examples).
-    MetaLookupReq { file: u64 },
-    MetaLookupResp { file: u64, ok: bool },
+    MetaLookupReq {
+        file: u64,
+    },
+    MetaLookupResp {
+        file: u64,
+        ok: bool,
+    },
 }
 
 impl RpcBody {
@@ -401,9 +406,7 @@ mod tests {
             frag: 0,
             total_frags: 1,
         };
-        assert!(
-            mk(1 << 20, 64 << 10).config_bytes() > mk(1 << 20, 256 << 10).config_bytes()
-        );
+        assert!(mk(1 << 20, 64 << 10).config_bytes() > mk(1 << 20, 256 << 10).config_bytes());
         assert_eq!(
             Frame::HlConfig(mk(0, 1024)).wire_bytes(),
             sizes::RDMA_HEADER + 64 + 16

@@ -258,10 +258,7 @@ mod tests {
                         seen[c as usize] += 1;
                     }
                 }
-                assert!(
-                    seen.iter().all(|&s| s == 1),
-                    "{strategy:?} n={n}: {seen:?}"
-                );
+                assert!(seen.iter().all(|&s| s == 1), "{strategy:?} n={n}: {seen:?}");
             }
         }
     }

@@ -129,11 +129,7 @@ mod tests {
         let key = MacKey(key);
         let msg: Vec<u8> = (0..16).map(|i| i as u8).collect();
         for (len, expect) in VECTORS.iter().enumerate() {
-            assert_eq!(
-                siphash24(&key, &msg[..len]),
-                *expect,
-                "vector length {len}"
-            );
+            assert_eq!(siphash24(&key, &msg[..len]), *expect, "vector length {len}");
         }
     }
 

@@ -33,8 +33,14 @@ fn main() {
     let tel = cluster.pspin_telemetry[0].as_ref().expect("pspin").borrow();
     let stats = cluster.storage_stats[0].borrow();
     println!("writes completed normally: {}", tel.msgs_completed);
-    println!("messages reclaimed by the cleanup handler: {}", tel.msgs_cleaned);
-    println!("host notified of interrupted client writes: {}", stats.cleanup_events);
+    println!(
+        "messages reclaimed by the cleanup handler: {}",
+        tel.msgs_cleaned
+    );
+    println!(
+        "host notified of interrupted client writes: {}",
+        stats.cleanup_events
+    );
     assert_eq!(tel.msgs_completed, 0);
     assert_eq!(tel.msgs_cleaned, 1);
     assert_eq!(stats.cleanup_events, 1);

@@ -41,7 +41,9 @@ fn main() {
     // Collect all five shards from the storage nodes.
     let read_shard = |coord: &nadfs_wire::ReplicaCoord| {
         let idx = cluster.storage_index(coord.node as usize);
-        cluster.storage_mems[idx].borrow().read(coord.addr, chunk_len)
+        cluster.storage_mems[idx]
+            .borrow()
+            .read(coord.addr, chunk_len)
     };
     let mut shards: Vec<Option<Vec<u8>>> = r
         .placement

@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release -p nadfs-examples --bin replicated_store`
 
-use nadfs_core::{
-    ClusterSpec, FilePolicy, Job, SimCluster, StorageMode, WriteProtocol,
-};
+use nadfs_core::{ClusterSpec, FilePolicy, Job, SimCluster, StorageMode, WriteProtocol};
 use nadfs_wire::BcastStrategy;
 
 fn run_one(label: &str, protocol: WriteProtocol, mode: StorageMode) {
@@ -64,7 +62,11 @@ fn main() {
         WriteProtocol::CpuBcast { chunk: 64 << 10 },
         StorageMode::Plain,
     );
-    run_one("sPIN-Ring", WriteProtocol::SpinReplicated, StorageMode::Spin);
+    run_one(
+        "sPIN-Ring",
+        WriteProtocol::SpinReplicated,
+        StorageMode::Spin,
+    );
     println!("\nsPIN forwards per packet on the NIC: no client fan-out cost,");
     println!("no host-memory round trips — the paper's §V result.");
 }

@@ -29,7 +29,10 @@ fn fig6_spin_approaches_raw_for_large_writes() {
     let raw = write_latency_us(WriteProtocol::Raw, FilePolicy::Plain, size, &cost, 3);
     let spin = write_latency_us(WriteProtocol::Spin, FilePolicy::Plain, size, &cost, 3);
     let rpc = write_latency_us(WriteProtocol::Rpc, FilePolicy::Plain, size, &cost, 3);
-    assert!(spin / raw < 1.15, "per-request validation amortizes: {spin} vs {raw}");
+    assert!(
+        spin / raw < 1.15,
+        "per-request validation amortizes: {spin} vs {raw}"
+    );
     assert!(
         rpc / raw > 1.3,
         "buffered RPC stays well behind raw: {rpc} vs {raw}"

@@ -73,7 +73,11 @@ fn replication_strategies_agree_on_replica_content() {
     let size = 300_000u32;
     let k = 4u8;
     for (mode, protocol, strategy) in [
-        (StorageMode::Plain, WriteProtocol::RdmaFlat, BcastStrategy::Ring),
+        (
+            StorageMode::Plain,
+            WriteProtocol::RdmaFlat,
+            BcastStrategy::Ring,
+        ),
         (
             StorageMode::Plain,
             WriteProtocol::HyperLoop { chunk: 32 << 10 },
@@ -89,8 +93,16 @@ fn replication_strategies_agree_on_replica_content() {
             WriteProtocol::CpuBcast { chunk: 32 << 10 },
             BcastStrategy::Pbt,
         ),
-        (StorageMode::Spin, WriteProtocol::SpinReplicated, BcastStrategy::Ring),
-        (StorageMode::Spin, WriteProtocol::SpinReplicated, BcastStrategy::Pbt),
+        (
+            StorageMode::Spin,
+            WriteProtocol::SpinReplicated,
+            BcastStrategy::Ring,
+        ),
+        (
+            StorageMode::Spin,
+            WriteProtocol::SpinReplicated,
+            BcastStrategy::Pbt,
+        ),
     ] {
         let policy = FilePolicy::Replicated { k, strategy };
         let (c, r) = write_once(mode, policy, protocol, size, k as usize, 31);
@@ -113,7 +125,10 @@ fn ec_write_survives_m_failures_and_recovers_bytes() {
         (true, RsScheme::new(6, 3)),
     ] {
         let (mode, protocol) = if spin {
-            (StorageMode::Spin, WriteProtocol::SpinTriec { interleave: true })
+            (
+                StorageMode::Spin,
+                WriteProtocol::SpinTriec { interleave: true },
+            )
         } else {
             (StorageMode::FirmwareEc, WriteProtocol::InecTriec)
         };
@@ -143,7 +158,11 @@ fn ec_write_survives_m_failures_and_recovers_bytes() {
         }
         rs.reconstruct(&mut shards).expect("recovery");
         for (i, s) in shards.iter().enumerate() {
-            assert_eq!(s.as_ref().expect("present"), &full[i], "spin={spin} shard {i}");
+            assert_eq!(
+                s.as_ref().expect("present"),
+                &full[i],
+                "spin={spin} shard {i}"
+            );
         }
 
         // The recovered data equals what the client wrote.

@@ -11,8 +11,14 @@ use nadfs_wire::{
 use proptest::prelude::*;
 
 fn arb_capability() -> impl Strategy<Value = Capability> {
-    (any::<u32>(), any::<u64>(), 0u8..4, any::<u64>(), any::<u64>()).prop_map(
-        |(client, file, rights, exp, nonce)| {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        0u8..4,
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(client, file, rights, exp, nonce)| {
             Capability::issue(
                 &MacKey::from_seed(1),
                 client,
@@ -21,8 +27,7 @@ fn arb_capability() -> impl Strategy<Value = Capability> {
                 exp,
                 nonce,
             )
-        },
-    )
+        })
 }
 
 fn arb_coords(max: usize) -> impl Strategy<Value = Vec<ReplicaCoord>> {

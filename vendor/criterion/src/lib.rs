@@ -1,0 +1,200 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API surface `benches/micro.rs` uses — `Criterion`,
+//! benchmark groups, `Bencher::iter`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! best-of-N-batches wall-clock timer instead of criterion's statistical
+//! machinery. Good enough to spot order-of-magnitude regressions; not a
+//! replacement for real criterion runs.
+
+use std::time::Instant;
+
+/// Work-per-iteration annotation, echoed as a rate in the report.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Parameterized benchmark name.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter(p: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: p.to_string(),
+        }
+    }
+
+    pub fn new(name: impl std::fmt::Display, p: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{name}/{p}"),
+        }
+    }
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher {
+    sample_size: usize,
+    /// Best per-iteration time over the measured batches, in ns.
+    best_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // One warmup, then `sample_size` timed batches of one iteration
+        // each; report the best (least-noisy floor).
+        std::hint::black_box(f());
+        let mut best = f64::INFINITY;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            let dt = t0.elapsed().as_nanos() as f64;
+            if dt < best {
+                best = dt;
+            }
+        }
+        self.best_ns = best;
+    }
+}
+
+fn report(name: &str, best_ns: f64, tp: Option<Throughput>) {
+    let rate = match tp {
+        Some(Throughput::Bytes(b)) if best_ns > 0.0 => {
+            format!(
+                "  {:8.2} GiB/s",
+                b as f64 / best_ns * 1e9 / (1u64 << 30) as f64
+            )
+        }
+        Some(Throughput::Elements(e)) if best_ns > 0.0 => {
+            format!("  {:8.2} Melem/s", e as f64 / best_ns * 1e9 / 1e6)
+        }
+        _ => String::new(),
+    };
+    if best_ns >= 1e6 {
+        println!("bench {name:<48} {:10.3} ms{rate}", best_ns / 1e6);
+    } else {
+        println!("bench {name:<48} {:10.1} ns{rate}", best_ns);
+    }
+}
+
+/// Group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.criterion.sample_size,
+            best_ns: 0.0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.best_ns, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.criterion.sample_size,
+            best_ns: 0.0,
+        };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.label),
+            b.best_ns,
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            best_ns: 0.0,
+        };
+        f(&mut b);
+        report(&name.to_string(), b.best_ns, None);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $( $target:path ),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ( $name:ident, $( $target:path ),+ $(,)? ) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $( $target ),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ( $( $group:path ),+ $(,)? ) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,142 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides a deterministic 64-bit PRNG (splitmix64 seeded, xorshift*
+//! stepped) behind the `rand 0.8` API surface this workspace uses:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::{gen_range, gen_bool, gen}` over integer and float ranges.
+
+pub mod rngs {
+    /// Deterministic PRNG standing in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            // splitmix64: uniform, passes practical statistical tests,
+            // and every seed (including 0) gives a full-period stream.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> rngs::StdRng {
+        rngs::StdRng { state: seed }
+    }
+}
+
+/// A type that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy {
+    fn sample_half_open(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self;
+    fn sample_closed(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut rngs::StdRng, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "empty range");
+                let span = (hi as u128) - (lo as u128);
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+            fn sample_closed(rng: &mut rngs::StdRng, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(rng: &mut rngs::StdRng, lo: f64, hi: f64) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+    fn sample_closed(rng: &mut rngs::StdRng, lo: f64, hi: f64) -> f64 {
+        // The closed/half-open distinction is immaterial at f64 resolution.
+        Self::sample_half_open(rng, lo, hi)
+    }
+}
+
+/// Range argument for [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut rngs::StdRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, rng: &mut rngs::StdRng) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut rngs::StdRng) -> T {
+        T::sample_closed(rng, *self.start(), *self.end())
+    }
+}
+
+pub trait Rng {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for rngs::StdRng {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1 << 40), b.gen_range(0u64..1 << 40));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let sa: Vec<u32> = (0..16).map(|_| a.gen_range(0u32..1000)).collect();
+        let sc: Vec<u32> = (0..16).map(|_| c.gen_range(0u32..1000)).collect();
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(10u32..=20);
+            assert!((10..=20).contains(&v));
+            let f = r.gen_range(-1.0f64..=1.0);
+            assert!((-1.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.8)).count();
+        assert!((7500..8500).contains(&hits), "hits={hits}");
+    }
+}
