@@ -13,7 +13,8 @@ fn main() {
             || args.iter().all(|a| a.starts_with('-'))
     };
     use nadfs_bench::figures as fig;
-    let jobs: Vec<(&str, fn() -> String)> = vec![
+    type Job = (&'static str, fn() -> String);
+    let jobs: Vec<Job> = vec![
         ("fig04", fig::fig04),
         ("fig06", fig::fig06),
         ("fig07", fig::fig07),

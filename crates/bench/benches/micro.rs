@@ -18,6 +18,73 @@ fn gf_mul_acc(c: &mut Criterion) {
     g.finish();
 }
 
+fn gf_mul_acc_scalar_baseline(c: &mut Criterion) {
+    // The seed byte-table walk, kept for regression comparison against the
+    // wide-word kernel above.
+    let mut g = c.benchmark_group("gf256_mul_acc_slice_scalar");
+    let size = 1 << 20;
+    let src = vec![0xABu8; size];
+    let mut dst = vec![0x5Au8; size];
+    g.throughput(Throughput::Bytes(size as u64));
+    g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+        b.iter(|| {
+            nadfs_gfec::gf256::scalar::mul_acc_slice(0x1D, black_box(&src), black_box(&mut dst))
+        });
+    });
+    g.finish();
+}
+
+fn gf_xor_wide(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf256_xor_slice");
+    let size = 1 << 20;
+    let src = vec![0x3Cu8; size];
+    let mut dst = vec![0x5Au8; size];
+    g.throughput(Throughput::Bytes(size as u64));
+    g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+        b.iter(|| nadfs_gfec::gf256::xor_slice(black_box(&src), black_box(&mut dst)));
+    });
+    g.finish();
+}
+
+fn rs_encode_fused(c: &mut Criterion) {
+    // encode_into with reused parity buffers: the fused, zero-alloc path.
+    let mut g = c.benchmark_group("rs_encode_fused");
+    for (k, m) in [(3usize, 2usize), (6, 3)] {
+        let rs = nadfs_gfec::ReedSolomon::new(k, m).expect("params");
+        let chunks: Vec<Vec<u8>> = (0..k).map(|j| vec![j as u8; 64 << 10]).collect();
+        let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+        let mut parities: Vec<Vec<u8>> = vec![Vec::new(); m];
+        g.throughput(Throughput::Bytes((k * (64 << 10)) as u64));
+        g.bench_function(format!("rs({k},{m})_64KiB_chunks"), |b| {
+            b.iter(|| {
+                rs.encode_into(black_box(&refs), black_box(&mut parities))
+                    .expect("encode")
+            });
+        });
+    }
+    g.finish();
+}
+
+fn stream_packet_pooled(c: &mut Criterion) {
+    // One pooled per-packet step: intermediate parity into a recycled
+    // buffer plus wide-XOR absorption — the steady-state cost of the
+    // sPIN-TriEC inner loop.
+    let mtu = 1978usize;
+    let payload = vec![0xA7u8; mtu];
+    let mut pool = nadfs_simnet::BufPool::new(8);
+    let mut ipar = pool.get(mtu);
+    let mut acc = nadfs_gfec::Accumulator::new(mtu, u32::MAX);
+    let mut g = c.benchmark_group("stream_packet_pooled");
+    g.throughput(Throughput::Bytes(mtu as u64));
+    g.bench_function("ipar_mul_plus_xor_1978B", |b| {
+        b.iter(|| {
+            nadfs_gfec::intermediate_parity_into(0x1D, black_box(&payload), &mut ipar);
+            black_box(acc.absorb(&ipar));
+        });
+    });
+    g.finish();
+}
+
 fn rs_encode(c: &mut Criterion) {
     let mut g = c.benchmark_group("rs_encode");
     for (k, m) in [(3usize, 2usize), (6, 3)] {
@@ -121,7 +188,9 @@ fn e2e_write_sim(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = gf_mul_acc, rs_encode, rs_reconstruct, siphash_capability,
+    targets = gf_mul_acc, gf_mul_acc_scalar_baseline, gf_xor_wide,
+              rs_encode, rs_encode_fused, rs_reconstruct,
+              stream_packet_pooled, siphash_capability,
               engine_throughput, e2e_write_sim
 }
 criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! EC data-path throughput: seed kernels vs wide-word + pooled streaming
+//! (see nadfs_bench::ec_throughput). Writes `BENCH_ec_throughput.json`.
+
+fn main() {
+    let report = nadfs_bench::ec_throughput::run();
+    print!("{}", nadfs_bench::ec_throughput::render(&report));
+    let json = nadfs_bench::ec_throughput::to_json(&report);
+    let path = "BENCH_ec_throughput.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("  wrote {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+}

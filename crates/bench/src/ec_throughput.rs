@@ -1,0 +1,383 @@
+//! Erasure-coding data-path throughput: old vs new kernels, and the
+//! per-packet streaming loop with and without buffer pooling.
+//!
+//! Three sections:
+//!
+//! 1. **mul_acc kernel** — the seed byte-at-a-time table walk
+//!    (`gf256::scalar`) against the wide-word shuffle kernel
+//!    (`gf256::mul_acc_slice`), GB/s over a 1 MiB slice.
+//! 2. **block encode** — the seed per-row encode (fresh parity
+//!    allocations, one full pass per parity row) against the fused
+//!    `encode_into` (cached rows, tiled multi-row accumulation, reused
+//!    buffers), MB/s of source data.
+//! 3. **stream loop** — the per-packet TriEC path (intermediate parity
+//!    multiply at the data node, XOR aggregation at the parity node) with
+//!    the seed's allocate-per-packet discipline against the pooled
+//!    zero-alloc discipline, packets/s. The pooled loop's steady-state
+//!    pool misses are reported — and asserted zero by the tests — which is
+//!    the "no allocator on the packet path" property every later data-path
+//!    PR must preserve.
+//!
+//! `cargo run --release --bin ec_throughput` prints the table and writes
+//! `BENCH_ec_throughput.json` into the working directory, seeding the
+//! bench JSON trajectory future PRs compare against.
+
+use std::time::Instant;
+
+use nadfs_gfec::{gf256, intermediate_parity_into, Accumulator, ReedSolomon};
+use nadfs_simnet::BufPool;
+
+use crate::report::{f, Table};
+
+/// One old-vs-new measurement.
+#[derive(Clone, Debug)]
+pub struct Pair {
+    pub label: String,
+    /// Throughput unit for `old`/`new` (e.g. "MB/s", "kpkt/s").
+    pub unit: &'static str,
+    pub old: f64,
+    pub new: f64,
+}
+
+impl Pair {
+    pub fn speedup(&self) -> f64 {
+        if self.old > 0.0 {
+            self.new / self.old
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Full report of the `ec_throughput` run.
+#[derive(Clone, Debug)]
+pub struct EcThroughputReport {
+    pub pairs: Vec<Pair>,
+    /// Pool hit rate of the steady-state (post-warmup) pooled stream loop.
+    pub pool_hit_rate: f64,
+    /// Fresh allocations the pooled stream loop performed in steady state
+    /// (pool misses). The acceptance bar is zero.
+    pub steady_state_pool_misses: u64,
+    /// Packets pushed through the steady-state pooled loop.
+    pub steady_state_packets: u64,
+}
+
+/// Time `f` over enough repetitions to exceed ~80 ms, returning seconds
+/// per call (mean of the best half to shave scheduler noise).
+fn time_per_call<F: FnMut()>(mut f: F) -> f64 {
+    f(); // warm tables, caches, pools
+    let mut reps = 1u32;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt > 0.08 || reps >= 1 << 20 {
+            return dt / reps as f64;
+        }
+        let target = (0.1 / dt.max(1e-9)).ceil();
+        reps = (reps as f64 * target).min(1_048_576.0) as u32;
+    }
+}
+
+/// Section 1: raw mul_acc kernel, seed scalar vs wide-word.
+fn bench_mul_acc(pairs: &mut Vec<Pair>) {
+    let n = 1 << 20;
+    let src: Vec<u8> = (0..n).map(|i| (i * 31 + 7) as u8).collect();
+    let mut dst = vec![0u8; n];
+    let c = 0x1D;
+    let t_old = time_per_call(|| {
+        gf256::scalar::mul_acc_slice(
+            c,
+            std::hint::black_box(&src),
+            std::hint::black_box(&mut dst),
+        )
+    });
+    let t_new = time_per_call(|| {
+        gf256::mul_acc_slice(
+            c,
+            std::hint::black_box(&src),
+            std::hint::black_box(&mut dst),
+        )
+    });
+    pairs.push(Pair {
+        label: "mul_acc_slice 1MiB (GB/s)".into(),
+        unit: "GB/s",
+        old: n as f64 / t_old / 1e9,
+        new: n as f64 / t_new / 1e9,
+    });
+}
+
+/// The seed encode: one full pass per parity row, scalar kernel, fresh
+/// parity allocations — reproduced here as the baseline.
+fn seed_encode(rs: &ReedSolomon, data: &[&[u8]]) -> Vec<Vec<u8>> {
+    let n = data[0].len();
+    let mut parities = vec![vec![0u8; n]; rs.m()];
+    for (p, parity) in parities.iter_mut().enumerate() {
+        for (j, chunk) in data.iter().enumerate() {
+            gf256::scalar::mul_acc_slice(rs.parity_coef(p, j), chunk, parity);
+        }
+    }
+    parities
+}
+
+/// Section 2: block encode, seed per-row vs fused.
+fn bench_block_encode(pairs: &mut Vec<Pair>, k: usize, m: usize, chunk_len: usize) {
+    let rs = ReedSolomon::new(k, m).expect("params");
+    let chunks: Vec<Vec<u8>> = (0..k)
+        .map(|j| {
+            (0..chunk_len)
+                .map(|i| ((i * 7 + j * 13) % 251) as u8)
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+    let src_bytes = (k * chunk_len) as f64;
+
+    let t_old = time_per_call(|| {
+        std::hint::black_box(seed_encode(&rs, std::hint::black_box(&refs)));
+    });
+    let mut parities: Vec<Vec<u8>> = vec![Vec::new(); m];
+    let t_new = time_per_call(|| {
+        rs.encode_into(
+            std::hint::black_box(&refs),
+            std::hint::black_box(&mut parities),
+        )
+        .expect("encode");
+    });
+    // Cross-check while we're here: the measured paths must agree.
+    assert_eq!(seed_encode(&rs, &refs), parities, "fused == per-row");
+    pairs.push(Pair {
+        label: format!("rs({k},{m}) encode {}KiB chunks (MB/s)", chunk_len >> 10),
+        unit: "MB/s",
+        old: src_bytes / t_old / 1e6,
+        new: src_bytes / t_new / 1e6,
+    });
+}
+
+/// Streaming-path parameters shared by the old and new loops.
+struct StreamSetup {
+    rs: ReedSolomon,
+    chunks: Vec<Vec<u8>>,
+    mtu: usize,
+    n_pkts: usize,
+}
+
+impl StreamSetup {
+    fn new(k: usize, m: usize, chunk_len: usize, mtu: usize) -> StreamSetup {
+        let rs = ReedSolomon::new(k, m).expect("params");
+        let chunks: Vec<Vec<u8>> = (0..k)
+            .map(|j| {
+                (0..chunk_len)
+                    .map(|i| ((i * 11 + j * 17) % 253) as u8)
+                    .collect()
+            })
+            .collect();
+        StreamSetup {
+            rs,
+            chunks,
+            mtu,
+            n_pkts: chunk_len.div_ceil(mtu),
+        }
+    }
+
+    /// Intermediate-parity packets per full stripe encode.
+    fn pkts_per_stripe(&self) -> u64 {
+        (self.rs.k() * self.rs.m() * self.n_pkts) as u64
+    }
+
+    /// Seed discipline: scalar byte-table multiply into a fresh `Vec` per
+    /// packet, a fresh accumulator per aggregation sequence.
+    fn run_alloc(&self, sink: &mut u64) {
+        for p in 0..self.rs.m() {
+            for i in 0..self.n_pkts {
+                let mut accbuf = vec![0u8; self.mtu];
+                for (j, chunk) in self.chunks.iter().enumerate() {
+                    let pkt = &chunk[i * self.mtu..((i + 1) * self.mtu).min(chunk.len())];
+                    let mut ipar = vec![0u8; pkt.len()];
+                    gf256::scalar::mul_slice(self.rs.parity_coef(p, j), pkt, &mut ipar);
+                    gf256::scalar::xor_slice(&ipar, &mut accbuf[..ipar.len()]);
+                }
+                *sink ^= accbuf[0] as u64;
+            }
+        }
+    }
+
+    /// Pooled discipline: intermediate parities and accumulators draw from
+    /// the ring and return to it — zero allocations once warm.
+    fn run_pooled(&self, pool: &mut BufPool, sink: &mut u64) {
+        for p in 0..self.rs.m() {
+            for i in 0..self.n_pkts {
+                let mut acc = Accumulator::with_buf(pool.get_dirty(self.mtu), self.rs.k() as u32);
+                let mut ipar = pool.get_dirty(self.mtu);
+                for (j, chunk) in self.chunks.iter().enumerate() {
+                    let pkt = &chunk[i * self.mtu..((i + 1) * self.mtu).min(chunk.len())];
+                    intermediate_parity_into(self.rs.parity_coef(p, j), pkt, &mut ipar);
+                    acc.absorb(&ipar);
+                }
+                *sink ^= acc.finish(1)[0] as u64;
+                pool.put(ipar);
+                pool.put(acc.into_buf());
+            }
+        }
+    }
+}
+
+/// Section 3: the per-packet stream loop, alloc-per-packet vs pooled.
+fn bench_stream(pairs: &mut Vec<Pair>) -> (f64, u64, u64) {
+    let s = StreamSetup::new(6, 3, 64 << 10, 1978);
+    let mut sink = 0u64;
+
+    let t_old = time_per_call(|| s.run_alloc(&mut sink));
+
+    let mut pool = BufPool::new(64);
+    // Warm the ring, then measure the steady state only.
+    s.run_pooled(&mut pool, &mut sink);
+    pool.reset_stats();
+    let mut stripes = 0u64;
+    let t_new = time_per_call(|| {
+        s.run_pooled(&mut pool, &mut sink);
+        stripes += 1;
+    });
+    std::hint::black_box(sink);
+    let stats = pool.stats();
+    let pkts = s.pkts_per_stripe() as f64;
+    pairs.push(Pair {
+        label: "stream rs(6,3) 64KiB stripes (kpkt/s)".into(),
+        unit: "kpkt/s",
+        old: pkts / t_old / 1e3,
+        new: pkts / t_new / 1e3,
+    });
+    (
+        stats.hit_rate(),
+        stats.misses,
+        stripes * s.pkts_per_stripe(),
+    )
+}
+
+/// Run every section.
+pub fn run() -> EcThroughputReport {
+    let mut pairs = Vec::new();
+    bench_mul_acc(&mut pairs);
+    bench_block_encode(&mut pairs, 3, 2, 1 << 20);
+    bench_block_encode(&mut pairs, 6, 3, 1 << 20);
+    let (pool_hit_rate, steady_state_pool_misses, steady_state_packets) = bench_stream(&mut pairs);
+    EcThroughputReport {
+        pairs,
+        pool_hit_rate,
+        steady_state_pool_misses,
+        steady_state_packets,
+    }
+}
+
+/// Render the report as the repo's standard text table.
+pub fn render(r: &EcThroughputReport) -> String {
+    let mut t = Table::new(
+        "ec_throughput — EC data path, seed kernels vs wide-word + pooled",
+        &["section", "old", "new", "unit", "speedup"],
+    );
+    for p in &r.pairs {
+        t.row(vec![
+            p.label.clone(),
+            f(p.old),
+            f(p.new),
+            p.unit.to_string(),
+            format!("{}x", f(p.speedup())),
+        ]);
+    }
+    t.note(format!(
+        "pooled stream loop steady state: {} packets, {} pool misses (hit rate {:.3})",
+        r.steady_state_packets, r.steady_state_pool_misses, r.pool_hit_rate
+    ));
+    t.note("old = seed byte-table kernels + per-packet Vec allocation");
+    t.note("new = SSSE3/AVX2 nibble-shuffle kernels, fused tiled encode, recycled BufPool");
+    t.render()
+}
+
+/// Serialize the report as the `BENCH_ec_throughput.json` trajectory entry.
+pub fn to_json(r: &EcThroughputReport) -> String {
+    let mut s = String::from("{\n  \"bench\": \"ec_throughput\",\n  \"sections\": [\n");
+    for (i, p) in r.pairs.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"label\": \"{}\", \"unit\": \"{}\", \"old\": {:.2}, \"new\": {:.2}, \"speedup\": {:.2}}}{}\n",
+            p.label,
+            p.unit,
+            p.old,
+            p.new,
+            p.speedup(),
+            if i + 1 < r.pairs.len() { "," } else { "" }
+        ));
+    }
+    s.push_str(&format!(
+        "  ],\n  \"stream_pool\": {{\"hit_rate\": {:.4}, \"steady_state_misses\": {}, \"steady_state_packets\": {}}}\n}}\n",
+        r.pool_hit_rate, r.steady_state_pool_misses, r.steady_state_packets
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pooled_stream_loop_is_allocation_free_in_steady_state() {
+        let s = StreamSetup::new(3, 2, 8 << 10, 1024);
+        let mut pool = BufPool::new(16);
+        let mut sink = 0u64;
+        s.run_pooled(&mut pool, &mut sink); // warmup
+        pool.reset_stats();
+        for _ in 0..5 {
+            s.run_pooled(&mut pool, &mut sink);
+        }
+        let st = pool.stats();
+        assert_eq!(st.misses, 0, "steady-state stream loop must not allocate");
+        assert_eq!(st.hit_rate(), 1.0);
+        assert!(st.gets > 0);
+    }
+
+    #[test]
+    fn pooled_and_alloc_loops_compute_identical_parities() {
+        use nadfs_gfec::intermediate_parity;
+        // Same stripe, both disciplines, byte-identical aggregation.
+        let s = StreamSetup::new(4, 2, 4 << 10, 600);
+        let mut pool = BufPool::new(16);
+        for p in 0..s.rs.m() {
+            for i in 0..s.n_pkts {
+                let mut a_old = Accumulator::new(s.mtu, s.rs.k() as u32);
+                let mut a_new = Accumulator::with_buf(pool.get(s.mtu), s.rs.k() as u32);
+                let mut ipar = pool.get(s.mtu);
+                for (j, chunk) in s.chunks.iter().enumerate() {
+                    let pkt = &chunk[i * s.mtu..((i + 1) * s.mtu).min(chunk.len())];
+                    a_old.absorb(&intermediate_parity(s.rs.parity_coef(p, j), pkt));
+                    intermediate_parity_into(s.rs.parity_coef(p, j), pkt, &mut ipar);
+                    a_new.absorb(&ipar);
+                }
+                let len = s.chunks[0][i * s.mtu..].len().min(s.mtu);
+                assert_eq!(a_old.finish(len), a_new.finish(len), "p={p} i={i}");
+                pool.put(ipar);
+                pool.put(a_new.into_buf());
+            }
+        }
+    }
+
+    #[test]
+    fn json_shape_is_sane() {
+        let r = EcThroughputReport {
+            pairs: vec![Pair {
+                label: "x".into(),
+                unit: "MB/s",
+                old: 1.0,
+                new: 3.5,
+            }],
+            pool_hit_rate: 1.0,
+            steady_state_pool_misses: 0,
+            steady_state_packets: 42,
+        };
+        let j = to_json(&r);
+        assert!(j.contains("\"bench\": \"ec_throughput\""));
+        assert!(j.contains("\"speedup\": 3.50"));
+        assert!(j.contains("\"steady_state_misses\": 0"));
+        assert!(render(&r).contains("ec_throughput"));
+    }
+}

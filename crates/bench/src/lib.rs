@@ -8,6 +8,7 @@
 //! target) plus Criterion microbenchmarks of the computational kernels.
 
 pub mod dir_ops;
+pub mod ec_throughput;
 pub mod figures;
 pub mod report;
 

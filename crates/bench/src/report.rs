@@ -79,7 +79,7 @@ pub fn f(v: f64) -> String {
 
 /// Human-readable size label for a byte count.
 pub fn sz(bytes: u32) -> String {
-    if bytes >= (1 << 20) && bytes % (1 << 20) == 0 {
+    if bytes >= (1 << 20) && bytes.is_multiple_of(1 << 20) {
         format!("{}MiB", bytes >> 20)
     } else if bytes >= (1 << 10) {
         format!("{}KiB", bytes >> 10)

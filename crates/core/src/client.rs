@@ -403,7 +403,7 @@ impl ClientApp {
                 // write-back state first (counts as its own round-trip).
                 if self.cache_enabled && self.meta_cache.borrow().dirty_count() > 0 {
                     self.flush_writeback();
-                    cost = cost + costs.control_rtt;
+                    cost += costs.control_rtt;
                 }
                 let cached = if self.cache_enabled {
                     self.meta_cache.borrow_mut().get(path)
@@ -413,11 +413,11 @@ impl ClientApp {
                 match cached {
                     Some(_) => {
                         cache_hit = true;
-                        cost = cost + costs.cache_probe;
+                        cost += costs.cache_probe;
                         Ok(())
                     }
                     None => {
-                        cost = cost + costs.control_rtt;
+                        cost += costs.control_rtt;
                         match self.control.borrow_mut().lookup_entry(path) {
                             Ok((attr, layout)) => {
                                 if self.cache_enabled {
@@ -462,7 +462,7 @@ impl ClientApp {
                 }
             }
             MetaOp::Readdir { path } => {
-                cost = cost + costs.control_rtt;
+                cost += costs.control_rtt;
                 match self.control.borrow_mut().readdir(path) {
                     Ok(entries) => {
                         if self.cache_enabled {
@@ -523,7 +523,7 @@ impl ClientApp {
         let data = Self::payload(seed, size);
         let abandon = self
             .abandon_every
-            .map(|n| self.jobs_started % n == 0)
+            .map(|n| self.jobs_started.is_multiple_of(n))
             .unwrap_or(false);
         let mut pending = Pending {
             job,
@@ -756,13 +756,21 @@ impl ClientApp {
                 let m = scheme.m as usize;
                 pending.acks_needed = (k + m) as u32;
                 let chunk_len = placement.chunk_len;
-                // Split the block into k chunks (zero-pad the tail).
+                // Split the block into k chunks. Full chunks are zero-copy
+                // windows into the block; only a ragged tail chunk needs
+                // staging (zero-padded), and that buffer comes from the
+                // NIC's recycled ring.
                 let mut per_chunk_frames: Vec<(NodeId, Vec<Frame>)> = Vec::with_capacity(k);
                 for (j, coord) in placement.data_chunks.iter().enumerate() {
                     let startb = (j as u32 * chunk_len).min(size) as usize;
                     let endb = ((j as u32 + 1) * chunk_len).min(size) as usize;
-                    let mut chunk_data = data.slice(startb..endb).to_vec();
-                    chunk_data.resize(chunk_len as usize, 0);
+                    let chunk_data = if endb - startb == chunk_len as usize {
+                        data.slice(startb..endb)
+                    } else {
+                        let mut staged = nic.buf_pool().borrow_mut().get(chunk_len as usize);
+                        staged[..endb - startb].copy_from_slice(&data[startb..endb]);
+                        Bytes::from(staged)
+                    };
                     let wrh = WriteReqHeader {
                         target_addr: coord.addr,
                         len: chunk_len,
@@ -773,8 +781,7 @@ impl ClientApp {
                             parity_coords: placement.parities.clone(),
                         }),
                     };
-                    let (msg, frames) =
-                        nic.build_write_frames(Some(dfs), wrh, Bytes::from(chunk_data));
+                    let (msg, frames) = nic.build_write_frames(Some(dfs), wrh, chunk_data);
                     pending.msgs.push(msg);
                     per_chunk_frames.push((coord.node as NodeId, frames));
                 }

@@ -156,8 +156,14 @@ impl SimCluster {
             match spec.mode {
                 StorageMode::Plain => {}
                 StorageMode::Spin => {
-                    let state =
-                        DfsNicState::new(key, spec.cost.handlers.clone(), spec.accumulator_pool);
+                    // Handler state shares the NIC's buffer ring so
+                    // accumulator/parity buffers recycle through the device.
+                    let state = DfsNicState::with_buf_pool(
+                        key,
+                        spec.cost.handlers.clone(),
+                        spec.accumulator_pool,
+                        nic.core.buf_pool(),
+                    );
                     nic.core.install_pspin(
                         spec.cost.pspin.clone(),
                         ExecutionContext {

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use bytes::Bytes;
 use nadfs_gfec::ReedSolomon;
 use nadfs_pspin::{HandlerArgs, HandlerSet, Ops};
-use nadfs_simnet::NodeId;
+use nadfs_simnet::{BufPool, NodeId, SharedBufPool};
 use nadfs_wire::{
     bcast_children, AckPkt, DfsHeader, EcInfo, EcRole, Frame, MacKey, MsgId, Resiliency, Rights,
     RsScheme, Status, WritePkt, WriteReqHeader,
@@ -108,11 +108,25 @@ pub struct DfsNicState {
     accs: HashMap<(u64, u32), AccEntry>,
     /// Free accumulators remaining in the pool.
     acc_free: usize,
+    /// Recycled byte buffers for accumulators and intermediate-parity
+    /// products (shared with the PsPIN device, which returns DMA-write
+    /// payloads here once their run retires).
+    buf_pool: SharedBufPool,
     pub counters: DfsCounters,
 }
 
 impl DfsNicState {
     pub fn new(key: MacKey, costs: HandlerCosts, accumulator_pool: usize) -> DfsNicState {
+        DfsNicState::with_buf_pool(key, costs, accumulator_pool, BufPool::shared(256))
+    }
+
+    /// Variant sharing an existing buffer pool (the owning NIC's ring).
+    pub fn with_buf_pool(
+        key: MacKey,
+        costs: HandlerCosts,
+        accumulator_pool: usize,
+        buf_pool: SharedBufPool,
+    ) -> DfsNicState {
         DfsNicState {
             key,
             costs,
@@ -122,6 +136,7 @@ impl DfsNicState {
             stripes: HashMap::new(),
             accs: HashMap::new(),
             acc_free: accumulator_pool,
+            buf_pool,
             counters: DfsCounters::default(),
         }
     }
@@ -162,7 +177,7 @@ impl DfsNicState {
 /// The handler set installed on storage-node NICs.
 pub struct DfsHandlers;
 
-fn state_of<'a>(any: &'a mut dyn Any) -> &'a mut DfsNicState {
+fn state_of(any: &mut dyn Any) -> &mut DfsNicState {
     any.downcast_mut::<DfsNicState>()
         .expect("execution context state is DfsNicState")
 }
@@ -444,7 +459,10 @@ impl HandlerSet for DfsHandlers {
                     let scheme = info.scheme;
                     for (p, f) in entry.fwd.iter().enumerate() {
                         let coef = st.rs(scheme).parity_coef(p, chunk_idx as usize);
-                        let ipar = nadfs_gfec::intermediate_parity(coef, &w.data);
+                        // Pooled product buffer + in-place wide-word
+                        // multiply: no allocation once the ring warms up.
+                        let mut ipar = st.buf_pool.borrow_mut().get_dirty(w.data.len());
+                        nadfs_gfec::intermediate_parity_into(coef, &w.data, &mut ipar);
                         a.ops.send(
                             f.dst,
                             Frame::Write(WritePkt {
@@ -483,18 +501,18 @@ impl HandlerSet for DfsHandlers {
                     }
                     // NIC aggregation: XOR into the accumulator for this
                     // aggregation sequence (keyed by stripe and offset).
-                    // The budget was reserved at header time.
+                    // The budget was reserved at header time; the buffer
+                    // comes from the recycled ring (the device returns it
+                    // after the final parity's DMA write retires).
                     let key = (stripe, w.offset);
                     let acc = st.accs.entry(key).or_insert_with(|| AccEntry {
-                        buf: vec![0u8; bytes],
+                        buf: st.buf_pool.borrow_mut().get(bytes),
                         got: 0,
                     });
                     if acc.buf.len() < bytes {
                         acc.buf.resize(bytes, 0);
                     }
-                    for (b, d) in acc.buf.iter_mut().zip(w.data.iter()) {
-                        *b ^= d;
-                    }
+                    nadfs_gfec::gf256::xor_slice(&w.data, &mut acc.buf[..bytes]);
                     acc.got += 1;
                     if acc.got == k {
                         let acc = st.accs.remove(&key).expect("present");

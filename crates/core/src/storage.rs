@@ -134,6 +134,7 @@ impl StorageApp {
         bytes
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_write_req(
         &mut self,
         nic: &mut NicCore,

@@ -1,10 +1,13 @@
 //! # nadfs-gfec
 //!
-//! Erasure-coding substrate: GF(2^8) arithmetic with both log/exp and full
-//! 256×256 product tables ([`gf256`]), dense matrices with Gauss-Jordan
-//! inversion ([`matrix`]), systematic Vandermonde Reed-Solomon codes
-//! ([`rs`]), and the per-packet streaming encode/aggregate path used by
-//! sPIN-TriEC ([`stream`]).
+//! Erasure-coding substrate: GF(2^8) arithmetic with log/exp, full 256×256
+//! product, and nibble-split shuffle tables ([`gf256`] — including the
+//! SSSE3/AVX2 wide-word kernels and the fused multi-parity encode), dense
+//! matrices with Gauss-Jordan inversion ([`matrix`]), systematic
+//! Vandermonde Reed-Solomon codes with cached encode rows and a memoized
+//! decode-matrix cache ([`rs`]), and the per-packet streaming
+//! encode/aggregate path used by sPIN-TriEC ([`stream`]), with in-place
+//! variants for pooled, zero-alloc packet loops.
 
 pub mod cauchy;
 pub mod gf256;
@@ -14,4 +17,4 @@ pub mod stream;
 
 pub use matrix::Matrix;
 pub use rs::{ReedSolomon, RsError};
-pub use stream::{block_parities, intermediate_parity, Accumulator};
+pub use stream::{block_parities, intermediate_parity, intermediate_parity_into, Accumulator};

@@ -7,16 +7,80 @@
 //! the first k rows become the identity (data chunks are stored verbatim,
 //! "k of k+m encoded chunks are identical to the original k data chunks").
 
+use std::collections::HashMap;
+use std::sync::Mutex;
+
 use crate::gf256;
 use crate::matrix::Matrix;
 
+/// How many decode (inversion) matrices a code instance memoizes. Repairs
+/// in a real cluster hit a handful of erasure patterns over and over (the
+/// same dead node's chunks), so a small LRU absorbs nearly all inversions.
+const DECODE_CACHE_CAP: usize = 16;
+
+/// LRU-ish memo of survivor-row-set → inverted decode matrix.
+#[derive(Debug, Default)]
+struct DecodeCache {
+    map: HashMap<Vec<usize>, (u64, Matrix)>,
+    tick: u64,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl DecodeCache {
+    fn get_or_insert_with<F: FnOnce() -> Matrix>(&mut self, key: &[usize], f: F) -> Matrix {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((stamp, m)) = self.map.get_mut(key) {
+            *stamp = tick;
+            self.hits += 1;
+            return m.clone();
+        }
+        self.misses += 1;
+        let m = f();
+        if self.map.len() >= DECODE_CACHE_CAP {
+            // Evict the least-recently-used pattern.
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(key.to_vec(), (tick, m.clone()));
+        m
+    }
+}
+
 /// A Reed-Solomon code instance.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct ReedSolomon {
     k: usize,
     m: usize,
     /// Full systematic encoding matrix, (k+m)×k.
     enc: Matrix,
+    /// The m parity rows of `enc`, flattened row-major (`rows[p*k + j]`):
+    /// coefficients resolved once per code so the per-packet streaming path
+    /// never walks the matrix.
+    parity_rows: Box<[u8]>,
+    /// Memoized decode matrices keyed by the survivor-row set, so repeated
+    /// repairs with the same missing pattern skip Gauss-Jordan inversion.
+    decode_cache: Mutex<DecodeCache>,
+}
+
+impl Clone for ReedSolomon {
+    fn clone(&self) -> ReedSolomon {
+        ReedSolomon {
+            k: self.k,
+            m: self.m,
+            enc: self.enc.clone(),
+            parity_rows: self.parity_rows.clone(),
+            // Caches are per-instance scratch; a clone starts cold.
+            decode_cache: Mutex::new(DecodeCache::default()),
+        }
+    }
 }
 
 /// Errors from encode/reconstruct.
@@ -62,7 +126,17 @@ impl ReedSolomon {
             Matrix::identity(k),
             "systematic code: top must be identity"
         );
-        Ok(ReedSolomon { k, m, enc })
+        let mut parity_rows = vec![0u8; m * k];
+        for p in 0..m {
+            parity_rows[p * k..(p + 1) * k].copy_from_slice(enc.row(k + p));
+        }
+        Ok(ReedSolomon {
+            k,
+            m,
+            enc,
+            parity_rows: parity_rows.into_boxed_slice(),
+            decode_cache: Mutex::new(DecodeCache::default()),
+        })
     }
 
     pub fn k(&self) -> usize {
@@ -73,35 +147,83 @@ impl ReedSolomon {
     }
 
     /// Coefficient multiplying data chunk `j` in parity `p`
-    /// (the per-packet streaming path uses these directly).
+    /// (the per-packet streaming path uses these directly; resolved from
+    /// the flat cached rows, not the matrix).
+    #[inline]
     pub fn parity_coef(&self, p: usize, j: usize) -> u8 {
-        self.enc[(self.k + p, j)]
+        self.parity_rows[p * self.k + j]
     }
 
     /// Row of coefficients for parity `p`.
     pub fn parity_row(&self, p: usize) -> &[u8] {
-        self.enc.row(self.k + p)
+        &self.parity_rows[p * self.k..(p + 1) * self.k]
     }
 
     /// Encode: compute the m parity chunks for `data` (k equal-size chunks).
     pub fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, RsError> {
+        let mut parities = vec![Vec::new(); self.m];
+        self.encode_into(data, &mut parities)?;
+        Ok(parities)
+    }
+
+    /// Encode into caller-owned parity buffers (resized and overwritten),
+    /// reusing their allocations: no per-byte or parity-sized allocation,
+    /// only tiny per-call coefficient/slice scratch.
+    ///
+    /// The inner loop is [`gf256::mul_acc_multi`], the fused multi-row
+    /// kernel: the stripe is walked in cache-resident tiles, and within a
+    /// tile every source chunk is read once while all `m` parity
+    /// accumulators are updated hot.
+    pub fn encode_into(&self, data: &[&[u8]], parities: &mut [Vec<u8>]) -> Result<(), RsError> {
         if data.len() != self.k {
             return Err(RsError::WrongChunkCount {
                 expected: self.k,
                 got: data.len(),
             });
         }
+        if parities.len() != self.m {
+            return Err(RsError::WrongChunkCount {
+                expected: self.m,
+                got: parities.len(),
+            });
+        }
         let n = data[0].len();
         if data.iter().any(|c| c.len() != n) {
             return Err(RsError::ChunkSizeMismatch);
         }
-        let mut parities = vec![vec![0u8; n]; self.m];
-        for (p, parity) in parities.iter_mut().enumerate() {
-            for (j, chunk) in data.iter().enumerate() {
-                gf256::mul_acc_slice(self.parity_coef(p, j), chunk, parity);
+        for p in parities.iter_mut() {
+            p.clear();
+            p.resize(n, 0);
+        }
+        // Column-major coefficient view: cols[j*m + p] multiplies chunk j
+        // into parity p (what the per-source fused kernel consumes).
+        let mut cols = vec![0u8; self.k * self.m];
+        for j in 0..self.k {
+            for p in 0..self.m {
+                cols[j * self.m + p] = self.parity_rows[p * self.k + j];
             }
         }
-        Ok(parities)
+        let mut off = 0;
+        while off < n {
+            let end = (off + gf256::FUSE_TILE).min(n);
+            let mut dsts: Vec<&mut [u8]> = parities.iter_mut().map(|p| &mut p[off..end]).collect();
+            for (j, chunk) in data.iter().enumerate() {
+                gf256::mul_acc_multi(
+                    &cols[j * self.m..(j + 1) * self.m],
+                    &chunk[off..end],
+                    &mut dsts,
+                );
+            }
+            off = end;
+        }
+        Ok(())
+    }
+
+    /// Decode-cache counters: `(hits, misses)` of the per-pattern
+    /// inversion memo (diagnostics for repair-heavy workloads).
+    pub fn decode_cache_stats(&self) -> (u64, u64) {
+        let c = self.decode_cache.lock().expect("decode cache poisoned");
+        (c.hits, c.misses)
     }
 
     /// Verify that `shards` (k data followed by m parity) are consistent.
@@ -151,10 +273,18 @@ impl ReedSolomon {
             return Ok(()); // nothing missing
         }
 
-        // Decode matrix: rows of `enc` for the first k survivors.
+        // Decode matrix: rows of `enc` for the first k survivors. The
+        // inversion is memoized per erasure pattern — repeated repairs with
+        // the same missing set skip Gauss-Jordan entirely.
         let use_rows: Vec<usize> = present.iter().copied().take(self.k).collect();
-        let sub = self.enc.select_rows(&use_rows);
-        let dec = sub.invert().expect("any k rows of an MDS matrix invert");
+        let dec = self
+            .decode_cache
+            .lock()
+            .expect("decode cache poisoned")
+            .get_or_insert_with(&use_rows, || {
+                let sub = self.enc.select_rows(&use_rows);
+                sub.invert().expect("any k rows of an MDS matrix invert")
+            });
 
         // Recover data chunks: data = dec × survivors.
         let mut data: Vec<Vec<u8>> = vec![vec![0u8; n]; self.k];
@@ -405,6 +535,68 @@ mod tests {
         shards[4] = None;
         rs.reconstruct(&mut shards).expect("recover");
         assert_eq!(shards[0].as_ref().expect("chunk"), &data[0]);
+    }
+
+    #[test]
+    fn encode_into_reuses_buffers_and_matches_encode() {
+        let rs = ReedSolomon::new(4, 3).expect("params");
+        let data = sample_data(4, 50_000, 11);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let fresh = rs.encode(&refs).expect("encode");
+        // Dirty, differently-sized buffers must come out identical.
+        let mut reused: Vec<Vec<u8>> = vec![vec![0xEE; 17], Vec::new(), vec![1; 100_000]];
+        rs.encode_into(&refs, &mut reused).expect("encode_into");
+        assert_eq!(fresh, reused);
+        // Second call reuses capacity (no growth needed).
+        let cap_before: Vec<usize> = reused.iter().map(|v| v.capacity()).collect();
+        rs.encode_into(&refs, &mut reused).expect("encode_into");
+        let cap_after: Vec<usize> = reused.iter().map(|v| v.capacity()).collect();
+        assert_eq!(cap_before, cap_after, "no reallocation on reuse");
+    }
+
+    #[test]
+    fn encode_into_rejects_wrong_parity_count() {
+        let rs = ReedSolomon::new(2, 1).expect("params");
+        let a = vec![1u8; 8];
+        let b = vec![2u8; 8];
+        let mut p: Vec<Vec<u8>> = vec![Vec::new(), Vec::new()];
+        assert_eq!(
+            rs.encode_into(&[&a, &b], &mut p).unwrap_err(),
+            RsError::WrongChunkCount {
+                expected: 1,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn repeated_repairs_hit_the_decode_cache() {
+        let rs = ReedSolomon::new(3, 2).expect("params");
+        let data = sample_data(3, 64, 6);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parities = rs.encode(&refs).expect("encode");
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parities).collect();
+        for _ in 0..5 {
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            shards[0] = None;
+            shards[3] = None;
+            rs.reconstruct(&mut shards).expect("reconstruct");
+            assert_eq!(shards[0].as_ref().expect("filled"), &full[0]);
+        }
+        let (hits, misses) = rs.decode_cache_stats();
+        assert_eq!(misses, 1, "one inversion for a repeated pattern");
+        assert_eq!(hits, 4, "subsequent repairs reuse it");
+    }
+
+    #[test]
+    fn parity_rows_match_matrix() {
+        let rs = ReedSolomon::new(5, 3).expect("params");
+        for p in 0..3 {
+            for j in 0..5 {
+                assert_eq!(rs.parity_coef(p, j), rs.enc[(5 + p, j)]);
+                assert_eq!(rs.parity_row(p)[j], rs.enc[(5 + p, j)]);
+            }
+        }
     }
 
     #[test]

@@ -14,10 +14,25 @@ use crate::rs::ReedSolomon;
 /// Compute one intermediate-parity packet: `coef * payload`.
 ///
 /// `coef` is `rs.parity_coef(p, j)` for parity `p` and data chunk `j`.
+/// Allocates; the streaming hot path uses [`intermediate_parity_into`]
+/// with a recycled buffer instead.
 pub fn intermediate_parity(coef: u8, payload: &[u8]) -> Vec<u8> {
-    let mut out = vec![0u8; payload.len()];
-    gf256::mul_slice(coef, payload, &mut out);
+    let mut out = Vec::new();
+    intermediate_parity_into(coef, payload, &mut out);
     out
+}
+
+/// In-place variant of [`intermediate_parity`]: writes `coef * payload`
+/// into `out`, reusing its allocation (the zero-alloc per-packet path when
+/// `out` comes from a buffer pool). `mul_slice` writes every output byte
+/// for every coefficient, so `out`'s prior contents never leak and no
+/// zero fill is needed beyond length adjustment.
+pub fn intermediate_parity_into(coef: u8, payload: &[u8], out: &mut Vec<u8>) {
+    if out.len() != payload.len() {
+        out.clear();
+        out.resize(payload.len(), 0);
+    }
+    gf256::mul_slice(coef, payload, out);
 }
 
 /// Per-packet-index aggregation state at a parity node: XOR of the
@@ -40,9 +55,37 @@ impl Accumulator {
         }
     }
 
+    /// Build an accumulator around a recycled buffer (e.g. from a
+    /// `BufPool`). The buffer's length is its capacity for contributions;
+    /// it is zeroed here, so dirty buffers are fine.
+    pub fn with_buf(mut buf: Vec<u8>, k: u32) -> Accumulator {
+        buf.fill(0);
+        Accumulator {
+            buf,
+            received: 0,
+            expected: k,
+        }
+    }
+
+    /// Rearm this accumulator for a fresh sequence of `k` contributions,
+    /// keeping the allocation.
+    pub fn reset(&mut self, k: u32) {
+        self.buf.fill(0);
+        self.received = 0;
+        self.expected = k;
+    }
+
+    /// Take the backing buffer (to hand it back to a pool); the
+    /// accumulator is left empty and must be re-armed via [`Self::reset`]
+    /// after a new buffer is installed — or just dropped.
+    pub fn into_buf(self) -> Vec<u8> {
+        self.buf
+    }
+
     /// XOR one contribution in; returns true when the sequence is complete.
     /// Contributions may have different lengths (the final packets of a
-    /// chunk can be short); the accumulator tracks the longest.
+    /// chunk can be short); the accumulator tracks the longest. The XOR is
+    /// the u64-wide kernel.
     pub fn absorb(&mut self, data: &[u8]) -> bool {
         assert!(
             data.len() <= self.buf.len(),
@@ -112,18 +155,18 @@ mod tests {
         let expect = block_parities(&rs, &chunks);
 
         let n_pkts = chunk_len.div_ceil(mtu);
-        for p in 0..m {
+        for (p, expected_parity) in expect.iter().enumerate().take(m) {
             // One accumulator per aggregation sequence (packet index).
             let mut accs: Vec<Accumulator> = (0..n_pkts)
                 .map(|_| Accumulator::new(mtu, k as u32))
                 .collect();
             // Interleaved arrival order (client interleaves packets, §VI-B-1):
             // packet i of every chunk, then packet i+1 ...
-            for i in 0..n_pkts {
+            for (i, acc) in accs.iter_mut().enumerate() {
                 for (j, chunk) in chunks.iter().enumerate() {
                     let pkt = packets(chunk, mtu)[i];
                     let ipar = intermediate_parity(rs.parity_coef(p, j), pkt);
-                    accs[i].absorb(&ipar);
+                    acc.absorb(&ipar);
                 }
             }
             // Reassemble the parity chunk from completed accumulators.
@@ -133,7 +176,7 @@ mod tests {
                 let len = packets(&chunks[0], mtu)[i].len();
                 parity.extend_from_slice(acc.finish(len));
             }
-            assert_eq!(parity, expect[p], "parity {p}");
+            assert_eq!(&parity, expected_parity, "parity {p}");
         }
     }
 
@@ -169,6 +212,41 @@ mod tests {
         assert!(a.absorb(&[3u8; 10]));
         assert!(a.is_complete());
         assert_eq!(a.finish(10), &[1 ^ 2 ^ 3u8; 10][..]);
+    }
+
+    #[test]
+    fn recycled_accumulator_matches_fresh() {
+        // A dirty recycled buffer and a reset accumulator behave exactly
+        // like a new one.
+        let dirty = vec![0xDDu8; 10];
+        let mut a = Accumulator::with_buf(dirty, 2);
+        let mut b = Accumulator::new(10, 2);
+        for c in [&[1u8, 2, 3][..], &[4u8, 5, 6, 7][..]] {
+            a.absorb(c);
+            b.absorb(c);
+        }
+        assert_eq!(a.finish(4), b.finish(4));
+        // Reuse via reset.
+        let mut buf = a.into_buf();
+        buf.resize(10, 0);
+        let mut a2 = Accumulator::with_buf(buf, 1);
+        a2.reset(1);
+        a2.absorb(&[9u8; 10]);
+        assert_eq!(a2.finish(10), &[9u8; 10][..]);
+    }
+
+    #[test]
+    fn intermediate_parity_into_reuses_allocation() {
+        let payload: Vec<u8> = (0..1978u32).map(|i| (i * 3) as u8).collect();
+        let mut out = Vec::new();
+        intermediate_parity_into(0x1D, &payload, &mut out);
+        assert_eq!(out, intermediate_parity(0x1D, &payload));
+        let cap = out.capacity();
+        let ptr = out.as_ptr();
+        intermediate_parity_into(0x07, &payload, &mut out);
+        assert_eq!(out, intermediate_parity(0x07, &payload));
+        assert_eq!(out.capacity(), cap);
+        assert_eq!(out.as_ptr(), ptr, "no reallocation on reuse");
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Property tests for the wide-word GF(2^8) kernels and the streaming
+//! aggregation path: every fast path must agree byte-for-byte with the
+//! byte-at-a-time reference (`gf256::scalar`), and the pooled/reusable
+//! `Accumulator` must match the block encode on ragged, out-of-order
+//! packet streams.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use nadfs_gfec::{gf256, intermediate_parity_into, Accumulator, ReedSolomon};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wide_mul_acc_equals_scalar(
+        c in any::<u8>(),
+        src in vec(any::<u8>(), 0..600usize),
+        seed in any::<u8>(),
+    ) {
+        let mut fast: Vec<u8> = (0..src.len()).map(|i| (i as u8) ^ seed).collect();
+        let mut slow = fast.clone();
+        gf256::mul_acc_slice(c, &src, &mut fast);
+        gf256::scalar::mul_acc_slice(c, &src, &mut slow);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn wide_mul_equals_scalar(
+        c in any::<u8>(),
+        src in vec(any::<u8>(), 0..600usize),
+    ) {
+        let mut fast = vec![0xEEu8; src.len()];
+        let mut slow = vec![0x11u8; src.len()];
+        gf256::mul_slice(c, &src, &mut fast);
+        gf256::scalar::mul_slice(c, &src, &mut slow);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn wide_xor_equals_byte_xor(
+        src in vec(any::<u8>(), 0..600usize),
+        seed in any::<u8>(),
+    ) {
+        let mut fast: Vec<u8> = (0..src.len()).map(|i| (i as u8).wrapping_mul(seed)).collect();
+        let mut slow = fast.clone();
+        gf256::xor_slice(&src, &mut fast);
+        gf256::scalar::xor_slice(&src, &mut slow);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn fused_multi_equals_naive_per_row(
+        m in 1usize..6,
+        len in 1usize..5000,
+        seed in any::<u8>(),
+    ) {
+        let src: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_add(seed)).collect();
+        // Coefficient set exercises the 0 / 1 / table special cases.
+        let coefs: Vec<u8> = (0..m).map(|p| match p {
+            0 => 0,
+            1 => 1,
+            p => (p as u8).wrapping_mul(37).wrapping_add(seed) | 2,
+        }).collect();
+        let mut fused: Vec<Vec<u8>> = (0..m).map(|p| vec![p as u8; len]).collect();
+        let mut naive = fused.clone();
+        {
+            let mut refs: Vec<&mut [u8]> = fused.iter_mut().map(|v| v.as_mut_slice()).collect();
+            gf256::mul_acc_multi(&coefs, &src, &mut refs);
+        }
+        for (c, d) in coefs.iter().zip(naive.iter_mut()) {
+            gf256::scalar::mul_acc_slice(*c, &src, d);
+        }
+        prop_assert_eq!(fused, naive);
+    }
+
+    #[test]
+    fn fused_encode_equals_naive_encode(
+        k in 1usize..7,
+        m in 1usize..4,
+        chunk_len in 1usize..3000,
+        seed in any::<u8>(),
+    ) {
+        let rs = ReedSolomon::new(k, m).expect("params");
+        let chunks: Vec<Vec<u8>> = (0..k)
+            .map(|j| (0..chunk_len)
+                .map(|i| (i as u8).wrapping_mul(31).wrapping_add(j as u8 ^ seed))
+                .collect())
+            .collect();
+        let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+        // Naive: per-row scalar passes.
+        let mut naive = vec![vec![0u8; chunk_len]; m];
+        for (p, parity) in naive.iter_mut().enumerate() {
+            for (j, chunk) in refs.iter().enumerate() {
+                gf256::scalar::mul_acc_slice(rs.parity_coef(p, j), chunk, parity);
+            }
+        }
+        let mut fused: Vec<Vec<u8>> = vec![Vec::new(); m];
+        rs.encode_into(&refs, &mut fused).expect("encode_into");
+        prop_assert_eq!(fused, naive);
+    }
+
+    #[test]
+    fn accumulator_handles_ragged_out_of_order_streams(
+        k in 2usize..6,
+        chunk_len in 64usize..2000,
+        mtu in 16usize..512,
+        order_seed in any::<u64>(),
+    ) {
+        // Streaming aggregation over short-tailed packets, with the k
+        // contributions of each aggregation sequence absorbed in a
+        // seed-shuffled order, must equal the block encode.
+        let rs = ReedSolomon::new(k, 1).expect("params");
+        let chunks: Vec<Vec<u8>> = (0..k)
+            .map(|j| (0..chunk_len).map(|i| ((i * 7 + j * 13) % 256) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+        let expect = rs.encode(&refs).expect("block encode");
+
+        let n_pkts = chunk_len.div_ceil(mtu);
+        let mut parity = Vec::with_capacity(chunk_len);
+        let mut ipar = Vec::new();
+        let mut state = order_seed | 1;
+        for i in 0..n_pkts {
+            let mut acc = Accumulator::with_buf(vec![0xAA; mtu], k as u32);
+            // Pseudo-random absorption order of the k contributions.
+            let mut order: Vec<usize> = (0..k).collect();
+            for x in (1..k).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                order.swap(x, (state >> 33) as usize % (x + 1));
+            }
+            for &j in &order {
+                let pkt = &chunks[j][i * mtu..((i + 1) * mtu).min(chunk_len)];
+                intermediate_parity_into(rs.parity_coef(0, j), pkt, &mut ipar);
+                acc.absorb(&ipar);
+            }
+            prop_assert!(acc.is_complete());
+            let len = chunks[0][i * mtu..].len().min(mtu);
+            parity.extend_from_slice(acc.finish(len));
+        }
+        prop_assert_eq!(parity, expect[0].clone());
+    }
+}

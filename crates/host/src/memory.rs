@@ -81,6 +81,25 @@ impl HostMemory {
         out
     }
 
+    /// Read `out.len()` bytes at `addr` into a caller-owned buffer —
+    /// the allocation-free variant of [`Self::read`] the streaming EC
+    /// aggregation loops use. Untouched bytes read as zero.
+    pub fn read_into(&self, addr: u64, out: &mut [u8]) {
+        let len = out.len();
+        let mut off = 0usize;
+        while off < len {
+            let a = addr + off as u64;
+            let page = a >> PAGE_SHIFT;
+            let in_page = (a as usize) & (PAGE_SIZE - 1);
+            let n = (PAGE_SIZE - in_page).min(len - off);
+            match self.pages.get(&page) {
+                Some(p) => out[off..off + n].copy_from_slice(&p[in_page..in_page + n]),
+                None => out[off..off + n].fill(0),
+            }
+            off += n;
+        }
+    }
+
     /// XOR `data` into memory at `addr` (used by CPU-side EC aggregation
     /// fallback and by the firmware EC engine model).
     pub fn xor_in(&mut self, addr: u64, data: &[u8]) {

@@ -102,8 +102,10 @@ mod tests {
 
     #[test]
     fn cycles_respect_clock() {
-        let mut c = PsPinConfig::default();
-        c.clock_ghz = 2.0;
+        let c = PsPinConfig {
+            clock_ghz: 2.0,
+            ..Default::default()
+        };
         assert_eq!(c.cycles(100), Dur::from_ns(50));
     }
 }

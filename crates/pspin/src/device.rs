@@ -19,7 +19,7 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use nadfs_host::DmaEngine;
-use nadfs_simnet::{ComponentId, Ctx, Dur, NetPacket, NodeId, NodePort, Time};
+use nadfs_simnet::{ComponentId, Ctx, Dur, NetPacket, NodeId, NodePort, SharedBufPool, Time};
 use nadfs_wire::{AckPkt, Frame, MsgId, Status};
 
 use crate::config::PsPinConfig;
@@ -136,6 +136,10 @@ pub struct PsPinDevice {
     /// Memory accounting: descriptor bytes in use vs budget.
     desc_bytes_used: u64,
     desc_bytes_budget: u64,
+    /// When set, uniquely-owned DMA-write payloads are recycled here once
+    /// their run retires — closing the handler-side buffer loop (the NIC's
+    /// packet-buffer ring). The execution context shares the same pool.
+    buf_pool: Option<SharedBufPool>,
     telemetry: Rc<RefCell<Telemetry>>,
 }
 
@@ -171,8 +175,16 @@ impl PsPinDevice {
             l1_engine_free,
             egress_waiters: VecDeque::new(),
             desc_bytes_used: 0,
+            buf_pool: None,
             telemetry: Rc::new(RefCell::new(Telemetry::default())),
         }
+    }
+
+    /// Attach the buffer pool retired DMA-write payloads recycle into
+    /// (shared with the execution-context state so handlers draw from the
+    /// same ring).
+    pub fn set_buf_pool(&mut self, pool: SharedBufPool) {
+        self.buf_pool = Some(pool);
     }
 
     /// Shared handle to the device telemetry (Tables I/II, Figs 7/11/16).
@@ -466,7 +478,11 @@ impl PsPinDevice {
         let mut segments = Vec::with_capacity(task.kinds.len());
         for &kind in task.kinds {
             let mut ops = Ops::new();
-            {
+            if kind == HandlerKind::Cleanup {
+                // The cleanup handler takes the state directly, without
+                // the HandlerArgs wrapper (it has no triggering frame).
+                ec.handlers.cleanup(&mut *ec.state, task.msg, &mut ops);
+            } else {
                 let args = HandlerArgs {
                     state: &mut *ec.state,
                     frame: &task.frame,
@@ -480,10 +496,7 @@ impl PsPinDevice {
                     HandlerKind::Header => ec.handlers.header(args),
                     HandlerKind::Payload => ec.handlers.payload(args),
                     HandlerKind::Completion => ec.handlers.completion(args),
-                    HandlerKind::Cleanup => {
-                        drop(args);
-                        ec.handlers.cleanup(&mut *ec.state, task.msg, &mut ops);
-                    }
+                    HandlerKind::Cleanup => unreachable!("handled above"),
                 }
             }
             segments.push((kind, ops.items, ops.instrs));
@@ -534,7 +547,7 @@ impl PsPinDevice {
             let op = &run.segments[run.seg].1[run.op];
             match op {
                 Op::Charge { cycles } => {
-                    run.t = run.t + self.cfg.cycles(*cycles);
+                    run.t += self.cfg.cycles(*cycles);
                     run.op += 1;
                 }
                 Op::Send { dst, frame } => {
@@ -605,12 +618,28 @@ impl PsPinDevice {
     }
 
     fn on_run_done(&mut self, ctx: &mut Ctx<'_>, run_id: u64) {
-        let run = self.runs.remove(&run_id).expect("live run");
+        let mut run = self.runs.remove(&run_id).expect("live run");
         if run.cluster != usize::MAX {
             self.clusters[run.cluster].free_hpus += 1;
         }
         let kinds: Vec<HandlerKind> = run.segments.iter().map(|s| s.0).collect();
         let msg = run.msg;
+        // The run's recorded ops die here; recycle any DMA-write payload
+        // this NIC was the last owner of (pooled accumulators, landed
+        // packet data whose frames have all been dropped) back into the
+        // packet-buffer ring.
+        if let Some(pool) = &self.buf_pool {
+            let mut pool = pool.borrow_mut();
+            for (_, ops, _) in run.segments.drain(..) {
+                for op in ops {
+                    if let Op::DmaWrite { data, .. } = op {
+                        if let Ok(v) = data.try_unwrap() {
+                            pool.put(v);
+                        }
+                    }
+                }
+            }
+        }
         let mut close = false;
         let mut enqueue_ch: Option<Task> = None;
         if let Some(st) = self.msgs.get_mut(&msg) {
@@ -926,8 +955,10 @@ mod tests {
         let sink_id = e.reserve_id(); // fanout target that consumes silently
         let mut fab: Fabric<Frame> = Fabric::new(FabricConfig::default(), fid);
         let cport = fab.register_node(client_id, None);
-        let mut cfg = PsPinConfig::default();
-        cfg.cleanup_timeout = Dur::from_ms(cleanup_ms);
+        let cfg = PsPinConfig {
+            cleanup_timeout: Dur::from_ms(cleanup_ms),
+            ..Default::default()
+        };
         let nport = fab.register_node(nic_id, Some(cfg.pktbuf_slots));
         let sport = fab.register_node(sink_id, None);
         e.install(fid, Box::new(fab));

@@ -208,8 +208,10 @@ impl EcEngine {
                 let EcRole::Data { chunk_idx } = info.role else {
                     return;
                 };
-                // DMA-read the chunk back from host memory.
-                let (data, ready) = core.dma.borrow_mut().read(now, addr, len as usize);
+                // DMA-read the chunk back from host memory into a pooled
+                // staging buffer (store-and-forward, no fresh allocation).
+                let mut chunk_buf = core.pool.borrow_mut().get_dirty(len as usize);
+                let ready = core.dma.borrow_mut().read_into(now, addr, &mut chunk_buf);
                 let engine = core.ec.as_mut().expect("engine enabled");
                 let m = info.scheme.m;
                 let k = info.scheme.k;
@@ -222,10 +224,12 @@ impl EcEngine {
                     .map(|p| engine.rs(k, m).parity_coef(p as usize, chunk_idx as usize))
                     .collect();
                 // Build and (deferred to send_at) emit the intermediate
-                // parity writes to each parity node.
+                // parity writes to each parity node. Each product lands in
+                // a pooled buffer via the in-place wide-word kernel.
                 let mut sends = Vec::new();
                 for (p, coef) in coefs.into_iter().enumerate() {
-                    let ipar = nadfs_gfec::intermediate_parity(coef, &data);
+                    let mut ipar = core.pool.borrow_mut().get_dirty(chunk_buf.len());
+                    nadfs_gfec::intermediate_parity_into(coef, &chunk_buf, &mut ipar);
                     let coord = info.parity_coords[p];
                     // Staging layout at the parity node: final parity chunk
                     // at `coord.addr`, then k staging slots of chunk_len.
@@ -245,6 +249,7 @@ impl EcEngine {
                     };
                     sends.push((coord.node as NodeId, wrh, Bytes::from(ipar)));
                 }
+                core.pool.borrow_mut().put(chunk_buf);
                 ctx.schedule_self(
                     send_at.since(now),
                     Box::new(crate::nic::DeferredWrites { sends, dfs }),
@@ -257,25 +262,35 @@ impl EcEngine {
                 };
                 let xor_cost = engine.cfg.xor_bw.tx_time(st.chunk_len as u64 * st.k as u64);
                 engine.parities_written += 1;
-                // Read back the k staged chunks (DMA read channel), XOR,
-                // write the final parity.
-                let mut acc = vec![0u8; st.chunk_len as usize];
+                // Read back the k staged chunks (DMA read channel) into a
+                // pooled scratch buffer, XOR wide-word into a pooled
+                // accumulator, write the final parity. Zero allocations in
+                // steady state.
+                let (mut acc, mut scratch) = {
+                    let mut pool = core.pool.borrow_mut();
+                    (
+                        pool.get(st.chunk_len as usize),
+                        pool.get_dirty(st.chunk_len as usize),
+                    )
+                };
                 let mut ready = now;
                 for j in 0..st.k {
                     let staging = st.final_addr + (1 + j as u64) * st.chunk_len as u64;
-                    let (data, r) =
-                        core.dma
-                            .borrow_mut()
-                            .read(ready, staging, st.chunk_len as usize);
-                    ready = r;
-                    for (a, d) in acc.iter_mut().zip(data.iter()) {
-                        *a ^= d;
-                    }
+                    ready = core
+                        .dma
+                        .borrow_mut()
+                        .read_into(ready, staging, &mut scratch);
+                    nadfs_gfec::gf256::xor_slice(&scratch, &mut acc);
                 }
                 let write_done = core
                     .dma
                     .borrow_mut()
                     .write(ready + xor_cost, st.final_addr, &acc);
+                {
+                    let mut pool = core.pool.borrow_mut();
+                    pool.put(scratch);
+                    pool.put(acc);
+                }
                 // Ack the client once the final parity is durable.
                 let ack = AckPkt {
                     msg: MsgId::new(core.node() as u32, st.greq),

@@ -12,7 +12,8 @@ use bytes::Bytes;
 use nadfs_host::{Cpu, CpuCosts, DmaConfig, DmaEngine, HostMemory, SharedMemory};
 use nadfs_pspin::{HostNotify, PsPinConfig, PsPinDevice, PsPinEvent};
 use nadfs_simnet::{
-    Arrive, Component, ComponentId, Ctx, Dur, GateWake, NetPacket, NodeId, NodePort, Time,
+    Arrive, BufPool, Component, ComponentId, Ctx, Dur, GateWake, NetPacket, NodeId, NodePort,
+    SharedBufPool, Time,
 };
 use nadfs_wire::{
     split_payload, write_payload_caps, AckPkt, DfsHeader, Frame, HlConfigPkt, MsgId, ReadReqHeader,
@@ -121,6 +122,10 @@ pub struct NicCore {
     pspin: Option<PsPinDevice>,
     pub(crate) chains: Chains,
     pub(crate) ec: Option<EcEngine>,
+    /// Recycled payload buffers (the NIC's packet-buffer ring): landed
+    /// write payloads retire here and the EC engine / handlers draw
+    /// intermediate-parity and accumulator buffers from it.
+    pub(crate) pool: SharedBufPool,
     out_q: VecDeque<(NodeId, Frame)>,
     next_seq: u64,
     raw_writes: HashMap<MsgId, RawWriteState>,
@@ -164,9 +169,17 @@ impl NicCore {
             .any(|&(a, l)| addr >= a && addr + len <= a + l)
     }
 
-    /// Install PsPIN with an execution context on this NIC.
+    /// This NIC's recycled payload-buffer ring.
+    pub fn buf_pool(&self) -> SharedBufPool {
+        self.pool.clone()
+    }
+
+    /// Install PsPIN with an execution context on this NIC. The device
+    /// shares the NIC's buffer pool, so handler DMA-write payloads recycle
+    /// into the same ring the handlers allocate from.
     pub fn install_pspin(&mut self, cfg: PsPinConfig, ec: nadfs_pspin::ExecutionContext) {
         let mut dev = PsPinDevice::new(cfg, self.port.clone(), self.dma.clone(), self.self_id);
+        dev.set_buf_pool(self.pool.clone());
         dev.install_context(ec);
         self.pspin = Some(dev);
     }
@@ -421,6 +434,11 @@ impl NicCore {
         st.flush = st.flush.max(done);
         st.pkts_seen += 1;
         st.bytes += w.data.len() as u32;
+        // Payload is durable; if this was the last live reference to the
+        // message's backing buffer, recycle it into the NIC's ring.
+        if let Ok(v) = w.data.try_unwrap() {
+            self.pool.borrow_mut().put(v);
+        }
         let complete = st.pkts_seen == st.total;
         let chain_write = st.chain_write;
         if chain_write {
@@ -578,6 +596,10 @@ impl Nic {
                 pspin: None,
                 chains: Chains::default(),
                 ec: None,
+                // 256 retained buffers, byte-capped by the pool's default
+                // retained-capacity budget (recycled whole-block payloads
+                // can be large); bounds pool memory like a real RX ring.
+                pool: BufPool::shared(256),
                 out_q: VecDeque::new(),
                 next_seq: 0,
                 raw_writes: HashMap::new(),
@@ -603,11 +625,10 @@ impl Component for Nic {
                 let src = a.pkt.src;
                 match a.pkt.payload {
                     Frame::Write(w) => {
-                        if core.pspin.is_some() {
+                        if let Some(dev) = core.pspin.as_mut() {
                             // PsPIN matches all incoming RDMA write traffic;
                             // it owns the ingress credit until L1 copy.
                             let pkt = NetPacket::new(src, core.port.node, Frame::Write(w));
-                            let dev = core.pspin.as_mut().expect("pspin");
                             dev.ingest(ctx, pkt);
                             return;
                         }

@@ -18,6 +18,7 @@ use nadfs_wire::{
 type Action = Box<dyn FnMut(&mut NicCore, &mut Ctx<'_>)>;
 
 #[derive(Clone, Default)]
+#[allow(clippy::type_complexity)]
 struct Record {
     acks: Rc<RefCell<Vec<(Time, NodeId, AckPkt)>>>,
     rpcs: Rc<RefCell<Vec<(Time, NodeId, RpcBody, Bytes)>>>,
@@ -442,8 +443,10 @@ fn mr_protection_rejects_out_of_region_writes() {
         ]),
         HashMap::new(),
     ];
-    let mut cfg = NicConfig::default();
-    cfg.enforce_mr = true;
+    let cfg = NicConfig {
+        enforce_mr: true,
+        ..Default::default()
+    };
     let mut c = build(2, actions, setups, cfg);
     kick(&mut c, 0, 1, Dur::ZERO);
     kick(&mut c, 0, 2, Dur::from_us(5));

@@ -427,6 +427,7 @@ mod tests {
         }
     }
 
+    #[allow(clippy::type_complexity)]
     fn build(
         consume: Dur,
         n_pkts: u32,

@@ -15,6 +15,7 @@ pub mod engine;
 pub mod fabric;
 pub mod gate;
 pub mod packet;
+pub mod pool;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -23,5 +24,6 @@ pub use engine::{Component, ComponentId, Ctx, Engine};
 pub use fabric::{Fabric, FabricConfig, FabricStats, NodePort, Submit};
 pub use gate::{Gate, GateWake, SharedGate};
 pub use packet::{Arrive, NetPacket, NodeId, Payload};
+pub use pool::{BufPool, PoolStats, SharedBufPool};
 pub use time::{achieved_gbit_per_sec, Bandwidth, Dur, Time};
 pub use trace::{SharedTrace, Trace, TraceEntry};

@@ -1,0 +1,288 @@
+//! Recycled, length-tracked byte buffers for packet payloads.
+//!
+//! The streaming EC data path touches a buffer per packet (intermediate
+//! parities, aggregation accumulators, DMA staging). Allocating each one
+//! fresh puts the allocator on the per-packet critical path; a real NIC
+//! instead cycles a fixed ring of buffers. [`BufPool`] models that
+//! discipline: `get` hands out a zeroed buffer (reusing a retired
+//! allocation when one is available), `put` retires a buffer for reuse.
+//! Hit/miss counters make the steady-state allocation rate observable —
+//! the `ec_throughput` benchmark asserts it reaches zero.
+//!
+//! The pool is deliberately dumb about sizing: any retired buffer whose
+//! *capacity* covers a request can serve it (`get` length-tracks via
+//! `Vec::resize`), so one pool serves mixed packet sizes (full MTU
+//! payloads plus ragged tails).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Counters exposed for benchmarks and diagnostics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolStats {
+    /// Buffers handed out.
+    pub gets: u64,
+    /// Handed out from the free list (no allocation).
+    pub hits: u64,
+    /// Handed out by allocating fresh (the free list was empty or too
+    /// small).
+    pub misses: u64,
+    /// Buffers returned.
+    pub puts: u64,
+    /// Returned buffers dropped because the pool was at capacity.
+    pub dropped: u64,
+}
+
+impl PoolStats {
+    /// Fraction of `get`s served without allocating.
+    pub fn hit_rate(&self) -> f64 {
+        if self.gets == 0 {
+            return 1.0;
+        }
+        self.hits as f64 / self.gets as f64
+    }
+}
+
+/// Default cap on bytes retained per pool: enough for a deep ring of
+/// chunk-sized staging buffers without letting recycled whole-block
+/// payloads (which can be many MiB each) accumulate without bound.
+pub const DEFAULT_MAX_RETAINED_BYTES: usize = 16 << 20;
+
+/// A pool of recycled byte buffers. Single-threaded (the simulator is a
+/// single-threaded event loop); share it as a [`SharedBufPool`].
+///
+/// The free list is kept sorted by capacity, so `get` is a binary search
+/// (best fit) rather than a scan — it sits on the per-packet path.
+#[derive(Debug)]
+pub struct BufPool {
+    /// Free buffers, sorted by ascending capacity.
+    free: Vec<Vec<u8>>,
+    /// Maximum retired buffers retained; beyond this, `put` drops.
+    max_retained: usize,
+    /// Maximum total capacity retained (bounds memory when block-sized
+    /// payloads recycle through a ring sized in buffer counts).
+    max_retained_bytes: usize,
+    /// Total capacity currently on the free list.
+    retained_bytes: usize,
+    stats: PoolStats,
+}
+
+/// Shared handle; one per NIC (or per benchmark loop).
+pub type SharedBufPool = Rc<RefCell<BufPool>>;
+
+impl BufPool {
+    /// New pool retaining at most `max_retained` free buffers and
+    /// [`DEFAULT_MAX_RETAINED_BYTES`] of capacity.
+    pub fn new(max_retained: usize) -> BufPool {
+        BufPool::with_byte_cap(max_retained, DEFAULT_MAX_RETAINED_BYTES)
+    }
+
+    /// New pool with an explicit retained-capacity budget.
+    pub fn with_byte_cap(max_retained: usize, max_retained_bytes: usize) -> BufPool {
+        BufPool {
+            free: Vec::new(),
+            max_retained,
+            max_retained_bytes,
+            retained_bytes: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// New pool behind a shared handle.
+    pub fn shared(max_retained: usize) -> SharedBufPool {
+        Rc::new(RefCell::new(BufPool::new(max_retained)))
+    }
+
+    /// Best-fit take: the smallest free buffer with capacity ≥ `len`
+    /// (binary search on the sorted free list), so a handful of jumbo
+    /// buffers don't get nibbled away by small requests.
+    fn take_fit(&mut self, len: usize) -> Option<Vec<u8>> {
+        let i = self.free.partition_point(|b| b.capacity() < len);
+        if i == self.free.len() {
+            return None;
+        }
+        let buf = self.free.remove(i);
+        self.retained_bytes -= buf.capacity();
+        Some(buf)
+    }
+
+    /// A zeroed buffer of exactly `len` bytes, recycled when possible.
+    pub fn get(&mut self, len: usize) -> Vec<u8> {
+        self.stats.gets += 1;
+        match self.take_fit(len) {
+            Some(mut buf) => {
+                self.stats.hits += 1;
+                buf.clear();
+                buf.resize(len, 0);
+                buf
+            }
+            None => {
+                self.stats.misses += 1;
+                vec![0u8; len]
+            }
+        }
+    }
+
+    /// A buffer of exactly `len` bytes with **unspecified contents** —
+    /// for callers that overwrite every byte (e.g. a full-slice multiply
+    /// or DMA read), skipping `get`'s zero fill on the hot path.
+    pub fn get_dirty(&mut self, len: usize) -> Vec<u8> {
+        self.stats.gets += 1;
+        match self.take_fit(len) {
+            Some(mut buf) => {
+                self.stats.hits += 1;
+                if buf.len() >= len {
+                    buf.truncate(len);
+                } else {
+                    buf.resize(len, 0); // only the extension is filled
+                }
+                buf
+            }
+            None => {
+                self.stats.misses += 1;
+                vec![0u8; len]
+            }
+        }
+    }
+
+    /// Retire a buffer for reuse. Zero-capacity buffers are dropped (there
+    /// is nothing to reuse); beyond the count or byte budget the buffer is
+    /// freed instead.
+    pub fn put(&mut self, buf: Vec<u8>) {
+        self.stats.puts += 1;
+        if buf.capacity() == 0
+            || self.free.len() >= self.max_retained
+            || self.retained_bytes + buf.capacity() > self.max_retained_bytes
+        {
+            self.stats.dropped += 1;
+            return;
+        }
+        self.retained_bytes += buf.capacity();
+        let i = self.free.partition_point(|b| b.capacity() < buf.capacity());
+        self.free.insert(i, buf);
+    }
+
+    /// Buffers currently available for reuse.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total capacity (bytes) currently retained on the free list.
+    pub fn retained_bytes(&self) -> usize {
+        self.retained_bytes
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Reset the counters (buffers stay pooled) — lets a benchmark measure
+    /// the steady state separately from warmup.
+    pub fn reset_stats(&mut self) {
+        self.stats = PoolStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_cycle_reuses_allocation() {
+        let mut p = BufPool::new(8);
+        let a = p.get(100);
+        assert_eq!(a.len(), 100);
+        let ptr = a.as_ptr();
+        p.put(a);
+        let b = p.get(64);
+        assert_eq!(b.len(), 64);
+        assert_eq!(b.as_ptr(), ptr, "smaller request reuses the buffer");
+        let s = p.stats();
+        assert_eq!((s.gets, s.hits, s.misses), (2, 1, 1));
+    }
+
+    #[test]
+    fn recycled_buffers_come_back_zeroed() {
+        let mut p = BufPool::new(8);
+        let mut a = p.get(16);
+        a.fill(0xFF);
+        p.put(a);
+        let b = p.get(16);
+        assert_eq!(b, vec![0u8; 16]);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_adequate_buffer() {
+        let mut p = BufPool::new(8);
+        let big = Vec::with_capacity(4096);
+        let small = Vec::with_capacity(128);
+        p.put(big);
+        p.put(small);
+        let b = p.get(64);
+        assert!(b.capacity() < 4096, "small request must not take the jumbo");
+        let j = p.get(2048);
+        assert!(j.capacity() >= 4096, "jumbo still available for a big ask");
+    }
+
+    #[test]
+    fn capacity_cap_drops_excess() {
+        let mut p = BufPool::new(2);
+        for _ in 0..4 {
+            p.put(Vec::with_capacity(10));
+        }
+        assert_eq!(p.available(), 2);
+        assert_eq!(p.stats().dropped, 2);
+    }
+
+    #[test]
+    fn byte_budget_bounds_retained_memory() {
+        let mut p = BufPool::with_byte_cap(256, 1000);
+        p.put(Vec::with_capacity(600));
+        p.put(Vec::with_capacity(600)); // would exceed 1000 retained bytes
+        assert_eq!(p.available(), 1);
+        assert_eq!(p.stats().dropped, 1);
+        assert!(p.retained_bytes() <= 1000);
+        // Draining the pool frees the budget again.
+        let b = p.get(600);
+        assert_eq!(p.retained_bytes(), 0);
+        p.put(b);
+        assert_eq!(p.available(), 1);
+    }
+
+    #[test]
+    fn get_dirty_skips_zeroing_but_tracks_length() {
+        let mut p = BufPool::new(8);
+        let mut a = p.get(32);
+        a.fill(0xAB);
+        p.put(a);
+        let d = p.get_dirty(16);
+        assert_eq!(d.len(), 16);
+        assert_eq!(d, vec![0xAB; 16], "contents are unspecified, not zeroed");
+        p.put(d);
+        let grown = p.get_dirty(24);
+        assert_eq!(grown.len(), 24);
+        assert_eq!(&grown[..16], &[0xAB; 16][..]);
+    }
+
+    #[test]
+    fn too_small_free_buffer_is_a_miss_not_a_panic() {
+        let mut p = BufPool::new(8);
+        p.put(Vec::with_capacity(8));
+        let b = p.get(1024);
+        assert_eq!(b.len(), 1024);
+        assert_eq!(p.stats().misses, 1);
+        assert_eq!(p.available(), 1, "small buffer stays pooled");
+    }
+
+    #[test]
+    fn hit_rate_reporting() {
+        let mut p = BufPool::new(8);
+        assert_eq!(p.stats().hit_rate(), 1.0, "vacuous before any get");
+        let a = p.get(10);
+        p.put(a);
+        let _b = p.get(10);
+        assert_eq!(p.stats().hit_rate(), 0.5);
+        p.reset_stats();
+        assert_eq!(p.stats().gets, 0);
+    }
+}

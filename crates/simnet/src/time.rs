@@ -246,7 +246,7 @@ mod tests {
     fn tx_time_rounds_up() {
         // 3 bits/s: 1 byte = 8 bits -> 8/3 s, must round up.
         let bw = Bandwidth::from_bits_per_sec(3);
-        assert_eq!(bw.tx_time(1).0, (8_000_000_000_000u64 + 2) / 3);
+        assert_eq!(bw.tx_time(1).0, 8_000_000_000_000u64.div_ceil(3));
     }
 
     #[test]

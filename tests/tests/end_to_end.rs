@@ -149,7 +149,7 @@ fn ec_write_survives_m_failures_and_recovers_bytes() {
             .data_chunks
             .iter()
             .chain(&r.placement.parities)
-            .map(|c| shard(c))
+            .map(shard)
             .collect();
         let rs = ReedSolomon::new(k, m).expect("params");
         let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();

@@ -113,9 +113,9 @@ proptest! {
         // Choose up to m erasures from the pattern bits.
         let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
         let mut erased = 0;
-        for i in 0..(k + m) {
+        for (i, shard) in shards.iter_mut().enumerate().take(k + m) {
             if erased < m && (pattern >> i) & 1 == 1 {
-                shards[i] = None;
+                *shard = None;
                 erased += 1;
             }
         }

@@ -63,6 +63,19 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_ref().to_vec()
     }
+
+    /// Recover the backing `Vec` when this handle is the sole owner —
+    /// the hook buffer pools use to recycle a packet payload once the last
+    /// reference drops out of the data path. The vector is returned whole
+    /// (its capacity is what a pool cares about), regardless of the view
+    /// window. When other references remain, `self` is handed back.
+    pub fn try_unwrap(self) -> Result<Vec<u8>, Bytes> {
+        let Bytes { data, start, end } = self;
+        match Rc::try_unwrap(data) {
+            Ok(v) => Ok(v),
+            Err(data) => Err(Bytes { data, start, end }),
+        }
+    }
 }
 
 impl From<Vec<u8>> for Bytes {
@@ -314,6 +327,21 @@ mod tests {
         let s = b.slice(2..5);
         assert_eq!(s.as_ref(), &[2, 3, 4]);
         assert_eq!(s.slice(1..).as_ref(), &[3, 4]);
+    }
+
+    #[test]
+    fn try_unwrap_recovers_unique_buffer() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let window = b.slice(1..3);
+        drop(b);
+        // Sole remaining owner: the full vec comes back, window or not.
+        let v = window.try_unwrap().expect("unique");
+        assert_eq!(v, vec![1, 2, 3, 4]);
+
+        let shared = Bytes::from(vec![9u8; 8]);
+        let clone = shared.clone();
+        let back = shared.try_unwrap().expect_err("still shared");
+        assert_eq!(back.as_ref(), clone.as_ref());
     }
 
     #[test]
