@@ -1,7 +1,7 @@
 //! Erasure-coding data-path throughput: old vs new kernels, and the
 //! per-packet streaming loop with and without buffer pooling.
 //!
-//! Three sections:
+//! Four sections:
 //!
 //! 1. **mul_acc kernel** — the seed byte-at-a-time table walk
 //!    (`gf256::scalar`) against the wide-word shuffle kernel
@@ -10,7 +10,11 @@
 //!    allocations, one full pass per parity row) against the fused
 //!    `encode_into` (cached rows, tiled multi-row accumulation, reused
 //!    buffers), MB/s of source data.
-//! 3. **stream loop** — the per-packet TriEC path (intermediate parity
+//! 3. **repair** — degraded-read reconstruction: the allocate-and-clone
+//!    `reconstruct` discipline against `reconstruct_into` (survivor
+//!    refs, reused output buffers, cached decode matrix), MB/s of
+//!    recovered shards.
+//! 4. **stream loop** — the per-packet TriEC path (intermediate parity
 //!    multiply at the data node, XOR aggregation at the parity node) with
 //!    the seed's allocate-per-packet discipline against the pooled
 //!    zero-alloc discipline, packets/s. The pooled loop's steady-state
@@ -156,6 +160,65 @@ fn bench_block_encode(pairs: &mut Vec<Pair>, k: usize, m: usize, chunk_len: usiz
     });
 }
 
+/// Section 4: repair (degraded-read reconstruction), the seed's
+/// allocate-and-clone `reconstruct` discipline against `reconstruct_into`
+/// with reused output buffers and survivor references. Throughput is
+/// recovered bytes per second.
+fn bench_repair(pairs: &mut Vec<Pair>, k: usize, m: usize, chunk_len: usize) {
+    let rs = ReedSolomon::new(k, m).expect("params");
+    let chunks: Vec<Vec<u8>> = (0..k)
+        .map(|j| {
+            (0..chunk_len)
+                .map(|i| ((i * 13 + j * 29) % 251) as u8)
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+    let parities = rs.encode(&refs).expect("encode");
+    let full: Vec<Vec<u8>> = chunks.iter().cloned().chain(parities).collect();
+    // Erase one data and one parity shard — the common repair shape.
+    let missing = [0usize, k];
+    let recovered_bytes = (missing.len() * chunk_len) as f64;
+
+    // Old discipline: clone every survivor into an Option vec (what a
+    // naive repair loop does each round), reconstruct in place.
+    let t_old = time_per_call(|| {
+        let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        for &i in &missing {
+            shards[i] = None;
+        }
+        rs.reconstruct(std::hint::black_box(&mut shards))
+            .expect("reconstruct");
+        std::hint::black_box(&shards);
+    });
+
+    // New discipline: survivor refs, reused output buffers — no per-round
+    // allocation at all.
+    let shards: Vec<Option<&[u8]>> = full
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (!missing.contains(&i)).then_some(s.as_slice()))
+        .collect();
+    let mut out: Vec<Vec<u8>> = vec![Vec::new(); missing.len()];
+    let t_new = time_per_call(|| {
+        rs.reconstruct_into(
+            std::hint::black_box(&shards),
+            &missing,
+            std::hint::black_box(&mut out),
+        )
+        .expect("reconstruct_into");
+    });
+    for (o, &i) in out.iter().zip(&missing) {
+        assert_eq!(o, &full[i], "repair paths must agree");
+    }
+    pairs.push(Pair {
+        label: format!("rs({k},{m}) repair 2 shards {}KiB (MB/s)", chunk_len >> 10),
+        unit: "MB/s",
+        old: recovered_bytes / t_old / 1e6,
+        new: recovered_bytes / t_new / 1e6,
+    });
+}
+
 /// Streaming-path parameters shared by the old and new loops.
 struct StreamSetup {
     rs: ReedSolomon,
@@ -262,6 +325,7 @@ pub fn run() -> EcThroughputReport {
     bench_mul_acc(&mut pairs);
     bench_block_encode(&mut pairs, 3, 2, 1 << 20);
     bench_block_encode(&mut pairs, 6, 3, 1 << 20);
+    bench_repair(&mut pairs, 6, 3, 1 << 20);
     let (pool_hit_rate, steady_state_pool_misses, steady_state_packets) = bench_stream(&mut pairs);
     EcThroughputReport {
         pairs,

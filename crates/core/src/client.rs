@@ -11,12 +11,13 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use bytes::Bytes;
-use nadfs_meta::{CachedEntry, LayoutSpec, MetaCache, MetaError};
+use nadfs_gfec::ReedSolomon;
+use nadfs_meta::{CachedEntry, LayoutSpec, MetaCache, MetaError, ReadPiece};
 use nadfs_rdma::{NicApp, NicCore};
 use nadfs_simnet::{Ctx, Dur, NodeId, Time};
 use nadfs_wire::{
-    AckPkt, Capability, DfsHeader, DfsOp, EcInfo, EcRole, Frame, HlConfigPkt, MsgId, Resiliency,
-    Rights, RpcBody, Status, WriteReqHeader,
+    payload_checksum, AckPkt, Capability, DfsHeader, DfsOp, EcInfo, EcRole, Frame, HlConfigPkt,
+    MsgId, ReadReqHeader, Resiliency, Rights, RpcBody, RsScheme, Status, WriteReqHeader,
 };
 
 use crate::config::MetaCosts;
@@ -27,6 +28,9 @@ pub const KICK: u64 = 0;
 const RETRY_BASE: u64 = 0x5254_0000_0000_0000;
 const ISSUE_BASE: u64 = 0x4953_0000_0000_0000;
 const META_BASE: u64 = 0x4D45_0000_0000_0000;
+const READ_FIN_BASE: u64 = 0x5246_0000_0000_0000;
+const READ_SUB_BASE: u64 = 0x5244_0000_0000_0000;
+const READ_ISSUE_BASE: u64 = 0x5249_0000_0000_0000;
 
 /// Buffered write-back attr updates are flushed to the control plane once
 /// this many files are dirty (one round-trip for the whole batch).
@@ -95,14 +99,47 @@ pub enum MetaOpKind {
     Unlink,
 }
 
+/// How a file-level read travels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadProtocol {
+    /// Per-extent fan-out of one-sided RDMA reads, capability-validated on
+    /// the storage NIC (the read-side analog of the sPIN write path).
+    Rdma,
+    /// SEND request per extent; the storage CPU validates, then streams
+    /// the bytes back (the CPU baseline).
+    Rpc,
+}
+
 /// One unit of client work.
 #[derive(Clone, Debug)]
 pub enum Job {
+    /// Legacy write with a seed-generated payload (the workload/benchmark
+    /// adapter; real data goes through [`Job::WriteAt`]).
     Write {
         file: u64,
         size: u32,
         protocol: WriteProtocol,
         seed: u64,
+    },
+    /// Handle-API write: explicit bytes at an explicit offset (`None` =
+    /// append at the cursor). The typed completion lands in `slot`.
+    WriteAt {
+        file: u64,
+        offset: Option<u64>,
+        data: Bytes,
+        protocol: WriteProtocol,
+        slot: Option<WriteSlot>,
+    },
+    /// File-level ranged read: layout resolution, per-stripe fan-out,
+    /// client-side reassembly, degraded reconstruction when a storage
+    /// node is marked failed.
+    Read {
+        file: u64,
+        offset: u64,
+        len: u32,
+        protocol: ReadProtocol,
+        token: u64,
+        slot: Option<ReadSlot>,
     },
     /// One-sided read of a raw region (verification / read-path latency).
     RawRead {
@@ -126,15 +163,49 @@ pub struct WriteResult {
     pub end: Time,
     pub status: Status,
     pub retries: u32,
+    /// Checksum of the payload as sent (reads can verify against it).
+    pub checksum: u64,
     /// Placement used (lets tests verify stored bytes).
     pub placement: WritePlacement,
 }
 
+/// Raw-region read completion (the legacy `Job::RawRead`).
 #[derive(Clone, Debug)]
 pub struct ReadResult {
     pub token: u64,
     pub end: Time,
+    /// Bytes fetched.
+    pub len: u32,
+    /// Checksum of the fetched bytes (read-back verification).
+    pub checksum: u64,
 }
+
+/// Typed completion of one file-level read.
+#[derive(Clone, Debug)]
+pub struct ReadCompletion {
+    pub token: u64,
+    pub client: NodeId,
+    pub file: u64,
+    pub protocol: ReadProtocol,
+    pub offset: u64,
+    /// Bytes actually returned (requests past EOF come back short).
+    pub len: u32,
+    pub start: Time,
+    pub end: Time,
+    pub status: Status,
+    /// Stripes served through degraded reconstruction.
+    pub degraded_stripes: u32,
+    /// Checksum of `data` (compare against the writes' checksums).
+    pub checksum: u64,
+    pub data: Bytes,
+}
+
+/// Oneshot completion slot: the driver fills it exactly once when the op
+/// completes; the submitter polls it between sim slices. This is the
+/// typed per-op channel the `FsClient` facade uses instead of digging
+/// through the shared [`ResultSink`].
+pub type ReadSlot = Rc<RefCell<Option<ReadCompletion>>>;
+pub type WriteSlot = Rc<RefCell<Option<WriteResult>>>;
 
 /// Completion record of one metadata operation.
 #[derive(Clone, Debug)]
@@ -155,6 +226,9 @@ pub struct MetaResult {
 pub struct ResultSink {
     pub writes: Vec<WriteResult>,
     pub reads: Vec<ReadResult>,
+    /// File-level read completions (every one is also delivered through
+    /// its oneshot slot, when the job carried one).
+    pub file_reads: Vec<ReadCompletion>,
     pub metas: Vec<MetaResult>,
 }
 
@@ -171,6 +245,9 @@ enum Phase {
 struct Pending {
     job: Job,
     placement: WritePlacement,
+    /// The payload (kept for HyperLoop's deferred data phase).
+    data: Bytes,
+    checksum: u64,
     start: Time,
     acks_needed: u32,
     acks_got: u32,
@@ -179,6 +256,42 @@ struct Pending {
     status: Status,
     /// Message ids belonging to this request (for greq-less acks).
     msgs: Vec<MsgId>,
+}
+
+/// One degraded erasure-coded stripe within an in-flight read: the k
+/// surviving shards land in `scratch`; reconstruction fills the `copy`
+/// ranges of the destination buffer.
+struct DegradedFetch {
+    scheme: RsScheme,
+    chunk_len: u32,
+    /// Client-memory staging base: fetched shard `s` lands at
+    /// `scratch + s * chunk_len` (slot order follows `fetched`).
+    scratch: u64,
+    /// Shard index (0..k+m) of each fetched slot.
+    fetched: Vec<usize>,
+    copy: Vec<nadfs_meta::ChunkCopy>,
+}
+
+/// One in-flight file-level read (fan-out issued, awaiting pieces).
+struct PendingReadOp {
+    token: u64,
+    file: u64,
+    protocol: ReadProtocol,
+    offset: u64,
+    /// Clamped length being served.
+    len: u32,
+    /// Destination buffer in client memory.
+    dest: u64,
+    start: Time,
+    subs_left: u32,
+    status: Status,
+    degraded: Vec<DegradedFetch>,
+    /// Request message ids (for NACK routing and cleanup).
+    msgs: Vec<MsgId>,
+    /// Sub-fetch tokens (for map cleanup: a NACKed piece never fires
+    /// `on_read_done`, so its token entry must be reaped at completion).
+    subs: Vec<u64>,
+    slot: Option<ReadSlot>,
 }
 
 /// The client node software.
@@ -196,9 +309,31 @@ pub struct ClientApp {
     /// every Nth job is abandoned when set.
     pub abandon_every: Option<u64>,
     jobs_started: u64,
-    read_tokens: HashMap<u64, u64>,
+    /// Raw-read token → (local address, length) for checksum at completion.
+    read_tokens: HashMap<u64, (u64, u32)>,
     retry_stash: Vec<(u64, Job, WritePlacement, u32)>,
     issue_stash: Vec<(u64, Job, WritePlacement, Time)>,
+    /// In-flight file reads by internal op id.
+    reads_in_flight: HashMap<u64, PendingReadOp>,
+    /// Sub-fetch token → op id.
+    read_sub_to_op: HashMap<u64, u64>,
+    /// Request message → op id (NACK routing).
+    read_msg_to_op: HashMap<MsgId, u64>,
+    next_read_op: u64,
+    next_read_sub: u64,
+    /// Deferred read completions waiting out the reconstruction CPU cost.
+    read_fin_stash: Vec<(u64, u64)>,
+    /// Read fan-outs waiting out the verbs-post (doorbell) cost:
+    /// (tag, op id, fetches as (node, addr, len, local), DFS header).
+    #[allow(clippy::type_complexity)]
+    read_issue_stash: Vec<(u64, u64, Vec<(NodeId, u64, u32, u64)>, DfsHeader)>,
+    /// Cached READ capabilities by file.
+    read_caps: HashMap<u64, Capability>,
+    /// Expiry stamped into issued READ capabilities (tests set this into
+    /// the past to exercise capability-expired reads).
+    pub read_cap_expires_at_ns: u64,
+    /// Cached RS codecs for client-side degraded reconstruction.
+    rs_cache: HashMap<(u8, u8), ReedSolomon>,
     /// Client-side metadata cache (registered with the control plane for
     /// invalidation callbacks at construction).
     pub meta_cache: Rc<RefCell<MetaCache>>,
@@ -244,6 +379,16 @@ impl ClientApp {
             read_tokens: HashMap::new(),
             retry_stash: Vec::new(),
             issue_stash: Vec::new(),
+            reads_in_flight: HashMap::new(),
+            read_sub_to_op: HashMap::new(),
+            read_msg_to_op: HashMap::new(),
+            next_read_op: 0,
+            next_read_sub: 0,
+            read_fin_stash: Vec::new(),
+            read_issue_stash: Vec::new(),
+            read_caps: HashMap::new(),
+            read_cap_expires_at_ns: u64::MAX / 2,
+            rs_cache: HashMap::new(),
             meta_cache,
             cache_enabled: true,
             meta_costs: MetaCosts::default(),
@@ -280,6 +425,26 @@ impl ClientApp {
         }
     }
 
+    /// DFS header for a read: a READ capability (cached per file), issued
+    /// with the client's configured expiry so tests can exercise expired
+    /// tickets.
+    fn read_dfs_header(&mut self, nic: &NicCore, file: u64, greq: u64) -> DfsHeader {
+        let client = nic.node() as u32;
+        let expires = self.read_cap_expires_at_ns;
+        let control = &self.control;
+        let cap = *self.read_caps.entry(file).or_insert_with(|| {
+            control
+                .borrow_mut()
+                .issue_capability(client, file, Rights::READ, expires)
+        });
+        DfsHeader {
+            greq_id: greq,
+            op: DfsOp::Read,
+            client,
+            capability: cap,
+        }
+    }
+
     fn payload(seed: u64, len: u32) -> Bytes {
         // Deterministic, seed-dependent content (splitmix-ish stream).
         let mut x = seed ^ 0x9E37_79B9_7F4A_7C15;
@@ -297,7 +462,12 @@ impl ClientApp {
     }
 
     fn fill(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>) {
-        while self.in_flight.len() + self.issue_stash.len() + self.meta_in_flight < self.window {
+        while self.in_flight.len()
+            + self.issue_stash.len()
+            + self.meta_in_flight
+            + self.reads_in_flight.len()
+            < self.window
+        {
             let Some(job) = self.plan.borrow_mut().pop_front() else {
                 return;
             };
@@ -308,6 +478,7 @@ impl ClientApp {
     /// Record a write that failed in the metadata service before any byte
     /// moved: the job completes immediately with `Rejected` instead of
     /// silently vanishing.
+    #[allow(clippy::too_many_arguments)]
     fn fail_write_job(
         &mut self,
         nic: &NicCore,
@@ -316,9 +487,10 @@ impl ClientApp {
         protocol: WriteProtocol,
         retries: u32,
         start: Time,
+        slot: Option<WriteSlot>,
     ) {
         let greq = self.control.borrow_mut().alloc_greq();
-        self.results.borrow_mut().writes.push(WriteResult {
+        let result = WriteResult {
             greq,
             client: nic.node(),
             protocol,
@@ -327,8 +499,13 @@ impl ClientApp {
             end: ctx.now(),
             status: Status::Rejected,
             retries,
+            checksum: 0,
             placement: WritePlacement::rejected(greq),
-        });
+        };
+        if let Some(slot) = slot {
+            *slot.borrow_mut() = Some(result.clone());
+        }
+        self.results.borrow_mut().writes.push(result);
     }
 
     fn start_job(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, job: Job) {
@@ -350,7 +527,7 @@ impl ClientApp {
                     Err(_) => {
                         // Typed metadata miss: the job fails, the client
                         // moves on.
-                        self.fail_write_job(nic, ctx, size, protocol, 0, start);
+                        self.fail_write_job(nic, ctx, size, protocol, 0, start, None);
                         return;
                     }
                 };
@@ -360,15 +537,51 @@ impl ClientApp {
                     .push((tag, job_clone(&job), placement, start));
                 nic.set_timer(ctx, t_post.since(start), tag);
             }
+            Job::WriteAt {
+                file,
+                offset,
+                ref data,
+                protocol,
+                ref slot,
+            } => {
+                let len = data.len() as u32;
+                let placed = match offset {
+                    None => self.control.borrow_mut().place_write(file, len),
+                    Some(o) => self.control.borrow_mut().place_write_at(file, len, o),
+                };
+                let start = ctx.now();
+                let placement = match placed {
+                    Ok(p) => p,
+                    Err(_) => {
+                        self.fail_write_job(nic, ctx, len, protocol, 0, start, slot.clone());
+                        return;
+                    }
+                };
+                let t_post = nic.cpu.exec(start, nic.cpu.costs.post_send);
+                let tag = ISSUE_BASE | placement.greq;
+                self.issue_stash
+                    .push((tag, job_clone(&job), placement, start));
+                nic.set_timer(ctx, t_post.since(start), tag);
+            }
+            Job::Read {
+                file,
+                offset,
+                len,
+                protocol,
+                token,
+                slot,
+            } => {
+                self.start_read(nic, ctx, file, offset, len, protocol, token, slot);
+            }
             Job::RawRead {
                 node,
                 addr,
                 len,
                 token,
             } => {
-                let rrh = nadfs_wire::ReadReqHeader { addr, len };
+                let rrh = ReadReqHeader { addr, len };
                 let local = nic.memory().borrow_mut().alloc(len as u64);
-                self.read_tokens.insert(token, token);
+                self.read_tokens.insert(token, (local, len));
                 nic.send_read(ctx, node, rrh, None, local, token);
             }
             Job::Meta { op, token } => {
@@ -505,22 +718,307 @@ impl ClientApp {
         nic.set_timer(ctx, cost, tag);
     }
 
+    /// Resolve, fan out, and track one file-level read. Every piece of
+    /// the plan becomes one network fetch (one-sided read or RPC read);
+    /// bytes land directly at their destination offset in a client-memory
+    /// buffer, and degraded stripes stage surviving shards for
+    /// reconstruction at completion time.
     #[allow(clippy::too_many_arguments)]
+    fn start_read(
+        &mut self,
+        nic: &mut NicCore,
+        ctx: &mut Ctx<'_>,
+        file: u64,
+        offset: u64,
+        len: u32,
+        protocol: ReadProtocol,
+        token: u64,
+        slot: Option<ReadSlot>,
+    ) {
+        let start = ctx.now();
+        let plan = self.control.borrow().resolve_read(file, offset, len);
+        let plan = match plan {
+            Ok(p) => p,
+            Err(_) => {
+                // Unknown file, failed-node range, unrecoverable stripe:
+                // the read completes Rejected with no data.
+                let completion = ReadCompletion {
+                    token,
+                    client: nic.node(),
+                    file,
+                    protocol,
+                    offset,
+                    len: 0,
+                    start,
+                    end: ctx.now(),
+                    status: Status::Rejected,
+                    degraded_stripes: 0,
+                    checksum: 0,
+                    data: Bytes::new(),
+                };
+                if let Some(slot) = &slot {
+                    *slot.borrow_mut() = Some(completion.clone());
+                }
+                self.results.borrow_mut().file_reads.push(completion);
+                return;
+            }
+        };
+        let op_id = self.next_read_op;
+        self.next_read_op += 1;
+        let dest = nic.memory().borrow_mut().alloc(plan.len.max(1) as u64);
+        let greq = self.control.borrow_mut().alloc_greq();
+        let dfs = self.read_dfs_header(nic, file, greq);
+        let mut op = PendingReadOp {
+            token,
+            file,
+            protocol,
+            offset,
+            len: plan.len,
+            dest,
+            start,
+            subs_left: 0,
+            status: Status::Ok,
+            degraded: Vec::new(),
+            msgs: Vec::new(),
+            subs: Vec::new(),
+            slot,
+        };
+        let mut fetches: Vec<(NodeId, u64, u32, u64)> = Vec::new(); // (node, addr, len, local)
+        for piece in &plan.pieces {
+            match piece {
+                ReadPiece::Hole { .. } => {} // fresh buffer reads zero
+                ReadPiece::Direct {
+                    coord,
+                    len,
+                    dest_off,
+                } => {
+                    fetches.push((
+                        coord.node as NodeId,
+                        coord.addr,
+                        *len,
+                        dest + *dest_off as u64,
+                    ));
+                }
+                ReadPiece::Degraded {
+                    scheme,
+                    chunk_len,
+                    fetch,
+                    copy,
+                } => {
+                    let scratch = nic
+                        .memory()
+                        .borrow_mut()
+                        .alloc(fetch.len() as u64 * *chunk_len as u64);
+                    for (slot_i, (_, coord)) in fetch.iter().enumerate() {
+                        fetches.push((
+                            coord.node as NodeId,
+                            coord.addr,
+                            *chunk_len,
+                            scratch + slot_i as u64 * *chunk_len as u64,
+                        ));
+                    }
+                    op.degraded.push(DegradedFetch {
+                        scheme: *scheme,
+                        chunk_len: *chunk_len,
+                        scratch,
+                        fetched: fetch.iter().map(|(i, _)| *i).collect(),
+                        copy: copy.clone(),
+                    });
+                }
+            }
+        }
+        self.reads_in_flight.insert(op_id, op);
+        // The verbs post (doorbell, WQE build) delays actual injection —
+        // the same per-job cost the write path charges.
+        let tag = READ_ISSUE_BASE | op_id;
+        self.read_issue_stash.push((tag, op_id, fetches, dfs));
+        let t_post = nic.cpu.exec(start, nic.cpu.costs.post_send);
+        nic.set_timer(ctx, t_post.since(start), tag);
+    }
+
+    /// Inject the fan-out of a read whose doorbell cost has elapsed.
+    fn issue_read_fanout(
+        &mut self,
+        nic: &mut NicCore,
+        ctx: &mut Ctx<'_>,
+        op_id: u64,
+        fetches: Vec<(NodeId, u64, u32, u64)>,
+        dfs: DfsHeader,
+    ) {
+        let Some(protocol) = self.reads_in_flight.get(&op_id).map(|op| op.protocol) else {
+            return;
+        };
+        for (node, addr, flen, local) in fetches {
+            let sub = READ_SUB_BASE | self.next_read_sub;
+            self.next_read_sub += 1;
+            self.read_sub_to_op.insert(sub, op_id);
+            let rrh = ReadReqHeader { addr, len: flen };
+            let msg = match protocol {
+                ReadProtocol::Rdma => nic.send_read(ctx, node, rrh, Some(dfs), local, sub),
+                ReadProtocol::Rpc => {
+                    let msg = nic.send_rpc(ctx, node, RpcBody::ReadReq { dfs, rrh }, Bytes::new());
+                    nic.expect_read_resp(msg, local, sub);
+                    msg
+                }
+            };
+            self.read_msg_to_op.insert(msg, op_id);
+            let op = self.reads_in_flight.get_mut(&op_id).expect("just checked");
+            op.msgs.push(msg);
+            op.subs.push(sub);
+            op.subs_left += 1;
+        }
+        if self
+            .reads_in_flight
+            .get(&op_id)
+            .is_some_and(|op| op.subs_left == 0)
+        {
+            // Zero-length or all-holes read: complete immediately.
+            self.complete_read(nic, ctx, op_id);
+        }
+    }
+
+    /// All pieces landed (or failed): reconstruct any degraded stripes,
+    /// assemble the payload, and deliver the typed completion.
+    fn complete_read(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, op_id: u64) {
+        let Some(op) = self.reads_in_flight.remove(&op_id) else {
+            return;
+        };
+        for m in &op.msgs {
+            self.read_msg_to_op.remove(m);
+        }
+        for s in &op.subs {
+            self.read_sub_to_op.remove(s);
+        }
+        let mut status = op.status;
+        let mut degraded_stripes = 0u32;
+        if status == Status::Ok {
+            for d in &op.degraded {
+                if self.reconstruct_stripe(nic, &op, d).is_err() {
+                    status = Status::Rejected;
+                    break;
+                }
+                degraded_stripes += 1;
+            }
+        }
+        let (data, checksum, len) = if status == Status::Ok {
+            let bytes = nic.memory().borrow().read(op.dest, op.len as usize);
+            let sum = payload_checksum(&bytes);
+            (Bytes::from(bytes), sum, op.len)
+        } else {
+            (Bytes::new(), 0, 0)
+        };
+        // The application observes completion one poll interval later
+        // (CQ polling cost, same as the write path).
+        let end = ctx.now() + nic.cpu.costs.poll_notify;
+        let completion = ReadCompletion {
+            token: op.token,
+            client: nic.node(),
+            file: op.file,
+            protocol: op.protocol,
+            offset: op.offset,
+            len,
+            start: op.start,
+            end,
+            status,
+            degraded_stripes,
+            checksum,
+            data,
+        };
+        if let Some(slot) = &op.slot {
+            *slot.borrow_mut() = Some(completion.clone());
+        }
+        self.results.borrow_mut().file_reads.push(completion);
+        self.fill(nic, ctx);
+    }
+
+    /// Rebuild the missing data chunks of one degraded stripe from the
+    /// staged survivors and copy the requested ranges into the
+    /// destination buffer. Shard buffers come from the NIC's recycled
+    /// ring; the decode matrix from the codec's per-pattern cache.
+    fn reconstruct_stripe(
+        &mut self,
+        nic: &NicCore,
+        op: &PendingReadOp,
+        d: &DegradedFetch,
+    ) -> Result<(), nadfs_gfec::RsError> {
+        let (k, m) = (d.scheme.k as usize, d.scheme.m as usize);
+        let rs = self
+            .rs_cache
+            .entry((d.scheme.k, d.scheme.m))
+            .or_insert_with(|| ReedSolomon::new(k, m).expect("valid RS scheme"));
+        let mem = nic.memory();
+        let pool = nic.buf_pool();
+        let clen = d.chunk_len as usize;
+        // Stage the fetched shards into pooled buffers.
+        let mut survivor_bufs: Vec<Vec<u8>> = Vec::with_capacity(d.fetched.len());
+        for slot_i in 0..d.fetched.len() {
+            let mut buf = pool.borrow_mut().get_dirty(clen);
+            mem.borrow()
+                .read_into(d.scratch + slot_i as u64 * clen as u64, &mut buf);
+            survivor_bufs.push(buf);
+        }
+        let mut shards: Vec<Option<&[u8]>> = vec![None; k + m];
+        for (slot_i, &idx) in d.fetched.iter().enumerate() {
+            shards[idx] = Some(&survivor_bufs[slot_i]);
+        }
+        let mut want: Vec<usize> = d.copy.iter().map(|c| c.chunk).collect();
+        want.sort_unstable();
+        want.dedup();
+        let mut outs: Vec<Vec<u8>> = {
+            let mut p = pool.borrow_mut();
+            want.iter().map(|_| p.get_dirty(clen)).collect()
+        };
+        let r = rs.reconstruct_into(&shards, &want, &mut outs);
+        if r.is_ok() {
+            let mut memory = mem.borrow_mut();
+            for c in &d.copy {
+                let o = want.binary_search(&c.chunk).expect("wanted chunk");
+                let lo = c.chunk_off as usize;
+                memory.write(
+                    op.dest + c.dest_off as u64,
+                    &outs[o][lo..lo + c.len as usize],
+                );
+            }
+        }
+        let mut p = pool.borrow_mut();
+        for buf in survivor_bufs.into_iter().chain(outs) {
+            p.put(buf);
+        }
+        r
+    }
+
     fn issue_write(
         &mut self,
         nic: &mut NicCore,
         ctx: &mut Ctx<'_>,
         job: Job,
-        file: u64,
-        size: u32,
-        protocol: WriteProtocol,
-        seed: u64,
         placement: WritePlacement,
         retries: u32,
         start: Time,
     ) {
         let greq = placement.greq;
-        let data = Self::payload(seed, size);
+        let (file, size, protocol, data, slot) = match &job {
+            Job::Write {
+                file,
+                size,
+                protocol,
+                seed,
+            } => (*file, *size, *protocol, Self::payload(*seed, *size), None),
+            Job::WriteAt {
+                file,
+                data,
+                protocol,
+                slot,
+                ..
+            } => (
+                *file,
+                data.len() as u32,
+                *protocol,
+                data.clone(),
+                slot.clone(),
+            ),
+            _ => return,
+        };
         let abandon = self
             .abandon_every
             .map(|n| self.jobs_started.is_multiple_of(n))
@@ -528,6 +1026,8 @@ impl ClientApp {
         let mut pending = Pending {
             job,
             placement: placement.clone(),
+            data: data.clone(),
+            checksum: payload_checksum(&data),
             start,
             acks_needed: 1,
             acks_got: 0,
@@ -544,7 +1044,7 @@ impl ClientApp {
                 // unlink raced a retry): fail the job, don't panic. The
                 // slot this job held must be refilled — issue_write runs
                 // from a timer, so no caller does it for us.
-                self.fail_write_job(nic, ctx, size, protocol, retries, start);
+                self.fail_write_job(nic, ctx, size, protocol, retries, start, slot);
                 self.fill(nic, ctx);
                 return;
             }
@@ -820,26 +1320,39 @@ impl ClientApp {
         for m in &p.msgs {
             self.msg_to_greq.remove(m);
         }
-        let Job::Write {
-            file,
-            size,
-            protocol,
-            ..
-        } = p.job
-        else {
-            return;
+        let (file, size, protocol, slot) = match &p.job {
+            Job::Write {
+                file,
+                size,
+                protocol,
+                ..
+            } => (*file, *size, *protocol, None),
+            Job::WriteAt {
+                file,
+                data,
+                protocol,
+                slot,
+                ..
+            } => (*file, data.len() as u32, *protocol, slot.clone()),
+            _ => return,
         };
         // The application observes completion one poll interval after the
         // ack reaches the NIC (CQ polling cost, charged to every protocol).
         let end = ctx.now() + nic.cpu.costs.poll_notify;
         if p.status == Status::Ok {
+            // The bytes are durable: commit the placement into the file's
+            // extent map so reads can find them.
+            self.control
+                .borrow_mut()
+                .commit_write(file, &p.placement, size);
+            let appended = p.placement.appended;
             if self.cache_enabled {
                 // Write-back metadata: absorb the size/mtime update
                 // locally; a batch flush pays one round-trip for many
                 // writes.
                 self.meta_cache
                     .borrow_mut()
-                    .buffer_append(file, size as u64, end.as_ns() as u64);
+                    .buffer_append(file, appended, end.as_ns() as u64);
                 if self.meta_cache.borrow().dirty_count() >= WRITEBACK_BATCH {
                     self.flush_writeback();
                 }
@@ -849,13 +1362,13 @@ impl ClientApp {
                 let _ = self.control.borrow_mut().flush_attrs(&[(
                     file,
                     nadfs_meta::DirtyAttr {
-                        appended: size as u64,
+                        appended,
                         mtime_ns: end.as_ns() as u64,
                     },
                 )]);
             }
         }
-        self.results.borrow_mut().writes.push(WriteResult {
+        let result = WriteResult {
             greq,
             client: nic.node(),
             protocol,
@@ -864,8 +1377,13 @@ impl ClientApp {
             end,
             status: p.status,
             retries: p.retries,
+            checksum: p.checksum,
             placement: p.placement,
-        });
+        };
+        if let Some(slot) = slot {
+            *slot.borrow_mut() = Some(result.clone());
+        }
+        self.results.borrow_mut().writes.push(result);
         self.fill(nic, ctx);
     }
 }
@@ -906,6 +1424,22 @@ fn send_striped(
 
 impl NicApp for ClientApp {
     fn on_ack(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, _src: NodeId, ack: AckPkt) {
+        // Read NACK (capability failure / rejected region): the piece will
+        // never stream back, so account it and fail the op when the rest
+        // of the fan-out settles.
+        if let Some(op_id) = self.read_msg_to_op.remove(&ack.msg) {
+            nic.cancel_read(ack.msg);
+            if let Some(op) = self.reads_in_flight.get_mut(&op_id) {
+                if ack.status != Status::Ok {
+                    op.status = ack.status;
+                }
+                op.subs_left = op.subs_left.saturating_sub(1);
+                if op.subs_left == 0 {
+                    self.complete_read(nic, ctx, op_id);
+                }
+            }
+            return;
+        }
         let greq = ack
             .greq_id
             .filter(|g| self.in_flight.contains_key(g))
@@ -926,39 +1460,45 @@ impl NicApp for ClientApp {
                     self.msg_to_greq.remove(m);
                 }
                 let retries = p.retries + 1;
-                let Job::Write {
-                    file,
-                    size,
-                    protocol,
-                    seed,
-                } = p.job
-                else {
-                    return;
-                };
-                let job = Job::Write {
-                    file,
-                    size,
-                    protocol,
-                    seed,
+                let (file, size, protocol, slot) = match &p.job {
+                    Job::Write {
+                        file,
+                        size,
+                        protocol,
+                        ..
+                    } => (*file, *size, *protocol, None),
+                    Job::WriteAt {
+                        file,
+                        data,
+                        protocol,
+                        slot,
+                        ..
+                    } => (*file, data.len() as u32, *protocol, slot.clone()),
+                    _ => return,
                 };
                 // Re-place the same logical extent (fresh addresses, no
                 // cursor advance) and retry after a backoff. If the file
                 // is gone by now (unlinked under us), the job fails.
                 let prev_offset = p.placement.offset;
+                let prev_appended = p.placement.appended;
                 let placed = self
                     .control
                     .borrow_mut()
                     .replace_write(file, size, prev_offset);
-                let placement = match placed {
+                let mut placement = match placed {
                     Ok(p) => p,
                     Err(_) => {
-                        self.fail_write_job(nic, ctx, size, protocol, retries, ctx.now());
+                        self.fail_write_job(nic, ctx, size, protocol, retries, ctx.now(), slot);
                         self.fill(nic, ctx);
                         return;
                     }
                 };
+                // The original placement already advanced the cursor;
+                // carry its append accounting so the attr write-back
+                // still records the bytes once the retry lands.
+                placement.appended = prev_appended;
                 let tag = RETRY_BASE | placement.greq;
-                self.retry_stash.push((tag, job, placement, retries));
+                self.retry_stash.push((tag, p.job, placement, retries));
                 nic.set_timer(ctx, Dur::from_us(5 * retries as u64), tag);
             }
             Status::AuthFailed | Status::Rejected => {
@@ -977,16 +1517,13 @@ impl NicApp for ClientApp {
                     if *acks_left == 0 {
                         // Ring armed: push the data to the head node.
                         p.phase = Phase::Data;
-                        let Job::Write { size, seed, .. } = p.job else {
-                            return;
-                        };
                         let head = p.placement.replicas[0];
                         let wrh = WriteReqHeader {
                             target_addr: head.addr,
-                            len: size,
+                            len: p.data.len() as u32,
                             resiliency: Resiliency::None,
                         };
-                        let data = Self::payload(seed, size);
+                        let data = p.data.clone();
                         let msg = nic.send_write(ctx, head.node as NodeId, None, wrh, data);
                         p.msgs.push(msg);
                         let greq2 = greq;
@@ -1004,10 +1541,47 @@ impl NicApp for ClientApp {
     }
 
     fn on_read_done(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, token: u64) {
-        self.read_tokens.remove(&token);
+        // File-level read piece?
+        if let Some(op_id) = self.read_sub_to_op.remove(&token) {
+            let ready = {
+                let Some(op) = self.reads_in_flight.get_mut(&op_id) else {
+                    return;
+                };
+                op.subs_left = op.subs_left.saturating_sub(1);
+                op.subs_left == 0
+            };
+            if !ready {
+                return;
+            }
+            let op = &self.reads_in_flight[&op_id];
+            if op.degraded.is_empty() || op.status != Status::Ok {
+                self.complete_read(nic, ctx, op_id);
+            } else {
+                // Model the reconstruction cost: the client CPU walks k
+                // shards per degraded stripe before the data is usable.
+                let bytes: u64 = op
+                    .degraded
+                    .iter()
+                    .map(|d| d.scheme.k as u64 * d.chunk_len as u64)
+                    .sum();
+                let now = ctx.now();
+                let t = nic.cpu.exec(now, nic.cpu.memcpy_cost(bytes));
+                let tag = READ_FIN_BASE | op_id;
+                self.read_fin_stash.push((tag, op_id));
+                nic.set_timer(ctx, t.since(now), tag);
+            }
+            return;
+        }
+        // Legacy raw-region read.
+        let Some((addr, len)) = self.read_tokens.remove(&token) else {
+            return;
+        };
+        let bytes = nic.memory().borrow().read(addr, len as usize);
         self.results.borrow_mut().reads.push(ReadResult {
             token,
             end: ctx.now(),
+            len,
+            checksum: payload_checksum(&bytes),
         });
         self.fill(nic, ctx);
     }
@@ -1034,67 +1608,31 @@ impl NicApp for ClientApp {
             }
             return;
         }
+        if tag & READ_ISSUE_BASE == READ_ISSUE_BASE {
+            if let Some(idx) = self.read_issue_stash.iter().position(|(t, ..)| *t == tag) {
+                let (_, op_id, fetches, dfs) = self.read_issue_stash.remove(idx);
+                self.issue_read_fanout(nic, ctx, op_id, fetches, dfs);
+            }
+            return;
+        }
+        if tag & READ_FIN_BASE == READ_FIN_BASE {
+            if let Some(idx) = self.read_fin_stash.iter().position(|(t, _)| *t == tag) {
+                let (_, op_id) = self.read_fin_stash.remove(idx);
+                self.complete_read(nic, ctx, op_id);
+            }
+            return;
+        }
         if tag & RETRY_BASE == RETRY_BASE {
             if let Some(idx) = self.retry_stash.iter().position(|(t, ..)| *t == tag) {
                 let (_, job, placement, retries) = self.retry_stash.remove(idx);
-                let Job::Write {
-                    file,
-                    size,
-                    protocol,
-                    seed,
-                } = job
-                else {
-                    return;
-                };
-                self.issue_write(
-                    nic,
-                    ctx,
-                    Job::Write {
-                        file,
-                        size,
-                        protocol,
-                        seed,
-                    },
-                    file,
-                    size,
-                    protocol,
-                    seed,
-                    placement,
-                    retries,
-                    ctx.now(),
-                );
+                self.issue_write(nic, ctx, job, placement, retries, ctx.now());
             }
             return;
         }
         if tag & ISSUE_BASE == ISSUE_BASE {
             if let Some(idx) = self.issue_stash.iter().position(|(t, ..)| *t == tag) {
                 let (_, job, placement, start) = self.issue_stash.remove(idx);
-                let Job::Write {
-                    file,
-                    size,
-                    protocol,
-                    seed,
-                } = job
-                else {
-                    return;
-                };
-                self.issue_write(
-                    nic,
-                    ctx,
-                    Job::Write {
-                        file,
-                        size,
-                        protocol,
-                        seed,
-                    },
-                    file,
-                    size,
-                    protocol,
-                    seed,
-                    placement,
-                    0,
-                    start,
-                );
+                self.issue_write(nic, ctx, job, placement, 0, start);
             }
         }
     }

@@ -153,6 +153,10 @@ impl SimCluster {
                 comp,
                 Box::new(app) as Box<dyn NicApp>,
             );
+            // NIC-side read validation: every storage NIC authenticates
+            // DFS-level read requests against the service key before a
+            // byte leaves the node (one-sided reads never touch the CPU).
+            nic.core.install_service_key(key);
             match spec.mode {
                 StorageMode::Plain => {}
                 StorageMode::Spin => {
@@ -255,6 +259,12 @@ impl SimCluster {
     /// Returns the number of results collected.
     pub fn run_until_metas(&mut self, n: usize, deadline_ms: u64) -> usize {
         self.run_until_count(n, deadline_ms, |r| r.metas.len())
+    }
+
+    /// Run until `n` file-level read completions exist or `deadline_ms`
+    /// passes. Returns the number of completions collected.
+    pub fn run_until_file_reads(&mut self, n: usize, deadline_ms: u64) -> usize {
+        self.run_until_count(n, deadline_ms, |r| r.file_reads.len())
     }
 
     /// Run for a fixed amount of simulated time.

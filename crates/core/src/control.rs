@@ -18,11 +18,12 @@
 //! under `/.volatile/`.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use nadfs_meta::{
-    InodeAttr, LayoutSpec, MetaCache, MetaError, MetaEvent, MetadataService, StripedLayout,
+    ExtentMap, ExtentRecord, InodeAttr, LayoutSpec, MetaCache, MetaError, MetaEvent,
+    MetadataService, ReadPlan, StripedLayout,
 };
 use nadfs_simnet::NodeId;
 use nadfs_wire::{Capability, MacKey, ReplicaCoord, Rights};
@@ -72,9 +73,12 @@ pub struct WritePlacement {
     pub parities: Vec<ReplicaCoord>,
     /// EC chunk length (bytes per data chunk).
     pub chunk_len: u32,
-    /// Logical file offset this placement writes at (plain appends; 0
-    /// for replication/EC, which do not track an append cursor).
+    /// Logical file offset this placement writes at.
     pub offset: u64,
+    /// Bytes by which this placement advanced the file's placement
+    /// cursor (0 for retries and pure overwrites — the attr write-back
+    /// path uses this so overwrites don't inflate the file size).
+    pub appended: u64,
     /// Striped plain-write targets, in file order (width > 1 layouts
     /// only; empty means "single extent at `primary`").
     pub stripes: Vec<StripeTarget>,
@@ -92,6 +96,7 @@ impl WritePlacement {
             parities: vec![],
             chunk_len: 0,
             offset: 0,
+            appended: 0,
             stripes: vec![],
         }
     }
@@ -113,6 +118,11 @@ pub struct ControlPlane {
     next_addr: HashMap<NodeId, u64>,
     /// Client metadata caches subscribed to invalidation callbacks.
     caches: Vec<Rc<RefCell<MetaCache>>>,
+    /// Committed extents per file: where each byte range physically
+    /// lives, filled in as writes complete (the read path's map).
+    extents: HashMap<u64, ExtentMap>,
+    /// Storage nodes currently marked failed (degraded-read routing).
+    failed_nodes: HashSet<u32>,
     /// Per-storage-node stats sinks (index-aligned with `storage_nodes`),
     /// attached by the cluster builder so placement decisions are
     /// observable on the nodes they land on.
@@ -135,6 +145,8 @@ impl ControlPlane {
             storage_nodes,
             next_addr,
             caches: Vec::new(),
+            extents: HashMap::new(),
+            failed_nodes: HashSet::new(),
             storage_stats: Vec::new(),
         }))
     }
@@ -284,6 +296,7 @@ impl ControlPlane {
             // A POSIX replace deletes the target inode: drop its
             // placement state too, exactly like an unlink.
             self.files.remove(&replaced);
+            self.extents.remove(&replaced);
         }
         self.publish_invalidations();
         r.map(|_| ())
@@ -294,6 +307,7 @@ impl ControlPlane {
     pub fn unlink(&mut self, path: &str, now_ns: u64) -> Result<InodeAttr, MetaError> {
         let attr = self.meta.unlink(path, now_ns)?;
         self.files.remove(&attr.ino);
+        self.extents.remove(&attr.ino);
         self.publish_invalidations();
         Ok(attr)
     }
@@ -352,7 +366,19 @@ impl ControlPlane {
     /// appending at the file's placement cursor. Unknown file ids are a
     /// typed error the client surfaces as a failed job.
     pub fn place_write(&mut self, file: u64, len: u32) -> Result<WritePlacement, MetaError> {
-        self.place_write_inner(file, len, None)
+        self.place_write_inner(file, len, PlaceMode::Append)
+    }
+
+    /// Place a write at an explicit logical offset (`pwrite` semantics):
+    /// the placement cursor only advances past `offset + len` when the
+    /// write extends the file, so overwrites don't grow it.
+    pub fn place_write_at(
+        &mut self,
+        file: u64,
+        len: u32,
+        offset: u64,
+    ) -> Result<WritePlacement, MetaError> {
+        self.place_write_inner(file, len, PlaceMode::At(offset))
     }
 
     /// Re-place a retried write at its original logical offset: fresh
@@ -365,25 +391,40 @@ impl ControlPlane {
         len: u32,
         offset: u64,
     ) -> Result<WritePlacement, MetaError> {
-        self.place_write_inner(file, len, Some(offset))
+        self.place_write_inner(file, len, PlaceMode::Retry(offset))
     }
 
     fn place_write_inner(
         &mut self,
         file: u64,
         len: u32,
-        offset_override: Option<u64>,
+        mode: PlaceMode,
     ) -> Result<WritePlacement, MetaError> {
         let meta = self.lookup(file)?.clone();
         let greq = self.alloc_greq();
         let n = self.storage_nodes.len();
         let home = meta.home;
+        let base = match mode {
+            PlaceMode::Append => meta.size,
+            PlaceMode::At(o) => o,
+            PlaceMode::Retry(o) => o,
+        };
+        // Cursor: appends and extending writes advance it; retries never
+        // do (their original placement already did).
+        let appended = match mode {
+            PlaceMode::Retry(_) => 0,
+            _ => (base + len as u64).saturating_sub(meta.size),
+        };
+        if appended > 0 {
+            if let Some(f) = self.files.get_mut(&file) {
+                f.size += appended;
+            }
+        }
         let placement = match meta.policy {
             FilePolicy::Plain => {
-                // Striped placement: split the append extent over the
-                // file's layout; width-1 layouts degenerate to the seed's
+                // Striped placement: split the extent over the file's
+                // layout; width-1 layouts degenerate to the seed's
                 // single-node placement.
-                let base = offset_override.unwrap_or(meta.size);
                 let extents = meta.layout.extents(base, len);
                 let mut stripes = Vec::with_capacity(extents.len());
                 for e in &extents {
@@ -396,11 +437,6 @@ impl ControlPlane {
                         file_offset: e.file_offset,
                     });
                 }
-                if offset_override.is_none() {
-                    if let Some(f) = self.files.get_mut(&file) {
-                        f.size += len as u64;
-                    }
-                }
                 let primary = stripes[0].coord;
                 WritePlacement {
                     greq,
@@ -410,6 +446,7 @@ impl ControlPlane {
                     parities: vec![],
                     chunk_len: 0,
                     offset: base,
+                    appended,
                     stripes: if stripes.len() > 1 { stripes } else { vec![] },
                 }
             }
@@ -431,7 +468,8 @@ impl ControlPlane {
                     data_chunks: vec![],
                     parities: vec![],
                     chunk_len: 0,
-                    offset: 0,
+                    offset: base,
+                    appended,
                     stripes: vec![],
                 }
             }
@@ -466,13 +504,99 @@ impl ControlPlane {
                     data_chunks,
                     parities,
                     chunk_len,
-                    offset: 0,
+                    offset: base,
+                    appended,
                     stripes: vec![],
                 }
             }
         };
         Ok(placement)
     }
+
+    /// Commit a completed write's placement into the file's extent map
+    /// (called by clients when the write acknowledges `Ok`): this is what
+    /// makes the bytes *readable*. A file unlinked while the write was in
+    /// flight is silently skipped.
+    pub fn commit_write(&mut self, file: u64, placement: &WritePlacement, len: u32) {
+        if len == 0 || !self.files.contains_key(&file) {
+            return;
+        }
+        let scheme = match self.files.get(&file).map(|m| &m.policy) {
+            Some(FilePolicy::ErasureCoded { scheme }) => Some(*scheme),
+            _ => None,
+        };
+        let map = self.extents.entry(file).or_default();
+        if !placement.stripes.is_empty() {
+            for st in &placement.stripes {
+                map.record(ExtentRecord::Plain {
+                    offset: st.file_offset,
+                    len: st.len,
+                    coord: st.coord,
+                });
+            }
+        } else if !placement.data_chunks.is_empty() {
+            let scheme = scheme.expect("EC placement on a non-EC file");
+            map.record(ExtentRecord::Ec {
+                offset: placement.offset,
+                len,
+                chunk_len: placement.chunk_len,
+                scheme,
+                data: placement.data_chunks.clone(),
+                parities: placement.parities.clone(),
+            });
+        } else if placement.replicas.len() > 1 {
+            map.record(ExtentRecord::Replicated {
+                offset: placement.offset,
+                len,
+                replicas: placement.replicas.clone(),
+            });
+        } else {
+            map.record(ExtentRecord::Plain {
+                offset: placement.offset,
+                len,
+                coord: placement.primary,
+            });
+        }
+    }
+
+    /// Mark a storage node failed: reads route around it (replica
+    /// failover, degraded EC reconstruction) until it recovers.
+    pub fn mark_node_failed(&mut self, node: u32) {
+        self.failed_nodes.insert(node);
+    }
+
+    pub fn mark_node_recovered(&mut self, node: u32) {
+        self.failed_nodes.remove(&node);
+    }
+
+    pub fn failed_nodes(&self) -> &HashSet<u32> {
+        &self.failed_nodes
+    }
+
+    /// Resolve a ranged read into fetchable pieces: clamp to the
+    /// placement cursor (short reads past EOF, like `pread`), then walk
+    /// the extent map routing around failed nodes.
+    pub fn resolve_read(&self, file: u64, offset: u64, len: u32) -> Result<ReadPlan, MetaError> {
+        let meta = self.lookup(file)?;
+        let end = (offset + len as u64).min(meta.size);
+        let clamped = end.saturating_sub(offset) as u32;
+        match self.extents.get(&file) {
+            Some(map) => map.resolve(offset, clamped, &self.failed_nodes),
+            // Nothing committed yet: the whole (clamped) range is a hole.
+            None => ExtentMap::new().resolve(offset, clamped, &self.failed_nodes),
+        }
+    }
+}
+
+/// How a placement relates to the file's cursor.
+#[derive(Clone, Copy, Debug)]
+enum PlaceMode {
+    /// Append at the cursor (the cursor advances by `len`).
+    Append,
+    /// Explicit offset; the cursor advances only past `offset + len`.
+    At(u64),
+    /// Busy-retry re-placement at the original offset; no cursor motion.
+    Retry(u64),
 }
 
 #[cfg(test)]
@@ -671,6 +795,92 @@ mod tests {
             next.primary.node, first.primary.node,
             "stripe advanced once"
         );
+    }
+
+    #[test]
+    fn commit_then_resolve_roundtrips_striped_extents() {
+        let cp = plane();
+        cp.borrow_mut().mkdir_p("/d", 0).expect("mkdir");
+        let f = cp
+            .borrow_mut()
+            .create_file_at("/d/s", LayoutSpec::striped(3, 4096), FilePolicy::Plain)
+            .expect("create");
+        let p = cp.borrow_mut().place_write(f.id, 3 * 4096).expect("place");
+        cp.borrow_mut().commit_write(f.id, &p, 3 * 4096);
+        // A cross-stripe subrange resolves to the committed coordinates.
+        let plan = cp.borrow().resolve_read(f.id, 4000, 5000).expect("resolve");
+        assert_eq!(plan.len, 5000);
+        let mut covered = 0u32;
+        for piece in &plan.pieces {
+            let nadfs_meta::ReadPiece::Direct { len, .. } = piece else {
+                panic!("healthy striped read must be all direct pieces: {piece:?}");
+            };
+            covered += len;
+        }
+        assert_eq!(covered, 5000);
+    }
+
+    #[test]
+    fn uncommitted_writes_read_as_holes_and_reads_clamp_at_cursor() {
+        let cp = plane();
+        let f = cp.borrow_mut().create_file(0, FilePolicy::Plain);
+        let _p = cp.borrow_mut().place_write(f.id, 1000).expect("place");
+        // Placed but never committed (the write never acked): holes.
+        let plan = cp.borrow().resolve_read(f.id, 0, 5000).expect("resolve");
+        assert_eq!(plan.len, 1000, "clamped at the placement cursor");
+        assert!(plan
+            .pieces
+            .iter()
+            .all(|p| matches!(p, nadfs_meta::ReadPiece::Hole { .. })));
+    }
+
+    #[test]
+    fn place_write_at_overwrite_does_not_grow_the_file() {
+        let cp = plane();
+        cp.borrow_mut().mkdir_p("/d", 0).expect("mkdir");
+        let f = cp
+            .borrow_mut()
+            .create_file_at("/d/f", LayoutSpec::SINGLE, FilePolicy::Plain)
+            .expect("create");
+        let a = cp.borrow_mut().place_write(f.id, 8192).expect("append");
+        assert_eq!((a.offset, a.appended), (0, 8192));
+        let o = cp
+            .borrow_mut()
+            .place_write_at(f.id, 4096, 1024)
+            .expect("overwrite");
+        assert_eq!((o.offset, o.appended), (1024, 0));
+        let e = cp
+            .borrow_mut()
+            .place_write_at(f.id, 4096, 6144)
+            .expect("extend");
+        assert_eq!((e.offset, e.appended), (6144, 2048));
+        assert_eq!(cp.borrow().lookup(f.id).expect("meta").size, 10240);
+    }
+
+    #[test]
+    fn failed_node_routes_replicated_reads_to_survivors() {
+        let cp = plane();
+        let f = cp.borrow_mut().create_file(
+            0,
+            FilePolicy::Replicated {
+                k: 3,
+                strategy: BcastStrategy::Ring,
+            },
+        );
+        let p = cp.borrow_mut().place_write(f.id, 4096).expect("place");
+        cp.borrow_mut().commit_write(f.id, &p, 4096);
+        cp.borrow_mut().mark_node_failed(p.replicas[0].node);
+        let plan = cp.borrow().resolve_read(f.id, 0, 4096).expect("resolve");
+        let nadfs_meta::ReadPiece::Direct { coord, .. } = &plan.pieces[0] else {
+            panic!("direct piece");
+        };
+        assert_eq!(coord.node, p.replicas[1].node, "failover to next replica");
+        cp.borrow_mut().mark_node_recovered(p.replicas[0].node);
+        let plan2 = cp.borrow().resolve_read(f.id, 0, 4096).expect("resolve");
+        let nadfs_meta::ReadPiece::Direct { coord, .. } = &plan2.pieces[0] else {
+            panic!("direct piece");
+        };
+        assert_eq!(coord.node, p.replicas[0].node, "primary serves again");
     }
 
     #[test]

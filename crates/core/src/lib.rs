@@ -14,13 +14,14 @@ pub mod cluster;
 pub mod config;
 pub mod control;
 pub mod experiments;
+pub mod fs;
 pub mod handlers;
 pub mod storage;
 pub mod workloads;
 
 pub use client::{
-    ClientApp, Job, MetaOp, MetaOpKind, MetaResult, ReadResult, ResultSink, WriteProtocol,
-    WriteResult,
+    ClientApp, Job, MetaOp, MetaOpKind, MetaResult, ReadCompletion, ReadProtocol, ReadResult,
+    ReadSlot, ResultSink, WriteProtocol, WriteResult, WriteSlot,
 };
 pub use cluster::{ClusterSpec, SimCluster, StorageMode};
 pub use config::{CostModel, HandlerCosts, MetaCosts};
@@ -30,10 +31,12 @@ pub use experiments::{
     replication_latency_us, storage_goodput_gbit, write_latency_best_chunk, write_latency_us,
     HandlerReport, ReplStrategy,
 };
+pub use fs::{default_read_protocol, default_write_protocol, FileHandle, FsClient, FsError};
 pub use handlers::{DfsCounters, DfsHandlers, DfsNicState};
 // The metadata subsystem's vocabulary, re-exported for callers.
 pub use nadfs_meta::{
-    CacheStats, InodeAttr, InodeKind, LayoutSpec, MetaCache, MetaError, MetaOpStats, StripedLayout,
+    CacheStats, ChunkCopy, ExtentMap, ExtentRecord, InodeAttr, InodeKind, LayoutSpec, MetaCache,
+    MetaError, MetaOpStats, ReadPiece, ReadPlan, StripedLayout,
 };
 pub use storage::{StorageApp, StorageStats};
 pub use workloads::{MetaWorkload, SizeDist, Workload};

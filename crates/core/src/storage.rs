@@ -33,6 +33,8 @@ use crate::handlers::{DfsNicState, EVT_CLEANUP, EVT_EC_FALLBACK};
 pub struct StorageStats {
     pub rpc_writes: u64,
     pub rpc_rdma_writes: u64,
+    /// CPU-validated reads served through the RPC read protocol.
+    pub rpc_reads: u64,
     pub chunks_forwarded: u64,
     pub auth_failures: u64,
     pub fallback_aggregations: u64,
@@ -63,6 +65,13 @@ enum AfterCpu {
         len: u32,
         local_addr: u64,
         token: u64,
+    },
+    /// CPU validated an RPC read: stream the bytes back to the client.
+    StreamRead {
+        dst: NodeId,
+        msg: MsgId,
+        addr: u64,
+        len: u32,
     },
     FinishFallback,
 }
@@ -329,8 +338,10 @@ impl NicApp for StorageApp {
                 data,
             ),
             RpcBody::ReadReq { dfs, rrh } => {
-                // CPU-validated read: validate, then stream back via the
-                // one-sided read responder path (zero-copy from target).
+                // CPU-validated read (the RPC baseline): the CPU wakes,
+                // dispatches, verifies the capability, then posts the
+                // response stream through the NIC's read responder —
+                // zero-copy out of the storage target.
                 let now = ctx.now();
                 let costs = nic.cpu.costs.clone();
                 let t_val = nic
@@ -340,18 +351,40 @@ impl NicApp for StorageApp {
                     .capability
                     .verify(&self.key, now.as_ns() as u64, Rights::READ)
                     .is_ok();
-                let status = if valid {
-                    Status::Ok
-                } else {
-                    Status::AuthFailed
-                };
-                let _ = rrh;
-                let ack = AckPkt {
-                    msg,
-                    greq_id: Some(dfs.greq_id),
-                    status,
-                };
-                self.defer(nic, ctx, t_val, AfterCpu::AckClient { dst: src, ack });
+                if !valid {
+                    self.stats.borrow_mut().auth_failures += 1;
+                    let ack = AckPkt {
+                        msg,
+                        greq_id: Some(dfs.greq_id),
+                        status: Status::AuthFailed,
+                    };
+                    self.defer(nic, ctx, t_val, AfterCpu::AckClient { dst: src, ack });
+                    return;
+                }
+                // Same protection boundary as the one-sided path: a read
+                // outside a registered region is rejected, not streamed.
+                if !nic.mr_allows(rrh.addr, rrh.len as u64) {
+                    let ack = AckPkt {
+                        msg,
+                        greq_id: Some(dfs.greq_id),
+                        status: Status::Rejected,
+                    };
+                    self.defer(nic, ctx, t_val, AfterCpu::AckClient { dst: src, ack });
+                    return;
+                }
+                self.stats.borrow_mut().rpc_reads += 1;
+                let t_post = nic.cpu.exec(t_val, costs.post_send);
+                self.defer(
+                    nic,
+                    ctx,
+                    t_post,
+                    AfterCpu::StreamRead {
+                        dst: src,
+                        msg,
+                        addr: rrh.addr,
+                        len: rrh.len,
+                    },
+                );
             }
             RpcBody::MetaLookupReq { file } => {
                 self.stats.borrow_mut().meta_lookups += 1;
@@ -467,6 +500,14 @@ impl NicApp for StorageApp {
                     len,
                 };
                 nic.send_read(ctx, client, rrh, None, local_addr, token);
+            }
+            AfterCpu::StreamRead {
+                dst,
+                msg,
+                addr,
+                len,
+            } => {
+                nic.respond_read(ctx, dst, msg, addr, len);
             }
             AfterCpu::FinishFallback => {
                 // Bookkeeping only; the paired AckClient does the talking.

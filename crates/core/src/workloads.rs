@@ -7,7 +7,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::client::{Job, MetaOp, WriteProtocol};
+use crate::client::{Job, MetaOp, ReadProtocol, WriteProtocol};
 use nadfs_meta::LayoutSpec;
 
 /// Write-size distribution.
@@ -57,13 +57,17 @@ impl SizeDist {
 }
 
 /// A deterministic workload: `n` writes per client with a size
-/// distribution and one protocol.
+/// distribution and one protocol, optionally followed by a ranged-read
+/// phase over the written region (a read-after-write mix).
 #[derive(Clone, Debug)]
 pub struct Workload {
     pub file: u64,
     pub protocol: WriteProtocol,
     pub sizes: SizeDist,
     pub writes_per_client: usize,
+    /// Ranged reads appended after the writes (0 = write-only).
+    pub reads_per_client: usize,
+    pub read_protocol: ReadProtocol,
     pub seed: u64,
 }
 
@@ -74,12 +78,22 @@ impl Workload {
             protocol,
             sizes,
             writes_per_client: 16,
+            reads_per_client: 0,
+            read_protocol: ReadProtocol::Rdma,
             seed: 0xBEEF,
         }
     }
 
     pub fn with_writes(mut self, n: usize) -> Workload {
         self.writes_per_client = n;
+        self
+    }
+
+    /// Append `n` ranged reads (offsets/lengths sampled over the region
+    /// this client wrote) using `protocol`.
+    pub fn with_reads(mut self, n: usize, protocol: ReadProtocol) -> Workload {
+        self.reads_per_client = n;
+        self.read_protocol = protocol;
         self
     }
 
@@ -91,14 +105,43 @@ impl Workload {
     /// Generate client `idx`'s job list (deterministic per (seed, idx)).
     pub fn jobs_for_client(&self, idx: usize) -> Vec<Job> {
         let mut rng = StdRng::seed_from_u64(self.seed ^ (idx as u64).wrapping_mul(0x9E37));
-        (0..self.writes_per_client)
-            .map(|i| Job::Write {
+        let mut jobs: Vec<Job> = Vec::with_capacity(self.writes_per_client + self.reads_per_client);
+        let mut written = 0u64;
+        for i in 0..self.writes_per_client {
+            let size = self.sizes.sample(&mut rng).max(1);
+            written += size as u64;
+            jobs.push(Job::Write {
                 file: self.file,
-                size: self.sizes.sample(&mut rng).max(1),
+                size,
                 protocol: self.protocol,
                 seed: self.seed ^ ((idx as u64) << 32) ^ i as u64,
-            })
-            .collect()
+            });
+        }
+        // Read phase: ranges within the bytes this client wrote. The
+        // plan queue is in-order, so with window 1 every targeted byte is
+        // committed before its read issues; wider windows or concurrent
+        // clients can race a read past an uncommitted write, in which
+        // case the uncovered range legally reads back as a zero-filled
+        // hole (cheaper than a fetch — don't compare read latencies
+        // across window settings without checking hole rates).
+        for i in 0..self.reads_per_client {
+            let len = self.sizes.sample(&mut rng).max(1);
+            let max_off = written.saturating_sub(len as u64);
+            let offset = if max_off == 0 {
+                0
+            } else {
+                rng.gen_range(0..=max_off)
+            };
+            jobs.push(Job::Read {
+                file: self.file,
+                offset,
+                len,
+                protocol: self.read_protocol,
+                token: ((idx as u64) << 32) | i as u64,
+                slot: None,
+            });
+        }
+        jobs
     }
 
     /// Total bytes this workload writes across `n_clients`.
@@ -402,6 +445,35 @@ mod tests {
     fn total_bytes_accounts_all_clients() {
         let w = Workload::new(1, WriteProtocol::Raw, SizeDist::Fixed(1000)).with_writes(10);
         assert_eq!(w.total_bytes(3), 30_000);
+    }
+
+    #[test]
+    fn read_mix_stays_within_written_region() {
+        let w = Workload::new(1, WriteProtocol::Raw, SizeDist::Fixed(4096))
+            .with_writes(8)
+            .with_reads(20, ReadProtocol::Rpc);
+        let jobs = w.jobs_for_client(2);
+        assert_eq!(jobs.len(), 28);
+        let written = 8 * 4096u64;
+        let reads: Vec<(u64, u32)> = jobs
+            .iter()
+            .filter_map(|j| match j {
+                Job::Read {
+                    offset,
+                    len,
+                    protocol,
+                    ..
+                } => {
+                    assert_eq!(*protocol, ReadProtocol::Rpc);
+                    Some((*offset, *len))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reads.len(), 20);
+        for (off, len) in reads {
+            assert!(off + len as u64 <= written, "read escapes written region");
+        }
     }
 
     #[test]

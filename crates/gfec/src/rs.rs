@@ -250,6 +250,62 @@ impl ReedSolomon {
                 got: shards.len(),
             });
         }
+        let missing: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
+        if missing.is_empty() {
+            // Nothing to rebuild, but keep validating: a complete-but-
+            // inconsistent shard set is still an error, not a success.
+            let n = shards[0].as_ref().expect("present").len();
+            if shards
+                .iter()
+                .any(|s| s.as_ref().expect("present").len() != n)
+            {
+                return Err(RsError::ChunkSizeMismatch);
+            }
+            return Ok(());
+        }
+        let refs: Vec<Option<&[u8]>> = shards
+            .iter()
+            .map(|s| s.as_ref().map(|v| v.as_slice()))
+            .collect();
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); missing.len()];
+        self.reconstruct_into(&refs, &missing, &mut out)?;
+        for (&i, buf) in missing.iter().zip(out) {
+            shards[i] = Some(buf);
+        }
+        Ok(())
+    }
+
+    /// Reconstruct the shards listed in `want` into caller-owned buffers
+    /// (resized and overwritten, allocations reused) — the repair-loop
+    /// mirror of [`Self::encode_into`]: no per-shard allocation, fused
+    /// tiled accumulation over the survivors, and the per-erasure-pattern
+    /// decode matrix comes from the memoized cache.
+    ///
+    /// `shards` has k+m entries (data then parity): `Some` for survivors,
+    /// `None` for erasures. `want` lists the shard indices to materialize
+    /// (data or parity, typically the erased ones); `out` supplies one
+    /// buffer per `want` entry.
+    pub fn reconstruct_into(
+        &self,
+        shards: &[Option<&[u8]>],
+        want: &[usize],
+        out: &mut [Vec<u8>],
+    ) -> Result<(), RsError> {
+        if shards.len() != self.k + self.m {
+            return Err(RsError::WrongChunkCount {
+                expected: self.k + self.m,
+                got: shards.len(),
+            });
+        }
+        if out.len() != want.len() {
+            return Err(RsError::WrongChunkCount {
+                expected: want.len(),
+                got: out.len(),
+            });
+        }
+        if want.iter().any(|&w| w >= self.k + self.m) {
+            return Err(RsError::InvalidParams);
+        }
         let present: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_some()).collect();
         if present.len() < self.k {
             return Err(RsError::TooFewShards {
@@ -257,20 +313,15 @@ impl ReedSolomon {
                 need: self.k,
             });
         }
-        let n = shards[present[0]].as_ref().expect("present").len();
+        let n = shards[present[0]].expect("present").len();
         if present
             .iter()
-            .any(|&i| shards[i].as_ref().expect("present").len() != n)
+            .any(|&i| shards[i].expect("present").len() != n)
         {
             return Err(RsError::ChunkSizeMismatch);
         }
-        if present
-            .iter()
-            .take(self.k)
-            .eq((0..self.k).collect::<Vec<_>>().iter())
-            && shards.iter().all(|s| s.is_some())
-        {
-            return Ok(()); // nothing missing
+        if want.is_empty() {
+            return Ok(());
         }
 
         // Decode matrix: rows of `enc` for the first k survivors. The
@@ -286,31 +337,40 @@ impl ReedSolomon {
                 sub.invert().expect("any k rows of an MDS matrix invert")
             });
 
-        // Recover data chunks: data = dec × survivors.
-        let mut data: Vec<Vec<u8>> = vec![vec![0u8; n]; self.k];
-        for (out_row, d) in data.iter_mut().enumerate() {
-            for (in_row, &shard_idx) in use_rows.iter().enumerate() {
-                let c = dec[(out_row, in_row)];
-                let src = shards[shard_idx].as_ref().expect("present");
-                gf256::mul_acc_slice(c, src, d);
+        // Every wanted shard is a GF-linear combination of the k chosen
+        // survivors: data row d is dec[d], parity row p is (parity_row(p)
+        // × dec). Resolving the combined coefficients up front lets one
+        // fused pass read each survivor once while updating every output.
+        let w = want.len();
+        // Column-major: cols[s*w + o] multiplies survivor s into output o.
+        let mut cols = vec![0u8; self.k * w];
+        for (o, &shard) in want.iter().enumerate() {
+            for s in 0..self.k {
+                cols[s * w + o] = if shard < self.k {
+                    dec[(shard, s)]
+                } else {
+                    let p = shard - self.k;
+                    let mut c = 0u8;
+                    for j in 0..self.k {
+                        c ^= gf256::mul(self.parity_rows[p * self.k + j], dec[(j, s)]);
+                    }
+                    c
+                };
             }
         }
-
-        // Fill in missing data shards.
-        for (j, d) in data.iter().enumerate() {
-            if shards[j].is_none() {
-                shards[j] = Some(d.clone());
-            }
+        for buf in out.iter_mut() {
+            buf.clear();
+            buf.resize(n, 0);
         }
-        // Recompute missing parity shards.
-        if shards[self.k..].iter().any(|s| s.is_none()) {
-            let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
-            let parities = self.encode(&refs)?;
-            for (p, parity) in parities.into_iter().enumerate() {
-                if shards[self.k + p].is_none() {
-                    shards[self.k + p] = Some(parity);
-                }
+        let mut off = 0;
+        while off < n {
+            let end = (off + gf256::FUSE_TILE).min(n);
+            let mut dsts: Vec<&mut [u8]> = out.iter_mut().map(|b| &mut b[off..end]).collect();
+            for (s, &row) in use_rows.iter().enumerate() {
+                let chunk = shards[row].expect("present");
+                gf256::mul_acc_multi(&cols[s * w..(s + 1) * w], &chunk[off..end], &mut dsts);
             }
+            off = end;
         }
         Ok(())
     }
@@ -586,6 +646,75 @@ mod tests {
         let (hits, misses) = rs.decode_cache_stats();
         assert_eq!(misses, 1, "one inversion for a repeated pattern");
         assert_eq!(hits, 4, "subsequent repairs reuse it");
+    }
+
+    #[test]
+    fn reconstruct_into_matches_reconstruct_and_reuses_buffers() {
+        let rs = ReedSolomon::new(6, 3).expect("params");
+        let data = sample_data(6, 4096, 12);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parities = rs.encode(&refs).expect("encode");
+        let full: Vec<Vec<u8>> = data.iter().cloned().chain(parities).collect();
+        // Erase a mix of data and parity shards.
+        let missing = [1usize, 4, 7];
+        let shards: Vec<Option<&[u8]>> = full
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (!missing.contains(&i)).then_some(s.as_slice()))
+            .collect();
+        // Dirty, differently-sized output buffers must come out exact.
+        let mut out: Vec<Vec<u8>> = vec![vec![0xEE; 9], Vec::new(), vec![1; 10_000]];
+        rs.reconstruct_into(&shards, &missing, &mut out)
+            .expect("reconstruct_into");
+        for (o, &i) in missing.iter().enumerate() {
+            assert_eq!(out[o], full[i], "shard {i}");
+        }
+        // Second call reuses capacity (no reallocation).
+        let cap_before: Vec<usize> = out.iter().map(|v| v.capacity()).collect();
+        rs.reconstruct_into(&shards, &missing, &mut out)
+            .expect("reconstruct_into");
+        let cap_after: Vec<usize> = out.iter().map(|v| v.capacity()).collect();
+        assert_eq!(cap_before, cap_after, "no reallocation on reuse");
+    }
+
+    #[test]
+    fn complete_but_inconsistent_shards_still_rejected() {
+        let rs = ReedSolomon::new(2, 1).expect("params");
+        let mut shards = vec![Some(vec![1u8; 4]), Some(vec![2u8; 5]), Some(vec![3u8; 4])];
+        assert_eq!(
+            rs.reconstruct(&mut shards),
+            Err(RsError::ChunkSizeMismatch),
+            "a complete shard set is validated, not waved through"
+        );
+    }
+
+    #[test]
+    fn reconstruct_into_rejects_bad_args() {
+        let rs = ReedSolomon::new(2, 1).expect("params");
+        let a = vec![1u8; 8];
+        let b = vec![2u8; 8];
+        let shards: Vec<Option<&[u8]>> = vec![Some(&a), Some(&b), None];
+        let mut out = vec![Vec::new(); 2];
+        assert_eq!(
+            rs.reconstruct_into(&shards, &[2], &mut out).unwrap_err(),
+            RsError::WrongChunkCount {
+                expected: 1,
+                got: 2
+            }
+        );
+        let mut one = vec![Vec::new()];
+        assert_eq!(
+            rs.reconstruct_into(&shards, &[3], &mut one).unwrap_err(),
+            RsError::InvalidParams
+        );
+        let short: Vec<Option<&[u8]>> = vec![Some(&a), None, None];
+        assert_eq!(
+            rs.reconstruct_into(&short, &[1], &mut one).unwrap_err(),
+            RsError::TooFewShards {
+                present: 1,
+                need: 2
+            }
+        );
     }
 
     #[test]

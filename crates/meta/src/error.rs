@@ -25,6 +25,11 @@ pub enum MetaError {
     InvalidPath,
     /// A file id was presented that the layout service never issued.
     UnknownFile(u64),
+    /// The byte range lives (only) on a storage node marked failed, and
+    /// no replica or erasure-coded reconstruction can serve it.
+    DataUnavailable { node: u32 },
+    /// An erasure-coded stripe has fewer than k surviving shards.
+    TooManyFailures { stripe_offset: u64 },
 }
 
 impl fmt::Display for MetaError {
@@ -40,6 +45,15 @@ impl fmt::Display for MetaError {
             }
             MetaError::InvalidPath => write!(f, "invalid path"),
             MetaError::UnknownFile(id) => write!(f, "unknown file id {id}"),
+            MetaError::DataUnavailable { node } => {
+                write!(f, "data unavailable: storage node {node} is failed")
+            }
+            MetaError::TooManyFailures { stripe_offset } => {
+                write!(
+                    f,
+                    "stripe at offset {stripe_offset} has fewer than k surviving shards"
+                )
+            }
         }
     }
 }

@@ -1,0 +1,642 @@
+//! File extent maps: where every committed byte range physically lives.
+//!
+//! The layout ([`crate::layout::StripedLayout`]) answers "where *would*
+//! bytes at this offset go"; the extent map answers "where *did* they go"
+//! — concrete `(node, addr)` coordinates recorded as writes complete, the
+//! missing half a read path needs. Records are kept in commit order and
+//! resolution walks them newest-first, so an overwrite shadows the ranges
+//! it covers without any eager splitting.
+//!
+//! [`ExtentMap::resolve`] turns a logical byte range into a [`ReadPlan`]:
+//! direct per-node fetches for healthy data, replica failover for
+//! replicated extents, and — for erasure-coded stripes whose data chunk
+//! sits on a failed node — a degraded-fetch piece naming the k surviving
+//! shards to pull and the chunk ranges to copy out of the reconstruction.
+
+use std::collections::HashSet;
+
+use nadfs_wire::{ReplicaCoord, RsScheme};
+
+use crate::error::MetaError;
+
+/// One committed write, as the read path needs to see it.
+#[derive(Clone, Debug)]
+pub enum ExtentRecord {
+    /// A plain extent on one node (one stripe unit of a striped write, or
+    /// a whole single-node write).
+    Plain {
+        offset: u64,
+        len: u32,
+        coord: ReplicaCoord,
+    },
+    /// The same bytes on every replica (any one can serve a read).
+    Replicated {
+        offset: u64,
+        len: u32,
+        replicas: Vec<ReplicaCoord>,
+    },
+    /// An erasure-coded stripe: k data chunks of `chunk_len` bytes
+    /// (zero-padded past `len`) plus m parities.
+    Ec {
+        offset: u64,
+        len: u32,
+        chunk_len: u32,
+        scheme: RsScheme,
+        data: Vec<ReplicaCoord>,
+        parities: Vec<ReplicaCoord>,
+    },
+}
+
+impl ExtentRecord {
+    fn offset(&self) -> u64 {
+        match self {
+            ExtentRecord::Plain { offset, .. }
+            | ExtentRecord::Replicated { offset, .. }
+            | ExtentRecord::Ec { offset, .. } => *offset,
+        }
+    }
+
+    fn len(&self) -> u32 {
+        match self {
+            ExtentRecord::Plain { len, .. }
+            | ExtentRecord::Replicated { len, .. }
+            | ExtentRecord::Ec { len, .. } => *len,
+        }
+    }
+}
+
+/// A copy out of a reconstructed erasure-coded data chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkCopy {
+    /// Data chunk index within the stripe (0..k).
+    pub chunk: usize,
+    /// Byte offset within the chunk.
+    pub chunk_off: u32,
+    pub len: u32,
+    /// Destination offset within the read buffer.
+    pub dest_off: u32,
+}
+
+/// One piece of a resolved read.
+#[derive(Clone, Debug)]
+pub enum ReadPiece {
+    /// Never-written range: reads as zeros, nothing to fetch.
+    Hole { dest_off: u32, len: u32 },
+    /// Healthy bytes at a concrete coordinate: one fetch, lands at
+    /// `dest_off`.
+    Direct {
+        coord: ReplicaCoord,
+        len: u32,
+        dest_off: u32,
+    },
+    /// Degraded erasure-coded stripe: fetch the k surviving shards listed
+    /// in `fetch` (shard index, coordinate), reconstruct, then serve the
+    /// `copy` ranges from the recovered data chunks.
+    Degraded {
+        scheme: RsScheme,
+        chunk_len: u32,
+        fetch: Vec<(usize, ReplicaCoord)>,
+        copy: Vec<ChunkCopy>,
+    },
+}
+
+/// A fully resolved read: every byte of `[0, len)` in the destination
+/// buffer is covered by exactly one piece (holes included).
+#[derive(Clone, Debug)]
+pub struct ReadPlan {
+    pub pieces: Vec<ReadPiece>,
+    /// Length actually served (requests past EOF are clamped by the
+    /// caller before resolution).
+    pub len: u32,
+    /// Stripes that need reconstruction.
+    pub degraded_stripes: u32,
+}
+
+/// Per-file map of committed extents.
+#[derive(Clone, Debug, Default)]
+pub struct ExtentMap {
+    records: Vec<ExtentRecord>,
+}
+
+impl ExtentMap {
+    pub fn new() -> ExtentMap {
+        ExtentMap::default()
+    }
+
+    /// Record one committed write. Later records shadow earlier ones over
+    /// any range they overlap.
+    pub fn record(&mut self, rec: ExtentRecord) {
+        if rec.len() > 0 {
+            self.records.push(rec);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Resolve the logical range `[offset, offset + len)` into fetchable
+    /// pieces, routing around the nodes in `failed`.
+    pub fn resolve(
+        &self,
+        offset: u64,
+        len: u32,
+        failed: &HashSet<u32>,
+    ) -> Result<ReadPlan, MetaError> {
+        let mut pieces = Vec::new();
+        let mut degraded_stripes = 0u32;
+        // Uncovered subranges of the request; newest records carve them
+        // up first, so every byte is served by the latest write.
+        let mut gaps = vec![(offset, offset + len as u64)];
+        for rec in self.records.iter().rev() {
+            if gaps.is_empty() {
+                break;
+            }
+            let ro = rec.offset();
+            let rend = ro + rec.len() as u64;
+            let mut next_gaps = Vec::with_capacity(gaps.len());
+            // All segments this record serves are collected first and
+            // emitted through ONE pieces_for call: a degraded EC stripe
+            // shadowed in the middle by a newer write must still fetch
+            // its k survivors (and reconstruct) exactly once.
+            let mut segments = Vec::new();
+            for &(gs, ge) in &gaps {
+                let is = gs.max(ro);
+                let ie = ge.min(rend);
+                if is >= ie {
+                    next_gaps.push((gs, ge));
+                    continue;
+                }
+                if gs < is {
+                    next_gaps.push((gs, is));
+                }
+                if ie < ge {
+                    next_gaps.push((ie, ge));
+                }
+                segments.push((is, ie));
+            }
+            if !segments.is_empty() {
+                Self::pieces_for(
+                    rec,
+                    &segments,
+                    offset,
+                    failed,
+                    &mut pieces,
+                    &mut degraded_stripes,
+                )?;
+            }
+            gaps = next_gaps;
+        }
+        for (gs, ge) in gaps {
+            pieces.push(ReadPiece::Hole {
+                dest_off: (gs - offset) as u32,
+                len: (ge - gs) as u32,
+            });
+        }
+        Ok(ReadPlan {
+            pieces,
+            len,
+            degraded_stripes,
+        })
+    }
+
+    /// Emit the pieces serving `segments` (disjoint subranges of `rec`)
+    /// into a read starting at logical `base`. One call covers every
+    /// segment the record serves, so an EC record emits at most one
+    /// degraded fetch no matter how a newer write split the request.
+    fn pieces_for(
+        rec: &ExtentRecord,
+        segments: &[(u64, u64)],
+        base: u64,
+        failed: &HashSet<u32>,
+        pieces: &mut Vec<ReadPiece>,
+        degraded_stripes: &mut u32,
+    ) -> Result<(), MetaError> {
+        match rec {
+            ExtentRecord::Plain { offset, coord, .. } => {
+                if failed.contains(&coord.node) {
+                    return Err(MetaError::DataUnavailable { node: coord.node });
+                }
+                for &(is, ie) in segments {
+                    pieces.push(ReadPiece::Direct {
+                        coord: ReplicaCoord {
+                            node: coord.node,
+                            addr: coord.addr + (is - offset),
+                        },
+                        len: (ie - is) as u32,
+                        dest_off: (is - base) as u32,
+                    });
+                }
+            }
+            ExtentRecord::Replicated {
+                offset, replicas, ..
+            } => {
+                let Some(coord) = replicas.iter().find(|c| !failed.contains(&c.node)) else {
+                    return Err(MetaError::DataUnavailable {
+                        node: replicas.first().map_or(0, |c| c.node),
+                    });
+                };
+                for &(is, ie) in segments {
+                    pieces.push(ReadPiece::Direct {
+                        coord: ReplicaCoord {
+                            node: coord.node,
+                            addr: coord.addr + (is - offset),
+                        },
+                        len: (ie - is) as u32,
+                        dest_off: (is - base) as u32,
+                    });
+                }
+            }
+            ExtentRecord::Ec {
+                offset,
+                chunk_len,
+                scheme,
+                data,
+                parities,
+                ..
+            } => {
+                let cl = *chunk_len as u64;
+                let mut copy = Vec::new();
+                for &(is, ie) in segments {
+                    let first = (is - offset) / cl;
+                    let last = (ie - 1 - offset) / cl;
+                    for j in first..=last {
+                        let cs = offset + j * cl;
+                        let s = is.max(cs);
+                        let e = ie.min(cs + cl);
+                        debug_assert!(s < e, "chunk overlap is nonempty by construction");
+                        let chunk = j as usize;
+                        let within = (s - cs) as u32;
+                        if failed.contains(&data[chunk].node) {
+                            copy.push(ChunkCopy {
+                                chunk,
+                                chunk_off: within,
+                                len: (e - s) as u32,
+                                dest_off: (s - base) as u32,
+                            });
+                        } else {
+                            pieces.push(ReadPiece::Direct {
+                                coord: ReplicaCoord {
+                                    node: data[chunk].node,
+                                    addr: data[chunk].addr + within as u64,
+                                },
+                                len: (e - s) as u32,
+                                dest_off: (s - base) as u32,
+                            });
+                        }
+                    }
+                }
+                if !copy.is_empty() {
+                    // Reconstruction inputs: the first k surviving shards
+                    // in shard-index order (data first, then parity).
+                    let k = scheme.k as usize;
+                    let fetch: Vec<(usize, ReplicaCoord)> = data
+                        .iter()
+                        .chain(parities)
+                        .enumerate()
+                        .filter(|(_, c)| !failed.contains(&c.node))
+                        .map(|(i, c)| (i, *c))
+                        .take(k)
+                        .collect();
+                    if fetch.len() < k {
+                        return Err(MetaError::TooManyFailures {
+                            stripe_offset: *offset,
+                        });
+                    }
+                    pieces.push(ReadPiece::Degraded {
+                        scheme: *scheme,
+                        chunk_len: *chunk_len,
+                        fetch,
+                        copy,
+                    });
+                    *degraded_stripes += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coord(node: u32, addr: u64) -> ReplicaCoord {
+        ReplicaCoord { node, addr }
+    }
+
+    fn no_failures() -> HashSet<u32> {
+        HashSet::new()
+    }
+
+    /// Every byte of the request is covered by exactly one piece.
+    fn assert_partition(plan: &ReadPlan) {
+        let mut covered = vec![0u32; plan.len as usize];
+        let mut mark = |off: u32, len: u32| {
+            for b in &mut covered[off as usize..(off + len) as usize] {
+                *b += 1;
+            }
+        };
+        for p in &plan.pieces {
+            match p {
+                ReadPiece::Hole { dest_off, len } => mark(*dest_off, *len),
+                ReadPiece::Direct { dest_off, len, .. } => mark(*dest_off, *len),
+                ReadPiece::Degraded { copy, .. } => {
+                    for c in copy {
+                        mark(c.dest_off, c.len);
+                    }
+                }
+            }
+        }
+        assert!(
+            covered.iter().all(|&c| c == 1),
+            "coverage not a partition: {covered:?}"
+        );
+    }
+
+    #[test]
+    fn unwritten_range_is_a_hole() {
+        let m = ExtentMap::new();
+        let plan = m.resolve(100, 50, &no_failures()).expect("resolve");
+        assert_eq!(plan.pieces.len(), 1);
+        assert!(matches!(
+            plan.pieces[0],
+            ReadPiece::Hole {
+                dest_off: 0,
+                len: 50
+            }
+        ));
+        assert_partition(&plan);
+    }
+
+    #[test]
+    fn later_writes_shadow_earlier_ones() {
+        let mut m = ExtentMap::new();
+        m.record(ExtentRecord::Plain {
+            offset: 0,
+            len: 100,
+            coord: coord(1, 0x1000),
+        });
+        m.record(ExtentRecord::Plain {
+            offset: 40,
+            len: 20,
+            coord: coord(2, 0x2000),
+        });
+        let plan = m.resolve(0, 100, &no_failures()).expect("resolve");
+        assert_partition(&plan);
+        // The overwritten middle must come from node 2.
+        let mid = plan
+            .pieces
+            .iter()
+            .find_map(|p| match p {
+                ReadPiece::Direct {
+                    coord,
+                    dest_off: 40,
+                    len,
+                } => Some((coord.node, coord.addr, *len)),
+                _ => None,
+            })
+            .expect("shadowing piece");
+        assert_eq!(mid, (2, 0x2000, 20));
+    }
+
+    #[test]
+    fn plain_subrange_offsets_into_the_extent() {
+        let mut m = ExtentMap::new();
+        m.record(ExtentRecord::Plain {
+            offset: 1000,
+            len: 4096,
+            coord: coord(3, 0x8000),
+        });
+        let plan = m.resolve(1500, 100, &no_failures()).expect("resolve");
+        let ReadPiece::Direct {
+            coord: c,
+            len,
+            dest_off,
+        } = &plan.pieces[0]
+        else {
+            panic!("direct piece");
+        };
+        assert_eq!((c.node, c.addr, *len, *dest_off), (3, 0x8000 + 500, 100, 0));
+    }
+
+    #[test]
+    fn plain_on_failed_node_is_unavailable() {
+        let mut m = ExtentMap::new();
+        m.record(ExtentRecord::Plain {
+            offset: 0,
+            len: 10,
+            coord: coord(7, 0),
+        });
+        let failed: HashSet<u32> = [7].into();
+        assert_eq!(
+            m.resolve(0, 10, &failed).unwrap_err(),
+            MetaError::DataUnavailable { node: 7 }
+        );
+    }
+
+    #[test]
+    fn replicated_fails_over_to_a_live_replica() {
+        let mut m = ExtentMap::new();
+        m.record(ExtentRecord::Replicated {
+            offset: 0,
+            len: 100,
+            replicas: vec![coord(4, 0x100), coord(5, 0x200), coord(6, 0x300)],
+        });
+        let failed: HashSet<u32> = [4].into();
+        let plan = m.resolve(10, 50, &failed).expect("resolve");
+        let ReadPiece::Direct { coord: c, .. } = &plan.pieces[0] else {
+            panic!("direct piece");
+        };
+        assert_eq!((c.node, c.addr), (5, 0x200 + 10));
+        let all: HashSet<u32> = [4, 5, 6].into();
+        assert_eq!(
+            m.resolve(0, 1, &all).unwrap_err(),
+            MetaError::DataUnavailable { node: 4 }
+        );
+    }
+
+    #[test]
+    fn ec_healthy_read_splits_per_chunk() {
+        let mut m = ExtentMap::new();
+        m.record(ExtentRecord::Ec {
+            offset: 0,
+            len: 3000,
+            chunk_len: 1000,
+            scheme: RsScheme::new(3, 2),
+            data: vec![coord(1, 0x1000), coord(2, 0x2000), coord(3, 0x3000)],
+            parities: vec![coord(4, 0x4000), coord(5, 0x5000)],
+        });
+        // Cross-chunk range: tail of chunk 0, all of chunk 1, head of 2.
+        let plan = m.resolve(500, 2000, &no_failures()).expect("resolve");
+        assert_partition(&plan);
+        assert_eq!(plan.degraded_stripes, 0);
+        let directs: Vec<(u32, u64, u32, u32)> = plan
+            .pieces
+            .iter()
+            .map(|p| match p {
+                ReadPiece::Direct {
+                    coord,
+                    len,
+                    dest_off,
+                } => (coord.node, coord.addr, *len, *dest_off),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            directs,
+            vec![
+                (1, 0x1000 + 500, 500, 0),
+                (2, 0x2000, 1000, 500),
+                (3, 0x3000, 500, 1500),
+            ]
+        );
+    }
+
+    #[test]
+    fn ec_failed_data_node_goes_degraded_with_k_survivors() {
+        let mut m = ExtentMap::new();
+        m.record(ExtentRecord::Ec {
+            offset: 0,
+            len: 3000,
+            chunk_len: 1000,
+            scheme: RsScheme::new(3, 2),
+            data: vec![coord(1, 0x1000), coord(2, 0x2000), coord(3, 0x3000)],
+            parities: vec![coord(4, 0x4000), coord(5, 0x5000)],
+        });
+        let failed: HashSet<u32> = [2].into();
+        let plan = m.resolve(0, 3000, &failed).expect("resolve");
+        assert_partition(&plan);
+        assert_eq!(plan.degraded_stripes, 1);
+        let deg = plan
+            .pieces
+            .iter()
+            .find_map(|p| match p {
+                ReadPiece::Degraded { fetch, copy, .. } => Some((fetch.clone(), copy.clone())),
+                _ => None,
+            })
+            .expect("degraded piece");
+        let (fetch, copy) = deg;
+        let idxs: Vec<usize> = fetch.iter().map(|(i, _)| *i).collect();
+        assert_eq!(idxs, vec![0, 2, 3], "first k survivors, shard order");
+        assert_eq!(
+            copy,
+            vec![ChunkCopy {
+                chunk: 1,
+                chunk_off: 0,
+                len: 1000,
+                dest_off: 1000
+            }]
+        );
+    }
+
+    #[test]
+    fn ec_failed_parity_node_does_not_degrade_reads() {
+        let mut m = ExtentMap::new();
+        m.record(ExtentRecord::Ec {
+            offset: 0,
+            len: 2000,
+            chunk_len: 1000,
+            scheme: RsScheme::new(2, 1),
+            data: vec![coord(1, 0x1000), coord(2, 0x2000)],
+            parities: vec![coord(3, 0x3000)],
+        });
+        let failed: HashSet<u32> = [3].into();
+        let plan = m.resolve(0, 2000, &failed).expect("resolve");
+        assert_eq!(plan.degraded_stripes, 0);
+        assert_partition(&plan);
+    }
+
+    #[test]
+    fn ec_too_many_failures_rejected() {
+        let mut m = ExtentMap::new();
+        m.record(ExtentRecord::Ec {
+            offset: 0,
+            len: 2000,
+            chunk_len: 1000,
+            scheme: RsScheme::new(2, 1),
+            data: vec![coord(1, 0x1000), coord(2, 0x2000)],
+            parities: vec![coord(3, 0x3000)],
+        });
+        let failed: HashSet<u32> = [1, 3].into();
+        assert_eq!(
+            m.resolve(0, 2000, &failed).unwrap_err(),
+            MetaError::TooManyFailures { stripe_offset: 0 }
+        );
+    }
+
+    #[test]
+    fn shadowed_degraded_stripe_fetches_survivors_once() {
+        // An EC stripe overwritten in the middle by a newer plain write:
+        // the request splits into two segments of the old stripe, but the
+        // degraded fetch + reconstruction must happen exactly once.
+        let mut m = ExtentMap::new();
+        m.record(ExtentRecord::Ec {
+            offset: 0,
+            len: 3000,
+            chunk_len: 1000,
+            scheme: RsScheme::new(3, 2),
+            data: vec![coord(1, 0x1000), coord(2, 0x2000), coord(3, 0x3000)],
+            parities: vec![coord(4, 0x4000), coord(5, 0x5000)],
+        });
+        m.record(ExtentRecord::Plain {
+            offset: 200,
+            len: 400,
+            coord: coord(6, 0x6000),
+        });
+        let failed: HashSet<u32> = [1].into();
+        let plan = m.resolve(0, 3000, &failed).expect("resolve");
+        assert_partition(&plan);
+        assert_eq!(plan.degraded_stripes, 1, "one physical stripe degraded");
+        let degraded: Vec<_> = plan
+            .pieces
+            .iter()
+            .filter(|p| matches!(p, ReadPiece::Degraded { .. }))
+            .collect();
+        assert_eq!(degraded.len(), 1, "survivors fetched once, not per segment");
+        let ReadPiece::Degraded { copy, .. } = degraded[0] else {
+            unreachable!();
+        };
+        // Both segments of the failed chunk are served by that one fetch.
+        assert_eq!(
+            copy,
+            &vec![
+                ChunkCopy {
+                    chunk: 0,
+                    chunk_off: 0,
+                    len: 200,
+                    dest_off: 0
+                },
+                ChunkCopy {
+                    chunk: 0,
+                    chunk_off: 600,
+                    len: 400,
+                    dest_off: 600
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn partial_coverage_mixes_extent_and_hole() {
+        let mut m = ExtentMap::new();
+        m.record(ExtentRecord::Plain {
+            offset: 0,
+            len: 100,
+            coord: coord(1, 0),
+        });
+        let plan = m.resolve(50, 100, &no_failures()).expect("resolve");
+        assert_partition(&plan);
+        assert!(plan.pieces.iter().any(|p| matches!(
+            p,
+            ReadPiece::Hole {
+                dest_off: 50,
+                len: 50
+            }
+        )));
+    }
+}

@@ -15,6 +15,7 @@
 
 pub mod cache;
 pub mod error;
+pub mod extents;
 pub mod inode;
 pub mod layout;
 pub mod namespace;
@@ -22,6 +23,7 @@ pub mod service;
 
 pub use cache::{CacheStats, CachedEntry, DirtyAttr, MetaCache};
 pub use error::MetaError;
+pub use extents::{ChunkCopy, ExtentMap, ExtentRecord, ReadPiece, ReadPlan};
 pub use inode::{FilePolicy, Inode, InodeAttr, InodeId, InodeKind, ROOT_INO};
 pub use layout::{LayoutSpec, StripeExtent, StripedLayout};
 pub use namespace::{split_path, Namespace};

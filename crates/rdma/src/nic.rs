@@ -16,8 +16,9 @@ use nadfs_simnet::{
     SharedBufPool, Time,
 };
 use nadfs_wire::{
-    split_payload, write_payload_caps, AckPkt, DfsHeader, Frame, HlConfigPkt, MsgId, ReadReqHeader,
-    ReadReqPkt, ReadRespPkt, RpcBody, SendPkt, Status, WritePkt, WriteReqHeader,
+    split_payload, write_payload_caps, AckPkt, DfsHeader, Frame, HlConfigPkt, MacKey, MsgId,
+    ReadReqHeader, ReadReqPkt, ReadRespPkt, Rights, RpcBody, SendPkt, Status, WritePkt,
+    WriteReqHeader,
 };
 
 use crate::app::NicApp;
@@ -133,9 +134,16 @@ pub struct NicCore {
     pending_reads: HashMap<MsgId, PendingRead>,
     responders: HashMap<MsgId, ReadResponder>,
     mrs: Vec<(u64, u64)>,
+    /// Service MAC key for NIC-side read validation: when installed,
+    /// incoming read requests carrying a DFS header are authenticated on
+    /// the NIC (the read-side analog of the sPIN write validation).
+    service_key: Option<MacKey>,
     /// Diagnostics.
     pub writes_acked: u64,
     pub frames_sent: u64,
+    /// Read requests whose capability the NIC validated / rejected.
+    pub reads_validated: u64,
+    pub read_auth_failures: u64,
 }
 
 impl NicCore {
@@ -160,6 +168,13 @@ impl NicCore {
         self.mrs.push((addr, len));
     }
 
+    /// Install the service-shared MAC key: read requests carrying a DFS
+    /// header are then capability-checked on the NIC before any byte is
+    /// streamed (bad signature, expiry, or missing READ rights ⇒ NACK).
+    pub fn install_service_key(&mut self, key: MacKey) {
+        self.service_key = Some(key);
+    }
+
     fn mr_ok(&self, addr: u64, len: u64) -> bool {
         if !self.cfg.enforce_mr {
             return true;
@@ -167,6 +182,14 @@ impl NicCore {
         self.mrs
             .iter()
             .any(|&(a, l)| addr >= a && addr + len <= a + l)
+    }
+
+    /// Whether one-sided access to `[addr, addr + len)` is permitted
+    /// (always true unless MR enforcement is on). Exposed so software
+    /// read/write paths (e.g. the CPU-validated RPC read) enforce the
+    /// same protection boundary as the NIC's one-sided handlers.
+    pub fn mr_allows(&self, addr: u64, len: u64) -> bool {
+        self.mr_ok(addr, len)
     }
 
     /// This NIC's recycled payload-buffer ring.
@@ -347,6 +370,17 @@ impl NicCore {
         token: u64,
     ) -> MsgId {
         let msg = self.alloc_msg();
+        self.expect_read_resp(msg, local_addr, token);
+        self.send_frames(ctx, dst, vec![Frame::ReadReq(ReadReqPkt { msg, dfs, rrh })]);
+        msg
+    }
+
+    /// Arm reassembly for read-response packets tagged with `msg`, landing
+    /// them at `local_addr` and firing `on_read_done(token)` once complete.
+    /// Used by [`Self::send_read`] and by RPC-transported reads, where the
+    /// request goes out as a SEND but the data comes back as ReadResp
+    /// frames keyed to the request's message id.
+    pub fn expect_read_resp(&mut self, msg: MsgId, local_addr: u64, token: u64) {
         self.pending_reads.insert(
             msg,
             PendingRead {
@@ -356,8 +390,41 @@ impl NicCore {
                 flush: Time::ZERO,
             },
         );
-        self.send_frames(ctx, dst, vec![Frame::ReadReq(ReadReqPkt { msg, dfs, rrh })]);
-        msg
+    }
+
+    /// Forget an armed read (e.g. after its request was NACKed): no
+    /// response packets will land and no completion will fire.
+    pub fn cancel_read(&mut self, msg: MsgId) {
+        self.pending_reads.remove(&msg);
+    }
+
+    /// Stream `len` bytes at `addr` back to `dst` as read-response packets
+    /// for request `msg` — the responder half used both by the one-sided
+    /// read path and by the CPU-validated RPC read (the storage software
+    /// calls this after its own capability check).
+    pub fn respond_read(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dst: NodeId,
+        msg: MsgId,
+        addr: u64,
+        len: u32,
+    ) {
+        let payload_cap = nadfs_wire::sizes::max_payload_plain();
+        let total_pkts = len.div_ceil(payload_cap).max(1);
+        self.responders.insert(
+            msg,
+            ReadResponder {
+                dst,
+                msg,
+                addr,
+                len,
+                next_off: 0,
+                total_pkts,
+                next_idx: 0,
+            },
+        );
+        self.stream_read(ctx, msg);
     }
 
     pub fn send_ack(&mut self, ctx: &mut Ctx<'_>, dst: NodeId, ack: AckPkt) {
@@ -482,21 +549,29 @@ impl NicCore {
             self.send_ack(ctx, src, nack);
             return;
         }
-        let payload_cap = nadfs_wire::sizes::max_payload_plain();
-        let total_pkts = r.rrh.len.div_ceil(payload_cap).max(1);
-        self.responders.insert(
-            r.msg,
-            ReadResponder {
-                dst: src,
-                msg: r.msg,
-                addr: r.rrh.addr,
-                len: r.rrh.len,
-                next_off: 0,
-                total_pkts,
-                next_idx: 0,
-            },
-        );
-        self.stream_read(ctx, r.msg);
+        // NIC-side read validation: DFS-level reads present a capability
+        // in their DFS header; with the service key installed the NIC
+        // checks it before streaming a single byte. Header-less reads
+        // (e.g. the RPC+RDMA data fetch from a client) are transport-level
+        // and pass through, as do nodes without the key.
+        if let (Some(key), Some(dfs)) = (self.service_key.as_ref(), r.dfs.as_ref()) {
+            if dfs
+                .capability
+                .verify(key, ctx.now().as_ns() as u64, Rights::READ)
+                .is_err()
+            {
+                self.read_auth_failures += 1;
+                let nack = AckPkt {
+                    msg: r.msg,
+                    greq_id: Some(dfs.greq_id),
+                    status: Status::AuthFailed,
+                };
+                self.send_ack(ctx, src, nack);
+                return;
+            }
+            self.reads_validated += 1;
+        }
+        self.respond_read(ctx, src, r.msg, r.rrh.addr, r.rrh.len);
     }
 
     /// Stream the next response batch: DMA-read up to 32 packets' worth
@@ -607,8 +682,11 @@ impl Nic {
                 pending_reads: HashMap::new(),
                 responders: HashMap::new(),
                 mrs: Vec::new(),
+                service_key: None,
                 writes_acked: 0,
                 frames_sent: 0,
+                reads_validated: 0,
+                read_auth_failures: 0,
             },
             app,
         }
@@ -646,12 +724,27 @@ impl Component for Nic {
                     Frame::Send(s) => {
                         let complete = {
                             if s.is_first() {
+                                // Reassembly buffer from the recycled ring:
+                                // capacity for the whole message up front
+                                // (per-packet payload is MTU-bounded), so
+                                // the extends below never reallocate and
+                                // the SEND path stays off the allocator.
+                                let cap = if s.total_pkts <= 1 {
+                                    s.data.len()
+                                } else {
+                                    s.total_pkts as usize
+                                        * (nadfs_wire::sizes::MTU
+                                            - nadfs_wire::sizes::RDMA_HEADER
+                                            - nadfs_wire::sizes::RPC_HEADER)
+                                            as usize
+                                };
+                                let buf = core.pool.borrow_mut().get_spare(cap);
                                 core.sends.insert(
                                     s.msg,
                                     SendState {
                                         src,
                                         body: s.rpc.clone().expect("first packet carries body"),
-                                        data: Vec::with_capacity(s.data.len()),
+                                        data: buf,
                                         pkts_seen: 0,
                                         total: s.total_pkts,
                                     },
@@ -672,7 +765,13 @@ impl Component for Nic {
                         core.release_ingress(ctx);
                         if complete {
                             let st = core.sends.remove(&s.msg).expect("send state");
-                            app.on_rpc(core, ctx, st.src, s.msg, st.body, Bytes::from(st.data));
+                            let data = Bytes::from(st.data);
+                            app.on_rpc(core, ctx, st.src, s.msg, st.body, data.clone());
+                            // If the app released its reference, the
+                            // backing buffer recycles into the ring.
+                            if let Ok(v) = data.try_unwrap() {
+                                core.pool.borrow_mut().put(v);
+                            }
                         }
                     }
                     Frame::Ack(ackp) => {

@@ -145,6 +145,24 @@ impl BufPool {
         }
     }
 
+    /// An **empty** buffer with capacity ≥ `cap` — for callers that grow
+    /// it incrementally (e.g. multi-packet message reassembly) and want
+    /// the backing allocation recycled rather than fresh.
+    pub fn get_spare(&mut self, cap: usize) -> Vec<u8> {
+        self.stats.gets += 1;
+        match self.take_fit(cap) {
+            Some(mut buf) => {
+                self.stats.hits += 1;
+                buf.clear();
+                buf
+            }
+            None => {
+                self.stats.misses += 1;
+                Vec::with_capacity(cap)
+            }
+        }
+    }
+
     /// Retire a buffer for reuse. Zero-capacity buffers are dropped (there
     /// is nothing to reuse); beyond the count or byte budget the buffer is
     /// freed instead.
@@ -262,6 +280,23 @@ mod tests {
         let grown = p.get_dirty(24);
         assert_eq!(grown.len(), 24);
         assert_eq!(&grown[..16], &[0xAB; 16][..]);
+    }
+
+    #[test]
+    fn get_spare_returns_empty_recycled_capacity() {
+        let mut p = BufPool::new(8);
+        let mut a = p.get(256);
+        a.fill(0x7F);
+        let ptr = a.as_ptr();
+        p.put(a);
+        let s = p.get_spare(100);
+        assert!(s.is_empty());
+        assert!(s.capacity() >= 100);
+        assert_eq!(s.as_ptr(), ptr, "reuses the retired allocation");
+        assert_eq!(p.stats().hits, 1);
+        let fresh = p.get_spare(64);
+        assert!(fresh.is_empty() && fresh.capacity() >= 64);
+        assert_eq!(p.stats().misses, 2, "initial get plus the empty-pool spare");
     }
 
     #[test]

@@ -22,4 +22,4 @@ pub use headers::{
     bcast_children, bcast_depth, BcastStrategy, DfsHeader, DfsOp, EcInfo, EcRole, ReadReqHeader,
     ReplicaCoord, Resiliency, RsScheme, WriteReqHeader,
 };
-pub use siphash::{siphash24, siphash24_words, MacKey};
+pub use siphash::{payload_checksum, siphash24, siphash24_words, MacKey};

@@ -1,61 +1,73 @@
-//! Quickstart: build a one-client / one-storage-node cluster, write a file
-//! through the sPIN-offloaded path, and read the bytes back.
+//! Quickstart: the file-handle client API. Build a cluster, create a
+//! striped file, write real bytes through the sPIN-offloaded path, and
+//! read them back — verified end to end by checksum.
 //!
-//! Run with: `cargo run --release -p nadfs-examples --bin quickstart`
+//! Run with: `cargo run --release -p nadfs-examples --example quickstart`
 
-use nadfs_core::{ClusterSpec, FilePolicy, Job, SimCluster, StorageMode, WriteProtocol};
+use nadfs_core::{ClusterSpec, FsClient, LayoutSpec, SimCluster, StorageMode};
 
 fn main() {
-    // One client, one storage node whose NIC runs PsPIN with the DFS
-    // execution context (authentication offloaded to the NIC).
-    let spec = ClusterSpec::new(1, 1, StorageMode::Spin);
-    let mut cluster = SimCluster::build(spec);
+    // One client, three storage nodes whose NICs run PsPIN with the DFS
+    // execution context (validation offloaded to the NIC).
+    let cluster = SimCluster::build(ClusterSpec::new(1, 3, StorageMode::Spin));
+    let mut fs = FsClient::new(cluster);
 
-    // Metadata service: create a plain (non-replicated) file.
-    let file = cluster
-        .control
-        .borrow_mut()
-        .create_file(0, FilePolicy::Plain);
-    println!("created file id={} on storage node {}", file.id, file.home);
-
-    // Write 256 KiB through the sPIN protocol: a single RDMA write whose
-    // packets are validated and committed by NIC handlers.
-    cluster.submit(
-        0,
-        Job::Write {
-            file: file.id,
-            size: 256 << 10,
-            protocol: WriteProtocol::Spin,
-            seed: 7,
-        },
-    );
-    cluster.start();
-    let done = cluster.run_until_writes(1, 1_000);
-    assert_eq!(done, 1);
-
-    let result = cluster.results.borrow().writes[0].clone();
+    // Namespace + layout: a file striped over all three nodes in 64 KiB
+    // chunks.
+    fs.mkdir_p("/demo").expect("mkdir");
+    let file = fs
+        .create("/demo/hello.dat", LayoutSpec::striped(3, 64 << 10))
+        .expect("create");
     println!(
-        "write greq={} completed in {:.2} us (status {:?})",
-        result.greq,
-        (result.end - result.start).as_us(),
-        result.status
+        "created {} (id {}) — write protocol {:?}, read protocol {:?}",
+        file.path(),
+        file.id(),
+        file.write_protocol,
+        file.read_protocol
     );
 
-    // Read the bytes straight out of the storage target and verify a few.
-    let mem = &cluster.storage_mems[0];
-    let stored = mem
-        .borrow()
-        .read(result.placement.primary.addr, result.size as usize);
+    // Write 256 KiB of real bytes. The driver stripes the extent over
+    // the layout, fans out one NIC-validated write per stripe unit, and
+    // the completion carries the payload checksum.
+    let data: Vec<u8> = (0..256 << 10).map(|i| (i % 251) as u8).collect();
+    let write = fs.append(&file, &data).expect("write");
     println!(
-        "storage node holds {} bytes; first 8: {:?}",
-        stored.len(),
-        &stored[..8]
+        "write greq={} completed in {:.2} us (status {:?}, checksum {:016x})",
+        write.greq,
+        (write.end - write.start).as_us(),
+        write.status,
+        write.checksum
     );
 
-    // NIC-side telemetry: the handlers that ran.
-    let tel = cluster.pspin_telemetry[0].as_ref().expect("pspin").borrow();
+    // Read a cross-stripe interior range back through the real read
+    // path: layout resolution, per-stripe one-sided read fan-out with
+    // NIC capability validation, client-side reassembly.
+    let read = fs.read_at(&file, 50_000, 100_000).expect("read");
+    assert_eq!(read.data.as_ref(), &data[50_000..150_000]);
     println!(
-        "PsPIN processed {} packets across {} messages (peak descriptor memory: {} B)",
-        tel.pkts_processed, tel.msgs_completed, tel.descriptor_peak_bytes
+        "read_at(50000, 100000) returned {} bytes in {:.2} us (checksum {:016x})",
+        read.len,
+        (read.end - read.start).as_us(),
+        read.checksum
+    );
+
+    // Whole-file read-back equals what was written, checksum and all.
+    let full = fs.read_at(&file, 0, data.len() as u32).expect("read");
+    assert_eq!(full.data.as_ref(), &data[..]);
+    assert_eq!(full.checksum, write.checksum);
+    println!("full read-back verified: {} bytes byte-identical", full.len);
+
+    let attr = fs.stat(&file).expect("stat");
+    println!("stat: size={} version={}", attr.size, attr.version);
+    fs.close(file).expect("close");
+
+    // NIC-side telemetry: the handlers that validated the writes.
+    let tel = fs.cluster.pspin_telemetry[0]
+        .as_ref()
+        .expect("pspin")
+        .borrow();
+    println!(
+        "PsPIN on storage node 0 processed {} packets across {} messages",
+        tel.pkts_processed, tel.msgs_completed
     );
 }
