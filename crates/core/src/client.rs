@@ -17,11 +17,12 @@ use nadfs_rdma::{NicApp, NicCore};
 use nadfs_simnet::{Ctx, Dur, NodeId, Time};
 use nadfs_wire::{
     payload_checksum, AckPkt, Capability, DfsHeader, DfsOp, EcInfo, EcRole, Frame, HlConfigPkt,
-    MsgId, ReadReqHeader, Resiliency, Rights, RpcBody, RsScheme, Status, WriteReqHeader,
+    MsgId, ReadReqHeader, ReplicaCoord, Resiliency, Rights, RpcBody, RsScheme, Status,
+    WriteReqHeader,
 };
 
 use crate::config::MetaCosts;
-use crate::control::{FilePolicy, SharedControl, WritePlacement};
+use crate::control::{FilePolicy, RepairPlan, RepairTask, SharedControl, WritePlacement};
 
 /// Timer tag: start pulling jobs from the plan.
 pub const KICK: u64 = 0;
@@ -31,6 +32,8 @@ const META_BASE: u64 = 0x4D45_0000_0000_0000;
 const READ_FIN_BASE: u64 = 0x5246_0000_0000_0000;
 const READ_SUB_BASE: u64 = 0x5244_0000_0000_0000;
 const READ_ISSUE_BASE: u64 = 0x5249_0000_0000_0000;
+const REPAIR_FIN_BASE: u64 = 0x5046_0000_0000_0000;
+const REPAIR_SUB_BASE: u64 = 0x5052_0000_0000_0000;
 
 /// Buffered write-back attr updates are flushed to the control plane once
 /// this many files are dirty (one round-trip for the whole batch).
@@ -141,6 +144,14 @@ pub enum Job {
         token: u64,
         slot: Option<ReadSlot>,
     },
+    /// Execute one background repair task: fetch surviving shards,
+    /// rebuild, write the re-protected shards to their spare nodes, and
+    /// commit the extent-map update. Submitted by the repair driver.
+    Repair {
+        task: RepairTask,
+        token: u64,
+        slot: Option<RepairSlot>,
+    },
     /// One-sided read of a raw region (verification / read-path latency).
     RawRead {
         node: NodeId,
@@ -206,6 +217,39 @@ pub struct ReadCompletion {
 /// through the shared [`ResultSink`].
 pub type ReadSlot = Rc<RefCell<Option<ReadCompletion>>>;
 pub type WriteSlot = Rc<RefCell<Option<WriteResult>>>;
+pub type RepairSlot = Rc<RefCell<Option<RepairResult>>>;
+
+/// What a finished repair task did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RepairOutcome {
+    /// Erasure-coded shards (data or parity, by shard index) were
+    /// reconstructed from k survivors and re-homed to spares.
+    Rebuilt { shards: Vec<usize> },
+    /// Lost replicas (by replica index) were cloned from a survivor.
+    Cloned { replicas: Vec<usize> },
+    /// Nothing referenced a failed node by the time the task ran.
+    AlreadyHealthy,
+    /// The extent cannot be re-protected (typed reason): plain extent on
+    /// a failed node, more than m EC shards lost, or no spare node.
+    Unrepairable(MetaError),
+    /// The data path failed mid-repair (NACK, auth failure, busy): the
+    /// driver may requeue and retry.
+    Aborted(Status),
+}
+
+/// Typed completion of one repair task.
+#[derive(Clone, Debug)]
+pub struct RepairResult {
+    pub token: u64,
+    pub client: NodeId,
+    pub task: RepairTask,
+    pub status: Status,
+    pub outcome: RepairOutcome,
+    pub start: Time,
+    pub end: Time,
+    /// Data-path bytes this repair moved (shards fetched + written).
+    pub bytes_moved: u64,
+}
 
 /// Completion record of one metadata operation.
 #[derive(Clone, Debug)]
@@ -230,6 +274,8 @@ pub struct ResultSink {
     /// its oneshot slot, when the job carried one).
     pub file_reads: Vec<ReadCompletion>,
     pub metas: Vec<MetaResult>,
+    /// Repair-task completions (also delivered through oneshot slots).
+    pub repairs: Vec<RepairResult>,
 }
 
 pub type SharedResults = Rc<RefCell<ResultSink>>;
@@ -294,6 +340,26 @@ struct PendingReadOp {
     slot: Option<ReadSlot>,
 }
 
+/// One in-flight repair task: surviving shards stream into `scratch`,
+/// rebuilt shards fan out as writes to their spare coordinates, and the
+/// extent-map update commits once every write acknowledges.
+struct PendingRepair {
+    token: u64,
+    task: RepairTask,
+    plan: RepairPlan,
+    /// Client-memory staging base for fetched shards (fetch-slot order).
+    scratch: u64,
+    start: Time,
+    fetch_left: u32,
+    write_acks_left: u32,
+    /// False while fetching survivors; true once spare writes are out.
+    writing: bool,
+    bytes_moved: u64,
+    msgs: Vec<MsgId>,
+    subs: Vec<u64>,
+    slot: Option<RepairSlot>,
+}
+
 /// The client node software.
 pub struct ClientApp {
     control: SharedControl,
@@ -334,6 +400,16 @@ pub struct ClientApp {
     pub read_cap_expires_at_ns: u64,
     /// Cached RS codecs for client-side degraded reconstruction.
     rs_cache: HashMap<(u8, u8), ReedSolomon>,
+    /// In-flight repair tasks by internal op id.
+    repairs_in_flight: HashMap<u64, PendingRepair>,
+    /// Repair shard-fetch token → repair op id.
+    repair_sub_to_op: HashMap<u64, u64>,
+    /// Repair request/write message → repair op id (NACKs and acks).
+    repair_msg_to_op: HashMap<MsgId, u64>,
+    next_repair_op: u64,
+    /// Repairs waiting out the reconstruction CPU cost before their
+    /// spare writes go out.
+    repair_fin_stash: Vec<(u64, u64)>,
     /// Client-side metadata cache (registered with the control plane for
     /// invalidation callbacks at construction).
     pub meta_cache: Rc<RefCell<MetaCache>>,
@@ -389,6 +465,11 @@ impl ClientApp {
             read_caps: HashMap::new(),
             read_cap_expires_at_ns: u64::MAX / 2,
             rs_cache: HashMap::new(),
+            repairs_in_flight: HashMap::new(),
+            repair_sub_to_op: HashMap::new(),
+            repair_msg_to_op: HashMap::new(),
+            next_repair_op: 0,
+            repair_fin_stash: Vec::new(),
             meta_cache,
             cache_enabled: true,
             meta_costs: MetaCosts::default(),
@@ -466,6 +547,7 @@ impl ClientApp {
             + self.issue_stash.len()
             + self.meta_in_flight
             + self.reads_in_flight.len()
+            + self.repairs_in_flight.len()
             < self.window
         {
             let Some(job) = self.plan.borrow_mut().pop_front() else {
@@ -572,6 +654,9 @@ impl ClientApp {
                 slot,
             } => {
                 self.start_read(nic, ctx, file, offset, len, protocol, token, slot);
+            }
+            Job::Repair { task, token, slot } => {
+                self.start_repair(nic, ctx, task, token, slot);
             }
             Job::RawRead {
                 node,
@@ -736,7 +821,7 @@ impl ClientApp {
         slot: Option<ReadSlot>,
     ) {
         let start = ctx.now();
-        let plan = self.control.borrow().resolve_read(file, offset, len);
+        let plan = self.control.borrow_mut().resolve_read(file, offset, len);
         let plan = match plan {
             Ok(p) => p,
             Err(_) => {
@@ -804,6 +889,7 @@ impl ClientApp {
                     chunk_len,
                     fetch,
                     copy,
+                    ..
                 } => {
                     let scratch = nic
                         .memory()
@@ -985,6 +1071,313 @@ impl ClientApp {
             p.put(buf);
         }
         r
+    }
+
+    /// Deliver a repair completion (success, typed unrepairable, or
+    /// abort) and refill the window.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_repair(
+        &mut self,
+        nic: &mut NicCore,
+        ctx: &mut Ctx<'_>,
+        token: u64,
+        task: RepairTask,
+        start: Time,
+        status: Status,
+        outcome: RepairOutcome,
+        bytes_moved: u64,
+        slot: Option<RepairSlot>,
+    ) {
+        let result = RepairResult {
+            token,
+            client: nic.node(),
+            task,
+            status,
+            outcome,
+            start,
+            end: ctx.now() + nic.cpu.costs.poll_notify,
+            bytes_moved,
+        };
+        if let Some(slot) = &slot {
+            *slot.borrow_mut() = Some(result.clone());
+        }
+        self.results.borrow_mut().repairs.push(result);
+        self.fill(nic, ctx);
+    }
+
+    /// Start one repair task: plan it against the control plane, then
+    /// fan out the surviving-shard fetches over the NIC (capability-
+    /// validated one-sided reads — repair traffic is data-path traffic).
+    fn start_repair(
+        &mut self,
+        nic: &mut NicCore,
+        ctx: &mut Ctx<'_>,
+        task: RepairTask,
+        token: u64,
+        slot: Option<RepairSlot>,
+    ) {
+        let start = ctx.now();
+        let planned = self.control.borrow_mut().plan_repair(task);
+        let plan = match planned {
+            Ok(p) => p,
+            Err(e) => {
+                // Typed: the extent cannot be re-protected (or vanished).
+                self.deliver_repair(
+                    nic,
+                    ctx,
+                    token,
+                    task,
+                    start,
+                    Status::Rejected,
+                    RepairOutcome::Unrepairable(e),
+                    0,
+                    slot,
+                );
+                return;
+            }
+        };
+        let fetches: Vec<(ReplicaCoord, u32)> = match &plan {
+            RepairPlan::AlreadyHealthy => {
+                self.deliver_repair(
+                    nic,
+                    ctx,
+                    token,
+                    task,
+                    start,
+                    Status::Ok,
+                    RepairOutcome::AlreadyHealthy,
+                    0,
+                    slot,
+                );
+                return;
+            }
+            RepairPlan::EcRebuild {
+                chunk_len, fetch, ..
+            } => fetch.iter().map(|&(_, c)| (c, *chunk_len)).collect(),
+            RepairPlan::ReplicaClone { len, src, .. } => vec![(*src, *len)],
+        };
+        let total: u64 = fetches.iter().map(|&(_, l)| l as u64).sum();
+        let scratch = nic.memory().borrow_mut().alloc(total.max(1));
+        let op_id = self.next_repair_op;
+        self.next_repair_op += 1;
+        let greq = self.control.borrow_mut().alloc_greq();
+        let dfs = self.read_dfs_header(nic, task.file, greq);
+        let mut op = PendingRepair {
+            token,
+            task,
+            plan,
+            scratch,
+            start,
+            fetch_left: fetches.len() as u32,
+            write_acks_left: 0,
+            writing: false,
+            bytes_moved: 0,
+            msgs: Vec::new(),
+            subs: Vec::new(),
+            slot,
+        };
+        let mut off = 0u64;
+        for (coord, flen) in fetches {
+            let sub = REPAIR_SUB_BASE | self.next_read_sub;
+            self.next_read_sub += 1;
+            self.repair_sub_to_op.insert(sub, op_id);
+            let rrh = ReadReqHeader {
+                addr: coord.addr,
+                len: flen,
+            };
+            let msg = nic.send_read(
+                ctx,
+                coord.node as NodeId,
+                rrh,
+                Some(dfs),
+                scratch + off,
+                sub,
+            );
+            self.repair_msg_to_op.insert(msg, op_id);
+            op.msgs.push(msg);
+            op.subs.push(sub);
+            op.bytes_moved += flen as u64;
+            off += flen as u64;
+        }
+        self.repairs_in_flight.insert(op_id, op);
+    }
+
+    /// Abort an in-flight repair (a fetch NACKed or a spare write
+    /// failed): cancel outstanding reads, drop the tracking state, and
+    /// deliver a typed `Aborted` completion the driver can retry.
+    fn fail_repair(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, op_id: u64, status: Status) {
+        let Some(op) = self.repairs_in_flight.remove(&op_id) else {
+            return;
+        };
+        for m in &op.msgs {
+            self.repair_msg_to_op.remove(m);
+            nic.cancel_read(*m);
+        }
+        for s in &op.subs {
+            self.repair_sub_to_op.remove(s);
+        }
+        self.deliver_repair(
+            nic,
+            ctx,
+            op.token,
+            op.task,
+            op.start,
+            status,
+            RepairOutcome::Aborted(status),
+            0,
+            op.slot,
+        );
+    }
+
+    /// All survivors landed: rebuild the lost shards (CPU cost already
+    /// charged via the REPAIR_FIN timer) and write them to their spares.
+    fn repair_rebuild_and_write(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, op_id: u64) {
+        let Some((task, scratch, plan)) = self
+            .repairs_in_flight
+            .get(&op_id)
+            .map(|op| (op.task, op.scratch, op.plan.clone()))
+        else {
+            return;
+        };
+        // (dest coord, bytes) per spare write, built per plan kind.
+        let writes: Vec<(ReplicaCoord, Bytes)> = match &plan {
+            RepairPlan::AlreadyHealthy => vec![],
+            RepairPlan::ReplicaClone { len, dest, .. } => {
+                let data = Bytes::from(nic.memory().borrow().read(scratch, *len as usize));
+                dest.iter().map(|&(_, c)| (c, data.clone())).collect()
+            }
+            RepairPlan::EcRebuild {
+                scheme,
+                chunk_len,
+                fetch,
+                rebuild,
+            } => {
+                let (k, m) = (scheme.k as usize, scheme.m as usize);
+                let rs = self
+                    .rs_cache
+                    .entry((scheme.k, scheme.m))
+                    .or_insert_with(|| ReedSolomon::new(k, m).expect("valid RS scheme"));
+                let clen = *chunk_len as usize;
+                let mem = nic.memory();
+                let pool = nic.buf_pool();
+                let mut survivor_bufs: Vec<Vec<u8>> = Vec::with_capacity(fetch.len());
+                for slot_i in 0..fetch.len() {
+                    let mut buf = pool.borrow_mut().get_dirty(clen);
+                    mem.borrow()
+                        .read_into(scratch + slot_i as u64 * clen as u64, &mut buf);
+                    survivor_bufs.push(buf);
+                }
+                let mut shards: Vec<Option<&[u8]>> = vec![None; k + m];
+                for (slot_i, (idx, _)) in fetch.iter().enumerate() {
+                    shards[*idx] = Some(&survivor_bufs[slot_i]);
+                }
+                let want: Vec<usize> = {
+                    let mut w: Vec<usize> = rebuild.iter().map(|&(s, _)| s).collect();
+                    w.sort_unstable();
+                    w
+                };
+                let mut outs: Vec<Vec<u8>> = {
+                    let mut p = pool.borrow_mut();
+                    want.iter().map(|_| p.get_dirty(clen)).collect()
+                };
+                let r = rs.reconstruct_into(&shards, &want, &mut outs);
+                {
+                    let mut p = pool.borrow_mut();
+                    for buf in survivor_bufs {
+                        p.put(buf);
+                    }
+                }
+                if r.is_err() {
+                    let mut p = pool.borrow_mut();
+                    for buf in outs {
+                        p.put(buf);
+                    }
+                    // Shard-count/size mismatch is a programming error in
+                    // the plan, but surface it as an abort, not a panic.
+                    self.fail_repair(nic, ctx, op_id, Status::Rejected);
+                    return;
+                }
+                let mut by_slot: Vec<(ReplicaCoord, Bytes)> = Vec::with_capacity(rebuild.len());
+                let mut outs: Vec<Option<Vec<u8>>> = outs.into_iter().map(Some).collect();
+                for &(slot, coord) in rebuild {
+                    let o = want.binary_search(&slot).expect("wanted shard");
+                    let buf = outs[o].take().expect("each shard written once");
+                    by_slot.push((coord, Bytes::from(buf)));
+                }
+                by_slot
+            }
+        };
+        let greq = self.control.borrow_mut().alloc_greq();
+        let dfs = self.dfs_header(nic, task.file, greq);
+        let op = self.repairs_in_flight.get_mut(&op_id).expect("checked");
+        op.writing = true;
+        op.write_acks_left = writes.len() as u32;
+        if writes.is_empty() {
+            // Defensive: a plan with nothing to write commits directly.
+            self.commit_and_complete_repair(nic, ctx, op_id);
+            return;
+        }
+        for (coord, data) in writes {
+            let wrh = WriteReqHeader {
+                target_addr: coord.addr,
+                len: data.len() as u32,
+                resiliency: Resiliency::None,
+            };
+            let len = data.len() as u64;
+            let msg = nic.send_write(ctx, coord.node as NodeId, Some(dfs), wrh, data);
+            self.repair_msg_to_op.insert(msg, op_id);
+            let op = self.repairs_in_flight.get_mut(&op_id).expect("in flight");
+            op.msgs.push(msg);
+            op.bytes_moved += len;
+        }
+    }
+
+    /// Every spare write acknowledged: commit the re-homing into the
+    /// extent map (generation bump + cache invalidation) and complete.
+    fn commit_and_complete_repair(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, op_id: u64) {
+        let Some(op) = self.repairs_in_flight.remove(&op_id) else {
+            return;
+        };
+        for m in &op.msgs {
+            self.repair_msg_to_op.remove(m);
+        }
+        for s in &op.subs {
+            self.repair_sub_to_op.remove(s);
+        }
+        let replacements = op.plan.replacements();
+        let committed = self.control.borrow_mut().commit_repair(
+            op.task,
+            &replacements,
+            ctx.now().as_ns() as u64,
+        );
+        let (status, outcome) = match committed {
+            Ok(()) => {
+                let outcome = match &op.plan {
+                    RepairPlan::EcRebuild { rebuild, .. } => RepairOutcome::Rebuilt {
+                        shards: rebuild.iter().map(|&(s, _)| s).collect(),
+                    },
+                    RepairPlan::ReplicaClone { dest, .. } => RepairOutcome::Cloned {
+                        replicas: dest.iter().map(|&(s, _)| s).collect(),
+                    },
+                    RepairPlan::AlreadyHealthy => RepairOutcome::AlreadyHealthy,
+                };
+                (Status::Ok, outcome)
+            }
+            // The file vanished mid-repair (unlink/rename-replace): the
+            // moved bytes are moot, not an error worth retrying.
+            Err(e) => (Status::Rejected, RepairOutcome::Unrepairable(e)),
+        };
+        self.deliver_repair(
+            nic,
+            ctx,
+            op.token,
+            op.task,
+            op.start,
+            status,
+            outcome,
+            op.bytes_moved,
+            op.slot,
+        );
     }
 
     fn issue_write(
@@ -1440,6 +1833,33 @@ impl NicApp for ClientApp {
             }
             return;
         }
+        // Repair traffic: a NACKed survivor fetch aborts the task; spare
+        // write acks count down toward the extent-map commit.
+        if let Some(op_id) = self.repair_msg_to_op.get(&ack.msg).copied() {
+            self.repair_msg_to_op.remove(&ack.msg);
+            let Some(op) = self.repairs_in_flight.get_mut(&op_id) else {
+                return;
+            };
+            if !op.writing {
+                // Fetch phase: the only acks are NACKs (auth failure,
+                // rejected region) — the shard will never stream back.
+                nic.cancel_read(ack.msg);
+                let status = if ack.status == Status::Ok {
+                    Status::Rejected
+                } else {
+                    ack.status
+                };
+                self.fail_repair(nic, ctx, op_id, status);
+            } else if ack.status != Status::Ok {
+                self.fail_repair(nic, ctx, op_id, ack.status);
+            } else {
+                op.write_acks_left = op.write_acks_left.saturating_sub(1);
+                if op.write_acks_left == 0 {
+                    self.commit_and_complete_repair(nic, ctx, op_id);
+                }
+            }
+            return;
+        }
         let greq = ack
             .greq_id
             .filter(|g| self.in_flight.contains_key(g))
@@ -1541,6 +1961,25 @@ impl NicApp for ClientApp {
     }
 
     fn on_read_done(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, token: u64) {
+        // Repair survivor fetch?
+        if let Some(op_id) = self.repair_sub_to_op.remove(&token) {
+            let Some(op) = self.repairs_in_flight.get_mut(&op_id) else {
+                return;
+            };
+            op.fetch_left = op.fetch_left.saturating_sub(1);
+            if op.fetch_left > 0 {
+                return;
+            }
+            // Model the rebuild cost: the client CPU walks every fetched
+            // byte before the re-protected shards exist.
+            let bytes = op.bytes_moved;
+            let now = ctx.now();
+            let t = nic.cpu.exec(now, nic.cpu.memcpy_cost(bytes));
+            let tag = REPAIR_FIN_BASE | op_id;
+            self.repair_fin_stash.push((tag, op_id));
+            nic.set_timer(ctx, t.since(now), tag);
+            return;
+        }
         // File-level read piece?
         if let Some(op_id) = self.read_sub_to_op.remove(&token) {
             let ready = {
@@ -1619,6 +2058,13 @@ impl NicApp for ClientApp {
             if let Some(idx) = self.read_fin_stash.iter().position(|(t, _)| *t == tag) {
                 let (_, op_id) = self.read_fin_stash.remove(idx);
                 self.complete_read(nic, ctx, op_id);
+            }
+            return;
+        }
+        if tag & REPAIR_FIN_BASE == REPAIR_FIN_BASE {
+            if let Some(idx) = self.repair_fin_stash.iter().position(|(t, _)| *t == tag) {
+                let (_, op_id) = self.repair_fin_stash.remove(idx);
+                self.repair_rebuild_and_write(nic, ctx, op_id);
             }
             return;
         }

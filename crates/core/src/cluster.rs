@@ -273,6 +273,31 @@ impl SimCluster {
         self.engine.run_until(t);
     }
 
+    /// Drive the engine in bounded slices until the oneshot `slot` fills
+    /// or `deadline_ms` of simulated time passes. `None` means timeout,
+    /// or a drained event queue with the slot still empty (the operation
+    /// can never complete). The shared wait loop under `FsClient`'s
+    /// typed operations and the repair driver.
+    pub fn run_until_slot<T: Clone>(
+        &mut self,
+        slot: &Rc<RefCell<Option<T>>>,
+        deadline_ms: u64,
+    ) -> Option<T> {
+        let deadline = self.engine.now() + Dur::from_ms(deadline_ms);
+        loop {
+            if let Some(v) = slot.borrow_mut().take() {
+                return Some(v);
+            }
+            if self.engine.now() >= deadline {
+                return None;
+            }
+            let target: Time = (self.engine.now() + Dur::from_us(50)).min(deadline);
+            if self.engine.run_until(target) {
+                return slot.borrow_mut().take();
+            }
+        }
+    }
+
     /// Index of a storage node in `storage_*` vectors from its node id.
     pub fn storage_index(&self, node: NodeId) -> usize {
         self.storage_nodes

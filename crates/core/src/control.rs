@@ -18,15 +18,15 @@
 //! under `/.volatile/`.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 
 use nadfs_meta::{
     ExtentMap, ExtentRecord, InodeAttr, LayoutSpec, MetaCache, MetaError, MetaEvent,
-    MetadataService, ReadPlan, StripedLayout,
+    MetadataService, ReadPiece, ReadPlan, StripedLayout,
 };
 use nadfs_simnet::NodeId;
-use nadfs_wire::{Capability, MacKey, ReplicaCoord, Rights};
+use nadfs_wire::{Capability, MacKey, ReplicaCoord, Rights, RsScheme};
 
 use crate::storage::SharedStorageStats;
 
@@ -102,6 +102,129 @@ impl WritePlacement {
     }
 }
 
+/// One extent awaiting re-protection: a record of `file`'s extent map
+/// with at least one shard on a failed node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RepairTask {
+    pub file: u64,
+    /// Record id within the file's extent map (commit order).
+    pub rec: usize,
+}
+
+/// Observable repair-pipeline counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RepairStats {
+    /// Tasks ever enqueued (dedup hits not counted).
+    pub enqueued: u64,
+    /// Tasks moved to (or inserted at) the queue front by a degraded
+    /// read hit.
+    pub promoted: u64,
+    /// Repairs committed into extent maps.
+    pub committed: u64,
+    /// Tasks pushed back for another attempt after a transient failure.
+    pub requeued: u64,
+    /// Shards re-homed by committed repairs.
+    pub shards_rehomed: u64,
+}
+
+/// The prioritized repair queue: FIFO for failure-scan enqueues, with
+/// degraded-read hits promoting their extent to the front (the extent a
+/// client is actively paying reconstruction for is the one to fix first).
+/// Membership is deduplicated — an extent is queued at most once.
+#[derive(Debug, Default)]
+pub struct RepairQueue {
+    q: VecDeque<RepairTask>,
+    queued: HashSet<RepairTask>,
+    pub stats: RepairStats,
+}
+
+impl RepairQueue {
+    /// Enqueue at the back; returns false if already queued.
+    pub fn push_back(&mut self, t: RepairTask) -> bool {
+        if !self.queued.insert(t) {
+            return false;
+        }
+        self.q.push_back(t);
+        self.stats.enqueued += 1;
+        true
+    }
+
+    /// Move `t` to the front (inserting it if absent): the degraded-read
+    /// promotion path.
+    pub fn promote(&mut self, t: RepairTask) {
+        if self.queued.insert(t) {
+            self.stats.enqueued += 1;
+        } else if let Some(i) = self.q.iter().position(|&x| x == t) {
+            if i == 0 {
+                return; // already at the front; not a promotion
+            }
+            self.q.remove(i);
+        }
+        self.q.push_front(t);
+        self.stats.promoted += 1;
+    }
+
+    /// Take the highest-priority task.
+    pub fn pop(&mut self) -> Option<RepairTask> {
+        let t = self.q.pop_front()?;
+        self.queued.remove(&t);
+        Some(t)
+    }
+
+    pub fn peek(&self) -> Option<RepairTask> {
+        self.q.front().copied()
+    }
+
+    pub fn contains(&self, t: RepairTask) -> bool {
+        self.queued.contains(&t)
+    }
+
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+}
+
+/// How one popped [`RepairTask`] gets executed on the data path.
+#[derive(Clone, Debug)]
+pub enum RepairPlan {
+    /// Every shard is on a healthy node (the failure was transient, or an
+    /// earlier repair already re-homed it): nothing to move.
+    AlreadyHealthy,
+    /// Erasure-coded stripe: fetch the k surviving shards in `fetch`
+    /// (shard index, coordinate), reconstruct the shards in `rebuild`
+    /// (data or parity), and write each to its pre-allocated spare
+    /// coordinate.
+    EcRebuild {
+        scheme: RsScheme,
+        chunk_len: u32,
+        fetch: Vec<(usize, ReplicaCoord)>,
+        rebuild: Vec<(usize, ReplicaCoord)>,
+    },
+    /// Replicated extent: copy `len` bytes from the surviving `src`
+    /// replica to a spare coordinate per lost replica slot.
+    ReplicaClone {
+        len: u32,
+        src: ReplicaCoord,
+        dest: Vec<(usize, ReplicaCoord)>,
+    },
+}
+
+impl RepairPlan {
+    /// The (shard slot, spare coordinate) rewrites this plan commits once
+    /// the data movement succeeds.
+    pub fn replacements(&self) -> Vec<(usize, ReplicaCoord)> {
+        match self {
+            RepairPlan::AlreadyHealthy => vec![],
+            RepairPlan::EcRebuild { rebuild, .. } => rebuild.clone(),
+            RepairPlan::ReplicaClone { dest, .. } => dest.clone(),
+        }
+    }
+}
+
 /// The control plane: management (authentication) + metadata (namespace,
 /// layout, placement) services.
 pub struct ControlPlane {
@@ -123,6 +246,10 @@ pub struct ControlPlane {
     extents: HashMap<u64, ExtentMap>,
     /// Storage nodes currently marked failed (degraded-read routing).
     failed_nodes: HashSet<u32>,
+    /// Extents awaiting background re-protection.
+    pub repair_queue: RepairQueue,
+    /// Rotates spare-node selection so repair placements spread.
+    next_spare: usize,
     /// Per-storage-node stats sinks (index-aligned with `storage_nodes`),
     /// attached by the cluster builder so placement decisions are
     /// observable on the nodes they land on.
@@ -147,6 +274,8 @@ impl ControlPlane {
             caches: Vec::new(),
             extents: HashMap::new(),
             failed_nodes: HashSet::new(),
+            repair_queue: RepairQueue::default(),
+            next_spare: 0,
             storage_stats: Vec::new(),
         }))
     }
@@ -526,6 +655,7 @@ impl ControlPlane {
             _ => None,
         };
         let map = self.extents.entry(file).or_default();
+        let first_new = map.len();
         if !placement.stripes.is_empty() {
             for st in &placement.stripes {
                 map.record(ExtentRecord::Plain {
@@ -557,12 +687,36 @@ impl ControlPlane {
                 coord: placement.primary,
             });
         }
+        // A write that raced a failure commits an extent referencing an
+        // already-failed node (the placement predates `mark_node_failed`,
+        // whose scan could not see this record): queue it now, or the
+        // mid-write kill would leave a permanently degraded extent.
+        if !self.failed_nodes.is_empty() {
+            let map = &self.extents[&file];
+            for rec in first_new..map.len() {
+                if self
+                    .failed_nodes
+                    .iter()
+                    .any(|&n| map.records()[rec].references_node(n))
+                {
+                    self.repair_queue.push_back(RepairTask { file, rec });
+                }
+            }
+        }
     }
 
     /// Mark a storage node failed: reads route around it (replica
-    /// failover, degraded EC reconstruction) until it recovers.
+    /// failover, degraded EC reconstruction), and every committed extent
+    /// with a shard on the node is enqueued for background re-protection.
     pub fn mark_node_failed(&mut self, node: u32) {
-        self.failed_nodes.insert(node);
+        if !self.failed_nodes.insert(node) {
+            return; // already failed; extents are already queued
+        }
+        for (&file, map) in &self.extents {
+            for rec in map.affected_records(node) {
+                self.repair_queue.push_back(RepairTask { file, rec });
+            }
+        }
     }
 
     pub fn mark_node_recovered(&mut self, node: u32) {
@@ -575,15 +729,236 @@ impl ControlPlane {
 
     /// Resolve a ranged read into fetchable pieces: clamp to the
     /// placement cursor (short reads past EOF, like `pread`), then walk
-    /// the extent map routing around failed nodes.
-    pub fn resolve_read(&self, file: u64, offset: u64, len: u32) -> Result<ReadPlan, MetaError> {
+    /// the extent map routing around failed nodes. Any stripe the plan
+    /// serves through degraded reconstruction is promoted to the front of
+    /// the repair queue — the client is paying for that extent right now.
+    pub fn resolve_read(
+        &mut self,
+        file: u64,
+        offset: u64,
+        len: u32,
+    ) -> Result<ReadPlan, MetaError> {
         let meta = self.lookup(file)?;
         let end = (offset + len as u64).min(meta.size);
         let clamped = end.saturating_sub(offset) as u32;
-        match self.extents.get(&file) {
+        let plan = match self.extents.get(&file) {
             Some(map) => map.resolve(offset, clamped, &self.failed_nodes),
             // Nothing committed yet: the whole (clamped) range is a hole.
             None => ExtentMap::new().resolve(offset, clamped, &self.failed_nodes),
+        }?;
+        for piece in &plan.pieces {
+            if let ReadPiece::Degraded { rec, .. } = piece {
+                self.repair_queue.promote(RepairTask { file, rec: *rec });
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The extent-map generation of `file` (bumped by commits and repair
+    /// re-homing; 0 before the first commit).
+    pub fn extent_generation(&self, file: u64) -> u64 {
+        self.extents.get(&file).map_or(0, |m| m.generation())
+    }
+
+    /// Pick a spare node for a repair placement: healthy, not already
+    /// hosting a shard of the extent, rotating so consecutive repairs
+    /// spread. `None` when the cluster has no eligible node.
+    fn choose_spare(&mut self, exclude: &HashSet<u32>) -> Option<NodeId> {
+        let n = self.storage_nodes.len();
+        for i in 0..n {
+            let node = self.storage_nodes[(self.next_spare + i) % n];
+            let id = node as u32;
+            if !self.failed_nodes.contains(&id) && !exclude.contains(&id) {
+                self.next_spare = (self.next_spare + i + 1) % n;
+                return Some(node);
+            }
+        }
+        None
+    }
+
+    fn count_repair_placement(&mut self, node: u32) {
+        if let Some(i) = self.storage_nodes.iter().position(|&n| n as u32 == node) {
+            if let Some(stats) = self.storage_stats.get(i) {
+                stats.borrow_mut().repair_chunks_hosted += 1;
+            }
+        }
+    }
+
+    /// Plan the repair of one queued extent: which surviving shards to
+    /// fetch, which shards to rebuild, and the spare coordinates (freshly
+    /// allocated here) the re-protected data will live at. Unrepairable
+    /// extents are typed errors: a plain extent on a failed node has no
+    /// redundancy ([`MetaError::DataUnavailable`]), an EC stripe with
+    /// fewer than k survivors is lost ([`MetaError::TooManyFailures`]),
+    /// and a cluster with every healthy node already holding a shard has
+    /// nowhere to re-protect to ([`MetaError::NoSpareNode`]).
+    pub fn plan_repair(&mut self, task: RepairTask) -> Result<RepairPlan, MetaError> {
+        let record = self
+            .extents
+            .get(&task.file)
+            .and_then(|m| m.records().get(task.rec))
+            .ok_or(MetaError::UnknownFile(task.file))?
+            .clone();
+        let failed = self.failed_nodes.clone();
+        match record {
+            ExtentRecord::Plain { coord, .. } => {
+                if failed.contains(&coord.node) {
+                    Err(MetaError::DataUnavailable { node: coord.node })
+                } else {
+                    Ok(RepairPlan::AlreadyHealthy)
+                }
+            }
+            ExtentRecord::Replicated { len, replicas, .. } => {
+                let missing: Vec<usize> = replicas
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| failed.contains(&c.node))
+                    .map(|(i, _)| i)
+                    .collect();
+                if missing.is_empty() {
+                    return Ok(RepairPlan::AlreadyHealthy);
+                }
+                let Some(src) = replicas.iter().find(|c| !failed.contains(&c.node)) else {
+                    return Err(MetaError::DataUnavailable {
+                        node: replicas.first().map_or(0, |c| c.node),
+                    });
+                };
+                let mut in_use: HashSet<u32> = replicas
+                    .iter()
+                    .filter(|c| !failed.contains(&c.node))
+                    .map(|c| c.node)
+                    .collect();
+                let mut dest = Vec::with_capacity(missing.len());
+                for slot in missing {
+                    let node = self.choose_spare(&in_use).ok_or(MetaError::NoSpareNode)?;
+                    in_use.insert(node as u32);
+                    let addr = self.alloc_on(node, len.max(1) as u64);
+                    dest.push((
+                        slot,
+                        ReplicaCoord {
+                            node: node as u32,
+                            addr,
+                        },
+                    ));
+                }
+                Ok(RepairPlan::ReplicaClone {
+                    len,
+                    src: *src,
+                    dest,
+                })
+            }
+            ExtentRecord::Ec {
+                offset,
+                chunk_len,
+                scheme,
+                data,
+                parities,
+                ..
+            } => {
+                let k = scheme.k as usize;
+                let shards: Vec<ReplicaCoord> = data.iter().chain(&parities).copied().collect();
+                let missing: Vec<usize> = shards
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| failed.contains(&c.node))
+                    .map(|(i, _)| i)
+                    .collect();
+                if missing.is_empty() {
+                    return Ok(RepairPlan::AlreadyHealthy);
+                }
+                let fetch: Vec<(usize, ReplicaCoord)> = shards
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| !failed.contains(&c.node))
+                    .map(|(i, c)| (i, *c))
+                    .take(k)
+                    .collect();
+                if fetch.len() < k {
+                    return Err(MetaError::TooManyFailures {
+                        stripe_offset: offset,
+                    });
+                }
+                let mut in_use: HashSet<u32> = shards
+                    .iter()
+                    .filter(|c| !failed.contains(&c.node))
+                    .map(|c| c.node)
+                    .collect();
+                let mut rebuild = Vec::with_capacity(missing.len());
+                for slot in missing {
+                    let node = self.choose_spare(&in_use).ok_or(MetaError::NoSpareNode)?;
+                    in_use.insert(node as u32);
+                    // Parity spares keep the (1 + k)-slot staging region
+                    // the INEC firmware path expects for this address
+                    // range, matching the original placement.
+                    let span = if slot >= k {
+                        chunk_len as u64 * (1 + k as u64)
+                    } else {
+                        chunk_len as u64
+                    };
+                    let addr = self.alloc_on(node, span.max(1));
+                    rebuild.push((
+                        slot,
+                        ReplicaCoord {
+                            node: node as u32,
+                            addr,
+                        },
+                    ));
+                }
+                Ok(RepairPlan::EcRebuild {
+                    scheme,
+                    chunk_len,
+                    fetch,
+                    rebuild,
+                })
+            }
+        }
+    }
+
+    /// Commit a finished repair: rewrite the extent's shard coordinates
+    /// to the spare locations, bump the map generation, and invalidate
+    /// client caches through the namespace's version/callback machinery
+    /// (the same channel every other metadata mutation rides).
+    pub fn commit_repair(
+        &mut self,
+        task: RepairTask,
+        replacements: &[(usize, ReplicaCoord)],
+        now_ns: u64,
+    ) -> Result<(), MetaError> {
+        let map = self
+            .extents
+            .get_mut(&task.file)
+            .ok_or(MetaError::UnknownFile(task.file))?;
+        map.rehome(task.rec, replacements)?;
+        self.repair_queue.stats.committed += 1;
+        self.repair_queue.stats.shards_rehomed += replacements.len() as u64;
+        for &(_, coord) in replacements {
+            self.count_repair_placement(coord.node);
+        }
+        // A spare can itself fail while the repair's data movement is in
+        // flight; the failure scan ran before this rehome so it could not
+        // see the new coordinates. Re-enqueue the extent — especially for
+        // replicated records, which fail over silently and would
+        // otherwise run with reduced redundancy forever.
+        if replacements
+            .iter()
+            .any(|(_, c)| self.failed_nodes.contains(&c.node))
+        {
+            self.repair_queue.push_back(task);
+        }
+        self.meta.note_layout_change(task.file, now_ns);
+        self.publish_invalidations();
+        Ok(())
+    }
+
+    /// Take the next repair task (highest priority first).
+    pub fn pop_repair(&mut self) -> Option<RepairTask> {
+        self.repair_queue.pop()
+    }
+
+    /// Put a task back for another attempt after a transient failure.
+    pub fn requeue_repair(&mut self, task: RepairTask) {
+        if self.repair_queue.push_back(task) {
+            self.repair_queue.stats.requeued += 1;
         }
     }
 }
@@ -808,7 +1183,10 @@ mod tests {
         let p = cp.borrow_mut().place_write(f.id, 3 * 4096).expect("place");
         cp.borrow_mut().commit_write(f.id, &p, 3 * 4096);
         // A cross-stripe subrange resolves to the committed coordinates.
-        let plan = cp.borrow().resolve_read(f.id, 4000, 5000).expect("resolve");
+        let plan = cp
+            .borrow_mut()
+            .resolve_read(f.id, 4000, 5000)
+            .expect("resolve");
         assert_eq!(plan.len, 5000);
         let mut covered = 0u32;
         for piece in &plan.pieces {
@@ -826,7 +1204,10 @@ mod tests {
         let f = cp.borrow_mut().create_file(0, FilePolicy::Plain);
         let _p = cp.borrow_mut().place_write(f.id, 1000).expect("place");
         // Placed but never committed (the write never acked): holes.
-        let plan = cp.borrow().resolve_read(f.id, 0, 5000).expect("resolve");
+        let plan = cp
+            .borrow_mut()
+            .resolve_read(f.id, 0, 5000)
+            .expect("resolve");
         assert_eq!(plan.len, 1000, "clamped at the placement cursor");
         assert!(plan
             .pieces
@@ -870,17 +1251,280 @@ mod tests {
         let p = cp.borrow_mut().place_write(f.id, 4096).expect("place");
         cp.borrow_mut().commit_write(f.id, &p, 4096);
         cp.borrow_mut().mark_node_failed(p.replicas[0].node);
-        let plan = cp.borrow().resolve_read(f.id, 0, 4096).expect("resolve");
+        let plan = cp
+            .borrow_mut()
+            .resolve_read(f.id, 0, 4096)
+            .expect("resolve");
         let nadfs_meta::ReadPiece::Direct { coord, .. } = &plan.pieces[0] else {
             panic!("direct piece");
         };
         assert_eq!(coord.node, p.replicas[1].node, "failover to next replica");
         cp.borrow_mut().mark_node_recovered(p.replicas[0].node);
-        let plan2 = cp.borrow().resolve_read(f.id, 0, 4096).expect("resolve");
+        let plan2 = cp
+            .borrow_mut()
+            .resolve_read(f.id, 0, 4096)
+            .expect("resolve");
         let nadfs_meta::ReadPiece::Direct { coord, .. } = &plan2.pieces[0] else {
             panic!("direct piece");
         };
         assert_eq!(coord.node, p.replicas[0].node, "primary serves again");
+    }
+
+    #[test]
+    fn node_failure_enqueues_affected_extents_once() {
+        let cp = plane();
+        let f = cp.borrow_mut().create_file(
+            0,
+            FilePolicy::ErasureCoded {
+                scheme: RsScheme::new(3, 2),
+            },
+        );
+        let p = cp.borrow_mut().place_write(f.id, 3 * 4096).expect("place");
+        cp.borrow_mut().commit_write(f.id, &p, 3 * 4096);
+        let victim = p.data_chunks[0].node;
+        cp.borrow_mut().mark_node_failed(victim);
+        assert_eq!(cp.borrow().repair_queue.len(), 1);
+        // Marking the same node again must not duplicate the task.
+        cp.borrow_mut().mark_node_failed(victim);
+        assert_eq!(cp.borrow().repair_queue.len(), 1);
+        assert_eq!(cp.borrow().repair_queue.stats.enqueued, 1);
+    }
+
+    #[test]
+    fn commit_after_failure_enqueues_the_racing_write() {
+        // The mid-write kill: placement predates the failure, commit
+        // lands after it — the extent must still reach the queue.
+        let cp = plane();
+        let f = cp.borrow_mut().create_file(
+            0,
+            FilePolicy::ErasureCoded {
+                scheme: RsScheme::new(3, 2),
+            },
+        );
+        let p = cp.borrow_mut().place_write(f.id, 3 * 4096).expect("place");
+        cp.borrow_mut().mark_node_failed(p.data_chunks[1].node);
+        assert!(cp.borrow().repair_queue.is_empty(), "nothing committed yet");
+        cp.borrow_mut().commit_write(f.id, &p, 3 * 4096);
+        assert_eq!(cp.borrow().repair_queue.len(), 1);
+    }
+
+    #[test]
+    fn degraded_read_promotes_its_extent_to_the_front() {
+        let cp = plane();
+        let f = cp.borrow_mut().create_file(
+            0,
+            FilePolicy::ErasureCoded {
+                scheme: RsScheme::new(3, 2),
+            },
+        );
+        let a = cp.borrow_mut().place_write(f.id, 3 * 4096).expect("place");
+        cp.borrow_mut().commit_write(f.id, &a, 3 * 4096);
+        let b = cp.borrow_mut().place_write(f.id, 3 * 4096).expect("place");
+        cp.borrow_mut().commit_write(f.id, &b, 3 * 4096);
+        // Both extents share the failed node (same home rotation).
+        cp.borrow_mut().mark_node_failed(a.data_chunks[0].node);
+        assert_eq!(cp.borrow().repair_queue.len(), 2);
+        assert_eq!(
+            cp.borrow().repair_queue.peek(),
+            Some(RepairTask { file: f.id, rec: 0 })
+        );
+        // A degraded read of the SECOND extent jumps it to the front.
+        let _ = cp
+            .borrow_mut()
+            .resolve_read(f.id, 3 * 4096, 4096)
+            .expect("degraded resolve");
+        assert_eq!(
+            cp.borrow().repair_queue.peek(),
+            Some(RepairTask { file: f.id, rec: 1 }),
+            "the extent a client is paying for moves first"
+        );
+        assert_eq!(cp.borrow().repair_queue.len(), 2, "promotion, not a dup");
+    }
+
+    #[test]
+    fn plan_repair_fetches_k_survivors_and_allocates_spares() {
+        let cp = ControlPlane::new(7, vec![4, 5, 6, 7, 8, 9]);
+        let f = cp.borrow_mut().create_file(
+            0,
+            FilePolicy::ErasureCoded {
+                scheme: RsScheme::new(3, 2),
+            },
+        );
+        let p = cp.borrow_mut().place_write(f.id, 3 * 4096).expect("place");
+        cp.borrow_mut().commit_write(f.id, &p, 3 * 4096);
+        let victim = p.data_chunks[1].node;
+        cp.borrow_mut().mark_node_failed(victim);
+        let task = cp.borrow_mut().pop_repair().expect("queued");
+        let plan = cp.borrow_mut().plan_repair(task).expect("plan");
+        let RepairPlan::EcRebuild {
+            scheme,
+            chunk_len,
+            fetch,
+            rebuild,
+        } = plan
+        else {
+            panic!("EC extent plans a rebuild, got {plan:?}");
+        };
+        assert_eq!((scheme.k, scheme.m), (3, 2));
+        assert_eq!(chunk_len, 4096);
+        assert_eq!(fetch.len(), 3, "exactly k survivors fetched");
+        assert!(fetch.iter().all(|(_, c)| c.node != victim));
+        assert_eq!(rebuild.len(), 1);
+        let (slot, spare) = rebuild[0];
+        assert_eq!(slot, 1, "the failed data shard's index");
+        assert_ne!(spare.node, victim);
+        let stripe_nodes: Vec<u32> = p
+            .data_chunks
+            .iter()
+            .chain(&p.parities)
+            .map(|c| c.node)
+            .collect();
+        assert!(
+            !stripe_nodes.contains(&spare.node),
+            "spare must be a new failure domain"
+        );
+        // Commit re-homes the shard; the extent then resolves direct even
+        // though the original node is still failed.
+        let g0 = cp.borrow().extent_generation(f.id);
+        cp.borrow_mut()
+            .commit_repair(task, &[(slot, spare)], 1)
+            .expect("commit");
+        assert_eq!(cp.borrow().extent_generation(f.id), g0 + 1);
+        let plan = cp
+            .borrow_mut()
+            .resolve_read(f.id, 0, 3 * 4096)
+            .expect("resolve");
+        assert_eq!(plan.degraded_stripes, 0, "re-homed: no reconstruction");
+    }
+
+    #[test]
+    fn plan_repair_typed_errors_for_unrepairable_extents() {
+        // Plain extent: no redundancy to rebuild from.
+        let cp = plane();
+        let f = cp.borrow_mut().create_file(0, FilePolicy::Plain);
+        let p = cp.borrow_mut().place_write(f.id, 4096).expect("place");
+        cp.borrow_mut().commit_write(f.id, &p, 4096);
+        cp.borrow_mut().mark_node_failed(p.primary.node);
+        let task = cp.borrow_mut().pop_repair().expect("queued");
+        assert_eq!(
+            cp.borrow_mut().plan_repair(task).unwrap_err(),
+            MetaError::DataUnavailable {
+                node: p.primary.node
+            }
+        );
+        // EC with more than m failures: lost.
+        let cp = ControlPlane::new(7, vec![4, 5, 6, 7, 8, 9]);
+        let f = cp.borrow_mut().create_file(
+            0,
+            FilePolicy::ErasureCoded {
+                scheme: RsScheme::new(3, 2),
+            },
+        );
+        let p = cp.borrow_mut().place_write(f.id, 3 * 4096).expect("place");
+        cp.borrow_mut().commit_write(f.id, &p, 3 * 4096);
+        for c in p.data_chunks.iter().take(3) {
+            cp.borrow_mut().mark_node_failed(c.node);
+        }
+        let task = cp.borrow_mut().pop_repair().expect("queued");
+        assert!(matches!(
+            cp.borrow_mut().plan_repair(task).unwrap_err(),
+            MetaError::TooManyFailures { .. }
+        ));
+        // RS(3,2) on exactly 5 nodes: one failure leaves no spare domain.
+        let cp = plane();
+        let f = cp.borrow_mut().create_file(
+            0,
+            FilePolicy::ErasureCoded {
+                scheme: RsScheme::new(3, 2),
+            },
+        );
+        let p = cp.borrow_mut().place_write(f.id, 3 * 4096).expect("place");
+        cp.borrow_mut().commit_write(f.id, &p, 3 * 4096);
+        cp.borrow_mut().mark_node_failed(p.data_chunks[0].node);
+        let task = cp.borrow_mut().pop_repair().expect("queued");
+        assert_eq!(
+            cp.borrow_mut().plan_repair(task).unwrap_err(),
+            MetaError::NoSpareNode
+        );
+    }
+
+    #[test]
+    fn recovered_node_makes_queued_tasks_already_healthy() {
+        let cp = plane();
+        let f = cp.borrow_mut().create_file(
+            0,
+            FilePolicy::Replicated {
+                k: 3,
+                strategy: BcastStrategy::Ring,
+            },
+        );
+        let p = cp.borrow_mut().place_write(f.id, 4096).expect("place");
+        cp.borrow_mut().commit_write(f.id, &p, 4096);
+        cp.borrow_mut().mark_node_failed(p.replicas[0].node);
+        cp.borrow_mut().mark_node_recovered(p.replicas[0].node);
+        let task = cp.borrow_mut().pop_repair().expect("still queued");
+        assert!(matches!(
+            cp.borrow_mut().plan_repair(task).expect("plan"),
+            RepairPlan::AlreadyHealthy
+        ));
+    }
+
+    #[test]
+    fn commit_onto_a_freshly_failed_spare_requeues_the_extent() {
+        // The spare dies while the repair's data movement is in flight:
+        // the failure scan ran before the rehome, so the commit itself
+        // must notice and put the extent back on the queue.
+        let cp = plane();
+        let f = cp.borrow_mut().create_file(
+            0,
+            FilePolicy::Replicated {
+                k: 2,
+                strategy: BcastStrategy::Ring,
+            },
+        );
+        let p = cp.borrow_mut().place_write(f.id, 4096).expect("place");
+        cp.borrow_mut().commit_write(f.id, &p, 4096);
+        cp.borrow_mut().mark_node_failed(p.replicas[0].node);
+        let task = cp.borrow_mut().pop_repair().expect("queued");
+        let plan = cp.borrow_mut().plan_repair(task).expect("plan");
+        let RepairPlan::ReplicaClone { dest, .. } = plan else {
+            panic!("clone plan");
+        };
+        // The chosen spare fails before the commit lands.
+        cp.borrow_mut().mark_node_failed(dest[0].1.node);
+        cp.borrow_mut()
+            .commit_repair(task, &dest, 1)
+            .expect("commit");
+        assert!(
+            cp.borrow().repair_queue.contains(task),
+            "extent re-enqueued: it still references a failed node"
+        );
+    }
+
+    #[test]
+    fn replicated_repair_plans_clone_from_survivor() {
+        let cp = plane();
+        let f = cp.borrow_mut().create_file(
+            0,
+            FilePolicy::Replicated {
+                k: 3,
+                strategy: BcastStrategy::Ring,
+            },
+        );
+        let p = cp.borrow_mut().place_write(f.id, 8192).expect("place");
+        cp.borrow_mut().commit_write(f.id, &p, 8192);
+        cp.borrow_mut().mark_node_failed(p.replicas[1].node);
+        let task = cp.borrow_mut().pop_repair().expect("queued");
+        let plan = cp.borrow_mut().plan_repair(task).expect("plan");
+        let RepairPlan::ReplicaClone { len, src, dest } = plan else {
+            panic!("replicated extent plans a clone");
+        };
+        assert_eq!(len, 8192);
+        assert!(src.node != p.replicas[1].node);
+        assert_eq!(dest.len(), 1);
+        assert_eq!(dest[0].0, 1, "the lost replica slot");
+        let replica_nodes: Vec<u32> = p.replicas.iter().map(|c| c.node).collect();
+        assert!(!replica_nodes.contains(&dest[0].1.node));
     }
 
     #[test]

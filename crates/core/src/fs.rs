@@ -22,12 +22,13 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use nadfs_meta::{InodeAttr, InodeKind, LayoutSpec, MetaError};
-use nadfs_simnet::{Dur, NodeId, Time};
+use nadfs_simnet::NodeId;
 use nadfs_wire::Status;
 
 use crate::client::{Job, ReadCompletion, ReadProtocol, WriteProtocol, WriteResult};
 use crate::cluster::{SimCluster, StorageMode};
 use crate::control::{FileMeta, FilePolicy};
+use crate::repair::{RepairDriver, RepairReport};
 
 /// Why a file-system operation failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -281,6 +282,20 @@ impl FsClient {
         self.cluster.control.borrow_mut().mark_node_recovered(node);
     }
 
+    /// Extents currently awaiting background re-protection.
+    pub fn repair_backlog(&self) -> usize {
+        self.cluster.control.borrow().repair_queue.len()
+    }
+
+    /// Drain the repair queue through this client's NIC: every queued
+    /// extent is re-protected to spare nodes (or typed unrepairable) and
+    /// its map updated so subsequent reads resolve non-degraded.
+    pub fn drain_repairs(&mut self) -> RepairReport {
+        let mut driver = RepairDriver::new(self.client);
+        driver.op_deadline_ms = self.op_deadline_ms;
+        driver.drain(&mut self.cluster)
+    }
+
     fn flush_writeback(&mut self) {
         let dirty = self.cluster.client_caches[self.client]
             .borrow_mut()
@@ -308,22 +323,9 @@ impl FsClient {
     /// Drive the simulator in bounded slices until the oneshot fills.
     fn run_until_filled<T: Clone>(&mut self, slot: &Rc<RefCell<Option<T>>>) -> Result<T, FsError> {
         self.cluster.start(); // re-kick idle client drivers
-        let deadline = self.cluster.engine.now() + Dur::from_ms(self.op_deadline_ms);
-        loop {
-            if let Some(v) = slot.borrow_mut().take() {
-                return Ok(v);
-            }
-            if self.cluster.engine.now() >= deadline {
-                return Err(FsError::TimedOut);
-            }
-            let target: Time = (self.cluster.engine.now() + Dur::from_us(50)).min(deadline);
-            let drained = self.cluster.engine.run_until(target);
-            if drained {
-                // Queue empty: either the slot filled on the last event
-                // or the op can never complete.
-                return slot.borrow_mut().take().ok_or(FsError::TimedOut);
-            }
-        }
+        self.cluster
+            .run_until_slot(slot, self.op_deadline_ms)
+            .ok_or(FsError::TimedOut)
     }
 
     /// The client node id driving this facade's operations.

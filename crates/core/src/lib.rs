@@ -16,16 +16,21 @@ pub mod control;
 pub mod experiments;
 pub mod fs;
 pub mod handlers;
+pub mod repair;
 pub mod storage;
 pub mod workloads;
 
 pub use client::{
     ClientApp, Job, MetaOp, MetaOpKind, MetaResult, ReadCompletion, ReadProtocol, ReadResult,
-    ReadSlot, ResultSink, WriteProtocol, WriteResult, WriteSlot,
+    ReadSlot, RepairOutcome, RepairResult, RepairSlot, ResultSink, WriteProtocol, WriteResult,
+    WriteSlot,
 };
 pub use cluster::{ClusterSpec, SimCluster, StorageMode};
 pub use config::{CostModel, HandlerCosts, MetaCosts};
-pub use control::{ControlPlane, FileMeta, FilePolicy, StripeTarget, WritePlacement};
+pub use control::{
+    ControlPlane, FileMeta, FilePolicy, RepairPlan, RepairQueue, RepairStats, RepairTask,
+    StripeTarget, WritePlacement,
+};
 pub use experiments::{
     ec_encode_latency_us, ec_encode_throughput_gbit, handler_report, pipeline_breakdown_ns,
     replication_latency_us, storage_goodput_gbit, write_latency_best_chunk, write_latency_us,
@@ -33,6 +38,7 @@ pub use experiments::{
 };
 pub use fs::{default_read_protocol, default_write_protocol, FileHandle, FsClient, FsError};
 pub use handlers::{DfsCounters, DfsHandlers, DfsNicState};
+pub use repair::{RepairDriver, RepairReport};
 // The metadata subsystem's vocabulary, re-exported for callers.
 pub use nadfs_meta::{
     CacheStats, ChunkCopy, ExtentMap, ExtentRecord, InodeAttr, InodeKind, LayoutSpec, MetaCache,

@@ -44,6 +44,9 @@ pub struct StorageStats {
     /// by the control plane at placement time; striped plain writes
     /// only — replication/EC fan-out is counted by their own fields).
     pub stripe_chunks_placed: u64,
+    /// Re-protected shards the repair pipeline committed to this node
+    /// (this node was chosen as the spare).
+    pub repair_chunks_hosted: u64,
 }
 
 pub type SharedStorageStats = Rc<RefCell<StorageStats>>;

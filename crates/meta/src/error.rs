@@ -30,6 +30,9 @@ pub enum MetaError {
     DataUnavailable { node: u32 },
     /// An erasure-coded stripe has fewer than k surviving shards.
     TooManyFailures { stripe_offset: u64 },
+    /// Repair needs a spare storage node, but every node is either failed
+    /// or already hosts a shard of the extent being re-protected.
+    NoSpareNode,
 }
 
 impl fmt::Display for MetaError {
@@ -53,6 +56,9 @@ impl fmt::Display for MetaError {
                     f,
                     "stripe at offset {stripe_offset} has fewer than k surviving shards"
                 )
+            }
+            MetaError::NoSpareNode => {
+                write!(f, "no spare storage node available for repair placement")
             }
         }
     }

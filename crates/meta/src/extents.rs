@@ -12,6 +12,12 @@
 //! replicated extents, and — for erasure-coded stripes whose data chunk
 //! sits on a failed node — a degraded-fetch piece naming the k surviving
 //! shards to pull and the chunk ranges to copy out of the reconstruction.
+//!
+//! The map is also the unit the background repair pipeline re-homes:
+//! [`ExtentMap::affected_records`] finds the records a failed node holds
+//! shards of, and [`ExtentMap::rehome`] rewrites those shard coordinates
+//! to their re-protected spare locations, bumping the map's generation so
+//! cached read plans can be recognized as stale.
 
 use std::collections::HashSet;
 
@@ -48,6 +54,33 @@ pub enum ExtentRecord {
 }
 
 impl ExtentRecord {
+    /// Every `(node, addr)` coordinate this record references, paired with
+    /// its shard slot: EC shard index (data `0..k`, parity `k..k+m`),
+    /// replica index, or `0` for a plain extent.
+    pub fn shard_coords(&self) -> Vec<(usize, ReplicaCoord)> {
+        match self {
+            ExtentRecord::Plain { coord, .. } => vec![(0, *coord)],
+            ExtentRecord::Replicated { replicas, .. } => {
+                replicas.iter().copied().enumerate().collect()
+            }
+            ExtentRecord::Ec { data, parities, .. } => {
+                data.iter().chain(parities).copied().enumerate().collect()
+            }
+        }
+    }
+
+    /// Does any shard of this record live on `node`? (Allocation-free:
+    /// this sits in the failure-scan loop over every committed record.)
+    pub fn references_node(&self, node: u32) -> bool {
+        match self {
+            ExtentRecord::Plain { coord, .. } => coord.node == node,
+            ExtentRecord::Replicated { replicas, .. } => replicas.iter().any(|c| c.node == node),
+            ExtentRecord::Ec { data, parities, .. } => {
+                data.iter().chain(parities).any(|c| c.node == node)
+            }
+        }
+    }
+
     fn offset(&self) -> u64 {
         match self {
             ExtentRecord::Plain { offset, .. }
@@ -91,8 +124,10 @@ pub enum ReadPiece {
     },
     /// Degraded erasure-coded stripe: fetch the k surviving shards listed
     /// in `fetch` (shard index, coordinate), reconstruct, then serve the
-    /// `copy` ranges from the recovered data chunks.
+    /// `copy` ranges from the recovered data chunks. `rec` identifies the
+    /// underlying extent record so the repair queue can promote it.
     Degraded {
+        rec: usize,
         scheme: RsScheme,
         chunk_len: u32,
         fetch: Vec<(usize, ReplicaCoord)>,
@@ -116,6 +151,9 @@ pub struct ReadPlan {
 #[derive(Clone, Debug, Default)]
 pub struct ExtentMap {
     records: Vec<ExtentRecord>,
+    /// Bumped on every mutation (record or repair re-homing): the
+    /// staleness currency for anything caching resolved placements.
+    generation: u64,
 }
 
 impl ExtentMap {
@@ -128,6 +166,7 @@ impl ExtentMap {
     pub fn record(&mut self, rec: ExtentRecord) {
         if rec.len() > 0 {
             self.records.push(rec);
+            self.generation += 1;
         }
     }
 
@@ -137,6 +176,69 @@ impl ExtentMap {
 
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
+    }
+
+    /// The committed records, in commit order (index = record id).
+    pub fn records(&self) -> &[ExtentRecord] {
+        &self.records
+    }
+
+    /// Mutation counter: bumped by [`Self::record`] and [`Self::rehome`].
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Record ids of every extent with at least one shard on `node` —
+    /// what a node failure puts on the repair queue.
+    pub fn affected_records(&self, node: u32) -> Vec<usize> {
+        self.records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.references_node(node))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Commit a repair: rewrite the shard slots of record `rec` to their
+    /// re-protected coordinates and bump the generation. Slot numbering
+    /// follows [`ExtentRecord::shard_coords`]. Out-of-range record or
+    /// slot ids are a typed error (a stale repair task, e.g. after the
+    /// file was truncated out from under the queue).
+    pub fn rehome(
+        &mut self,
+        rec: usize,
+        replacements: &[(usize, ReplicaCoord)],
+    ) -> Result<(), MetaError> {
+        let record = self.records.get_mut(rec).ok_or(MetaError::NotFound)?;
+        let slots = match record {
+            ExtentRecord::Plain { .. } => 1,
+            ExtentRecord::Replicated { replicas, .. } => replicas.len(),
+            ExtentRecord::Ec { data, parities, .. } => data.len() + parities.len(),
+        };
+        // Validate every slot before touching any: a rejected repair must
+        // leave the record (and the generation) exactly as it was.
+        if replacements.iter().any(|&(slot, _)| slot >= slots) {
+            return Err(MetaError::NotFound);
+        }
+        for &(slot, coord) in replacements {
+            let target = match record {
+                ExtentRecord::Plain { coord: c, .. } => c,
+                ExtentRecord::Replicated { replicas, .. } => &mut replicas[slot],
+                ExtentRecord::Ec { data, parities, .. } => {
+                    let k = data.len();
+                    if slot < k {
+                        &mut data[slot]
+                    } else {
+                        &mut parities[slot - k]
+                    }
+                }
+            };
+            *target = coord;
+        }
+        if !replacements.is_empty() {
+            self.generation += 1;
+        }
+        Ok(())
     }
 
     /// Resolve the logical range `[offset, offset + len)` into fetchable
@@ -152,7 +254,7 @@ impl ExtentMap {
         // Uncovered subranges of the request; newest records carve them
         // up first, so every byte is served by the latest write.
         let mut gaps = vec![(offset, offset + len as u64)];
-        for rec in self.records.iter().rev() {
+        for (rec_id, rec) in self.records.iter().enumerate().rev() {
             if gaps.is_empty() {
                 break;
             }
@@ -182,6 +284,7 @@ impl ExtentMap {
             if !segments.is_empty() {
                 Self::pieces_for(
                     rec,
+                    rec_id,
                     &segments,
                     offset,
                     failed,
@@ -208,8 +311,10 @@ impl ExtentMap {
     /// into a read starting at logical `base`. One call covers every
     /// segment the record serves, so an EC record emits at most one
     /// degraded fetch no matter how a newer write split the request.
+    #[allow(clippy::too_many_arguments)]
     fn pieces_for(
         rec: &ExtentRecord,
+        rec_id: usize,
         segments: &[(u64, u64)],
         base: u64,
         failed: &HashSet<u32>,
@@ -308,6 +413,7 @@ impl ExtentMap {
                         });
                     }
                     pieces.push(ReadPiece::Degraded {
+                        rec: rec_id,
                         scheme: *scheme,
                         chunk_len: *chunk_len,
                         fetch,
@@ -619,6 +725,112 @@ mod tests {
                 },
             ]
         );
+    }
+
+    #[test]
+    fn affected_records_finds_every_policy_kind() {
+        let mut m = ExtentMap::new();
+        m.record(ExtentRecord::Plain {
+            offset: 0,
+            len: 10,
+            coord: coord(1, 0),
+        });
+        m.record(ExtentRecord::Replicated {
+            offset: 10,
+            len: 10,
+            replicas: vec![coord(2, 0), coord(3, 0)],
+        });
+        m.record(ExtentRecord::Ec {
+            offset: 20,
+            len: 20,
+            chunk_len: 10,
+            scheme: RsScheme::new(2, 1),
+            data: vec![coord(4, 0), coord(5, 0)],
+            parities: vec![coord(3, 0x100)],
+        });
+        assert_eq!(m.affected_records(3), vec![1, 2], "replica and parity");
+        assert_eq!(m.affected_records(1), vec![0]);
+        assert!(m.affected_records(9).is_empty());
+    }
+
+    #[test]
+    fn rehome_rewrites_shards_and_bumps_generation() {
+        let mut m = ExtentMap::new();
+        m.record(ExtentRecord::Ec {
+            offset: 0,
+            len: 2000,
+            chunk_len: 1000,
+            scheme: RsScheme::new(2, 1),
+            data: vec![coord(1, 0x1000), coord(2, 0x2000)],
+            parities: vec![coord(3, 0x3000)],
+        });
+        let g0 = m.generation();
+        // Re-home data shard 1 and the parity (shard 2) to spares.
+        m.rehome(0, &[(1, coord(7, 0x7000)), (2, coord(8, 0x8000))])
+            .expect("rehome");
+        assert_eq!(m.generation(), g0 + 1, "repair commit bumps generation");
+        let failed: HashSet<u32> = [2].into();
+        let plan = m.resolve(0, 2000, &failed).expect("resolve");
+        assert_eq!(plan.degraded_stripes, 0, "shard no longer on node 2");
+        assert!(plan.pieces.iter().any(
+            |p| matches!(p, ReadPiece::Direct { coord, .. } if coord.node == 7),
+            // the re-homed shard serves from the spare
+        ));
+        // Stale slot / record ids are typed errors, not panics.
+        assert_eq!(
+            m.rehome(0, &[(5, coord(9, 0))]).unwrap_err(),
+            MetaError::NotFound
+        );
+        assert_eq!(
+            m.rehome(3, &[(0, coord(9, 0))]).unwrap_err(),
+            MetaError::NotFound
+        );
+        // A rejected batch is atomic: the valid slot is NOT applied and
+        // the generation does not move.
+        let g = m.generation();
+        assert_eq!(
+            m.rehome(0, &[(0, coord(11, 0xB000)), (9, coord(12, 0xC000))])
+                .unwrap_err(),
+            MetaError::NotFound
+        );
+        assert_eq!(m.generation(), g, "partial application never happens");
+        let plan = m.resolve(0, 2000, &HashSet::new()).expect("resolve");
+        assert!(
+            !plan
+                .pieces
+                .iter()
+                .any(|p| matches!(p, ReadPiece::Direct { coord, .. } if coord.node == 11)),
+            "slot 0 untouched by the rejected batch"
+        );
+    }
+
+    #[test]
+    fn degraded_pieces_carry_their_record_id() {
+        let mut m = ExtentMap::new();
+        m.record(ExtentRecord::Plain {
+            offset: 0,
+            len: 100,
+            coord: coord(9, 0),
+        });
+        m.record(ExtentRecord::Ec {
+            offset: 100,
+            len: 2000,
+            chunk_len: 1000,
+            scheme: RsScheme::new(2, 1),
+            data: vec![coord(1, 0x1000), coord(2, 0x2000)],
+            parities: vec![coord(3, 0x3000)],
+        });
+        let failed: HashSet<u32> = [1].into();
+        let plan = m.resolve(100, 2000, &failed).expect("resolve");
+        let rec = plan
+            .pieces
+            .iter()
+            .find_map(|p| match p {
+                ReadPiece::Degraded { rec, .. } => Some(*rec),
+                _ => None,
+            })
+            .expect("degraded piece");
+        assert_eq!(rec, 1, "the EC record's commit-order id");
     }
 
     #[test]

@@ -185,6 +185,19 @@ impl MetadataService {
         Ok(attr)
     }
 
+    /// Note a layout-level change to `ino`'s data placement (extent
+    /// re-homing by the repair pipeline): bump the inode's version so
+    /// version checks see it, and publish a `Changed` event so client
+    /// caches drop the stale entry through the ordinary callback channel.
+    /// A file unlinked while its repair was in flight is a silent no-op.
+    pub fn note_layout_change(&mut self, ino: InodeId, now_ns: u64) {
+        if self.ns.append(ino, 0, now_ns).is_ok() {
+            if let Some(path) = self.ns.path_of(ino) {
+                self.events.push(MetaEvent::Changed { path });
+            }
+        }
+    }
+
     /// Apply a client's write-back attr flush (one round-trip for the
     /// whole batch). Applied per entry in inode order so the outcome is
     /// deterministic; updates for files that vanished in the meantime

@@ -190,13 +190,19 @@ impl Chains {
                     let len = chunk_sz.min(st.cfg.total_len - start);
                     st.next_fwd = chunk + 1;
                     st.busy = false;
-                    let data = core.mem.borrow().read(addr + start as u64, len as usize);
+                    // Forward buffer from the NIC's recycled ring: the
+                    // incoming write payloads this chunk was assembled
+                    // from retire into the same pool, so steady-state
+                    // forwarding never touches the allocator (the last
+                    // remaining alloc-per-hop on the HyperLoop path).
+                    let mut buf = core.pool.borrow_mut().get_dirty(len as usize);
+                    core.mem.borrow().read_into(addr + start as u64, &mut buf);
                     let wrh = WriteReqHeader {
                         target_addr: next.addr + start as u64,
                         len,
                         resiliency: Resiliency::None,
                     };
-                    (next.node as NodeId, wrh, bytes::Bytes::from(data))
+                    (next.node as NodeId, wrh, bytes::Bytes::from(buf))
                 };
                 core.chains.chunks_forwarded += 1;
                 let _ = now;

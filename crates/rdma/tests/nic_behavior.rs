@@ -307,10 +307,18 @@ fn hyperloop_ring_replicates_and_tail_acks() {
         HashMap::new(),
         HashMap::new(),
     ];
+    // Capture the interior ring nodes' buffer pools: chain forwarding
+    // must draw its per-chunk buffers from the recycled ring, not the
+    // allocator (the former alloc-per-hop).
+    let pool2: Rc<RefCell<Option<nadfs_simnet::SharedBufPool>>> = Rc::new(RefCell::new(None));
+    let p2 = pool2.clone();
+    let setup2: Setup = Box::new(move |nic: &mut NicCore| {
+        *p2.borrow_mut() = Some(nic.buf_pool());
+    });
     let mut c = build(
         4,
         actions,
-        vec![None, None, None, None],
+        vec![None, None, Some(setup2), None],
         NicConfig::default(),
     );
     kick(&mut c, 0, 1, Dur::ZERO);
@@ -331,6 +339,26 @@ fn hyperloop_ring_replicates_and_tail_acks() {
             "replica {node}"
         );
     }
+    // Node 2's forwards (one buffer per chunk) recycle the chunk payloads
+    // node 1 forwarded to it: steady-state chain forwarding stays off the
+    // allocator.
+    let stats = pool2
+        .borrow()
+        .as_ref()
+        .expect("pool captured")
+        .borrow()
+        .stats();
+    let n_chunks = total.div_ceil(chunk) as u64;
+    assert_eq!(
+        stats.gets, n_chunks,
+        "one pooled buffer per forwarded chunk"
+    );
+    assert!(
+        stats.hits >= n_chunks - 1,
+        "chunk forwarding must recycle landed payloads (hits {}/{} gets)",
+        stats.hits,
+        stats.gets
+    );
 }
 
 #[test]

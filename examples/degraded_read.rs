@@ -1,9 +1,13 @@
-//! Degraded reads: lose a storage node, keep serving the bytes.
+//! Degraded reads and background repair: lose a storage node, keep
+//! serving the bytes, then re-protect them.
 //!
 //! An RS(3,2) erasure-coded file is written through the per-packet
 //! streaming TriEC path (§VI-B), a data node is then marked failed, and
 //! `read_at` transparently reconstructs the missing chunk from the k
 //! surviving data + parity shards using the cached decode matrices.
+//! The failure also queues the extent for background repair: draining
+//! the queue rebuilds the lost shard onto a spare node, after which
+//! reads resolve through the normal path even with the node still dead.
 //!
 //! Run with: `cargo run --release -p nadfs-examples --example degraded_read`
 
@@ -11,10 +15,11 @@ use nadfs_core::{ClusterSpec, FilePolicy, FsClient, LayoutSpec, SimCluster, Stor
 use nadfs_wire::RsScheme;
 
 fn main() {
-    // k + m = 5 storage nodes, PsPIN mode: data chunks stream to k nodes
-    // while NIC handlers multiply/aggregate the m parities.
+    // k + m = 5 storage nodes for the stripe plus one spare repair
+    // domain, PsPIN mode: data chunks stream to k nodes while NIC
+    // handlers multiply/aggregate the m parities.
     let scheme = RsScheme::new(3, 2);
-    let cluster = SimCluster::build(ClusterSpec::new(1, 5, StorageMode::Spin));
+    let cluster = SimCluster::build(ClusterSpec::new(1, 6, StorageMode::Spin));
     let mut fs = FsClient::new(cluster);
 
     fs.mkdir_p("/archive").expect("mkdir");
@@ -80,9 +85,37 @@ fn main() {
         (healthy.end - healthy.start).as_us()
     );
 
-    // Recovery: direct reads resume.
+    // The failure queued the extent for re-protection (and the degraded
+    // read promoted it to the front). Drain the repair queue: the k
+    // surviving shards are fetched over the NIC, the lost chunk is
+    // rebuilt, written to a spare node, and the extent map re-homed.
+    println!("repair backlog: {} extent(s)", fs.repair_backlog());
+    let report = fs.drain_repairs();
+    assert!(report.converged());
+    println!(
+        "repair drained: {} extent(s) re-protected, {} KiB moved over the data path",
+        report.repaired,
+        report.bytes_moved >> 10
+    );
+
+    // The failed node is STILL down, yet reads are direct again — the
+    // shard now lives on the spare.
+    let repaired = fs
+        .read_at(&file, 0, data.len() as u32)
+        .expect("post-repair read");
+    assert_eq!(repaired.data.as_ref(), &data[..]);
+    assert_eq!(repaired.degraded_stripes, 0, "re-homed: no reconstruction");
+    println!(
+        "post-repair read (node still failed): {} bytes, {} degraded stripes, {:.2} us",
+        repaired.len,
+        repaired.degraded_stripes,
+        (repaired.end - repaired.start).as_us()
+    );
+
+    // Recovery of the original node changes nothing for this extent; a
+    // later failure of the spare would queue it again.
     fs.recover_storage_node(failed_idx);
     let recovered = fs.read_at(&file, 0, data.len() as u32).expect("read");
     assert_eq!(recovered.degraded_stripes, 0);
-    println!("node recovered; reads are direct again");
+    println!("node recovered; extent stays on its re-protected placement");
 }

@@ -1,1 +1,234 @@
-//! Integration test crate; see tests/ directory.
+//! Shared test support: the deterministic fault-injection harness.
+//!
+//! A [`FaultPlan`] scripts node kills (and recoveries) at well-defined
+//! points of a workload — after the Nth write, after the Nth read, after
+//! the Nth repair task — with any "pick a victim" decision drawn from a
+//! seeded generator, so a failing interleaving reproduces from its seed
+//! alone. The CI matrix runs the fault suite under several fixed seeds
+//! (`NADFS_FAULT_SEED`) so scheduling-order regressions reproduce
+//! deterministically.
+//!
+//! The harness deliberately drives the public surfaces only — `FsClient`
+//! for I/O, [`RepairDriver`] for queue drains — so the injected faults
+//! exercise the exact paths production callers would hit.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use nadfs_core::{
+    FileHandle, FsClient, Job, RepairDriver, RepairReport, RepairResult, WriteResult, WriteSlot,
+};
+use nadfs_simnet::Dur;
+
+/// The fault-suite seed: `NADFS_FAULT_SEED` when set (the CI matrix), a
+/// fixed default otherwise — never wall-clock, never process entropy.
+pub fn seed_from_env() -> u64 {
+    std::env::var("NADFS_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xD00D_F00D)
+}
+
+/// Tiny deterministic generator (splitmix64) for victim selection.
+#[derive(Clone, Debug)]
+pub struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    pub fn new(seed: u64) -> SplitMix {
+        SplitMix {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform pick from `0..n` (n > 0).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len())]
+    }
+}
+
+/// Where in the workload a scripted fault fires. Counters are cumulative
+/// over the plan's lifetime (the 3rd write is `AfterWrites(3)`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPoint {
+    AfterWrites(u32),
+    AfterReads(u32),
+    /// After the Nth completed repair task — faults *during* the drain.
+    AfterRepairs(u32),
+}
+
+/// What fires at a [`FaultPoint`]. Node identities are storage-node
+/// *indexes* (position in `cluster.storage_nodes`).
+#[derive(Clone, Debug)]
+pub enum FaultAction {
+    /// Kill a specific storage node.
+    FailNode(usize),
+    /// Kill a seed-chosen node from the candidate set.
+    FailRandomOf(Vec<usize>),
+    /// Bring a specific node back.
+    RecoverNode(usize),
+}
+
+/// A scripted, seeded schedule of node kills. Feed it completion events
+/// (`note_write` / `note_read` / `note_repair`) and it fires the armed
+/// actions at their scripted points, recording a deterministic log.
+pub struct FaultPlan {
+    pub seed: u64,
+    rng: SplitMix,
+    armed: Vec<(FaultPoint, FaultAction)>,
+    writes: u32,
+    reads: u32,
+    repairs: u32,
+    /// Human-readable record of every fault fired, in order — assert on
+    /// it to prove determinism per seed.
+    pub log: Vec<String>,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rng: SplitMix::new(seed),
+            armed: Vec::new(),
+            writes: 0,
+            reads: 0,
+            repairs: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// Arm an action at a point (builder-style).
+    pub fn on(mut self, point: FaultPoint, action: FaultAction) -> FaultPlan {
+        self.armed.push((point, action));
+        self
+    }
+
+    pub fn note_write(&mut self, fsc: &mut FsClient) {
+        self.writes += 1;
+        let p = FaultPoint::AfterWrites(self.writes);
+        self.fire(fsc, p);
+    }
+
+    pub fn note_read(&mut self, fsc: &mut FsClient) {
+        self.reads += 1;
+        let p = FaultPoint::AfterReads(self.reads);
+        self.fire(fsc, p);
+    }
+
+    pub fn note_repair(&mut self, fsc: &mut FsClient) {
+        self.repairs += 1;
+        let p = FaultPoint::AfterRepairs(self.repairs);
+        self.fire(fsc, p);
+    }
+
+    fn fire(&mut self, fsc: &mut FsClient, point: FaultPoint) {
+        // Collect first: firing mutates the rng/log and the cluster.
+        let due: Vec<FaultAction> = self
+            .armed
+            .iter()
+            .filter(|(p, _)| *p == point)
+            .map(|(_, a)| a.clone())
+            .collect();
+        for action in due {
+            match action {
+                FaultAction::FailNode(idx) => {
+                    fsc.fail_storage_node(idx);
+                    self.log.push(format!("{point:?}: fail node {idx}"));
+                }
+                FaultAction::FailRandomOf(cands) => {
+                    let idx = *self.rng.pick(&cands);
+                    fsc.fail_storage_node(idx);
+                    self.log
+                        .push(format!("{point:?}: fail node {idx} (of {cands:?})"));
+                }
+                FaultAction::RecoverNode(idx) => {
+                    fsc.recover_storage_node(idx);
+                    self.log.push(format!("{point:?}: recover node {idx}"));
+                }
+            }
+        }
+    }
+}
+
+/// Drain the repair queue one task at a time, feeding each completion to
+/// the fault plan so scripted kills fire *during* repair — the
+/// "node dies while the pipeline is re-protecting" interleaving.
+pub fn drain_repairs_with_faults(fsc: &mut FsClient, plan: &mut FaultPlan) -> RepairReport {
+    let mut driver = RepairDriver::new(0);
+    let mut report = RepairReport::default();
+    while let Some(r) = driver.step(&mut fsc.cluster) {
+        match &r.outcome {
+            nadfs_core::RepairOutcome::Rebuilt { .. }
+            | nadfs_core::RepairOutcome::Cloned { .. } => {
+                report.repaired += 1;
+                report.bytes_moved += r.bytes_moved;
+            }
+            nadfs_core::RepairOutcome::AlreadyHealthy => report.already_healthy += 1,
+            nadfs_core::RepairOutcome::Unrepairable(_) => report.unrepairable += 1,
+            nadfs_core::RepairOutcome::Aborted(_) => {
+                report.aborted_attempts += 1;
+                // Same gave-up accounting as RepairDriver::drain — without
+                // it, `report.converged()` would be vacuously true here.
+                if driver.attempts_for(r.task) >= driver.max_attempts {
+                    report.gave_up += 1;
+                }
+            }
+        }
+        report.outcomes.push(r);
+        plan.note_repair(fsc);
+    }
+    report
+}
+
+/// The "mid-write kill": submit a write, run the simulation for
+/// `after_us` of simulated time (the data is in flight), kill storage
+/// node `fail_idx`, then run the write to completion. The commit then
+/// references an already-failed node, which must land the extent on the
+/// repair queue. Drives client 0.
+pub fn write_then_fail_midway(
+    fsc: &mut FsClient,
+    h: &FileHandle,
+    offset: u64,
+    data: &[u8],
+    fail_idx: usize,
+    after_us: u64,
+) -> WriteResult {
+    let slot: WriteSlot = Rc::new(RefCell::new(None));
+    fsc.cluster.submit(
+        0,
+        Job::WriteAt {
+            file: h.id(),
+            offset: Some(offset),
+            data: Bytes::from(data.to_vec()),
+            protocol: h.write_protocol,
+            slot: Some(slot.clone()),
+        },
+    );
+    fsc.cluster.start();
+    let mid = fsc.cluster.engine.now() + Dur::from_us(after_us);
+    fsc.cluster.engine.run_until(mid);
+    fsc.fail_storage_node(fail_idx);
+    fsc.cluster
+        .run_until_slot(&slot, 10_000)
+        .expect("mid-write-kill write never completed")
+}
+
+/// Convenience: a repair driver whose completions feed nothing (plain
+/// drain), returning the per-task results for inspection.
+pub fn drain_repairs(fsc: &mut FsClient) -> Vec<RepairResult> {
+    fsc.drain_repairs().outcomes
+}

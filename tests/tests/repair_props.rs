@@ -1,0 +1,180 @@
+//! Property tests for the repair pipeline's invariants.
+//!
+//! 1. Queue discipline: under arbitrary push/promote/pop interleavings
+//!    the repair queue never holds duplicates, promotion is front
+//!    insertion, and membership tracking matches the queue contents.
+//! 2. End-to-end convergence: for arbitrary write/fail interleavings on
+//!    a live simulated cluster, draining the repair queue leaves every
+//!    extent resolving through the normal (non-degraded) path with
+//!    bytes identical to a shadow model.
+
+use nadfs_core::{
+    ClusterSpec, FilePolicy, FsClient, LayoutSpec, RepairQueue, RepairTask, SimCluster, StorageMode,
+};
+use nadfs_wire::{BcastStrategy, RsScheme};
+use proptest::prelude::*;
+
+// --- 1. queue discipline -------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum QueueOp {
+    PushBack(u8, u8),
+    Promote(u8, u8),
+    Pop,
+}
+
+fn queue_op() -> impl Strategy<Value = QueueOp> {
+    (0u8..3, 0u8..4, 0u8..4).prop_map(|(kind, f, r)| match kind {
+        0 => QueueOp::PushBack(f, r),
+        1 => QueueOp::Promote(f, r),
+        _ => QueueOp::Pop,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn queue_never_duplicates_and_promotion_is_front_insertion(
+        ops in proptest::collection::vec(queue_op(), 1..60)
+    ) {
+        let mut q = RepairQueue::default();
+        let mut model: Vec<RepairTask> = Vec::new();
+        for op in ops {
+            match op {
+                QueueOp::PushBack(f, r) => {
+                    let t = RepairTask { file: f as u64, rec: r as usize };
+                    let inserted = q.push_back(t);
+                    prop_assert_eq!(inserted, !model.contains(&t));
+                    if inserted {
+                        model.push(t);
+                    }
+                }
+                QueueOp::Promote(f, r) => {
+                    let t = RepairTask { file: f as u64, rec: r as usize };
+                    q.promote(t);
+                    model.retain(|&x| x != t);
+                    model.insert(0, t);
+                    prop_assert_eq!(q.peek(), Some(t));
+                }
+                QueueOp::Pop => {
+                    let got = q.pop();
+                    let want = if model.is_empty() { None } else { Some(model.remove(0)) };
+                    prop_assert_eq!(got, want);
+                    if let Some(t) = got {
+                        prop_assert!(!q.contains(t), "popped tasks leave the member set");
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+        }
+        // Draining always terminates and empties the member set.
+        while q.pop().is_some() {}
+        prop_assert!(q.is_empty());
+    }
+}
+
+// --- 2. end-to-end convergence -------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Policy {
+    Ec,
+    Replicated,
+}
+
+fn policy() -> impl Strategy<Value = Policy> {
+    (0u8..2).prop_map(|k| {
+        if k == 0 {
+            Policy::Ec
+        } else {
+            Policy::Replicated
+        }
+    })
+}
+
+/// One scripted scenario: `writes` = (offset, len) pairs applied in
+/// order; the node kill fires after `fail_after` of them (so writes
+/// before AND after the failure are exercised); `victim` indexes the
+/// storage nodes.
+#[derive(Clone, Debug)]
+struct Scenario {
+    policy: Policy,
+    writes: Vec<(u64, usize)>,
+    fail_after: usize,
+    victim: usize,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        policy(),
+        proptest::collection::vec((0u64..6_000, 500usize..3_000), 1..4),
+        0usize..4,
+        0usize..5,
+    )
+        .prop_map(|(policy, writes, fail_after, victim)| Scenario {
+            policy,
+            fail_after: fail_after.min(writes.len()),
+            writes,
+            victim,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn after_drain_no_extent_resolves_degraded_and_bytes_match(s in scenario()) {
+        let n_storage = 5;
+        let mut fsc = FsClient::new(SimCluster::build(ClusterSpec::new(
+            1,
+            n_storage,
+            StorageMode::Spin,
+        )));
+        fsc.mkdir_p("/p").expect("mkdir");
+        let file_policy = match s.policy {
+            Policy::Ec => FilePolicy::ErasureCoded { scheme: RsScheme::new(2, 1) },
+            Policy::Replicated => FilePolicy::Replicated { k: 2, strategy: BcastStrategy::Ring },
+        };
+        let h = fsc
+            .create_with_policy("/p/f", LayoutSpec::SINGLE, file_policy)
+            .expect("create");
+        // Shadow model of the file's logical bytes.
+        let mut model: Vec<u8> = Vec::new();
+        let mut failed = false;
+        for (i, &(offset, len)) in s.writes.iter().enumerate() {
+            if i == s.fail_after {
+                fsc.fail_storage_node(s.victim);
+                failed = true;
+            }
+            let data: Vec<u8> = (0..len)
+                .map(|b| (b as u64 ^ offset ^ (i as u64) << 3) as u8)
+                .collect();
+            fsc.write_at(&h, offset, &data).expect("write");
+            let end = offset as usize + len;
+            if model.len() < end {
+                model.resize(end, 0);
+            }
+            model[offset as usize..end].copy_from_slice(&data);
+        }
+        if !failed {
+            fsc.fail_storage_node(s.victim);
+        }
+
+        let report = fsc.drain_repairs();
+        // One failure, EC(2,1)/2-way replication, and a spare domain
+        // always exist on 5 nodes: every queued extent must re-protect.
+        prop_assert!(report.converged(), "drain gave up: {report:?}");
+        prop_assert_eq!(report.unrepairable, 0);
+        prop_assert_eq!(fsc.repair_backlog(), 0);
+
+        // Invariant 1: no extent resolves degraded after the drain.
+        // Invariant 2: re-protected bytes ≡ the shadow model.
+        if !model.is_empty() {
+            let r = fsc
+                .read_at(&h, 0, model.len() as u32)
+                .expect("post-drain read");
+            prop_assert_eq!(r.degraded_stripes, 0);
+            prop_assert_eq!(r.data.as_ref(), &model[..]);
+        }
+    }
+}
