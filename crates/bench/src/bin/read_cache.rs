@@ -1,0 +1,14 @@
+//! Client read cache + readahead: cached vs uncached `read_at` latency,
+//! throughput, hit rate, and control-RPC reduction (see
+//! nadfs_bench::read_cache). Writes `BENCH_read_cache.json`.
+
+fn main() {
+    let report = nadfs_bench::read_cache::run();
+    print!("{}", nadfs_bench::read_cache::render(&report));
+    let json = nadfs_bench::read_cache::to_json(&report);
+    let path = "BENCH_read_cache.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("  wrote {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+}

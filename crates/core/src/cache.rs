@@ -1,0 +1,693 @@
+//! Client-side read cache + readahead, keyed by the extent-map
+//! generation.
+//!
+//! Every `read_at` the cache absorbs skips the whole uncached pipeline: a
+//! control-plane resolve, a capability header, the per-stripe fan-out of
+//! one-sided reads, and — for degraded ranges — a full k-shard
+//! reconstruction. This is the Lustre/AsyncFS-style client cache the
+//! roadmap seeds, with invalidation made *precise* by the generation
+//! counter PR 4 threaded through commits and repair re-homing
+//! ([`nadfs_meta::ExtentMap::generation`]): every cached byte range is
+//! tagged with the generation of the [`ReadPlan`] that fetched it, and a
+//! [`MetaEvent::LayoutChanged`] callback for a newer generation drops
+//! exactly the affected file — nothing else.
+//!
+//! Coherence invariants:
+//!
+//! * **Fill**: bytes enter the cache only from a completed read, tagged
+//!   with the plan's generation. Fills older than the newest generation
+//!   the cache has *heard about* (even if nothing was cached at the time)
+//!   are discarded — an invalidation racing an in-flight fetch can never
+//!   resurrect stale bytes.
+//! * **Invalidate**: any commit, overwrite, or repair re-homing bumps the
+//!   file's generation; the control plane fans the event to every
+//!   registered cache over the same callback channel namespace mutations
+//!   ride. Unlink/rename-replace publish `generation == u64::MAX`,
+//!   dropping the file unconditionally.
+//! * **EOF**: a short read proves where the committed EOF was at that
+//!   generation, so repeat reads past EOF (and EOF-clamped tails) are
+//!   served locally too. Size can only move with a commit, which bumps
+//!   the generation, so a cached EOF is exactly as fresh as the data.
+//!
+//! Readahead is overfetch-based: the client driver asks
+//! [`ReadCache::plan_readahead`] how far past a missing range to fetch.
+//! Sequential streams (detected by `offset == previous end`) ramp the
+//! window multiplicatively up to a cap; random access fetches exactly
+//! what was asked. The overfetched bytes land in the cache, so a
+//! streaming reader alternates one fan-out miss with a run of local hits.
+//!
+//! [`MetaEvent::LayoutChanged`]: nadfs_meta::MetaEvent
+//! [`ReadPlan`]: nadfs_meta::ReadPlan
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Tuning knobs for a client's [`ReadCache`].
+#[derive(Clone, Copy, Debug)]
+pub struct ReadCacheConfig {
+    /// Cap on cached payload bytes per client: least-recently-used
+    /// *other* files are evicted first, then the freshly-filled file's
+    /// own coldest (lowest-offset) bytes are trimmed, so even a single
+    /// long sequential scan stays bounded.
+    pub capacity_bytes: usize,
+    /// First readahead window granted to a detected sequential stream.
+    pub readahead_init: u32,
+    /// Ceiling the per-stream window ramps to (doubling per miss while
+    /// the stream stays sequential).
+    pub readahead_max: u32,
+}
+
+impl Default for ReadCacheConfig {
+    fn default() -> ReadCacheConfig {
+        ReadCacheConfig {
+            capacity_bytes: 16 << 20,
+            readahead_init: 64 << 10,
+            readahead_max: 1 << 20,
+        }
+    }
+}
+
+/// Observable cache behavior (asserted by tests, reported by benches).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReadCacheStats {
+    /// Lookups served entirely from client memory.
+    pub hits: u64,
+    /// Lookups that had to go to the network.
+    pub misses: u64,
+    /// Bytes served from cache (EOF-clamped: what the caller got).
+    pub hit_bytes: u64,
+    /// Files dropped by generation callbacks (commit/overwrite/repair).
+    pub invalidations: u64,
+    /// Fills discarded because the file's generation moved while the
+    /// fetch was in flight (the stale-resurrection guard).
+    pub stale_fills: u64,
+    /// Files evicted by the capacity cap.
+    pub evictions: u64,
+    /// Bytes inserted into the cache (fills, including readahead).
+    pub inserted_bytes: u64,
+    /// Bytes fetched beyond what callers asked for (readahead volume).
+    pub readahead_bytes: u64,
+}
+
+impl ReadCacheStats {
+    /// Hit fraction over all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// What a [`ReadCache::lookup`] hit serves.
+#[derive(Clone, Debug)]
+pub struct CachedRead {
+    /// The bytes (possibly shorter than requested when the cached EOF
+    /// clamps the range, exactly like a short `pread`).
+    pub data: Vec<u8>,
+    /// Generation of the extent map the bytes were fetched under.
+    pub generation: u64,
+}
+
+/// Cached state of one file: disjoint byte spans plus the committed EOF
+/// when a short read has proven it.
+struct FileCache {
+    generation: u64,
+    /// Disjoint spans keyed by start offset. Overlapping fills merge;
+    /// exactly-adjacent fills (the sequential-readahead shape) stay
+    /// separate so a long stream never re-copies what it accumulated —
+    /// lookups stitch across abutting spans.
+    spans: BTreeMap<u64, Vec<u8>>,
+    bytes: usize,
+    /// Committed size, once a clamped read has revealed it. Valid for as
+    /// long as the generation holds (size only moves with a commit, and
+    /// every commit bumps the generation).
+    eof: Option<u64>,
+    /// LRU clock value of the last touch.
+    touched: u64,
+}
+
+/// Per-file sequential-stream detector state.
+#[derive(Clone, Copy, Debug, Default)]
+struct StreamState {
+    /// Offset one past the end of the last access.
+    next_expected: u64,
+    /// Current readahead window (0 until the stream looks sequential).
+    window: u32,
+    /// At least one access has been seen (so `next_expected` means
+    /// something).
+    primed: bool,
+    /// Whether the most recent access continued the stream.
+    last_sequential: bool,
+}
+
+/// The per-client read cache. One instance hangs off each
+/// [`crate::client::ClientApp`] and is registered with the control plane
+/// for generation callbacks at cluster build time.
+pub struct ReadCache {
+    pub config: ReadCacheConfig,
+    pub stats: ReadCacheStats,
+    files: HashMap<u64, FileCache>,
+    /// Newest generation heard per file — survives invalidation (and even
+    /// full eviction) so an in-flight fill from before the bump can never
+    /// re-populate stale bytes.
+    latest_gen: HashMap<u64, u64>,
+    streams: HashMap<u64, StreamState>,
+    clock: u64,
+}
+
+impl Default for ReadCache {
+    fn default() -> ReadCache {
+        ReadCache::new(ReadCacheConfig::default())
+    }
+}
+
+impl ReadCache {
+    pub fn new(config: ReadCacheConfig) -> ReadCache {
+        ReadCache {
+            config,
+            stats: ReadCacheStats::default(),
+            files: HashMap::new(),
+            latest_gen: HashMap::new(),
+            streams: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Cached payload bytes currently held.
+    pub fn cached_bytes(&self) -> usize {
+        self.files.values().map(|f| f.bytes).sum()
+    }
+
+    /// Number of files with cached data.
+    pub fn cached_files(&self) -> usize {
+        self.files.len()
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Serve `[offset, offset + len)` of `file` from cache, or report a
+    /// miss. A hit requires every byte up to the (possibly EOF-clamped)
+    /// end to be covered by one cached span; reads entirely past a known
+    /// EOF hit with zero bytes. Updates hit/miss stats and the
+    /// sequential-stream tracker.
+    pub fn lookup(&mut self, file: u64, offset: u64, len: u32) -> Option<CachedRead> {
+        let now = self.tick();
+        let result = self.try_serve(file, offset, len, now);
+        match &result {
+            Some(r) => {
+                self.stats.hits += 1;
+                self.stats.hit_bytes += r.data.len() as u64;
+            }
+            None => self.stats.misses += 1,
+        }
+        self.note_access(file, offset, len);
+        result
+    }
+
+    fn try_serve(&mut self, file: u64, offset: u64, len: u32, now: u64) -> Option<CachedRead> {
+        let f = self.files.get_mut(&file)?;
+        // Clamp like resolve_read does: a known EOF shortens the request;
+        // without one the full range must be covered.
+        let want_end = offset.saturating_add(len as u64);
+        let end = match f.eof {
+            Some(eof) => want_end.min(eof.max(offset)),
+            None => want_end,
+        };
+        let served = (end - offset) as usize;
+        if served == 0 {
+            // Entirely past the committed EOF: an empty short read,
+            // answerable with no data at all.
+            f.touched = now;
+            return Some(CachedRead {
+                data: Vec::new(),
+                generation: f.generation,
+            });
+        }
+        // Stitch across spans: adjacent fills are stored separately (so
+        // sequential streams never pay a re-coalescing copy), so a hit
+        // may cross several exactly-abutting spans.
+        let (&start, span) = f.spans.range(..=offset).next_back()?;
+        let span_end = start + span.len() as u64;
+        if span_end <= offset {
+            return None;
+        }
+        let mut data = Vec::with_capacity(served);
+        let lo = (offset - start) as usize;
+        let take = (span_end.min(end) - offset) as usize;
+        data.extend_from_slice(&span[lo..lo + take]);
+        let mut pos = offset + take as u64;
+        for (&s, v) in f.spans.range(span_end..) {
+            if pos >= end {
+                break;
+            }
+            if s != pos {
+                return None; // gap inside the requested range
+            }
+            let take = ((end - pos) as usize).min(v.len());
+            data.extend_from_slice(&v[..take]);
+            pos += take as u64;
+        }
+        if pos < end {
+            return None;
+        }
+        f.touched = now;
+        Some(CachedRead {
+            data,
+            generation: f.generation,
+        })
+    }
+
+    /// Record an access for sequential-stream detection (both hits and
+    /// misses advance the stream).
+    fn note_access(&mut self, file: u64, offset: u64, len: u32) {
+        let s = self.streams.entry(file).or_default();
+        let sequential = s.primed && offset == s.next_expected;
+        if !sequential {
+            s.window = 0; // the stream broke (or just started)
+        }
+        s.last_sequential = sequential;
+        s.primed = true;
+        s.next_expected = offset.saturating_add(len as u64);
+    }
+
+    /// How many bytes past `offset + len` the driver should overfetch for
+    /// this miss. Zero for random access; a multiplicatively ramping
+    /// window for sequential streams. Call *after* [`Self::lookup`]
+    /// missed (lookup advances the stream tracker this consults).
+    pub fn plan_readahead(&mut self, file: u64, _offset: u64, _len: u32) -> u32 {
+        let init = self.config.readahead_init;
+        let max = self.config.readahead_max;
+        if init == 0 {
+            return 0;
+        }
+        let s = self.streams.entry(file).or_default();
+        if !s.last_sequential {
+            return 0;
+        }
+        let w = if s.window == 0 {
+            init.min(max)
+        } else {
+            s.window.saturating_mul(2).min(max)
+        };
+        s.window = w;
+        w
+    }
+
+    /// Fill the cache with bytes fetched under `generation`.
+    /// `requested_len` is what the fetch asked for; when `data` came back
+    /// shorter, the clamp proves the committed EOF at `offset +
+    /// data.len()`. Stale fills (older than the newest generation heard
+    /// for the file) are discarded.
+    pub fn fill(
+        &mut self,
+        file: u64,
+        generation: u64,
+        offset: u64,
+        data: &[u8],
+        requested_len: u32,
+    ) {
+        let latest = self.latest_gen.get(&file).copied().unwrap_or(0);
+        if generation < latest {
+            self.stats.stale_fills += 1;
+            return;
+        }
+        self.latest_gen.insert(file, generation);
+        let now = self.tick();
+        let f = self.files.entry(file).or_insert_with(|| FileCache {
+            generation,
+            spans: BTreeMap::new(),
+            bytes: 0,
+            eof: None,
+            touched: now,
+        });
+        if f.generation < generation {
+            // A newer fill supersedes everything cached at the old
+            // generation (the invalidation event may still be in flight).
+            f.spans.clear();
+            f.bytes = 0;
+            f.eof = None;
+            f.generation = generation;
+        } else if f.generation > generation {
+            self.stats.stale_fills += 1;
+            return;
+        }
+        f.touched = now;
+        if (data.len() as u32) < requested_len {
+            // The fetch was EOF-clamped. With data this pins the
+            // committed size exactly; an empty fetch only proves
+            // `size <= offset`. Either way the candidate is an upper
+            // bound, so min-merging tightens toward the true size and a
+            // past-EOF probe can never *loosen* a previously learned
+            // (smaller, exact) EOF.
+            let cand = offset + data.len() as u64;
+            f.eof = Some(f.eof.map_or(cand, |e| e.min(cand)));
+        }
+        if !data.is_empty() {
+            Self::insert_span(f, offset, data);
+            self.stats.inserted_bytes += data.len() as u64;
+        }
+        self.enforce_capacity(file);
+    }
+
+    /// Insert `[offset, offset + data.len())`, merging any *overlapping*
+    /// spans (new bytes win overlaps — at equal generation the bytes are
+    /// identical anyway). Exactly-adjacent spans are left separate:
+    /// sequential readahead fills abut their predecessor, and merging
+    /// would re-copy the whole accumulated stream on every fill. Lookups
+    /// stitch across adjacent spans instead.
+    fn insert_span(f: &mut FileCache, offset: u64, data: &[u8]) {
+        let end = offset + data.len() as u64;
+        // Gather every span that overlaps the new range.
+        let mut absorb: Vec<u64> = Vec::new();
+        if let Some((&s, v)) = f.spans.range(..=offset).next_back() {
+            if s + v.len() as u64 > offset {
+                absorb.push(s);
+            }
+        }
+        for (&s, _) in f.spans.range(offset..end) {
+            if !absorb.contains(&s) {
+                absorb.push(s);
+            }
+        }
+        if absorb.is_empty() {
+            f.bytes += data.len();
+            f.spans.insert(offset, data.to_vec());
+            return;
+        }
+        let mut new_start = offset;
+        let mut new_end = end;
+        for &s in &absorb {
+            let v = &f.spans[&s];
+            new_start = new_start.min(s);
+            new_end = new_end.max(s + v.len() as u64);
+        }
+        let mut merged = vec![0u8; (new_end - new_start) as usize];
+        for &s in &absorb {
+            let v = f.spans.remove(&s).expect("absorbed span");
+            f.bytes -= v.len();
+            let lo = (s - new_start) as usize;
+            merged[lo..lo + v.len()].copy_from_slice(&v);
+        }
+        // New data last: it wins any overlap.
+        let lo = (offset - new_start) as usize;
+        merged[lo..lo + data.len()].copy_from_slice(data);
+        f.bytes += merged.len();
+        f.spans.insert(new_start, merged);
+    }
+
+    /// Evict least-recently-touched *other* files until under the cap;
+    /// if the just-filled file alone busts it, shed its coldest bytes —
+    /// lowest offsets first, the bytes a forward stream left behind.
+    /// (Sequential fills coalesce into ONE span, so head-trimming that
+    /// span is what keeps a long scan's footprint bounded.)
+    fn enforce_capacity(&mut self, just_filled: u64) {
+        let cap = self.config.capacity_bytes;
+        loop {
+            let total = self.cached_bytes();
+            if total <= cap {
+                return;
+            }
+            let victim = self
+                .files
+                .iter()
+                .filter(|(&id, _)| id != just_filled)
+                .min_by_key(|(_, f)| f.touched)
+                .map(|(&id, _)| id);
+            if let Some(id) = victim {
+                self.files.remove(&id);
+                self.stats.evictions += 1;
+                continue;
+            }
+            let excess = total - cap;
+            let Some(f) = self.files.get_mut(&just_filled) else {
+                return;
+            };
+            let Some((&s, _)) = f.spans.iter().next() else {
+                return;
+            };
+            let v = f.spans.remove(&s).expect("span");
+            f.bytes -= v.len();
+            if v.len() > excess {
+                // Trim exactly the head; the hot tail stays cached.
+                let tail = v[excess..].to_vec();
+                f.bytes += tail.len();
+                f.spans.insert(s + excess as u64, tail);
+            }
+            // Each pass sheds at least one byte, so this terminates.
+        }
+    }
+
+    /// Generation callback from the control plane: `file`'s extent map
+    /// moved to `generation`. Drops cached data older than it;
+    /// `u64::MAX` means the file's data is gone (unlink/rename-replace).
+    pub fn note_generation(&mut self, file: u64, generation: u64) {
+        if generation == u64::MAX {
+            if self.files.remove(&file).is_some() {
+                self.stats.invalidations += 1;
+            }
+            // Tombstone, not removal: a fill from a read that was in
+            // flight at unlink time must still be rejected (inode ids
+            // are never reused, so the floor can stay forever).
+            self.latest_gen.insert(file, u64::MAX);
+            self.streams.remove(&file);
+            return;
+        }
+        let latest = self.latest_gen.entry(file).or_insert(0);
+        if generation > *latest {
+            *latest = generation;
+        }
+        if let Some(f) = self.files.get(&file) {
+            if f.generation < generation {
+                self.files.remove(&file);
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+
+    /// Drop every cached byte (stats survive). Generation floors survive
+    /// too: a flush must not weaken the stale-fill guard. Not counted as
+    /// invalidations — that stat means generation-callback coherence
+    /// traffic, and manual drops (measurements, tests) are not that.
+    pub fn clear(&mut self) {
+        self.files.clear();
+        self.streams.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes(n: usize, tag: u8) -> Vec<u8> {
+        (0..n).map(|i| (i as u8) ^ tag).collect()
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit_roundtrips() {
+        let mut c = ReadCache::default();
+        assert!(c.lookup(1, 0, 100).is_none());
+        let d = bytes(200, 7);
+        c.fill(1, 3, 0, &d, 200);
+        let r = c.lookup(1, 50, 100).expect("hit");
+        assert_eq!(r.data, &d[50..150]);
+        assert_eq!(r.generation, 3);
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 1);
+        assert_eq!(c.stats.hit_bytes, 100);
+    }
+
+    #[test]
+    fn partial_coverage_is_a_miss() {
+        let mut c = ReadCache::default();
+        c.fill(1, 1, 100, &bytes(100, 1), 100);
+        assert!(c.lookup(1, 150, 100).is_none(), "tail uncovered");
+        assert!(c.lookup(1, 0, 50).is_none(), "head uncovered");
+        assert!(c.lookup(1, 120, 50).is_some(), "interior covered");
+    }
+
+    #[test]
+    fn adjacent_spans_stitch_and_overlapping_spans_merge() {
+        let mut c = ReadCache::default();
+        c.fill(1, 1, 0, &bytes(100, 2), 100);
+        c.fill(1, 1, 100, &bytes(100, 3), 100); // adjacent: no re-copy
+        assert_eq!(c.files[&1].spans.len(), 2, "adjacent fills stay separate");
+        let r = c.lookup(1, 0, 200).expect("stitched hit");
+        assert_eq!(&r.data[..100], &bytes(100, 2)[..]);
+        assert_eq!(&r.data[100..], &bytes(100, 3)[..]);
+        let r = c.lookup(1, 50, 100).expect("hit across the seam");
+        assert_eq!(&r.data[..50], &bytes(100, 2)[50..]);
+        assert_eq!(&r.data[50..], &bytes(100, 3)[..50]);
+        c.fill(1, 1, 50, &bytes(100, 4), 100); // overlapping: new wins
+        let r = c.lookup(1, 0, 200).expect("hit");
+        assert_eq!(&r.data[50..150], &bytes(100, 4)[..]);
+        assert_eq!(c.cached_files(), 1);
+        assert_eq!(c.files[&1].spans.len(), 1, "overlap merged everything");
+    }
+
+    #[test]
+    fn eof_from_short_fill_serves_clamped_and_empty_reads() {
+        let mut c = ReadCache::default();
+        // Asked for 300, got 250: EOF proven at 250.
+        c.fill(1, 2, 0, &bytes(250, 5), 300);
+        let r = c.lookup(1, 200, 100).expect("clamped hit");
+        assert_eq!(r.data.len(), 50, "short read at the cached EOF");
+        let past = c.lookup(1, 250, 100).expect("past-EOF hit");
+        assert!(past.data.is_empty());
+        let way_past = c.lookup(1, u64::MAX, 100).expect("u64::MAX hit");
+        assert!(way_past.data.is_empty(), "no overflow, no phantom bytes");
+    }
+
+    #[test]
+    fn newer_generation_invalidates_exactly_that_file() {
+        let mut c = ReadCache::default();
+        c.fill(1, 1, 0, &bytes(100, 1), 100);
+        c.fill(2, 1, 0, &bytes(100, 2), 100);
+        c.note_generation(1, 2);
+        assert!(c.lookup(1, 0, 100).is_none(), "file 1 dropped");
+        assert!(c.lookup(2, 0, 100).is_some(), "file 2 untouched");
+        assert_eq!(c.stats.invalidations, 1);
+        // Same-generation events are no-ops.
+        c.note_generation(2, 1);
+        assert!(c.lookup(2, 0, 100).is_some());
+    }
+
+    #[test]
+    fn stale_fill_after_invalidation_is_discarded() {
+        let mut c = ReadCache::default();
+        // The invalidation arrives while the (gen-1) fetch is in flight —
+        // even with nothing cached yet, the late fill must be dropped.
+        c.note_generation(7, 5);
+        c.fill(7, 4, 0, &bytes(100, 9), 100);
+        assert!(c.lookup(7, 0, 100).is_none(), "stale bytes never land");
+        assert_eq!(c.stats.stale_fills, 1);
+        // The current-generation fill lands fine.
+        c.fill(7, 5, 0, &bytes(100, 9), 100);
+        assert!(c.lookup(7, 0, 100).is_some());
+    }
+
+    #[test]
+    fn newer_fill_supersedes_older_cached_generation() {
+        let mut c = ReadCache::default();
+        c.fill(1, 1, 0, &bytes(100, 1), 100);
+        // Overwrite committed (gen 2) and a fresh read filled before the
+        // callback got processed: the old span must not linger.
+        c.fill(1, 2, 200, &bytes(50, 2), 50);
+        assert!(c.lookup(1, 0, 100).is_none(), "gen-1 span dropped");
+        assert_eq!(c.lookup(1, 200, 50).expect("hit").generation, 2);
+    }
+
+    #[test]
+    fn unlink_drops_unconditionally_and_tombstones_late_fills() {
+        let mut c = ReadCache::default();
+        c.fill(1, 9, 0, &bytes(10, 1), 10);
+        c.note_generation(1, u64::MAX);
+        assert!(c.lookup(1, 0, 10).is_none());
+        assert_eq!(c.stats.invalidations, 1);
+        // A fetch that was in flight at unlink time lands late: its fill
+        // must be rejected, or reads of the dead file would serve from
+        // cache while the uncached path rejects them.
+        c.fill(1, 9, 0, &bytes(10, 1), 10);
+        assert!(c.lookup(1, 0, 10).is_none(), "late fill tombstoned");
+        assert_eq!(c.stats.stale_fills, 1);
+    }
+
+    #[test]
+    fn sequential_stream_ramps_readahead_and_random_gets_none() {
+        let mut c = ReadCache::new(ReadCacheConfig {
+            capacity_bytes: 1 << 20,
+            readahead_init: 100,
+            readahead_max: 400,
+        });
+        // Random access: no window.
+        assert!(c.lookup(1, 500, 50).is_none());
+        assert_eq!(c.plan_readahead(1, 500, 50), 0);
+        assert!(c.lookup(1, 90, 50).is_none());
+        assert_eq!(c.plan_readahead(1, 90, 50), 0, "stream broke");
+        // Sequential: 140 follows 90+50.
+        assert!(c.lookup(1, 140, 50).is_none());
+        assert_eq!(c.plan_readahead(1, 140, 50), 100, "window granted");
+        assert!(c.lookup(1, 190, 50).is_none());
+        assert_eq!(c.plan_readahead(1, 190, 50), 200, "doubled");
+        assert!(c.lookup(1, 240, 50).is_none());
+        assert_eq!(c.plan_readahead(1, 240, 50), 400, "capped");
+        assert!(c.lookup(1, 290, 50).is_none());
+        assert_eq!(c.plan_readahead(1, 290, 50), 400, "stays capped");
+        // A seek resets the ramp.
+        assert!(c.lookup(1, 5_000, 50).is_none());
+        assert_eq!(c.plan_readahead(1, 5_000, 50), 0);
+    }
+
+    #[test]
+    fn capacity_evicts_lru_files() {
+        let mut c = ReadCache::new(ReadCacheConfig {
+            capacity_bytes: 250,
+            readahead_init: 0,
+            readahead_max: 0,
+        });
+        c.fill(1, 1, 0, &bytes(100, 1), 100);
+        c.fill(2, 1, 0, &bytes(100, 2), 100);
+        let _ = c.lookup(1, 0, 10); // touch 1: file 2 is now LRU
+        c.fill(3, 1, 0, &bytes(100, 3), 100);
+        assert!(c.cached_bytes() <= 250);
+        assert!(c.lookup(2, 0, 100).is_none(), "LRU file evicted");
+        assert!(c.lookup(3, 0, 100).is_some(), "fresh fill kept");
+        assert_eq!(c.stats.evictions, 1);
+    }
+
+    #[test]
+    fn capacity_bounds_a_single_file_stream() {
+        // A lone streaming file must still respect the cap: cold spans
+        // (the bytes the stream left behind) are shed head-first.
+        let mut c = ReadCache::new(ReadCacheConfig {
+            capacity_bytes: 1000,
+            readahead_init: 0,
+            readahead_max: 0,
+        });
+        for i in 0..10u64 {
+            c.fill(1, 1, i * 500, &bytes(500, i as u8), 500);
+        }
+        assert!(
+            c.cached_bytes() <= 1000,
+            "cap violated: {} bytes cached",
+            c.cached_bytes()
+        );
+        // The hot tail (the most recent fill) survives; the cold head
+        // was trimmed.
+        assert!(c.lookup(1, 4_500, 500).is_some(), "hot tail kept");
+        assert!(c.lookup(1, 0, 500).is_none(), "cold head trimmed");
+    }
+
+    #[test]
+    fn past_eof_probe_does_not_loosen_a_learned_eof() {
+        let mut c = ReadCache::default();
+        // Committed size 4096: asked for 8192, got 4096 → exact EOF.
+        c.fill(1, 2, 0, &bytes(4096, 3), 8192);
+        assert_eq!(c.lookup(1, 0, 8192).expect("clamped hit").data.len(), 4096);
+        // A far past-EOF probe returns empty; its upper bound (the probe
+        // offset) must NOT overwrite the exact EOF...
+        c.fill(1, 2, 1_000_000, &[], 100);
+        let r = c.lookup(1, 0, 8192).expect("still a clamped hit");
+        assert_eq!(r.data.len(), 4096, "EOF stayed exact");
+        // ...and tighter bounds still apply in the other order.
+        let mut c = ReadCache::default();
+        c.fill(2, 1, 1_000_000, &[], 100); // bound: size <= 1_000_000
+        c.fill(2, 1, 0, &bytes(4096, 3), 8192); // exact: 4096
+        assert_eq!(c.lookup(2, 0, 8192).expect("hit").data.len(), 4096);
+        assert!(c.lookup(2, 5_000, 10).expect("past EOF").data.is_empty());
+    }
+
+    #[test]
+    fn hit_rate_reports() {
+        let mut c = ReadCache::default();
+        assert_eq!(c.stats.hit_rate(), 0.0);
+        c.fill(1, 1, 0, &bytes(100, 1), 100);
+        let _ = c.lookup(1, 0, 50);
+        let _ = c.lookup(1, 500, 50);
+        assert!((c.stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+}

@@ -21,6 +21,7 @@ use nadfs_wire::{
     WriteReqHeader,
 };
 
+use crate::cache::ReadCache;
 use crate::config::MetaCosts;
 use crate::control::{FilePolicy, RepairPlan, RepairTask, SharedControl, WritePlacement};
 
@@ -32,6 +33,7 @@ const META_BASE: u64 = 0x4D45_0000_0000_0000;
 const READ_FIN_BASE: u64 = 0x5246_0000_0000_0000;
 const READ_SUB_BASE: u64 = 0x5244_0000_0000_0000;
 const READ_ISSUE_BASE: u64 = 0x5249_0000_0000_0000;
+const CACHE_FIN_BASE: u64 = 0x4348_0000_0000_0000;
 const REPAIR_FIN_BASE: u64 = 0x5046_0000_0000_0000;
 const REPAIR_SUB_BASE: u64 = 0x5052_0000_0000_0000;
 
@@ -206,6 +208,8 @@ pub struct ReadCompletion {
     pub status: Status,
     /// Stripes served through degraded reconstruction.
     pub degraded_stripes: u32,
+    /// Served from the client read cache (no resolve, no fan-out).
+    pub from_cache: bool,
     /// Checksum of `data` (compare against the writes' checksums).
     pub checksum: u64,
     pub data: Bytes,
@@ -324,8 +328,18 @@ struct PendingReadOp {
     file: u64,
     protocol: ReadProtocol,
     offset: u64,
-    /// Clamped length being served.
+    /// Clamped length being *fetched* (caller's range plus any readahead
+    /// window, clamped to the committed size).
     len: u32,
+    /// Bytes of the fetch actually delivered to the caller (`<= len`;
+    /// the rest is readahead that only populates the cache).
+    serve_len: u32,
+    /// Length the fetch asked the resolver for, pre-clamp: when
+    /// `len < fetch_want` the clamp proved the committed EOF.
+    fetch_want: u32,
+    /// Extent-map generation of the plan — the staleness tag the cache
+    /// fill carries.
+    generation: u64,
     /// Destination buffer in client memory.
     dest: u64,
     start: Time,
@@ -337,6 +351,18 @@ struct PendingReadOp {
     /// Sub-fetch tokens (for map cleanup: a NACKed piece never fires
     /// `on_read_done`, so its token entry must be reaped at completion).
     subs: Vec<u64>,
+    slot: Option<ReadSlot>,
+}
+
+/// A read answered from the client read cache, waiting out its simulated
+/// probe + copy latency before the completion is delivered.
+struct PendingCacheHit {
+    token: u64,
+    file: u64,
+    protocol: ReadProtocol,
+    offset: u64,
+    data: Bytes,
+    start: Time,
     slot: Option<ReadSlot>,
 }
 
@@ -415,6 +441,16 @@ pub struct ClientApp {
     pub meta_cache: Rc<RefCell<MetaCache>>,
     /// Disable to measure the uncached baseline (every op round-trips).
     pub cache_enabled: bool,
+    /// Client-side read cache + readahead, keyed by the extent-map
+    /// generation (registered with the control plane for generation
+    /// callbacks at construction).
+    pub read_cache: Rc<RefCell<ReadCache>>,
+    /// Disable to measure the uncached read path (every `read_at` pays a
+    /// resolve plus the full fan-out).
+    pub read_cache_enabled: bool,
+    /// Cache-hit completions waiting out the probe + copy latency.
+    cache_fin_stash: Vec<(u64, PendingCacheHit)>,
+    next_cache_tag: u64,
     /// Latency model for metadata traffic.
     pub meta_costs: MetaCosts,
     meta_in_flight: usize,
@@ -441,6 +477,8 @@ impl ClientApp {
     ) -> ClientApp {
         let meta_cache = Rc::new(RefCell::new(MetaCache::new()));
         control.borrow_mut().register_cache(meta_cache.clone());
+        let read_cache = Rc::new(RefCell::new(ReadCache::default()));
+        control.borrow_mut().register_read_cache(read_cache.clone());
         ClientApp {
             control,
             results,
@@ -472,6 +510,10 @@ impl ClientApp {
             repair_fin_stash: Vec::new(),
             meta_cache,
             cache_enabled: true,
+            read_cache,
+            read_cache_enabled: true,
+            cache_fin_stash: Vec::new(),
+            next_cache_tag: 0,
             meta_costs: MetaCosts::default(),
             meta_in_flight: 0,
             meta_stash: Vec::new(),
@@ -547,6 +589,7 @@ impl ClientApp {
             + self.issue_stash.len()
             + self.meta_in_flight
             + self.reads_in_flight.len()
+            + self.cache_fin_stash.len()
             + self.repairs_in_flight.len()
             < self.window
         {
@@ -803,11 +846,15 @@ impl ClientApp {
         nic.set_timer(ctx, cost, tag);
     }
 
-    /// Resolve, fan out, and track one file-level read. Every piece of
-    /// the plan becomes one network fetch (one-sided read or RPC read);
-    /// bytes land directly at their destination offset in a client-memory
-    /// buffer, and degraded stripes stage surviving shards for
-    /// reconstruction at completion time.
+    /// Resolve, fan out, and track one file-level read. A read-cache hit
+    /// skips everything — the control-plane resolve, the capability
+    /// header, the per-stripe fan-out — and completes from client memory
+    /// after a probe + copy latency. A miss resolves the range (plus a
+    /// readahead window for sequential streams), fans out one network
+    /// fetch per plan piece (one-sided read or RPC read), lands bytes at
+    /// their destination offsets in a client-memory buffer, and stages
+    /// degraded stripes' surviving shards for reconstruction at
+    /// completion time.
     #[allow(clippy::too_many_arguments)]
     fn start_read(
         &mut self,
@@ -821,7 +868,52 @@ impl ClientApp {
         slot: Option<ReadSlot>,
     ) {
         let start = ctx.now();
-        let plan = self.control.borrow_mut().resolve_read(file, offset, len);
+        if self.read_cache_enabled {
+            let hit = self.read_cache.borrow_mut().lookup(file, offset, len);
+            if let Some(hit) = hit {
+                // Served from client memory: no resolve, no fan-out. The
+                // completion waits out the cache probe (the copy-out is
+                // not charged — the uncached path's completion doesn't
+                // charge one either; bytes land by DMA there).
+                let cost = self.meta_costs.cache_probe;
+                let tag = CACHE_FIN_BASE | self.next_cache_tag;
+                self.next_cache_tag += 1;
+                self.cache_fin_stash.push((
+                    tag,
+                    PendingCacheHit {
+                        token,
+                        file,
+                        protocol,
+                        offset,
+                        data: Bytes::from(hit.data),
+                        start,
+                        slot,
+                    },
+                ));
+                nic.set_timer(ctx, cost, tag);
+                return;
+            }
+        }
+        // Miss: one control-plane resolve, overfetching a readahead
+        // window when the access continues a sequential stream. A
+        // resolve that fails only because the *readahead* tail crossed
+        // an unreadable extent retries with the caller's exact range.
+        let ra = if self.read_cache_enabled {
+            self.read_cache
+                .borrow_mut()
+                .plan_readahead(file, offset, len)
+        } else {
+            0
+        };
+        let mut fetch_want = len.saturating_add(ra);
+        let mut plan = self
+            .control
+            .borrow_mut()
+            .resolve_read(file, offset, fetch_want);
+        if plan.is_err() && fetch_want > len {
+            fetch_want = len;
+            plan = self.control.borrow_mut().resolve_read(file, offset, len);
+        }
         let plan = match plan {
             Ok(p) => p,
             Err(_) => {
@@ -838,6 +930,7 @@ impl ClientApp {
                     end: ctx.now(),
                     status: Status::Rejected,
                     degraded_stripes: 0,
+                    from_cache: false,
                     checksum: 0,
                     data: Bytes::new(),
                 };
@@ -859,6 +952,9 @@ impl ClientApp {
             protocol,
             offset,
             len: plan.len,
+            serve_len: plan.len.min(len),
+            fetch_want,
+            generation: plan.generation,
             dest,
             start,
             subs_left: 0,
@@ -987,9 +1083,29 @@ impl ClientApp {
             }
         }
         let (data, checksum, len) = if status == Status::Ok {
-            let bytes = nic.memory().borrow().read(op.dest, op.len as usize);
+            let mut fetched = nic.memory().borrow().read(op.dest, op.len as usize);
+            if self.read_cache_enabled {
+                // Everything fetched — the caller's range, the readahead
+                // tail, and any degraded-reconstructed bytes — populates
+                // the cache under the plan's generation, so this client
+                // never re-fetches (or re-reconstructs) it while the
+                // generation holds. An EOF-clamped fetch also teaches the
+                // cache where the committed size is.
+                let mut rc = self.read_cache.borrow_mut();
+                rc.fill(op.file, op.generation, op.offset, &fetched, op.fetch_want);
+                rc.stats.readahead_bytes += (op.len - op.serve_len) as u64;
+            }
+            // Shed the readahead tail before handing the payload out:
+            // slicing (or truncating without shrinking) would pin the
+            // whole overfetch allocation for as long as the completion
+            // lives, and ResultSink retains every completion for the run.
+            if op.len > op.serve_len {
+                fetched.truncate(op.serve_len as usize);
+                fetched.shrink_to_fit();
+            }
+            let bytes = Bytes::from(fetched);
             let sum = payload_checksum(&bytes);
-            (Bytes::from(bytes), sum, op.len)
+            (bytes, sum, op.serve_len)
         } else {
             (Bytes::new(), 0, 0)
         };
@@ -1007,6 +1123,7 @@ impl ClientApp {
             end,
             status,
             degraded_stripes,
+            from_cache: false,
             checksum,
             data,
         };
@@ -1734,11 +1851,14 @@ impl ClientApp {
         let end = ctx.now() + nic.cpu.costs.poll_notify;
         if p.status == Status::Ok {
             // The bytes are durable: commit the placement into the file's
-            // extent map so reads can find them.
-            self.control
+            // extent map so reads can find them. The commit reports how
+            // far the committed size actually grew — the attr write-back
+            // carries that, not the placement-time delta (which would
+            // count bytes of earlier placements that never committed).
+            let appended = self
+                .control
                 .borrow_mut()
                 .commit_write(file, &p.placement, size);
-            let appended = p.placement.appended;
             if self.cache_enabled {
                 // Write-back metadata: absorb the size/mtime update
                 // locally; a batch flush pays one round-trip for many
@@ -1899,13 +2019,15 @@ impl NicApp for ClientApp {
                 // Re-place the same logical extent (fresh addresses, no
                 // cursor advance) and retry after a backoff. If the file
                 // is gone by now (unlinked under us), the job fails.
+                // Attr accounting needs no carrying: the write-back uses
+                // the committed-size growth `commit_write` reports when
+                // the retry eventually lands.
                 let prev_offset = p.placement.offset;
-                let prev_appended = p.placement.appended;
                 let placed = self
                     .control
                     .borrow_mut()
                     .replace_write(file, size, prev_offset);
-                let mut placement = match placed {
+                let placement = match placed {
                     Ok(p) => p,
                     Err(_) => {
                         self.fail_write_job(nic, ctx, size, protocol, retries, ctx.now(), slot);
@@ -1913,10 +2035,6 @@ impl NicApp for ClientApp {
                         return;
                     }
                 };
-                // The original placement already advanced the cursor;
-                // carry its append accounting so the attr write-back
-                // still records the bytes once the retry lands.
-                placement.appended = prev_appended;
                 let tag = RETRY_BASE | placement.greq;
                 self.retry_stash.push((tag, p.job, placement, retries));
                 nic.set_timer(ctx, Dur::from_us(5 * retries as u64), tag);
@@ -2043,6 +2161,34 @@ impl NicApp for ClientApp {
                     cache_hit: pm.cache_hit,
                     result: pm.result,
                 });
+                self.fill(nic, ctx);
+            }
+            return;
+        }
+        if tag & CACHE_FIN_BASE == CACHE_FIN_BASE {
+            if let Some(idx) = self.cache_fin_stash.iter().position(|(t, _)| *t == tag) {
+                let (_, hit) = self.cache_fin_stash.remove(idx);
+                let slot = hit.slot;
+                let end = ctx.now() + nic.cpu.costs.poll_notify;
+                let completion = ReadCompletion {
+                    token: hit.token,
+                    client: nic.node(),
+                    file: hit.file,
+                    protocol: hit.protocol,
+                    offset: hit.offset,
+                    len: hit.data.len() as u32,
+                    start: hit.start,
+                    end,
+                    status: Status::Ok,
+                    degraded_stripes: 0,
+                    from_cache: true,
+                    checksum: payload_checksum(&hit.data),
+                    data: hit.data,
+                };
+                if let Some(slot) = &slot {
+                    *slot.borrow_mut() = Some(completion.clone());
+                }
+                self.results.borrow_mut().file_reads.push(completion);
                 self.fill(nic, ctx);
             }
             return;

@@ -84,6 +84,8 @@ pub struct SimCluster {
     pub storage_stats: Vec<SharedStorageStats>,
     /// Per-client metadata caches (index-aligned with `client_nodes`).
     pub client_caches: Vec<Rc<RefCell<nadfs_meta::MetaCache>>>,
+    /// Per-client read caches (index-aligned with `client_nodes`).
+    pub read_caches: Vec<Rc<RefCell<crate::cache::ReadCache>>>,
     pub pspin_telemetry: Vec<Option<Rc<RefCell<Telemetry>>>>,
     pub fabric_stats: Rc<RefCell<FabricStats>>,
 }
@@ -129,6 +131,7 @@ impl SimCluster {
         let results: SharedResults = Rc::new(RefCell::new(ResultSink::default()));
         let mut plans = Vec::new();
         let mut client_caches = Vec::new();
+        let mut read_caches = Vec::new();
         for (&comp, port) in client_components.iter().zip(client_ports) {
             let plan: SharedPlan = Rc::new(RefCell::new(VecDeque::new()));
             plans.push(plan.clone());
@@ -137,6 +140,7 @@ impl SimCluster {
             app.meta_costs = spec.cost.meta.clone();
             tweak(&mut app);
             client_caches.push(app.meta_cache.clone());
+            read_caches.push(app.read_cache.clone());
             let nic = Nic::new(spec.cost.nic.clone(), port, comp, Box::new(app));
             engine.install(comp, Box::new(nic));
         }
@@ -205,6 +209,7 @@ impl SimCluster {
             storage_mems,
             storage_stats,
             client_caches,
+            read_caches,
             pspin_telemetry,
             fabric_stats,
         }

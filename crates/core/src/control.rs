@@ -28,6 +28,7 @@ use nadfs_meta::{
 use nadfs_simnet::NodeId;
 use nadfs_wire::{Capability, MacKey, ReplicaCoord, Rights, RsScheme};
 
+use crate::cache::ReadCache;
 use crate::storage::SharedStorageStats;
 
 // Policies now live with the rest of the file metadata in `nadfs-meta`;
@@ -39,9 +40,18 @@ pub use nadfs_meta::FilePolicy;
 pub struct FileMeta {
     /// The file id (its inode number in the namespace).
     pub id: u64,
-    /// Bytes placed so far (the placement cursor; the namespace's
-    /// authoritative size trails this until attr write-back flushes).
+    /// Committed (durable) bytes: advanced when a write's placement is
+    /// committed into the extent map, never by placement alone. This is
+    /// what `stat` reflects and what read planning clamps against — a
+    /// write that is rejected or never acknowledged must not create
+    /// phantom EOF state.
     pub size: u64,
+    /// The placement cursor: appends place at this offset, and it
+    /// advances at *placement* time so pipelined appends never overlap.
+    /// Runs ahead of `size` while writes are in flight; a rejected write
+    /// leaves a permanent gap between the two (the file is sparse there
+    /// if a later write commits past it).
+    pub cursor: u64,
     pub policy: FilePolicy,
     /// Index (into the storage-node list) of the stripe's first node.
     pub home: usize,
@@ -76,8 +86,9 @@ pub struct WritePlacement {
     /// Logical file offset this placement writes at.
     pub offset: u64,
     /// Bytes by which this placement advanced the file's placement
-    /// cursor (0 for retries and pure overwrites — the attr write-back
-    /// path uses this so overwrites don't inflate the file size).
+    /// cursor (0 for retries and pure overwrites). Informational — the
+    /// attr write-back uses the committed-size growth `commit_write`
+    /// reports, not this placement-time figure.
     pub appended: u64,
     /// Striped plain-write targets, in file order (width > 1 layouts
     /// only; empty means "single extent at `primary`").
@@ -241,6 +252,9 @@ pub struct ControlPlane {
     next_addr: HashMap<NodeId, u64>,
     /// Client metadata caches subscribed to invalidation callbacks.
     caches: Vec<Rc<RefCell<MetaCache>>>,
+    /// Client read caches subscribed to extent-generation callbacks (the
+    /// same event channel; these consume `LayoutChanged`).
+    read_caches: Vec<Rc<RefCell<ReadCache>>>,
     /// Committed extents per file: where each byte range physically
     /// lives, filled in as writes complete (the read path's map).
     extents: HashMap<u64, ExtentMap>,
@@ -272,6 +286,7 @@ impl ControlPlane {
             storage_nodes,
             next_addr,
             caches: Vec::new(),
+            read_caches: Vec::new(),
             extents: HashMap::new(),
             failed_nodes: HashSet::new(),
             repair_queue: RepairQueue::default(),
@@ -294,6 +309,12 @@ impl ControlPlane {
         self.caches.push(cache);
     }
 
+    /// Subscribe a client read cache to extent-generation callbacks
+    /// (commits, overwrites, repair re-homing, unlink).
+    pub fn register_read_cache(&mut self, cache: Rc<RefCell<ReadCache>>) {
+        self.read_caches.push(cache);
+    }
+
     /// Attach per-node stats sinks (index-aligned with `storage_nodes`).
     pub fn attach_storage_stats(&mut self, stats: Vec<SharedStorageStats>) {
         assert_eq!(stats.len(), self.storage_nodes.len());
@@ -313,6 +334,16 @@ impl ControlPlane {
                 match ev {
                     MetaEvent::Changed { path } => c.invalidate_path(path),
                     MetaEvent::SubtreeGone { path } => c.invalidate_subtree(path),
+                    // Data-generation events are for the read caches.
+                    MetaEvent::LayoutChanged { .. } => {}
+                }
+            }
+        }
+        for cache in &self.read_caches {
+            let mut c = cache.borrow_mut();
+            for ev in &events {
+                if let MetaEvent::LayoutChanged { ino, generation } = ev {
+                    c.note_generation(*ino, *generation);
                 }
             }
         }
@@ -329,6 +360,7 @@ impl ControlPlane {
         let meta = FileMeta {
             id: attr.ino,
             size: attr.size,
+            cursor: attr.size,
             policy,
             home: self.home_of(&layout),
             layout,
@@ -345,10 +377,12 @@ impl ControlPlane {
         let meta = self
             .create_file_at(&name, LayoutSpec::SINGLE, policy)
             .expect("fresh legacy path");
-        // Legacy callers pre-declare the size; advance the cursor so the
-        // first placement appends after it, matching the seed behavior.
+        // Legacy callers pre-declare the size; advance both the committed
+        // size and the cursor so the first placement appends after it,
+        // matching the seed behavior.
         let m = self.files.get_mut(&meta.id).expect("just created");
         m.size = size;
+        m.cursor = size;
         m.clone()
     }
 
@@ -426,6 +460,7 @@ impl ControlPlane {
             // placement state too, exactly like an unlink.
             self.files.remove(&replaced);
             self.extents.remove(&replaced);
+            self.meta.note_extents_gone(replaced);
         }
         self.publish_invalidations();
         r.map(|_| ())
@@ -437,6 +472,7 @@ impl ControlPlane {
         let attr = self.meta.unlink(path, now_ns)?;
         self.files.remove(&attr.ino);
         self.extents.remove(&attr.ino);
+        self.meta.note_extents_gone(attr.ino);
         self.publish_invalidations();
         Ok(attr)
     }
@@ -534,19 +570,22 @@ impl ControlPlane {
         let n = self.storage_nodes.len();
         let home = meta.home;
         let base = match mode {
-            PlaceMode::Append => meta.size,
+            PlaceMode::Append => meta.cursor,
             PlaceMode::At(o) => o,
             PlaceMode::Retry(o) => o,
         };
         // Cursor: appends and extending writes advance it; retries never
-        // do (their original placement already did).
+        // do (their original placement already did). Only the cursor
+        // moves here — the committed size advances when the write's
+        // placement is committed, so a rejected or abandoned write never
+        // inflates what `stat` and read planning see.
         let appended = match mode {
             PlaceMode::Retry(_) => 0,
-            _ => (base + len as u64).saturating_sub(meta.size),
+            _ => (base + len as u64).saturating_sub(meta.cursor),
         };
         if appended > 0 {
             if let Some(f) = self.files.get_mut(&file) {
-                f.size += appended;
+                f.cursor += appended;
             }
         }
         let placement = match meta.policy {
@@ -644,11 +683,16 @@ impl ControlPlane {
 
     /// Commit a completed write's placement into the file's extent map
     /// (called by clients when the write acknowledges `Ok`): this is what
-    /// makes the bytes *readable*. A file unlinked while the write was in
-    /// flight is silently skipped.
-    pub fn commit_write(&mut self, file: u64, placement: &WritePlacement, len: u32) {
+    /// makes the bytes *readable* — and what advances the committed size
+    /// (`stat` / read-plan clamping). The map's generation bump is fanned
+    /// out to registered read caches so cached data for the file drops.
+    /// A file unlinked while the write was in flight is silently skipped.
+    /// Returns the committed-size growth — what the client's write-back
+    /// attr update must carry (placement-time deltas would over-count
+    /// when an earlier placement was abandoned and never committed).
+    pub fn commit_write(&mut self, file: u64, placement: &WritePlacement, len: u32) -> u64 {
         if len == 0 || !self.files.contains_key(&file) {
-            return;
+            return 0;
         }
         let scheme = match self.files.get(&file).map(|m| &m.policy) {
             Some(FilePolicy::ErasureCoded { scheme }) => Some(*scheme),
@@ -687,6 +731,15 @@ impl ControlPlane {
                 coord: placement.primary,
             });
         }
+        let generation = map.generation();
+        // The bytes are durable now: this (and only this) advances the
+        // committed size the read path clamps against.
+        let mut growth = 0;
+        if let Some(f) = self.files.get_mut(&file) {
+            let new_size = f.size.max(placement.offset + len as u64);
+            growth = new_size - f.size;
+            f.size = new_size;
+        }
         // A write that raced a failure commits an extent referencing an
         // already-failed node (the placement predates `mark_node_failed`,
         // whose scan could not see this record): queue it now, or the
@@ -703,6 +756,11 @@ impl ControlPlane {
                 }
             }
         }
+        // Fan the generation bump out to client read caches (same
+        // callback channel every namespace mutation rides).
+        self.meta.note_extent_commit(file, generation);
+        self.publish_invalidations();
+        growth
     }
 
     /// Mark a storage node failed: reads route around it (replica
@@ -728,10 +786,12 @@ impl ControlPlane {
     }
 
     /// Resolve a ranged read into fetchable pieces: clamp to the
-    /// placement cursor (short reads past EOF, like `pread`), then walk
+    /// committed size (short reads past EOF, like `pread`), then walk
     /// the extent map routing around failed nodes. Any stripe the plan
     /// serves through degraded reconstruction is promoted to the front of
     /// the repair queue — the client is paying for that extent right now.
+    /// Counts one control round-trip in the metadata ledger (the RPC a
+    /// client read cache absorbs).
     pub fn resolve_read(
         &mut self,
         file: u64,
@@ -739,8 +799,14 @@ impl ControlPlane {
         len: u32,
     ) -> Result<ReadPlan, MetaError> {
         let meta = self.lookup(file)?;
-        let end = (offset + len as u64).min(meta.size);
+        // Saturate: `offset + len` can exceed u64::MAX (a hostile or
+        // buggy offset) — the overflow would panic in debug builds and
+        // wrap in release, turning an out-of-range read into a bogus
+        // plan. Saturating yields `end == size`, hence a clean
+        // zero-length short read.
+        let end = offset.saturating_add(len as u64).min(meta.size);
         let clamped = end.saturating_sub(offset) as u32;
+        self.meta.stats.resolves += 1;
         let plan = match self.extents.get(&file) {
             Some(map) => map.resolve(offset, clamped, &self.failed_nodes),
             // Nothing committed yet: the whole (clamped) range is a hole.
@@ -929,6 +995,7 @@ impl ControlPlane {
             .get_mut(&task.file)
             .ok_or(MetaError::UnknownFile(task.file))?;
         map.rehome(task.rec, replacements)?;
+        let generation = map.generation();
         self.repair_queue.stats.committed += 1;
         self.repair_queue.stats.shards_rehomed += replacements.len() as u64;
         for &(_, coord) in replacements {
@@ -945,7 +1012,7 @@ impl ControlPlane {
         {
             self.repair_queue.push_back(task);
         }
-        self.meta.note_layout_change(task.file, now_ns);
+        self.meta.note_layout_change(task.file, generation, now_ns);
         self.publish_invalidations();
         Ok(())
     }
@@ -1199,20 +1266,93 @@ mod tests {
     }
 
     #[test]
-    fn uncommitted_writes_read_as_holes_and_reads_clamp_at_cursor() {
+    fn uncommitted_writes_do_not_extend_the_readable_size() {
+        // The placement-time size-inflation regression: a placed but
+        // never-committed write (rejected capability, client died before
+        // the ack) must not move `stat` or the read clamp — planning
+        // holes for bytes that were never durable is phantom EOF state.
         let cp = plane();
         let f = cp.borrow_mut().create_file(0, FilePolicy::Plain);
-        let _p = cp.borrow_mut().place_write(f.id, 1000).expect("place");
-        // Placed but never committed (the write never acked): holes.
+        let p = cp.borrow_mut().place_write(f.id, 1000).expect("place");
+        assert_eq!(
+            cp.borrow().lookup(f.id).expect("meta").cursor,
+            1000,
+            "the cursor runs ahead so pipelined appends never overlap"
+        );
+        assert_eq!(
+            cp.borrow().lookup(f.id).expect("meta").size,
+            0,
+            "committed size does not move at placement"
+        );
         let plan = cp
             .borrow_mut()
             .resolve_read(f.id, 0, 5000)
             .expect("resolve");
-        assert_eq!(plan.len, 1000, "clamped at the placement cursor");
+        assert_eq!(plan.len, 0, "nothing durable: a clean zero-length read");
+        // Once the write commits, the same resolve serves the bytes.
+        cp.borrow_mut().commit_write(f.id, &p, 1000);
+        assert_eq!(cp.borrow().lookup(f.id).expect("meta").size, 1000);
+        let plan = cp
+            .borrow_mut()
+            .resolve_read(f.id, 0, 5000)
+            .expect("resolve");
+        assert_eq!(plan.len, 1000, "clamped at the committed size");
         assert!(plan
             .pieces
             .iter()
-            .all(|p| matches!(p, nadfs_meta::ReadPiece::Hole { .. })));
+            .all(|p| matches!(p, nadfs_meta::ReadPiece::Direct { .. })));
+    }
+
+    #[test]
+    fn rejected_write_between_commits_reads_as_a_hole_not_phantom_eof() {
+        // Write 1 placed but never committed; write 2 (after it) commits:
+        // the committed size covers write 2, and write 1's range reads as
+        // a hole — sparse, not phantom data, not an inflated EOF.
+        let cp = plane();
+        let f = cp.borrow_mut().create_file(0, FilePolicy::Plain);
+        let _lost = cp.borrow_mut().place_write(f.id, 1000).expect("place");
+        let kept = cp.borrow_mut().place_write(f.id, 500).expect("place");
+        assert_eq!(kept.offset, 1000, "cursor placed write 2 after write 1");
+        cp.borrow_mut().commit_write(f.id, &kept, 500);
+        assert_eq!(cp.borrow().lookup(f.id).expect("meta").size, 1500);
+        let plan = cp
+            .borrow_mut()
+            .resolve_read(f.id, 0, 2000)
+            .expect("resolve");
+        assert_eq!(plan.len, 1500);
+        let hole: u32 = plan
+            .pieces
+            .iter()
+            .filter_map(|p| match p {
+                nadfs_meta::ReadPiece::Hole { len, .. } => Some(*len),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(hole, 1000, "the uncommitted range is a hole");
+    }
+
+    #[test]
+    fn resolve_read_saturates_at_u64_max() {
+        let cp = plane();
+        let f = cp.borrow_mut().create_file(0, FilePolicy::Plain);
+        let p = cp.borrow_mut().place_write(f.id, 4096).expect("place");
+        cp.borrow_mut().commit_write(f.id, &p, 4096);
+        // offset + len would overflow u64: must be a clean empty plan,
+        // not a debug panic or a wrapped bogus range.
+        for offset in [u64::MAX, u64::MAX - 1, u64::MAX - 4095] {
+            let plan = cp
+                .borrow_mut()
+                .resolve_read(f.id, offset, u32::MAX)
+                .expect("resolve");
+            assert_eq!(plan.len, 0, "offset {offset:#x}");
+            assert!(plan.pieces.is_empty());
+        }
+        // Just past EOF (no overflow): also a clean zero-length read.
+        let plan = cp
+            .borrow_mut()
+            .resolve_read(f.id, 4096, u32::MAX)
+            .expect("resolve");
+        assert_eq!(plan.len, 0);
     }
 
     #[test]
@@ -1235,6 +1375,17 @@ mod tests {
             .place_write_at(f.id, 4096, 6144)
             .expect("extend");
         assert_eq!((e.offset, e.appended), (6144, 2048));
+        assert_eq!(cp.borrow().lookup(f.id).expect("meta").cursor, 10240);
+        // Committed size follows the commits, not the placements.
+        cp.borrow_mut().commit_write(f.id, &a, 8192);
+        assert_eq!(cp.borrow().lookup(f.id).expect("meta").size, 8192);
+        cp.borrow_mut().commit_write(f.id, &o, 4096);
+        assert_eq!(
+            cp.borrow().lookup(f.id).expect("meta").size,
+            8192,
+            "interior overwrite does not grow the committed size"
+        );
+        cp.borrow_mut().commit_write(f.id, &e, 4096);
         assert_eq!(cp.borrow().lookup(f.id).expect("meta").size, 10240);
     }
 

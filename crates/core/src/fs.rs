@@ -287,6 +287,19 @@ impl FsClient {
         self.cluster.control.borrow().repair_queue.len()
     }
 
+    /// This client's read-cache counters (hits, misses, invalidations,
+    /// readahead volume).
+    pub fn read_cache_stats(&self) -> crate::cache::ReadCacheStats {
+        self.cluster.read_caches[self.client].borrow().stats
+    }
+
+    /// Drop every cached byte in this client's read cache (e.g. to force
+    /// the uncached path for a measurement). Stats and generation floors
+    /// survive.
+    pub fn drop_read_cache(&mut self) {
+        self.cluster.read_caches[self.client].borrow_mut().clear();
+    }
+
     /// Drain the repair queue through this client's NIC: every queued
     /// extent is re-protected to spare nodes (or typed unrepairable) and
     /// its map updated so subsequent reads resolve non-degraded.

@@ -9,6 +9,7 @@
 //! erasure coding §VI).
 
 pub mod analysis;
+pub mod cache;
 pub mod client;
 pub mod cluster;
 pub mod config;
@@ -20,6 +21,7 @@ pub mod repair;
 pub mod storage;
 pub mod workloads;
 
+pub use cache::{CachedRead, ReadCache, ReadCacheConfig, ReadCacheStats};
 pub use client::{
     ClientApp, Job, MetaOp, MetaOpKind, MetaResult, ReadCompletion, ReadProtocol, ReadResult,
     ReadSlot, RepairOutcome, RepairResult, RepairSlot, ResultSink, WriteProtocol, WriteResult,
@@ -45,4 +47,4 @@ pub use nadfs_meta::{
     MetaError, MetaOpStats, ReadPiece, ReadPlan, StripedLayout,
 };
 pub use storage::{StorageApp, StorageStats};
-pub use workloads::{MetaWorkload, SizeDist, Workload};
+pub use workloads::{MetaWorkload, ReadPattern, SizeDist, Workload};

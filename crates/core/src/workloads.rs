@@ -56,6 +56,25 @@ impl SizeDist {
     }
 }
 
+/// How the read phase picks its offsets — the axis a client read cache
+/// cares about.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ReadPattern {
+    /// Offsets sampled uniformly over the written region (the original
+    /// behavior; worst case for caching).
+    Uniform,
+    /// A forward scan: each read starts where the previous one ended,
+    /// wrapping at the end of the written region. The streaming pattern
+    /// readahead exists for.
+    Sequential,
+    /// Skewed popularity: read `i` targets block `floor(N * u^exponent)`
+    /// of the written region, concentrating accesses on a hot prefix
+    /// (exponent 2.0 ≈ the classic zipf-ish hot set). What a cache's
+    /// steady-state hit rate is measured against. Exponents below 1.0
+    /// are clamped to 1.0 (uniform) — sub-uniform spread is not a skew.
+    Zipfian { exponent: f64 },
+}
+
 /// A deterministic workload: `n` writes per client with a size
 /// distribution and one protocol, optionally followed by a ranged-read
 /// phase over the written region (a read-after-write mix).
@@ -68,6 +87,8 @@ pub struct Workload {
     /// Ranged reads appended after the writes (0 = write-only).
     pub reads_per_client: usize,
     pub read_protocol: ReadProtocol,
+    /// Offset selection for the read phase.
+    pub read_pattern: ReadPattern,
     pub seed: u64,
 }
 
@@ -80,6 +101,7 @@ impl Workload {
             writes_per_client: 16,
             reads_per_client: 0,
             read_protocol: ReadProtocol::Rdma,
+            read_pattern: ReadPattern::Uniform,
             seed: 0xBEEF,
         }
     }
@@ -94,6 +116,13 @@ impl Workload {
     pub fn with_reads(mut self, n: usize, protocol: ReadProtocol) -> Workload {
         self.reads_per_client = n;
         self.read_protocol = protocol;
+        self
+    }
+
+    /// Pick how the read phase chooses offsets (sequential streaming,
+    /// zipfian hot-set, or the uniform default).
+    pub fn with_read_pattern(mut self, pattern: ReadPattern) -> Workload {
+        self.read_pattern = pattern;
         self
     }
 
@@ -124,13 +153,34 @@ impl Workload {
         // case the uncovered range legally reads back as a zero-filled
         // hole (cheaper than a fetch — don't compare read latencies
         // across window settings without checking hole rates).
+        let mut stream_off = 0u64;
         for i in 0..self.reads_per_client {
             let len = self.sizes.sample(&mut rng).max(1);
             let max_off = written.saturating_sub(len as u64);
-            let offset = if max_off == 0 {
-                0
-            } else {
-                rng.gen_range(0..=max_off)
+            let offset = match self.read_pattern {
+                ReadPattern::Uniform => {
+                    if max_off == 0 {
+                        0
+                    } else {
+                        rng.gen_range(0..=max_off)
+                    }
+                }
+                ReadPattern::Sequential => {
+                    // Forward scan; wrap when the next read would run
+                    // past the written region.
+                    if stream_off > max_off {
+                        stream_off = 0;
+                    }
+                    let o = stream_off;
+                    stream_off += len as u64;
+                    o
+                }
+                ReadPattern::Zipfian { exponent } => {
+                    // u^e concentrates mass near 0: a hot prefix whose
+                    // skew grows with the exponent.
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    ((u.powf(exponent.max(1.0)) * max_off as f64) as u64).min(max_off)
+                }
             };
             jobs.push(Job::Read {
                 file: self.file,
@@ -474,6 +524,62 @@ mod tests {
         for (off, len) in reads {
             assert!(off + len as u64 <= written, "read escapes written region");
         }
+    }
+
+    #[test]
+    fn sequential_pattern_scans_forward_and_wraps() {
+        let w = Workload::new(1, WriteProtocol::Raw, SizeDist::Fixed(4096))
+            .with_writes(4)
+            .with_reads(8, ReadProtocol::Rdma)
+            .with_read_pattern(ReadPattern::Sequential);
+        let reads: Vec<(u64, u32)> = w
+            .jobs_for_client(0)
+            .iter()
+            .filter_map(|j| match j {
+                Job::Read { offset, len, .. } => Some((*offset, *len)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reads.len(), 8);
+        // 4 writes of 4096 = 16384 written; reads of 4096 scan 0, 4096,
+        // 8192, 12288, then wrap.
+        let offs: Vec<u64> = reads.iter().map(|&(o, _)| o).collect();
+        assert_eq!(offs, vec![0, 4096, 8192, 12288, 0, 4096, 8192, 12288]);
+        for (off, len) in reads {
+            assert!(off + len as u64 <= 16384);
+        }
+    }
+
+    #[test]
+    fn zipfian_pattern_concentrates_on_a_hot_prefix() {
+        let w = Workload::new(1, WriteProtocol::Raw, SizeDist::Fixed(1024))
+            .with_writes(64)
+            .with_reads(400, ReadProtocol::Rdma)
+            .with_read_pattern(ReadPattern::Zipfian { exponent: 2.0 });
+        let written = 64 * 1024u64;
+        let offs: Vec<u64> = w
+            .jobs_for_client(0)
+            .iter()
+            .filter_map(|j| match j {
+                Job::Read { offset, .. } => Some(*offset),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(offs.len(), 400);
+        let hot = offs.iter().filter(|&&o| o < written / 4).count();
+        // u^2 puts sqrt(1/4) = 50% of accesses in the first quarter.
+        assert!(hot > 150, "hot-prefix skew missing: {hot}/400");
+        assert!(offs.iter().all(|&o| o + 1024 <= written));
+        // Determinism per (seed, client) holds for the pattern too.
+        let again: Vec<u64> = w
+            .jobs_for_client(0)
+            .iter()
+            .filter_map(|j| match j {
+                Job::Read { offset, .. } => Some(*offset),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(offs, again);
     }
 
     #[test]

@@ -145,6 +145,11 @@ pub struct ReadPlan {
     pub len: u32,
     /// Stripes that need reconstruction.
     pub degraded_stripes: u32,
+    /// The extent map's generation when this plan was built — the
+    /// staleness key for anything caching the fetched bytes (a commit or
+    /// repair re-homing bumps it, so a cached plan or payload tagged with
+    /// an older generation is recognizably stale).
+    pub generation: u64,
 }
 
 /// Per-file map of committed extents.
@@ -249,6 +254,16 @@ impl ExtentMap {
         len: u32,
         failed: &HashSet<u32>,
     ) -> Result<ReadPlan, MetaError> {
+        if len == 0 {
+            // Zero-length request (e.g. clamped entirely past EOF): an
+            // empty plan, not a zero-length hole piece.
+            return Ok(ReadPlan {
+                pieces: Vec::new(),
+                len: 0,
+                degraded_stripes: 0,
+                generation: self.generation,
+            });
+        }
         let mut pieces = Vec::new();
         let mut degraded_stripes = 0u32;
         // Uncovered subranges of the request; newest records carve them
@@ -304,6 +319,7 @@ impl ExtentMap {
             pieces,
             len,
             degraded_stripes,
+            generation: self.generation,
         })
     }
 

@@ -25,6 +25,9 @@ pub struct MetaOpStats {
     pub renames: u64,
     pub unlinks: u64,
     pub attr_flushes: u64,
+    /// Read-plan resolutions (the per-read control round-trip a client
+    /// read cache exists to absorb).
+    pub resolves: u64,
 }
 
 impl MetaOpStats {
@@ -36,6 +39,7 @@ impl MetaOpStats {
             + self.renames
             + self.unlinks
             + self.attr_flushes
+            + self.resolves
     }
 }
 
@@ -47,6 +51,12 @@ pub enum MetaEvent {
     Changed { path: String },
     /// A whole subtree moved or vanished; caches drop the prefix.
     SubtreeGone { path: String },
+    /// `ino`'s extent map moved to `generation` (a committed write,
+    /// overwrite, or repair re-homing): anything caching data or resolved
+    /// placements tagged with an older generation must drop them.
+    /// `generation == u64::MAX` means the file's data is gone entirely
+    /// (unlink / rename-replace).
+    LayoutChanged { ino: InodeId, generation: u64 },
 }
 
 /// The control node's metadata service.
@@ -187,15 +197,37 @@ impl MetadataService {
 
     /// Note a layout-level change to `ino`'s data placement (extent
     /// re-homing by the repair pipeline): bump the inode's version so
-    /// version checks see it, and publish a `Changed` event so client
-    /// caches drop the stale entry through the ordinary callback channel.
-    /// A file unlinked while its repair was in flight is a silent no-op.
-    pub fn note_layout_change(&mut self, ino: InodeId, now_ns: u64) {
+    /// version checks see it, and publish `Changed` + `LayoutChanged`
+    /// events so client caches drop stale entries (and stale data) through
+    /// the ordinary callback channel. A file unlinked while its repair was
+    /// in flight is a silent no-op.
+    pub fn note_layout_change(&mut self, ino: InodeId, generation: u64, now_ns: u64) {
         if self.ns.append(ino, 0, now_ns).is_ok() {
             if let Some(path) = self.ns.path_of(ino) {
                 self.events.push(MetaEvent::Changed { path });
             }
+            self.events
+                .push(MetaEvent::LayoutChanged { ino, generation });
         }
+    }
+
+    /// Note that `ino`'s extent map advanced to `generation` (a committed
+    /// write): publishes only the `LayoutChanged` event. Namespace attrs
+    /// are NOT touched — size/mtime ride the write-back attr flush — so a
+    /// write storm does not bump inode versions per write; data caches
+    /// keyed by the generation still invalidate precisely.
+    pub fn note_extent_commit(&mut self, ino: InodeId, generation: u64) {
+        self.events
+            .push(MetaEvent::LayoutChanged { ino, generation });
+    }
+
+    /// Note that `ino`'s data is gone entirely (unlink / rename-replace):
+    /// data caches must drop the file no matter what generation they hold.
+    pub fn note_extents_gone(&mut self, ino: InodeId) {
+        self.events.push(MetaEvent::LayoutChanged {
+            ino,
+            generation: u64::MAX,
+        });
     }
 
     /// Apply a client's write-back attr flush (one round-trip for the

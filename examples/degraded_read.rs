@@ -64,9 +64,17 @@ fn main() {
     fs.fail_storage_node(failed_idx);
     println!("storage node {failed_node} marked FAILED");
 
-    // Same read, now degraded: the client fetches the k surviving
-    // shards, reconstructs the lost chunk through gfec's cached decode
-    // matrices, and reassembles the original bytes.
+    // The healthy read left the bytes in the client read cache, which
+    // legally keeps serving them — a node failure changes nothing about
+    // committed data. Drop the cache to demonstrate the degraded path.
+    let absorbed = fs.read_at(&file, 0, data.len() as u32).expect("read");
+    assert!(absorbed.from_cache, "failure does not invalidate the cache");
+    println!("client cache still serves the file (no reconstruction needed)");
+    fs.drop_read_cache();
+
+    // Same read, uncached and now degraded: the client fetches the k
+    // surviving shards, reconstructs the lost chunk through gfec's
+    // cached decode matrices, and reassembles the original bytes.
     let degraded = fs
         .read_at(&file, 0, data.len() as u32)
         .expect("degraded read");

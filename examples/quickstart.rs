@@ -57,6 +57,27 @@ fn main() {
     assert_eq!(full.checksum, write.checksum);
     println!("full read-back verified: {} bytes byte-identical", full.len);
 
+    // Repeat the interior read: the client read cache absorbs it — no
+    // control-plane resolve, no per-stripe fan-out, byte-identical data.
+    // These asserts gate CI (the quickstart runs there), so a hit-rate
+    // regression fails deterministically.
+    let cached = fs.read_at(&file, 50_000, 100_000).expect("cached read");
+    assert!(cached.from_cache, "repeat read must hit the client cache");
+    assert_eq!(cached.data.as_ref(), &data[50_000..150_000]);
+    let stats = fs.read_cache_stats();
+    assert!(stats.hits >= 1, "cache hits must be counted");
+    assert!(
+        cached.end.since(cached.start) < full.end.since(full.start),
+        "a cache hit must be faster than the fan-out it replaced"
+    );
+    println!(
+        "repeat read served from cache in {:.2} us — {} hits / {} misses so far, {} bytes cached",
+        (cached.end - cached.start).as_us(),
+        stats.hits,
+        stats.misses,
+        fs.cluster.read_caches[0].borrow().cached_bytes()
+    );
+
     let attr = fs.stat(&file).expect("stat");
     println!("stat: size={} version={}", attr.size, attr.version);
     fs.close(file).expect("close");

@@ -215,12 +215,21 @@ fn degraded_read_reconstructs_erasure_coded_files() {
         assert_eq!(r.data.as_ref(), &data[..], "{mode:?} reconstruction");
         assert_eq!(r.degraded_stripes, 1, "{mode:?}");
         assert_eq!(r.checksum, w.checksum);
-        // A subrange entirely inside the failed chunk also reconstructs.
+        // The reconstruction populated the read cache: a subrange inside
+        // the failed chunk is served from client memory — this client
+        // never reconstructs the same extent twice.
+        let sub = fsc.read_at(&h, 1_000, 2_000).expect("cached subrange");
+        assert_eq!(sub.data.as_ref(), &data[1_000..3_000]);
+        assert_eq!(sub.degraded_stripes, 0, "served from cache, {mode:?}");
+        assert!(fsc.read_cache_stats().hits >= 1);
+        // With the cache dropped, the same subrange reconstructs again.
+        fsc.drop_read_cache();
         let sub = fsc.read_at(&h, 1_000, 2_000).expect("degraded subrange");
         assert_eq!(sub.data.as_ref(), &data[1_000..3_000]);
         assert_eq!(sub.degraded_stripes, 1);
         // Recovery: direct reads resume.
         fsc.recover_storage_node(failed_idx);
+        fsc.drop_read_cache();
         let healthy = fsc.read_at(&h, 0, data.len() as u32).expect("read");
         assert_eq!(healthy.degraded_stripes, 0);
         assert_eq!(healthy.data.as_ref(), &data[..]);
@@ -252,11 +261,17 @@ fn degraded_read_limits() {
     let r = fsc.read_at(&h, 0, data.len() as u32).expect("read");
     assert_eq!(r.degraded_stripes, 0);
     assert_eq!(r.data.as_ref(), &data[..]);
-    // Fail m data nodes too: k-1 survivors < k ⇒ unreadable.
+    // Fail m data nodes too: k-1 survivors < k ⇒ unreadable — but the
+    // earlier read left the bytes in the client cache, which legally
+    // keeps serving them (node failures don't change committed data).
     for coord in &w.placement.data_chunks[..2] {
         let idx = fsc.cluster.storage_index(coord.node as usize);
         fsc.fail_storage_node(idx);
     }
+    let cached = fsc.read_at(&h, 0, data.len() as u32).expect("cached read");
+    assert_eq!(cached.data.as_ref(), &data[..]);
+    // An uncached client hits the typed error.
+    fsc.drop_read_cache();
     let err = fsc.read_at(&h, 0, data.len() as u32).unwrap_err();
     assert_eq!(err, FsError::Io(Status::Rejected));
 }

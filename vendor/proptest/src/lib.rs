@@ -312,6 +312,10 @@ macro_rules! prop_assert_eq {
         let (a, b) = (&$a, &$b);
         $crate::prop_assert!(a == b, "{:?} != {:?}", a, b);
     }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{}: {:?} != {:?}", format!($($fmt)+), a, b);
+    }};
 }
 
 #[macro_export]
