@@ -83,9 +83,13 @@ impl PatternStats {
 #[derive(Clone, Debug, Default)]
 pub struct ReadCacheReport {
     pub sections: Vec<PatternStats>,
+    /// `nadfs-metrics-v1` snapshot of the final cached run, embedded in
+    /// the bench JSON so a regression diff carries the full component
+    /// picture (cache counters, per-phase op latencies, engine totals).
+    pub snapshot_json: String,
 }
 
-fn run_one(pattern: ReadPattern, reads: usize, cache_on: bool) -> RunStats {
+fn run_one(pattern: ReadPattern, reads: usize, cache_on: bool) -> (RunStats, String) {
     let spec = ClusterSpec::new(1, 4, StorageMode::Spin);
     let mut cl = SimCluster::build_with(spec, |app| app.read_cache_enabled = cache_on);
     let file = cl.control.borrow_mut().create_file(0, FilePolicy::Plain);
@@ -131,7 +135,8 @@ fn run_one(pattern: ReadPattern, reads: usize, cache_on: bool) -> RunStats {
     // Writes never call resolve_read, so the whole-run resolve count is
     // the read phase's control-RPC bill.
     let resolves = cl.control.borrow().meta.stats.resolves;
-    RunStats {
+    let snapshot = cl.metrics_snapshot().to_json_indented(2);
+    let run = RunStats {
         reads,
         bytes,
         mean_us: mean,
@@ -141,27 +146,33 @@ fn run_one(pattern: ReadPattern, reads: usize, cache_on: bool) -> RunStats {
         hit_rate: stats.hit_rate(),
         readahead_bytes: stats.readahead_bytes,
         hit_mean_us: hit_mean,
-    }
+    };
+    (run, snapshot)
 }
 
-fn run_pattern(name: &'static str, pattern: ReadPattern, reads: usize) -> PatternStats {
-    PatternStats {
-        pattern: name,
-        uncached: run_one(pattern, reads, false),
-        cached: run_one(pattern, reads, true),
-    }
+fn run_pattern(name: &'static str, pattern: ReadPattern, reads: usize) -> (PatternStats, String) {
+    let (uncached, _) = run_one(pattern, reads, false);
+    let (cached, snapshot) = run_one(pattern, reads, true);
+    (
+        PatternStats {
+            pattern: name,
+            uncached,
+            cached,
+        },
+        snapshot,
+    )
 }
 
 pub fn run() -> ReadCacheReport {
+    let (seq, _) = run_pattern("sequential", ReadPattern::Sequential, SEQ_READS);
+    let (zipf, snapshot_json) = run_pattern(
+        "zipfian",
+        ReadPattern::Zipfian { exponent: 2.0 },
+        ZIPF_READS,
+    );
     ReadCacheReport {
-        sections: vec![
-            run_pattern("sequential", ReadPattern::Sequential, SEQ_READS),
-            run_pattern(
-                "zipfian",
-                ReadPattern::Zipfian { exponent: 2.0 },
-                ZIPF_READS,
-            ),
-        ],
+        sections: vec![seq, zipf],
+        snapshot_json,
     }
 }
 
@@ -244,7 +255,13 @@ pub fn to_json(r: &ReadCacheReport) -> String {
             if i + 1 < r.sections.len() { "," } else { "" }
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    if r.snapshot_json.is_empty() {
+        s.push_str("  \"metrics_snapshot\": null\n");
+    } else {
+        s.push_str(&format!("  \"metrics_snapshot\": {}\n", r.snapshot_json));
+    }
+    s.push_str("}\n");
     s
 }
 
@@ -258,7 +275,11 @@ mod tests {
     /// rate high enough that regressions fail this test.
     #[test]
     fn sequential_cache_hits_are_5x_and_shed_control_rpcs() {
-        let s = run_pattern("sequential", ReadPattern::Sequential, SEQ_READS);
+        let (s, snapshot) = run_pattern("sequential", ReadPattern::Sequential, SEQ_READS);
+        assert!(
+            snapshot.contains("nadfs-metrics-v1"),
+            "cached run produced no metrics snapshot"
+        );
         assert!(
             s.hit_speedup() >= 5.0,
             "cache-hit speedup {:.1}x < 5x (uncached {:.1}us, hit {:.1}us)",
@@ -293,7 +314,7 @@ mod tests {
 
     #[test]
     fn zipfian_hot_set_hits_and_renders() {
-        let s = run_pattern(
+        let (s, snapshot_json) = run_pattern(
             "zipfian",
             ReadPattern::Zipfian { exponent: 2.0 },
             ZIPF_READS,
@@ -304,11 +325,24 @@ mod tests {
             s.cached.hit_rate
         );
         assert!(s.speedup() > 1.0);
-        let out = render(&ReadCacheReport { sections: vec![s] });
+        let report = ReadCacheReport {
+            sections: vec![s],
+            snapshot_json,
+        };
+        let out = render(&report);
         assert!(out.contains("zipfian"));
         assert!(out.contains("hit rate"));
-        let json = to_json(&ReadCacheReport { sections: vec![s] });
+        let json = to_json(&report);
         assert!(json.contains("\"bench\": \"read_cache\""));
         assert!(json.contains("\"hit_rate\""));
+        // The whole BENCH_*.json document — snapshot embedded — must
+        // parse, and the embedded snapshot must carry the pinned schema.
+        let v = nadfs_simnet::telemetry::json::parse(&json).expect("bench JSON parses");
+        let snap = v.get("metrics_snapshot").expect("snapshot embedded");
+        assert_eq!(
+            snap.get("schema")
+                .and_then(nadfs_simnet::telemetry::json::Json::as_str),
+            Some(nadfs_simnet::SNAPSHOT_SCHEMA)
+        );
     }
 }

@@ -14,7 +14,8 @@ use bytes::Bytes;
 use nadfs_gfec::ReedSolomon;
 use nadfs_meta::{CachedEntry, LayoutSpec, MetaCache, MetaError, ReadPiece};
 use nadfs_rdma::{NicApp, NicCore};
-use nadfs_simnet::{Ctx, Dur, NodeId, Time};
+use nadfs_simnet::telemetry::phase;
+use nadfs_simnet::{Ctx, Dur, NodeId, ObsHub, OpKind, SharedObs, SharedTrace, SpanId, Time, Trace};
 use nadfs_wire::{
     payload_checksum, AckPkt, Capability, DfsHeader, DfsOp, EcInfo, EcRole, Frame, HlConfigPkt,
     MsgId, ReadReqHeader, ReplicaCoord, Resiliency, Rights, RpcBody, RsScheme, Status,
@@ -352,6 +353,9 @@ struct PendingReadOp {
     /// `on_read_done`, so its token entry must be reaped at completion).
     subs: Vec<u64>,
     slot: Option<ReadSlot>,
+    /// Wire-level request id the fan-out travels under (span correlation).
+    greq: u64,
+    span: SpanId,
 }
 
 /// A read answered from the client read cache, waiting out its simulated
@@ -364,6 +368,7 @@ struct PendingCacheHit {
     data: Bytes,
     start: Time,
     slot: Option<ReadSlot>,
+    span: SpanId,
 }
 
 /// One in-flight repair task: surviving shards stream into `scratch`,
@@ -384,6 +389,10 @@ struct PendingRepair {
     msgs: Vec<MsgId>,
     subs: Vec<u64>,
     slot: Option<RepairSlot>,
+    /// Wire-level request ids the task used (fetch + spare writes), all
+    /// correlated to the span for storage-side phase marks.
+    greqs: Vec<u64>,
+    span: SpanId,
 }
 
 /// The client node software.
@@ -456,6 +465,12 @@ pub struct ClientApp {
     meta_in_flight: usize,
     meta_stash: Vec<(u64, PendingMeta)>,
     next_meta_tag: u64,
+    /// Observability hub: op spans + metrics. Constructed disabled; the
+    /// cluster build replaces it with the shared, enabled hub.
+    pub obs: SharedObs,
+    /// Shared trace ring: control-plane calls this client makes (resolve,
+    /// commit, repair planning) are annotated on the `control` track.
+    pub trace: SharedTrace,
 }
 
 /// A metadata op whose (already-determined) outcome is waiting out its
@@ -466,6 +481,7 @@ struct PendingMeta {
     start: Time,
     cache_hit: bool,
     result: Result<(), MetaError>,
+    span: SpanId,
 }
 
 impl ClientApp {
@@ -518,7 +534,54 @@ impl ClientApp {
             meta_in_flight: 0,
             meta_stash: Vec::new(),
             next_meta_tag: 0,
+            obs: ObsHub::disabled(),
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Open a span for one client op. The label closure only runs when
+    /// spans are enabled, so disabled hubs cost one branch.
+    fn span_begin<F: FnOnce() -> String>(
+        &self,
+        kind: OpKind,
+        nic: &NicCore,
+        at: Time,
+        label: F,
+    ) -> SpanId {
+        let mut obs = self.obs.borrow_mut();
+        if !obs.spans.enabled() {
+            return 0;
+        }
+        let track = format!("client-{}", nic.node());
+        obs.spans.begin(kind, track, label(), at)
+    }
+
+    fn span_mark(&self, id: SpanId, name: &'static str, at: Time) {
+        if id != 0 {
+            self.obs.borrow_mut().spans.mark(id, name, at);
+        }
+    }
+
+    fn span_end(&self, id: SpanId, at: Time, ok: bool) {
+        if id != 0 {
+            self.obs.borrow_mut().end_span(id, at, ok);
+        }
+    }
+
+    /// Associate a wire-level request id with a span so storage-side
+    /// validation can mark phases on it.
+    fn span_correlate(&self, greq: u64, id: SpanId) {
+        if id != 0 {
+            self.obs.borrow_mut().spans.correlate(greq, id);
+        }
+    }
+
+    fn span_decorrelate(&self, greq: u64) -> SpanId {
+        self.obs.borrow_mut().spans.decorrelate(greq).unwrap_or(0)
+    }
+
+    fn span_of(&self, greq: u64) -> SpanId {
+        self.obs.borrow().spans.corr_span(greq).unwrap_or(0)
     }
 
     fn capability(&mut self, nic: &NicCore, file: u64) -> Capability {
@@ -613,7 +676,9 @@ impl ClientApp {
         retries: u32,
         start: Time,
         slot: Option<WriteSlot>,
+        span: SpanId,
     ) {
+        self.span_end(span, ctx.now(), false);
         let greq = self.control.borrow_mut().alloc_greq();
         let result = WriteResult {
             greq,
@@ -647,15 +712,23 @@ impl ClientApp {
                 // injection — a real cost every protocol pays.
                 let placed = self.control.borrow_mut().place_write(file, size);
                 let start = ctx.now();
+                let span = self.span_begin(OpKind::Write, nic, start, || {
+                    format!("write f{file} {size}B")
+                });
                 let placement = match placed {
                     Ok(p) => p,
                     Err(_) => {
                         // Typed metadata miss: the job fails, the client
                         // moves on.
-                        self.fail_write_job(nic, ctx, size, protocol, 0, start, None);
+                        self.fail_write_job(nic, ctx, size, protocol, 0, start, None, span);
                         return;
                     }
                 };
+                self.span_mark(span, phase::RESOLVED, start);
+                self.span_correlate(placement.greq, span);
+                self.trace.borrow_mut().emit_with(start, "control", || {
+                    format!("place-write f{file} {size}B greq={}", placement.greq)
+                });
                 let t_post = nic.cpu.exec(start, nic.cpu.costs.post_send);
                 let tag = ISSUE_BASE | placement.greq;
                 self.issue_stash
@@ -675,13 +748,21 @@ impl ClientApp {
                     Some(o) => self.control.borrow_mut().place_write_at(file, len, o),
                 };
                 let start = ctx.now();
+                let span = self.span_begin(OpKind::Write, nic, start, || {
+                    format!("write f{file} {len}B")
+                });
                 let placement = match placed {
                     Ok(p) => p,
                     Err(_) => {
-                        self.fail_write_job(nic, ctx, len, protocol, 0, start, slot.clone());
+                        self.fail_write_job(nic, ctx, len, protocol, 0, start, slot.clone(), span);
                         return;
                     }
                 };
+                self.span_mark(span, phase::RESOLVED, start);
+                self.span_correlate(placement.greq, span);
+                self.trace.borrow_mut().emit_with(start, "control", || {
+                    format!("place-write f{file} {len}B greq={}", placement.greq)
+                });
                 let t_post = nic.cpu.exec(start, nic.cpu.costs.post_send);
                 let tag = ISSUE_BASE | placement.greq;
                 self.issue_stash
@@ -734,6 +815,7 @@ impl ClientApp {
     /// simulated latency (cache probe vs. control round-trip).
     fn start_meta(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, op: MetaOp, token: u64) {
         let start = ctx.now();
+        let span = self.span_begin(OpKind::Meta, nic, start, || format!("meta {:?}", op.kind()));
         let now_ns = start.as_ns() as u64;
         let costs = self.meta_costs.clone();
         let mut cost = Dur::ZERO;
@@ -830,6 +912,9 @@ impl ClientApp {
                 self.control.borrow_mut().unlink(path, now_ns).map(|_| ())
             }
         };
+        if cache_hit {
+            self.span_mark(span, phase::CACHE_HIT, start);
+        }
         let tag = META_BASE | self.next_meta_tag;
         self.next_meta_tag += 1;
         self.meta_in_flight += 1;
@@ -841,6 +926,7 @@ impl ClientApp {
                 start,
                 cache_hit,
                 result,
+                span,
             },
         ));
         nic.set_timer(ctx, cost, tag);
@@ -868,9 +954,13 @@ impl ClientApp {
         slot: Option<ReadSlot>,
     ) {
         let start = ctx.now();
+        let span = self.span_begin(OpKind::Read, nic, start, || {
+            format!("read f{file} @{offset}+{len}")
+        });
         if self.read_cache_enabled {
             let hit = self.read_cache.borrow_mut().lookup(file, offset, len);
             if let Some(hit) = hit {
+                self.span_mark(span, phase::CACHE_HIT, start);
                 // Served from client memory: no resolve, no fan-out. The
                 // completion waits out the cache probe (the copy-out is
                 // not charged — the uncached path's completion doesn't
@@ -888,6 +978,7 @@ impl ClientApp {
                         data: Bytes::from(hit.data),
                         start,
                         slot,
+                        span,
                     },
                 ));
                 nic.set_timer(ctx, cost, tag);
@@ -919,6 +1010,7 @@ impl ClientApp {
             Err(_) => {
                 // Unknown file, failed-node range, unrecoverable stripe:
                 // the read completes Rejected with no data.
+                self.span_end(span, ctx.now(), false);
                 let completion = ReadCompletion {
                     token,
                     client: nic.node(),
@@ -946,6 +1038,11 @@ impl ClientApp {
         let dest = nic.memory().borrow_mut().alloc(plan.len.max(1) as u64);
         let greq = self.control.borrow_mut().alloc_greq();
         let dfs = self.read_dfs_header(nic, file, greq);
+        self.span_mark(span, phase::RESOLVED, ctx.now());
+        self.span_correlate(greq, span);
+        self.trace.borrow_mut().emit_with(ctx.now(), "control", || {
+            format!("resolve-read f{file} @{offset}+{fetch_want} greq={greq}")
+        });
         let mut op = PendingReadOp {
             token,
             file,
@@ -963,6 +1060,8 @@ impl ClientApp {
             msgs: Vec::new(),
             subs: Vec::new(),
             slot,
+            greq,
+            span,
         };
         let mut fetches: Vec<(NodeId, u64, u32, u64)> = Vec::new(); // (node, addr, len, local)
         for piece in &plan.pieces {
@@ -1049,6 +1148,12 @@ impl ClientApp {
             op.subs.push(sub);
             op.subs_left += 1;
         }
+        let span = self
+            .reads_in_flight
+            .get(&op_id)
+            .map(|op| op.span)
+            .unwrap_or(0);
+        self.span_mark(span, phase::FANNED_OUT, ctx.now());
         if self
             .reads_in_flight
             .get(&op_id)
@@ -1112,6 +1217,12 @@ impl ClientApp {
         // The application observes completion one poll interval later
         // (CQ polling cost, same as the write path).
         let end = ctx.now() + nic.cpu.costs.poll_notify;
+        self.span_decorrelate(op.greq);
+        if degraded_stripes > 0 {
+            self.span_mark(op.span, phase::DEGRADED, ctx.now());
+        }
+        self.span_mark(op.span, phase::REASSEMBLED, ctx.now());
+        self.span_end(op.span, end, status == Status::Ok);
         let completion = ReadCompletion {
             token: op.token,
             client: nic.node(),
@@ -1204,6 +1315,7 @@ impl ClientApp {
         outcome: RepairOutcome,
         bytes_moved: u64,
         slot: Option<RepairSlot>,
+        span: SpanId,
     ) {
         let result = RepairResult {
             token,
@@ -1215,6 +1327,7 @@ impl ClientApp {
             end: ctx.now() + nic.cpu.costs.poll_notify,
             bytes_moved,
         };
+        self.span_end(span, result.end, status == Status::Ok);
         if let Some(slot) = &slot {
             *slot.borrow_mut() = Some(result.clone());
         }
@@ -1234,7 +1347,13 @@ impl ClientApp {
         slot: Option<RepairSlot>,
     ) {
         let start = ctx.now();
+        let span = self.span_begin(OpKind::Repair, nic, start, || {
+            format!("repair f{}", task.file)
+        });
         let planned = self.control.borrow_mut().plan_repair(task);
+        self.trace
+            .borrow_mut()
+            .emit_with(start, "control", || format!("plan-repair f{}", task.file));
         let plan = match planned {
             Ok(p) => p,
             Err(e) => {
@@ -1249,6 +1368,7 @@ impl ClientApp {
                     RepairOutcome::Unrepairable(e),
                     0,
                     slot,
+                    span,
                 );
                 return;
             }
@@ -1265,6 +1385,7 @@ impl ClientApp {
                     RepairOutcome::AlreadyHealthy,
                     0,
                     slot,
+                    span,
                 );
                 return;
             }
@@ -1279,6 +1400,8 @@ impl ClientApp {
         self.next_repair_op += 1;
         let greq = self.control.borrow_mut().alloc_greq();
         let dfs = self.read_dfs_header(nic, task.file, greq);
+        self.span_mark(span, phase::RESOLVED, ctx.now());
+        self.span_correlate(greq, span);
         let mut op = PendingRepair {
             token,
             task,
@@ -1292,6 +1415,8 @@ impl ClientApp {
             msgs: Vec::new(),
             subs: Vec::new(),
             slot,
+            greqs: vec![greq],
+            span,
         };
         let mut off = 0u64;
         for (coord, flen) in fetches {
@@ -1316,6 +1441,7 @@ impl ClientApp {
             op.bytes_moved += flen as u64;
             off += flen as u64;
         }
+        self.span_mark(span, phase::FANNED_OUT, ctx.now());
         self.repairs_in_flight.insert(op_id, op);
     }
 
@@ -1333,6 +1459,9 @@ impl ClientApp {
         for s in &op.subs {
             self.repair_sub_to_op.remove(s);
         }
+        for g in &op.greqs {
+            self.span_decorrelate(*g);
+        }
         self.deliver_repair(
             nic,
             ctx,
@@ -1343,6 +1472,7 @@ impl ClientApp {
             RepairOutcome::Aborted(status),
             0,
             op.slot,
+            op.span,
         );
     }
 
@@ -1426,9 +1556,15 @@ impl ClientApp {
         };
         let greq = self.control.borrow_mut().alloc_greq();
         let dfs = self.dfs_header(nic, task.file, greq);
-        let op = self.repairs_in_flight.get_mut(&op_id).expect("checked");
-        op.writing = true;
-        op.write_acks_left = writes.len() as u32;
+        let span = {
+            let op = self.repairs_in_flight.get_mut(&op_id).expect("checked");
+            op.writing = true;
+            op.write_acks_left = writes.len() as u32;
+            op.greqs.push(greq);
+            op.span
+        };
+        self.span_mark(span, phase::REBUILT, ctx.now());
+        self.span_correlate(greq, span);
         if writes.is_empty() {
             // Defensive: a plan with nothing to write commits directly.
             self.commit_and_complete_repair(nic, ctx, op_id);
@@ -1461,12 +1597,18 @@ impl ClientApp {
         for s in &op.subs {
             self.repair_sub_to_op.remove(s);
         }
+        for g in &op.greqs {
+            self.span_decorrelate(*g);
+        }
         let replacements = op.plan.replacements();
         let committed = self.control.borrow_mut().commit_repair(
             op.task,
             &replacements,
             ctx.now().as_ns() as u64,
         );
+        self.trace.borrow_mut().emit_with(ctx.now(), "control", || {
+            format!("commit-repair f{}", op.task.file)
+        });
         let (status, outcome) = match committed {
             Ok(()) => {
                 let outcome = match &op.plan {
@@ -1484,6 +1626,9 @@ impl ClientApp {
             // moved bytes are moot, not an error worth retrying.
             Err(e) => (Status::Rejected, RepairOutcome::Unrepairable(e)),
         };
+        if status == Status::Ok {
+            self.span_mark(op.span, phase::COMMITTED, ctx.now());
+        }
         self.deliver_repair(
             nic,
             ctx,
@@ -1494,6 +1639,7 @@ impl ClientApp {
             outcome,
             op.bytes_moved,
             op.slot,
+            op.span,
         );
     }
 
@@ -1507,6 +1653,7 @@ impl ClientApp {
         start: Time,
     ) {
         let greq = placement.greq;
+        let span = self.span_of(greq);
         let (file, size, protocol, data, slot) = match &job {
             Job::Write {
                 file,
@@ -1554,7 +1701,8 @@ impl ClientApp {
                 // unlink raced a retry): fail the job, don't panic. The
                 // slot this job held must be refilled — issue_write runs
                 // from a timer, so no caller does it for us.
-                self.fail_write_job(nic, ctx, size, protocol, retries, start, slot);
+                self.span_decorrelate(greq);
+                self.fail_write_job(nic, ctx, size, protocol, retries, start, slot, span);
                 self.fill(nic, ctx);
                 return;
             }
@@ -1819,6 +1967,7 @@ impl ClientApp {
                 }
             }
         }
+        self.span_mark(span, phase::FANNED_OUT, ctx.now());
         for m in &pending.msgs {
             self.msg_to_greq.insert(*m, greq);
         }
@@ -1827,6 +1976,7 @@ impl ClientApp {
 
     fn finish(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, greq: u64) {
         let p = self.in_flight.remove(&greq).expect("pending");
+        let span = self.span_decorrelate(greq);
         for m in &p.msgs {
             self.msg_to_greq.remove(m);
         }
@@ -1859,6 +2009,9 @@ impl ClientApp {
                 .control
                 .borrow_mut()
                 .commit_write(file, &p.placement, size);
+            self.trace.borrow_mut().emit_with(ctx.now(), "control", || {
+                format!("commit-write f{file} {size}B greq={greq}")
+            });
             if self.cache_enabled {
                 // Write-back metadata: absorb the size/mtime update
                 // locally; a batch flush pays one round-trip for many
@@ -1880,7 +2033,9 @@ impl ClientApp {
                     },
                 )]);
             }
+            self.span_mark(span, phase::COMMITTED, ctx.now());
         }
+        self.span_end(span, end, p.status == Status::Ok);
         let result = WriteResult {
             greq,
             client: nic.node(),
@@ -1996,6 +2151,7 @@ impl NicApp for ClientApp {
                 // (§III-B: "the request is denied, and the client will
                 // retry later").
                 let p = self.in_flight.remove(&greq).expect("pending");
+                let span = self.span_decorrelate(greq);
                 for m in &p.msgs {
                     self.msg_to_greq.remove(m);
                 }
@@ -2030,11 +2186,23 @@ impl NicApp for ClientApp {
                 let placement = match placed {
                     Ok(p) => p,
                     Err(_) => {
-                        self.fail_write_job(nic, ctx, size, protocol, retries, ctx.now(), slot);
+                        self.fail_write_job(
+                            nic,
+                            ctx,
+                            size,
+                            protocol,
+                            retries,
+                            ctx.now(),
+                            slot,
+                            span,
+                        );
                         self.fill(nic, ctx);
                         return;
                     }
                 };
+                // The retry travels under a fresh greq: re-key the span.
+                self.span_correlate(placement.greq, span);
+                self.span_mark(span, phase::RETRIED, ctx.now());
                 let tag = RETRY_BASE | placement.greq;
                 self.retry_stash.push((tag, p.job, placement, retries));
                 nic.set_timer(ctx, Dur::from_us(5 * retries as u64), tag);
@@ -2152,6 +2320,7 @@ impl NicApp for ClientApp {
             if let Some(idx) = self.meta_stash.iter().position(|(t, _)| *t == tag) {
                 let (_, pm) = self.meta_stash.remove(idx);
                 self.meta_in_flight -= 1;
+                self.span_end(pm.span, ctx.now(), pm.result.is_ok());
                 self.results.borrow_mut().metas.push(MetaResult {
                     token: pm.token,
                     client: nic.node(),
@@ -2170,6 +2339,7 @@ impl NicApp for ClientApp {
                 let (_, hit) = self.cache_fin_stash.remove(idx);
                 let slot = hit.slot;
                 let end = ctx.now() + nic.cpu.costs.poll_notify;
+                self.span_end(hit.span, end, true);
                 let completion = ReadCompletion {
                     token: hit.token,
                     client: nic.node(),

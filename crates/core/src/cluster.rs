@@ -8,7 +8,10 @@ use std::rc::Rc;
 use nadfs_host::SharedMemory;
 use nadfs_pspin::{ExecutionContext, Telemetry};
 use nadfs_rdma::{AppTimer, EcEngine, Nic, NicApp};
-use nadfs_simnet::{ComponentId, Dur, Engine, Fabric, FabricStats, NodeId, Time};
+use nadfs_simnet::{
+    ComponentId, Dur, Engine, Fabric, FabricStats, MetricsSnapshot, NodeId, ObsHub, SharedObs,
+    SharedTrace, Time, Trace,
+};
 use nadfs_wire::Frame;
 
 use crate::client::{ClientApp, Job, ResultSink, SharedPlan, SharedResults, KICK};
@@ -39,7 +42,19 @@ pub struct ClusterSpec {
     pub client_window: usize,
     /// NIC accumulator pool entries for EC aggregation (§VI-B-3).
     pub accumulator_pool: usize,
+    /// Build with live observability (op spans, metrics hub, trace ring)
+    /// wired through every component. On by default: everything is
+    /// bounded (span/trace rings) and costs one branch per op when idle.
+    pub observability: bool,
+    /// Enable DES-engine dispatch profiling (host wall-clock per handler;
+    /// off by default because it perturbs wall-clock benchmarks).
+    pub engine_profiling: bool,
 }
+
+/// Completed-span ring capacity for clusters built with observability.
+const SPAN_CAP: usize = 4096;
+/// Trace-ring capacity for clusters built with observability.
+const TRACE_CAP: usize = 8192;
 
 impl ClusterSpec {
     pub fn new(n_clients: usize, n_storage: usize, mode: StorageMode) -> ClusterSpec {
@@ -50,6 +65,8 @@ impl ClusterSpec {
             cost: CostModel::paper(),
             client_window: 1,
             accumulator_pool: 512,
+            observability: true,
+            engine_profiling: false,
         }
     }
 
@@ -65,6 +82,16 @@ impl ClusterSpec {
 
     pub fn with_accumulator_pool(mut self, n: usize) -> ClusterSpec {
         self.accumulator_pool = n;
+        self
+    }
+
+    pub fn with_observability(mut self, on: bool) -> ClusterSpec {
+        self.observability = on;
+        self
+    }
+
+    pub fn with_engine_profiling(mut self) -> ClusterSpec {
+        self.engine_profiling = true;
         self
     }
 }
@@ -88,6 +115,11 @@ pub struct SimCluster {
     pub read_caches: Vec<Rc<RefCell<crate::cache::ReadCache>>>,
     pub pspin_telemetry: Vec<Option<Rc<RefCell<Telemetry>>>>,
     pub fabric_stats: Rc<RefCell<FabricStats>>,
+    /// Shared observability hub (op spans + metrics); disabled when the
+    /// spec opted out.
+    pub obs: SharedObs,
+    /// Shared trace ring (instant annotations from every component).
+    pub trace: SharedTrace,
 }
 
 impl SimCluster {
@@ -101,6 +133,14 @@ impl SimCluster {
     /// (e.g. forged capabilities or abandoned writes for failure tests).
     pub fn build_with<F: FnMut(&mut ClientApp)>(spec: ClusterSpec, mut tweak: F) -> SimCluster {
         let mut engine = Engine::new();
+        if spec.engine_profiling {
+            engine.enable_profiling();
+        }
+        let (obs, trace) = if spec.observability {
+            (ObsHub::new(SPAN_CAP), Trace::new(TRACE_CAP))
+        } else {
+            (ObsHub::disabled(), Trace::disabled())
+        };
         let fid = engine.reserve_id();
         let client_components: Vec<_> = (0..spec.n_clients).map(|_| engine.reserve_id()).collect();
         let storage_components: Vec<_> = (0..spec.n_storage).map(|_| engine.reserve_id()).collect();
@@ -138,6 +178,8 @@ impl SimCluster {
             let mut app =
                 ClientApp::new(control.clone(), results.clone(), plan, spec.client_window);
             app.meta_costs = spec.cost.meta.clone();
+            app.obs = obs.clone();
+            app.trace = trace.clone();
             tweak(&mut app);
             client_caches.push(app.meta_cache.clone());
             read_caches.push(app.read_cache.clone());
@@ -149,7 +191,9 @@ impl SimCluster {
         let mut storage_stats = Vec::new();
         let mut pspin_telemetry = Vec::new();
         for (&comp, port) in storage_components.iter().zip(storage_ports) {
-            let app = StorageApp::new(key, spec.cost.fabric.link_bw);
+            let mut app = StorageApp::new(key, spec.cost.fabric.link_bw);
+            app.obs = obs.clone();
+            app.trace = trace.clone();
             storage_stats.push(app.stats.clone());
             let mut nic = Nic::new(
                 spec.cost.nic.clone(),
@@ -161,17 +205,20 @@ impl SimCluster {
             // DFS-level read requests against the service key before a
             // byte leaves the node (one-sided reads never touch the CPU).
             nic.core.install_service_key(key);
+            nic.core.obs = obs.clone();
+            nic.core.trace = trace.clone();
             match spec.mode {
                 StorageMode::Plain => {}
                 StorageMode::Spin => {
                     // Handler state shares the NIC's buffer ring so
                     // accumulator/parity buffers recycle through the device.
-                    let state = DfsNicState::with_buf_pool(
+                    let mut state = DfsNicState::with_buf_pool(
                         key,
                         spec.cost.handlers.clone(),
                         spec.accumulator_pool,
                         nic.core.buf_pool(),
                     );
+                    state.set_obs(obs.clone(), trace.clone(), nic.core.node());
                     nic.core.install_pspin(
                         spec.cost.pspin.clone(),
                         ExecutionContext {
@@ -212,7 +259,114 @@ impl SimCluster {
             read_caches,
             pspin_telemetry,
             fabric_stats,
+            obs,
+            trace,
         }
+    }
+
+    /// One coherent metrics snapshot: the op-span derived series already
+    /// in the hub, plus every component's stats struct registered under
+    /// stable names (`storage.<i>.*`, `client.<i>.*`, `repair.*`,
+    /// `pspin.<i>.*`, `fabric.*`, `engine.*`). Stable schema
+    /// [`nadfs_simnet::SNAPSHOT_SCHEMA`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut hub = self.obs.borrow_mut();
+        let m = &mut hub.metrics;
+        for (i, st) in self.storage_stats.iter().enumerate() {
+            let s = st.borrow();
+            let pre = format!("storage.{i}");
+            m.counter_set(&format!("{pre}.rpc_writes"), s.rpc_writes);
+            m.counter_set(&format!("{pre}.rpc_rdma_writes"), s.rpc_rdma_writes);
+            m.counter_set(&format!("{pre}.rpc_reads"), s.rpc_reads);
+            m.counter_set(&format!("{pre}.chunks_forwarded"), s.chunks_forwarded);
+            m.counter_set(&format!("{pre}.auth_failures"), s.auth_failures);
+            m.counter_set(
+                &format!("{pre}.fallback_aggregations"),
+                s.fallback_aggregations,
+            );
+            m.counter_set(&format!("{pre}.cleanup_events"), s.cleanup_events);
+            m.counter_set(
+                &format!("{pre}.stripe_chunks_placed"),
+                s.stripe_chunks_placed,
+            );
+            m.counter_set(
+                &format!("{pre}.repair_chunks_hosted"),
+                s.repair_chunks_hosted,
+            );
+        }
+        for (i, c) in self.client_caches.iter().enumerate() {
+            let s = c.borrow().stats;
+            let pre = format!("client.{i}.meta_cache");
+            m.counter_set(&format!("{pre}.hits"), s.hits);
+            m.counter_set(&format!("{pre}.misses"), s.misses);
+            m.counter_set(&format!("{pre}.invalidations"), s.invalidations);
+            m.counter_set(&format!("{pre}.writeback_absorbed"), s.writeback_absorbed);
+            m.counter_set(&format!("{pre}.writeback_flushes"), s.writeback_flushes);
+        }
+        for (i, c) in self.read_caches.iter().enumerate() {
+            let cache = c.borrow();
+            let s = &cache.stats;
+            let pre = format!("client.{i}.read_cache");
+            m.counter_set(&format!("{pre}.hits"), s.hits);
+            m.counter_set(&format!("{pre}.misses"), s.misses);
+            m.counter_set(&format!("{pre}.hit_bytes"), s.hit_bytes);
+            m.counter_set(&format!("{pre}.invalidations"), s.invalidations);
+            m.counter_set(&format!("{pre}.stale_fills"), s.stale_fills);
+            m.counter_set(&format!("{pre}.evictions"), s.evictions);
+            m.counter_set(&format!("{pre}.inserted_bytes"), s.inserted_bytes);
+            m.counter_set(&format!("{pre}.readahead_bytes"), s.readahead_bytes);
+        }
+        for (i, t) in self.pspin_telemetry.iter().enumerate() {
+            let Some(t) = t else { continue };
+            let t = t.borrow();
+            let pre = format!("pspin.{i}");
+            m.counter_set(&format!("{pre}.pkts_processed"), t.pkts_processed);
+            m.counter_set(&format!("{pre}.msgs_opened"), t.msgs_opened);
+            m.counter_set(&format!("{pre}.msgs_completed"), t.msgs_completed);
+            m.counter_set(&format!("{pre}.msgs_denied"), t.msgs_denied);
+            m.counter_set(&format!("{pre}.msgs_cleaned"), t.msgs_cleaned);
+            m.gauge_set(
+                "pspin.descriptor_peak_bytes",
+                t.descriptor_peak_bytes as f64,
+            );
+        }
+        {
+            let r = self.control.borrow().repair_queue.stats;
+            m.counter_set("repair.enqueued", r.enqueued);
+            m.counter_set("repair.promoted", r.promoted);
+            m.counter_set("repair.committed", r.committed);
+            m.counter_set("repair.requeued", r.requeued);
+            m.counter_set("repair.shards_rehomed", r.shards_rehomed);
+        }
+        m.counter_set(
+            "fabric.switch_holds",
+            self.fabric_stats.borrow().switch_holds,
+        );
+        m.counter_set("engine.events_dispatched", self.engine.events_dispatched());
+        // DES dispatch profile: the measured baseline for the per-packet
+        // boxing overhead item (ROADMAP) — dispatches and host-side busy
+        // time per component kind.
+        for p in self.engine.profiles_by_kind() {
+            m.counter_set(&format!("engine.kind.{}.dispatches", p.name), p.dispatches);
+            m.counter_set(
+                &format!("engine.kind.{}.busy_host_ns", p.name),
+                p.busy_host_ns,
+            );
+        }
+        let spans = &hub.spans;
+        let (open, done, dropped) = (spans.open_count(), spans.done_count(), spans.dropped());
+        let m = &mut hub.metrics;
+        m.gauge_set("spans.open", open as f64);
+        m.gauge_set("spans.done", done as f64);
+        m.gauge_set("spans.dropped", dropped as f64);
+        hub.metrics.snapshot()
+    }
+
+    /// Export completed spans + the trace ring as Chrome trace-event JSON
+    /// (loadable in Perfetto / `chrome://tracing`).
+    pub fn export_chrome_trace(&self) -> String {
+        let hub = self.obs.borrow();
+        nadfs_simnet::telemetry::chrome_trace_json(hub.spans.done(), &self.trace.borrow())
     }
 
     /// Queue a job on client `i`'s plan.

@@ -22,7 +22,7 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use nadfs_meta::{InodeAttr, InodeKind, LayoutSpec, MetaError};
-use nadfs_simnet::NodeId;
+use nadfs_simnet::{MetricsSnapshot, NodeId};
 use nadfs_wire::Status;
 
 use crate::client::{Job, ReadCompletion, ReadProtocol, WriteProtocol, WriteResult};
@@ -344,6 +344,26 @@ impl FsClient {
     /// The client node id driving this facade's operations.
     pub fn client_node(&self) -> NodeId {
         self.cluster.client_nodes[self.client]
+    }
+
+    /// One coherent [`MetricsSnapshot`] of the whole cluster: op latency
+    /// histograms and per-phase breakdowns from the span book, plus every
+    /// component stats struct under stable names. Schema is pinned by
+    /// [`nadfs_simnet::SNAPSHOT_SCHEMA`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.cluster.metrics_snapshot()
+    }
+
+    /// Chrome trace-event JSON (Perfetto / `chrome://tracing` loadable)
+    /// of all completed op spans and the simulator trace ring, on the
+    /// simulated clock with one track per component.
+    pub fn export_chrome_trace(&self) -> String {
+        self.cluster.export_chrome_trace()
+    }
+
+    /// Number of op spans still open (an op in flight — or leaked).
+    pub fn open_spans(&self) -> usize {
+        self.cluster.obs.borrow().spans.open_count()
     }
 }
 

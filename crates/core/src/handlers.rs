@@ -17,7 +17,8 @@ use std::collections::HashMap;
 use bytes::Bytes;
 use nadfs_gfec::ReedSolomon;
 use nadfs_pspin::{HandlerArgs, HandlerSet, Ops};
-use nadfs_simnet::{BufPool, NodeId, SharedBufPool};
+use nadfs_simnet::telemetry::phase;
+use nadfs_simnet::{BufPool, NodeId, ObsHub, SharedBufPool, SharedObs, SharedTrace, Trace};
 use nadfs_wire::{
     bcast_children, AckPkt, DfsHeader, EcInfo, EcRole, Frame, MacKey, MsgId, Resiliency, Rights,
     RsScheme, Status, WritePkt, WriteReqHeader,
@@ -113,6 +114,12 @@ pub struct DfsNicState {
     /// payloads here once their run retires).
     buf_pool: SharedBufPool,
     pub counters: DfsCounters,
+    /// Observability: span phase marks keyed by greq, the shared trace
+    /// ring, and which node this context runs on. Defaults disabled; the
+    /// cluster build installs the live hubs via [`DfsNicState::set_obs`].
+    obs: SharedObs,
+    trace: SharedTrace,
+    node: Option<NodeId>,
 }
 
 impl DfsNicState {
@@ -138,7 +145,18 @@ impl DfsNicState {
             acc_free: accumulator_pool,
             buf_pool,
             counters: DfsCounters::default(),
+            obs: ObsHub::disabled(),
+            trace: Trace::disabled(),
+            node: None,
         }
+    }
+
+    /// Install the shared observability hub + trace ring, tagging this
+    /// context with the storage node it runs on.
+    pub fn set_obs(&mut self, obs: SharedObs, trace: SharedTrace, node: NodeId) {
+        self.obs = obs;
+        self.trace = trace;
+        self.node = Some(node);
     }
 
     pub fn open_requests(&self) -> usize {
@@ -240,6 +258,15 @@ impl HandlerSet for DfsHandlers {
             );
             return;
         }
+        // First packet of a request validated on the NIC: mark the phase
+        // on the originating client op's span (greq-correlated).
+        st.obs
+            .borrow_mut()
+            .spans
+            .mark_corr_once(dfs.greq_id, phase::NIC_VALIDATED, a.now);
+        st.trace.borrow_mut().emit_from(a.now, "nic", st.node, || {
+            format!("hdr-validate greq={}", dfs.greq_id)
+        });
 
         let mut fwd = Vec::new();
         match &wrh.resiliency {

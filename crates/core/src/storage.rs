@@ -20,7 +20,8 @@ use std::rc::Rc;
 use bytes::Bytes;
 use nadfs_pspin::HostNotify;
 use nadfs_rdma::{NicApp, NicCore};
-use nadfs_simnet::{Ctx, NodeId, Time};
+use nadfs_simnet::telemetry::phase;
+use nadfs_simnet::{Ctx, NodeId, ObsHub, SharedObs, SharedTrace, Time, Trace};
 use nadfs_wire::{
     bcast_children, AckPkt, DfsHeader, MacKey, MsgId, ReadReqHeader, Resiliency, Rights, RpcBody,
     Status, WriteReqHeader,
@@ -99,6 +100,10 @@ pub struct StorageApp {
     fetches: Vec<(u64, PendingFetch)>,
     /// Per-(greq) progress of chunked replicated writes at this node.
     progress: Vec<(u64, u32)>,
+    /// Observability: span phase marks (greq-correlated) + trace ring.
+    /// Both default disabled; the cluster build installs the live hubs.
+    pub obs: SharedObs,
+    pub trace: SharedTrace,
 }
 
 const TAG_BASE: u64 = 0x5347_0000_0000_0000;
@@ -113,7 +118,23 @@ impl StorageApp {
             next_tag: 0,
             fetches: Vec::new(),
             progress: Vec::new(),
+            obs: ObsHub::disabled(),
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Mark `cpu-validated` on the greq-correlated span and note the
+    /// validation on this node's storage track.
+    fn note_cpu_validated(&self, nic: &NicCore, greq: u64, at: Time) {
+        self.obs
+            .borrow_mut()
+            .spans
+            .mark_corr_once(greq, phase::CPU_VALIDATED, at);
+        self.trace
+            .borrow_mut()
+            .emit_from(at, "storage", Some(nic.node()), || {
+                format!("cpu-validate greq={greq}")
+            });
     }
 
     /// Serial copy time left after the last packet of an inline write:
@@ -181,6 +202,7 @@ impl StorageApp {
             self.defer(nic, ctx, t_val, AfterCpu::AckClient { dst: src, ack });
             return;
         }
+        self.note_cpu_validated(nic, dfs.greq_id, t_val);
 
         if !inline_data {
             // RPC+RDMA: fetch the payload from the client with a one-sided
@@ -376,6 +398,7 @@ impl NicApp for StorageApp {
                     return;
                 }
                 self.stats.borrow_mut().rpc_reads += 1;
+                self.note_cpu_validated(nic, dfs.greq_id, t_val);
                 let t_post = nic.cpu.exec(t_val, costs.post_send);
                 self.defer(
                     nic,

@@ -11,9 +11,10 @@ use std::rc::Rc;
 use bytes::Bytes;
 use nadfs_host::{Cpu, CpuCosts, DmaConfig, DmaEngine, HostMemory, SharedMemory};
 use nadfs_pspin::{HostNotify, PsPinConfig, PsPinDevice, PsPinEvent};
+use nadfs_simnet::telemetry::phase;
 use nadfs_simnet::{
     Arrive, BufPool, Component, ComponentId, Ctx, Dur, GateWake, NetPacket, NodeId, NodePort,
-    SharedBufPool, Time,
+    ObsHub, SharedBufPool, SharedObs, SharedTrace, Time, Trace,
 };
 use nadfs_wire::{
     split_payload, write_payload_caps, AckPkt, DfsHeader, Frame, HlConfigPkt, MacKey, MsgId,
@@ -144,6 +145,11 @@ pub struct NicCore {
     /// Read requests whose capability the NIC validated / rejected.
     pub reads_validated: u64,
     pub read_auth_failures: u64,
+    /// Observability: span phase marks keyed by wire-level request id,
+    /// plus the shared trace ring. Both default disabled; the cluster
+    /// build installs the live hubs.
+    pub obs: SharedObs,
+    pub trace: SharedTrace,
 }
 
 impl NicCore {
@@ -570,6 +576,16 @@ impl NicCore {
                 return;
             }
             self.reads_validated += 1;
+            let now = ctx.now();
+            self.obs
+                .borrow_mut()
+                .spans
+                .mark_corr_once(dfs.greq_id, phase::NIC_VALIDATED, now);
+            self.trace
+                .borrow_mut()
+                .emit_from(now, "nic", Some(self.port.node), || {
+                    format!("read-validate greq={} len={}", dfs.greq_id, r.rrh.len)
+                });
         }
         self.respond_read(ctx, src, r.msg, r.rrh.addr, r.rrh.len);
     }
@@ -687,6 +703,8 @@ impl Nic {
                 frames_sent: 0,
                 reads_validated: 0,
                 read_auth_failures: 0,
+                obs: ObsHub::disabled(),
+                trace: Trace::disabled(),
             },
             app,
         }

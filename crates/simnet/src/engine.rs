@@ -105,10 +105,27 @@ impl Sched {
     }
 }
 
+/// Per-component dispatch profile (see [`Engine::enable_profiling`]).
+///
+/// `busy_host_ns` is *host* wall-clock time spent inside `handle` — sim
+/// time never advances during a handler, so host time is the only
+/// meaningful measure of dispatch overhead (it is the measured baseline
+/// for the per-packet `Box<dyn Any>` boxing cost). Profiling never
+/// affects simulated behavior; results vary with host load like any
+/// wall-clock measurement.
+#[derive(Clone, Debug, Default)]
+pub struct ComponentProfile {
+    pub name: String,
+    pub dispatches: u64,
+    pub busy_host_ns: u64,
+}
+
 /// The simulation engine: owns all components and the event queue.
 pub struct Engine {
     sched: Sched,
     components: Vec<Option<Box<dyn Component>>>,
+    profiling: bool,
+    profiles: Vec<ComponentProfile>,
 }
 
 impl Default for Engine {
@@ -127,7 +144,48 @@ impl Engine {
                 queue: BinaryHeap::new(),
             },
             components: Vec::new(),
+            profiling: false,
+            profiles: Vec::new(),
         }
+    }
+
+    /// Turn on per-component dispatch profiling (off by default: it adds
+    /// two host-clock reads per event, which perturbs wall-clock benches).
+    pub fn enable_profiling(&mut self) {
+        self.profiling = true;
+    }
+
+    pub fn profiling_enabled(&self) -> bool {
+        self.profiling
+    }
+
+    /// Per-component profiles gathered so far (empty unless profiling).
+    /// Indexed by [`ComponentId`]; components that never handled an event
+    /// have zero dispatches and an empty name.
+    pub fn profiles(&self) -> &[ComponentProfile] {
+        &self.profiles
+    }
+
+    /// Profiles aggregated by component *kind* — the name with any
+    /// trailing `-<digits>` instance suffix stripped, so `nic-0..nic-7`
+    /// fold into one `nic` row. Sorted by kind.
+    pub fn profiles_by_kind(&self) -> Vec<ComponentProfile> {
+        let mut by_kind: std::collections::BTreeMap<String, ComponentProfile> =
+            std::collections::BTreeMap::new();
+        for p in &self.profiles {
+            if p.dispatches == 0 {
+                continue;
+            }
+            let kind = match p.name.rfind('-') {
+                Some(i) if p.name[i + 1..].chars().all(|c| c.is_ascii_digit()) => &p.name[..i],
+                _ => p.name.as_str(),
+            };
+            let e = by_kind.entry(kind.to_owned()).or_default();
+            e.name = kind.to_owned();
+            e.dispatches += p.dispatches;
+            e.busy_host_ns += p.busy_host_ns;
+        }
+        by_kind.into_values().collect()
     }
 
     /// Register a component; its id is stable for the life of the engine.
@@ -175,12 +233,25 @@ impl Engine {
         let mut comp = self.components[s.target]
             .take()
             .unwrap_or_else(|| panic!("event for missing component {}", s.target));
+        let t0 = self.profiling.then(std::time::Instant::now);
         {
             let mut ctx = Ctx {
                 sched: &mut self.sched,
                 self_id: s.target,
             };
             comp.handle(&mut ctx, s.ev);
+        }
+        if let Some(t0) = t0 {
+            if self.profiles.len() <= s.target {
+                self.profiles
+                    .resize(s.target + 1, ComponentProfile::default());
+            }
+            let p = &mut self.profiles[s.target];
+            if p.name.is_empty() {
+                p.name = comp.name();
+            }
+            p.dispatches += 1;
+            p.busy_host_ns += t0.elapsed().as_nanos() as u64;
         }
         self.components[s.target] = Some(comp);
         true
@@ -343,6 +414,49 @@ mod tests {
         let hit = e.run_while(move || l2.borrow().len() >= 5);
         assert!(hit);
         assert_eq!(log.borrow().len(), 5);
+    }
+
+    #[test]
+    fn profiling_counts_dispatches_and_aggregates_by_kind() {
+        let mut e = Engine::new();
+        assert!(!e.profiling_enabled());
+        e.enable_profiling();
+        let log = Rc::new(RefCell::new(vec![]));
+        struct Named(Probe, &'static str);
+        impl Component for Named {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, ev: Box<dyn Any>) {
+                self.0.handle(ctx, ev);
+            }
+            fn name(&self) -> String {
+                self.1.to_owned()
+            }
+        }
+        let a = e.add_component(Box::new(Named(
+            Probe {
+                log: log.clone(),
+                echo_to: None,
+            },
+            "nic-0",
+        )));
+        let b = e.add_component(Box::new(Named(
+            Probe {
+                log: log.clone(),
+                echo_to: None,
+            },
+            "nic-1",
+        )));
+        for i in 0..3 {
+            e.schedule(Dur::from_ns(i), a, Box::new(Tick(i as u32)));
+        }
+        e.schedule(Dur::from_ns(9), b, Box::new(Tick(9)));
+        e.run_to_completion();
+        assert_eq!(e.profiles()[a].dispatches, 3);
+        assert_eq!(e.profiles()[a].name, "nic-0");
+        assert_eq!(e.profiles()[b].dispatches, 1);
+        let kinds = e.profiles_by_kind();
+        assert_eq!(kinds.len(), 1);
+        assert_eq!(kinds[0].name, "nic");
+        assert_eq!(kinds[0].dispatches, 4);
     }
 
     #[test]

@@ -17,13 +17,18 @@ pub mod gate;
 pub mod packet;
 pub mod pool;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Component, ComponentId, Ctx, Engine};
+pub use engine::{Component, ComponentId, ComponentProfile, Ctx, Engine};
 pub use fabric::{Fabric, FabricConfig, FabricStats, NodePort, Submit};
 pub use gate::{Gate, GateWake, SharedGate};
 pub use packet::{Arrive, NetPacket, NodeId, Payload};
 pub use pool::{BufPool, PoolStats, SharedBufPool};
+pub use telemetry::{
+    HistSummary, Log2Hist, MetricsHub, MetricsSnapshot, ObsHub, OpKind, OpSpan, SharedObs,
+    SpanBook, SpanId, SNAPSHOT_SCHEMA,
+};
 pub use time::{achieved_gbit_per_sec, Bandwidth, Dur, Time};
 pub use trace::{SharedTrace, Trace, TraceEntry};

@@ -1,12 +1,19 @@
 //! Measurement helpers: samplers with percentiles, counters, and
 //! time-weighted utilization tracking.
 
+use std::cell::RefCell;
+
 use crate::time::{Dur, Time};
 
 /// Collects scalar samples and answers summary queries.
+///
+/// Percentile queries sort lazily into an interior cache that recording
+/// invalidates, so a multi-percentile summary sorts once instead of
+/// cloning and re-sorting the sample vector per query.
 #[derive(Clone, Debug, Default)]
 pub struct Sampler {
     samples: Vec<f64>,
+    sorted: RefCell<Option<Vec<f64>>>,
 }
 
 impl Sampler {
@@ -16,10 +23,11 @@ impl Sampler {
 
     pub fn record(&mut self, v: f64) {
         self.samples.push(v);
+        self.sorted.borrow_mut().take();
     }
 
     pub fn record_dur_ns(&mut self, d: Dur) {
-        self.samples.push(d.as_ns());
+        self.record(d.as_ns());
     }
 
     pub fn len(&self) -> usize {
@@ -48,15 +56,26 @@ impl Sampler {
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
-    /// Percentile by nearest-rank on a sorted copy (q in [0, 100]).
+    /// Percentile by nearest-rank (q in [0, 100]). The first query after a
+    /// record sorts into the cache; subsequent queries are O(1).
     pub fn percentile(&self, q: f64) -> f64 {
         if self.samples.is_empty() {
             return f64::NAN;
         }
-        let mut v = self.samples.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let mut cache = self.sorted.borrow_mut();
+        let v = cache.get_or_insert_with(|| {
+            let mut v = self.samples.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            v
+        });
         let rank = ((q / 100.0) * (v.len() - 1) as f64).round() as usize;
         v[rank.min(v.len() - 1)]
+    }
+
+    /// Multi-percentile summary in one pass: at most one sort, then an
+    /// indexed lookup per requested quantile.
+    pub fn percentiles(&self, qs: &[f64]) -> Vec<f64> {
+        qs.iter().map(|&q| self.percentile(q)).collect()
     }
 
     pub fn median(&self) -> f64 {
@@ -69,6 +88,7 @@ impl Sampler {
 
     pub fn clear(&mut self) {
         self.samples.clear();
+        self.sorted.borrow_mut().take();
     }
 }
 
@@ -134,6 +154,18 @@ mod tests {
         assert!(s.mean().is_nan());
         assert!(s.percentile(50.0).is_nan());
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn percentile_cache_invalidated_by_record() {
+        let mut s = Sampler::new();
+        s.record(10.0);
+        assert_eq!(s.percentile(50.0), 10.0); // fills the sorted cache
+        s.record(1.0); // must invalidate it
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentiles(&[0.0, 50.0, 100.0]), vec![1.0, 10.0, 10.0]);
+        s.clear();
+        assert!(s.percentile(50.0).is_nan());
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use crate::packet::NodeId;
 use crate::time::Time;
 
 /// One trace record.
@@ -14,6 +15,9 @@ pub struct TraceEntry {
     pub at: Time,
     /// Component or subsystem that emitted the record.
     pub who: &'static str,
+    /// Node instance for per-node subsystems (`nic`, `storage`); exports
+    /// render `who-node` as the track name.
+    pub node: Option<NodeId>,
     pub what: String,
 }
 
@@ -48,10 +52,44 @@ impl Trace {
         }))
     }
 
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Eager emit. Prefer [`Trace::emit_with`] on hot paths: this variant
+    /// makes the caller build `what` even when the trace is disabled.
     pub fn emit(&mut self, at: Time, who: &'static str, what: impl Into<String>) {
         if !self.enabled {
             return;
         }
+        self.push(at, who, None, what.into());
+    }
+
+    /// Lazy emit: `what` is only built when the trace is enabled, so a
+    /// disabled trace costs one branch and zero allocations at call sites.
+    pub fn emit_with<F: FnOnce() -> String>(&mut self, at: Time, who: &'static str, what: F) {
+        if !self.enabled {
+            return;
+        }
+        self.push(at, who, None, what());
+    }
+
+    /// Lazy emit attributed to a specific node instance (renders on the
+    /// `who-node` track in exports).
+    pub fn emit_from<F: FnOnce() -> String>(
+        &mut self,
+        at: Time,
+        who: &'static str,
+        node: Option<NodeId>,
+        what: F,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.push(at, who, node, what());
+    }
+
+    fn push(&mut self, at: Time, who: &'static str, node: Option<NodeId>, what: String) {
         if self.entries.len() == self.cap {
             self.entries.pop_front();
             self.dropped += 1;
@@ -59,7 +97,8 @@ impl Trace {
         self.entries.push_back(TraceEntry {
             at,
             who,
-            what: what.into(),
+            node,
+            what,
         });
     }
 
@@ -133,5 +172,25 @@ mod tests {
         let t = Trace::disabled();
         t.borrow_mut().emit(Time(1), "x", "ignored");
         assert!(t.borrow().is_empty());
+    }
+
+    #[test]
+    fn emit_with_is_lazy_when_disabled() {
+        let t = Trace::disabled();
+        let mut built = false;
+        t.borrow_mut().emit_with(Time(1), "x", || {
+            built = true;
+            "never".to_owned()
+        });
+        assert!(!built, "closure must not run when trace is disabled");
+        assert!(t.borrow().is_empty());
+
+        let t = Trace::new(4);
+        t.borrow_mut()
+            .emit_from(Time(2), "nic", Some(3), || "tx".to_owned());
+        let tr = t.borrow();
+        let e = tr.entries().next().expect("entry");
+        assert_eq!(e.node, Some(3));
+        assert_eq!(e.who, "nic");
     }
 }

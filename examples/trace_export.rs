@@ -1,0 +1,123 @@
+//! Observability end-to-end: run a mixed write/read/repair workload,
+//! then export (a) the Chrome trace-event timeline — load it in
+//! Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing` — and
+//! (b) one `nadfs-metrics-v1` snapshot of every component's counters.
+//!
+//! The example self-validates: it re-parses both JSON documents and
+//! asserts the trace carries at least one event on every component
+//! track class (client, control, nic, storage), so CI can run it as a
+//! smoke test for the export pipeline.
+//!
+//! Run with: `cargo run --release -p nadfs-examples --example trace_export [out-dir]`
+
+use std::collections::BTreeSet;
+
+use nadfs_core::{
+    ClusterSpec, FilePolicy, FsClient, LayoutSpec, ReadProtocol, SimCluster, StorageMode,
+};
+use nadfs_simnet::telemetry::json::{self, Json};
+use nadfs_wire::RsScheme;
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_owned());
+
+    // RS(3,2) over 6 storage nodes (one spare repair domain), sPIN mode:
+    // the same shape degraded_read uses, but instrumented end to end.
+    let scheme = RsScheme::new(3, 2);
+    let cluster = SimCluster::build(ClusterSpec::new(1, 6, StorageMode::Spin));
+    let mut fs = FsClient::new(cluster);
+
+    fs.mkdir_p("/obs").expect("mkdir");
+    let file = fs
+        .create_with_policy(
+            "/obs/data.bin",
+            LayoutSpec::SINGLE,
+            FilePolicy::ErasureCoded { scheme },
+        )
+        .expect("create");
+    let data: Vec<u8> = (0..240_000).map(|i| (i * 37 % 251) as u8).collect();
+    let write = fs.append(&file, &data).expect("write");
+
+    // One cached and one uncached read, then a degraded read + repair so
+    // every span phase (cache-hit, degraded, rebuilt, committed) shows up.
+    let first = fs.read_at(&file, 0, data.len() as u32).expect("read");
+    let again = fs
+        .read_at(&file, 0, data.len() as u32)
+        .expect("cached read");
+    assert!(again.from_cache);
+
+    // One read over the RPC baseline: the storage CPU validates and
+    // streams the bytes, putting the storage nodes on their own track.
+    let mut rpc_handle = fs.open("/obs/data.bin").expect("open");
+    rpc_handle.read_protocol = ReadProtocol::Rpc;
+    fs.drop_read_cache();
+    let rpc_read = fs
+        .read_at(&rpc_handle, 0, data.len() as u32)
+        .expect("rpc read");
+    assert_eq!(rpc_read.data.as_ref(), &data[..]);
+    let failed_node = write.placement.data_chunks[0].node;
+    let failed_idx = fs.cluster.storage_index(failed_node as usize);
+    fs.fail_storage_node(failed_idx);
+    fs.drop_read_cache();
+    let degraded = fs.read_at(&file, 0, data.len() as u32).expect("degraded");
+    assert!(degraded.degraded_stripes > 0);
+    let report = fs.drain_repairs();
+    assert!(report.converged());
+    assert_eq!(fs.open_spans(), 0, "all op spans closed");
+    println!(
+        "ran: 1 write, 4 reads (1 cached, 1 RPC, 1 degraded over {} stripes), {} repair(s); \
+         healthy read {:.2} us",
+        degraded.degraded_stripes,
+        report.repaired,
+        (first.end - first.start).as_us()
+    );
+
+    let trace_doc = fs.export_chrome_trace();
+    let snap = fs.metrics_snapshot();
+    let snap_doc = format!("{}\n", snap.to_json());
+
+    // Self-validate before writing anything out.
+    let parsed = json::parse(&trace_doc).expect("chrome trace JSON parses");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    let tracks: BTreeSet<String> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+        .filter_map(|e| e.get("args").and_then(|a| a.get("name")))
+        .filter_map(|n| n.as_str().map(str::to_owned))
+        .collect();
+    for class in ["client-", "control", "nic-", "storage-"] {
+        assert!(
+            tracks.iter().any(|t| t.starts_with(class)),
+            "no {class}* track in export; tracks: {tracks:?}"
+        );
+    }
+    let parsed_snap = json::parse(&snap_doc).expect("snapshot JSON parses");
+    assert_eq!(
+        parsed_snap.get("schema").and_then(Json::as_str),
+        Some(nadfs_simnet::SNAPSHOT_SCHEMA)
+    );
+    assert!(
+        snap.hist("op.read.e2e_ns").map(|h| h.count).unwrap_or(0) >= 3,
+        "read latency histogram missing samples"
+    );
+
+    let trace_path = format!("{out_dir}/trace_export.json");
+    let snap_path = format!("{out_dir}/metrics_snapshot.json");
+    std::fs::write(&trace_path, &trace_doc).expect("write trace");
+    std::fs::write(&snap_path, &snap_doc).expect("write snapshot");
+    println!(
+        "exported {} events across {} tracks -> {trace_path}",
+        events.len(),
+        tracks.len()
+    );
+    println!(
+        "exported {} counters, {} gauges, {} histograms -> {snap_path}",
+        snap.counters.len(),
+        snap.gauges.len(),
+        snap.hists.len()
+    );
+    println!("open the trace at https://ui.perfetto.dev (or chrome://tracing)");
+}

@@ -191,6 +191,10 @@ pub fn drain_repairs_with_faults(fsc: &mut FsClient, plan: &mut FaultPlan) -> Re
         report.outcomes.push(r);
         plan.note_repair(fsc);
     }
+    // With NADFS_DUMP_TRACE set the timeline lands on disk before the
+    // caller's assertions run, so a failing interleaving leaves its
+    // evidence behind.
+    let _ = dump_trace_if_requested(fsc, &format!("fault-seed-{:x}", plan.seed));
     report
 }
 
@@ -231,4 +235,23 @@ pub fn write_then_fail_midway(
 /// drain), returning the per-task results for inspection.
 pub fn drain_repairs(fsc: &mut FsClient) -> Vec<RepairResult> {
     fsc.drain_repairs().outcomes
+}
+
+/// Dump the run's Chrome trace-event timeline when `NADFS_DUMP_TRACE` is
+/// set, returning the path written. Re-run a failing fault seed with
+/// `NADFS_DUMP_TRACE=1 NADFS_FAULT_SEED=<seed>` and load the file in
+/// Perfetto to see exactly which op stalled in which phase. `tag` keeps
+/// dumps from different tests/seeds apart.
+pub fn dump_trace_if_requested(fsc: &FsClient, tag: &str) -> Option<std::path::PathBuf> {
+    if std::env::var("NADFS_DUMP_TRACE").is_err() {
+        return None;
+    }
+    let safe: String = tag
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    let path = std::env::temp_dir().join(format!("nadfs-trace-{safe}.json"));
+    std::fs::write(&path, fsc.export_chrome_trace()).ok()?;
+    eprintln!("[nadfs] timeline dumped to {}", path.display());
+    Some(path)
 }
