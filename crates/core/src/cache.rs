@@ -86,6 +86,13 @@ pub struct ReadCacheStats {
     pub inserted_bytes: u64,
     /// Bytes fetched beyond what callers asked for (readahead volume).
     pub readahead_bytes: u64,
+    /// Fills populated straight from a locally written payload
+    /// (write-through), making read-after-write a local hit.
+    pub write_fills: u64,
+    /// Control-plane prefetch advisories received.
+    pub hints: u64,
+    /// Readahead plans boosted by a prefetch advisory.
+    pub hint_boosts: u64,
 }
 
 impl ReadCacheStats {
@@ -154,6 +161,10 @@ pub struct ReadCache {
     /// re-populate stale bytes.
     latest_gen: HashMap<u64, u64>,
     streams: HashMap<u64, StreamState>,
+    /// Control-plane prefetch advisories: per file, the range some client
+    /// (maybe this one) is about to scan. Consumed by the next
+    /// [`ReadCache::plan_readahead`] for the file.
+    hints: HashMap<u64, (u64, u32)>,
     clock: u64,
 }
 
@@ -171,6 +182,7 @@ impl ReadCache {
             files: HashMap::new(),
             latest_gen: HashMap::new(),
             streams: HashMap::new(),
+            hints: HashMap::new(),
             clock: 0,
         }
     }
@@ -279,23 +291,58 @@ impl ReadCache {
     /// this miss. Zero for random access; a multiplicatively ramping
     /// window for sequential streams. Call *after* [`Self::lookup`]
     /// missed (lookup advances the stream tracker this consults).
-    pub fn plan_readahead(&mut self, file: u64, _offset: u64, _len: u32) -> u32 {
+    pub fn plan_readahead(&mut self, file: u64, offset: u64, len: u32) -> u32 {
         let init = self.config.readahead_init;
         let max = self.config.readahead_max;
         if init == 0 {
             return 0;
         }
-        let s = self.streams.entry(file).or_default();
-        if !s.last_sequential {
-            return 0;
-        }
-        let w = if s.window == 0 {
+        let (last_sequential, window) = {
+            let s = self.streams.entry(file).or_default();
+            (s.last_sequential, s.window)
+        };
+        let mut w = if !last_sequential {
+            0
+        } else if window == 0 {
             init.min(max)
         } else {
-            s.window.saturating_mul(2).min(max)
+            window.saturating_mul(2).min(max)
         };
-        s.window = w;
+        // A control-plane prefetch advisory can grant (or widen) a window
+        // even before the local stream detector warms up — e.g. when
+        // another client's scan of the same file taught the control plane
+        // the access pattern. One-shot: consumed by the first plan.
+        if let Some(&(h_off, h_len)) = self.hints.get(&file) {
+            let tail = offset.saturating_add(len as u64);
+            let h_end = h_off.saturating_add(h_len as u64);
+            if h_off <= tail && h_end > tail {
+                let boost = ((h_end - tail) as u32).min(max);
+                if boost > w {
+                    w = boost;
+                    self.stats.hint_boosts += 1;
+                }
+                self.hints.remove(&file);
+            }
+        }
+        if w > 0 {
+            self.streams.entry(file).or_default().window = w;
+        }
         w
+    }
+
+    /// Control-plane prefetch advisory: some client is sequentially
+    /// scanning `file` and is about to need `[offset, offset + len)`.
+    pub fn note_hint(&mut self, file: u64, offset: u64, len: u32) {
+        self.stats.hints += 1;
+        self.hints.insert(file, (offset, len));
+    }
+
+    /// Write-through population: the payload of a locally acknowledged
+    /// write enters the cache under the post-commit generation, so
+    /// read-after-write is a local hit without a network round trip.
+    pub fn fill_from_write(&mut self, file: u64, generation: u64, offset: u64, data: &[u8]) {
+        self.stats.write_fills += 1;
+        self.fill(file, generation, offset, data, data.len() as u32);
     }
 
     /// Fill the cache with bytes fetched under `generation`.
@@ -455,6 +502,7 @@ impl ReadCache {
             // are never reused, so the floor can stay forever).
             self.latest_gen.insert(file, u64::MAX);
             self.streams.remove(&file);
+            self.hints.remove(&file);
             return;
         }
         let latest = self.latest_gen.entry(file).or_insert(0);
@@ -476,6 +524,7 @@ impl ReadCache {
     pub fn clear(&mut self) {
         self.files.clear();
         self.streams.clear();
+        self.hints.clear();
     }
 }
 
@@ -679,6 +728,37 @@ mod tests {
         c.fill(2, 1, 0, &bytes(4096, 3), 8192); // exact: 4096
         assert_eq!(c.lookup(2, 0, 8192).expect("hit").data.len(), 4096);
         assert!(c.lookup(2, 5_000, 10).expect("past EOF").data.is_empty());
+    }
+
+    #[test]
+    fn prefetch_hint_boosts_readahead_once() {
+        let mut c = ReadCache::new(ReadCacheConfig {
+            capacity_bytes: 1 << 20,
+            readahead_init: 100,
+            readahead_max: 4000,
+        });
+        c.note_hint(1, 0, 2000);
+        assert!(c.lookup(1, 0, 50).is_none());
+        // First access is not locally sequential yet, but the advisory
+        // grants the window covering the rest of the hinted range.
+        assert_eq!(c.plan_readahead(1, 0, 50), 1950);
+        assert_eq!(c.stats.hint_boosts, 1);
+        assert_eq!(c.stats.hints, 1);
+        // One-shot: a later non-sequential access gets no window.
+        assert!(c.lookup(1, 50_000, 50).is_none());
+        assert_eq!(c.plan_readahead(1, 50_000, 50), 0);
+    }
+
+    #[test]
+    fn write_fill_serves_read_after_write() {
+        let mut c = ReadCache::default();
+        c.fill_from_write(1, 3, 0, &bytes(100, 6));
+        let r = c.lookup(1, 0, 100).expect("read-after-write hit");
+        assert_eq!(r.data, bytes(100, 6));
+        assert_eq!(r.generation, 3);
+        assert_eq!(c.stats.write_fills, 1);
+        // A write fill proves no EOF: reading past it still misses.
+        assert!(c.lookup(1, 0, 200).is_none());
     }
 
     #[test]

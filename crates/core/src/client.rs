@@ -17,9 +17,9 @@ use nadfs_rdma::{NicApp, NicCore};
 use nadfs_simnet::telemetry::phase;
 use nadfs_simnet::{Ctx, Dur, NodeId, ObsHub, OpKind, SharedObs, SharedTrace, SpanId, Time, Trace};
 use nadfs_wire::{
-    payload_checksum, AckPkt, Capability, DfsHeader, DfsOp, EcInfo, EcRole, Frame, HlConfigPkt,
-    MsgId, ReadReqHeader, ReplicaCoord, Resiliency, Rights, RpcBody, RsScheme, Status,
-    WriteReqHeader,
+    payload_checksum, AckPkt, Capability, DfsHeader, DfsOp, EcInfo, EcRole, Frame, GatherCopy,
+    GatherReadHeader, GatherReconstruct, GatherSegment, HlConfigPkt, MsgId, ReadReqHeader,
+    ReplicaCoord, Resiliency, Rights, RpcBody, RsScheme, Status, WriteReqHeader, MAX_GATHER_SEGS,
 };
 
 use crate::cache::ReadCache;
@@ -114,7 +114,28 @@ pub enum ReadProtocol {
     /// SEND request per extent; the storage CPU validates, then streams
     /// the bytes back (the CPU baseline).
     Rpc,
+    /// NIC-offloaded gather: one request per storage node; sPIN handlers
+    /// validate once, the NIC collects the node's segments (fetching
+    /// remote survivors NIC-to-NIC and reconstructing degraded stripes on
+    /// the firmware EC engine), and streams them back as a single flow.
+    Offloaded,
 }
+
+/// Client-side read-path counters, shared out of the engine so the
+/// cluster can export them after the app moves into the simulation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientReadStats {
+    /// Degraded stripes reconstructed on the client CPU (fan-out paths).
+    pub reconstructed_stripes: u64,
+    /// Gather requests sent (offloaded protocol).
+    pub offloaded_reads: u64,
+    /// Degraded stripes delegated to on-NIC reconstruction.
+    pub offloaded_degraded_stripes: u64,
+    /// Background readahead-tail ops spawned by the async split.
+    pub background_readaheads: u64,
+}
+
+pub type SharedClientReadStats = Rc<RefCell<ClientReadStats>>;
 
 /// One unit of client work.
 #[derive(Clone, Debug)]
@@ -347,6 +368,12 @@ struct PendingReadOp {
     subs_left: u32,
     status: Status,
     degraded: Vec<DegradedFetch>,
+    /// Degraded stripes the offloaded path delegated to on-NIC
+    /// reconstruction (reported in the completion; no client rebuild).
+    offloaded_degraded: u32,
+    /// A readahead-tail op: fills the cache, delivers no completion, and
+    /// does not occupy a window slot.
+    background: bool,
     /// Request message ids (for NACK routing and cleanup).
     msgs: Vec<MsgId>,
     /// Sub-fetch tokens (for map cleanup: a NACKed piece never fires
@@ -356,6 +383,29 @@ struct PendingReadOp {
     /// Wire-level request id the fan-out travels under (span correlation).
     greq: u64,
     span: SpanId,
+}
+
+/// The wire program a read op injects once its doorbell cost elapses.
+enum ReadIssue {
+    /// Per-piece fan-out: (node, remote addr, len, local addr) fetches.
+    Fanout(Vec<(NodeId, u64, u32, u64)>),
+    /// Offloaded gathers: one request per storage node (or per degraded
+    /// stripe); each streams back as a single NIC-validated flow.
+    Gather(Vec<(NodeId, GatherReadHeader)>),
+}
+
+/// One file-level read request (original parameters + its open span):
+/// the unit the miss path consumes, and what parks on an in-flight
+/// background readahead covering its range.
+struct ReadReq {
+    token: u64,
+    file: u64,
+    offset: u64,
+    len: u32,
+    protocol: ReadProtocol,
+    slot: Option<ReadSlot>,
+    span: SpanId,
+    start: Time,
 }
 
 /// A read answered from the client read cache, waiting out its simulated
@@ -425,9 +475,8 @@ pub struct ClientApp {
     /// Deferred read completions waiting out the reconstruction CPU cost.
     read_fin_stash: Vec<(u64, u64)>,
     /// Read fan-outs waiting out the verbs-post (doorbell) cost:
-    /// (tag, op id, fetches as (node, addr, len, local), DFS header).
-    #[allow(clippy::type_complexity)]
-    read_issue_stash: Vec<(u64, u64, Vec<(NodeId, u64, u32, u64)>, DfsHeader)>,
+    /// (tag, op id, wire program, DFS header).
+    read_issue_stash: Vec<(u64, u64, ReadIssue, DfsHeader)>,
     /// Cached READ capabilities by file.
     read_caps: HashMap<u64, Capability>,
     /// Expiry stamped into issued READ capabilities (tests set this into
@@ -435,6 +484,18 @@ pub struct ClientApp {
     pub read_cap_expires_at_ns: u64,
     /// Cached RS codecs for client-side degraded reconstruction.
     rs_cache: HashMap<(u8, u8), ReedSolomon>,
+    /// Shared read-path counters (exported by the cluster's metrics
+    /// snapshot; the handle survives the app moving into the engine).
+    pub read_stats: SharedClientReadStats,
+    /// Background readahead ops currently in `reads_in_flight` (they do
+    /// not occupy window slots).
+    background_reads: usize,
+    /// Reads parked on an in-flight background readahead whose range
+    /// covers theirs (background op id → waiters): instead of a duplicate
+    /// resolve + fan-out they resume from the cache when the fill lands.
+    ra_waiters: HashMap<u64, Vec<ReadReq>>,
+    /// Parked reads (they hold their window slot while waiting).
+    parked_reads: usize,
     /// In-flight repair tasks by internal op id.
     repairs_in_flight: HashMap<u64, PendingRepair>,
     /// Repair shard-fetch token → repair op id.
@@ -519,6 +580,10 @@ impl ClientApp {
             read_caps: HashMap::new(),
             read_cap_expires_at_ns: u64::MAX / 2,
             rs_cache: HashMap::new(),
+            read_stats: Rc::new(RefCell::new(ClientReadStats::default())),
+            background_reads: 0,
+            ra_waiters: HashMap::new(),
+            parked_reads: 0,
             repairs_in_flight: HashMap::new(),
             repair_sub_to_op: HashMap::new(),
             repair_msg_to_op: HashMap::new(),
@@ -651,7 +716,11 @@ impl ClientApp {
         while self.in_flight.len()
             + self.issue_stash.len()
             + self.meta_in_flight
-            + self.reads_in_flight.len()
+            + self
+                .reads_in_flight
+                .len()
+                .saturating_sub(self.background_reads)
+            + self.parked_reads
             + self.cache_fin_stash.len()
             + self.repairs_in_flight.len()
             < self.window
@@ -984,7 +1053,63 @@ impl ClientApp {
                 nic.set_timer(ctx, cost, tag);
                 return;
             }
+            // A range covered by an in-flight background readahead parks
+            // here instead of double-fetching: the waiter resumes from
+            // the cache (or the full miss path) when the fill lands.
+            let covering = self.reads_in_flight.iter().find_map(|(id, op)| {
+                (op.background
+                    && op.file == file
+                    && op.offset <= offset
+                    && offset + len as u64 <= op.offset + op.len as u64)
+                    .then_some(*id)
+            });
+            if let Some(op_id) = covering {
+                self.span_mark(span, phase::READAHEAD, start);
+                self.parked_reads += 1;
+                self.ra_waiters.entry(op_id).or_default().push(ReadReq {
+                    token,
+                    file,
+                    offset,
+                    len,
+                    protocol,
+                    slot,
+                    span,
+                    start,
+                });
+                return;
+            }
         }
+        self.start_read_miss(
+            nic,
+            ctx,
+            ReadReq {
+                token,
+                file,
+                offset,
+                len,
+                protocol,
+                slot,
+                span,
+                start,
+            },
+        );
+    }
+
+    /// The miss path of one read request: control-plane resolve (with
+    /// readahead overfetch), async readahead split, destination alloc,
+    /// and doorbell-delayed injection. `req.start` is the original
+    /// request time (a parked read resumes here with its span open).
+    fn start_read_miss(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, req: ReadReq) {
+        let ReadReq {
+            token,
+            file,
+            offset,
+            len,
+            protocol,
+            slot,
+            span,
+            start,
+        } = req;
         // Miss: one control-plane resolve, overfetching a readahead
         // window when the access continues a sequential stream. A
         // resolve that fails only because the *readahead* tail crossed
@@ -1033,8 +1158,30 @@ impl ClientApp {
                 return;
             }
         };
-        let op_id = self.next_read_op;
-        self.next_read_op += 1;
+        // Async readahead split: when the plan extends past the caller's
+        // range, the tail pieces are fetched by a background op that only
+        // fills the cache — the triggering miss completes without waiting
+        // on readahead traffic. The piece holding the caller's last byte
+        // cannot be split, so the boundary is that piece's end.
+        let serve_len = plan.len.min(len);
+        let mut critical_len = plan.len;
+        if plan.len > serve_len {
+            let mut boundary = serve_len;
+            for piece in &plan.pieces {
+                let (s, e) = piece_bounds(piece);
+                if s < serve_len {
+                    boundary = boundary.max(e);
+                }
+            }
+            if boundary < plan.len {
+                critical_len = boundary;
+            }
+        }
+        let (critical_pieces, tail_pieces): (Vec<ReadPiece>, Vec<ReadPiece>) = plan
+            .pieces
+            .iter()
+            .cloned()
+            .partition(|p| piece_bounds(p).0 < critical_len);
         let dest = nic.memory().borrow_mut().alloc(plan.len.max(1) as u64);
         let greq = self.control.borrow_mut().alloc_greq();
         let dfs = self.read_dfs_header(nic, file, greq);
@@ -1043,28 +1190,215 @@ impl ClientApp {
         self.trace.borrow_mut().emit_with(ctx.now(), "control", || {
             format!("resolve-read f{file} @{offset}+{fetch_want} greq={greq}")
         });
-        let mut op = PendingReadOp {
+        let op = PendingReadOp {
             token,
             file,
             protocol,
             offset,
-            len: plan.len,
-            serve_len: plan.len.min(len),
-            fetch_want,
+            len: critical_len,
+            serve_len,
+            // When a tail split off, the critical fetch is not EOF-clamped
+            // (the tail op inherits the clamp evidence).
+            fetch_want: if critical_len < plan.len {
+                critical_len
+            } else {
+                fetch_want
+            },
             generation: plan.generation,
             dest,
             start,
             subs_left: 0,
             status: Status::Ok,
             degraded: Vec::new(),
+            offloaded_degraded: 0,
+            background: false,
             msgs: Vec::new(),
             subs: Vec::new(),
             slot,
             greq,
             span,
         };
+        // The verbs post (doorbell, WQE build) delays actual injection —
+        // the same per-job cost the write path charges. The exec base is
+        // the current time, not `start`: a parked read resumes here after
+        // its original request time.
+        let t_post = nic.cpu.exec(ctx.now(), nic.cpu.costs.post_send);
+        self.spawn_read_op(nic, ctx, op, &critical_pieces, 0, dfs, t_post);
+        if !tail_pieces.is_empty() {
+            self.span_mark(span, phase::READAHEAD, ctx.now());
+            let tail_len = plan.len - critical_len;
+            let tail_off = offset + critical_len as u64;
+            let tail_greq = self.control.borrow_mut().alloc_greq();
+            let tail_dfs = self.read_dfs_header(nic, file, tail_greq);
+            let tail_span = self.span_begin(OpKind::Read, nic, ctx.now(), || {
+                format!("readahead f{file} @{tail_off}+{tail_len}")
+            });
+            self.span_mark(tail_span, phase::READAHEAD, ctx.now());
+            self.span_correlate(tail_greq, tail_span);
+            let tail_op = PendingReadOp {
+                token: 0,
+                file,
+                protocol,
+                offset: tail_off,
+                len: tail_len,
+                serve_len: 0,
+                fetch_want: fetch_want - critical_len,
+                generation: plan.generation,
+                dest: dest + critical_len as u64,
+                start: ctx.now(),
+                subs_left: 0,
+                status: Status::Ok,
+                degraded: Vec::new(),
+                offloaded_degraded: 0,
+                background: true,
+                msgs: Vec::new(),
+                subs: Vec::new(),
+                slot: None,
+                greq: tail_greq,
+                span: tail_span,
+            };
+            self.read_stats.borrow_mut().background_readaheads += 1;
+            // Second doorbell for the background fan-out, chained after
+            // the critical one on the same CPU.
+            let t_tail = nic.cpu.exec(t_post, nic.cpu.costs.post_send);
+            self.spawn_read_op(
+                nic,
+                ctx,
+                tail_op,
+                &tail_pieces,
+                critical_len,
+                tail_dfs,
+                t_tail,
+            );
+        }
+    }
+
+    /// Register one read op (critical or background readahead), build its
+    /// wire program, and arm the doorbell timer that injects it.
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_read_op(
+        &mut self,
+        nic: &mut NicCore,
+        ctx: &mut Ctx<'_>,
+        mut op: PendingReadOp,
+        pieces: &[ReadPiece],
+        rebase: u32,
+        dfs: DfsHeader,
+        issue_at: Time,
+    ) {
+        let op_id = self.next_read_op;
+        self.next_read_op += 1;
+        let issue = self.build_read_issue(nic, &mut op, pieces, rebase);
+        if op.background {
+            self.background_reads += 1;
+        }
+        self.reads_in_flight.insert(op_id, op);
+        let tag = READ_ISSUE_BASE | op_id;
+        self.read_issue_stash.push((tag, op_id, issue, dfs));
+        nic.set_timer(ctx, issue_at.since(ctx.now()), tag);
+    }
+
+    /// Build the wire program for one read op: per-piece fetches for the
+    /// fan-out protocols, or per-node gather requests for the offloaded
+    /// path (a degraded stripe becomes one gather to the first survivor's
+    /// node, which reconstructs on its firmware EC engine). `rebase`
+    /// shifts plan-relative offsets into a background tail op's own
+    /// destination window.
+    fn build_read_issue(
+        &mut self,
+        nic: &NicCore,
+        op: &mut PendingReadOp,
+        pieces: &[ReadPiece],
+        rebase: u32,
+    ) -> ReadIssue {
+        if op.protocol == ReadProtocol::Offloaded {
+            let mut gathers: Vec<(NodeId, GatherReadHeader)> = Vec::new();
+            // Per-node batches of healthy segments (split past the cap).
+            let mut direct: Vec<(NodeId, Vec<GatherSegment>, u64)> = Vec::new();
+            for piece in pieces {
+                match piece {
+                    ReadPiece::Hole { .. } => {} // fresh buffer reads zero
+                    ReadPiece::Direct {
+                        coord,
+                        len,
+                        dest_off,
+                    } => {
+                        let node = coord.node as NodeId;
+                        let seg = GatherSegment {
+                            coord: *coord,
+                            len: *len,
+                            dest_off: *dest_off - rebase,
+                            shard: 0,
+                        };
+                        match direct
+                            .iter_mut()
+                            .find(|(n, segs, _)| *n == node && segs.len() < MAX_GATHER_SEGS)
+                        {
+                            Some((_, segs, total)) => {
+                                segs.push(seg);
+                                *total += *len as u64;
+                            }
+                            None => direct.push((node, vec![seg], *len as u64)),
+                        }
+                    }
+                    ReadPiece::Degraded {
+                        scheme,
+                        chunk_len,
+                        fetch,
+                        copy,
+                        ..
+                    } => {
+                        let coordinator = fetch[0].1.node as NodeId;
+                        let segments = fetch
+                            .iter()
+                            .map(|(shard, coord)| GatherSegment {
+                                coord: *coord,
+                                len: *chunk_len,
+                                dest_off: 0,
+                                shard: *shard as u8,
+                            })
+                            .collect();
+                        let gcopy: Vec<GatherCopy> = copy
+                            .iter()
+                            .map(|c| GatherCopy {
+                                chunk: c.chunk as u8,
+                                chunk_off: c.chunk_off,
+                                len: c.len,
+                                dest_off: c.dest_off - rebase,
+                            })
+                            .collect();
+                        let total: u64 = gcopy.iter().map(|c| c.len as u64).sum();
+                        op.offloaded_degraded += 1;
+                        self.read_stats.borrow_mut().offloaded_degraded_stripes += 1;
+                        gathers.push((
+                            coordinator,
+                            GatherReadHeader {
+                                total_len: total as u32,
+                                segments,
+                                reconstruct: Some(GatherReconstruct {
+                                    scheme: *scheme,
+                                    chunk_len: *chunk_len,
+                                    copy: gcopy,
+                                }),
+                            },
+                        ));
+                    }
+                }
+            }
+            for (node, segments, total) in direct {
+                gathers.push((
+                    node,
+                    GatherReadHeader {
+                        total_len: total as u32,
+                        segments,
+                        reconstruct: None,
+                    },
+                ));
+            }
+            return ReadIssue::Gather(gathers);
+        }
         let mut fetches: Vec<(NodeId, u64, u32, u64)> = Vec::new(); // (node, addr, len, local)
-        for piece in &plan.pieces {
+        for piece in pieces {
             match piece {
                 ReadPiece::Hole { .. } => {} // fresh buffer reads zero
                 ReadPiece::Direct {
@@ -1076,7 +1410,7 @@ impl ClientApp {
                         coord.node as NodeId,
                         coord.addr,
                         *len,
-                        dest + *dest_off as u64,
+                        op.dest + (*dest_off - rebase) as u64,
                     ));
                 }
                 ReadPiece::Degraded {
@@ -1098,55 +1432,85 @@ impl ClientApp {
                             scratch + slot_i as u64 * *chunk_len as u64,
                         ));
                     }
+                    let mut rcopy = copy.clone();
+                    for c in &mut rcopy {
+                        c.dest_off -= rebase;
+                    }
                     op.degraded.push(DegradedFetch {
                         scheme: *scheme,
                         chunk_len: *chunk_len,
                         scratch,
                         fetched: fetch.iter().map(|(i, _)| *i).collect(),
-                        copy: copy.clone(),
+                        copy: rcopy,
                     });
                 }
             }
         }
-        self.reads_in_flight.insert(op_id, op);
-        // The verbs post (doorbell, WQE build) delays actual injection —
-        // the same per-job cost the write path charges.
-        let tag = READ_ISSUE_BASE | op_id;
-        self.read_issue_stash.push((tag, op_id, fetches, dfs));
-        let t_post = nic.cpu.exec(start, nic.cpu.costs.post_send);
-        nic.set_timer(ctx, t_post.since(start), tag);
+        ReadIssue::Fanout(fetches)
     }
 
-    /// Inject the fan-out of a read whose doorbell cost has elapsed.
+    /// Inject the wire program of a read whose doorbell cost has elapsed.
     fn issue_read_fanout(
         &mut self,
         nic: &mut NicCore,
         ctx: &mut Ctx<'_>,
         op_id: u64,
-        fetches: Vec<(NodeId, u64, u32, u64)>,
+        issue: ReadIssue,
         dfs: DfsHeader,
     ) {
-        let Some(protocol) = self.reads_in_flight.get(&op_id).map(|op| op.protocol) else {
+        let Some((protocol, dest)) = self
+            .reads_in_flight
+            .get(&op_id)
+            .map(|op| (op.protocol, op.dest))
+        else {
             return;
         };
-        for (node, addr, flen, local) in fetches {
-            let sub = READ_SUB_BASE | self.next_read_sub;
-            self.next_read_sub += 1;
-            self.read_sub_to_op.insert(sub, op_id);
-            let rrh = ReadReqHeader { addr, len: flen };
-            let msg = match protocol {
-                ReadProtocol::Rdma => nic.send_read(ctx, node, rrh, Some(dfs), local, sub),
-                ReadProtocol::Rpc => {
-                    let msg = nic.send_rpc(ctx, node, RpcBody::ReadReq { dfs, rrh }, Bytes::new());
-                    nic.expect_read_resp(msg, local, sub);
-                    msg
+        match issue {
+            ReadIssue::Fanout(fetches) => {
+                for (node, addr, flen, local) in fetches {
+                    let sub = READ_SUB_BASE | self.next_read_sub;
+                    self.next_read_sub += 1;
+                    self.read_sub_to_op.insert(sub, op_id);
+                    let rrh = ReadReqHeader { addr, len: flen };
+                    let msg = match protocol {
+                        ReadProtocol::Rdma | ReadProtocol::Offloaded => {
+                            nic.send_read(ctx, node, rrh, Some(dfs), local, sub)
+                        }
+                        ReadProtocol::Rpc => {
+                            let msg = nic.send_rpc(
+                                ctx,
+                                node,
+                                RpcBody::ReadReq { dfs, rrh },
+                                Bytes::new(),
+                            );
+                            nic.expect_read_resp(msg, local, sub);
+                            msg
+                        }
+                    };
+                    self.read_msg_to_op.insert(msg, op_id);
+                    let op = self.reads_in_flight.get_mut(&op_id).expect("just checked");
+                    op.msgs.push(msg);
+                    op.subs.push(sub);
+                    op.subs_left += 1;
                 }
-            };
-            self.read_msg_to_op.insert(msg, op_id);
-            let op = self.reads_in_flight.get_mut(&op_id).expect("just checked");
-            op.msgs.push(msg);
-            op.subs.push(sub);
-            op.subs_left += 1;
+            }
+            ReadIssue::Gather(gathers) => {
+                for (node, grh) in gathers {
+                    let sub = READ_SUB_BASE | self.next_read_sub;
+                    self.next_read_sub += 1;
+                    self.read_sub_to_op.insert(sub, op_id);
+                    // Segment offsets in the header are relative to the
+                    // op's destination window; the streamed flow lands
+                    // there packet by packet.
+                    let msg = nic.send_gather(ctx, node, dfs, grh, dest, sub);
+                    self.read_msg_to_op.insert(msg, op_id);
+                    let op = self.reads_in_flight.get_mut(&op_id).expect("just checked");
+                    op.msgs.push(msg);
+                    op.subs.push(sub);
+                    op.subs_left += 1;
+                    self.read_stats.borrow_mut().offloaded_reads += 1;
+                }
+            }
         }
         let span = self
             .reads_in_flight
@@ -1177,7 +1541,7 @@ impl ClientApp {
             self.read_sub_to_op.remove(s);
         }
         let mut status = op.status;
-        let mut degraded_stripes = 0u32;
+        let mut degraded_stripes = op.offloaded_degraded;
         if status == Status::Ok {
             for d in &op.degraded {
                 if self.reconstruct_stripe(nic, &op, d).is_err() {
@@ -1186,6 +1550,27 @@ impl ClientApp {
                 }
                 degraded_stripes += 1;
             }
+        }
+        if op.background {
+            // Readahead tail: populate the cache, deliver nothing. The
+            // caller's miss already completed without waiting on this.
+            self.background_reads = self.background_reads.saturating_sub(1);
+            if status == Status::Ok && self.read_cache_enabled {
+                let fetched = nic.memory().borrow().read(op.dest, op.len as usize);
+                let mut rc = self.read_cache.borrow_mut();
+                rc.fill(op.file, op.generation, op.offset, &fetched, op.fetch_want);
+                rc.stats.readahead_bytes += (op.len - op.serve_len) as u64;
+            }
+            self.span_decorrelate(op.greq);
+            self.span_end(op.span, ctx.now(), status == Status::Ok);
+            // Reads that parked on this fill resume now: from the cache
+            // when the fill landed, else through the full miss path.
+            for w in self.ra_waiters.remove(&op_id).unwrap_or_default() {
+                self.parked_reads = self.parked_reads.saturating_sub(1);
+                self.resume_parked_read(nic, ctx, w);
+            }
+            self.fill(nic, ctx);
+            return;
         }
         let (data, checksum, len) = if status == Status::Ok {
             let mut fetched = nic.memory().borrow().read(op.dest, op.len as usize);
@@ -1245,6 +1630,40 @@ impl ClientApp {
         self.fill(nic, ctx);
     }
 
+    /// A read parked on a background readahead resumes: the fill it
+    /// waited on usually makes it a cache hit (delivered under its
+    /// original span and start time); a failed or gone-stale fill falls
+    /// back to the full miss path.
+    fn resume_parked_read(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, w: ReadReq) {
+        let hit = if self.read_cache_enabled {
+            self.read_cache.borrow_mut().lookup(w.file, w.offset, w.len)
+        } else {
+            None
+        };
+        if let Some(hit) = hit {
+            self.span_mark(w.span, phase::CACHE_HIT, ctx.now());
+            let cost = self.meta_costs.cache_probe;
+            let tag = CACHE_FIN_BASE | self.next_cache_tag;
+            self.next_cache_tag += 1;
+            self.cache_fin_stash.push((
+                tag,
+                PendingCacheHit {
+                    token: w.token,
+                    file: w.file,
+                    protocol: w.protocol,
+                    offset: w.offset,
+                    data: Bytes::from(hit.data),
+                    start: w.start,
+                    slot: w.slot,
+                    span: w.span,
+                },
+            ));
+            nic.set_timer(ctx, cost, tag);
+        } else {
+            self.start_read_miss(nic, ctx, w);
+        }
+    }
+
     /// Rebuild the missing data chunks of one degraded stripe from the
     /// staged survivors and copy the requested ranges into the
     /// destination buffer. Shard buffers come from the NIC's recycled
@@ -1284,6 +1703,7 @@ impl ClientApp {
         };
         let r = rs.reconstruct_into(&shards, &want, &mut outs);
         if r.is_ok() {
+            self.read_stats.borrow_mut().reconstructed_stripes += 1;
             let mut memory = mem.borrow_mut();
             for c in &d.copy {
                 let o = want.binary_search(&c.chunk).expect("wanted chunk");
@@ -2033,6 +2453,19 @@ impl ClientApp {
                     },
                 )]);
             }
+            if self.read_cache_enabled {
+                // Write-through cache population: a read-after-write is
+                // served locally without a resolve or fan-out. The fill
+                // carries the post-commit generation, so the commit's own
+                // invalidation callback does not immediately evict it.
+                let generation = self.control.borrow().extent_generation(file);
+                self.read_cache.borrow_mut().fill_from_write(
+                    file,
+                    generation,
+                    p.placement.offset,
+                    &p.data,
+                );
+            }
             self.span_mark(span, phase::COMMITTED, ctx.now());
         }
         self.span_end(span, end, p.status == Status::Ok);
@@ -2058,6 +2491,18 @@ impl ClientApp {
 
 fn job_clone(j: &Job) -> Job {
     j.clone()
+}
+
+/// Plan-relative `[start, end)` byte range one read piece covers.
+fn piece_bounds(piece: &ReadPiece) -> (u32, u32) {
+    match piece {
+        ReadPiece::Hole { dest_off, len } | ReadPiece::Direct { dest_off, len, .. } => {
+            (*dest_off, dest_off + len)
+        }
+        ReadPiece::Degraded { copy, .. } => copy.iter().fold((u32::MAX, 0), |(s, e), c| {
+            (s.min(c.dest_off), e.max(c.dest_off + c.len))
+        }),
+    }
 }
 
 /// Fan a striped plain write out as one write per stripe extent (with the
@@ -2365,8 +2810,8 @@ impl NicApp for ClientApp {
         }
         if tag & READ_ISSUE_BASE == READ_ISSUE_BASE {
             if let Some(idx) = self.read_issue_stash.iter().position(|(t, ..)| *t == tag) {
-                let (_, op_id, fetches, dfs) = self.read_issue_stash.remove(idx);
-                self.issue_read_fanout(nic, ctx, op_id, fetches, dfs);
+                let (_, op_id, issue, dfs) = self.read_issue_stash.remove(idx);
+                self.issue_read_fanout(nic, ctx, op_id, issue, dfs);
             }
             return;
         }

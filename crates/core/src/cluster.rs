@@ -7,7 +7,7 @@ use std::rc::Rc;
 
 use nadfs_host::SharedMemory;
 use nadfs_pspin::{ExecutionContext, Telemetry};
-use nadfs_rdma::{AppTimer, EcEngine, Nic, NicApp};
+use nadfs_rdma::{AppTimer, EcEngine, Nic, NicApp, SharedNicStats};
 use nadfs_simnet::{
     ComponentId, Dur, Engine, Fabric, FabricStats, MetricsSnapshot, NodeId, ObsHub, SharedObs,
     SharedTrace, Time, Trace,
@@ -113,6 +113,11 @@ pub struct SimCluster {
     pub client_caches: Vec<Rc<RefCell<nadfs_meta::MetaCache>>>,
     /// Per-client read caches (index-aligned with `client_nodes`).
     pub read_caches: Vec<Rc<RefCell<crate::cache::ReadCache>>>,
+    /// Per-client read-path counters (index-aligned with `client_nodes`).
+    pub client_read_stats: Vec<crate::client::SharedClientReadStats>,
+    /// Per-storage-NIC gather/offload counters (index-aligned with
+    /// `storage_nodes`).
+    pub nic_stats: Vec<SharedNicStats>,
     pub pspin_telemetry: Vec<Option<Rc<RefCell<Telemetry>>>>,
     pub fabric_stats: Rc<RefCell<FabricStats>>,
     /// Shared observability hub (op spans + metrics); disabled when the
@@ -172,6 +177,7 @@ impl SimCluster {
         let mut plans = Vec::new();
         let mut client_caches = Vec::new();
         let mut read_caches = Vec::new();
+        let mut client_read_stats = Vec::new();
         for (&comp, port) in client_components.iter().zip(client_ports) {
             let plan: SharedPlan = Rc::new(RefCell::new(VecDeque::new()));
             plans.push(plan.clone());
@@ -183,6 +189,7 @@ impl SimCluster {
             tweak(&mut app);
             client_caches.push(app.meta_cache.clone());
             read_caches.push(app.read_cache.clone());
+            client_read_stats.push(app.read_stats.clone());
             let nic = Nic::new(spec.cost.nic.clone(), port, comp, Box::new(app));
             engine.install(comp, Box::new(nic));
         }
@@ -190,6 +197,7 @@ impl SimCluster {
         let mut storage_mems = Vec::new();
         let mut storage_stats = Vec::new();
         let mut pspin_telemetry = Vec::new();
+        let mut nic_stats = Vec::new();
         for (&comp, port) in storage_components.iter().zip(storage_ports) {
             let mut app = StorageApp::new(key, spec.cost.fabric.link_bw);
             app.obs = obs.clone();
@@ -236,6 +244,7 @@ impl SimCluster {
             }
             storage_mems.push(nic.core.memory());
             pspin_telemetry.push(nic.core.pspin().map(|d| d.telemetry()));
+            nic_stats.push(nic.core.nic_stats());
             engine.install(comp, Box::new(nic));
         }
 
@@ -257,6 +266,8 @@ impl SimCluster {
             storage_stats,
             client_caches,
             read_caches,
+            client_read_stats,
+            nic_stats,
             pspin_telemetry,
             fabric_stats,
             obs,
@@ -315,6 +326,38 @@ impl SimCluster {
             m.counter_set(&format!("{pre}.evictions"), s.evictions);
             m.counter_set(&format!("{pre}.inserted_bytes"), s.inserted_bytes);
             m.counter_set(&format!("{pre}.readahead_bytes"), s.readahead_bytes);
+            m.counter_set(&format!("{pre}.write_fills"), s.write_fills);
+            m.counter_set(&format!("{pre}.hints"), s.hints);
+            m.counter_set(&format!("{pre}.hint_boosts"), s.hint_boosts);
+        }
+        for (i, c) in self.client_read_stats.iter().enumerate() {
+            let s = *c.borrow();
+            let pre = format!("client.{i}.read");
+            m.counter_set(
+                &format!("{pre}.reconstructed_stripes"),
+                s.reconstructed_stripes,
+            );
+            m.counter_set(&format!("{pre}.offloaded_reads"), s.offloaded_reads);
+            m.counter_set(
+                &format!("{pre}.offloaded_degraded_stripes"),
+                s.offloaded_degraded_stripes,
+            );
+            m.counter_set(
+                &format!("{pre}.background_readaheads"),
+                s.background_readaheads,
+            );
+        }
+        for (i, c) in self.nic_stats.iter().enumerate() {
+            let s = *c.borrow();
+            let pre = format!("nic.{i}.gather");
+            m.counter_set(&format!("{pre}.reads"), s.gather_reads);
+            m.counter_set(&format!("{pre}.auth_failures"), s.gather_auth_failures);
+            m.counter_set(&format!("{pre}.remote_fetches"), s.gather_remote_fetches);
+            m.counter_set(&format!("{pre}.bytes_streamed"), s.gather_bytes_streamed);
+            m.counter_set(
+                &format!("{pre}.chunks_reconstructed"),
+                s.chunks_reconstructed,
+            );
         }
         for (i, t) in self.pspin_telemetry.iter().enumerate() {
             let Some(t) = t else { continue };

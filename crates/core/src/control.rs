@@ -268,6 +268,10 @@ pub struct ControlPlane {
     /// attached by the cluster builder so placement decisions are
     /// observable on the nodes they land on.
     storage_stats: Vec<SharedStorageStats>,
+    /// Per-file sequential-scan detector over resolve traffic: when a
+    /// file's resolves run back-to-back, the control plane publishes
+    /// prefetch advisories to every registered read cache.
+    scan_tracker: HashMap<u64, (u64, u32)>,
 }
 
 pub type SharedControl = Rc<RefCell<ControlPlane>>;
@@ -292,6 +296,7 @@ impl ControlPlane {
             repair_queue: RepairQueue::default(),
             next_spare: 0,
             storage_stats: Vec::new(),
+            scan_tracker: HashMap::new(),
         }))
     }
 
@@ -334,16 +339,22 @@ impl ControlPlane {
                 match ev {
                     MetaEvent::Changed { path } => c.invalidate_path(path),
                     MetaEvent::SubtreeGone { path } => c.invalidate_subtree(path),
-                    // Data-generation events are for the read caches.
-                    MetaEvent::LayoutChanged { .. } => {}
+                    // Data-generation + prefetch events: read caches only.
+                    MetaEvent::LayoutChanged { .. } | MetaEvent::PrefetchHint { .. } => {}
                 }
             }
         }
         for cache in &self.read_caches {
             let mut c = cache.borrow_mut();
             for ev in &events {
-                if let MetaEvent::LayoutChanged { ino, generation } = ev {
-                    c.note_generation(*ino, *generation);
+                match ev {
+                    MetaEvent::LayoutChanged { ino, generation } => {
+                        c.note_generation(*ino, *generation);
+                    }
+                    MetaEvent::PrefetchHint { ino, offset, len } => {
+                        c.note_hint(*ino, *offset, *len);
+                    }
+                    _ => {}
                 }
             }
         }
@@ -815,6 +826,21 @@ impl ControlPlane {
         for piece in &plan.pieces {
             if let ReadPiece::Degraded { rec, .. } = piece {
                 self.repair_queue.promote(RepairTask { file, rec: *rec });
+            }
+        }
+        // Sequential-scan detector over resolve traffic: two back-to-back
+        // resolves of the same file advertise the region ahead of the
+        // reader to every subscribed read cache (including other clients,
+        // which is where an advisory beats purely local detection).
+        if clamped > 0 {
+            let entry = self.scan_tracker.entry(file).or_insert((0, 0));
+            let sequential = entry.1 > 0 && offset == entry.0;
+            entry.1 = if sequential { entry.1 + 1 } else { 1 };
+            entry.0 = end;
+            if sequential && entry.1 >= 3 {
+                let hint_len = (clamped as u64 * 4).min(1 << 20) as u32;
+                self.meta.note_prefetch_hint(file, end, hint_len);
+                self.publish_invalidations();
             }
         }
         Ok(plan)

@@ -91,6 +91,13 @@ impl FileHandle {
     pub fn is_closed(&self) -> bool {
         self.closed
     }
+
+    /// This handle with a different read protocol (builder-style; the
+    /// field is public too).
+    pub fn with_read_protocol(mut self, p: ReadProtocol) -> FileHandle {
+        self.read_protocol = p;
+        self
+    }
 }
 
 /// The client-side file system facade over a built [`SimCluster`].

@@ -18,10 +18,10 @@ use bytes::Bytes;
 use nadfs_gfec::ReedSolomon;
 use nadfs_pspin::{HandlerArgs, HandlerSet, Ops};
 use nadfs_simnet::telemetry::phase;
-use nadfs_simnet::{BufPool, NodeId, ObsHub, SharedBufPool, SharedObs, SharedTrace, Trace};
+use nadfs_simnet::{BufPool, NodeId, ObsHub, SharedBufPool, SharedObs, SharedTrace, Time, Trace};
 use nadfs_wire::{
-    bcast_children, AckPkt, DfsHeader, EcInfo, EcRole, Frame, MacKey, MsgId, Resiliency, Rights,
-    RsScheme, Status, WritePkt, WriteReqHeader,
+    bcast_children, AckPkt, DfsHeader, EcInfo, EcRole, Frame, GatherReadHeader, GatherReqPkt,
+    MacKey, MsgId, Resiliency, Rights, RsScheme, Status, WritePkt, WriteReqHeader,
 };
 
 use crate::config::HandlerCosts;
@@ -31,6 +31,10 @@ use crate::config::HandlerCosts;
 pub const EVT_EC_FALLBACK: u64 = 0x4543_0000_0000_0000;
 /// Host-event tag for cleanup notifications.
 pub const EVT_CLEANUP: u64 = 0xC1EA_0000_0000_0000;
+/// Host-event tag for validated gather-read requests handed off to the
+/// NIC core's gather engine; the pending-gather id is OR-ed into the low
+/// bits.
+pub const EVT_GATHER: u64 = 0x4754_0000_0000_0000;
 
 /// One forwarded stream (replication child or EC parity stream).
 #[derive(Clone, Debug)]
@@ -96,6 +100,17 @@ pub struct DfsCounters {
     pub parity_packets_sent: u64,
     pub accumulator_fallbacks: u64,
     pub cleanups: u64,
+    pub gather_reqs: u64,
+}
+
+/// A gather-read request validated by the header handler and awaiting
+/// pickup by the NIC core's gather engine (handed off via [`EVT_GATHER`]).
+#[derive(Clone, Debug)]
+pub struct PendingGather {
+    pub client: NodeId,
+    pub msg: MsgId,
+    pub greq: u64,
+    pub grh: GatherReadHeader,
 }
 
 /// Execution-context state living in NIC memory (`task->mem`).
@@ -109,6 +124,12 @@ pub struct DfsNicState {
     accs: HashMap<(u64, u32), AccEntry>,
     /// Free accumulators remaining in the pool.
     acc_free: usize,
+    /// Validated gather reads keyed by a NIC-local id; the completion
+    /// handler signals the host with `EVT_GATHER | id` and the host hands
+    /// the entry to the gather engine.
+    pending_gathers: HashMap<u64, PendingGather>,
+    gather_ids: HashMap<MsgId, u64>,
+    next_gather_id: u64,
     /// Recycled byte buffers for accumulators and intermediate-parity
     /// products (shared with the PsPIN device, which returns DMA-write
     /// payloads here once their run retires).
@@ -143,6 +164,9 @@ impl DfsNicState {
             stripes: HashMap::new(),
             accs: HashMap::new(),
             acc_free: accumulator_pool,
+            pending_gathers: HashMap::new(),
+            gather_ids: HashMap::new(),
+            next_gather_id: 0,
             buf_pool,
             counters: DfsCounters::default(),
             obs: ObsHub::disabled(),
@@ -176,6 +200,13 @@ impl DfsNicState {
         self.stripes.remove(&stripe);
     }
 
+    /// Claim a validated gather read announced via [`EVT_GATHER`].
+    pub fn take_pending_gather(&mut self, id: u64) -> Option<PendingGather> {
+        let g = self.pending_gathers.remove(&id)?;
+        self.gather_ids.remove(&g.msg);
+        Some(g)
+    }
+
     fn rs(&mut self, scheme: RsScheme) -> &ReedSolomon {
         self.rs_cache
             .entry((scheme.k, scheme.m))
@@ -207,12 +238,65 @@ fn write_pkt(frame: &Frame) -> Option<&WritePkt> {
     }
 }
 
+/// `DFS_gather_init`: authenticate a gather read once on the NIC and park
+/// it for the gather engine. The completion handler signals the host after
+/// the pipeline retires.
+fn gather_header(st: &mut DfsNicState, g: &GatherReqPkt, src: NodeId, now: Time, ops: &mut Ops) {
+    st.counters.requests_seen += 1;
+    let ok = g
+        .dfs
+        .capability
+        .verify(&st.key, now.as_ns() as u64, Rights::READ)
+        .is_ok();
+    if !ok {
+        st.counters.auth_failures += 1;
+        ops.send(
+            src,
+            Frame::Ack(AckPkt {
+                msg: g.msg,
+                greq_id: Some(g.dfs.greq_id),
+                status: Status::AuthFailed,
+            }),
+        );
+        return;
+    }
+    st.counters.gather_reqs += 1;
+    st.obs
+        .borrow_mut()
+        .spans
+        .mark_corr_once(g.dfs.greq_id, phase::NIC_VALIDATED, now);
+    st.trace.borrow_mut().emit_from(now, "nic", st.node, || {
+        format!(
+            "gather-validate greq={} segs={} len={}",
+            g.dfs.greq_id,
+            g.grh.segments.len(),
+            g.grh.total_len
+        )
+    });
+    let id = st.next_gather_id & 0xFFFF_FFFF;
+    st.next_gather_id += 1;
+    st.gather_ids.insert(g.msg, id);
+    st.pending_gathers.insert(
+        id,
+        PendingGather {
+            client: src,
+            msg: g.msg,
+            greq: g.dfs.greq_id,
+            grh: g.grh.clone(),
+        },
+    );
+}
+
 impl HandlerSet for DfsHandlers {
     /// `DFS_request_init` (Listing 1): authenticate and set up state.
     fn header(&mut self, a: HandlerArgs<'_>) {
         let st = state_of(a.state);
         let costs = st.costs.clone();
         a.ops.charge_instrs(costs.hh_instrs, costs.hh_ipc);
+        if let Frame::GatherReq(g) = a.frame {
+            gather_header(st, g, a.src, a.now, a.ops);
+            return;
+        }
         let Some(w) = write_pkt(a.frame) else {
             return;
         };
@@ -409,6 +493,15 @@ impl HandlerSet for DfsHandlers {
     fn payload(&mut self, a: HandlerArgs<'_>) {
         let st = state_of(a.state);
         let costs = st.costs.clone();
+        if let Frame::GatherReq(g) = a.frame {
+            // One fetch/DMA descriptor posted per segment (plus one per
+            // reconstruction copy when the EC engine is involved).
+            let descs =
+                g.grh.segments.len() + g.grh.reconstruct.as_ref().map_or(0, |r| r.copy.len());
+            a.ops
+                .charge_instrs(costs.ph_instrs * descs.max(1) as u64, costs.ph_ipc);
+            return;
+        }
         let Some(w) = write_pkt(a.frame) else {
             return;
         };
@@ -420,6 +513,12 @@ impl HandlerSet for DfsHandlers {
             a.ops.charge_instrs(5, 1.0); // drop branch of Listing 1
             return;
         }
+        // Per-packet phase mark: one `nic-pkt` mark per payload-handler run
+        // on the request's span, so traces show the intra-message pipeline.
+        st.obs
+            .borrow_mut()
+            .spans
+            .mark_corr(entry.greq, phase::NIC_PKT, a.now);
 
         match &entry.wrh.resiliency {
             Resiliency::None => {
@@ -556,6 +655,15 @@ impl HandlerSet for DfsHandlers {
     fn completion(&mut self, a: HandlerArgs<'_>) {
         let st = state_of(a.state);
         let costs = st.costs.clone();
+        if matches!(a.frame, Frame::GatherReq(_)) {
+            a.ops.charge_instrs(costs.ch_instrs, costs.ch_ipc);
+            // Hand the validated gather to the NIC core's gather engine
+            // once the pipeline retires (denied requests never registered).
+            if let Some(id) = st.gather_ids.get(&a.msg) {
+                a.ops.host_event(EVT_GATHER | *id);
+            }
+            return;
+        }
         let Some(entry) = st.req_table.remove(&a.msg) else {
             a.ops.charge_instrs(5, 1.0);
             return;
@@ -622,6 +730,9 @@ impl HandlerSet for DfsHandlers {
         let costs = st.costs.clone();
         ops.charge_instrs(costs.cleanup_instrs, 1.0);
         st.req_table.remove(&msg);
+        if let Some(id) = st.gather_ids.remove(&msg) {
+            st.pending_gathers.remove(&id);
+        }
         st.counters.cleanups += 1;
         ops.host_event(EVT_CLEANUP | (msg.seq & 0xFFFF_FFFF));
     }

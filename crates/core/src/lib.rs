@@ -23,9 +23,9 @@ pub mod workloads;
 
 pub use cache::{CachedRead, ReadCache, ReadCacheConfig, ReadCacheStats};
 pub use client::{
-    ClientApp, Job, MetaOp, MetaOpKind, MetaResult, ReadCompletion, ReadProtocol, ReadResult,
-    ReadSlot, RepairOutcome, RepairResult, RepairSlot, ResultSink, WriteProtocol, WriteResult,
-    WriteSlot,
+    ClientApp, ClientReadStats, Job, MetaOp, MetaOpKind, MetaResult, ReadCompletion, ReadProtocol,
+    ReadResult, ReadSlot, RepairOutcome, RepairResult, RepairSlot, ResultSink,
+    SharedClientReadStats, WriteProtocol, WriteResult, WriteSlot,
 };
 pub use cluster::{ClusterSpec, SimCluster, StorageMode};
 pub use config::{CostModel, HandlerCosts, MetaCosts};

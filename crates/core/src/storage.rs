@@ -27,7 +27,7 @@ use nadfs_wire::{
     Status, WriteReqHeader,
 };
 
-use crate::handlers::{DfsNicState, EVT_CLEANUP, EVT_EC_FALLBACK};
+use crate::handlers::{DfsNicState, EVT_CLEANUP, EVT_EC_FALLBACK, EVT_GATHER};
 
 /// Observable storage-node statistics (shared with tests/harnesses).
 #[derive(Debug, Default)]
@@ -448,6 +448,21 @@ impl NicApp for StorageApp {
     fn on_host_notify(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, note: HostNotify) {
         if note.tag & EVT_CLEANUP == EVT_CLEANUP {
             self.stats.borrow_mut().cleanup_events += 1;
+            return;
+        }
+        if note.tag & EVT_GATHER == EVT_GATHER {
+            // The sPIN header handler already authenticated the request;
+            // hand it straight to the NIC core's gather engine (the host
+            // CPU never touches the data path).
+            let id = note.tag & 0xFFFF_FFFF;
+            let pending = nic
+                .pspin_mut()
+                .and_then(|d| d.context_state_mut())
+                .and_then(|s| s.downcast_mut::<DfsNicState>())
+                .and_then(|s| s.take_pending_gather(id));
+            if let Some(g) = pending {
+                nic.start_gather(ctx, g.client, g.msg, g.greq, g.grh);
+            }
             return;
         }
         if note.tag & EVT_EC_FALLBACK == EVT_EC_FALLBACK {

@@ -57,6 +57,9 @@ pub enum MetaEvent {
     /// `generation == u64::MAX` means the file's data is gone entirely
     /// (unlink / rename-replace).
     LayoutChanged { ino: InodeId, generation: u64 },
+    /// The control plane observed a sequential scan of `ino` and advises
+    /// caches to prefetch `[offset, offset + len)` ahead of the reader.
+    PrefetchHint { ino: InodeId, offset: u64, len: u32 },
 }
 
 /// The control node's metadata service.
@@ -219,6 +222,14 @@ impl MetadataService {
     pub fn note_extent_commit(&mut self, ino: InodeId, generation: u64) {
         self.events
             .push(MetaEvent::LayoutChanged { ino, generation });
+    }
+
+    /// Publish a prefetch advisory for a file under sequential scan; the
+    /// integration layer fans it out to client read caches like an
+    /// invalidation, but it only *warms* readahead, never drops data.
+    pub fn note_prefetch_hint(&mut self, ino: InodeId, offset: u64, len: u32) {
+        self.events
+            .push(MetaEvent::PrefetchHint { ino, offset, len });
     }
 
     /// Note that `ino`'s data is gone entirely (unlink / rename-replace):

@@ -18,6 +18,7 @@ use std::collections::HashMap;
 
 use bytes::Bytes;
 use nadfs_gfec::ReedSolomon;
+use nadfs_simnet::telemetry::phase;
 use nadfs_simnet::{Bandwidth, Ctx, Dur, NodeId, Time};
 use nadfs_wire::{
     AckPkt, DfsHeader, EcInfo, EcRole, MsgId, ReplicaCoord, Resiliency, Status, WriteReqHeader,
@@ -74,14 +75,21 @@ pub enum EcEngineEvent {
     },
     /// Aggregate the staged intermediate parities for (stripe, parity_idx).
     Aggregate { stripe: u64, parity_idx: u8 },
+    /// Rebuild the missing chunks of a collected degraded gather read
+    /// (survivor shards are already local — in place or staged).
+    Reconstruct { gather: u64 },
 }
 
 /// The engine state on one NIC.
 pub struct EcEngine {
-    cfg: EcEngineConfig,
+    pub(crate) cfg: EcEngineConfig,
     rs_cache: HashMap<(u8, u8), ReedSolomon>,
     agg: HashMap<(u64, u8), AggState>,
-    busy_until: Time,
+    pub(crate) busy_until: Time,
+    /// Whether this engine consumes landed EC writes (the write-path
+    /// encode/aggregate offload). Engines brought up lazily for degraded
+    /// gather reads leave write handling to the host software.
+    consume_writes: bool,
     pub chunks_encoded: u64,
     pub parities_written: u64,
 }
@@ -93,9 +101,18 @@ impl EcEngine {
             rs_cache: HashMap::new(),
             agg: HashMap::new(),
             busy_until: Time::ZERO,
+            consume_writes: true,
             chunks_encoded: 0,
             parities_written: 0,
         }
+    }
+
+    /// A read-only engine: reconstructs degraded gathers but does not
+    /// hijack EC write handling from the node software.
+    pub fn for_reads() -> EcEngine {
+        let mut e = EcEngine::new(EcEngineConfig::default());
+        e.consume_writes = false;
+        e
     }
 
     fn rs(&mut self, k: u8, m: u8) -> &ReedSolomon {
@@ -106,7 +123,7 @@ impl EcEngine {
 
     /// Does this write carry an EC role the engine should consume?
     pub fn wants(&self, wrh: &WriteReqHeader) -> bool {
-        matches!(wrh.resiliency, Resiliency::ErasureCode(_))
+        self.consume_writes && matches!(wrh.resiliency, Resiliency::ErasureCode(_))
     }
 }
 
@@ -303,6 +320,128 @@ impl EcEngine {
                         dst: st.client,
                         ack,
                     }),
+                );
+            }
+            EcEngineEvent::Reconstruct { gather } => {
+                let Some(g) = core.gathers.get(&gather) else {
+                    return;
+                };
+                let Some(rec) = g.grh.reconstruct.as_ref() else {
+                    return;
+                };
+                let k = rec.scheme.k as usize;
+                let m = rec.scheme.m as usize;
+                let clen = rec.chunk_len as usize;
+                // Rebuild exactly the chunks the copy list needs that no
+                // survivor segment provides.
+                let mut want: Vec<usize> = rec
+                    .copy
+                    .iter()
+                    .map(|c| c.chunk as usize)
+                    .filter(|c| !g.grh.segments.iter().any(|s| s.shard as usize == *c))
+                    .collect();
+                want.sort_unstable();
+                want.dedup();
+                let greq = g.greq;
+                let client = g.client;
+                let msg = g.msg;
+                let rec_base = g.rec_base;
+                if want.is_empty() {
+                    // The requested ranges all live on survivors; nothing
+                    // to rebuild — stream straight from the shards.
+                    ctx.schedule_self(Dur::ZERO, Box::new(crate::nic::GatherStream { id: gather }));
+                    return;
+                }
+                // DMA-read the k survivor shards back from host memory
+                // (their own chunk addresses, or staging for remote ones)
+                // into pooled buffers — store-and-forward like Encode.
+                let mut ready = now;
+                let mut survivors: Vec<(usize, Vec<u8>)> = Vec::with_capacity(g.grh.segments.len());
+                for (i, s) in g.grh.segments.iter().enumerate() {
+                    let mut buf = core.pool.borrow_mut().get_dirty(clen);
+                    ready = core
+                        .dma
+                        .borrow_mut()
+                        .read_into(ready, g.seg_addr[i], &mut buf);
+                    survivors.push((s.shard as usize, buf));
+                }
+                let shards: Vec<Option<&[u8]>> = (0..k + m)
+                    .map(|i| {
+                        survivors
+                            .iter()
+                            .find(|(s, _)| *s == i)
+                            .map(|(_, b)| b.as_slice())
+                    })
+                    .collect();
+                let mut outs: Vec<Vec<u8>> = {
+                    let mut pool = core.pool.borrow_mut();
+                    want.iter().map(|_| pool.get_dirty(clen)).collect()
+                };
+                let engine = core.ec.as_mut().expect("engine enabled");
+                let ok = engine
+                    .rs(rec.scheme.k, rec.scheme.m)
+                    .reconstruct_into(&shards, &want, &mut outs)
+                    .is_ok();
+                drop(shards);
+                if !ok {
+                    // Malformed gather plan (wrong shard count/sizes):
+                    // reject the flow rather than stream garbage.
+                    let mut pool = core.pool.borrow_mut();
+                    for (_, b) in survivors {
+                        pool.put(b);
+                    }
+                    for b in outs {
+                        pool.put(b);
+                    }
+                    drop(pool);
+                    core.gathers.remove(&gather);
+                    core.send_ack(
+                        ctx,
+                        client,
+                        AckPkt {
+                            msg,
+                            greq_id: Some(greq),
+                            status: Status::Rejected,
+                        },
+                    );
+                    return;
+                }
+                // Engine compute: each rebuilt byte is a k-way
+                // coefficient-multiply accumulate, same channel as encode.
+                let engine = core.ec.as_mut().expect("engine enabled");
+                let compute = engine.cfg.encode_bw.tx_time((clen * want.len()) as u64);
+                // Land the rebuilt chunks in staging so the responder can
+                // stream them alongside the survivor ranges.
+                let mut done = ready + compute;
+                for (w, out) in want.iter().zip(&outs) {
+                    done =
+                        core.dma
+                            .borrow_mut()
+                            .write(done, rec_base + *w as u64 * clen as u64, out);
+                }
+                engine.busy_until = engine.busy_until.max(done);
+                core.stats.borrow_mut().chunks_reconstructed += want.len() as u64;
+                {
+                    let mut pool = core.pool.borrow_mut();
+                    for (_, b) in survivors {
+                        pool.put(b);
+                    }
+                    for b in outs {
+                        pool.put(b);
+                    }
+                }
+                core.obs
+                    .borrow_mut()
+                    .spans
+                    .mark_corr_once(greq, phase::NIC_RECONSTRUCTED, done);
+                core.trace
+                    .borrow_mut()
+                    .emit_from(done, "nic", Some(core.node()), || {
+                        format!("gather-reconstruct greq={greq} chunks={}", want.len())
+                    });
+                ctx.schedule_self(
+                    done.since(now),
+                    Box::new(crate::nic::GatherStream { id: gather }),
                 );
             }
         }

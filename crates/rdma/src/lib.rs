@@ -18,4 +18,4 @@ pub mod nic;
 pub use app::{NicApp, NullApp, RawWriteDone};
 pub use chains::Chains;
 pub use ec_engine::{EcEngine, EcEngineConfig};
-pub use nic::{AppTimer, Nic, NicConfig, NicCore};
+pub use nic::{AppTimer, Nic, NicConfig, NicCore, NicStats, SharedNicStats};

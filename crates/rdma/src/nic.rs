@@ -17,9 +17,9 @@ use nadfs_simnet::{
     ObsHub, SharedBufPool, SharedObs, SharedTrace, Time, Trace,
 };
 use nadfs_wire::{
-    split_payload, write_payload_caps, AckPkt, DfsHeader, Frame, HlConfigPkt, MacKey, MsgId,
-    ReadReqHeader, ReadReqPkt, ReadRespPkt, Rights, RpcBody, SendPkt, Status, WritePkt,
-    WriteReqHeader,
+    split_payload, write_payload_caps, AckPkt, DfsHeader, Frame, GatherReadHeader, GatherReqPkt,
+    HlConfigPkt, MacKey, MsgId, ReadReqHeader, ReadReqPkt, ReadRespPkt, Rights, RpcBody, SendPkt,
+    Status, WritePkt, WriteReqHeader,
 };
 
 use crate::app::NicApp;
@@ -72,6 +72,21 @@ struct DeferredSend {
     dst: NodeId,
     frames: Vec<Frame>,
 }
+/// Self-event: start streaming a collected gather (fires at EC-engine
+/// reconstruction-ready time for degraded gathers).
+pub(crate) struct GatherStream {
+    pub(crate) id: u64,
+}
+/// Self-event: stream the next batch of a gather response.
+struct GatherStreamNext {
+    msg: MsgId,
+}
+
+/// Token namespace for NIC-internal gather fetches ("GTRF" tag in the
+/// high 32 bits): read completions in this range belong to the gather
+/// state machine, not the node software.
+const GATHER_FETCH_BASE: u64 = 0x4754_5246_0000_0000;
+const GATHER_FETCH_TAG_MASK: u64 = 0xFFFF_FFFF_0000_0000;
 
 // --- reassembly states --------------------------------------------------
 
@@ -113,6 +128,54 @@ struct ReadResponder {
     next_idx: u32,
 }
 
+/// An offloaded gather read collecting its segments on the responder NIC.
+pub(crate) struct GatherState {
+    pub(crate) client: NodeId,
+    pub(crate) msg: MsgId,
+    pub(crate) greq: u64,
+    pub(crate) grh: GatherReadHeader,
+    /// Resolved local source address per segment: the segment's own host
+    /// address when it lives on this node, a staging slot otherwise.
+    pub(crate) seg_addr: Vec<u64>,
+    /// Staging base for reconstructed chunks (degraded gathers): slot
+    /// `chunk * chunk_len` holds rebuilt data chunk `chunk`.
+    pub(crate) rec_base: u64,
+    remote_left: u32,
+}
+
+/// A collected gather streaming back to the client as one response flow:
+/// a multi-segment generalization of [`ReadResponder`] whose packet
+/// offsets are the (possibly sparse) destination offsets of the flow.
+struct GatherResponder {
+    dst: NodeId,
+    greq: u64,
+    /// `(local_addr, len, dest_off)` source ranges, streamed in order.
+    segs: Vec<(u64, u32, u32)>,
+    seg_idx: usize,
+    seg_off: u32,
+    total_pkts: u32,
+    next_idx: u32,
+}
+
+/// Offload counters shared with the metrics registry (the NIC itself is
+/// consumed by the engine at cluster build, so snapshot code holds this
+/// handle instead).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NicStats {
+    /// Gather read requests the NIC validated.
+    pub gather_reads: u64,
+    /// Gather requests rejected at capability check.
+    pub gather_auth_failures: u64,
+    /// NIC-to-NIC segment fetches issued by gather coordinators.
+    pub gather_remote_fetches: u64,
+    /// Response-flow bytes streamed by gather responders.
+    pub gather_bytes_streamed: u64,
+    /// Data chunks rebuilt by the on-NIC EC engine for degraded gathers.
+    pub chunks_reconstructed: u64,
+}
+
+pub type SharedNicStats = Rc<RefCell<NicStats>>;
+
 /// The hardware/firmware half of a node, exposed to the app.
 pub struct NicCore {
     pub cfg: NicConfig,
@@ -134,6 +197,9 @@ pub struct NicCore {
     sends: HashMap<MsgId, SendState>,
     pending_reads: HashMap<MsgId, PendingRead>,
     responders: HashMap<MsgId, ReadResponder>,
+    pub(crate) gathers: HashMap<u64, GatherState>,
+    gather_responders: HashMap<MsgId, GatherResponder>,
+    next_gather: u64,
     mrs: Vec<(u64, u64)>,
     /// Service MAC key for NIC-side read validation: when installed,
     /// incoming read requests carrying a DFS header are authenticated on
@@ -145,6 +211,8 @@ pub struct NicCore {
     /// Read requests whose capability the NIC validated / rejected.
     pub reads_validated: u64,
     pub read_auth_failures: u64,
+    /// Gather/offload counters, shared with snapshot code.
+    pub stats: SharedNicStats,
     /// Observability: span phase marks keyed by wire-level request id,
     /// plus the shared trace ring. Both default disabled; the cluster
     /// build installs the live hubs.
@@ -201,6 +269,12 @@ impl NicCore {
     /// This NIC's recycled payload-buffer ring.
     pub fn buf_pool(&self) -> SharedBufPool {
         self.pool.clone()
+    }
+
+    /// Shared handle to this NIC's offload counters (survives the NIC
+    /// being moved into the engine at cluster build).
+    pub fn nic_stats(&self) -> SharedNicStats {
+        self.stats.clone()
     }
 
     /// Install PsPIN with an execution context on this NIC. The device
@@ -378,6 +452,29 @@ impl NicCore {
         let msg = self.alloc_msg();
         self.expect_read_resp(msg, local_addr, token);
         self.send_frames(ctx, dst, vec![Frame::ReadReq(ReadReqPkt { msg, dfs, rrh })]);
+        msg
+    }
+
+    /// Offloaded gather read: ask `dst`'s NIC to collect the ranges named
+    /// by `grh` (reconstructing on-NIC when degraded) and stream them back
+    /// as one response flow landing at `local_addr` plus each packet's
+    /// destination offset; `on_read_done(token)` follows.
+    pub fn send_gather(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dst: NodeId,
+        dfs: DfsHeader,
+        grh: GatherReadHeader,
+        local_addr: u64,
+        token: u64,
+    ) -> MsgId {
+        let msg = self.alloc_msg();
+        self.expect_read_resp(msg, local_addr, token);
+        self.send_frames(
+            ctx,
+            dst,
+            vec![Frame::GatherReq(GatherReqPkt { msg, dfs, grh })],
+        );
         msg
     }
 
@@ -590,6 +687,306 @@ impl NicCore {
         self.respond_read(ctx, src, r.msg, r.rrh.addr, r.rrh.len);
     }
 
+    /// Gather read arriving on a NIC without PsPIN: the firmware validates
+    /// the capability once for the whole flow, then runs the gather state
+    /// machine. (With PsPIN installed the request is routed through the
+    /// HPU handlers instead and lands in [`NicCore::start_gather`] via the
+    /// handler's host event.)
+    fn on_gather_req(&mut self, ctx: &mut Ctx<'_>, src: NodeId, g: GatherReqPkt) {
+        if let Some(key) = self.service_key.as_ref() {
+            if g.dfs
+                .capability
+                .verify(key, ctx.now().as_ns() as u64, Rights::READ)
+                .is_err()
+            {
+                self.read_auth_failures += 1;
+                self.stats.borrow_mut().gather_auth_failures += 1;
+                let nack = AckPkt {
+                    msg: g.msg,
+                    greq_id: Some(g.dfs.greq_id),
+                    status: Status::AuthFailed,
+                };
+                self.send_ack(ctx, src, nack);
+                return;
+            }
+        }
+        self.reads_validated += 1;
+        let now = ctx.now();
+        self.obs
+            .borrow_mut()
+            .spans
+            .mark_corr_once(g.dfs.greq_id, phase::NIC_VALIDATED, now);
+        self.trace
+            .borrow_mut()
+            .emit_from(now, "nic", Some(self.port.node), || {
+                format!(
+                    "gather-validate greq={} segs={} len={}",
+                    g.dfs.greq_id,
+                    g.grh.segments.len(),
+                    g.grh.total_len
+                )
+            });
+        self.start_gather(ctx, src, g.msg, g.dfs.greq_id, g.grh);
+    }
+
+    /// Run a validated gather: resolve local segments, fetch remote ones
+    /// NIC-to-NIC into staging, then reconstruct (if degraded) and stream.
+    /// Public to the crate's callers because the PsPIN handler path enters
+    /// here after HPU validation.
+    pub fn start_gather(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        client: NodeId,
+        msg: MsgId,
+        greq: u64,
+        grh: GatherReadHeader,
+    ) {
+        let me = self.port.node as u32;
+        // Local source ranges cross the same MR protection boundary as
+        // one-sided reads.
+        for s in &grh.segments {
+            if s.coord.node == me && !self.mr_ok(s.coord.addr, s.len as u64) {
+                let nack = AckPkt {
+                    msg,
+                    greq_id: Some(greq),
+                    status: Status::Rejected,
+                };
+                self.send_ack(ctx, client, nack);
+                return;
+            }
+        }
+        self.stats.borrow_mut().gather_reads += 1;
+        // Staging: one slot per remote segment, then one chunk_len slot
+        // per data chunk for reconstruction outputs.
+        let remote_bytes: u64 = grh
+            .segments
+            .iter()
+            .filter(|s| s.coord.node != me)
+            .map(|s| s.len as u64)
+            .sum();
+        let rec_bytes = grh
+            .reconstruct
+            .as_ref()
+            .map_or(0, |r| r.scheme.k as u64 * r.chunk_len as u64);
+        let staging = if remote_bytes + rec_bytes > 0 {
+            self.mem.borrow_mut().alloc(remote_bytes + rec_bytes)
+        } else {
+            0
+        };
+        let id = self.next_gather;
+        self.next_gather += 1;
+        let mut seg_addr = Vec::with_capacity(grh.segments.len());
+        let mut cursor = staging;
+        let mut fetches = Vec::new();
+        for s in &grh.segments {
+            if s.coord.node == me {
+                seg_addr.push(s.coord.addr);
+            } else {
+                seg_addr.push(cursor);
+                fetches.push((
+                    s.coord.node as NodeId,
+                    ReadReqHeader {
+                        addr: s.coord.addr,
+                        len: s.len,
+                    },
+                    cursor,
+                ));
+                cursor += s.len as u64;
+            }
+        }
+        let rec_base = cursor;
+        let remote_left = fetches.len() as u32;
+        self.gathers.insert(
+            id,
+            GatherState {
+                client,
+                msg,
+                greq,
+                grh,
+                seg_addr,
+                rec_base,
+                remote_left,
+            },
+        );
+        if remote_left == 0 {
+            self.gather_collected(ctx, id);
+        } else {
+            self.stats.borrow_mut().gather_remote_fetches += remote_left as u64;
+            for (node, rrh, dst_addr) in fetches {
+                // Transport-level NIC-to-NIC fetch (no DFS header: the
+                // client capability was already validated for the flow).
+                self.send_read(ctx, node, rrh, None, dst_addr, GATHER_FETCH_BASE | id);
+            }
+        }
+    }
+
+    /// One NIC-to-NIC segment fetch of gather `id` landed in staging.
+    fn on_gather_fetch_done(&mut self, ctx: &mut Ctx<'_>, id: u64) {
+        let Some(g) = self.gathers.get_mut(&id) else {
+            return;
+        };
+        g.remote_left -= 1;
+        if g.remote_left > 0 {
+            return;
+        }
+        let greq = g.greq;
+        let now = ctx.now();
+        self.obs
+            .borrow_mut()
+            .spans
+            .mark_corr_once(greq, phase::GATHERED, now);
+        self.gather_collected(ctx, id);
+    }
+
+    /// All segments of gather `id` are local: reconstruct on the EC engine
+    /// if degraded, else stream immediately.
+    fn gather_collected(&mut self, ctx: &mut Ctx<'_>, id: u64) {
+        let now = ctx.now();
+        let degraded = self
+            .gathers
+            .get(&id)
+            .is_some_and(|g| g.grh.reconstruct.is_some());
+        if degraded {
+            // Route survivors through the firmware EC engine; NICs that
+            // never see EC writes bring one up lazily in read-only mode.
+            let engine = self.ec.get_or_insert_with(EcEngine::for_reads);
+            let start = now.max(engine.busy_until) + engine.cfg.trigger;
+            engine.busy_until = start;
+            ctx.schedule_self(
+                start.since(now),
+                Box::new(EcEngineEvent::Reconstruct { gather: id }),
+            );
+        } else {
+            self.gather_stream(ctx, id);
+        }
+    }
+
+    /// Turn the collected gather into a streaming response flow. For
+    /// degraded gathers the EC engine calls this (via [`GatherStream`])
+    /// after reconstruction landed in staging; the copy list resolves to
+    /// survivor segments where possible and staged rebuilt chunks else.
+    pub(crate) fn gather_stream(&mut self, ctx: &mut Ctx<'_>, id: u64) {
+        let Some(g) = self.gathers.remove(&id) else {
+            return;
+        };
+        let payload_cap = nadfs_wire::sizes::max_payload_plain();
+        let segs: Vec<(u64, u32, u32)> = match &g.grh.reconstruct {
+            None => g
+                .grh
+                .segments
+                .iter()
+                .zip(&g.seg_addr)
+                .filter(|(s, _)| s.len > 0)
+                .map(|(s, &addr)| (addr, s.len, s.dest_off))
+                .collect(),
+            Some(rec) => rec
+                .copy
+                .iter()
+                .filter(|c| c.len > 0)
+                .map(|c| {
+                    let base = g
+                        .grh
+                        .segments
+                        .iter()
+                        .position(|s| s.shard == c.chunk)
+                        .map(|i| g.seg_addr[i])
+                        .unwrap_or_else(|| g.rec_base + c.chunk as u64 * rec.chunk_len as u64);
+                    (base + c.chunk_off as u64, c.len, c.dest_off)
+                })
+                .collect(),
+        };
+        let total_pkts = segs
+            .iter()
+            .map(|&(_, len, _)| len.div_ceil(payload_cap))
+            .sum::<u32>()
+            .max(1);
+        self.gather_responders.insert(
+            g.msg,
+            GatherResponder {
+                dst: g.client,
+                greq: g.greq,
+                segs,
+                seg_idx: 0,
+                seg_off: 0,
+                total_pkts,
+                next_idx: 0,
+            },
+        );
+        self.stream_gather(ctx, g.msg);
+    }
+
+    /// Stream the next response batch of a gather flow: like
+    /// [`NicCore::stream_read`] but walking the (possibly sparse)
+    /// destination segments, with a per-batch phase mark so the op span
+    /// records pipeline progress.
+    fn stream_gather(&mut self, ctx: &mut Ctx<'_>, msg: MsgId) {
+        const BATCH_PKTS: u32 = 32;
+        let now = ctx.now();
+        let Some(r) = self.gather_responders.get_mut(&msg) else {
+            return;
+        };
+        let payload_cap = nadfs_wire::sizes::max_payload_plain();
+        let dst = r.dst;
+        let greq = r.greq;
+        let mut frames = Vec::new();
+        let mut ready = now;
+        let mut batch_bytes = 0u64;
+        if r.segs.is_empty() {
+            frames.push(Frame::ReadResp(ReadRespPkt {
+                msg,
+                pkt_idx: 0,
+                total_pkts: 1,
+                offset: 0,
+                data: Bytes::new(),
+            }));
+            self.gather_responders.remove(&msg);
+        } else {
+            let mut budget = BATCH_PKTS;
+            while budget > 0 && r.seg_idx < r.segs.len() {
+                let (addr, len, dest_off) = r.segs[r.seg_idx];
+                let left = len - r.seg_off;
+                let take = left.min(payload_cap * budget);
+                let (data, dma_ready) =
+                    self.dma
+                        .borrow_mut()
+                        .read(now, addr + r.seg_off as u64, take as usize);
+                ready = ready.max(dma_ready);
+                let mut off = 0u32;
+                while off < take {
+                    let l = payload_cap.min(take - off);
+                    frames.push(Frame::ReadResp(ReadRespPkt {
+                        msg,
+                        pkt_idx: r.next_idx,
+                        total_pkts: r.total_pkts,
+                        offset: dest_off + r.seg_off + off,
+                        data: data.slice(off as usize..(off + l) as usize),
+                    }));
+                    r.next_idx += 1;
+                    budget -= 1;
+                    off += l;
+                }
+                batch_bytes += take as u64;
+                r.seg_off += take;
+                if r.seg_off == len {
+                    r.seg_idx += 1;
+                    r.seg_off = 0;
+                }
+            }
+            let more = r.seg_idx < r.segs.len();
+            if more {
+                ctx.schedule_self(ready.since(now), Box::new(GatherStreamNext { msg }));
+            } else {
+                self.gather_responders.remove(&msg);
+            }
+        }
+        self.stats.borrow_mut().gather_bytes_streamed += batch_bytes;
+        self.obs
+            .borrow_mut()
+            .spans
+            .mark_corr(greq, phase::STREAMED, ready);
+        ctx.schedule_self(ready.since(now), Box::new(DeferredSend { dst, frames }));
+    }
+
     /// Stream the next response batch: DMA-read up to 32 packets' worth
     /// from host memory, emit the packets at DMA-ready time, reschedule.
     /// The batch amortizes the per-op PCIe latency so streaming reads run
@@ -697,12 +1094,16 @@ impl Nic {
                 sends: HashMap::new(),
                 pending_reads: HashMap::new(),
                 responders: HashMap::new(),
+                gathers: HashMap::new(),
+                gather_responders: HashMap::new(),
+                next_gather: 0,
                 mrs: Vec::new(),
                 service_key: None,
                 writes_acked: 0,
                 frames_sent: 0,
                 reads_validated: 0,
                 read_auth_failures: 0,
+                stats: Rc::new(RefCell::new(NicStats::default())),
                 obs: ObsHub::disabled(),
                 trace: Trace::disabled(),
             },
@@ -733,6 +1134,18 @@ impl Component for Nic {
                     }
                     Frame::ReadReq(r) => {
                         core.on_read_req(ctx, src, r);
+                        core.release_ingress(ctx);
+                    }
+                    Frame::GatherReq(g) => {
+                        if let Some(dev) = core.pspin.as_mut() {
+                            // Gather requests are sPIN-processed where
+                            // available: the HPU header handler validates
+                            // the flow and hands the plan to the firmware.
+                            let pkt = NetPacket::new(src, core.port.node, Frame::GatherReq(g));
+                            dev.ingest(ctx, pkt);
+                            return;
+                        }
+                        core.on_gather_req(ctx, src, g);
                         core.release_ingress(ctx);
                     }
                     Frame::ReadResp(r) => {
@@ -885,7 +1298,25 @@ impl Component for Nic {
         };
         let ev = match ev.downcast::<ReadDone>() {
             Ok(r) => {
-                app.on_read_done(core, ctx, r.token);
+                if r.token & GATHER_FETCH_TAG_MASK == GATHER_FETCH_BASE {
+                    core.on_gather_fetch_done(ctx, r.token & !GATHER_FETCH_TAG_MASK);
+                } else {
+                    app.on_read_done(core, ctx, r.token);
+                }
+                return;
+            }
+            Err(e) => e,
+        };
+        let ev = match ev.downcast::<GatherStream>() {
+            Ok(g) => {
+                core.gather_stream(ctx, g.id);
+                return;
+            }
+            Err(e) => e,
+        };
+        let ev = match ev.downcast::<GatherStreamNext>() {
+            Ok(g) => {
+                core.stream_gather(ctx, g.msg);
                 return;
             }
             Err(e) => e,

@@ -316,6 +316,54 @@ impl MetricsSnapshot {
     pub fn to_json(&self) -> String {
         self.to_json_indented(0)
     }
+
+    /// Phase-local view: what changed between `earlier` and `self`.
+    ///
+    /// Counters subtract (saturating — a counter absent from `earlier`
+    /// keeps its full value); histogram `count`/`sum` subtract while
+    /// `min`/`max`/percentiles stay those of the later snapshot (bucket
+    /// contents are not serialized, so order statistics of the window
+    /// cannot be reconstructed — `mean` IS recomputed from the deltas);
+    /// gauges are point-in-time and keep the later value. Entries with a
+    /// zero counter delta or zero histogram-count delta are omitted, so
+    /// the result reads as "what this phase did".
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|(k, v)| {
+                let d = v.saturating_sub(earlier.counter(k).unwrap_or(0));
+                (d > 0).then(|| (k.clone(), d))
+            })
+            .collect();
+        let hists = self
+            .hists
+            .iter()
+            .filter_map(|(k, h)| {
+                let prev = earlier.hist(k).copied().unwrap_or_default();
+                let count = h.count.saturating_sub(prev.count);
+                if count == 0 {
+                    return None;
+                }
+                let sum = h.sum.saturating_sub(prev.sum);
+                Some((
+                    k.clone(),
+                    HistSummary {
+                        count,
+                        sum,
+                        mean: sum as f64 / count as f64,
+                        ..*h
+                    },
+                ))
+            })
+            .collect();
+        MetricsSnapshot {
+            schema: self.schema,
+            counters,
+            gauges: self.gauges.clone(),
+            hists,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -362,6 +410,38 @@ mod tests {
         assert_eq!(snap.gauge("util"), Some(0.75));
         assert_eq!(snap.hist("lat_ns").expect("hist").count, 1);
         assert_eq!(snap.hist("lat_ns").expect("hist").min, 128);
+    }
+
+    #[test]
+    fn delta_is_phase_local() {
+        let mut m = MetricsHub::new();
+        m.counter_add("reads", 3);
+        m.counter_add("steady", 5);
+        m.hist_record("lat", 100);
+        m.gauge_set("util", 0.25);
+        let before = m.snapshot();
+        m.counter_add("reads", 4);
+        m.counter_add("fresh", 1);
+        m.hist_record("lat", 300);
+        m.hist_record("lat", 500);
+        m.gauge_set("util", 0.75);
+        let d = m.snapshot().delta(&before);
+        // Unchanged counters are omitted; changed ones report the window.
+        assert_eq!(d.counter("reads"), Some(4));
+        assert_eq!(d.counter("fresh"), Some(1));
+        assert_eq!(d.counter("steady"), None);
+        // Histogram count/sum/mean are window-local.
+        let h = d.hist("lat").expect("lat delta");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 800);
+        assert!((h.mean - 400.0).abs() < 1e-9);
+        // Gauges are point-in-time: later value wins.
+        assert_eq!(d.gauge("util"), Some(0.75));
+        // Delta against itself is empty.
+        let snap = m.snapshot();
+        let zero = snap.delta(&snap);
+        assert!(zero.counters.is_empty());
+        assert!(zero.hists.is_empty());
     }
 
     #[test]

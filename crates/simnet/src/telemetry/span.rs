@@ -36,6 +36,19 @@ pub mod phase {
     pub const CACHE_HIT: &str = "cache-hit";
     /// A stripe needed erasure-coded reconstruction on the read path.
     pub const DEGRADED: &str = "degraded";
+    /// A storage NIC finished collecting all segments of an offloaded
+    /// gather read (remote survivor fetches landed in staging).
+    pub const GATHERED: &str = "gathered";
+    /// The firmware EC engine reconstructed missing chunks on the NIC.
+    pub const NIC_RECONSTRUCTED: &str = "nic-reconstructed";
+    /// One packet moved through a NIC handler pipeline (recorded per
+    /// packet, not per op — fine-grained pipeline phase accounting).
+    pub const NIC_PKT: &str = "nic-pkt";
+    /// A gather responder pushed one DMA batch of response packets.
+    pub const STREAMED: &str = "streamed";
+    /// The readahead tail was split off into a background fill; the
+    /// miss-critical span excludes it from this point on.
+    pub const READAHEAD: &str = "readahead";
     /// The op was re-issued after a Busy/NACK.
     pub const RETRIED: &str = "retried";
     /// Repair reconstructed the lost shard.
@@ -185,9 +198,23 @@ impl SpanBook {
     /// Record a phase mark on an open span. Unknown/closed ids are ignored
     /// (late marks can legitimately race span completion, e.g. a storage
     /// ack arriving after a client-side retry already closed the op).
+    ///
+    /// Mark times are clamped monotonic: concurrent sub-flows of one op
+    /// (e.g. two gather responders streaming to the same span) may record
+    /// phases stamped at *future* ready-times in arrival order, so a
+    /// later append can carry an earlier stamp. The telescoping
+    /// invariant (phase durations sum exactly to e2e) requires
+    /// nondecreasing marks, and clamping preserves the total.
     pub fn mark(&mut self, id: SpanId, name: &'static str, at: Time) {
         if let Some(sp) = self.open.get_mut(&id) {
-            sp.marks.push((name, at));
+            sp.marks.push((name, Self::monotonic(sp, at)));
+        }
+    }
+
+    fn monotonic(sp: &OpSpan, at: Time) -> Time {
+        match sp.marks.last() {
+            Some(&(_, last)) if at < last => last,
+            _ => at,
         }
     }
 
@@ -221,7 +248,7 @@ impl SpanBook {
         if let Some(id) = self.corr.get(&key).copied() {
             if let Some(sp) = self.open.get_mut(&id) {
                 if !sp.has_mark(name) {
-                    sp.marks.push((name, at));
+                    sp.marks.push((name, Self::monotonic(sp, at)));
                 }
             }
         }
@@ -231,6 +258,9 @@ impl SpanBook {
     /// ring. Returns the closed span (None for unknown/invalid ids).
     pub fn end(&mut self, id: SpanId, at: Time, ok: bool) -> Option<&OpSpan> {
         let mut sp = self.open.remove(&id)?;
+        // Same monotonic clamp as `mark`: a future-stamped phase (DMA
+        // ready-time) may sit past the completion time.
+        let at = Self::monotonic(&sp, at);
         sp.end = at;
         sp.ok = ok;
         sp.marks.push((

@@ -8,7 +8,7 @@
 
 use bytes::Bytes;
 
-use crate::headers::{DfsHeader, ReadReqHeader, ReplicaCoord, WriteReqHeader};
+use crate::headers::{DfsHeader, GatherReadHeader, ReadReqHeader, ReplicaCoord, WriteReqHeader};
 use crate::sizes;
 
 /// Unique message identity: issuing node plus a per-node sequence number.
@@ -71,6 +71,15 @@ pub struct ReadReqPkt {
     /// RPC+RDMA write protocol).
     pub dfs: Option<DfsHeader>,
     pub rrh: ReadReqHeader,
+}
+
+/// Offloaded gather read request (single packet): always policy-checked —
+/// the storage NIC validates the capability once for the whole flow.
+#[derive(Clone, Debug)]
+pub struct GatherReqPkt {
+    pub msg: MsgId,
+    pub dfs: DfsHeader,
+    pub grh: GatherReadHeader,
 }
 
 /// One packet of an RDMA read response.
@@ -223,6 +232,7 @@ impl HlConfigPkt {
 pub enum Frame {
     Write(WritePkt),
     ReadReq(ReadReqPkt),
+    GatherReq(GatherReqPkt),
     ReadResp(ReadRespPkt),
     Send(SendPkt),
     Ack(AckPkt),
@@ -235,6 +245,7 @@ impl Frame {
         match self {
             Frame::Write(p) => p.msg,
             Frame::ReadReq(p) => p.msg,
+            Frame::GatherReq(p) => p.msg,
             Frame::ReadResp(p) => p.msg,
             Frame::Send(p) => p.msg,
             Frame::Ack(p) => p.msg,
@@ -257,6 +268,7 @@ impl nadfs_simnet::Payload for Frame {
                     + p.dfs.map_or(0, |_| DfsHeader::wire_size())
                     + ReadReqHeader::wire_size()
             }
+            Frame::GatherReq(p) => sizes::RDMA_HEADER + DfsHeader::wire_size() + p.grh.wire_size(),
             Frame::ReadResp(p) => sizes::RDMA_HEADER + p.data.len() as u32,
             Frame::Send(p) => {
                 sizes::RDMA_HEADER

@@ -148,6 +148,66 @@ impl ReadReqHeader {
     }
 }
 
+/// Maximum segments one gather read request may carry; the GRH must fit
+/// the first (only) packet of the request alongside the DFS header.
+pub const MAX_GATHER_SEGS: usize = 32;
+
+/// One contiguous source range of an offloaded gather read. `coord.node`
+/// equal to the coordinator means a local DMA read; other nodes are
+/// fetched NIC-to-NIC into staging before streaming.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GatherSegment {
+    pub coord: ReplicaCoord,
+    pub len: u32,
+    /// Destination offset within the streamed response flow (== the
+    /// `offset` field of the response packets covering this segment).
+    pub dest_off: u32,
+    /// Shard index when this segment feeds a reconstruction; 0 otherwise.
+    pub shard: u8,
+}
+
+/// One output range of a degraded gather: `len` bytes at `chunk_off`
+/// within data chunk `chunk`, streamed to flow offset `dest_off`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GatherCopy {
+    pub chunk: u8,
+    pub chunk_off: u32,
+    pub len: u32,
+    pub dest_off: u32,
+}
+
+/// Reconstruction directive of a degraded gather read: the request's
+/// segments are the k surviving shards (tagged by `GatherSegment::shard`);
+/// the NIC-side EC engine rebuilds the chunks named by `copy` and the
+/// responder streams exactly those ranges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GatherReconstruct {
+    pub scheme: RsScheme,
+    pub chunk_len: u32,
+    pub copy: Vec<GatherCopy>,
+}
+
+/// Gather read header (GRH): the offloaded-read analogue of the RRH. One
+/// validated request asks a storage NIC to collect several source ranges
+/// (optionally reconstructing missing chunks on the NIC) and stream them
+/// back as a single response flow.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GatherReadHeader {
+    /// Total bytes the response flow will carry.
+    pub total_len: u32,
+    pub segments: Vec<GatherSegment>,
+    pub reconstruct: Option<GatherReconstruct>,
+}
+
+impl GatherReadHeader {
+    pub fn wire_size(&self) -> u32 {
+        let rec = self.reconstruct.as_ref().map_or(0, |r| {
+            sizes::GRH_REC_FIXED + r.copy.len() as u32 * sizes::GATHER_COPY
+        });
+        sizes::GRH_FIXED + self.segments.len() as u32 * sizes::GATHER_SEG + rec
+    }
+}
+
 /// Compute the children of `vrank` in a broadcast schedule over `n` nodes.
 ///
 /// Ring: rank r forwards to r+1 (if any). PBT: rank r forwards to 2r+1 and
@@ -230,6 +290,37 @@ mod tests {
             ec.wire_size(),
             sizes::WRH_FIXED + sizes::WRH_EC_FIXED + 2 * sizes::REPLICA_COORD
         );
+    }
+
+    #[test]
+    fn grh_fits_first_packet_at_max_segments() {
+        // Worst case: MAX_GATHER_SEGS segments each needing a copy range.
+        let grh = GatherReadHeader {
+            total_len: 0,
+            segments: vec![
+                GatherSegment {
+                    coord: ReplicaCoord { node: 0, addr: 0 },
+                    len: 0,
+                    dest_off: 0,
+                    shard: 0,
+                };
+                MAX_GATHER_SEGS
+            ],
+            reconstruct: Some(GatherReconstruct {
+                scheme: RsScheme::new(8, 4),
+                chunk_len: 0,
+                copy: vec![
+                    GatherCopy {
+                        chunk: 0,
+                        chunk_off: 0,
+                        len: 0,
+                        dest_off: 0,
+                    };
+                    MAX_GATHER_SEGS
+                ],
+            }),
+        };
+        assert!(sizes::RDMA_HEADER + sizes::DFS_HEADER + grh.wire_size() < sizes::MTU);
     }
 
     #[test]

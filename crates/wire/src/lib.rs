@@ -15,11 +15,12 @@ pub mod sizes;
 
 pub use capability::{AuthError, Capability, Rights};
 pub use frame::{
-    split_payload, write_payload_caps, AckPkt, Frame, HlConfigPkt, MsgId, ReadReqPkt, ReadRespPkt,
-    RpcBody, SendPkt, Status, WritePkt,
+    split_payload, write_payload_caps, AckPkt, Frame, GatherReqPkt, HlConfigPkt, MsgId, ReadReqPkt,
+    ReadRespPkt, RpcBody, SendPkt, Status, WritePkt,
 };
 pub use headers::{
-    bcast_children, bcast_depth, BcastStrategy, DfsHeader, DfsOp, EcInfo, EcRole, ReadReqHeader,
-    ReplicaCoord, Resiliency, RsScheme, WriteReqHeader,
+    bcast_children, bcast_depth, BcastStrategy, DfsHeader, DfsOp, EcInfo, EcRole, GatherCopy,
+    GatherReadHeader, GatherReconstruct, GatherSegment, ReadReqHeader, ReplicaCoord, Resiliency,
+    RsScheme, WriteReqHeader, MAX_GATHER_SEGS,
 };
 pub use siphash::{payload_checksum, siphash24, siphash24_words, MacKey};

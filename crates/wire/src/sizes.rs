@@ -41,6 +41,18 @@ pub const WRH_EC_FIXED: u32 = 22;
 /// RPC header: rpc_id(8) kind(1) body_len(4).
 pub const RPC_HEADER: u32 = 13;
 
+/// Gather read header, fixed part: total_len(4) nsegs(1) has_reconstruct(1).
+pub const GRH_FIXED: u32 = 6;
+
+/// Per gather segment: replica coord(12) len(4) dest_off(4) shard(1).
+pub const GATHER_SEG: u32 = REPLICA_COORD + 9;
+
+/// Reconstruction directive, fixed part: k(1) m(1) chunk_len(4) ncopies(1).
+pub const GRH_REC_FIXED: u32 = 7;
+
+/// Per reconstruction copy range: chunk(1) chunk_off(4) len(4) dest_off(4).
+pub const GATHER_COPY: u32 = 13;
+
 /// Maximum data bytes in a packet that carries only the RDMA header.
 pub const fn max_payload_plain() -> u32 {
     MTU - RDMA_HEADER

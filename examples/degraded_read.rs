@@ -5,13 +5,18 @@
 //! streaming TriEC path (§VI-B), a data node is then marked failed, and
 //! `read_at` transparently reconstructs the missing chunk from the k
 //! surviving data + parity shards using the cached decode matrices.
-//! The failure also queues the extent for background repair: draining
-//! the queue rebuilds the lost shard onto a spare node, after which
-//! reads resolve through the normal path even with the node still dead.
+//! The same stripe is then read with `ReadProtocol::Offloaded`, which
+//! moves the reconstruction onto the storage NIC's firmware EC engine —
+//! the metrics delta proves the client decoded nothing. The failure
+//! also queues the extent for background repair: draining the queue
+//! rebuilds the lost shard onto a spare node, after which reads resolve
+//! through the normal path even with the node still dead.
 //!
 //! Run with: `cargo run --release -p nadfs-examples --example degraded_read`
 
-use nadfs_core::{ClusterSpec, FilePolicy, FsClient, LayoutSpec, SimCluster, StorageMode};
+use nadfs_core::{
+    ClusterSpec, FilePolicy, FsClient, LayoutSpec, ReadProtocol, SimCluster, StorageMode,
+};
 use nadfs_wire::RsScheme;
 
 fn main() {
@@ -91,6 +96,42 @@ fn main() {
         degraded.degraded_stripes,
         (degraded.end - degraded.start).as_us(),
         (healthy.end - healthy.start).as_us()
+    );
+
+    // The same degraded stripe can instead reconstruct ON the storage
+    // NIC: an offloaded gather read fetches the survivors NIC-to-NIC
+    // and rebuilds the lost chunk on the firmware EC engine, streaming
+    // the finished stripe back as one validated flow. The client never
+    // touches parity math — the counter delta proves it.
+    fs.drop_read_cache();
+    let before = fs.metrics_snapshot();
+    let gather_handle = file.clone().with_read_protocol(ReadProtocol::Offloaded);
+    let offloaded = fs
+        .read_at(&gather_handle, 0, data.len() as u32)
+        .expect("offloaded degraded read");
+    assert_eq!(offloaded.data.as_ref(), &data[..]);
+    assert_eq!(offloaded.checksum, write.checksum);
+    let delta = fs.metrics_snapshot().delta(&before);
+    let nic_sum = |suffix: &str| -> u64 {
+        (0..6)
+            .filter_map(|i| delta.counter(&format!("nic.{i}.gather.{suffix}")))
+            .sum()
+    };
+    assert_eq!(
+        delta
+            .counter("client.0.read.reconstructed_stripes")
+            .unwrap_or(0),
+        0,
+        "offloaded reads never decode on the client"
+    );
+    println!(
+        "offloaded degraded read: {} bytes in {:.2} us — client reconstructs 0, \
+         NIC reconstructs {}, {} survivor fetch(es) NIC-to-NIC, {} KiB streamed",
+        offloaded.len,
+        (offloaded.end - offloaded.start).as_us(),
+        nic_sum("chunks_reconstructed"),
+        nic_sum("remote_fetches"),
+        nic_sum("bytes_streamed") >> 10
     );
 
     // The failure queued the extent for re-protection (and the degraded

@@ -39,9 +39,16 @@ fn main() {
         write.checksum
     );
 
-    // Read a cross-stripe interior range back through the real read
-    // path: layout resolution, per-stripe one-sided read fan-out with
-    // NIC capability validation, client-side reassembly.
+    // The write also populated the client read cache write-through, so
+    // read-after-write never touches the wire.
+    let local = fs.read_at(&file, 0, 1024).expect("read-after-write");
+    assert!(local.from_cache, "writes fill the read cache write-through");
+    println!("read-after-write served from client memory (write-through fill)");
+
+    // Drop the cache to demonstrate the real read path: layout
+    // resolution, per-stripe one-sided read fan-out with NIC capability
+    // validation, client-side reassembly.
+    fs.drop_read_cache();
     let read = fs.read_at(&file, 50_000, 100_000).expect("read");
     assert_eq!(read.data.as_ref(), &data[50_000..150_000]);
     println!(

@@ -228,6 +228,9 @@ fn expired_capability_reads_close_their_spans() {
         h.read_protocol = protocol;
         let data = payload(2, 64 << 10);
         fs.append(&h, &data).expect("write");
+        // The write-through fill would serve this read locally without
+        // ever presenting the capability; drop it to hit the wire.
+        fs.drop_read_cache();
         assert!(fs.read_at(&h, 0, data.len() as u32).is_err());
         assert_eq!(
             fs.open_spans(),
@@ -303,6 +306,23 @@ fn fault_injected_run_leaves_no_open_spans() {
         let phase_sum: u64 = sp.phase_durations().iter().map(|&(_, Dur(d))| d).sum();
         assert_eq!(phase_sum, sp.e2e().0, "span {} broken by faults", sp.label);
     }
+}
+
+/// CI alarm: `spans.dropped > 0` in a snapshot means the completed-span
+/// ring overflowed and telemetry silently lost op lifecycles — phase
+/// accounting, trace exports, and the bench's span-derived numbers all
+/// under-report from that point on. The acceptance workloads must never
+/// trip it; a legitimate capacity change raises the ring size, not this
+/// bar.
+#[test]
+fn span_ring_never_drops_in_acceptance_workloads() {
+    let fs = mixed_run();
+    let snap = fs.metrics_snapshot();
+    assert_eq!(
+        snap.gauge("spans.dropped"),
+        Some(0.0),
+        "completed-span ring overflowed: telemetry is lossy"
+    );
 }
 
 /// The serialized snapshot keeps the pinned `nadfs-metrics-v1` layout:

@@ -1,0 +1,169 @@
+//! Property test for the read-side NIC offload's correctness contract:
+//! under arbitrary write/read interleavings with a scripted node kill
+//! (the [`FaultPlan`] harness), every offloaded gather read — normal,
+//! degraded-reconstructed on the NIC, and racing asynchronous readahead
+//! fills against overwrites — is byte-identical to the CPU fan-out path
+//! and to a shadow model of the file. Generation-keyed fills may lose
+//! the race to an overwrite, but must then miss, never serve stale.
+
+use nadfs_core::{
+    ClusterSpec, FilePolicy, FsClient, LayoutSpec, ReadProtocol, SimCluster, StorageMode,
+};
+use nadfs_tests::{drain_repairs_with_faults, seed_from_env, FaultAction, FaultPlan, FaultPoint};
+use nadfs_wire::{BcastStrategy, RsScheme};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Policy {
+    Ec,
+    Replicated,
+}
+
+#[derive(Clone, Debug)]
+enum Step {
+    /// `pwrite` of a deterministic payload; overlapping ranges overwrite
+    /// (and race any in-flight background readahead fill).
+    Write { offset: u64, len: usize },
+    /// Offloaded gather read, compared byte-for-byte against the model.
+    Read { offset: u64, len: u32 },
+}
+
+#[derive(Clone, Debug)]
+struct Scenario {
+    policy: Policy,
+    steps: Vec<Step>,
+    /// The scripted kill fires after this many completed writes — later
+    /// offloaded reads reconstruct on the NIC (may be past the end).
+    fail_after: u32,
+    /// Drain the repair queue after this step index.
+    drain_after: usize,
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    (0u8..2, 0u64..60_000, 2_000usize..30_000, 1u32..80_000).prop_map(
+        |(kind, offset, wlen, rlen)| {
+            if kind == 0 {
+                Step::Write {
+                    offset: offset % 40_000,
+                    len: wlen,
+                }
+            } else {
+                Step::Read { offset, len: rlen }
+            }
+        },
+    )
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        (0u8..2).prop_map(|k| {
+            if k == 0 {
+                Policy::Ec
+            } else {
+                Policy::Replicated
+            }
+        }),
+        proptest::collection::vec(step(), 2..9),
+        0u32..4,
+        0usize..9,
+    )
+        .prop_map(|(policy, steps, fail_after, drain_after)| Scenario {
+            policy,
+            drain_after: drain_after.min(steps.len()),
+            steps,
+            fail_after,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn offloaded_reads_equal_cpu_fanout_equal_shadow_model(s in scenario()) {
+        let mut fsc = FsClient::new(SimCluster::build(ClusterSpec::new(
+            1,
+            5,
+            StorageMode::Spin,
+        )));
+        fsc.mkdir_p("/p").expect("mkdir");
+        let file_policy = match s.policy {
+            Policy::Ec => FilePolicy::ErasureCoded { scheme: RsScheme::new(2, 1) },
+            Policy::Replicated => FilePolicy::Replicated { k: 2, strategy: BcastStrategy::Ring },
+        };
+        let h = fsc
+            .create_with_policy("/p/f", LayoutSpec::SINGLE, file_policy)
+            .expect("create");
+        let off = h.clone().with_read_protocol(ReadProtocol::Offloaded);
+
+        let mut plan = FaultPlan::new(seed_from_env()).on(
+            FaultPoint::AfterWrites(s.fail_after.max(1)),
+            FaultAction::FailRandomOf(vec![0, 1, 2, 3, 4]),
+        );
+
+        // Shadow model of the file's logical bytes. The cache stays on
+        // throughout, so offloaded reads race their own background
+        // readahead fills against the interleaved overwrites.
+        let mut model: Vec<u8> = Vec::new();
+        for (i, st) in s.steps.iter().enumerate() {
+            if i == s.drain_after {
+                let report = drain_repairs_with_faults(&mut fsc, &mut plan);
+                prop_assert!(report.converged(), "mid-run drain gave up: {report:?}");
+            }
+            match *st {
+                Step::Write { offset, len } => {
+                    let data: Vec<u8> = (0..len)
+                        .map(|b| (b as u64 ^ offset ^ ((i as u64) << 3)) as u8)
+                        .collect();
+                    fsc.write_at(&h, offset, &data).expect("write");
+                    let end = offset as usize + len;
+                    if model.len() < end {
+                        model.resize(end, 0);
+                    }
+                    model[offset as usize..end].copy_from_slice(&data);
+                    plan.note_write(&mut fsc);
+                }
+                Step::Read { offset, len } => {
+                    let r = fsc.read_at(&off, offset, len).expect("offloaded read");
+                    let lo = (offset as usize).min(model.len());
+                    let hi = (offset as usize).saturating_add(len as usize).min(model.len());
+                    prop_assert_eq!(r.len as usize, hi - lo, "short-read clamp at step {}", i);
+                    prop_assert_eq!(
+                        r.data.as_ref(),
+                        &model[lo..hi],
+                        "offloaded read ≠ shadow model at step {} (from_cache={}, degraded={})",
+                        i,
+                        r.from_cache,
+                        r.degraded_stripes
+                    );
+                    plan.note_read(&mut fsc);
+                }
+            }
+        }
+
+        // Degraded (post-kill, pre-repair) equivalence on the wire: the
+        // whole file through NIC-side gather reconstruction vs the
+        // client-side CPU fan-out, both cold.
+        if !model.is_empty() {
+            fsc.drop_read_cache();
+            let gathered = fsc.read_at(&off, 0, model.len() as u32).expect("gather");
+            prop_assert_eq!(gathered.data.as_ref(), &model[..], "gather ≠ model");
+            fsc.drop_read_cache();
+            let mut cpu = h.clone();
+            cpu.read_protocol = ReadProtocol::Rpc;
+            let fanout = fsc.read_at(&cpu, 0, model.len() as u32).expect("cpu fan-out");
+            prop_assert_eq!(fanout.data.as_ref(), &model[..], "cpu fan-out ≠ model");
+            prop_assert_eq!(gathered.checksum, fanout.checksum);
+        }
+
+        // Converge and prove the equivalence again on the healthy layout.
+        let report = fsc.drain_repairs();
+        prop_assert!(report.converged(), "final drain gave up: {report:?}");
+        if !model.is_empty() {
+            fsc.drop_read_cache();
+            let fresh = fsc.read_at(&off, 0, model.len() as u32).expect("uncached");
+            prop_assert!(!fresh.from_cache);
+            prop_assert_eq!(fresh.degraded_stripes, 0, "post-drain reads are direct");
+            prop_assert_eq!(fresh.data.as_ref(), &model[..], "post-repair gather ≠ model");
+        }
+    }
+}

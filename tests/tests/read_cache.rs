@@ -43,6 +43,9 @@ fn cache_hits_are_byte_identical_and_absorb_resolves() {
         .expect("create");
     let data = payload(seed_from_env(), 120_000);
     let w = fsc.append(&h, &data).expect("write");
+    // Shed the write-through fills: this test exercises the miss → hit
+    // path from a cold cache.
+    fsc.drop_read_cache();
 
     let r1 = fsc.read_at(&h, 10_000, 50_000).expect("read 1");
     assert!(!r1.from_cache, "cold read goes to the network");
@@ -87,6 +90,7 @@ fn overwrite_invalidates_exactly_the_affected_file() {
     let b = payload(2, 40_000);
     fsc.append(&ha, &a).expect("write a");
     fsc.append(&hb, &b).expect("write b");
+    fsc.drop_read_cache(); // cold warm-up reads below populate the cache
     assert!(!fsc.read_at(&ha, 0, 40_000).expect("warm a").from_cache);
     assert!(!fsc.read_at(&hb, 0, 40_000).expect("warm b").from_cache);
 
@@ -217,6 +221,9 @@ fn degraded_reconstruction_populates_cache_until_repair_rehomes() {
         .cluster
         .storage_index(w.placement.data_chunks[0].node as usize);
     fsc.fail_storage_node(victim);
+    // Shed the write-through fill so the first read actually exercises
+    // the degraded fan-out + reconstruction.
+    fsc.drop_read_cache();
 
     let r1 = fsc.read_at(&h, 0, data.len() as u32).expect("degraded");
     assert_eq!(r1.degraded_stripes, 1, "first read reconstructs");
@@ -332,6 +339,8 @@ fn sequential_stream_reaches_steady_state_hit_rate() {
         .expect("create");
     let data = payload(seed_from_env() ^ 0x5E0, 1 << 20);
     fsc.append(&h, &data).expect("write");
+    // Cold stream: the point is readahead ramping, not read-after-write.
+    fsc.drop_read_cache();
 
     let block = 16 << 10;
     let n = (data.len() / block) as u64; // 64 sequential reads
@@ -359,6 +368,45 @@ fn sequential_stream_reaches_steady_state_hit_rate() {
         (resolves as f64) < n as f64 * 0.5,
         "control-RPC reduction regressed: {resolves}/{n}"
     );
+}
+
+/// Write-through population: a committed write lands in the read cache
+/// under the post-commit generation, so read-after-write is a local hit
+/// (no resolve, no fan-out) and byte-identical to the written data.
+#[test]
+fn read_after_write_is_a_local_cache_hit() {
+    let mut fsc = FsClient::new(SimCluster::build(ClusterSpec::new(1, 3, StorageMode::Spin)));
+    fsc.mkdir_p("/w").expect("mkdir");
+    let h = fsc
+        .create("/w/f", LayoutSpec::striped(3, 16 << 10))
+        .expect("create");
+    let data = payload(seed_from_env() ^ 0x3A, 96_000);
+    fsc.append(&h, &data).expect("write");
+
+    let resolves_before = fsc.cluster.control.borrow().meta.stats.resolves;
+    let r = fsc.read_at(&h, 0, data.len() as u32).expect("read");
+    assert!(r.from_cache, "read-after-write serves from the write fill");
+    assert_eq!(r.data.as_ref(), &data[..], "write-through bytes identical");
+    assert_eq!(
+        fsc.cluster.control.borrow().meta.stats.resolves,
+        resolves_before,
+        "no resolve round-trip for a read-after-write"
+    );
+    let r2 = fsc.read_at(&h, 10_000, 30_000).expect("subrange");
+    assert!(r2.from_cache);
+    assert_eq!(r2.data.as_ref(), &data[10_000..40_000]);
+    let stats = fsc.read_cache_stats();
+    assert!(stats.write_fills >= 1, "write path populated the cache");
+    // A second append extends the cached span contiguously: the commit's
+    // generation bump invalidates the old fill, but the new write fill
+    // re-covers its own range.
+    let more = payload(0x3B, 8_000);
+    fsc.append(&h, &more).expect("append");
+    let r3 = fsc
+        .read_at(&h, data.len() as u64, more.len() as u32)
+        .expect("tail");
+    assert!(r3.from_cache, "the appended range hits from its write fill");
+    assert_eq!(r3.data.as_ref(), &more[..]);
 }
 
 /// Writes through the legacy `Bytes` job path also invalidate (the

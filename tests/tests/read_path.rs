@@ -205,10 +205,12 @@ fn degraded_read_reconstructs_erasure_coded_files() {
         h.write_protocol = protocol;
         let data = payload(55, 150_000);
         let w = fsc.append(&h, &data).expect("write");
-        // Fail the node holding the first data chunk.
+        // Fail the node holding the first data chunk. The write-through
+        // fill would mask the degraded path — drop it first.
         let failed_node = w.placement.data_chunks[0].node;
         let failed_idx = fsc.cluster.storage_index(failed_node as usize);
         fsc.fail_storage_node(failed_idx);
+        fsc.drop_read_cache();
         let r = fsc
             .read_at(&h, 0, data.len() as u32)
             .expect("degraded read");
@@ -319,6 +321,8 @@ fn capability_expired_reads_rejected_on_nic_and_cpu_paths() {
         h.read_protocol = read_protocol;
         let data = payload(4, 64 << 10);
         fsc.append(&h, &data).expect("write");
+        // A write-through cache hit would never present the capability.
+        fsc.drop_read_cache();
         let err = fsc.read_at(&h, 0, data.len() as u32).unwrap_err();
         assert_eq!(
             err,

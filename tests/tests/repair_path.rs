@@ -190,6 +190,9 @@ fn degraded_read_promotes_its_extent_ahead_of_the_scan_order() {
         .find(|n| writes[1].placement.data_chunks.iter().any(|c| c.node == *n))
         .expect("rotated homes overlap");
     fsc.fail_storage_node(fsc.cluster.storage_index(shared as usize));
+    // The write-through fill would serve the read locally — drop it so the
+    // read actually goes degraded and promotes its extent.
+    fsc.drop_read_cache();
     assert_eq!(fsc.repair_backlog(), 2, "both files' extents queued");
     // Scan order queued file 0 first; a degraded read of file 1 jumps it.
     let r = fsc
@@ -272,6 +275,8 @@ fn node_kill_between_commit_and_read_converges() {
     plan.note_write(&mut fsc); // the (already completed) write fires it
     assert_eq!(plan.log.len(), 1, "the scripted kill fired");
 
+    // Drop the write-through fill: this test exercises the wire path.
+    fsc.drop_read_cache();
     let r1 = fsc.read_at(&h, 0, data.len() as u32).expect("read 1");
     assert!(r1.degraded_stripes > 0, "between commit and read: degraded");
     assert_eq!(r1.data.as_ref(), &data[..]);
@@ -373,6 +378,8 @@ fn double_failure_beyond_m_is_typed_not_panic() {
     for c in &w.placement.data_chunks {
         fsc.fail_storage_node(fsc.cluster.storage_index(c.node as usize));
     }
+    // Drop the write-through fill: a cache hit would mask the typed failure.
+    fsc.drop_read_cache();
     let err = fsc.read_at(&h, 0, data.len() as u32).unwrap_err();
     assert_eq!(err, FsError::Io(Status::Rejected), "typed read failure");
 
@@ -413,6 +420,8 @@ fn expired_read_capability_degraded_read_and_repair_are_typed() {
         .cluster
         .storage_index(w.placement.data_chunks[0].node as usize);
     fsc.fail_storage_node(victim);
+    // Drop the write-through fill: a cache hit would never present the caps.
+    fsc.drop_read_cache();
     // Degraded read: k survivor fetches all NACK on the NIC.
     let err = fsc.read_at(&h, 0, data.len() as u32).unwrap_err();
     assert_eq!(err, FsError::Io(Status::AuthFailed), "typed, not partial");
