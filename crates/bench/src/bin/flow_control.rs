@@ -1,0 +1,26 @@
+//! Flow-control / QoS saturation bench: aggregate goodput vs client
+//! count, weighted-tenant starvation resistance, equal-tenant fairness
+//! floor (see nadfs_bench::flow_control). Writes
+//! `BENCH_flow_control.json`. `--smoke` (or `NADFS_BENCH_SMOKE=1`) runs
+//! the CI-sized workload and asserts the fairness invariants.
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("NADFS_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let report = if smoke {
+        nadfs_bench::flow_control::run_smoke()
+    } else {
+        nadfs_bench::flow_control::run()
+    };
+    print!("{}", nadfs_bench::flow_control::render(&report));
+    if smoke {
+        nadfs_bench::flow_control::assert_invariants(&report);
+        println!("  smoke invariants hold");
+    }
+    let json = nadfs_bench::flow_control::to_json(&report);
+    let path = "BENCH_flow_control.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("  wrote {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+}

@@ -29,7 +29,12 @@ struct RunStats {
 
 fn run(n_clients: usize, cache_enabled: bool) -> RunStats {
     let spec = ClusterSpec::new(n_clients, 4, StorageMode::Plain);
-    let mut cl = SimCluster::build_with(spec, |app| app.cache_enabled = cache_enabled);
+    let mut cl = SimCluster::build_with(spec, |app| {
+        app.cache_enabled = cache_enabled;
+        // One bulk span per storm instead of one per op: keeps the
+        // completed-span ring from saturating during the storm phase.
+        app.bulk_meta_spans = true;
+    });
     let w = MetaWorkload::new("/bench")
         .with_dirs(4, 16)
         .with_storm(256)

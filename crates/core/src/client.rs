@@ -6,7 +6,7 @@
 //! a configurable window of requests is kept in flight. Completion
 //! semantics per protocol follow §IV-§VI (see [`WriteProtocol`]).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
@@ -15,7 +15,10 @@ use nadfs_gfec::ReedSolomon;
 use nadfs_meta::{CachedEntry, LayoutSpec, MetaCache, MetaError, ReadPiece};
 use nadfs_rdma::{NicApp, NicCore};
 use nadfs_simnet::telemetry::phase;
-use nadfs_simnet::{Ctx, Dur, NodeId, ObsHub, OpKind, SharedObs, SharedTrace, SpanId, Time, Trace};
+use nadfs_simnet::{
+    Ctx, Dur, NodeId, ObsHub, OpKind, SharedObs, SharedTrace, SpanId, TenantId, Time, Trace,
+    TENANT_REPAIR,
+};
 use nadfs_wire::{
     payload_checksum, AckPkt, Capability, DfsHeader, DfsOp, EcInfo, EcRole, Frame, GatherCopy,
     GatherReadHeader, GatherReconstruct, GatherSegment, HlConfigPkt, MsgId, ReadReqHeader,
@@ -526,12 +529,29 @@ pub struct ClientApp {
     meta_in_flight: usize,
     meta_stash: Vec<(u64, PendingMeta)>,
     next_meta_tag: u64,
+    /// When true, a storm of [`Job::Meta`] ops shares one
+    /// [`OpKind::MetaBulk`] span carrying op-count attribution in its
+    /// label instead of minting one span per op, so bulk namespace
+    /// workloads cannot saturate the completed-span ring.
+    pub bulk_meta_spans: bool,
+    /// Open bulk span (0 when none is active).
+    bulk_meta_span: SpanId,
+    /// Ops attributed to the open bulk span.
+    bulk_meta_ops: u64,
+    /// Failed ops among them (a bulk span closes `ok` only if all passed).
+    bulk_meta_errs: u64,
     /// Observability hub: op spans + metrics. Constructed disabled; the
     /// cluster build replaces it with the shared, enabled hub.
     pub obs: SharedObs,
     /// Shared trace ring: control-plane calls this client makes (resolve,
     /// commit, repair planning) are annotated on the `control` track.
     pub trace: SharedTrace,
+    /// Tenant id stamped into DFS headers for QoS scheduling at storage
+    /// nodes. `None` means "use the node id" (each client its own tenant);
+    /// the handle is shared with the cluster so tests can regroup clients
+    /// after the app has moved into the engine. Repair traffic overrides
+    /// this with [`TENANT_REPAIR`].
+    pub tenant: Rc<Cell<Option<TenantId>>>,
 }
 
 /// A metadata op whose (already-determined) outcome is waiting out its
@@ -599,8 +619,13 @@ impl ClientApp {
             meta_in_flight: 0,
             meta_stash: Vec::new(),
             next_meta_tag: 0,
+            bulk_meta_spans: false,
+            bulk_meta_span: 0,
+            bulk_meta_ops: 0,
+            bulk_meta_errs: 0,
             obs: ObsHub::disabled(),
             trace: Trace::disabled(),
+            tenant: Rc::new(Cell::new(None)),
         }
     }
 
@@ -631,6 +656,30 @@ impl ClientApp {
         if id != 0 {
             self.obs.borrow_mut().end_span(id, at, ok);
         }
+    }
+
+    /// Close the open bulk-meta span once the storm drains: no meta op in
+    /// flight and none left in the plan. Stamps the final op count into
+    /// the label so the single span still attributes the whole batch.
+    fn finish_bulk_meta_span(&mut self, ctx: &Ctx<'_>) {
+        if self.bulk_meta_span == 0
+            || self.meta_in_flight > 0
+            || self
+                .plan
+                .borrow()
+                .iter()
+                .any(|j| matches!(j, Job::Meta { .. }))
+        {
+            return;
+        }
+        let id = std::mem::take(&mut self.bulk_meta_span);
+        let n = std::mem::take(&mut self.bulk_meta_ops);
+        let errs = std::mem::take(&mut self.bulk_meta_errs);
+        self.obs
+            .borrow_mut()
+            .spans
+            .relabel(id, format!("meta-bulk n={n}"));
+        self.span_end(id, ctx.now(), errs == 0);
     }
 
     /// Associate a wire-level request id with a span so storage-side
@@ -667,11 +716,18 @@ impl ClientApp {
         }
     }
 
+    /// Tenant id for outgoing DFS traffic: the configured group if one was
+    /// set, else the node id (every client is its own tenant by default).
+    fn effective_tenant(&self, nic: &NicCore) -> TenantId {
+        self.tenant.get().unwrap_or(nic.node() as TenantId)
+    }
+
     fn dfs_header(&mut self, nic: &NicCore, file: u64, greq: u64) -> DfsHeader {
         DfsHeader {
             greq_id: greq,
             op: DfsOp::Write,
             client: nic.node() as u32,
+            tenant: self.effective_tenant(nic),
             capability: self.capability(nic, file),
         }
     }
@@ -692,6 +748,7 @@ impl ClientApp {
             greq_id: greq,
             op: DfsOp::Read,
             client,
+            tenant: self.effective_tenant(nic),
             capability: cap,
         }
     }
@@ -884,7 +941,16 @@ impl ClientApp {
     /// simulated latency (cache probe vs. control round-trip).
     fn start_meta(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, op: MetaOp, token: u64) {
         let start = ctx.now();
-        let span = self.span_begin(OpKind::Meta, nic, start, || format!("meta {:?}", op.kind()));
+        let span = if self.bulk_meta_spans {
+            if self.bulk_meta_span == 0 {
+                self.bulk_meta_span =
+                    self.span_begin(OpKind::MetaBulk, nic, start, || "meta-bulk".to_string());
+            }
+            self.bulk_meta_ops += 1;
+            0
+        } else {
+            self.span_begin(OpKind::Meta, nic, start, || format!("meta {:?}", op.kind()))
+        };
         let now_ns = start.as_ns() as u64;
         let costs = self.meta_costs.clone();
         let mut cost = Dur::ZERO;
@@ -1819,7 +1885,8 @@ impl ClientApp {
         let op_id = self.next_repair_op;
         self.next_repair_op += 1;
         let greq = self.control.borrow_mut().alloc_greq();
-        let dfs = self.read_dfs_header(nic, task.file, greq);
+        let mut dfs = self.read_dfs_header(nic, task.file, greq);
+        dfs.tenant = TENANT_REPAIR;
         self.span_mark(span, phase::RESOLVED, ctx.now());
         self.span_correlate(greq, span);
         let mut op = PendingRepair {
@@ -1975,7 +2042,8 @@ impl ClientApp {
             }
         };
         let greq = self.control.borrow_mut().alloc_greq();
-        let dfs = self.dfs_header(nic, task.file, greq);
+        let mut dfs = self.dfs_header(nic, task.file, greq);
+        dfs.tenant = TENANT_REPAIR;
         let span = {
             let op = self.repairs_in_flight.get_mut(&op_id).expect("checked");
             op.writing = true;
@@ -2766,6 +2834,9 @@ impl NicApp for ClientApp {
                 let (_, pm) = self.meta_stash.remove(idx);
                 self.meta_in_flight -= 1;
                 self.span_end(pm.span, ctx.now(), pm.result.is_ok());
+                if self.bulk_meta_span != 0 && pm.result.is_err() {
+                    self.bulk_meta_errs += 1;
+                }
                 self.results.borrow_mut().metas.push(MetaResult {
                     token: pm.token,
                     client: nic.node(),
@@ -2776,6 +2847,7 @@ impl NicApp for ClientApp {
                     result: pm.result,
                 });
                 self.fill(nic, ctx);
+                self.finish_bulk_meta_span(ctx);
             }
             return;
         }

@@ -9,8 +9,9 @@ use nadfs_host::SharedMemory;
 use nadfs_pspin::{ExecutionContext, Telemetry};
 use nadfs_rdma::{AppTimer, EcEngine, Nic, NicApp, SharedNicStats};
 use nadfs_simnet::{
-    ComponentId, Dur, Engine, Fabric, FabricStats, MetricsSnapshot, NodeId, ObsHub, SharedObs,
-    SharedTrace, Time, Trace,
+    ComponentId, CreditConfig, Dur, Engine, Fabric, FabricStats, FlowStats, MetricsSnapshot,
+    NodeId, ObsHub, SharedFlowStats, SharedObs, SharedTenantLedgers, SharedTrace, TenantId,
+    TenantLedger, Time, Trace, TENANT_REPAIR,
 };
 use nadfs_wire::Frame;
 
@@ -49,6 +50,57 @@ pub struct ClusterSpec {
     /// Enable DES-engine dispatch profiling (host wall-clock per handler;
     /// off by default because it perturbs wall-clock benchmarks).
     pub engine_profiling: bool,
+    /// Flow control budgets + per-tenant QoS.
+    pub qos: QosConfig,
+}
+
+/// Per-tenant QoS at the storage nodes: deficit-round-robin service of
+/// RPC dispatch and DFS read streams, weighted by tenant. Disabled by
+/// default (first-come service, the pre-QoS behavior); the credit-based
+/// WR flow control on every NIC is always on and configured by `credit`.
+#[derive(Clone, Debug)]
+pub struct QosConfig {
+    /// Turn on the per-tenant schedulers at storage nodes.
+    pub enabled: bool,
+    /// Per-peer WR budgets for every NIC's credit layer.
+    pub credit: CreditConfig,
+    /// Concurrent DFS read response streams per storage NIC.
+    pub max_read_streams: usize,
+    /// Concurrently serviced RPCs per storage node.
+    pub rpc_concurrency: usize,
+    /// DRR quantum in cost units (bytes) per visit at weight 1.
+    pub quantum: u64,
+    /// Weight for tenants without an explicit override.
+    pub default_weight: u32,
+    /// Weight for the background repair pseudo-tenant ([`TENANT_REPAIR`]);
+    /// kept low so drains cannot starve foreground I/O.
+    pub repair_weight: u32,
+    /// Explicit per-tenant weight overrides.
+    pub weights: Vec<(TenantId, u32)>,
+}
+
+impl Default for QosConfig {
+    fn default() -> QosConfig {
+        QosConfig {
+            enabled: false,
+            credit: CreditConfig::default(),
+            max_read_streams: 8,
+            rpc_concurrency: 8,
+            quantum: 64 << 10,
+            default_weight: 1,
+            repair_weight: 1,
+            weights: Vec::new(),
+        }
+    }
+}
+
+impl QosConfig {
+    /// All tenant weights including the repair pseudo-tenant.
+    fn all_weights(&self) -> Vec<(TenantId, u32)> {
+        let mut w = self.weights.clone();
+        w.push((TENANT_REPAIR, self.repair_weight));
+        w
+    }
 }
 
 /// Completed-span ring capacity for clusters built with observability.
@@ -67,6 +119,7 @@ impl ClusterSpec {
             accumulator_pool: 512,
             observability: true,
             engine_profiling: false,
+            qos: QosConfig::default(),
         }
     }
 
@@ -94,6 +147,11 @@ impl ClusterSpec {
         self.engine_profiling = true;
         self
     }
+
+    pub fn with_qos(mut self, qos: QosConfig) -> ClusterSpec {
+        self.qos = qos;
+        self
+    }
 }
 
 /// A built, runnable cluster.
@@ -118,6 +176,16 @@ pub struct SimCluster {
     /// Per-storage-NIC gather/offload counters (index-aligned with
     /// `storage_nodes`).
     pub nic_stats: Vec<SharedNicStats>,
+    /// Flow-control counters for every NIC (clients then storage, in
+    /// fabric-node order).
+    pub flow_stats: Vec<SharedFlowStats>,
+    /// Per-tenant service ledgers of every QoS scheduling point (storage
+    /// read streams + storage RPC service); empty when QoS is off.
+    pub tenant_ledgers: Vec<SharedTenantLedgers>,
+    /// Per-client tenant-id cells (index-aligned with `client_nodes`):
+    /// `None` = the client's node id. Set via [`crate::fs::FsClient`] or
+    /// directly to group clients into tenants after build.
+    pub client_tenants: Vec<Rc<std::cell::Cell<Option<TenantId>>>>,
     pub pspin_telemetry: Vec<Option<Rc<RefCell<Telemetry>>>>,
     pub fabric_stats: Rc<RefCell<FabricStats>>,
     /// Shared observability hub (op spans + metrics); disabled when the
@@ -178,6 +246,8 @@ impl SimCluster {
         let mut client_caches = Vec::new();
         let mut read_caches = Vec::new();
         let mut client_read_stats = Vec::new();
+        let mut client_tenants = Vec::new();
+        let mut flow_stats = Vec::new();
         for (&comp, port) in client_components.iter().zip(client_ports) {
             let plan: SharedPlan = Rc::new(RefCell::new(VecDeque::new()));
             plans.push(plan.clone());
@@ -190,7 +260,10 @@ impl SimCluster {
             client_caches.push(app.meta_cache.clone());
             read_caches.push(app.read_cache.clone());
             client_read_stats.push(app.read_stats.clone());
-            let nic = Nic::new(spec.cost.nic.clone(), port, comp, Box::new(app));
+            client_tenants.push(app.tenant.clone());
+            let mut nic = Nic::new(spec.cost.nic.clone(), port, comp, Box::new(app));
+            nic.core.set_credit_config(spec.qos.credit);
+            flow_stats.push(nic.core.flow_stats());
             engine.install(comp, Box::new(nic));
         }
 
@@ -198,17 +271,40 @@ impl SimCluster {
         let mut storage_stats = Vec::new();
         let mut pspin_telemetry = Vec::new();
         let mut nic_stats = Vec::new();
+        let mut tenant_ledgers = Vec::new();
         for (&comp, port) in storage_components.iter().zip(storage_ports) {
             let mut app = StorageApp::new(key, spec.cost.fabric.link_bw);
             app.obs = obs.clone();
             app.trace = trace.clone();
             storage_stats.push(app.stats.clone());
+            if spec.qos.enabled {
+                let q = crate::storage::StorageQos::new(
+                    spec.qos.quantum,
+                    spec.qos.default_weight,
+                    &spec.qos.all_weights(),
+                    spec.qos.rpc_concurrency,
+                );
+                tenant_ledgers.push(q.scheduler().ledgers_handle());
+                app.qos = Some(q);
+            }
             let mut nic = Nic::new(
                 spec.cost.nic.clone(),
                 port,
                 comp,
                 Box::new(app) as Box<dyn NicApp>,
             );
+            nic.core.set_credit_config(spec.qos.credit);
+            if spec.qos.enabled {
+                nic.core.install_read_qos(
+                    spec.qos.quantum,
+                    spec.qos.default_weight,
+                    &spec.qos.all_weights(),
+                    spec.qos.max_read_streams,
+                );
+                let qos = nic.core.read_qos.as_ref().expect("just installed");
+                tenant_ledgers.push(qos.scheduler().ledgers_handle());
+            }
+            flow_stats.push(nic.core.flow_stats());
             // NIC-side read validation: every storage NIC authenticates
             // DFS-level read requests against the service key before a
             // byte leaves the node (one-sided reads never touch the CPU).
@@ -268,11 +364,20 @@ impl SimCluster {
             read_caches,
             client_read_stats,
             nic_stats,
+            flow_stats,
+            tenant_ledgers,
+            client_tenants,
             pspin_telemetry,
             fabric_stats,
             obs,
             trace,
         }
+    }
+
+    /// Group client `i` into tenant `t` for QoS scheduling (default:
+    /// every client is its own tenant, id = node id).
+    pub fn set_client_tenant(&self, i: usize, t: TenantId) {
+        self.client_tenants[i].set(Some(t));
     }
 
     /// One coherent metrics snapshot: the op-span derived series already
@@ -380,6 +485,66 @@ impl SimCluster {
             m.counter_set("repair.committed", r.committed);
             m.counter_set("repair.requeued", r.requeued);
             m.counter_set("repair.shards_rehomed", r.shards_rehomed);
+        }
+        {
+            // Credit-layer counters, aggregated across every NIC: the
+            // interesting signals (stalls, queue depth churn, grant
+            // traffic) are cluster-wide.
+            let mut agg = FlowStats::default();
+            for h in &self.flow_stats {
+                let s = *h.borrow();
+                for i in 0..4 {
+                    agg.posted[i] += s.posted[i];
+                    agg.completed[i] += s.completed[i];
+                }
+                agg.queued += s.queued;
+                agg.released += s.released;
+                agg.local_stalls += s.local_stalls;
+                agg.remote_stalls += s.remote_stalls;
+                agg.granted_piggyback += s.granted_piggyback;
+                agg.granted_standalone += s.granted_standalone;
+                agg.grants_received += s.grants_received;
+            }
+            for class in nadfs_simnet::WrClass::ALL {
+                let i = class.index();
+                m.counter_set(&format!("flow.posted.{}", class.as_str()), agg.posted[i]);
+                m.counter_set(
+                    &format!("flow.completed.{}", class.as_str()),
+                    agg.completed[i],
+                );
+            }
+            m.counter_set("flow.queued", agg.queued);
+            m.counter_set("flow.released", agg.released);
+            m.counter_set("flow.local_stalls", agg.local_stalls);
+            m.counter_set("flow.remote_stalls", agg.remote_stalls);
+            m.counter_set("flow.granted_piggyback", agg.granted_piggyback);
+            m.counter_set("flow.granted_standalone", agg.granted_standalone);
+            m.counter_set("flow.grants_received", agg.grants_received);
+        }
+        {
+            // Per-tenant service ledgers, aggregated across scheduling
+            // points (read-stream + RPC schedulers of every storage node).
+            let mut by_tenant: std::collections::BTreeMap<TenantId, TenantLedger> =
+                std::collections::BTreeMap::new();
+            for h in &self.tenant_ledgers {
+                for (&t, l) in h.borrow().iter() {
+                    let e = by_tenant.entry(t).or_default();
+                    e.enqueued += l.enqueued;
+                    e.dispatched += l.dispatched;
+                    e.cost_dispatched += l.cost_dispatched;
+                    e.queued += l.queued;
+                }
+            }
+            for (t, l) in by_tenant {
+                let pre = if t == TENANT_REPAIR {
+                    "tenant.repair".to_string()
+                } else {
+                    format!("tenant.{t}")
+                };
+                m.counter_set(&format!("{pre}.enqueued"), l.enqueued);
+                m.counter_set(&format!("{pre}.dispatched"), l.dispatched);
+                m.counter_set(&format!("{pre}.cost_dispatched"), l.cost_dispatched);
+            }
         }
         m.counter_set(
             "fabric.switch_holds",

@@ -133,6 +133,13 @@ impl FsClient {
         self.cluster
     }
 
+    /// Group this client into QoS tenant `t` (default: its own node id).
+    /// Subsequent DFS requests carry `t` in their headers and are
+    /// scheduled under that tenant's weight at the storage nodes.
+    pub fn set_tenant(&self, t: nadfs_simnet::TenantId) {
+        self.cluster.set_client_tenant(self.client, t);
+    }
+
     /// Create every missing directory along `path`.
     pub fn mkdir_p(&mut self, path: &str) -> Result<(), FsError> {
         let now = self.now_ns();

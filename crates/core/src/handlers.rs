@@ -20,8 +20,8 @@ use nadfs_pspin::{HandlerArgs, HandlerSet, Ops};
 use nadfs_simnet::telemetry::phase;
 use nadfs_simnet::{BufPool, NodeId, ObsHub, SharedBufPool, SharedObs, SharedTrace, Time, Trace};
 use nadfs_wire::{
-    bcast_children, AckPkt, DfsHeader, EcInfo, EcRole, Frame, GatherReadHeader, GatherReqPkt,
-    MacKey, MsgId, Resiliency, Rights, RsScheme, Status, WritePkt, WriteReqHeader,
+    bcast_children, AckPkt, CreditGrant, DfsHeader, EcInfo, EcRole, Frame, GatherReadHeader,
+    GatherReqPkt, MacKey, MsgId, Resiliency, Rights, RsScheme, Status, WritePkt, WriteReqHeader,
 };
 
 use crate::config::HandlerCosts;
@@ -253,6 +253,7 @@ fn gather_header(st: &mut DfsNicState, g: &GatherReqPkt, src: NodeId, now: Time,
         ops.send(
             src,
             Frame::Ack(AckPkt {
+                credit: CreditGrant::ZERO,
                 msg: g.msg,
                 greq_id: Some(g.dfs.greq_id),
                 status: Status::AuthFailed,
@@ -335,6 +336,7 @@ impl HandlerSet for DfsHandlers {
             a.ops.send(
                 dfs.client as NodeId,
                 Frame::Ack(AckPkt {
+                    credit: CreditGrant::ZERO,
                     msg: w.msg,
                     greq_id: Some(dfs.greq_id),
                     status: Status::AuthFailed,
@@ -685,6 +687,7 @@ impl HandlerSet for DfsHandlers {
             a.ops.send(
                 entry.client,
                 Frame::Ack(AckPkt {
+                    credit: CreditGrant::ZERO,
                     msg: a.msg,
                     greq_id: Some(entry.greq),
                     status: Status::Ok,
@@ -715,6 +718,7 @@ impl HandlerSet for DfsHandlers {
                 a.ops.send(
                     client,
                     Frame::Ack(AckPkt {
+                        credit: CreditGrant::ZERO,
                         msg: a.msg,
                         greq_id: Some(greq),
                         status: Status::Ok,

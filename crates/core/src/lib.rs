@@ -27,7 +27,7 @@ pub use client::{
     ReadResult, ReadSlot, RepairOutcome, RepairResult, RepairSlot, ResultSink,
     SharedClientReadStats, WriteProtocol, WriteResult, WriteSlot,
 };
-pub use cluster::{ClusterSpec, SimCluster, StorageMode};
+pub use cluster::{ClusterSpec, QosConfig, SimCluster, StorageMode};
 pub use config::{CostModel, HandlerCosts, MetaCosts};
 pub use control::{
     ControlPlane, FileMeta, FilePolicy, RepairPlan, RepairQueue, RepairStats, RepairTask,

@@ -15,6 +15,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use nadfs_simnet::{Dur, Time};
 use nadfs_wire::Status;
 
 use crate::client::{Job, RepairOutcome, RepairResult, RepairSlot};
@@ -42,6 +43,9 @@ pub struct RepairReport {
     pub gave_up: usize,
     /// Total data-path bytes moved by committed repairs.
     pub bytes_moved: u64,
+    /// Simulated milliseconds the driver idled to honor its bandwidth
+    /// cap (zero when no cap is configured or the cap never bound).
+    pub throttled_ms: u64,
 }
 
 impl RepairReport {
@@ -60,8 +64,20 @@ pub struct RepairDriver {
     pub max_attempts: u32,
     /// Per-operation simulation deadline in simulated milliseconds.
     pub op_deadline_ms: u64,
+    /// Windowed bandwidth cap: at most this many committed repair bytes
+    /// per [`Self::throttle_window_ms`] of simulated time. Once a window's
+    /// budget is spent the driver idles the cluster to the window
+    /// boundary before pulling the next task, so foreground traffic runs
+    /// against at most `bandwidth_cap / window` of background repair
+    /// bandwidth. `None` (the default) disables throttling.
+    pub bandwidth_cap: Option<u64>,
+    /// Length of the throttle window in simulated milliseconds.
+    pub throttle_window_ms: u64,
     attempts: HashMap<RepairTask, u32>,
     next_token: u64,
+    window_start: Option<Time>,
+    window_bytes: u64,
+    throttled_ms: u64,
 }
 
 impl RepairDriver {
@@ -71,8 +87,39 @@ impl RepairDriver {
             client,
             max_attempts: 3,
             op_deadline_ms: 10_000,
+            bandwidth_cap: None,
+            throttle_window_ms: 10,
             attempts: HashMap::new(),
             next_token: 0x5250_0000,
+            window_start: None,
+            window_bytes: 0,
+            throttled_ms: 0,
+        }
+    }
+
+    /// If the current throttle window's byte budget is spent, idle the
+    /// cluster to the window boundary; roll the window forward either way.
+    fn throttle(&mut self, cluster: &mut SimCluster) {
+        let Some(cap) = self.bandwidth_cap else {
+            return;
+        };
+        let window = Dur::from_ms(self.throttle_window_ms.max(1));
+        let now = cluster.engine.now();
+        let start = *self.window_start.get_or_insert(now);
+        if now >= start + window {
+            // The window elapsed on its own (slow repairs, foreground
+            // interleaving): start a fresh one at the current time.
+            self.window_start = Some(now);
+            self.window_bytes = 0;
+            return;
+        }
+        if self.window_bytes >= cap {
+            let end = start + window;
+            cluster.engine.run_until(end);
+            let idled = cluster.engine.now().max(end);
+            self.throttled_ms += (idled - now).0 / Dur::from_ms(1).0;
+            self.window_start = Some(idled);
+            self.window_bytes = 0;
         }
     }
 
@@ -80,6 +127,7 @@ impl RepairDriver {
     /// until it completes. Transient aborts are requeued (up to the
     /// attempt budget); `None` means the queue is empty.
     pub fn step(&mut self, cluster: &mut SimCluster) -> Option<RepairResult> {
+        self.throttle(cluster);
         let task = cluster.control.borrow_mut().pop_repair()?;
         let token = self.next_token;
         self.next_token += 1;
@@ -108,6 +156,7 @@ impl RepairDriver {
                 end: cluster.engine.now(),
                 bytes_moved: 0,
             });
+        self.window_bytes += result.bytes_moved;
         if matches!(result.outcome, RepairOutcome::Aborted(_)) {
             let n = self.attempts.entry(task).or_insert(0);
             *n += 1;
@@ -123,6 +172,7 @@ impl RepairDriver {
     /// attempt budget bounds the loop.
     pub fn drain(&mut self, cluster: &mut SimCluster) -> RepairReport {
         let mut report = RepairReport::default();
+        let throttled_before = self.throttled_ms;
         while let Some(r) = self.step(cluster) {
             match &r.outcome {
                 RepairOutcome::Rebuilt { .. } | RepairOutcome::Cloned { .. } => {
@@ -140,7 +190,13 @@ impl RepairDriver {
             }
             report.outcomes.push(r);
         }
+        report.throttled_ms = self.throttled_ms - throttled_before;
         report
+    }
+
+    /// Total simulated milliseconds this driver has idled for throttling.
+    pub fn throttled_ms(&self) -> u64 {
+        self.throttled_ms
     }
 
     /// Attempts made so far on `task` (aborted executions only; a task

@@ -21,10 +21,12 @@ use bytes::Bytes;
 use nadfs_pspin::HostNotify;
 use nadfs_rdma::{NicApp, NicCore};
 use nadfs_simnet::telemetry::phase;
-use nadfs_simnet::{Ctx, NodeId, ObsHub, SharedObs, SharedTrace, Time, Trace};
+use nadfs_simnet::{
+    Ctx, NodeId, ObsHub, SharedObs, SharedTrace, TenantId, TenantScheduler, Time, Trace,
+};
 use nadfs_wire::{
-    bcast_children, AckPkt, DfsHeader, MacKey, MsgId, ReadReqHeader, Resiliency, Rights, RpcBody,
-    Status, WriteReqHeader,
+    bcast_children, AckPkt, CreditGrant, DfsHeader, MacKey, MsgId, ReadReqHeader, Resiliency,
+    Rights, RpcBody, Status, WriteReqHeader,
 };
 
 use crate::handlers::{DfsNicState, EVT_CLEANUP, EVT_EC_FALLBACK, EVT_GATHER};
@@ -78,6 +80,9 @@ enum AfterCpu {
         len: u32,
     },
     FinishFallback,
+    /// A QoS-admitted RPC's synchronous service drained: free its
+    /// concurrency slot and admit the next scheduled request.
+    ServiceDone,
 }
 
 /// One in-progress RPC+RDMA write awaiting its data fetch.
@@ -85,6 +90,48 @@ struct PendingFetch {
     client: NodeId,
     msg: MsgId,
     greq: u64,
+}
+
+/// An RPC held back by the per-tenant scheduler.
+pub struct QueuedRpc {
+    src: NodeId,
+    msg: MsgId,
+    body: RpcBody,
+    data: Bytes,
+}
+
+/// Per-tenant weighted fair queueing of storage RPC service: incoming
+/// write/read RPCs drain in deficit-round-robin order with a bound on
+/// concurrently-serviced requests, so one tenant's burst cannot occupy
+/// the whole CPU dispatch pipeline.
+pub struct StorageQos {
+    sched: TenantScheduler<QueuedRpc>,
+    active: usize,
+    pub max_concurrency: usize,
+}
+
+impl StorageQos {
+    pub fn new(
+        quantum: u64,
+        default_weight: u32,
+        weights: &[(TenantId, u32)],
+        max_concurrency: usize,
+    ) -> StorageQos {
+        let mut sched = TenantScheduler::new(quantum, default_weight);
+        for &(t, w) in weights {
+            sched.set_weight(t, w);
+        }
+        StorageQos {
+            sched,
+            active: 0,
+            max_concurrency: max_concurrency.max(1),
+        }
+    }
+
+    /// Tenant backlog + dispatch ledgers (exported by cluster snapshots).
+    pub fn scheduler(&self) -> &TenantScheduler<QueuedRpc> {
+        &self.sched
+    }
 }
 
 /// The storage node software.
@@ -104,6 +151,9 @@ pub struct StorageApp {
     /// Both default disabled; the cluster build installs the live hubs.
     pub obs: SharedObs,
     pub trace: SharedTrace,
+    /// Per-tenant fair queueing of RPC service (None = first-come
+    /// dispatch, the pre-QoS behavior).
+    pub qos: Option<StorageQos>,
 }
 
 const TAG_BASE: u64 = 0x5347_0000_0000_0000;
@@ -120,6 +170,7 @@ impl StorageApp {
             progress: Vec::new(),
             obs: ObsHub::disabled(),
             trace: Trace::disabled(),
+            qos: None,
         }
     }
 
@@ -195,6 +246,7 @@ impl StorageApp {
         if !valid {
             self.stats.borrow_mut().auth_failures += 1;
             let ack = AckPkt {
+                credit: CreditGrant::ZERO,
                 msg,
                 greq_id: Some(dfs.greq_id),
                 status: Status::AuthFailed,
@@ -248,6 +300,7 @@ impl StorageApp {
         match &wrh.resiliency {
             Resiliency::None => {
                 let ack = AckPkt {
+                    credit: CreditGrant::ZERO,
                     msg,
                     greq_id: Some(dfs.greq_id),
                     status: Status::Ok,
@@ -265,6 +318,7 @@ impl StorageApp {
                 if done >= full_len {
                     self.progress.retain(|(g, _)| *g != dfs.greq_id);
                     let ack = AckPkt {
+                        credit: CreditGrant::ZERO,
                         msg,
                         greq_id: Some(dfs.greq_id),
                         status: Status::Ok,
@@ -320,6 +374,7 @@ impl StorageApp {
                 // CPU-side EC is not one of the paper's baselines; treat as
                 // a plain store.
                 let ack = AckPkt {
+                    credit: CreditGrant::ZERO,
                     msg,
                     greq_id: Some(dfs.greq_id),
                     status: Status::Ok,
@@ -331,8 +386,32 @@ impl StorageApp {
     }
 }
 
-impl NicApp for StorageApp {
-    fn on_rpc(
+impl StorageApp {
+    /// Admit queued RPCs up to the service-concurrency limit, in DRR
+    /// order. Each admission holds its slot until the CPU dispatch
+    /// pipeline drains past it (the deferred `ServiceDone`).
+    fn pump_qos(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>) {
+        loop {
+            let Some(q) = self.qos.as_mut() else {
+                return;
+            };
+            if q.active >= q.max_concurrency {
+                return;
+            }
+            let Some((_tenant, rpc)) = q.sched.pop() else {
+                return;
+            };
+            q.active += 1;
+            self.dispatch_rpc(nic, ctx, rpc.src, rpc.msg, rpc.body, rpc.data);
+            // The CPU frontier after dispatching is when this request's
+            // synchronous service (validate/copy/post) ends: free the
+            // slot there. Zero-cost exec reads the frontier.
+            let done = nic.cpu.exec(ctx.now(), nadfs_simnet::Dur::ZERO);
+            self.defer(nic, ctx, done, AfterCpu::ServiceDone);
+        }
+    }
+
+    fn dispatch_rpc(
         &mut self,
         nic: &mut NicCore,
         ctx: &mut Ctx<'_>,
@@ -379,6 +458,7 @@ impl NicApp for StorageApp {
                 if !valid {
                     self.stats.borrow_mut().auth_failures += 1;
                     let ack = AckPkt {
+                        credit: CreditGrant::ZERO,
                         msg,
                         greq_id: Some(dfs.greq_id),
                         status: Status::AuthFailed,
@@ -390,6 +470,7 @@ impl NicApp for StorageApp {
                 // outside a registered region is rejected, not streamed.
                 if !nic.mr_allows(rrh.addr, rrh.len as u64) {
                     let ack = AckPkt {
+                        credit: CreditGrant::ZERO,
                         msg,
                         greq_id: Some(dfs.greq_id),
                         status: Status::Rejected,
@@ -428,6 +509,44 @@ impl NicApp for StorageApp {
             RpcBody::MetaLookupResp { .. } => {}
         }
     }
+}
+
+impl NicApp for StorageApp {
+    fn on_rpc(
+        &mut self,
+        nic: &mut NicCore,
+        ctx: &mut Ctx<'_>,
+        src: NodeId,
+        msg: MsgId,
+        body: RpcBody,
+        data: Bytes,
+    ) {
+        // Write/read service goes through the per-tenant scheduler when
+        // QoS is on; metadata lookups stay out of band (they are latency
+        // critical and tiny).
+        let qos_eligible = matches!(body, RpcBody::WriteReq { .. } | RpcBody::ReadReq { .. })
+            && self.qos.is_some();
+        if !qos_eligible {
+            self.dispatch_rpc(nic, ctx, src, msg, body, data);
+            return;
+        }
+        let (tenant, cost) = match &body {
+            RpcBody::WriteReq { dfs, wrh, .. } => (dfs.tenant, wrh.len.max(1) as u64),
+            RpcBody::ReadReq { dfs, rrh } => (dfs.tenant, rrh.len.max(1) as u64),
+            _ => unreachable!("eligibility checked above"),
+        };
+        self.qos.as_mut().expect("checked").sched.push(
+            tenant,
+            cost,
+            QueuedRpc {
+                src,
+                msg,
+                body,
+                data,
+            },
+        );
+        self.pump_qos(nic, ctx);
+    }
 
     fn on_read_done(&mut self, nic: &mut NicCore, ctx: &mut Ctx<'_>, token: u64) {
         // RPC+RDMA data fetch completed: acknowledge the client.
@@ -438,6 +557,7 @@ impl NicApp for StorageApp {
         let now = ctx.now();
         let t_ack = nic.cpu.exec(now, nic.cpu.costs.post_send);
         let ack = AckPkt {
+            credit: CreditGrant::ZERO,
             msg: f.msg,
             greq_id: Some(f.greq),
             status: Status::Ok,
@@ -509,6 +629,7 @@ impl NicApp for StorageApp {
             self.defer(nic, ctx, t, AfterCpu::FinishFallback);
             // Stash ack info alongside.
             let ack = AckPkt {
+                credit: CreditGrant::ZERO,
                 msg: MsgId::new(nic.node() as u32, greq),
                 greq_id: Some(greq),
                 status: Status::Ok,
@@ -552,6 +673,12 @@ impl NicApp for StorageApp {
             }
             AfterCpu::FinishFallback => {
                 // Bookkeeping only; the paired AckClient does the talking.
+            }
+            AfterCpu::ServiceDone => {
+                if let Some(q) = self.qos.as_mut() {
+                    q.active = q.active.saturating_sub(1);
+                }
+                self.pump_qos(nic, ctx);
             }
         }
     }

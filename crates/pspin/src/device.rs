@@ -20,7 +20,7 @@ use std::rc::Rc;
 
 use nadfs_host::DmaEngine;
 use nadfs_simnet::{ComponentId, Ctx, Dur, NetPacket, NodeId, NodePort, SharedBufPool, Time};
-use nadfs_wire::{AckPkt, Frame, MsgId, Status};
+use nadfs_wire::{AckPkt, CreditGrant, Frame, MsgId, Status};
 
 use crate::config::PsPinConfig;
 use crate::handler::{ExecutionContext, HandlerArgs, HandlerKind, Op, Ops};
@@ -284,6 +284,7 @@ impl PsPinDevice {
             self.telemetry.borrow_mut().msgs_denied += 1;
             // NACK the client so it retries later.
             let nack = Frame::Ack(AckPkt {
+                credit: CreditGrant::ZERO,
                 msg,
                 greq_id: None,
                 status: Status::Busy,
@@ -752,6 +753,7 @@ impl PsPinDevice {
         self.pkt_rr += 1;
         let src = st.src;
         let frame = Frame::Ack(AckPkt {
+            credit: CreditGrant::ZERO,
             msg,
             greq_id: None,
             status: Status::Rejected,
@@ -821,6 +823,7 @@ mod tests {
             a.ops.send(
                 a.src,
                 Frame::Ack(AckPkt {
+                    credit: CreditGrant::ZERO,
                     msg: a.msg,
                     greq_id: Some(1),
                     status: Status::Ok,

@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 
 use nadfs_simnet::{Ctx, Dur, NodeId, Time};
-use nadfs_wire::{AckPkt, HlConfigPkt, MsgId, Resiliency, Status, WriteReqHeader};
+use nadfs_wire::{AckPkt, CreditGrant, HlConfigPkt, MsgId, Resiliency, Status, WriteReqHeader};
 
 use crate::nic::NicCore;
 
@@ -216,6 +216,7 @@ impl Chains {
                 };
                 if st.cfg.ack_client {
                     let ack = AckPkt {
+                        credit: CreditGrant::ZERO,
                         msg: MsgId::new(core.node() as u32, st.cfg.greq_id),
                         greq_id: Some(st.cfg.greq_id),
                         status: Status::Ok,

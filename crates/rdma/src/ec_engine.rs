@@ -21,7 +21,8 @@ use nadfs_gfec::ReedSolomon;
 use nadfs_simnet::telemetry::phase;
 use nadfs_simnet::{Bandwidth, Ctx, Dur, NodeId, Time};
 use nadfs_wire::{
-    AckPkt, DfsHeader, EcInfo, EcRole, MsgId, ReplicaCoord, Resiliency, Status, WriteReqHeader,
+    AckPkt, CreditGrant, DfsHeader, EcInfo, EcRole, MsgId, ReplicaCoord, Resiliency, Status,
+    WriteReqHeader,
 };
 
 use crate::nic::NicCore;
@@ -148,6 +149,7 @@ pub(crate) fn on_ec_write_landed(
             // first — that is the INEC model).
             let greq = dfs.map(|d| d.greq_id);
             let ack = AckPkt {
+                credit: CreditGrant::ZERO,
                 msg: MsgId::new(core.node() as u32, greq.unwrap_or(0)),
                 greq_id: greq,
                 status: Status::Ok,
@@ -310,6 +312,7 @@ impl EcEngine {
                 }
                 // Ack the client once the final parity is durable.
                 let ack = AckPkt {
+                    credit: CreditGrant::ZERO,
                     msg: MsgId::new(core.node() as u32, st.greq),
                     greq_id: Some(st.greq),
                     status: Status::Ok,
@@ -399,6 +402,7 @@ impl EcEngine {
                         ctx,
                         client,
                         AckPkt {
+                            credit: CreditGrant::ZERO,
                             msg,
                             greq_id: Some(greq),
                             status: Status::Rejected,

@@ -13,13 +13,14 @@ use nadfs_host::{Cpu, CpuCosts, DmaConfig, DmaEngine, HostMemory, SharedMemory};
 use nadfs_pspin::{HostNotify, PsPinConfig, PsPinDevice, PsPinEvent};
 use nadfs_simnet::telemetry::phase;
 use nadfs_simnet::{
-    Arrive, BufPool, Component, ComponentId, Ctx, Dur, GateWake, NetPacket, NodeId, NodePort,
-    ObsHub, SharedBufPool, SharedObs, SharedTrace, Time, Trace,
+    Arrive, BufPool, Component, ComponentId, CreditConfig, Ctx, Dur, FlowController, GateWake,
+    NetPacket, NodeId, NodePort, ObsHub, SharedBufPool, SharedFlowStats, SharedObs, SharedTrace,
+    TenantId, TenantScheduler, Time, Trace, WrClass,
 };
 use nadfs_wire::{
-    split_payload, write_payload_caps, AckPkt, DfsHeader, Frame, GatherReadHeader, GatherReqPkt,
-    HlConfigPkt, MacKey, MsgId, ReadReqHeader, ReadReqPkt, ReadRespPkt, Rights, RpcBody, SendPkt,
-    Status, WritePkt, WriteReqHeader,
+    split_payload, write_payload_caps, AckPkt, CreditGrant, DfsHeader, Frame, GatherReadHeader,
+    GatherReqPkt, HlConfigPkt, MacKey, MsgId, ReadReqHeader, ReadReqPkt, ReadRespPkt, Rights,
+    RpcBody, SendPkt, Status, WritePkt, WriteReqHeader,
 };
 
 use crate::app::NicApp;
@@ -176,6 +177,56 @@ pub struct NicStats {
 
 pub type SharedNicStats = Rc<RefCell<NicStats>>;
 
+/// Message id reserved for standalone credit-return acks: pure flow-control
+/// frames carrying a [`CreditGrant`] and no app-visible completion. The
+/// receiving NIC applies the grant and swallows the frame before `on_ack`.
+pub const CREDIT_MSG: MsgId = MsgId {
+    node: u32::MAX,
+    seq: u64::MAX,
+};
+
+/// A DFS read waiting for a response-stream slot.
+pub struct QueuedRead {
+    dst: NodeId,
+    msg: MsgId,
+    addr: u64,
+    len: u32,
+}
+
+/// Per-tenant weighted fair queueing of DFS read streams at a storage NIC:
+/// at most `max_streams` response flows run concurrently; the backlog is
+/// drained in deficit-round-robin order weighted by tenant.
+pub struct ReadQos {
+    sched: TenantScheduler<QueuedRead>,
+    /// Response streams currently running that were admitted through the
+    /// scheduler (transport-level reads bypass and are not tracked).
+    streams: std::collections::HashSet<MsgId>,
+    pub max_streams: usize,
+    /// Reentrancy guard: short streams complete inside `respond_read`,
+    /// which would otherwise recurse back into the admission pump.
+    pumping: bool,
+}
+
+impl ReadQos {
+    pub fn new(sched: TenantScheduler<QueuedRead>, max_streams: usize) -> ReadQos {
+        ReadQos {
+            sched,
+            streams: std::collections::HashSet::new(),
+            max_streams: max_streams.max(1),
+            pumping: false,
+        }
+    }
+
+    /// Tenant backlog + dispatch ledgers (exported by cluster snapshots).
+    pub fn scheduler(&self) -> &TenantScheduler<QueuedRead> {
+        &self.sched
+    }
+
+    pub fn scheduler_mut(&mut self) -> &mut TenantScheduler<QueuedRead> {
+        &mut self.sched
+    }
+}
+
 /// The hardware/firmware half of a node, exposed to the app.
 pub struct NicCore {
     pub cfg: NicConfig,
@@ -191,7 +242,19 @@ pub struct NicCore {
     /// write payloads retire here and the EC engine / handlers draw
     /// intermediate-parity and accumulator buffers from it.
     pub(crate) pool: SharedBufPool,
-    out_q: VecDeque<(NodeId, Frame)>,
+    out_q: VecDeque<(NodeId, Frame, Option<WrClass>)>,
+    /// Credit-based WR flow control (SF-Zhou discipline): bounded per-class
+    /// send budgets per peer, recv-credit returns piggybacked on acks.
+    pub flow: FlowController,
+    /// WRs waiting for credit, per peer per WR class (FIFO within class).
+    pending_wrs: HashMap<NodeId, [VecDeque<Vec<Frame>>; 4]>,
+    /// In-flight Read-class WRs: request msg → peer. Read credits return
+    /// at response completion (or cancellation), not at egress.
+    credited_reads: HashMap<MsgId, NodeId>,
+    /// Optional per-tenant fair queueing of DFS read streams (the
+    /// storage-side QoS stage): admitted streams are bounded and the
+    /// backlog drains in deficit-round-robin order.
+    pub read_qos: Option<ReadQos>,
     next_seq: u64,
     raw_writes: HashMap<MsgId, RawWriteState>,
     sends: HashMap<MsgId, SendState>,
@@ -277,6 +340,34 @@ impl NicCore {
         self.stats.clone()
     }
 
+    /// Shared handle to this NIC's flow-control counters (same lifetime
+    /// contract as [`Self::nic_stats`]).
+    pub fn flow_stats(&self) -> SharedFlowStats {
+        self.flow.stats_handle()
+    }
+
+    /// Replace the credit configuration (cluster build time, before any
+    /// traffic: per-peer credit state re-initialises from the new budgets).
+    pub fn set_credit_config(&mut self, cfg: CreditConfig) {
+        self.flow = FlowController::new(cfg);
+    }
+
+    /// Install per-tenant fair queueing of DFS read streams on this NIC
+    /// (storage nodes; cluster build time).
+    pub fn install_read_qos(
+        &mut self,
+        quantum: u64,
+        default_weight: u32,
+        weights: &[(TenantId, u32)],
+        max_streams: usize,
+    ) {
+        let mut sched = TenantScheduler::new(quantum, default_weight);
+        for &(t, w) in weights {
+            sched.set_weight(t, w);
+        }
+        self.read_qos = Some(ReadQos::new(sched, max_streams));
+    }
+
     /// Install PsPIN with an execution context on this NIC. The device
     /// shares the NIC's buffer pool, so handler DMA-write payloads recycle
     /// into the same ring the handlers allocate from.
@@ -314,16 +405,103 @@ impl NicCore {
         m
     }
 
-    /// Queue frames for transmission (egress flow control applies).
+    /// Queue frames for transmission, bypassing WR credit accounting
+    /// (egress link flow control still applies). Responder-side traffic —
+    /// acks, read-response streams, gather flows — goes through here: it
+    /// is modelled as hardware-generated, like AETH acks, and must never
+    /// block on requester credit or the credit cycle would deadlock.
     pub fn send_frames(&mut self, ctx: &mut Ctx<'_>, dst: NodeId, frames: Vec<Frame>) {
         for f in frames {
-            self.out_q.push_back((dst, f));
+            self.out_q.push_back((dst, f, None));
         }
         self.pump(ctx);
     }
 
+    /// Post one work request (a message's frames) under the credit
+    /// discipline: if local (and, for two-sided classes, remote) credit is
+    /// available the frames enter the egress queue now; otherwise the WR
+    /// parks in the per-peer pending queue and is released when credit
+    /// returns. Read-class WRs additionally register in `credited_reads`
+    /// so their local credit returns at response completion.
+    fn post_wr(&mut self, ctx: &mut Ctx<'_>, dst: NodeId, frames: Vec<Frame>, class: WrClass) {
+        if self.flow.try_acquire(dst, class) {
+            self.enqueue_wr(dst, frames, class);
+            self.pump(ctx);
+        } else {
+            self.flow.note_queued();
+            self.pending_wrs.entry(dst).or_default()[class.index()].push_back(frames);
+        }
+    }
+
+    /// Move an acquired WR's frames into the egress queue. Egress-completed
+    /// classes (Data/Imm/Write) carry a marker on their last frame: the
+    /// local credit returns when that frame leaves the NIC. Read-class
+    /// completion is the response, tracked via `credited_reads`.
+    fn enqueue_wr(&mut self, dst: NodeId, frames: Vec<Frame>, class: WrClass) {
+        if class == WrClass::Read {
+            match frames.first() {
+                Some(Frame::ReadReq(r)) => {
+                    self.credited_reads.insert(r.msg, dst);
+                }
+                Some(Frame::GatherReq(g)) => {
+                    self.credited_reads.insert(g.msg, dst);
+                }
+                _ => {}
+            }
+        }
+        let last = frames.len().saturating_sub(1);
+        for (i, f) in frames.into_iter().enumerate() {
+            let marker = if i == last && class != WrClass::Read {
+                Some(class)
+            } else {
+                None
+            };
+            self.out_q.push_back((dst, f, marker));
+        }
+    }
+
+    /// Release pending WRs that now have credit, appending their frames to
+    /// the egress queue (the caller pumps). FIFO within each peer/class.
+    fn release_pending(&mut self) {
+        let peers: Vec<NodeId> = self
+            .pending_wrs
+            .iter()
+            .filter(|(_, q)| q.iter().any(|c| !c.is_empty()))
+            .map(|(&p, _)| p)
+            .collect();
+        for peer in peers {
+            for class in WrClass::ALL {
+                loop {
+                    let queue = &self.pending_wrs.get(&peer).expect("listed")[class.index()];
+                    if queue.is_empty() || !self.flow.can_post(peer, class) {
+                        break;
+                    }
+                    assert!(
+                        self.flow.try_acquire(peer, class),
+                        "can_post implies acquire"
+                    );
+                    let frames = self.pending_wrs.get_mut(&peer).expect("listed")[class.index()]
+                        .pop_front()
+                        .expect("nonempty");
+                    self.flow.note_released();
+                    self.enqueue_wr(peer, frames, class);
+                }
+            }
+        }
+    }
+
+    /// Return the local Read credit held by request `msg` (no-op for
+    /// uncredited reads, e.g. gather NIC-to-NIC fetches).
+    fn return_read_credit(&mut self, ctx: &mut Ctx<'_>, msg: MsgId) {
+        if let Some(peer) = self.credited_reads.remove(&msg) {
+            self.flow.on_local_complete(peer, WrClass::Read);
+            self.release_pending();
+            self.pump(ctx);
+        }
+    }
+
     fn pump(&mut self, ctx: &mut Ctx<'_>) {
-        while let Some((dst, _)) = self.out_q.front() {
+        while let Some((dst, _, _)) = self.out_q.front() {
             let dst = *dst;
             let granted = self.port.egress_gate.borrow_mut().try_take();
             if !granted {
@@ -331,7 +509,7 @@ impl NicCore {
                 self.port.egress_gate.borrow_mut().register_waiter(id, 0);
                 return;
             }
-            let (_, frame) = self.out_q.pop_front().expect("nonempty");
+            let (_, frame, marker) = self.out_q.pop_front().expect("nonempty");
             self.frames_sent += 1;
             let pkt = NetPacket::new(self.port.node, dst, frame);
             ctx.schedule(
@@ -339,6 +517,13 @@ impl NicCore {
                 self.port.fabric,
                 Box::new(nadfs_simnet::Submit { pkt }),
             );
+            if let Some(class) = marker {
+                // The WR's last frame left the NIC: its send-queue slot
+                // frees, which may release queued WRs into the egress
+                // queue (the loop keeps draining them).
+                self.flow.on_local_complete(dst, class);
+                self.release_pending();
+            }
         }
     }
 
@@ -347,11 +532,20 @@ impl NicCore {
         self.out_q.len()
     }
 
+    /// WRs parked waiting for credit (diagnostic).
+    pub fn pending_wr_backlog(&self) -> usize {
+        self.pending_wrs
+            .values()
+            .map(|q| q.iter().map(|c| c.len()).sum::<usize>())
+            .sum()
+    }
+
     /// Queue frames with per-frame destinations (used by the TriEC client
-    /// to interleave the packets of k chunk writes, §VI-B-1).
+    /// to interleave the packets of k chunk writes, §VI-B-1). The
+    /// interleave is already shaped by the caller; it bypasses WR credit.
     pub fn send_mixed(&mut self, ctx: &mut Ctx<'_>, frames: Vec<(NodeId, Frame)>) {
         for (dst, f) in frames {
-            self.out_q.push_back((dst, f));
+            self.out_q.push_back((dst, f, None));
         }
         self.pump(ctx);
     }
@@ -398,7 +592,7 @@ impl NicCore {
         data: Bytes,
     ) -> MsgId {
         let (msg, frames) = self.build_write_frames(dfs, wrh, data);
-        self.send_frames(ctx, dst, frames);
+        self.post_wr(ctx, dst, frames, WrClass::Write);
         msg
     }
 
@@ -434,7 +628,7 @@ impl NicCore {
                 })
             })
             .collect();
-        self.send_frames(ctx, dst, frames);
+        self.post_wr(ctx, dst, frames, WrClass::Data);
         msg
     }
 
@@ -451,7 +645,15 @@ impl NicCore {
     ) -> MsgId {
         let msg = self.alloc_msg();
         self.expect_read_resp(msg, local_addr, token);
-        self.send_frames(ctx, dst, vec![Frame::ReadReq(ReadReqPkt { msg, dfs, rrh })]);
+        let frames = vec![Frame::ReadReq(ReadReqPkt { msg, dfs, rrh })];
+        // Gather coordinators fetch remote segments NIC-to-NIC on the
+        // response path; those fetches must not contend with requester
+        // WR budgets (a full read queue would wedge the gather mid-flow).
+        if token & GATHER_FETCH_TAG_MASK == GATHER_FETCH_BASE {
+            self.send_frames(ctx, dst, frames);
+        } else {
+            self.post_wr(ctx, dst, frames, WrClass::Read);
+        }
         msg
     }
 
@@ -470,10 +672,11 @@ impl NicCore {
     ) -> MsgId {
         let msg = self.alloc_msg();
         self.expect_read_resp(msg, local_addr, token);
-        self.send_frames(
+        self.post_wr(
             ctx,
             dst,
             vec![Frame::GatherReq(GatherReqPkt { msg, dfs, grh })],
+            WrClass::Read,
         );
         msg
     }
@@ -496,9 +699,15 @@ impl NicCore {
     }
 
     /// Forget an armed read (e.g. after its request was NACKed): no
-    /// response packets will land and no completion will fire.
+    /// response packets will land and no completion will fire. Any Read
+    /// credit the request held returns to the pool. (No `ctx` here — the
+    /// released credit admits queued WRs at the next pump.)
     pub fn cancel_read(&mut self, msg: MsgId) {
         self.pending_reads.remove(&msg);
+        if let Some(peer) = self.credited_reads.remove(&msg) {
+            self.flow.on_local_complete(peer, WrClass::Read);
+            self.release_pending();
+        }
     }
 
     /// Stream `len` bytes at `addr` back to `dst` as read-response packets
@@ -530,8 +739,32 @@ impl NicCore {
         self.stream_read(ctx, msg);
     }
 
-    pub fn send_ack(&mut self, ctx: &mut Ctx<'_>, dst: NodeId, ack: AckPkt) {
+    /// Send a protocol ack, piggybacking any pending recv-credit return
+    /// for `dst` on it (the SF-Zhou trick: grants ride completion traffic
+    /// that flows anyway, in the AETH bytes already charged by the frame).
+    pub fn send_ack(&mut self, ctx: &mut Ctx<'_>, dst: NodeId, mut ack: AckPkt) {
+        ack.credit = self.flow.take_grant(dst, false);
         self.send_frames(ctx, dst, vec![Frame::Ack(ack)]);
+    }
+
+    /// Flush a standalone credit ack to `peer` if returns are pending —
+    /// fired when the pending return crosses the half-budget threshold and
+    /// no protocol ack is imminent to carry it.
+    fn send_credit_ack(&mut self, ctx: &mut Ctx<'_>, peer: NodeId) {
+        let grant = self.flow.take_grant(peer, true);
+        if grant.is_zero() {
+            return;
+        }
+        self.send_frames(
+            ctx,
+            peer,
+            vec![Frame::Ack(AckPkt {
+                credit: grant,
+                msg: CREDIT_MSG,
+                greq_id: None,
+                status: Status::Ok,
+            })],
+        );
     }
 
     /// Configure a HyperLoop forwarding chain on a remote NIC. Large
@@ -553,7 +786,7 @@ impl NicCore {
                 Frame::HlConfig(f)
             })
             .collect();
-        self.send_frames(ctx, dst, frames);
+        self.post_wr(ctx, dst, frames, WrClass::Write);
         msg
     }
 
@@ -574,6 +807,7 @@ impl NicCore {
             let wrh = w.wrh.clone().expect("first packet carries WRH");
             if !self.mr_ok(wrh.target_addr, wrh.len as u64) {
                 let nack = AckPkt {
+                    credit: CreditGrant::ZERO,
                     msg: w.msg,
                     greq_id: w.dfs.map(|d| d.greq_id),
                     status: Status::Rejected,
@@ -645,6 +879,7 @@ impl NicCore {
     fn on_read_req(&mut self, ctx: &mut Ctx<'_>, src: NodeId, r: ReadReqPkt) {
         if !self.mr_ok(r.rrh.addr, r.rrh.len as u64) {
             let nack = AckPkt {
+                credit: CreditGrant::ZERO,
                 msg: r.msg,
                 greq_id: r.dfs.map(|d| d.greq_id),
                 status: Status::Rejected,
@@ -665,6 +900,7 @@ impl NicCore {
             {
                 self.read_auth_failures += 1;
                 let nack = AckPkt {
+                    credit: CreditGrant::ZERO,
                     msg: r.msg,
                     greq_id: Some(dfs.greq_id),
                     status: Status::AuthFailed,
@@ -684,7 +920,59 @@ impl NicCore {
                     format!("read-validate greq={} len={}", dfs.greq_id, r.rrh.len)
                 });
         }
-        self.respond_read(ctx, src, r.msg, r.rrh.addr, r.rrh.len);
+        // DFS reads pass through the per-tenant scheduler when QoS is on;
+        // transport-level reads (e.g. gather segment fetches) bypass it —
+        // they are part of an already-admitted flow and queueing them
+        // behind tenant backlog would invert the dependency.
+        if self.read_qos.is_some() && r.dfs.is_some() {
+            let tenant = r.dfs.as_ref().map_or(0, |d| d.tenant);
+            let q = self.read_qos.as_mut().expect("checked");
+            q.sched.push(
+                tenant,
+                r.rrh.len.max(1) as u64,
+                QueuedRead {
+                    dst: src,
+                    msg: r.msg,
+                    addr: r.rrh.addr,
+                    len: r.rrh.len,
+                },
+            );
+            self.pump_read_qos(ctx);
+        } else {
+            self.respond_read(ctx, src, r.msg, r.rrh.addr, r.rrh.len);
+        }
+    }
+
+    /// Admit queued DFS reads up to the stream limit, in DRR order.
+    fn pump_read_qos(&mut self, ctx: &mut Ctx<'_>) {
+        match self.read_qos.as_mut() {
+            Some(q) if !q.pumping => q.pumping = true,
+            _ => return, // no QoS, or an outer pump is already draining
+        }
+        loop {
+            let q = self.read_qos.as_mut().expect("guarded");
+            if q.streams.len() >= q.max_streams {
+                break;
+            }
+            let Some((_tenant, rd)) = q.sched.pop() else {
+                break;
+            };
+            q.streams.insert(rd.msg);
+            self.respond_read(ctx, rd.dst, rd.msg, rd.addr, rd.len);
+        }
+        self.read_qos.as_mut().expect("guarded").pumping = false;
+    }
+
+    /// A response stream finished; if it held a QoS stream slot, free it
+    /// and admit the next queued read.
+    fn read_qos_stream_done(&mut self, ctx: &mut Ctx<'_>, msg: MsgId) {
+        let freed = self
+            .read_qos
+            .as_mut()
+            .is_some_and(|q| q.streams.remove(&msg));
+        if freed {
+            self.pump_read_qos(ctx);
+        }
     }
 
     /// Gather read arriving on a NIC without PsPIN: the firmware validates
@@ -702,6 +990,7 @@ impl NicCore {
                 self.read_auth_failures += 1;
                 self.stats.borrow_mut().gather_auth_failures += 1;
                 let nack = AckPkt {
+                    credit: CreditGrant::ZERO,
                     msg: g.msg,
                     greq_id: Some(g.dfs.greq_id),
                     status: Status::AuthFailed,
@@ -747,6 +1036,7 @@ impl NicCore {
         for s in &grh.segments {
             if s.coord.node == me && !self.mr_ok(s.coord.addr, s.len as u64) {
                 let nack = AckPkt {
+                    credit: CreditGrant::ZERO,
                     msg,
                     greq_id: Some(greq),
                     status: Status::Rejected,
@@ -1042,6 +1332,11 @@ impl NicCore {
             }
         }
         ctx.schedule_self(ready.since(now), Box::new(DeferredSend { dst, frames }));
+        if !self.responders.contains_key(&msg) {
+            // Last batch queued: the stream's QoS slot (if any) frees and
+            // the next tenant-scheduled read can start.
+            self.read_qos_stream_done(ctx, msg);
+        }
     }
 
     fn on_read_resp(&mut self, ctx: &mut Ctx<'_>, r: ReadRespPkt) {
@@ -1056,6 +1351,9 @@ impl NicCore {
         if p.pkts_seen == r.total_pkts {
             let p = self.pending_reads.remove(&r.msg).expect("present");
             ctx.schedule_at(p.flush, self.self_id, Box::new(ReadDone { token: p.token }));
+            // The read WR completed (response fully landed): its read-queue
+            // slot frees now, possibly releasing queued reads.
+            self.return_read_credit(ctx, r.msg);
         }
     }
 }
@@ -1089,6 +1387,10 @@ impl Nic {
                 // can be large); bounds pool memory like a real RX ring.
                 pool: BufPool::shared(256),
                 out_q: VecDeque::new(),
+                flow: FlowController::new(CreditConfig::default()),
+                pending_wrs: HashMap::new(),
+                credited_reads: HashMap::new(),
+                read_qos: None,
                 next_seq: 0,
                 raw_writes: HashMap::new(),
                 sends: HashMap::new(),
@@ -1195,6 +1497,11 @@ impl Component for Nic {
                         };
                         core.release_ingress(ctx);
                         if complete {
+                            // One SEND message absorbed = one recv WR
+                            // consumed and reposted: a credit return for
+                            // `src` is now pending (piggybacks on the next
+                            // ack, or flushes standalone at threshold).
+                            let flush = core.flow.on_recv(src, WrClass::Data);
                             let st = core.sends.remove(&s.msg).expect("send state");
                             let data = Bytes::from(st.data);
                             app.on_rpc(core, ctx, st.src, s.msg, st.body, data.clone());
@@ -1203,11 +1510,23 @@ impl Component for Nic {
                             if let Ok(v) = data.try_unwrap() {
                                 core.pool.borrow_mut().put(v);
                             }
+                            if flush {
+                                // After on_rpc so a synchronous protocol
+                                // ack gets first chance to carry the grant.
+                                core.send_credit_ack(ctx, src);
+                            }
                         }
                     }
                     Frame::Ack(ackp) => {
                         core.release_ingress(ctx);
-                        app.on_ack(core, ctx, src, ackp);
+                        // Every ack may carry a recv-credit grant; apply it
+                        // before the app runs so WRs freed by it release.
+                        core.flow.on_grant(src, ackp.credit);
+                        core.release_pending();
+                        if ackp.msg != CREDIT_MSG {
+                            app.on_ack(core, ctx, src, ackp);
+                        }
+                        core.pump(ctx);
                     }
                     Frame::HlConfig(cfgp) => {
                         let msg = cfgp.msg;
@@ -1223,6 +1542,7 @@ impl Component for Nic {
                                 ctx,
                                 src,
                                 AckPkt {
+                                    credit: CreditGrant::ZERO,
                                     msg,
                                     greq_id: None,
                                     status: Status::Ok,
@@ -1257,6 +1577,7 @@ impl Component for Nic {
             Ok(a) => {
                 core.writes_acked += 1;
                 let ack = AckPkt {
+                    credit: CreditGrant::ZERO,
                     msg: a.msg,
                     greq_id: a.greq_id,
                     status: Status::Ok,
@@ -1331,6 +1652,9 @@ impl Component for Nic {
         let ev = match ev.downcast::<AppTimer>() {
             Ok(t) => {
                 app.on_timer(core, ctx, t.tag);
+                // Timer handlers may cancel reads (returning credit) —
+                // drain anything the freed credit admitted.
+                core.pump(ctx);
                 return;
             }
             Err(e) => e,

@@ -123,6 +123,7 @@ fn pattern(len: usize, seed: u8) -> Vec<u8> {
 
 fn dfs_header(greq: u64, client: u32) -> DfsHeader {
     DfsHeader {
+        tenant: 0,
         greq_id: greq,
         op: DfsOp::Write,
         client,

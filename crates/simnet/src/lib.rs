@@ -13,6 +13,7 @@
 
 pub mod engine;
 pub mod fabric;
+pub mod flow;
 pub mod gate;
 pub mod packet;
 pub mod pool;
@@ -23,6 +24,10 @@ pub mod trace;
 
 pub use engine::{Component, ComponentId, ComponentProfile, Ctx, Engine};
 pub use fabric::{Fabric, FabricConfig, FabricStats, NodePort, Submit};
+pub use flow::{
+    CreditConfig, CreditGrant, FlowController, FlowStats, SharedFlowStats, SharedTenantLedgers,
+    TenantId, TenantLedger, TenantScheduler, WrClass, TENANT_REPAIR,
+};
 pub use gate::{Gate, GateWake, SharedGate};
 pub use packet::{Arrive, NetPacket, NodeId, Payload};
 pub use pool::{BufPool, PoolStats, SharedBufPool};

@@ -57,7 +57,9 @@ pub fn encode_dfs_header(h: &DfsHeader, out: &mut BytesMut) {
         DfsOp::Write => 0,
         DfsOp::Read => 1,
     });
-    out.put_u32_le(h.client);
+    // The tenant id rides the upper half of the client word: node ids fit
+    // 16 bits, so the packing keeps the header at its Fig-3 wire size.
+    out.put_u32_le((h.tenant as u32) << 16 | (h.client & 0xFFFF));
     encode_capability(&h.capability, out);
 }
 
@@ -69,12 +71,13 @@ pub fn decode_dfs_header(buf: &mut Bytes) -> Result<DfsHeader> {
         1 => DfsOp::Read,
         t => return Err(CodecError::BadTag(t)),
     };
-    let client = buf.get_u32_le();
+    let word = buf.get_u32_le();
     let capability = decode_capability(buf)?;
     Ok(DfsHeader {
         greq_id,
         op,
-        client,
+        client: word & 0xFFFF,
+        tenant: (word >> 16) as u16,
         capability,
     })
 }
@@ -247,6 +250,7 @@ mod tests {
     #[test]
     fn dfs_header_roundtrip_and_size() {
         let h = DfsHeader {
+            tenant: 0,
             greq_id: 0xAABB,
             op: DfsOp::Read,
             client: 3,
@@ -330,6 +334,7 @@ mod tests {
     #[test]
     fn truncated_input_is_an_error_not_a_panic() {
         let h = DfsHeader {
+            tenant: 0,
             greq_id: 1,
             op: DfsOp::Write,
             client: 1,

@@ -7,6 +7,7 @@
 //! transport header plus data.
 
 use bytes::Bytes;
+use nadfs_simnet::CreditGrant;
 
 use crate::headers::{DfsHeader, GatherReadHeader, ReadReqHeader, ReplicaCoord, WriteReqHeader};
 use crate::sizes;
@@ -168,6 +169,11 @@ pub struct AckPkt {
     /// DFS-level request id when the ack closes a DFS request.
     pub greq_id: Option<u64>,
     pub status: Status,
+    /// Piggybacked recv-credit return to the ack's destination (two u16
+    /// counts riding the AETH reserved/MSN bytes already charged in
+    /// [`sizes::ACK_FRAME`]). Stamped by the sending NIC's credit layer;
+    /// construction sites leave it zero.
+    pub credit: CreditGrant,
 }
 
 /// HyperLoop configuration: the client remotely writes pre-posted WQE
@@ -319,6 +325,7 @@ mod tests {
 
     fn dfs_header() -> DfsHeader {
         DfsHeader {
+            tenant: 0,
             greq_id: 1,
             op: DfsOp::Write,
             client: 2,
@@ -437,6 +444,7 @@ mod tests {
     #[test]
     fn ack_is_fixed_size() {
         let a = Frame::Ack(AckPkt {
+            credit: CreditGrant::ZERO,
             msg: MsgId::new(1, 2),
             greq_id: Some(7),
             status: Status::Ok,

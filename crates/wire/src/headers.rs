@@ -20,6 +20,11 @@ pub struct DfsHeader {
     pub greq_id: u64,
     pub op: DfsOp,
     pub client: u32,
+    /// QoS scheduling principal this request is billed to. Packs into the
+    /// upper 16 bits of the on-wire client field (node ids are small), so
+    /// the wire size is unchanged. By default a client's own node id;
+    /// background services use reserved ids (e.g. repair).
+    pub tenant: u16,
     pub capability: Capability,
 }
 

@@ -23,4 +23,5 @@ pub use headers::{
     GatherReadHeader, GatherReconstruct, GatherSegment, ReadReqHeader, ReplicaCoord, Resiliency,
     RsScheme, WriteReqHeader, MAX_GATHER_SEGS,
 };
+pub use nadfs_simnet::CreditGrant;
 pub use siphash::{payload_checksum, siphash24, siphash24_words, MacKey};

@@ -41,11 +41,14 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn dfs_header_codec_roundtrip(cap in arb_capability(), greq in any::<u64>(), client in any::<u32>(), is_read in any::<bool>()) {
+    fn dfs_header_codec_roundtrip(cap in arb_capability(), greq in any::<u64>(), client in any::<u16>(), tenant in any::<u16>(), is_read in any::<bool>()) {
+        // The client field carries the tenant id in its upper 16 bits on
+        // the wire, so node ids round-trip through the lower half only.
         let h = DfsHeader {
             greq_id: greq,
             op: if is_read { DfsOp::Read } else { DfsOp::Write },
-            client,
+            client: client as u32,
+            tenant,
             capability: cap,
         };
         let mut b = BytesMut::new();
