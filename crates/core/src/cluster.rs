@@ -179,6 +179,10 @@ pub struct SimCluster {
     /// Flow-control counters for every NIC (clients then storage, in
     /// fabric-node order).
     pub flow_stats: Vec<SharedFlowStats>,
+    /// Buffer-pool handles for every NIC (clients then storage, in
+    /// fabric-node order) — long-horizon harnesses audit these for
+    /// leak/boundedness at checkpoints.
+    pub buf_pools: Vec<nadfs_simnet::SharedBufPool>,
     /// Per-tenant service ledgers of every QoS scheduling point (storage
     /// read streams + storage RPC service); empty when QoS is off.
     pub tenant_ledgers: Vec<SharedTenantLedgers>,
@@ -248,6 +252,7 @@ impl SimCluster {
         let mut client_read_stats = Vec::new();
         let mut client_tenants = Vec::new();
         let mut flow_stats = Vec::new();
+        let mut buf_pools = Vec::new();
         for (&comp, port) in client_components.iter().zip(client_ports) {
             let plan: SharedPlan = Rc::new(RefCell::new(VecDeque::new()));
             plans.push(plan.clone());
@@ -264,6 +269,7 @@ impl SimCluster {
             let mut nic = Nic::new(spec.cost.nic.clone(), port, comp, Box::new(app));
             nic.core.set_credit_config(spec.qos.credit);
             flow_stats.push(nic.core.flow_stats());
+            buf_pools.push(nic.core.buf_pool());
             engine.install(comp, Box::new(nic));
         }
 
@@ -305,6 +311,7 @@ impl SimCluster {
                 tenant_ledgers.push(qos.scheduler().ledgers_handle());
             }
             flow_stats.push(nic.core.flow_stats());
+            buf_pools.push(nic.core.buf_pool());
             // NIC-side read validation: every storage NIC authenticates
             // DFS-level read requests against the service key before a
             // byte leaves the node (one-sided reads never touch the CPU).
@@ -365,6 +372,7 @@ impl SimCluster {
             client_read_stats,
             nic_stats,
             flow_stats,
+            buf_pools,
             tenant_ledgers,
             client_tenants,
             pspin_telemetry,
@@ -408,6 +416,16 @@ impl SimCluster {
             m.counter_set(
                 &format!("{pre}.repair_chunks_hosted"),
                 s.repair_chunks_hosted,
+            );
+            m.gauge_set(&format!("{pre}.chunks_hosted"), s.chunks_hosted as f64);
+            m.gauge_set(&format!("{pre}.bytes_hosted"), s.bytes_hosted as f64);
+            m.counter_set(
+                &format!("{pre}.stale_chunks_reclaimed"),
+                s.stale_chunks_reclaimed,
+            );
+            m.counter_set(
+                &format!("{pre}.stale_bytes_reclaimed"),
+                s.stale_bytes_reclaimed,
             );
         }
         for (i, c) in self.client_caches.iter().enumerate() {
@@ -485,6 +503,8 @@ impl SimCluster {
             m.counter_set("repair.committed", r.committed);
             m.counter_set("repair.requeued", r.requeued);
             m.counter_set("repair.shards_rehomed", r.shards_rehomed);
+            m.counter_set("repair.dropped_on_recovery", r.dropped_on_recovery);
+            m.counter_set("repair.shards_readopted", r.shards_readopted);
         }
         {
             // Credit-layer counters, aggregated across every NIC: the

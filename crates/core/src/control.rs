@@ -136,6 +136,14 @@ pub struct RepairStats {
     pub requeued: u64,
     /// Shards re-homed by committed repairs.
     pub shards_rehomed: u64,
+    /// Tasks dropped by node-recovery reconciliation: their extent no
+    /// longer references any failed node, so repairing them would be a
+    /// no-op walk of the queue.
+    pub dropped_on_recovery: u64,
+    /// Shards re-adopted at recovery: still current in the extent map
+    /// (never re-homed during the outage), so the recovered node's copy
+    /// is live data again, not garbage.
+    pub shards_readopted: u64,
 }
 
 /// The prioritized repair queue: FIFO for failure-scan enqueues, with
@@ -197,6 +205,17 @@ impl RepairQueue {
     pub fn is_empty(&self) -> bool {
         self.q.is_empty()
     }
+
+    /// Drop every queued task `keep` rejects (preserving order for the
+    /// rest), rebuild the dedup set, and return how many were dropped.
+    /// Recovery reconciliation uses this to purge tasks made obsolete by
+    /// a node coming back.
+    pub fn retain_tasks(&mut self, mut keep: impl FnMut(&RepairTask) -> bool) -> u64 {
+        let before = self.q.len();
+        self.q.retain(|t| keep(t));
+        self.queued = self.q.iter().copied().collect();
+        (before - self.q.len()) as u64
+    }
 }
 
 /// How one popped [`RepairTask`] gets executed on the data path.
@@ -236,6 +255,13 @@ impl RepairPlan {
     }
 }
 
+/// Chunk/byte tally of stale copies awaiting reclamation on one node.
+#[derive(Clone, Copy, Debug, Default)]
+struct NodeLedger {
+    chunks: u64,
+    bytes: u64,
+}
+
 /// The control plane: management (authentication) + metadata (namespace,
 /// layout, placement) services.
 pub struct ControlPlane {
@@ -260,6 +286,12 @@ pub struct ControlPlane {
     extents: HashMap<u64, ExtentMap>,
     /// Storage nodes currently marked failed (degraded-read routing).
     failed_nodes: HashSet<u32>,
+    /// Stale physical copies stranded on failed nodes: shards whose
+    /// extents were re-homed (or whose file was unlinked) during the
+    /// outage. The live hosted gauges are decremented at re-home/unlink
+    /// time; this ledger remembers the dead bytes still physically
+    /// occupying the node so recovery reconciliation can reclaim them.
+    orphaned: HashMap<u32, NodeLedger>,
     /// Extents awaiting background re-protection.
     pub repair_queue: RepairQueue,
     /// Rotates spare-node selection so repair placements spread.
@@ -293,6 +325,7 @@ impl ControlPlane {
             read_caches: Vec::new(),
             extents: HashMap::new(),
             failed_nodes: HashSet::new(),
+            orphaned: HashMap::new(),
             repair_queue: RepairQueue::default(),
             next_spare: 0,
             storage_stats: Vec::new(),
@@ -470,7 +503,11 @@ impl ControlPlane {
             // A POSIX replace deletes the target inode: drop its
             // placement state too, exactly like an unlink.
             self.files.remove(&replaced);
-            self.extents.remove(&replaced);
+            if let Some(map) = self.extents.remove(&replaced) {
+                for rec in map.records() {
+                    self.unhost_record(rec);
+                }
+            }
             self.meta.note_extents_gone(replaced);
         }
         self.publish_invalidations();
@@ -482,7 +519,11 @@ impl ControlPlane {
     pub fn unlink(&mut self, path: &str, now_ns: u64) -> Result<InodeAttr, MetaError> {
         let attr = self.meta.unlink(path, now_ns)?;
         self.files.remove(&attr.ino);
-        self.extents.remove(&attr.ino);
+        if let Some(map) = self.extents.remove(&attr.ino) {
+            for rec in map.records() {
+                self.unhost_record(rec);
+            }
+        }
         self.meta.note_extents_gone(attr.ino);
         self.publish_invalidations();
         Ok(attr)
@@ -751,6 +792,18 @@ impl ControlPlane {
             growth = new_size - f.size;
             f.size = new_size;
         }
+        // The committed shards are live on their nodes now: charge the
+        // hosted-capacity gauges per coordinate.
+        {
+            let map = &self.extents[&file];
+            for rec in first_new..map.len() {
+                let r = &map.records()[rec];
+                let bytes = r.shard_len() as u64;
+                for (_, coord) in r.shard_coords() {
+                    self.hosted_add(coord.node, bytes);
+                }
+            }
+        }
         // A write that raced a failure commits an extent referencing an
         // already-failed node (the placement predates `mark_node_failed`,
         // whose scan could not see this record): queue it now, or the
@@ -781,15 +834,66 @@ impl ControlPlane {
         if !self.failed_nodes.insert(node) {
             return; // already failed; extents are already queued
         }
+        // The extent table is a HashMap; enqueue in sorted (file, rec)
+        // order so the repair queue — and everything downstream of it
+        // (placement, bandwidth throttling cut points) — is identical
+        // across runs with the same seed.
+        let mut tasks: Vec<RepairTask> = Vec::new();
         for (&file, map) in &self.extents {
             for rec in map.affected_records(node) {
-                self.repair_queue.push_back(RepairTask { file, rec });
+                tasks.push(RepairTask { file, rec });
             }
+        }
+        tasks.sort_unstable_by_key(|t| (t.file, t.rec));
+        for t in tasks {
+            self.repair_queue.push_back(t);
         }
     }
 
+    /// Bring a storage node back and reconcile its state with what
+    /// changed while it was down. Un-failing alone would leak: repairs
+    /// re-homed shards away and unlinks dropped whole files during the
+    /// outage, so the node comes back holding copies the metadata no
+    /// longer references. Reconciliation:
+    ///
+    /// 1. garbage-collects those stale copies (the orphan ledger built up
+    ///    at re-home/unlink time) into the node's reclaim counters,
+    /// 2. re-adopts shards still current in the extent map — they are
+    ///    live data again and keep their place in the hosted gauges,
+    /// 3. drops repair-queue tasks made obsolete by the recovery (their
+    ///    extent no longer references any failed node).
     pub fn mark_node_recovered(&mut self, node: u32) {
-        self.failed_nodes.remove(&node);
+        if !self.failed_nodes.remove(&node) {
+            return; // not failed; nothing to reconcile
+        }
+        if let Some(led) = self.orphaned.remove(&node) {
+            if let Some(stats) = self.node_stats(node) {
+                let mut s = stats.borrow_mut();
+                s.stale_chunks_reclaimed += led.chunks;
+                s.stale_bytes_reclaimed += led.bytes;
+            }
+        }
+        let readopted: u64 = self
+            .extents
+            .values()
+            .flat_map(|m| m.records())
+            .map(|r| {
+                r.shard_coords()
+                    .iter()
+                    .filter(|(_, c)| c.node == node)
+                    .count() as u64
+            })
+            .sum();
+        self.repair_queue.stats.shards_readopted += readopted;
+        let extents = &self.extents;
+        let failed = &self.failed_nodes;
+        let dropped = self.repair_queue.retain_tasks(|t| {
+            extents
+                .get(&t.file)
+                .and_then(|m| m.records().get(t.rec))
+                .is_some_and(|r| failed.iter().any(|&n| r.references_node(n)))
+        });
+        self.repair_queue.stats.dropped_on_recovery += dropped;
     }
 
     pub fn failed_nodes(&self) -> &HashSet<u32> {
@@ -874,6 +978,89 @@ impl ControlPlane {
                 stats.borrow_mut().repair_chunks_hosted += 1;
             }
         }
+    }
+
+    /// The stats sink for storage node `node`, if one is attached (unit
+    /// tests build planes without sinks; every ledger update degrades to
+    /// a no-op there).
+    fn node_stats(&self, node: u32) -> Option<&SharedStorageStats> {
+        self.storage_nodes
+            .iter()
+            .position(|&n| n as u32 == node)
+            .and_then(|i| self.storage_stats.get(i))
+    }
+
+    /// A shard became live on `node`: bump its hosted gauges.
+    fn hosted_add(&self, node: u32, bytes: u64) {
+        if let Some(stats) = self.node_stats(node) {
+            let mut s = stats.borrow_mut();
+            s.chunks_hosted += 1;
+            s.bytes_hosted += bytes;
+        }
+    }
+
+    /// A shard stopped being live on `node` (re-homed away, or its file
+    /// unlinked): drop it from the hosted gauges. The gauges track what
+    /// the extent maps currently say, so this happens at the metadata
+    /// mutation — even while the node is down (the stale physical copy
+    /// moves to the orphan ledger via [`Self::orphan_add`]).
+    fn hosted_sub(&self, node: u32, bytes: u64) {
+        if let Some(stats) = self.node_stats(node) {
+            let mut s = stats.borrow_mut();
+            s.chunks_hosted = s.chunks_hosted.saturating_sub(1);
+            s.bytes_hosted = s.bytes_hosted.saturating_sub(bytes);
+        }
+    }
+
+    /// Record a stale copy stranded on failed node `node`: the metadata
+    /// no longer references it, but the node was down when it died, so
+    /// the physical chunk sits there until recovery reconciliation.
+    fn orphan_add(&mut self, node: u32, bytes: u64) {
+        let led = self.orphaned.entry(node).or_default();
+        led.chunks += 1;
+        led.bytes += bytes;
+    }
+
+    /// Un-home one extent record's shards after the record leaves the
+    /// metadata (unlink / rename-replace): every coordinate drops off
+    /// the hosted gauges, and coordinates on currently-failed nodes are
+    /// remembered as orphans for recovery-time reclamation.
+    fn unhost_record(&mut self, rec: &ExtentRecord) {
+        let bytes = rec.shard_len() as u64;
+        for (_, coord) in rec.shard_coords() {
+            self.hosted_sub(coord.node, bytes);
+            if self.failed_nodes.contains(&coord.node) {
+                self.orphan_add(coord.node, bytes);
+            }
+        }
+    }
+
+    /// Bytes the extent maps currently place across the cluster — the
+    /// conservation target for the hosted gauges: at any point,
+    /// `sum(bytes_hosted) == live_extent_bytes()`.
+    pub fn live_extent_bytes(&self) -> u64 {
+        self.extents
+            .values()
+            .flat_map(|m| m.records())
+            .map(|r| r.shard_len() as u64 * r.shard_coords().len() as u64)
+            .sum()
+    }
+
+    /// Shards the extent maps currently place across the cluster — the
+    /// conservation target for the `chunks_hosted` gauges.
+    pub fn live_extent_shards(&self) -> u64 {
+        self.extents
+            .values()
+            .flat_map(|m| m.records())
+            .map(|r| r.shard_coords().len() as u64)
+            .sum()
+    }
+
+    /// Stale copies currently stranded on `node` as `(chunks, bytes)` —
+    /// nonzero only while the node is failed.
+    pub fn orphaned_on(&self, node: u32) -> (u64, u64) {
+        let led = self.orphaned.get(&node).copied().unwrap_or_default();
+        (led.chunks, led.bytes)
     }
 
     /// Plan the repair of one queued extent: which surviving shards to
@@ -1020,12 +1207,32 @@ impl ControlPlane {
             .extents
             .get_mut(&task.file)
             .ok_or(MetaError::UnknownFile(task.file))?;
+        // Snapshot the coordinates being replaced BEFORE the rehome
+        // rewrites them: those copies stop being live data the moment the
+        // map points elsewhere, and the ones on failed nodes become
+        // orphans to reclaim at recovery.
+        let (old_coords, shard_bytes) = {
+            let rec = map.records().get(task.rec).ok_or(MetaError::NotFound)?;
+            let coords = rec.shard_coords();
+            let old: Vec<ReplicaCoord> = replacements
+                .iter()
+                .filter_map(|&(slot, _)| coords.iter().find(|(s, _)| *s == slot).map(|&(_, c)| c))
+                .collect();
+            (old, rec.shard_len() as u64)
+        };
         map.rehome(task.rec, replacements)?;
         let generation = map.generation();
         self.repair_queue.stats.committed += 1;
         self.repair_queue.stats.shards_rehomed += replacements.len() as u64;
         for &(_, coord) in replacements {
             self.count_repair_placement(coord.node);
+            self.hosted_add(coord.node, shard_bytes);
+        }
+        for coord in old_coords {
+            self.hosted_sub(coord.node, shard_bytes);
+            if self.failed_nodes.contains(&coord.node) {
+                self.orphan_add(coord.node, shard_bytes);
+            }
         }
         // A spare can itself fail while the repair's data movement is in
         // flight; the failure scan ran before this rehome so it could not
@@ -1626,7 +1833,7 @@ mod tests {
     }
 
     #[test]
-    fn recovered_node_makes_queued_tasks_already_healthy() {
+    fn recovery_reconciliation_drops_obsolete_tasks_and_readopts() {
         let cp = plane();
         let f = cp.borrow_mut().create_file(
             0,
@@ -1639,11 +1846,13 @@ mod tests {
         cp.borrow_mut().commit_write(f.id, &p, 4096);
         cp.borrow_mut().mark_node_failed(p.replicas[0].node);
         cp.borrow_mut().mark_node_recovered(p.replicas[0].node);
-        let task = cp.borrow_mut().pop_repair().expect("still queued");
-        assert!(matches!(
-            cp.borrow_mut().plan_repair(task).expect("plan"),
-            RepairPlan::AlreadyHealthy
-        ));
+        // Reconciliation re-adopts the node's still-current replica and
+        // drops the now-obsolete task instead of burning a repair
+        // attempt on an extent that is whole again.
+        assert_eq!(cp.borrow_mut().pop_repair(), None, "task dropped");
+        let stats = cp.borrow().repair_queue.stats;
+        assert_eq!(stats.dropped_on_recovery, 1);
+        assert!(stats.shards_readopted >= 1);
     }
 
     #[test]

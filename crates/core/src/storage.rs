@@ -50,6 +50,17 @@ pub struct StorageStats {
     /// Re-protected shards the repair pipeline committed to this node
     /// (this node was chosen as the spare).
     pub repair_chunks_hosted: u64,
+    /// Gauge: extent shards currently live on this node per the extent
+    /// maps (commit adds, re-home away / unlink / reclaim subtracts).
+    pub chunks_hosted: u64,
+    /// Gauge: payload bytes behind `chunks_hosted`.
+    pub bytes_hosted: u64,
+    /// Shards garbage-collected by recovery reconciliation: the extent
+    /// was re-homed (or unlinked) while this node was down, so its copy
+    /// came back stale and was reclaimed.
+    pub stale_chunks_reclaimed: u64,
+    /// Payload bytes behind `stale_chunks_reclaimed`.
+    pub stale_bytes_reclaimed: u64,
 }
 
 pub type SharedStorageStats = Rc<RefCell<StorageStats>>;

@@ -81,6 +81,17 @@ impl ExtentRecord {
         }
     }
 
+    /// Physical bytes one shard slot of this record occupies on its node:
+    /// the full extent for plain, the full copy for a replica, one chunk
+    /// for an EC shard (data and parity chunks are the same size). This
+    /// is the unit the hosted-capacity ledger charges per coordinate.
+    pub fn shard_len(&self) -> u32 {
+        match self {
+            ExtentRecord::Plain { len, .. } | ExtentRecord::Replicated { len, .. } => *len,
+            ExtentRecord::Ec { chunk_len, .. } => *chunk_len,
+        }
+    }
+
     fn offset(&self) -> u64 {
         match self {
             ExtentRecord::Plain { offset, .. }

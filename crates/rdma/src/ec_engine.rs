@@ -397,7 +397,9 @@ impl EcEngine {
                         pool.put(b);
                     }
                     drop(pool);
-                    core.gathers.remove(&gather);
+                    if let Some(g) = core.gathers.remove(&gather) {
+                        core.release_gather_staging(g.staging, g.staging_len);
+                    }
                     core.send_ack(
                         ctx,
                         client,

@@ -141,6 +141,11 @@ pub(crate) struct GatherState {
     /// Staging base for reconstructed chunks (degraded gathers): slot
     /// `chunk * chunk_len` holds rebuilt data chunk `chunk`.
     pub(crate) rec_base: u64,
+    /// Device-arena staging region backing remote fetches and rebuilt
+    /// chunks; released once the response stream (or a reject) retires
+    /// the gather.
+    pub(crate) staging: u64,
+    pub(crate) staging_len: u64,
     remote_left: u32,
 }
 
@@ -156,6 +161,9 @@ struct GatherResponder {
     seg_off: u32,
     total_pkts: u32,
     next_idx: u32,
+    /// Staging region inherited from the gather, released with the flow.
+    staging: u64,
+    staging_len: u64,
 }
 
 /// Offload counters shared with the metrics registry (the NIC itself is
@@ -490,8 +498,10 @@ impl NicCore {
         }
     }
 
-    /// Return the local Read credit held by request `msg` (no-op for
-    /// uncredited reads, e.g. gather NIC-to-NIC fetches).
+    /// Return the local Read credit held by request `msg`. Every
+    /// requester-side read — client reads, gather requests, and gather
+    /// NIC-to-NIC fetches alike — registers in `credited_reads`, so the
+    /// no-op branch only covers cancelled/unknown messages.
     fn return_read_credit(&mut self, ctx: &mut Ctx<'_>, msg: MsgId) {
         if let Some(peer) = self.credited_reads.remove(&msg) {
             self.flow.on_local_complete(peer, WrClass::Read);
@@ -647,13 +657,14 @@ impl NicCore {
         self.expect_read_resp(msg, local_addr, token);
         let frames = vec![Frame::ReadReq(ReadReqPkt { msg, dfs, rrh })];
         // Gather coordinators fetch remote segments NIC-to-NIC on the
-        // response path; those fetches must not contend with requester
-        // WR budgets (a full read queue would wedge the gather mid-flow).
-        if token & GATHER_FETCH_TAG_MASK == GATHER_FETCH_BASE {
-            self.send_frames(ctx, dst, frames);
-        } else {
-            self.post_wr(ctx, dst, frames, WrClass::Read);
-        }
+        // response path. These are requester-side WRs like any other
+        // one-sided read and consume Read credit toward the survivor peer
+        // (the response *stream* stays exempt, so credit still cycles):
+        // exempting them let a gather storm monopolize a tight link
+        // against flow-controlled peers. A stalled fetch parks in the
+        // pending queue and releases when an earlier fetch's response
+        // returns its credit — bounded in-flight, no wedge.
+        self.post_wr(ctx, dst, frames, WrClass::Read);
         msg
     }
 
@@ -1058,8 +1069,15 @@ impl NicCore {
             .reconstruct
             .as_ref()
             .map_or(0, |r| r.scheme.k as u64 * r.chunk_len as u64);
-        let staging = if remote_bytes + rec_bytes > 0 {
-            self.mem.borrow_mut().alloc(remote_bytes + rec_bytes)
+        // Staging lives in the device arena: the data arena holds
+        // placement-addressed chunks, and a long run's worth of gather
+        // scratch bumping into them would corrupt live shards (it did —
+        // the churn harness flushed exactly that: the third degraded
+        // gather's reconstruction slot crossed the placement base and
+        // overwrote the first page of a live chunk).
+        let staging_len = remote_bytes + rec_bytes;
+        let staging = if staging_len > 0 {
+            self.mem.borrow_mut().alloc_device(staging_len)
         } else {
             0
         };
@@ -1095,6 +1113,8 @@ impl NicCore {
                 grh,
                 seg_addr,
                 rec_base,
+                staging,
+                staging_len,
                 remote_left,
             },
         );
@@ -1155,6 +1175,15 @@ impl NicCore {
     /// degraded gathers the EC engine calls this (via [`GatherStream`])
     /// after reconstruction landed in staging; the copy list resolves to
     /// survivor segments where possible and staged rebuilt chunks else.
+    ///
+    /// Return a retired gather's staging pages to the host: transient
+    /// device scratch must not accumulate across a long run.
+    pub(crate) fn release_gather_staging(&mut self, staging: u64, staging_len: u64) {
+        if staging_len > 0 {
+            self.mem.borrow_mut().release(staging, staging_len);
+        }
+    }
+
     pub(crate) fn gather_stream(&mut self, ctx: &mut Ctx<'_>, id: u64) {
         let Some(g) = self.gathers.remove(&id) else {
             return;
@@ -1200,6 +1229,8 @@ impl NicCore {
                 seg_off: 0,
                 total_pkts,
                 next_idx: 0,
+                staging: g.staging,
+                staging_len: g.staging_len,
             },
         );
         self.stream_gather(ctx, g.msg);
@@ -1229,7 +1260,8 @@ impl NicCore {
                 offset: 0,
                 data: Bytes::new(),
             }));
-            self.gather_responders.remove(&msg);
+            let r = self.gather_responders.remove(&msg).expect("just looked up");
+            self.release_gather_staging(r.staging, r.staging_len);
         } else {
             let mut budget = BATCH_PKTS;
             while budget > 0 && r.seg_idx < r.segs.len() {
@@ -1266,7 +1298,10 @@ impl NicCore {
             if more {
                 ctx.schedule_self(ready.since(now), Box::new(GatherStreamNext { msg }));
             } else {
-                self.gather_responders.remove(&msg);
+                // The final batch's DMA reads copied the bytes out; the
+                // staging pages are dead even while frames are in flight.
+                let r = self.gather_responders.remove(&msg).expect("just looked up");
+                self.release_gather_staging(r.staging, r.staging_len);
             }
         }
         self.stats.borrow_mut().gather_bytes_streamed += batch_bytes;

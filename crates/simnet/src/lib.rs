@@ -30,7 +30,7 @@ pub use flow::{
 };
 pub use gate::{Gate, GateWake, SharedGate};
 pub use packet::{Arrive, NetPacket, NodeId, Payload};
-pub use pool::{BufPool, PoolStats, SharedBufPool};
+pub use pool::{BufPool, PoolStats, SharedBufPool, DEFAULT_MAX_RETAINED_BYTES};
 pub use telemetry::{
     HistSummary, Log2Hist, MetricsHub, MetricsSnapshot, ObsHub, OpKind, OpSpan, SharedObs,
     SpanBook, SpanId, SNAPSHOT_SCHEMA,

@@ -311,6 +311,17 @@ impl SpanBook {
         self.done.len()
     }
 
+    /// Drain every completed span out of the ring, oldest first.
+    ///
+    /// Long-horizon harnesses call this at checkpoints so the ring never
+    /// reaches `cap` and the `dropped == 0` invariant holds at arbitrary
+    /// horizon. Metrics are folded at `end()` time, so draining loses no
+    /// histogram data; only on-demand exporters (e.g. Chrome trace) see a
+    /// window instead of the full history. Does not touch `dropped`.
+    pub fn drain_closed(&mut self) -> Vec<OpSpan> {
+        self.done.drain(..).collect()
+    }
+
     /// Completed spans evicted by the ring bound.
     pub fn dropped(&self) -> u64 {
         self.dropped
@@ -377,6 +388,25 @@ mod tests {
         assert_eq!(b.done_count(), 2);
         assert_eq!(b.dropped(), 3);
         assert_eq!(b.done().next().expect("span").label, "w3");
+    }
+
+    #[test]
+    fn periodic_drain_prevents_drops() {
+        let mut b = SpanBook::new(4);
+        let mut drained = Vec::new();
+        for i in 0..64 {
+            let id = b.begin(OpKind::Write, "c", format!("w{i}"), Time(i));
+            b.end(id, Time(i + 1), true);
+            if i % 3 == 2 {
+                drained.extend(b.drain_closed());
+            }
+        }
+        drained.extend(b.drain_closed());
+        assert_eq!(b.dropped(), 0);
+        assert_eq!(b.done_count(), 0);
+        assert_eq!(drained.len(), 64);
+        assert_eq!(drained[0].label, "w0");
+        assert_eq!(drained[63].label, "w63");
     }
 
     #[test]

@@ -17,9 +17,12 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use nadfs_core::{
-    FileHandle, FsClient, Job, RepairDriver, RepairReport, RepairResult, WriteResult, WriteSlot,
+    FileHandle, FsClient, Job, RepairDriver, RepairReport, RepairResult, SimCluster, WriteResult,
+    WriteSlot,
 };
 use nadfs_simnet::Dur;
+
+pub mod churn;
 
 /// The fault-suite seed: `NADFS_FAULT_SEED` when set (the CI matrix), a
 /// fixed default otherwise — never wall-clock, never process entropy.
@@ -254,4 +257,129 @@ pub fn dump_trace_if_requested(fsc: &FsClient, tag: &str) -> Option<std::path::P
     std::fs::write(&path, fsc.export_chrome_trace()).ok()?;
     eprintln!("[nadfs] timeline dumped to {}", path.display());
     Some(path)
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint invariants: the global health checks every long-horizon
+// scenario (and the short suites) assert at quiescent points. Each takes
+// the public cluster surface only, so adopting one in a test costs a
+// single call.
+// ---------------------------------------------------------------------
+
+/// Every byte of `h` is readable *non-degraded* and byte-identical to
+/// the shadow `expect`. Call after drains/recoveries have settled — a
+/// degraded stripe here means the repair pipeline lied about converging.
+pub fn assert_bytes_converged(fsc: &mut FsClient, h: &FileHandle, expect: &[u8], ctx: &str) {
+    let r = fsc
+        .read_at(h, 0, expect.len() as u32)
+        .unwrap_or_else(|e| panic!("[{ctx}] {}: converged read failed: {e}", h.path()));
+    assert_eq!(
+        r.degraded_stripes,
+        0,
+        "[{ctx}] {}: read still degraded after convergence",
+        h.path()
+    );
+    assert_eq!(
+        r.len as usize,
+        expect.len(),
+        "[{ctx}] {}: short read",
+        h.path()
+    );
+    assert_eq!(
+        &r.data[..],
+        expect,
+        "[{ctx}] {}: bytes diverged from the shadow model",
+        h.path()
+    );
+}
+
+/// Credit-layer conservation at quiesce: every NIC's posted WRs have
+/// completed (credits all returned) and every parked WR was released.
+/// An imbalance means a credit leaked — the link wedges at horizon.
+pub fn assert_flow_conserved(cluster: &SimCluster, ctx: &str) {
+    for (i, h) in cluster.flow_stats.iter().enumerate() {
+        let s = *h.borrow();
+        for class in nadfs_simnet::WrClass::ALL {
+            let k = class.index();
+            assert_eq!(
+                s.posted[k],
+                s.completed[k],
+                "[{ctx}] nic {i}: {} WRs posted != completed (credit leak)",
+                class.as_str()
+            );
+        }
+        assert_eq!(
+            s.queued, s.released,
+            "[{ctx}] nic {i}: parked WRs never released (wedged queue)"
+        );
+    }
+}
+
+/// Hosted-capacity conservation: the per-node `chunks_hosted` /
+/// `bytes_hosted` gauges sum to exactly what the extent maps currently
+/// place. Violated by the pre-reconciliation recovery leak.
+pub fn assert_hosted_conserved(cluster: &SimCluster, ctx: &str) {
+    let control = cluster.control.borrow();
+    let (mut chunks, mut bytes) = (0u64, 0u64);
+    for st in &cluster.storage_stats {
+        let s = st.borrow();
+        chunks += s.chunks_hosted;
+        bytes += s.bytes_hosted;
+    }
+    assert_eq!(
+        chunks,
+        control.live_extent_shards(),
+        "[{ctx}] hosted chunk gauges diverged from the extent maps"
+    );
+    assert_eq!(
+        bytes,
+        control.live_extent_bytes(),
+        "[{ctx}] hosted byte gauges diverged from the extent maps"
+    );
+}
+
+/// Buffer-pool hygiene on every NIC: internal counters consistent and
+/// retention bounded. (`gets` and `puts` are deliberately unrelated:
+/// reassembled payloads leave a pool as `Bytes` and recycle into the
+/// *receiver's* pool when the last reference drops, so buffers migrate
+/// between pools. Leak detection is retention boundedness.)
+pub fn assert_pool_hygiene(cluster: &SimCluster, ctx: &str) {
+    for (i, pool) in cluster.buf_pools.iter().enumerate() {
+        let p = pool.borrow();
+        let s = p.stats();
+        assert_eq!(
+            s.gets,
+            s.hits + s.misses,
+            "[{ctx}] pool {i}: gets != hits + misses"
+        );
+        assert!(
+            p.retained_bytes() <= nadfs_simnet::DEFAULT_MAX_RETAINED_BYTES,
+            "[{ctx}] pool {i}: retention cap breached ({} bytes)",
+            p.retained_bytes()
+        );
+    }
+}
+
+/// Span-book hygiene at quiesce: nothing in flight (an open span here is
+/// a leaked op) and nothing silently evicted. Long runs keep `dropped`
+/// at zero by draining the closed ring at checkpoints
+/// ([`drain_spans`]).
+pub fn assert_span_hygiene(cluster: &SimCluster, ctx: &str) {
+    let hub = cluster.obs.borrow();
+    assert_eq!(
+        hub.spans.open_count(),
+        0,
+        "[{ctx}] op spans still open at quiesce (leaked op)"
+    );
+    assert_eq!(
+        hub.spans.dropped(),
+        0,
+        "[{ctx}] completed spans were evicted — drain the ring at checkpoints"
+    );
+}
+
+/// Drain the completed-span ring (keeping `spans.dropped == 0` reachable
+/// at arbitrary horizon) and return the window for optional inspection.
+pub fn drain_spans(cluster: &SimCluster) -> Vec<nadfs_simnet::telemetry::OpSpan> {
+    cluster.obs.borrow_mut().spans.drain_closed()
 }

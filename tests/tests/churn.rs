@@ -1,0 +1,66 @@
+//! Long-horizon churn runs (ROADMAP item 5): composed cross-feature
+//! scenarios checkpointed against the global invariants. See
+//! `nadfs_tests::churn` for the scenario engine.
+
+use nadfs_tests::churn::{run_churn, ChurnConfig};
+use nadfs_tests::seed_from_env;
+
+/// CI-sized horizon: ~1.2k mixed ops, 3 rolling failure/recovery waves,
+/// mid-outage repair storms, checkpoints every 300 steps. Seeded from
+/// `NADFS_FAULT_SEED` so the CI matrix covers several histories.
+#[test]
+fn churn_smoke_horizon() {
+    let cfg = ChurnConfig::smoke(seed_from_env());
+    let report = run_churn(&cfg);
+    // The horizon actually exercised what it claims to: rolling waves,
+    // storms, a full op mix, and recovery reconciliation work.
+    assert!(report.failures >= 3, "wanted ≥3 failure waves: {report:?}");
+    assert!(report.recoveries >= report.failures);
+    assert!(report.storms >= 3);
+    assert!(report.checkpoints >= 3);
+    assert!(report.reads > 100 && report.appends > 100 && report.overwrites > 50);
+    assert!(report.renames + report.replaces > 0 && report.unlinks > 0);
+    assert!(
+        report.spans_drained > 0,
+        "checkpoints should drain closed spans"
+    );
+    assert!(
+        report.dropped_on_recovery + report.shards_readopted > 0,
+        "recovery reconciliation never ran: {report:?}"
+    );
+}
+
+/// Two runs with the same seed must produce the identical event log and
+/// digest — the property that makes a failing horizon reproducible from
+/// its seed alone.
+#[test]
+fn churn_is_deterministic_per_seed() {
+    let mut cfg = ChurnConfig::smoke(0xD5_0001);
+    cfg.ops = 400;
+    cfg.initial_files = 16;
+    cfg.max_files = 32;
+    cfg.checkpoint_every = 130;
+    let a = run_churn(&cfg);
+    let b = run_churn(&cfg);
+    assert_eq!(a.digest, b.digest, "digest diverged between identical runs");
+    assert_eq!(a.log, b.log, "event log diverged between identical runs");
+    assert_eq!(a.reads, b.reads);
+    assert_eq!(a.read_errors_during_outage, b.read_errors_during_outage);
+}
+
+/// The acceptance horizon: ≥10k mixed ops over ~1.5k files with 4
+/// rolling waves. Heavy — run in release via
+/// `cargo test -p nadfs-tests --release --test churn -- --ignored`.
+#[test]
+#[ignore = "long horizon; run in release (see CI churn-long job)"]
+fn churn_long_horizon() {
+    let cfg = ChurnConfig::long(seed_from_env());
+    let report = run_churn(&cfg);
+    assert!(report.failures >= 4, "wanted ≥4 failure waves: {report:?}");
+    assert!(report.recoveries >= report.failures);
+    assert!(report.checkpoints >= 4);
+    assert!(
+        report.dropped_on_recovery + report.shards_readopted > 0,
+        "recovery reconciliation never ran: {report:?}"
+    );
+}

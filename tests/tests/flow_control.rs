@@ -320,3 +320,115 @@ fn bulk_meta_spans_stop_storms_from_saturating_the_ring() {
     assert_eq!(bulk_spans[0].label, format!("meta-bulk n={expect}"));
     assert!(bulk_spans[0].ok, "all ops in the storm succeeded");
 }
+
+/// Gather NIC-to-NIC fetches are requester-side reads and must consume
+/// Read credit like any other one-sided read. Pre-fix they rode the
+/// credit-exempt responder path (`send_frames`), so a degraded gather
+/// storm posted unbounded fetches at survivor nodes and monopolized a
+/// 2-WR-budget link against flow-controlled peers. Now the storm stalls,
+/// cycles, and conserves: storage NICs post (and complete) Read WRs,
+/// queueing under the tight budget instead of bypassing it.
+#[test]
+fn gather_fetch_storm_respects_read_credit() {
+    let qos = QosConfig {
+        credit: CreditConfig {
+            max_send_data: 2,
+            max_send_imm: 2,
+            max_send_read: 2,
+            max_send_write: 2,
+        },
+        ..Default::default()
+    };
+    let spec = ClusterSpec::new(1, 4, StorageMode::Spin)
+        .with_window(8)
+        .with_qos(qos);
+    let mut fsc = FsClient::new(SimCluster::build(spec));
+    fsc.mkdir_p("/g").expect("mkdir");
+    let h = fsc
+        .create_with_policy(
+            "/g/f",
+            LayoutSpec::SINGLE,
+            FilePolicy::ErasureCoded {
+                scheme: RsScheme::new(2, 1),
+            },
+        )
+        .expect("create");
+    let data: Vec<u8> = (0..256usize << 10).map(|i| (i % 251) as u8).collect();
+    fsc.append(&h, &data).expect("write");
+
+    // Kill a data-chunk holder and blow the cache: every offloaded read
+    // below reconstructs on the coordinator NIC, gathering survivor
+    // segments NIC-to-NIC.
+    let w = fsc.cluster.results.borrow().writes[0].clone();
+    let victim = fsc
+        .cluster
+        .storage_index(w.placement.data_chunks[0].node as usize);
+    fsc.fail_storage_node(victim);
+    fsc.drop_read_cache();
+
+    // Eight concurrent disjoint offloaded reads of the same extent: a
+    // gather storm hammering the record's coordinator.
+    let mut cl = fsc.into_cluster();
+    let n_clients = cl.client_nodes.len();
+    let slice = data.len() / 8;
+    for i in 0..8u64 {
+        cl.submit(
+            0,
+            nadfs_core::Job::Read {
+                file: h.id(),
+                offset: i * slice as u64,
+                len: slice as u32,
+                protocol: nadfs_core::ReadProtocol::Offloaded,
+                token: 0x6A00 + i,
+                slot: None,
+            },
+        );
+    }
+    cl.start();
+    let done = cl.run_until_file_reads(8, 240_000);
+    assert_eq!(done, 8, "the storm must complete under flow control");
+    cl.run_ms(5); // trailing acks and credit grants land
+
+    // Every degraded read reconstructed the right bytes.
+    for r in &cl.results.borrow().file_reads {
+        assert_eq!(r.status, Status::Ok);
+        let off = r.offset as usize;
+        assert_eq!(
+            r.data.as_ref(),
+            &data[off..off + r.len as usize],
+            "degraded gather at offset {off} diverged"
+        );
+    }
+
+    // The fetches were credited on the storage NICs (pre-fix: zero Read
+    // WRs posted there — they bypassed the controller entirely)…
+    let read = nadfs_simnet::WrClass::Read as usize;
+    let storage_posted: u64 = cl.flow_stats[n_clients..]
+        .iter()
+        .map(|s| s.borrow().posted[read])
+        .sum();
+    // Four of the eight reads hit the failed chunk, so the coordinator
+    // issues (at least) four NIC-to-NIC survivor fetches; readahead may
+    // add more. The healthy-chunk reads stream locally and post nothing.
+    assert!(
+        storage_posted >= 4,
+        "gather fetches must post Read WRs on the survivor path (got {storage_posted})"
+    );
+    // …and the storm actually stalled against the 2-WR budget somewhere
+    // along the chain (the client's eight gathers alone oversubscribe it)
+    // instead of monopolizing the link.
+    let (queued, stalls): (u64, u64) = cl
+        .flow_stats
+        .iter()
+        .map(|s| {
+            let f = s.borrow();
+            (f.queued, f.local_stalls + f.remote_stalls)
+        })
+        .fold((0, 0), |(q, st), (a, b)| (q + a, st + b));
+    assert!(
+        queued > 0 && stalls > 0,
+        "concurrent fetches against a 2-WR budget must queue (queued={queued} stalls={stalls})"
+    );
+    // Full conservation at quiesce: every credit acquired came back.
+    nadfs_tests::assert_flow_conserved(&cl, "gather storm");
+}

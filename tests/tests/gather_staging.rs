@@ -1,0 +1,127 @@
+//! Gather-staging hygiene on the coordinator NIC. Degraded offloaded
+//! reads stage remote survivor fetches and rebuilt chunks in host
+//! memory; that scratch must (a) never overlap addresses the control
+//! plane handed out for chunk placement, and (b) be released when the
+//! response stream retires.
+//!
+//! Found by the churn harness (via the gather-storm flow test): the
+//! staging bump allocator started at the bottom of the address space
+//! and never freed, so around the *third* degraded gather on a node the
+//! reconstruction slot crossed the placement base and silently
+//! overwrote the first page of a live healthy chunk. Every later read
+//! of that chunk — direct, offloaded, or cached from a readahead fill —
+//! returned the rebuilt chunk's tail instead of the chunk's own bytes.
+
+use nadfs_core::{
+    ClusterSpec, FilePolicy, FsClient, LayoutSpec, ReadProtocol, SimCluster, StorageMode,
+};
+use nadfs_tests::{seed_from_env, SplitMix};
+use nadfs_wire::RsScheme;
+
+fn payload(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = SplitMix::new(seed);
+    let mut v = Vec::with_capacity(len + 8);
+    while v.len() < len {
+        v.extend_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    v.truncate(len);
+    v
+}
+
+/// Repeated degraded gathers must not corrupt live chunks: pre-fix, the
+/// third gather's staging collided with the healthy chunk's placement
+/// and iteration 4's full-file read came back with a foreign first page.
+#[test]
+fn repeated_degraded_gathers_leave_live_chunks_intact() {
+    let mut fsc = FsClient::new(SimCluster::build(ClusterSpec::new(1, 4, StorageMode::Spin)));
+    fsc.mkdir_p("/gs").expect("mkdir");
+    let h = fsc
+        .create_with_policy(
+            "/gs/f",
+            LayoutSpec::SINGLE,
+            FilePolicy::ErasureCoded {
+                scheme: RsScheme::new(2, 1),
+            },
+        )
+        .expect("create");
+    let data = payload(seed_from_env() ^ 0x57A6, 256 << 10);
+    fsc.append(&h, &data).expect("write");
+    let off = h.clone().with_read_protocol(ReadProtocol::Offloaded);
+
+    let w = fsc.cluster.results.borrow().writes[0].clone();
+    let victim = fsc
+        .cluster
+        .storage_index(w.placement.data_chunks[0].node as usize);
+    fsc.fail_storage_node(victim);
+
+    for round in 0..6 {
+        // Cold every round: each read re-reconstructs on the NIC and
+        // re-streams the healthy chunk, so a clobbered byte anywhere in
+        // either chunk surfaces immediately.
+        fsc.drop_read_cache();
+        let r = fsc
+            .read_at(&off, 0, data.len() as u32)
+            .expect("degraded offloaded read");
+        assert!(
+            r.degraded_stripes >= 1,
+            "round {round}: the failed chunk must reconstruct"
+        );
+        assert_eq!(
+            r.data.as_ref(),
+            &data[..],
+            "round {round}: degraded gather corrupted live data"
+        );
+    }
+}
+
+/// Staging is transient: after a burst of degraded gathers, the
+/// coordinator's resident memory footprint returns to (about) what one
+/// in-flight gather needs — the scratch pages were released, not leaked.
+#[test]
+fn gather_staging_is_released_after_the_stream() {
+    let mut fsc = FsClient::new(SimCluster::build(ClusterSpec::new(1, 4, StorageMode::Spin)));
+    fsc.mkdir_p("/gs").expect("mkdir");
+    let h = fsc
+        .create_with_policy(
+            "/gs/f",
+            LayoutSpec::SINGLE,
+            FilePolicy::ErasureCoded {
+                scheme: RsScheme::new(2, 1),
+            },
+        )
+        .expect("create");
+    let data = payload(seed_from_env() ^ 0x57A7, 256 << 10);
+    fsc.append(&h, &data).expect("write");
+    let off = h.clone().with_read_protocol(ReadProtocol::Offloaded);
+
+    let w = fsc.cluster.results.borrow().writes[0].clone();
+    let victim = fsc
+        .cluster
+        .storage_index(w.placement.data_chunks[0].node as usize);
+    fsc.fail_storage_node(victim);
+
+    fsc.drop_read_cache();
+    fsc.read_at(&off, 0, data.len() as u32).expect("warm-up");
+    let baseline: Vec<usize> = fsc
+        .cluster
+        .storage_mems
+        .iter()
+        .map(|m| m.borrow().resident_pages())
+        .collect();
+
+    for _ in 0..10 {
+        fsc.drop_read_cache();
+        fsc.read_at(&off, 0, data.len() as u32).expect("read");
+    }
+    for (i, m) in fsc.cluster.storage_mems.iter().enumerate() {
+        let now = m.borrow().resident_pages();
+        // One degraded gather stages ~96 pages (one remote survivor
+        // chunk + k reconstruction slots). Ten more reads must not pile
+        // up ten more staging regions.
+        assert!(
+            now <= baseline[i] + 96,
+            "storage node {i} leaks staging pages: {} -> {now}",
+            baseline[i]
+        );
+    }
+}

@@ -9,7 +9,10 @@
 use nadfs_core::{
     ClusterSpec, FilePolicy, FsClient, LayoutSpec, ReadProtocol, SimCluster, StorageMode,
 };
-use nadfs_tests::{drain_repairs_with_faults, seed_from_env, FaultAction, FaultPlan, FaultPoint};
+use nadfs_tests::{
+    assert_bytes_converged, assert_hosted_conserved, drain_repairs_with_faults, seed_from_env,
+    FaultAction, FaultPlan, FaultPoint,
+};
 use nadfs_wire::{BcastStrategy, RsScheme};
 use proptest::prelude::*;
 
@@ -155,15 +158,15 @@ proptest! {
             prop_assert_eq!(gathered.checksum, fanout.checksum);
         }
 
-        // Converge and prove the equivalence again on the healthy layout.
+        // Converge and prove the equivalence again on the healthy layout
+        // via the shared checkpoint helpers: non-degraded byte-identical
+        // reads, with the hosted-capacity gauges conserved.
         let report = fsc.drain_repairs();
         prop_assert!(report.converged(), "final drain gave up: {report:?}");
         if !model.is_empty() {
             fsc.drop_read_cache();
-            let fresh = fsc.read_at(&off, 0, model.len() as u32).expect("uncached");
-            prop_assert!(!fresh.from_cache);
-            prop_assert_eq!(fresh.degraded_stripes, 0, "post-drain reads are direct");
-            prop_assert_eq!(fresh.data.as_ref(), &model[..], "post-repair gather ≠ model");
+            assert_bytes_converged(&mut fsc, &off, &model, "post-drain offload");
         }
+        assert_hosted_conserved(&fsc.cluster, "post-drain offload");
     }
 }

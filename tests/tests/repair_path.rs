@@ -9,8 +9,8 @@ use nadfs_core::{
     ClusterSpec, FilePolicy, FsClient, FsError, LayoutSpec, RepairOutcome, SimCluster, StorageMode,
 };
 use nadfs_tests::{
-    drain_repairs_with_faults, seed_from_env, write_then_fail_midway, FaultAction, FaultPlan,
-    FaultPoint, SplitMix,
+    assert_bytes_converged, assert_hosted_conserved, drain_repairs_with_faults, seed_from_env,
+    write_then_fail_midway, FaultAction, FaultPlan, FaultPoint, SplitMix,
 };
 use nadfs_wire::{BcastStrategy, RsScheme, Status};
 
@@ -69,10 +69,10 @@ fn ec_repair_rehomes_failed_shard_and_restores_direct_reads() {
         report.outcomes[0].outcome
     );
 
-    // The node is STILL failed, yet the read is direct and exact.
-    let r = fsc.read_at(&h, 0, data.len() as u32).expect("read");
-    assert_eq!(r.degraded_stripes, 0, "re-homed extent reads direct");
-    assert_eq!(r.data.as_ref(), &data[..], "byte-identical after repair");
+    // The node is STILL failed, yet the read is direct and exact, and
+    // the hosted-capacity gauges track the re-homed placement.
+    assert_bytes_converged(&mut fsc, &h, &data, "mid-outage after repair");
+    assert_hosted_conserved(&fsc.cluster, "mid-outage after repair");
 
     // The extent-map update committed: generation bumped, spare hosting.
     let gen_after = fsc.cluster.control.borrow().extent_generation(h.id());
@@ -437,9 +437,12 @@ fn expired_read_capability_degraded_read_and_repair_are_typed() {
     assert_eq!(fsc.repair_backlog(), 0, "no livelock even when failing");
 }
 
-/// A recovered node empties the queue without moving bytes.
+/// A recovered node empties the queue without moving bytes: recovery
+/// reconciliation drops the now-obsolete task at `mark_node_recovered`
+/// time, so the subsequent drain is a no-op rather than a pass of
+/// already-healthy probes.
 #[test]
-fn recovery_before_drain_makes_tasks_already_healthy() {
+fn recovery_before_drain_empties_the_queue() {
     let (mut fsc, h, data) = ec_client(6, RsScheme::new(3, 2));
     let w = fsc.cluster.results.borrow().writes[0].clone();
     let victim = fsc
@@ -448,13 +451,22 @@ fn recovery_before_drain_makes_tasks_already_healthy() {
     fsc.fail_storage_node(victim);
     assert_eq!(fsc.repair_backlog(), 1);
     fsc.recover_storage_node(victim);
+    assert_eq!(fsc.repair_backlog(), 0, "task dropped at recovery");
+    assert!(
+        fsc.cluster
+            .control
+            .borrow()
+            .repair_queue
+            .stats
+            .dropped_on_recovery
+            >= 1
+    );
     let report = fsc.drain_repairs();
     assert!(report.converged());
-    assert_eq!(report.already_healthy, 1, "transient failure, no motion");
+    assert_eq!(report.already_healthy, 0, "nothing left to probe");
     assert_eq!(report.repaired, 0);
     assert_eq!(report.bytes_moved, 0);
-    let r = fsc.read_at(&h, 0, data.len() as u32).expect("read");
-    assert_eq!(r.data.as_ref(), &data[..]);
+    assert_bytes_converged(&mut fsc, &h, &data, "transient failure");
 }
 
 /// The whole scripted scenario is a pure function of its seed: two runs
