@@ -1,0 +1,26 @@
+//! Metadata-shard scaling bench binary.
+//!
+//! `cargo run --release -p nadfs-bench --bin meta_shard` — full sweep
+//! (1 → 2 → 4 → 8 shards), writes `BENCH_meta_shard.json`.
+//! `--smoke` (or `NADFS_BENCH_SMOKE=1`) runs the CI-sized sweep and
+//! asserts the scaling invariants.
+
+use nadfs_bench::meta_shard;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("NADFS_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let report = if smoke {
+        meta_shard::run_smoke()
+    } else {
+        meta_shard::run()
+    };
+    println!("{}", meta_shard::render(&report));
+    if smoke {
+        meta_shard::assert_invariants(&report);
+        println!("smoke invariants hold");
+    }
+    let json = meta_shard::to_json(&report);
+    std::fs::write("BENCH_meta_shard.json", &json).expect("write BENCH_meta_shard.json");
+    println!("wrote BENCH_meta_shard.json");
+}

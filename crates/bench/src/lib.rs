@@ -11,6 +11,7 @@ pub mod dir_ops;
 pub mod ec_throughput;
 pub mod figures;
 pub mod flow_control;
+pub mod meta_shard;
 pub mod read_cache;
 pub mod report;
 

@@ -992,11 +992,11 @@ impl ClientApp {
                 }
             }
             MetaOp::Mkdir { path } => {
-                cost = cost + costs.control_rtt + costs.mutate_service;
+                cost = cost + costs.control_rtt + costs.oplog_append;
                 self.control.borrow_mut().mkdir(path, now_ns).map(|_| ())
             }
             MetaOp::Create { path, spec } => {
-                cost = cost + costs.control_rtt + costs.mutate_service;
+                cost = cost + costs.control_rtt + costs.oplog_append;
                 let created =
                     self.control
                         .borrow_mut()
@@ -1039,14 +1039,21 @@ impl ClientApp {
                 }
             }
             MetaOp::Rename { from, to } => {
-                cost = cost + costs.control_rtt + costs.mutate_service;
+                cost = cost + costs.control_rtt + costs.oplog_append;
                 self.control.borrow_mut().rename(from, to, now_ns)
             }
             MetaOp::Unlink { path } => {
-                cost = cost + costs.control_rtt + costs.mutate_service;
+                cost = cost + costs.control_rtt + costs.oplog_append;
                 self.control.borrow_mut().unlink(path, now_ns).map(|_| ())
             }
         };
+        // Async metadata updates (AsyncFS-style): a mutation acks after
+        // its shard's op-log append — `mutate_service` is shard occupancy
+        // paid through the admission model, not ack latency. Every routed
+        // op (mutation or resolve miss) queues behind its shard; cache
+        // hits never routed, so `admit_last` is a no-op for them.
+        let wait = self.control.borrow_mut().admit_last(start.ps());
+        cost += Dur::from_ps(wait);
         if cache_hit {
             self.span_mark(span, phase::CACHE_HIT, start);
         }
@@ -1196,6 +1203,9 @@ impl ClientApp {
             fetch_want = len;
             plan = self.control.borrow_mut().resolve_read(file, offset, len);
         }
+        // The resolve queued behind its metadata shard: the fan-out below
+        // cannot start until the shard served it.
+        let resolve_wait = Dur::from_ps(self.control.borrow_mut().admit_last(ctx.now().ps()));
         let plan = match plan {
             Ok(p) => p,
             Err(_) => {
@@ -1286,9 +1296,12 @@ impl ClientApp {
         };
         // The verbs post (doorbell, WQE build) delays actual injection —
         // the same per-job cost the write path charges. The exec base is
-        // the current time, not `start`: a parked read resumes here after
-        // its original request time.
-        let t_post = nic.cpu.exec(ctx.now(), nic.cpu.costs.post_send);
+        // the current time plus the resolve's shard-queue wait, not
+        // `start`: a parked read resumes here after its original request
+        // time.
+        let t_post = nic
+            .cpu
+            .exec(ctx.now() + resolve_wait, nic.cpu.costs.post_send);
         self.spawn_read_op(nic, ctx, op, &critical_pieces, 0, dfs, t_post);
         if !tail_pieces.is_empty() {
             self.span_mark(span, phase::READAHEAD, ctx.now());
@@ -1844,6 +1857,8 @@ impl ClientApp {
             Ok(p) => p,
             Err(e) => {
                 // Typed: the extent cannot be re-protected (or vanished).
+                // The task dies here — release its compaction pin.
+                self.control.borrow_mut().abandon_repair(task);
                 self.deliver_repair(
                     nic,
                     ctx,
@@ -1861,6 +1876,9 @@ impl ClientApp {
         };
         let fetches: Vec<(ReplicaCoord, u32)> = match &plan {
             RepairPlan::AlreadyHealthy => {
+                // Nothing to move, nothing to commit: the task is done —
+                // release its compaction pin.
+                self.control.borrow_mut().abandon_repair(task);
                 self.deliver_repair(
                     nic,
                     ctx,

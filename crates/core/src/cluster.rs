@@ -52,6 +52,9 @@ pub struct ClusterSpec {
     pub engine_profiling: bool,
     /// Flow control budgets + per-tenant QoS.
     pub qos: QosConfig,
+    /// Metadata shards in the control plane (hash-partitioned namespace
+    /// + extent maps; 1 = the unsharded seed behavior).
+    pub meta_shards: usize,
 }
 
 /// Per-tenant QoS at the storage nodes: deficit-round-robin service of
@@ -120,6 +123,7 @@ impl ClusterSpec {
             observability: true,
             engine_profiling: false,
             qos: QosConfig::default(),
+            meta_shards: 1,
         }
     }
 
@@ -150,6 +154,11 @@ impl ClusterSpec {
 
     pub fn with_qos(mut self, qos: QosConfig) -> ClusterSpec {
         self.qos = qos;
+        self
+    }
+
+    pub fn with_meta_shards(mut self, n: usize) -> ClusterSpec {
+        self.meta_shards = n;
         self
     }
 }
@@ -242,7 +251,8 @@ impl SimCluster {
 
         let client_nodes: Vec<NodeId> = client_ports.iter().map(|p| p.node).collect();
         let storage_nodes: Vec<NodeId> = storage_ports.iter().map(|p| p.node).collect();
-        let control = ControlPlane::new(0xD15C, storage_nodes.clone());
+        let control = ControlPlane::new_sharded(0xD15C, storage_nodes.clone(), spec.meta_shards);
+        control.borrow_mut().set_meta_costs(spec.cost.meta.clone());
         let key = control.borrow().service_key();
 
         let results: SharedResults = Rc::new(RefCell::new(ResultSink::default()));
@@ -505,6 +515,23 @@ impl SimCluster {
             m.counter_set("repair.shards_rehomed", r.shards_rehomed);
             m.counter_set("repair.dropped_on_recovery", r.dropped_on_recovery);
             m.counter_set("repair.shards_readopted", r.shards_readopted);
+        }
+        {
+            // Metadata-shard counters: routing balance, queueing, and
+            // the async-commit machinery (op-log depth, 2PC traffic).
+            let control = self.control.borrow();
+            let lens = control.shard_log_lens();
+            for (i, s) in control.shard_stats().iter().enumerate() {
+                let pre = format!("meta.shard.{i}");
+                m.counter_set(&format!("{pre}.ops"), s.ops);
+                m.counter_set(&format!("{pre}.mutations"), s.mutations);
+                m.counter_set(&format!("{pre}.resolves"), s.resolves);
+                m.counter_set(&format!("{pre}.queue_wait_ps"), s.queue_wait_ps);
+                m.counter_set(&format!("{pre}.cross_shard_txns"), s.cross_shard_txns);
+                m.counter_set(&format!("{pre}.compactions"), s.compactions);
+                m.counter_set(&format!("{pre}.records_dropped"), s.records_dropped);
+                m.gauge_set(&format!("{pre}.log_len"), lens[i] as f64);
+            }
         }
         {
             // Credit-layer counters, aggregated across every NIC: the

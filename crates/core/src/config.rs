@@ -90,8 +90,18 @@ pub struct MetaCosts {
     /// Client → control node RPC round trip (miss or mutation).
     pub control_rtt: Dur,
     /// Extra service time a namespace mutation spends under the tree
-    /// lock (create/rename/unlink vs. a read-only lookup).
+    /// lock (create/rename/unlink vs. a read-only lookup). With async
+    /// metadata acks this is *shard occupancy* — it serializes ops on
+    /// the owning shard but no longer sits on the client's critical
+    /// path (the ack returns after the op-log append).
     pub mutate_service: Dur,
+    /// Appending the mutation to the owning shard's op log — the only
+    /// persistence cost left on the ack path (AsyncFS-style async
+    /// update: log-and-ack, apply/fan-out off the critical path).
+    pub oplog_append: Dur,
+    /// Shard service time for a read-side resolve (extent-map walk);
+    /// like `mutate_service` it occupies the shard, not the ack path.
+    pub resolve_service: Dur,
 }
 
 impl Default for MetaCosts {
@@ -100,6 +110,8 @@ impl Default for MetaCosts {
             cache_probe: Dur::from_ns(120),
             control_rtt: Dur::from_ns(2_400),
             mutate_service: Dur::from_ns(850),
+            oplog_append: Dur::from_ns(300),
+            resolve_service: Dur::from_ns(250),
         }
     }
 }

@@ -16,6 +16,16 @@
 //! seed's flat `u64 → FileMeta` API survives on top: a file's id *is* its
 //! inode number, and [`ControlPlane::create_file`] parks legacy files
 //! under `/.volatile/`.
+//!
+//! The metadata plane is **sharded** (ROADMAP item 1): per-file state is
+//! hash-partitioned over N [`shard::MetaShard`]s by a stateless
+//! [`router::ShardRouter`], mutations ack after a per-shard op-log append
+//! (AsyncFS-style async updates — [`shard`]), and operations whose
+//! participants hash to different shards run a two-phase intent/commit
+//! protocol the fault harness can kill mid-flight. `ControlPlane` itself
+//! is a thin façade over the focused submodules: [`placement`] (where
+//! bytes go), [`resolution`] (read planning + compaction), and
+//! [`repair_queue`] (background re-protection).
 
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -29,7 +39,20 @@ use nadfs_simnet::NodeId;
 use nadfs_wire::{Capability, MacKey, ReplicaCoord, Rights, RsScheme};
 
 use crate::cache::ReadCache;
+use crate::config::MetaCosts;
 use crate::storage::SharedStorageStats;
+
+mod placement;
+mod repair_queue;
+mod resolution;
+mod router;
+mod shard;
+
+pub use repair_queue::{RepairPlan, RepairQueue, RepairStats, RepairTask};
+pub use router::ShardRouter;
+pub use shard::{
+    CrashPoint, LogEntry, MetaMutation, MetaShard, OpLog, ServiceClass, ShardStats, TxRecovery,
+};
 
 // Policies now live with the rest of the file metadata in `nadfs-meta`;
 // re-exported here so existing call sites keep working.
@@ -113,148 +136,6 @@ impl WritePlacement {
     }
 }
 
-/// One extent awaiting re-protection: a record of `file`'s extent map
-/// with at least one shard on a failed node.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct RepairTask {
-    pub file: u64,
-    /// Record id within the file's extent map (commit order).
-    pub rec: usize,
-}
-
-/// Observable repair-pipeline counters.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct RepairStats {
-    /// Tasks ever enqueued (dedup hits not counted).
-    pub enqueued: u64,
-    /// Tasks moved to (or inserted at) the queue front by a degraded
-    /// read hit.
-    pub promoted: u64,
-    /// Repairs committed into extent maps.
-    pub committed: u64,
-    /// Tasks pushed back for another attempt after a transient failure.
-    pub requeued: u64,
-    /// Shards re-homed by committed repairs.
-    pub shards_rehomed: u64,
-    /// Tasks dropped by node-recovery reconciliation: their extent no
-    /// longer references any failed node, so repairing them would be a
-    /// no-op walk of the queue.
-    pub dropped_on_recovery: u64,
-    /// Shards re-adopted at recovery: still current in the extent map
-    /// (never re-homed during the outage), so the recovered node's copy
-    /// is live data again, not garbage.
-    pub shards_readopted: u64,
-}
-
-/// The prioritized repair queue: FIFO for failure-scan enqueues, with
-/// degraded-read hits promoting their extent to the front (the extent a
-/// client is actively paying reconstruction for is the one to fix first).
-/// Membership is deduplicated — an extent is queued at most once.
-#[derive(Debug, Default)]
-pub struct RepairQueue {
-    q: VecDeque<RepairTask>,
-    queued: HashSet<RepairTask>,
-    pub stats: RepairStats,
-}
-
-impl RepairQueue {
-    /// Enqueue at the back; returns false if already queued.
-    pub fn push_back(&mut self, t: RepairTask) -> bool {
-        if !self.queued.insert(t) {
-            return false;
-        }
-        self.q.push_back(t);
-        self.stats.enqueued += 1;
-        true
-    }
-
-    /// Move `t` to the front (inserting it if absent): the degraded-read
-    /// promotion path.
-    pub fn promote(&mut self, t: RepairTask) {
-        if self.queued.insert(t) {
-            self.stats.enqueued += 1;
-        } else if let Some(i) = self.q.iter().position(|&x| x == t) {
-            if i == 0 {
-                return; // already at the front; not a promotion
-            }
-            self.q.remove(i);
-        }
-        self.q.push_front(t);
-        self.stats.promoted += 1;
-    }
-
-    /// Take the highest-priority task.
-    pub fn pop(&mut self) -> Option<RepairTask> {
-        let t = self.q.pop_front()?;
-        self.queued.remove(&t);
-        Some(t)
-    }
-
-    pub fn peek(&self) -> Option<RepairTask> {
-        self.q.front().copied()
-    }
-
-    pub fn contains(&self, t: RepairTask) -> bool {
-        self.queued.contains(&t)
-    }
-
-    pub fn len(&self) -> usize {
-        self.q.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.q.is_empty()
-    }
-
-    /// Drop every queued task `keep` rejects (preserving order for the
-    /// rest), rebuild the dedup set, and return how many were dropped.
-    /// Recovery reconciliation uses this to purge tasks made obsolete by
-    /// a node coming back.
-    pub fn retain_tasks(&mut self, mut keep: impl FnMut(&RepairTask) -> bool) -> u64 {
-        let before = self.q.len();
-        self.q.retain(|t| keep(t));
-        self.queued = self.q.iter().copied().collect();
-        (before - self.q.len()) as u64
-    }
-}
-
-/// How one popped [`RepairTask`] gets executed on the data path.
-#[derive(Clone, Debug)]
-pub enum RepairPlan {
-    /// Every shard is on a healthy node (the failure was transient, or an
-    /// earlier repair already re-homed it): nothing to move.
-    AlreadyHealthy,
-    /// Erasure-coded stripe: fetch the k surviving shards in `fetch`
-    /// (shard index, coordinate), reconstruct the shards in `rebuild`
-    /// (data or parity), and write each to its pre-allocated spare
-    /// coordinate.
-    EcRebuild {
-        scheme: RsScheme,
-        chunk_len: u32,
-        fetch: Vec<(usize, ReplicaCoord)>,
-        rebuild: Vec<(usize, ReplicaCoord)>,
-    },
-    /// Replicated extent: copy `len` bytes from the surviving `src`
-    /// replica to a spare coordinate per lost replica slot.
-    ReplicaClone {
-        len: u32,
-        src: ReplicaCoord,
-        dest: Vec<(usize, ReplicaCoord)>,
-    },
-}
-
-impl RepairPlan {
-    /// The (shard slot, spare coordinate) rewrites this plan commits once
-    /// the data movement succeeds.
-    pub fn replacements(&self) -> Vec<(usize, ReplicaCoord)> {
-        match self {
-            RepairPlan::AlreadyHealthy => vec![],
-            RepairPlan::EcRebuild { rebuild, .. } => rebuild.clone(),
-            RepairPlan::ReplicaClone { dest, .. } => dest.clone(),
-        }
-    }
-}
-
 /// Chunk/byte tally of stale copies awaiting reclamation on one node.
 #[derive(Clone, Copy, Debug, Default)]
 struct NodeLedger {
@@ -263,15 +144,16 @@ struct NodeLedger {
 }
 
 /// The control plane: management (authentication) + metadata (namespace,
-/// layout, placement) services.
+/// layout, placement) services, fronting the shard set.
 pub struct ControlPlane {
     key: MacKey,
     /// The hierarchical namespace + layout service.
     pub meta: MetadataService,
-    files: HashMap<u64, FileMeta>,
     next_legacy: u64,
     next_greq: u64,
     next_nonce: u64,
+    /// Cross-shard transaction id allocator.
+    next_txid: u64,
     /// Storage nodes, by fabric node id.
     storage_nodes: Vec<NodeId>,
     /// Bump allocator per storage node for write placement.
@@ -281,9 +163,21 @@ pub struct ControlPlane {
     /// Client read caches subscribed to extent-generation callbacks (the
     /// same event channel; these consume `LayoutChanged`).
     read_caches: Vec<Rc<RefCell<ReadCache>>>,
-    /// Committed extents per file: where each byte range physically
-    /// lives, filled in as writes complete (the read path's map).
-    extents: HashMap<u64, ExtentMap>,
+    /// The metadata shards: partitioned FileMeta/ExtentMap state, op
+    /// logs, and the per-shard admission queues.
+    shards: Vec<MetaShard>,
+    /// Stateless ino → shard map.
+    router: ShardRouter,
+    /// Shard service times for the admission model (set from the
+    /// cluster's cost model; defaults match `MetaCosts::default`).
+    service_costs: MetaCosts,
+    /// The shard + service class of the most recent routed op — what
+    /// [`ControlPlane::admit_last`] charges. Overwritten by every routed
+    /// op, so a client admitting right after its call always charges the
+    /// op it just made.
+    last_route: Option<(usize, ServiceClass)>,
+    /// Armed mid-transaction kill switch (fault harness).
+    crash_point: Option<CrashPoint>,
     /// Storage nodes currently marked failed (degraded-read routing).
     failed_nodes: HashSet<u32>,
     /// Stale physical copies stranded on failed nodes: shards whose
@@ -294,6 +188,9 @@ pub struct ControlPlane {
     orphaned: HashMap<u32, NodeLedger>,
     /// Extents awaiting background re-protection.
     pub repair_queue: RepairQueue,
+    /// Tasks popped from the queue but not yet committed, requeued, or
+    /// abandoned — compaction must not shift record indices under them.
+    inflight_repairs: HashSet<RepairTask>,
     /// Rotates spare-node selection so repair placements spread.
     next_spare: usize,
     /// Per-storage-node stats sinks (index-aligned with `storage_nodes`),
@@ -308,29 +205,61 @@ pub struct ControlPlane {
 
 pub type SharedControl = Rc<RefCell<ControlPlane>>;
 
+/// The parent path of `path` ("/" for top-level entries and the root).
+fn parent_of(path: &str) -> &str {
+    match path.rfind('/') {
+        Some(0) | None => "/",
+        Some(i) => &path[..i],
+    }
+}
+
 impl ControlPlane {
     pub fn new(key_seed: u64, storage_nodes: Vec<NodeId>) -> SharedControl {
+        Self::new_sharded(key_seed, storage_nodes, 1)
+    }
+
+    /// A control plane with `n_shards` metadata shards. One shard
+    /// reproduces the unsharded plane exactly (every ino routes to
+    /// shard 0); behavior is shard-count-invariant by construction —
+    /// only the queueing/throughput model changes.
+    pub fn new_sharded(
+        key_seed: u64,
+        storage_nodes: Vec<NodeId>,
+        n_shards: usize,
+    ) -> SharedControl {
+        let n_shards = n_shards.max(1);
         let next_addr = storage_nodes.iter().map(|&n| (n, 0x10_0000u64)).collect();
         let meta = MetadataService::new(storage_nodes.iter().map(|&n| n as u32).collect());
         Rc::new(RefCell::new(ControlPlane {
             key: MacKey::from_seed(key_seed),
             meta,
-            files: HashMap::new(),
             next_legacy: 1,
             next_greq: 1,
             next_nonce: 1,
+            next_txid: 1,
             storage_nodes,
             next_addr,
             caches: Vec::new(),
             read_caches: Vec::new(),
-            extents: HashMap::new(),
+            shards: (0..n_shards).map(MetaShard::new).collect(),
+            router: ShardRouter::new(n_shards),
+            service_costs: MetaCosts::default(),
+            last_route: None,
+            crash_point: None,
             failed_nodes: HashSet::new(),
             orphaned: HashMap::new(),
             repair_queue: RepairQueue::default(),
+            inflight_repairs: HashSet::new(),
             next_spare: 0,
             storage_stats: Vec::new(),
             scan_tracker: HashMap::new(),
         }))
+    }
+
+    /// Install the cluster's metadata cost model (shard service times
+    /// for the admission model).
+    pub fn set_meta_costs(&mut self, costs: MetaCosts) {
+        self.service_costs = costs;
     }
 
     /// The service-shared MAC key (installed into storage-node NIC memory).
@@ -357,6 +286,58 @@ impl ControlPlane {
     pub fn attach_storage_stats(&mut self, stats: Vec<SharedStorageStats>) {
         assert_eq!(stats.len(), self.storage_nodes.len());
         self.storage_stats = stats;
+    }
+
+    // ---- shard accessors (the partitioned state's only doorway) ----
+
+    /// The metadata shard owning `ino`.
+    pub fn shard_of(&self, ino: u64) -> usize {
+        self.router.route(ino)
+    }
+
+    fn file(&self, ino: u64) -> Option<&FileMeta> {
+        self.shards[self.router.route(ino)].files.get(&ino)
+    }
+
+    fn file_mut(&mut self, ino: u64) -> Option<&mut FileMeta> {
+        let s = self.router.route(ino);
+        self.shards[s].files.get_mut(&ino)
+    }
+
+    fn extent_map(&self, ino: u64) -> Option<&ExtentMap> {
+        self.shards[self.router.route(ino)].extents.get(&ino)
+    }
+
+    /// Every file's extent map, across all shards (iteration order is
+    /// shard-major and hash-arbitrary within a shard — callers needing
+    /// determinism must sort, as `mark_node_failed` does).
+    fn all_extent_maps(&self) -> impl Iterator<Item = (&u64, &ExtentMap)> {
+        self.shards.iter().flat_map(|s| s.extents.iter())
+    }
+
+    /// Drop a vanished file's per-shard state (unlink, rename-replace):
+    /// FileMeta, extent map (un-hosting every record), compaction floor.
+    fn remove_file_state(&mut self, ino: u64) {
+        let s = self.router.route(ino);
+        self.shards[s].files.remove(&ino);
+        self.shards[s].compact_floor.remove(&ino);
+        if let Some(map) = self.shards[s].extents.remove(&ino) {
+            for rec in map.records() {
+                self.unhost_record(rec);
+            }
+        }
+    }
+
+    /// The shard owning `path`'s parent directory — where namespace
+    /// mutations on `path` route (the parent's entry list is the state
+    /// they contend on). Unresolvable parents (first mkdir_p level)
+    /// route to shard 0.
+    fn route_parent(&self, path: &str) -> usize {
+        self.meta
+            .ns
+            .resolve(parent_of(path))
+            .map(|ino| self.shard_of(ino))
+            .unwrap_or(0)
     }
 
     /// Fan the metadata service's mutation events out to every registered
@@ -393,13 +374,6 @@ impl ControlPlane {
         }
     }
 
-    fn home_of(&self, layout: &StripedLayout) -> usize {
-        self.storage_nodes
-            .iter()
-            .position(|&n| n as u32 == layout.nodes[0])
-            .expect("layout node")
-    }
-
     fn install_file(&mut self, attr: &InodeAttr, layout: StripedLayout, policy: FilePolicy) {
         let meta = FileMeta {
             id: attr.ino,
@@ -409,7 +383,8 @@ impl ControlPlane {
             home: self.home_of(&layout),
             layout,
         };
-        self.files.insert(attr.ino, meta);
+        let s = self.router.route(attr.ino);
+        self.shards[s].files.insert(attr.ino, meta);
     }
 
     /// Create a file with the given policy (legacy flat API): parked under
@@ -424,35 +399,44 @@ impl ControlPlane {
         // Legacy callers pre-declare the size; advance both the committed
         // size and the cursor so the first placement appends after it,
         // matching the seed behavior.
-        let m = self.files.get_mut(&meta.id).expect("just created");
+        let m = self.file_mut(meta.id).expect("just created");
         m.size = size;
         m.cursor = size;
         m.clone()
     }
 
     /// Create a file at `path` with a striped layout. The parent
-    /// directory must exist (`mkdir`/`mkdir_p` first).
+    /// directory must exist (`mkdir`/`mkdir_p` first). Routed to the
+    /// parent directory's shard; the ack point is that shard's op-log
+    /// append (the attr/callback fan-out below is off the ack path).
     pub fn create_file_at(
         &mut self,
         path: &str,
         spec: LayoutSpec,
         policy: FilePolicy,
     ) -> Result<FileMeta, MetaError> {
+        let parent = self.route_parent(path);
+        self.note_route(parent, ServiceClass::Mutation);
         let (attr, layout) = self.meta.create(path, spec, policy.clone(), 0)?;
         self.install_file(&attr, layout, policy);
+        self.log_apply(parent, MetaMutation::Create { ino: attr.ino });
         self.publish_invalidations();
-        Ok(self.files[&attr.ino].clone())
+        Ok(self.file(attr.ino).expect("just installed").clone())
     }
 
     /// Metadata lookup by file id. A miss is a typed error, not a panic
     /// or a silent `None`.
     pub fn lookup(&self, file: u64) -> Result<&FileMeta, MetaError> {
-        self.files.get(&file).ok_or(MetaError::UnknownFile(file))
+        self.file(file).ok_or(MetaError::UnknownFile(file))
     }
 
-    /// Path lookup (counts as one metadata round-trip).
+    /// Path lookup (counts as one metadata round-trip). Routed to the
+    /// target's shard.
     pub fn lookup_path(&mut self, path: &str) -> Result<InodeAttr, MetaError> {
-        self.meta.lookup(path)
+        let r = self.meta.lookup(path);
+        let shard = r.as_ref().map(|a| self.shard_of(a.ino)).unwrap_or(0);
+        self.note_route(shard, ServiceClass::Resolve);
+        r
     }
 
     /// Path lookup returning what a client cache stores: attrs + layout
@@ -461,7 +445,7 @@ impl ControlPlane {
         &mut self,
         path: &str,
     ) -> Result<(InodeAttr, Option<StripedLayout>), MetaError> {
-        self.meta.lookup(path)?; // the counted round-trip
+        self.lookup_path(path)?; // the counted round-trip
         self.peek_entry(path)
     }
 
@@ -482,60 +466,149 @@ impl ControlPlane {
     }
 
     pub fn mkdir(&mut self, path: &str, now_ns: u64) -> Result<InodeAttr, MetaError> {
+        let parent = self.route_parent(path);
+        self.note_route(parent, ServiceClass::Mutation);
         let r = self.meta.mkdir(path, now_ns);
+        if let Ok(attr) = &r {
+            self.log_apply(parent, MetaMutation::Mkdir { ino: attr.ino });
+        }
         self.publish_invalidations();
         r
     }
 
     pub fn mkdir_p(&mut self, path: &str, now_ns: u64) -> Result<InodeAttr, MetaError> {
+        let parent = self.route_parent(path);
+        self.note_route(parent, ServiceClass::Mutation);
         let r = self.meta.mkdir_p(path, now_ns);
+        if let Ok(attr) = &r {
+            self.log_apply(parent, MetaMutation::Mkdir { ino: attr.ino });
+        }
         self.publish_invalidations();
         r
     }
 
     pub fn readdir(&mut self, path: &str) -> Result<Vec<(String, InodeAttr)>, MetaError> {
+        let shard = self
+            .meta
+            .ns
+            .resolve(path)
+            .map(|ino| self.shard_of(ino))
+            .unwrap_or(0);
+        self.note_route(shard, ServiceClass::Resolve);
         self.meta.readdir(path)
     }
 
+    /// Rename. The participant set is {shard(from-parent),
+    /// shard(to-parent), shard(replaced target)}; when it spans shards
+    /// the op runs the two-phase intent/commit protocol, and the armed
+    /// [`CrashPoint`] (if any) kills it mid-flight — leaving dangling
+    /// intents for [`ControlPlane::recover_shards`] to resolve.
     pub fn rename(&mut self, from: &str, to: &str, now_ns: u64) -> Result<(), MetaError> {
+        let coordinator = self.route_parent(from);
+        let to_parent = self.route_parent(to);
+        let replaced_shard = self.meta.ns.resolve(to).ok().map(|ino| self.shard_of(ino));
+        let mut participants = vec![coordinator, to_parent];
+        participants.extend(replaced_shard);
+        participants.sort_unstable();
+        participants.dedup();
+        self.note_route(coordinator, ServiceClass::Mutation);
+        let op = MetaMutation::Rename {
+            from: from.to_string(),
+            to: to.to_string(),
+        };
+        let txid = if participants.len() > 1 {
+            let txid = self.alloc_txid();
+            self.tx_intent(txid, &participants, op.clone())?;
+            Some(txid)
+        } else {
+            None
+        };
         let r = self.meta.rename(from, to, now_ns);
         if let Ok(Some(replaced)) = r {
             // A POSIX replace deletes the target inode: drop its
             // placement state too, exactly like an unlink.
-            self.files.remove(&replaced);
-            if let Some(map) = self.extents.remove(&replaced) {
-                for rec in map.records() {
-                    self.unhost_record(rec);
-                }
-            }
+            self.remove_file_state(replaced);
             self.meta.note_extents_gone(replaced);
         }
         self.publish_invalidations();
+        match (&r, txid) {
+            (Ok(_), Some(txid)) => {
+                self.tx_applied(txid, coordinator)?;
+                self.tx_commit(txid, &participants, coordinator);
+            }
+            (Err(_), Some(txid)) => {
+                // Validation rejected the op: the intents are dead on
+                // arrival — abort them so recovery has nothing to do.
+                for &s in &participants {
+                    self.shards[s].log.append(LogEntry::Abort { txid });
+                }
+            }
+            (Ok(_), None) => self.log_apply(coordinator, op),
+            (Err(_), None) => {}
+        }
         r.map(|_| ())
     }
 
     /// Unlink a file or empty directory; a removed file's placement state
-    /// is dropped with it.
+    /// is dropped with it. Participants: {shard(parent), shard(target)} —
+    /// cross-shard when they hash apart (two-phase, like rename).
     pub fn unlink(&mut self, path: &str, now_ns: u64) -> Result<InodeAttr, MetaError> {
-        let attr = self.meta.unlink(path, now_ns)?;
-        self.files.remove(&attr.ino);
-        if let Some(map) = self.extents.remove(&attr.ino) {
-            for rec in map.records() {
-                self.unhost_record(rec);
-            }
+        let coordinator = self.route_parent(path);
+        let target = self.meta.ns.resolve(path).ok();
+        let mut participants = vec![coordinator];
+        participants.extend(target.map(|ino| self.shard_of(ino)));
+        participants.sort_unstable();
+        participants.dedup();
+        self.note_route(coordinator, ServiceClass::Mutation);
+        let op = MetaMutation::Unlink {
+            ino: target.unwrap_or(0),
+        };
+        let txid = if participants.len() > 1 {
+            let txid = self.alloc_txid();
+            self.tx_intent(txid, &participants, op.clone())?;
+            Some(txid)
+        } else {
+            None
+        };
+        let r = self.meta.unlink(path, now_ns);
+        if let Ok(attr) = &r {
+            self.remove_file_state(attr.ino);
+            self.meta.note_extents_gone(attr.ino);
         }
-        self.meta.note_extents_gone(attr.ino);
         self.publish_invalidations();
-        Ok(attr)
+        match (&r, txid) {
+            (Ok(_), Some(txid)) => {
+                self.tx_applied(txid, coordinator)?;
+                self.tx_commit(txid, &participants, coordinator);
+            }
+            (Err(_), Some(txid)) => {
+                for &s in &participants {
+                    self.shards[s].log.append(LogEntry::Abort { txid });
+                }
+            }
+            (Ok(_), None) => self.log_apply(coordinator, op),
+            (Err(_), None) => {}
+        }
+        r
     }
 
     /// Apply a client's write-back attribute flush. Applied updates
     /// publish `Changed` events, so other clients' cached attrs for the
-    /// flushed files are invalidated.
+    /// flushed files are invalidated. Each touched ino's flush is logged
+    /// on its owning shard; admission charges the first ino's shard.
     pub fn flush_attrs(
         &mut self,
         updates: &[(u64, nadfs_meta::DirtyAttr)],
     ) -> Result<(), MetaError> {
+        let shard = updates
+            .first()
+            .map(|(ino, _)| self.shard_of(*ino))
+            .unwrap_or(0);
+        self.note_route(shard, ServiceClass::Mutation);
+        for (ino, _) in updates {
+            let s = self.shard_of(*ino);
+            self.log_apply(s, MetaMutation::AttrFlush { ino: *ino });
+        }
         let r = self.meta.flush_attrs(updates);
         self.publish_invalidations();
         r
@@ -554,724 +627,6 @@ impl ControlPlane {
         self.next_nonce += 1;
         Capability::issue(&self.key, client, file, rights, expires_at_ns, nonce)
     }
-
-    fn alloc_on(&mut self, node: NodeId, len: u64) -> u64 {
-        let a = self.next_addr.get_mut(&node).expect("storage node");
-        let addr = *a;
-        // Page-align so concurrent placements never overlap.
-        *a += len.div_ceil(4096).max(1) * 4096;
-        addr
-    }
-
-    fn count_stripe_placement(&mut self, node: NodeId) {
-        if self.storage_stats.is_empty() {
-            return;
-        }
-        if let Some(i) = self.storage_nodes.iter().position(|&n| n == node) {
-            self.storage_stats[i].borrow_mut().stripe_chunks_placed += 1;
-        }
-    }
-
-    /// Allocate a fresh request id.
-    pub fn alloc_greq(&mut self) -> u64 {
-        let g = self.next_greq;
-        self.next_greq += 1;
-        g
-    }
-
-    /// Metadata service: place one write of `len` bytes for `file`,
-    /// appending at the file's placement cursor. Unknown file ids are a
-    /// typed error the client surfaces as a failed job.
-    pub fn place_write(&mut self, file: u64, len: u32) -> Result<WritePlacement, MetaError> {
-        self.place_write_inner(file, len, PlaceMode::Append)
-    }
-
-    /// Place a write at an explicit logical offset (`pwrite` semantics):
-    /// the placement cursor only advances past `offset + len` when the
-    /// write extends the file, so overwrites don't grow it.
-    pub fn place_write_at(
-        &mut self,
-        file: u64,
-        len: u32,
-        offset: u64,
-    ) -> Result<WritePlacement, MetaError> {
-        self.place_write_inner(file, len, PlaceMode::At(offset))
-    }
-
-    /// Re-place a retried write at its original logical offset: fresh
-    /// physical addresses (the old descriptors are gone), but the
-    /// placement cursor does NOT advance again — a retry re-writes the
-    /// same logical extent, it does not append new bytes.
-    pub fn replace_write(
-        &mut self,
-        file: u64,
-        len: u32,
-        offset: u64,
-    ) -> Result<WritePlacement, MetaError> {
-        self.place_write_inner(file, len, PlaceMode::Retry(offset))
-    }
-
-    fn place_write_inner(
-        &mut self,
-        file: u64,
-        len: u32,
-        mode: PlaceMode,
-    ) -> Result<WritePlacement, MetaError> {
-        let meta = self.lookup(file)?.clone();
-        let greq = self.alloc_greq();
-        let n = self.storage_nodes.len();
-        let home = meta.home;
-        let base = match mode {
-            PlaceMode::Append => meta.cursor,
-            PlaceMode::At(o) => o,
-            PlaceMode::Retry(o) => o,
-        };
-        // Cursor: appends and extending writes advance it; retries never
-        // do (their original placement already did). Only the cursor
-        // moves here — the committed size advances when the write's
-        // placement is committed, so a rejected or abandoned write never
-        // inflates what `stat` and read planning see.
-        let appended = match mode {
-            PlaceMode::Retry(_) => 0,
-            _ => (base + len as u64).saturating_sub(meta.cursor),
-        };
-        if appended > 0 {
-            if let Some(f) = self.files.get_mut(&file) {
-                f.cursor += appended;
-            }
-        }
-        let placement = match meta.policy {
-            FilePolicy::Plain => {
-                // Striped placement: split the extent over the file's
-                // layout; width-1 layouts degenerate to the seed's
-                // single-node placement.
-                let extents = meta.layout.extents(base, len);
-                let mut stripes = Vec::with_capacity(extents.len());
-                for e in &extents {
-                    let node = e.node as NodeId;
-                    let addr = self.alloc_on(node, e.len.max(1) as u64);
-                    self.count_stripe_placement(node);
-                    stripes.push(StripeTarget {
-                        coord: ReplicaCoord { node: e.node, addr },
-                        len: e.len,
-                        file_offset: e.file_offset,
-                    });
-                }
-                let primary = stripes[0].coord;
-                WritePlacement {
-                    greq,
-                    primary,
-                    replicas: vec![primary],
-                    data_chunks: vec![],
-                    parities: vec![],
-                    chunk_len: 0,
-                    offset: base,
-                    appended,
-                    stripes: if stripes.len() > 1 { stripes } else { vec![] },
-                }
-            }
-            FilePolicy::Replicated { k, .. } => {
-                assert!(k as usize <= n, "replication factor exceeds cluster");
-                let mut replicas = Vec::with_capacity(k as usize);
-                for r in 0..k as usize {
-                    let node = self.storage_nodes[(home + r) % n];
-                    let addr = self.alloc_on(node, len as u64);
-                    replicas.push(ReplicaCoord {
-                        node: node as u32,
-                        addr,
-                    });
-                }
-                WritePlacement {
-                    greq,
-                    primary: replicas[0],
-                    replicas,
-                    data_chunks: vec![],
-                    parities: vec![],
-                    chunk_len: 0,
-                    offset: base,
-                    appended,
-                    stripes: vec![],
-                }
-            }
-            FilePolicy::ErasureCoded { scheme } => {
-                let (k, m) = (scheme.k as usize, scheme.m as usize);
-                assert!(k + m <= n, "RS(k,m) needs k+m storage nodes");
-                let chunk_len = (len as u64).div_ceil(k as u64).max(1) as u32;
-                let mut data_chunks = Vec::with_capacity(k);
-                for j in 0..k {
-                    let node = self.storage_nodes[(home + j) % n];
-                    let addr = self.alloc_on(node, chunk_len as u64);
-                    data_chunks.push(ReplicaCoord {
-                        node: node as u32,
-                        addr,
-                    });
-                }
-                let mut parities = Vec::with_capacity(m);
-                for p in 0..m {
-                    let node = self.storage_nodes[(home + k + p) % n];
-                    // Parity region: final parity plus k staging slots
-                    // (used by the INEC firmware path).
-                    let addr = self.alloc_on(node, chunk_len as u64 * (1 + k as u64));
-                    parities.push(ReplicaCoord {
-                        node: node as u32,
-                        addr,
-                    });
-                }
-                WritePlacement {
-                    greq,
-                    primary: data_chunks[0],
-                    replicas: vec![],
-                    data_chunks,
-                    parities,
-                    chunk_len,
-                    offset: base,
-                    appended,
-                    stripes: vec![],
-                }
-            }
-        };
-        Ok(placement)
-    }
-
-    /// Commit a completed write's placement into the file's extent map
-    /// (called by clients when the write acknowledges `Ok`): this is what
-    /// makes the bytes *readable* — and what advances the committed size
-    /// (`stat` / read-plan clamping). The map's generation bump is fanned
-    /// out to registered read caches so cached data for the file drops.
-    /// A file unlinked while the write was in flight is silently skipped.
-    /// Returns the committed-size growth — what the client's write-back
-    /// attr update must carry (placement-time deltas would over-count
-    /// when an earlier placement was abandoned and never committed).
-    pub fn commit_write(&mut self, file: u64, placement: &WritePlacement, len: u32) -> u64 {
-        if len == 0 || !self.files.contains_key(&file) {
-            return 0;
-        }
-        let scheme = match self.files.get(&file).map(|m| &m.policy) {
-            Some(FilePolicy::ErasureCoded { scheme }) => Some(*scheme),
-            _ => None,
-        };
-        let map = self.extents.entry(file).or_default();
-        let first_new = map.len();
-        if !placement.stripes.is_empty() {
-            for st in &placement.stripes {
-                map.record(ExtentRecord::Plain {
-                    offset: st.file_offset,
-                    len: st.len,
-                    coord: st.coord,
-                });
-            }
-        } else if !placement.data_chunks.is_empty() {
-            let scheme = scheme.expect("EC placement on a non-EC file");
-            map.record(ExtentRecord::Ec {
-                offset: placement.offset,
-                len,
-                chunk_len: placement.chunk_len,
-                scheme,
-                data: placement.data_chunks.clone(),
-                parities: placement.parities.clone(),
-            });
-        } else if placement.replicas.len() > 1 {
-            map.record(ExtentRecord::Replicated {
-                offset: placement.offset,
-                len,
-                replicas: placement.replicas.clone(),
-            });
-        } else {
-            map.record(ExtentRecord::Plain {
-                offset: placement.offset,
-                len,
-                coord: placement.primary,
-            });
-        }
-        let generation = map.generation();
-        // The bytes are durable now: this (and only this) advances the
-        // committed size the read path clamps against.
-        let mut growth = 0;
-        if let Some(f) = self.files.get_mut(&file) {
-            let new_size = f.size.max(placement.offset + len as u64);
-            growth = new_size - f.size;
-            f.size = new_size;
-        }
-        // The committed shards are live on their nodes now: charge the
-        // hosted-capacity gauges per coordinate.
-        {
-            let map = &self.extents[&file];
-            for rec in first_new..map.len() {
-                let r = &map.records()[rec];
-                let bytes = r.shard_len() as u64;
-                for (_, coord) in r.shard_coords() {
-                    self.hosted_add(coord.node, bytes);
-                }
-            }
-        }
-        // A write that raced a failure commits an extent referencing an
-        // already-failed node (the placement predates `mark_node_failed`,
-        // whose scan could not see this record): queue it now, or the
-        // mid-write kill would leave a permanently degraded extent.
-        if !self.failed_nodes.is_empty() {
-            let map = &self.extents[&file];
-            for rec in first_new..map.len() {
-                if self
-                    .failed_nodes
-                    .iter()
-                    .any(|&n| map.records()[rec].references_node(n))
-                {
-                    self.repair_queue.push_back(RepairTask { file, rec });
-                }
-            }
-        }
-        // Fan the generation bump out to client read caches (same
-        // callback channel every namespace mutation rides).
-        self.meta.note_extent_commit(file, generation);
-        self.publish_invalidations();
-        growth
-    }
-
-    /// Mark a storage node failed: reads route around it (replica
-    /// failover, degraded EC reconstruction), and every committed extent
-    /// with a shard on the node is enqueued for background re-protection.
-    pub fn mark_node_failed(&mut self, node: u32) {
-        if !self.failed_nodes.insert(node) {
-            return; // already failed; extents are already queued
-        }
-        // The extent table is a HashMap; enqueue in sorted (file, rec)
-        // order so the repair queue — and everything downstream of it
-        // (placement, bandwidth throttling cut points) — is identical
-        // across runs with the same seed.
-        let mut tasks: Vec<RepairTask> = Vec::new();
-        for (&file, map) in &self.extents {
-            for rec in map.affected_records(node) {
-                tasks.push(RepairTask { file, rec });
-            }
-        }
-        tasks.sort_unstable_by_key(|t| (t.file, t.rec));
-        for t in tasks {
-            self.repair_queue.push_back(t);
-        }
-    }
-
-    /// Bring a storage node back and reconcile its state with what
-    /// changed while it was down. Un-failing alone would leak: repairs
-    /// re-homed shards away and unlinks dropped whole files during the
-    /// outage, so the node comes back holding copies the metadata no
-    /// longer references. Reconciliation:
-    ///
-    /// 1. garbage-collects those stale copies (the orphan ledger built up
-    ///    at re-home/unlink time) into the node's reclaim counters,
-    /// 2. re-adopts shards still current in the extent map — they are
-    ///    live data again and keep their place in the hosted gauges,
-    /// 3. drops repair-queue tasks made obsolete by the recovery (their
-    ///    extent no longer references any failed node).
-    pub fn mark_node_recovered(&mut self, node: u32) {
-        if !self.failed_nodes.remove(&node) {
-            return; // not failed; nothing to reconcile
-        }
-        if let Some(led) = self.orphaned.remove(&node) {
-            if let Some(stats) = self.node_stats(node) {
-                let mut s = stats.borrow_mut();
-                s.stale_chunks_reclaimed += led.chunks;
-                s.stale_bytes_reclaimed += led.bytes;
-            }
-        }
-        let readopted: u64 = self
-            .extents
-            .values()
-            .flat_map(|m| m.records())
-            .map(|r| {
-                r.shard_coords()
-                    .iter()
-                    .filter(|(_, c)| c.node == node)
-                    .count() as u64
-            })
-            .sum();
-        self.repair_queue.stats.shards_readopted += readopted;
-        let extents = &self.extents;
-        let failed = &self.failed_nodes;
-        let dropped = self.repair_queue.retain_tasks(|t| {
-            extents
-                .get(&t.file)
-                .and_then(|m| m.records().get(t.rec))
-                .is_some_and(|r| failed.iter().any(|&n| r.references_node(n)))
-        });
-        self.repair_queue.stats.dropped_on_recovery += dropped;
-    }
-
-    pub fn failed_nodes(&self) -> &HashSet<u32> {
-        &self.failed_nodes
-    }
-
-    /// Resolve a ranged read into fetchable pieces: clamp to the
-    /// committed size (short reads past EOF, like `pread`), then walk
-    /// the extent map routing around failed nodes. Any stripe the plan
-    /// serves through degraded reconstruction is promoted to the front of
-    /// the repair queue — the client is paying for that extent right now.
-    /// Counts one control round-trip in the metadata ledger (the RPC a
-    /// client read cache absorbs).
-    pub fn resolve_read(
-        &mut self,
-        file: u64,
-        offset: u64,
-        len: u32,
-    ) -> Result<ReadPlan, MetaError> {
-        let meta = self.lookup(file)?;
-        // Saturate: `offset + len` can exceed u64::MAX (a hostile or
-        // buggy offset) — the overflow would panic in debug builds and
-        // wrap in release, turning an out-of-range read into a bogus
-        // plan. Saturating yields `end == size`, hence a clean
-        // zero-length short read.
-        let end = offset.saturating_add(len as u64).min(meta.size);
-        let clamped = end.saturating_sub(offset) as u32;
-        self.meta.stats.resolves += 1;
-        let plan = match self.extents.get(&file) {
-            Some(map) => map.resolve(offset, clamped, &self.failed_nodes),
-            // Nothing committed yet: the whole (clamped) range is a hole.
-            None => ExtentMap::new().resolve(offset, clamped, &self.failed_nodes),
-        }?;
-        for piece in &plan.pieces {
-            if let ReadPiece::Degraded { rec, .. } = piece {
-                self.repair_queue.promote(RepairTask { file, rec: *rec });
-            }
-        }
-        // Sequential-scan detector over resolve traffic: two back-to-back
-        // resolves of the same file advertise the region ahead of the
-        // reader to every subscribed read cache (including other clients,
-        // which is where an advisory beats purely local detection).
-        if clamped > 0 {
-            let entry = self.scan_tracker.entry(file).or_insert((0, 0));
-            let sequential = entry.1 > 0 && offset == entry.0;
-            entry.1 = if sequential { entry.1 + 1 } else { 1 };
-            entry.0 = end;
-            if sequential && entry.1 >= 3 {
-                let hint_len = (clamped as u64 * 4).min(1 << 20) as u32;
-                self.meta.note_prefetch_hint(file, end, hint_len);
-                self.publish_invalidations();
-            }
-        }
-        Ok(plan)
-    }
-
-    /// The extent-map generation of `file` (bumped by commits and repair
-    /// re-homing; 0 before the first commit).
-    pub fn extent_generation(&self, file: u64) -> u64 {
-        self.extents.get(&file).map_or(0, |m| m.generation())
-    }
-
-    /// Pick a spare node for a repair placement: healthy, not already
-    /// hosting a shard of the extent, rotating so consecutive repairs
-    /// spread. `None` when the cluster has no eligible node.
-    fn choose_spare(&mut self, exclude: &HashSet<u32>) -> Option<NodeId> {
-        let n = self.storage_nodes.len();
-        for i in 0..n {
-            let node = self.storage_nodes[(self.next_spare + i) % n];
-            let id = node as u32;
-            if !self.failed_nodes.contains(&id) && !exclude.contains(&id) {
-                self.next_spare = (self.next_spare + i + 1) % n;
-                return Some(node);
-            }
-        }
-        None
-    }
-
-    fn count_repair_placement(&mut self, node: u32) {
-        if let Some(i) = self.storage_nodes.iter().position(|&n| n as u32 == node) {
-            if let Some(stats) = self.storage_stats.get(i) {
-                stats.borrow_mut().repair_chunks_hosted += 1;
-            }
-        }
-    }
-
-    /// The stats sink for storage node `node`, if one is attached (unit
-    /// tests build planes without sinks; every ledger update degrades to
-    /// a no-op there).
-    fn node_stats(&self, node: u32) -> Option<&SharedStorageStats> {
-        self.storage_nodes
-            .iter()
-            .position(|&n| n as u32 == node)
-            .and_then(|i| self.storage_stats.get(i))
-    }
-
-    /// A shard became live on `node`: bump its hosted gauges.
-    fn hosted_add(&self, node: u32, bytes: u64) {
-        if let Some(stats) = self.node_stats(node) {
-            let mut s = stats.borrow_mut();
-            s.chunks_hosted += 1;
-            s.bytes_hosted += bytes;
-        }
-    }
-
-    /// A shard stopped being live on `node` (re-homed away, or its file
-    /// unlinked): drop it from the hosted gauges. The gauges track what
-    /// the extent maps currently say, so this happens at the metadata
-    /// mutation — even while the node is down (the stale physical copy
-    /// moves to the orphan ledger via [`Self::orphan_add`]).
-    fn hosted_sub(&self, node: u32, bytes: u64) {
-        if let Some(stats) = self.node_stats(node) {
-            let mut s = stats.borrow_mut();
-            s.chunks_hosted = s.chunks_hosted.saturating_sub(1);
-            s.bytes_hosted = s.bytes_hosted.saturating_sub(bytes);
-        }
-    }
-
-    /// Record a stale copy stranded on failed node `node`: the metadata
-    /// no longer references it, but the node was down when it died, so
-    /// the physical chunk sits there until recovery reconciliation.
-    fn orphan_add(&mut self, node: u32, bytes: u64) {
-        let led = self.orphaned.entry(node).or_default();
-        led.chunks += 1;
-        led.bytes += bytes;
-    }
-
-    /// Un-home one extent record's shards after the record leaves the
-    /// metadata (unlink / rename-replace): every coordinate drops off
-    /// the hosted gauges, and coordinates on currently-failed nodes are
-    /// remembered as orphans for recovery-time reclamation.
-    fn unhost_record(&mut self, rec: &ExtentRecord) {
-        let bytes = rec.shard_len() as u64;
-        for (_, coord) in rec.shard_coords() {
-            self.hosted_sub(coord.node, bytes);
-            if self.failed_nodes.contains(&coord.node) {
-                self.orphan_add(coord.node, bytes);
-            }
-        }
-    }
-
-    /// Bytes the extent maps currently place across the cluster — the
-    /// conservation target for the hosted gauges: at any point,
-    /// `sum(bytes_hosted) == live_extent_bytes()`.
-    pub fn live_extent_bytes(&self) -> u64 {
-        self.extents
-            .values()
-            .flat_map(|m| m.records())
-            .map(|r| r.shard_len() as u64 * r.shard_coords().len() as u64)
-            .sum()
-    }
-
-    /// Shards the extent maps currently place across the cluster — the
-    /// conservation target for the `chunks_hosted` gauges.
-    pub fn live_extent_shards(&self) -> u64 {
-        self.extents
-            .values()
-            .flat_map(|m| m.records())
-            .map(|r| r.shard_coords().len() as u64)
-            .sum()
-    }
-
-    /// Stale copies currently stranded on `node` as `(chunks, bytes)` —
-    /// nonzero only while the node is failed.
-    pub fn orphaned_on(&self, node: u32) -> (u64, u64) {
-        let led = self.orphaned.get(&node).copied().unwrap_or_default();
-        (led.chunks, led.bytes)
-    }
-
-    /// Plan the repair of one queued extent: which surviving shards to
-    /// fetch, which shards to rebuild, and the spare coordinates (freshly
-    /// allocated here) the re-protected data will live at. Unrepairable
-    /// extents are typed errors: a plain extent on a failed node has no
-    /// redundancy ([`MetaError::DataUnavailable`]), an EC stripe with
-    /// fewer than k survivors is lost ([`MetaError::TooManyFailures`]),
-    /// and a cluster with every healthy node already holding a shard has
-    /// nowhere to re-protect to ([`MetaError::NoSpareNode`]).
-    pub fn plan_repair(&mut self, task: RepairTask) -> Result<RepairPlan, MetaError> {
-        let record = self
-            .extents
-            .get(&task.file)
-            .and_then(|m| m.records().get(task.rec))
-            .ok_or(MetaError::UnknownFile(task.file))?
-            .clone();
-        let failed = self.failed_nodes.clone();
-        match record {
-            ExtentRecord::Plain { coord, .. } => {
-                if failed.contains(&coord.node) {
-                    Err(MetaError::DataUnavailable { node: coord.node })
-                } else {
-                    Ok(RepairPlan::AlreadyHealthy)
-                }
-            }
-            ExtentRecord::Replicated { len, replicas, .. } => {
-                let missing: Vec<usize> = replicas
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, c)| failed.contains(&c.node))
-                    .map(|(i, _)| i)
-                    .collect();
-                if missing.is_empty() {
-                    return Ok(RepairPlan::AlreadyHealthy);
-                }
-                let Some(src) = replicas.iter().find(|c| !failed.contains(&c.node)) else {
-                    return Err(MetaError::DataUnavailable {
-                        node: replicas.first().map_or(0, |c| c.node),
-                    });
-                };
-                let mut in_use: HashSet<u32> = replicas
-                    .iter()
-                    .filter(|c| !failed.contains(&c.node))
-                    .map(|c| c.node)
-                    .collect();
-                let mut dest = Vec::with_capacity(missing.len());
-                for slot in missing {
-                    let node = self.choose_spare(&in_use).ok_or(MetaError::NoSpareNode)?;
-                    in_use.insert(node as u32);
-                    let addr = self.alloc_on(node, len.max(1) as u64);
-                    dest.push((
-                        slot,
-                        ReplicaCoord {
-                            node: node as u32,
-                            addr,
-                        },
-                    ));
-                }
-                Ok(RepairPlan::ReplicaClone {
-                    len,
-                    src: *src,
-                    dest,
-                })
-            }
-            ExtentRecord::Ec {
-                offset,
-                chunk_len,
-                scheme,
-                data,
-                parities,
-                ..
-            } => {
-                let k = scheme.k as usize;
-                let shards: Vec<ReplicaCoord> = data.iter().chain(&parities).copied().collect();
-                let missing: Vec<usize> = shards
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, c)| failed.contains(&c.node))
-                    .map(|(i, _)| i)
-                    .collect();
-                if missing.is_empty() {
-                    return Ok(RepairPlan::AlreadyHealthy);
-                }
-                let fetch: Vec<(usize, ReplicaCoord)> = shards
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, c)| !failed.contains(&c.node))
-                    .map(|(i, c)| (i, *c))
-                    .take(k)
-                    .collect();
-                if fetch.len() < k {
-                    return Err(MetaError::TooManyFailures {
-                        stripe_offset: offset,
-                    });
-                }
-                let mut in_use: HashSet<u32> = shards
-                    .iter()
-                    .filter(|c| !failed.contains(&c.node))
-                    .map(|c| c.node)
-                    .collect();
-                let mut rebuild = Vec::with_capacity(missing.len());
-                for slot in missing {
-                    let node = self.choose_spare(&in_use).ok_or(MetaError::NoSpareNode)?;
-                    in_use.insert(node as u32);
-                    // Parity spares keep the (1 + k)-slot staging region
-                    // the INEC firmware path expects for this address
-                    // range, matching the original placement.
-                    let span = if slot >= k {
-                        chunk_len as u64 * (1 + k as u64)
-                    } else {
-                        chunk_len as u64
-                    };
-                    let addr = self.alloc_on(node, span.max(1));
-                    rebuild.push((
-                        slot,
-                        ReplicaCoord {
-                            node: node as u32,
-                            addr,
-                        },
-                    ));
-                }
-                Ok(RepairPlan::EcRebuild {
-                    scheme,
-                    chunk_len,
-                    fetch,
-                    rebuild,
-                })
-            }
-        }
-    }
-
-    /// Commit a finished repair: rewrite the extent's shard coordinates
-    /// to the spare locations, bump the map generation, and invalidate
-    /// client caches through the namespace's version/callback machinery
-    /// (the same channel every other metadata mutation rides).
-    pub fn commit_repair(
-        &mut self,
-        task: RepairTask,
-        replacements: &[(usize, ReplicaCoord)],
-        now_ns: u64,
-    ) -> Result<(), MetaError> {
-        let map = self
-            .extents
-            .get_mut(&task.file)
-            .ok_or(MetaError::UnknownFile(task.file))?;
-        // Snapshot the coordinates being replaced BEFORE the rehome
-        // rewrites them: those copies stop being live data the moment the
-        // map points elsewhere, and the ones on failed nodes become
-        // orphans to reclaim at recovery.
-        let (old_coords, shard_bytes) = {
-            let rec = map.records().get(task.rec).ok_or(MetaError::NotFound)?;
-            let coords = rec.shard_coords();
-            let old: Vec<ReplicaCoord> = replacements
-                .iter()
-                .filter_map(|&(slot, _)| coords.iter().find(|(s, _)| *s == slot).map(|&(_, c)| c))
-                .collect();
-            (old, rec.shard_len() as u64)
-        };
-        map.rehome(task.rec, replacements)?;
-        let generation = map.generation();
-        self.repair_queue.stats.committed += 1;
-        self.repair_queue.stats.shards_rehomed += replacements.len() as u64;
-        for &(_, coord) in replacements {
-            self.count_repair_placement(coord.node);
-            self.hosted_add(coord.node, shard_bytes);
-        }
-        for coord in old_coords {
-            self.hosted_sub(coord.node, shard_bytes);
-            if self.failed_nodes.contains(&coord.node) {
-                self.orphan_add(coord.node, shard_bytes);
-            }
-        }
-        // A spare can itself fail while the repair's data movement is in
-        // flight; the failure scan ran before this rehome so it could not
-        // see the new coordinates. Re-enqueue the extent — especially for
-        // replicated records, which fail over silently and would
-        // otherwise run with reduced redundancy forever.
-        if replacements
-            .iter()
-            .any(|(_, c)| self.failed_nodes.contains(&c.node))
-        {
-            self.repair_queue.push_back(task);
-        }
-        self.meta.note_layout_change(task.file, generation, now_ns);
-        self.publish_invalidations();
-        Ok(())
-    }
-
-    /// Take the next repair task (highest priority first).
-    pub fn pop_repair(&mut self) -> Option<RepairTask> {
-        self.repair_queue.pop()
-    }
-
-    /// Put a task back for another attempt after a transient failure.
-    pub fn requeue_repair(&mut self, task: RepairTask) {
-        if self.repair_queue.push_back(task) {
-            self.repair_queue.stats.requeued += 1;
-        }
-    }
-}
-
-/// How a placement relates to the file's cursor.
-#[derive(Clone, Copy, Debug)]
-enum PlaceMode {
-    /// Append at the cursor (the cursor advances by `len`).
-    Append,
-    /// Explicit offset; the cursor advances only past `offset + len`.
-    At(u64),
-    /// Busy-retry re-placement at the original offset; no cursor motion.
-    Retry(u64),
 }
 
 #[cfg(test)]
@@ -1928,5 +1283,253 @@ mod tests {
             MetaError::UnknownFile(f.id)
         );
         assert!(cp.borrow_mut().place_write(f.id, 64).is_err());
+    }
+
+    // ---- sharded-plane tests ----
+
+    fn sharded(n: usize) -> SharedControl {
+        ControlPlane::new_sharded(7, vec![4, 5, 6, 7, 8], n)
+    }
+
+    #[test]
+    fn sharded_plane_behaves_like_single_shard() {
+        // The tentpole invariant: behavior is shard-count-invariant —
+        // the same op sequence yields the same observable state at 1
+        // and 4 shards.
+        for n in [1usize, 4] {
+            let cp = sharded(n);
+            cp.borrow_mut().mkdir_p("/a/b", 0).expect("mkdir");
+            let f = cp
+                .borrow_mut()
+                .create_file_at("/a/b/f", LayoutSpec::striped(2, 4096), FilePolicy::Plain)
+                .expect("create");
+            let p = cp.borrow_mut().place_write(f.id, 2 * 4096).expect("place");
+            cp.borrow_mut().commit_write(f.id, &p, 2 * 4096);
+            assert_eq!(cp.borrow().lookup(f.id).expect("meta").size, 2 * 4096);
+            let plan = cp
+                .borrow_mut()
+                .resolve_read(f.id, 0, 2 * 4096)
+                .expect("resolve");
+            assert_eq!(plan.len, 2 * 4096, "shards={n}");
+            cp.borrow_mut().rename("/a/b/f", "/a/g", 1).expect("rename");
+            assert_eq!(
+                cp.borrow_mut().lookup_path("/a/g").expect("moved").ino,
+                f.id
+            );
+            cp.borrow_mut().unlink("/a/g", 2).expect("unlink");
+            assert!(cp.borrow().lookup(f.id).is_err());
+        }
+    }
+
+    #[test]
+    fn mutations_land_in_the_owning_shards_op_log() {
+        let cp = sharded(4);
+        cp.borrow_mut().mkdir_p("/d", 0).expect("mkdir");
+        cp.borrow_mut()
+            .create_file_at("/d/f", LayoutSpec::SINGLE, FilePolicy::Plain)
+            .expect("create");
+        let total: usize = cp.borrow().shard_log_lens().iter().sum();
+        assert!(total >= 2, "mkdir + create each logged, got {total}");
+        let stats = cp.borrow().shard_stats();
+        let muts: u64 = stats.iter().map(|s| s.mutations).sum();
+        assert!(muts >= 2, "routed mutations counted, got {muts}");
+    }
+
+    #[test]
+    fn cross_shard_rename_commits_two_phase() {
+        let cp = sharded(4);
+        cp.borrow_mut().mkdir_p("/a", 0).expect("mkdir");
+        cp.borrow_mut().mkdir_p("/b", 0).expect("mkdir");
+        // Create files until one lands with from-parent and to-parent on
+        // different shards (ino allocation is deterministic, so this
+        // terminates immediately in practice).
+        let a_ino = cp.borrow().meta.ns.resolve("/a").expect("a");
+        let b_ino = cp.borrow().meta.ns.resolve("/b").expect("b");
+        let (sa, sb) = (cp.borrow().shard_of(a_ino), cp.borrow().shard_of(b_ino));
+        cp.borrow_mut()
+            .create_file_at("/a/f", LayoutSpec::SINGLE, FilePolicy::Plain)
+            .expect("create");
+        cp.borrow_mut().rename("/a/f", "/b/f", 1).expect("rename");
+        assert!(cp.borrow_mut().lookup_path("/b/f").is_ok());
+        if sa != sb {
+            let txns: u64 = cp
+                .borrow()
+                .shard_stats()
+                .iter()
+                .map(|s| s.cross_shard_txns)
+                .sum();
+            assert_eq!(txns, 1, "one two-phase transaction coordinated");
+            // Both participants hold Intent + Commit; recovery finds
+            // nothing dangling.
+            assert_eq!(cp.borrow_mut().recover_shards(), TxRecovery::default());
+        }
+    }
+
+    #[test]
+    fn crash_after_intent_rolls_back_and_leaves_namespace_untouched() {
+        let cp = sharded(4);
+        cp.borrow_mut().mkdir_p("/a", 0).expect("mkdir");
+        cp.borrow_mut().mkdir_p("/b", 0).expect("mkdir");
+        cp.borrow_mut()
+            .create_file_at("/a/f", LayoutSpec::SINGLE, FilePolicy::Plain)
+            .expect("create");
+        let a_ino = cp.borrow().meta.ns.resolve("/a").expect("a");
+        let b_ino = cp.borrow().meta.ns.resolve("/b").expect("b");
+        if cp.borrow().shard_of(a_ino) == cp.borrow().shard_of(b_ino) {
+            return; // single-participant rename: no transaction to kill
+        }
+        cp.borrow_mut().set_crash_point(CrashPoint::AfterIntent);
+        assert_eq!(
+            cp.borrow_mut().rename("/a/f", "/b/f", 1).unwrap_err(),
+            MetaError::TxAborted
+        );
+        // The op never applied: source intact, destination absent.
+        assert!(cp.borrow_mut().lookup_path("/a/f").is_ok());
+        assert!(cp.borrow_mut().lookup_path("/b/f").is_err());
+        let rec = cp.borrow_mut().recover_shards();
+        assert_eq!(rec.rolled_back, 1);
+        assert_eq!(rec.rolled_forward, 0);
+        // Recovery is idempotent.
+        assert_eq!(cp.borrow_mut().recover_shards(), TxRecovery::default());
+        // And the namespace still works after recovery.
+        cp.borrow_mut().rename("/a/f", "/b/f", 2).expect("rename");
+        assert!(cp.borrow_mut().lookup_path("/b/f").is_ok());
+    }
+
+    #[test]
+    fn crash_after_apply_rolls_forward() {
+        let cp = sharded(4);
+        cp.borrow_mut().mkdir_p("/a", 0).expect("mkdir");
+        cp.borrow_mut().mkdir_p("/b", 0).expect("mkdir");
+        cp.borrow_mut()
+            .create_file_at("/a/f", LayoutSpec::SINGLE, FilePolicy::Plain)
+            .expect("create");
+        let a_ino = cp.borrow().meta.ns.resolve("/a").expect("a");
+        let b_ino = cp.borrow().meta.ns.resolve("/b").expect("b");
+        if cp.borrow().shard_of(a_ino) == cp.borrow().shard_of(b_ino) {
+            return;
+        }
+        cp.borrow_mut().set_crash_point(CrashPoint::AfterApply);
+        // The coordinator died before acking — the client sees an
+        // aborted transaction, but the mutation is durably applied.
+        assert_eq!(
+            cp.borrow_mut().rename("/a/f", "/b/f", 1).unwrap_err(),
+            MetaError::TxAborted
+        );
+        assert!(cp.borrow_mut().lookup_path("/b/f").is_ok());
+        assert!(cp.borrow_mut().lookup_path("/a/f").is_err());
+        let rec = cp.borrow_mut().recover_shards();
+        assert_eq!(rec.rolled_forward, 1, "Applied witness → roll forward");
+        assert_eq!(rec.rolled_back, 0);
+        assert_eq!(cp.borrow_mut().recover_shards(), TxRecovery::default());
+    }
+
+    #[test]
+    fn admission_serializes_ops_on_one_shard() {
+        let cp = sharded(1);
+        cp.borrow_mut().mkdir_p("/d", 0).expect("mkdir");
+        let w0 = cp.borrow_mut().admit_last(0);
+        assert_eq!(w0, 0, "empty shard: no wait");
+        // A second op at the same instant queues behind the first's
+        // mutate_service occupancy.
+        cp.borrow_mut().mkdir_p("/d2", 0).expect("mkdir");
+        let w1 = cp.borrow_mut().admit_last(0);
+        assert_eq!(
+            w1,
+            MetaCosts::default().mutate_service.ps(),
+            "second op waits out the first's service time"
+        );
+        let stats = cp.borrow().shard_stats();
+        assert_eq!(stats[0].queue_wait_ps, w1);
+        // With no routed op pending, admit is a no-op.
+        assert_eq!(cp.borrow_mut().admit_last(0), 0);
+    }
+
+    #[test]
+    fn overwrite_churn_triggers_compaction_and_conserves_resolution() {
+        let cp = plane();
+        cp.borrow_mut().mkdir_p("/d", 0).expect("mkdir");
+        let f = cp
+            .borrow_mut()
+            .create_file_at("/d/hot", LayoutSpec::SINGLE, FilePolicy::Plain)
+            .expect("create");
+        // Overwrite the same 4 KiB range far past the compaction
+        // threshold: all but the newest record are fully shadowed.
+        for _ in 0..40 {
+            let p = cp
+                .borrow_mut()
+                .place_write_at(f.id, 4096, 0)
+                .expect("place");
+            cp.borrow_mut().commit_write(f.id, &p, 4096);
+        }
+        let stats = cp.borrow().shard_stats();
+        assert!(
+            stats[0].compactions >= 1,
+            "40 full overwrites must compact (threshold 32)"
+        );
+        assert!(stats[0].records_dropped >= 30);
+        // The survivor still resolves the whole range directly.
+        let plan = cp
+            .borrow_mut()
+            .resolve_read(f.id, 0, 4096)
+            .expect("resolve");
+        assert_eq!(plan.len, 4096);
+        assert!(plan
+            .pieces
+            .iter()
+            .all(|p| matches!(p, nadfs_meta::ReadPiece::Direct { .. })));
+        // Hosted gauges track the drop: only the live records' bytes
+        // remain (no storage stats attached here, but the live-extent
+        // ledger must shrink).
+        assert!(cp.borrow().live_extent_shards() < 40);
+    }
+
+    #[test]
+    fn inflight_repair_blocks_compaction() {
+        let cp = plane();
+        let f = cp.borrow_mut().create_file(
+            0,
+            FilePolicy::Replicated {
+                k: 2,
+                strategy: BcastStrategy::Ring,
+            },
+        );
+        let p = cp.borrow_mut().place_write(f.id, 4096).expect("place");
+        cp.borrow_mut().commit_write(f.id, &p, 4096);
+        cp.borrow_mut().mark_node_failed(p.replicas[0].node);
+        let task = cp.borrow_mut().pop_repair().expect("queued");
+        assert_eq!(cp.borrow().inflight_repair_count(), 1);
+        cp.borrow_mut().mark_node_recovered(p.replicas[0].node);
+        // Queue is empty and no nodes are failed, but the popped task
+        // still pins record indices.
+        let hot = cp.borrow_mut().create_file(0, FilePolicy::Plain);
+        for _ in 0..40 {
+            let w = cp
+                .borrow_mut()
+                .place_write_at(hot.id, 4096, 0)
+                .expect("place");
+            cp.borrow_mut().commit_write(hot.id, &w, 4096);
+        }
+        let compactions: u64 = cp
+            .borrow()
+            .shard_stats()
+            .iter()
+            .map(|s| s.compactions)
+            .sum();
+        assert_eq!(compactions, 0, "in-flight repair pins record indices");
+        cp.borrow_mut().abandon_repair(task);
+        assert_eq!(cp.borrow().inflight_repair_count(), 0);
+        let w = cp
+            .borrow_mut()
+            .place_write_at(hot.id, 4096, 0)
+            .expect("place");
+        cp.borrow_mut().commit_write(hot.id, &w, 4096);
+        let compactions: u64 = cp
+            .borrow()
+            .shard_stats()
+            .iter()
+            .map(|s| s.compactions)
+            .sum();
+        assert!(compactions >= 1, "released: compaction resumes");
     }
 }

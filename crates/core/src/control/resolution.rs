@@ -1,0 +1,135 @@
+//! Read-side resolution: extent-map walks, the sequential-scan detector,
+//! and quiescent-time extent-map compaction.
+
+use super::*;
+
+/// Don't bother compacting tiny maps: below this many records the walk
+/// is cheap and the churn isn't worth the generation bump.
+const COMPACT_MIN: usize = 32;
+
+impl ControlPlane {
+    /// Resolve a ranged read into fetchable pieces: clamp to the
+    /// committed size (short reads past EOF, like `pread`), then walk
+    /// the extent map routing around failed nodes. Any stripe the plan
+    /// serves through degraded reconstruction is promoted to the front of
+    /// the repair queue — the client is paying for that extent right now.
+    /// Counts one control round-trip in the metadata ledger (the RPC a
+    /// client read cache absorbs).
+    pub fn resolve_read(
+        &mut self,
+        file: u64,
+        offset: u64,
+        len: u32,
+    ) -> Result<ReadPlan, MetaError> {
+        let meta = self.lookup(file)?;
+        // Saturate: `offset + len` can exceed u64::MAX (a hostile or
+        // buggy offset) — the overflow would panic in debug builds and
+        // wrap in release, turning an out-of-range read into a bogus
+        // plan. Saturating yields `end == size`, hence a clean
+        // zero-length short read.
+        let end = offset.saturating_add(len as u64).min(meta.size);
+        let clamped = end.saturating_sub(offset) as u32;
+        self.meta.stats.resolves += 1;
+        self.note_route(self.shard_of(file), ServiceClass::Resolve);
+        let plan = match self.extent_map(file) {
+            Some(map) => map.resolve(offset, clamped, &self.failed_nodes),
+            // Nothing committed yet: the whole (clamped) range is a hole.
+            None => ExtentMap::new().resolve(offset, clamped, &self.failed_nodes),
+        }?;
+        for piece in &plan.pieces {
+            if let ReadPiece::Degraded { rec, .. } = piece {
+                self.repair_queue.promote(RepairTask { file, rec: *rec });
+            }
+        }
+        // Sequential-scan detector over resolve traffic: two back-to-back
+        // resolves of the same file advertise the region ahead of the
+        // reader to every subscribed read cache (including other clients,
+        // which is where an advisory beats purely local detection).
+        if clamped > 0 {
+            let entry = self.scan_tracker.entry(file).or_insert((0, 0));
+            let sequential = entry.1 > 0 && offset == entry.0;
+            entry.1 = if sequential { entry.1 + 1 } else { 1 };
+            entry.0 = end;
+            if sequential && entry.1 >= 3 {
+                let hint_len = (clamped as u64 * 4).min(1 << 20) as u32;
+                self.meta.note_prefetch_hint(file, end, hint_len);
+                self.publish_invalidations();
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The extent-map generation of `file` (bumped by commits, repair
+    /// re-homing, and compaction; 0 before the first commit).
+    pub fn extent_generation(&self, file: u64) -> u64 {
+        self.extent_map(file).map_or(0, |m| m.generation())
+    }
+
+    /// Bytes the extent maps currently place across the cluster — the
+    /// conservation target for the hosted gauges: at any point,
+    /// `sum(bytes_hosted) == live_extent_bytes()`.
+    pub fn live_extent_bytes(&self) -> u64 {
+        self.all_extent_maps()
+            .flat_map(|(_, m)| m.records())
+            .map(|r| r.shard_len() as u64 * r.shard_coords().len() as u64)
+            .sum()
+    }
+
+    /// Shards the extent maps currently place across the cluster — the
+    /// conservation target for the `chunks_hosted` gauges.
+    pub fn live_extent_shards(&self) -> u64 {
+        self.all_extent_maps()
+            .flat_map(|(_, m)| m.records())
+            .map(|r| r.shard_coords().len() as u64)
+            .sum()
+    }
+
+    /// Compact `file`'s extent map if it has grown enough and the
+    /// cluster is quiescent. `RepairTask.rec` and `ReadPiece::Degraded`
+    /// hold *positional* record indices, so compaction only runs when
+    /// nothing can be holding one: no failed nodes, an empty repair
+    /// queue, and no popped-but-uncommitted repair in flight. Dropped
+    /// records leave the hosted gauges (their bytes stopped being
+    /// referenced), and the generation bump rides the same
+    /// `LayoutChanged` callback as a commit so read caches drop stale
+    /// plans.
+    pub(super) fn maybe_compact(&mut self, file: u64) {
+        if !self.failed_nodes.is_empty()
+            || !self.repair_queue.is_empty()
+            || !self.inflight_repairs.is_empty()
+        {
+            return;
+        }
+        let shard = self.shard_of(file);
+        let floor = self.shards[shard]
+            .compact_floor
+            .get(&file)
+            .copied()
+            .unwrap_or(0);
+        let threshold = COMPACT_MIN.max(2 * floor);
+        let Some(map) = self.shards[shard].extents.get_mut(&file) else {
+            return;
+        };
+        if map.len() < threshold {
+            return;
+        }
+        let before: Vec<ExtentRecord> = map.records().to_vec();
+        let result = map.compact();
+        let new_len = map.len();
+        let generation = map.generation();
+        self.shards[shard].compact_floor.insert(file, new_len);
+        if result.dropped == 0 {
+            return;
+        }
+        self.shards[shard].stats.compactions += 1;
+        self.shards[shard].stats.records_dropped += result.dropped as u64;
+        for (i, slot) in result.remap.iter().enumerate() {
+            if slot.is_none() {
+                let rec = before[i].clone();
+                self.unhost_record(&rec);
+            }
+        }
+        self.meta.note_extent_commit(file, generation);
+        self.publish_invalidations();
+    }
+}

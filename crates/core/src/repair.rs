@@ -162,6 +162,10 @@ impl RepairDriver {
             *n += 1;
             if *n < self.max_attempts {
                 cluster.control.borrow_mut().requeue_repair(task);
+            } else {
+                // Attempt budget exhausted: the task is dead — release
+                // its compaction pin so the extent map can shrink again.
+                cluster.control.borrow_mut().abandon_repair(task);
             }
         }
         Some(result)

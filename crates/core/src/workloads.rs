@@ -327,9 +327,14 @@ impl MetaWorkload {
                 token: tok(),
             });
         }
+        // Creates interleave round-robin across directories (f-major, not
+        // d-major): consecutive mutations then carry different parent
+        // inos, so a sharded metadata plane sees the storm spread over
+        // the shard space instead of hammering one directory's shard
+        // with a long same-parent run.
         let mut files = Vec::new();
-        for d in 0..self.dirs {
-            for f in 0..self.files_per_dir {
+        for f in 0..self.files_per_dir {
+            for d in 0..self.dirs {
                 let path = self.file_path(idx, d, f);
                 files.push(path.clone());
                 jobs.push(Job::Meta {

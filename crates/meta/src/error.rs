@@ -33,6 +33,10 @@ pub enum MetaError {
     /// Repair needs a spare storage node, but every node is either failed
     /// or already hosts a shard of the extent being re-protected.
     NoSpareNode,
+    /// A cross-shard metadata transaction died mid-protocol (the
+    /// coordinator crashed between the intent and commit records); shard
+    /// recovery rolls the intent back and the operation never applied.
+    TxAborted,
 }
 
 impl fmt::Display for MetaError {
@@ -59,6 +63,9 @@ impl fmt::Display for MetaError {
             }
             MetaError::NoSpareNode => {
                 write!(f, "no spare storage node available for repair placement")
+            }
+            MetaError::TxAborted => {
+                write!(f, "cross-shard metadata transaction aborted mid-flight")
             }
         }
     }

@@ -26,7 +26,7 @@ use nadfs_wire::{ReplicaCoord, RsScheme};
 use crate::error::MetaError;
 
 /// One committed write, as the read path needs to see it.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ExtentRecord {
     /// A plain extent on one node (one stripe unit of a striped write, or
     /// a whole single-node write).
@@ -163,6 +163,18 @@ pub struct ReadPlan {
     pub generation: u64,
 }
 
+/// What one [`ExtentMap::compact`] pass did: how many fully-shadowed
+/// records were dropped, and where every surviving record moved.
+#[derive(Clone, Debug)]
+pub struct CompactionResult {
+    /// Records dropped because newer writes cover every byte they held.
+    pub dropped: usize,
+    /// `remap[old_id]` is the record's new id, or `None` if it was
+    /// dropped. Anything holding positional record ids (repair tasks,
+    /// cached degraded plans) must be rewritten through this.
+    pub remap: Vec<Option<usize>>,
+}
+
 /// Per-file map of committed extents.
 #[derive(Clone, Debug, Default)]
 pub struct ExtentMap {
@@ -255,6 +267,87 @@ impl ExtentMap {
             self.generation += 1;
         }
         Ok(())
+    }
+
+    /// Drop every record whose byte range is fully shadowed by newer
+    /// writes (overwrite-heavy workloads otherwise accumulate one record
+    /// per write forever, and resolution walks all of them). Survivors
+    /// keep their commit order, so resolution is byte-for-byte identical;
+    /// only the positional record ids change, reported through the
+    /// returned remap. Bumps the generation when anything was dropped —
+    /// cached plans carry record ids, so they must be recognizably stale.
+    pub fn compact(&mut self) -> CompactionResult {
+        // Newest-first coverage walk: a record survives iff some byte of
+        // its range is not covered by the union of newer records' ranges.
+        // `covered` is a sorted list of disjoint intervals.
+        let mut covered: Vec<(u64, u64)> = Vec::new();
+        let mut keep = vec![false; self.records.len()];
+        for (i, rec) in self.records.iter().enumerate().rev() {
+            let (start, end) = (rec.offset(), rec.offset() + rec.len() as u64);
+            let mut cursor = start;
+            let mut visible = false;
+            for &(cs, ce) in covered.iter() {
+                if ce <= cursor {
+                    continue;
+                }
+                if cs >= end {
+                    break;
+                }
+                if cs > cursor {
+                    visible = true; // an uncovered gap inside our range
+                    break;
+                }
+                cursor = ce;
+                if cursor >= end {
+                    break;
+                }
+            }
+            if cursor < end {
+                visible = true;
+            }
+            keep[i] = visible;
+            // Merge [start, end) into the covered set.
+            let mut merged = Vec::with_capacity(covered.len() + 1);
+            let (mut ns, mut ne) = (start, end);
+            let mut placed = false;
+            for &(cs, ce) in covered.iter() {
+                if ce < ns {
+                    merged.push((cs, ce));
+                } else if cs > ne {
+                    if !placed {
+                        merged.push((ns, ne));
+                        placed = true;
+                    }
+                    merged.push((cs, ce));
+                } else {
+                    ns = ns.min(cs);
+                    ne = ne.max(ce);
+                }
+            }
+            if !placed {
+                merged.push((ns, ne));
+            }
+            covered = merged;
+        }
+        let mut remap = vec![None; self.records.len()];
+        let mut next = 0usize;
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                remap[i] = Some(next);
+                next += 1;
+            }
+        }
+        let dropped = self.records.len() - next;
+        if dropped > 0 {
+            let mut idx = 0;
+            self.records.retain(|_| {
+                let k = keep[idx];
+                idx += 1;
+                k
+            });
+            self.generation += 1;
+        }
+        CompactionResult { dropped, remap }
     }
 
     /// Resolve the logical range `[offset, offset + len)` into fetchable
@@ -858,6 +951,82 @@ mod tests {
             })
             .expect("degraded piece");
         assert_eq!(rec, 1, "the EC record's commit-order id");
+    }
+
+    #[test]
+    fn compact_drops_fully_shadowed_records_and_remaps() {
+        let mut m = ExtentMap::new();
+        m.record(ExtentRecord::Plain {
+            offset: 0,
+            len: 100,
+            coord: coord(1, 0x1000),
+        }); // fully shadowed by the two writes below
+        m.record(ExtentRecord::Plain {
+            offset: 0,
+            len: 60,
+            coord: coord(2, 0x2000),
+        });
+        m.record(ExtentRecord::Plain {
+            offset: 50,
+            len: 50,
+            coord: coord(3, 0x3000),
+        });
+        m.record(ExtentRecord::Ec {
+            offset: 200,
+            len: 2000,
+            chunk_len: 1000,
+            scheme: RsScheme::new(2, 1),
+            data: vec![coord(4, 0x4000), coord(5, 0x5000)],
+            parities: vec![coord(6, 0x6000)],
+        });
+        let before = m.resolve(0, 2200, &no_failures()).expect("resolve");
+        let g0 = m.generation();
+        let res = m.compact();
+        assert_eq!(res.dropped, 1);
+        assert_eq!(res.remap, vec![None, Some(0), Some(1), Some(2)]);
+        assert_eq!(m.len(), 3);
+        assert!(m.generation() > g0, "dropping records bumps the generation");
+        let after = m.resolve(0, 2200, &no_failures()).expect("resolve");
+        // Byte-for-byte identical resolution.
+        let owner = |plan: &ReadPlan| -> Vec<Option<(u32, u64)>> {
+            let mut v = vec![None; plan.len as usize];
+            for p in &plan.pieces {
+                if let ReadPiece::Direct {
+                    coord,
+                    len,
+                    dest_off,
+                } = p
+                {
+                    for d in 0..*len {
+                        v[(*dest_off + d) as usize] = Some((coord.node, coord.addr + d as u64));
+                    }
+                }
+            }
+            v
+        };
+        assert_eq!(owner(&before), owner(&after));
+        // Idempotent: nothing left to drop.
+        let res2 = m.compact();
+        assert_eq!(res2.dropped, 0);
+        assert_eq!(m.generation(), g0 + 1, "no-op compaction leaves it alone");
+    }
+
+    #[test]
+    fn compact_keeps_partially_visible_records() {
+        let mut m = ExtentMap::new();
+        m.record(ExtentRecord::Plain {
+            offset: 0,
+            len: 100,
+            coord: coord(1, 0),
+        });
+        m.record(ExtentRecord::Plain {
+            offset: 10,
+            len: 80,
+            coord: coord(2, 0),
+        }); // the head and tail of record 0 still show through
+        let res = m.compact();
+        assert_eq!(res.dropped, 0);
+        assert_eq!(m.len(), 2);
     }
 
     #[test]

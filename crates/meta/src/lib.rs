@@ -23,7 +23,7 @@ pub mod service;
 
 pub use cache::{CacheStats, CachedEntry, DirtyAttr, MetaCache};
 pub use error::MetaError;
-pub use extents::{ChunkCopy, ExtentMap, ExtentRecord, ReadPiece, ReadPlan};
+pub use extents::{ChunkCopy, CompactionResult, ExtentMap, ExtentRecord, ReadPiece, ReadPlan};
 pub use inode::{FilePolicy, Inode, InodeAttr, InodeId, InodeKind, ROOT_INO};
 pub use layout::{LayoutSpec, StripeExtent, StripedLayout};
 pub use namespace::{split_path, Namespace};

@@ -122,6 +122,71 @@ proptest! {
         }
     }
 
+    // Compaction is invisible to resolution: for any overwrite history,
+    // a compacted map resolves every read to byte-identical sources as
+    // the uncompacted original, and the remap table is a consistent
+    // old-index → new-index function (None exactly for dropped records).
+    #[test]
+    fn compacted_map_resolves_identically(
+        writes in vec((0u64..2_000, 1u32..800), 1..24),
+        read_off in 0u64..2_500,
+        read_len in 1u32..1_000,
+    ) {
+        let mut original = ExtentMap::new();
+        for (i, (off, len)) in writes.iter().enumerate() {
+            original.record(ExtentRecord::Plain {
+                offset: *off,
+                len: *len,
+                coord: ReplicaCoord { node: i as u32, addr: (i as u64) << 32 },
+            });
+        }
+        let mut compacted = original.clone();
+        let result = compacted.compact();
+        // Remap consistency: survivors keep their relative order, map to
+        // identical records, and dropped count matches.
+        prop_assert_eq!(result.remap.len(), original.len());
+        prop_assert_eq!(original.len() - result.dropped, compacted.len());
+        let mut expect_new = 0usize;
+        for (old, slot) in result.remap.iter().enumerate() {
+            if let Some(new) = slot {
+                prop_assert_eq!(*new, expect_new, "survivors stay ordered");
+                prop_assert_eq!(
+                    compacted.records()[*new].clone(),
+                    original.records()[old].clone()
+                );
+                expect_new += 1;
+            }
+        }
+        prop_assert_eq!(expect_new, compacted.len());
+        // Resolution equivalence over the sampled range AND the full map.
+        let none = HashSet::new();
+        for (off, len) in [(read_off, read_len), (0, 4_000)] {
+            let a = original.resolve(off, len, &none).expect("resolve original");
+            let b = compacted.resolve(off, len, &none).expect("resolve compacted");
+            prop_assert_eq!(a.len, b.len);
+            // Same byte → same source address: flatten both plans into a
+            // per-byte source map (None = hole) and compare.
+            let flatten = |plan: &ReadPlan| -> Vec<Option<(u32, u64)>> {
+                let mut src: Vec<Option<(u32, u64)>> = vec![None; plan.len as usize];
+                for p in &plan.pieces {
+                    if let ReadPiece::Direct { coord, len, dest_off } = p {
+                        for d in 0..*len {
+                            src[(*dest_off + d) as usize] =
+                                Some((coord.node, coord.addr + d as u64));
+                        }
+                    }
+                }
+                src
+            };
+            prop_assert_eq!(flatten(&a), flatten(&b));
+        }
+        // Idempotence: a second compaction finds nothing more to drop.
+        let gen = compacted.generation();
+        let again = compacted.compact();
+        prop_assert_eq!(again.dropped, 0);
+        prop_assert_eq!(compacted.generation(), gen, "no-op keeps the generation");
+    }
+
     // Degraded EC resolution: the fetch set is exactly k distinct live
     // shards, copies cover precisely the failed chunks' overlap with the
     // request, and healthy chunks stay direct.

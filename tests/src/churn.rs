@@ -224,7 +224,10 @@ pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
     };
     let spec = ClusterSpec::new(2, cfg.n_storage, StorageMode::Spin)
         .with_window(4)
-        .with_qos(qos);
+        .with_qos(qos)
+        // Multi-shard metadata plane: churn's rename/unlink mix crosses
+        // shards, so the long horizon also soaks the 2PC/op-log paths.
+        .with_meta_shards(4);
     let cluster = SimCluster::build(spec);
     cluster.set_client_tenant(0, 1);
     cluster.set_client_tenant(1, 2);
